@@ -1,0 +1,64 @@
+//! Shared helpers for the benchmark harness that regenerates the paper's
+//! tables and figures (see the `benches/` directory and EXPERIMENTS.md).
+//!
+//! Each bench prints the reproduced table/figure data on standard output
+//! before handing the hot kernels to Criterion for timing, so that
+//! `cargo bench` both regenerates the evaluation artefacts and measures the
+//! cost of producing them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tm_models::{Armv8Model, MemoryModel, PowerModel, X86Model};
+use tm_synth::SynthConfig;
+
+/// One Table 1 target: display name, transactional model, baseline model and
+/// enumeration configuration.
+pub type Table1Target = (
+    String,
+    Box<dyn MemoryModel>,
+    Box<dyn MemoryModel>,
+    SynthConfig,
+);
+
+/// The architectures whose Table 1 rows we regenerate, with their models and
+/// enumeration configurations.
+pub fn table1_targets(events: usize) -> Vec<Table1Target> {
+    vec![
+        (
+            "x86".to_string(),
+            Box::new(X86Model::tm()) as Box<dyn MemoryModel>,
+            Box::new(X86Model::baseline()) as Box<dyn MemoryModel>,
+            SynthConfig::x86(events),
+        ),
+        (
+            "Power".to_string(),
+            Box::new(PowerModel::tm()),
+            Box::new(PowerModel::baseline()),
+            SynthConfig::power(events),
+        ),
+        (
+            "ARMv8".to_string(),
+            Box::new(Armv8Model::tm()),
+            Box::new(Armv8Model::baseline()),
+            SynthConfig::armv8(events),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_targets_cover_the_three_architectures() {
+        let targets = table1_targets(3);
+        assert_eq!(targets.len(), 3);
+        for (name, tm, base, cfg) in &targets {
+            assert!(!name.is_empty());
+            assert!(tm.name().contains("TM") || tm.name().contains('+'));
+            assert!(!base.name().contains("TM"));
+            assert_eq!(cfg.max_events, 3);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Incremental construction of well-formed executions.
+
+use tm_relation::Relation;
+
+use crate::{check_well_formed, Event, Execution, WellFormednessError};
+
+/// Builds an [`Execution`] incrementally.
+///
+/// Events are appended with [`push`]; program order within each thread is
+/// the order of insertion. Primitive edges (`rf`, `co`, dependencies, `rmw`)
+/// are added by event identifier, and transactions / critical regions are
+/// declared over sets of identifiers. [`build`] assembles the relations and
+/// checks well-formedness (§2.1, §3.1).
+///
+/// [`push`]: ExecutionBuilder::push
+/// [`build`]: ExecutionBuilder::build
+///
+/// # Examples
+///
+/// ```
+/// use tm_exec::{Event, ExecutionBuilder};
+///
+/// // Fig. 2 of the paper: a transactional store-and-load racing a store.
+/// let mut b = ExecutionBuilder::new();
+/// let a = b.push(Event::write(0, 0));
+/// let bb = b.push(Event::read(0, 0));
+/// let c = b.push(Event::write(1, 0));
+/// b.txn(&[a, bb]);
+/// b.rf(c, bb);
+/// b.co(a, c);
+/// let exec = b.build()?;
+/// assert_eq!(exec.txn_classes(), vec![vec![a, bb]]);
+/// # Ok::<(), tm_exec::WellFormednessError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionBuilder {
+    events: Vec<Event>,
+    po_extra: Vec<(usize, usize)>,
+    rf: Vec<(usize, usize)>,
+    co: Vec<(usize, usize)>,
+    addr: Vec<(usize, usize)>,
+    data: Vec<(usize, usize)>,
+    ctrl: Vec<(usize, usize)>,
+    rmw: Vec<(usize, usize)>,
+    txns: Vec<(Vec<usize>, bool)>,
+    crs: Vec<(Vec<usize>, bool)>,
+}
+
+impl ExecutionBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ExecutionBuilder {
+        ExecutionBuilder::default()
+    }
+
+    /// Appends an event, returning its identifier. Program order on each
+    /// thread follows insertion order.
+    pub fn push(&mut self, event: Event) -> usize {
+        self.events.push(event);
+        self.events.len() - 1
+    }
+
+    /// Number of events pushed so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no event has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds a reads-from edge from write `w` to read `r`.
+    pub fn rf(&mut self, w: usize, r: usize) -> &mut Self {
+        self.rf.push((w, r));
+        self
+    }
+
+    /// Adds a coherence edge from write `w1` to write `w2`.
+    pub fn co(&mut self, w1: usize, w2: usize) -> &mut Self {
+        self.co.push((w1, w2));
+        self
+    }
+
+    /// Declares a total coherence order over `writes` (in the given order).
+    pub fn co_order(&mut self, writes: &[usize]) -> &mut Self {
+        for (i, &a) in writes.iter().enumerate() {
+            for &b in &writes[i + 1..] {
+                self.co.push((a, b));
+            }
+        }
+        self
+    }
+
+    /// Adds an address dependency from read `r` to event `e`.
+    pub fn addr(&mut self, r: usize, e: usize) -> &mut Self {
+        self.addr.push((r, e));
+        self
+    }
+
+    /// Adds a data dependency from read `r` to write `w`.
+    pub fn data(&mut self, r: usize, w: usize) -> &mut Self {
+        self.data.push((r, w));
+        self
+    }
+
+    /// Adds a control dependency from `src` to event `e`.
+    pub fn ctrl(&mut self, src: usize, e: usize) -> &mut Self {
+        self.ctrl.push((src, e));
+        self
+    }
+
+    /// Pairs the read and write of a read-modify-write operation.
+    pub fn rmw(&mut self, r: usize, w: usize) -> &mut Self {
+        self.rmw.push((r, w));
+        self
+    }
+
+    /// Adds an explicit program-order edge (rarely needed: insertion order
+    /// already defines po; this exists for exotic event interleavings).
+    pub fn po(&mut self, a: usize, b: usize) -> &mut Self {
+        self.po_extra.push((a, b));
+        self
+    }
+
+    /// Declares that `events` form one successful (relaxed) transaction.
+    pub fn txn(&mut self, events: &[usize]) -> &mut Self {
+        self.txns.push((events.to_vec(), false));
+        self
+    }
+
+    /// Declares that `events` form one successful *atomic* transaction
+    /// (C++ `atomic { … }`; implies membership of `stxn` and `stxnat`).
+    pub fn atomic_txn(&mut self, events: &[usize]) -> &mut Self {
+        self.txns.push((events.to_vec(), true));
+        self
+    }
+
+    /// Declares that `events` form one critical region protected by a real
+    /// lock acquisition (lock-elision checking, §8.3).
+    pub fn cr(&mut self, events: &[usize]) -> &mut Self {
+        self.crs.push((events.to_vec(), false));
+        self
+    }
+
+    /// Declares that `events` form one critical region that will be
+    /// transactionalised (elided).
+    pub fn txn_cr(&mut self, events: &[usize]) -> &mut Self {
+        self.crs.push((events.to_vec(), true));
+        self
+    }
+
+    /// Assembles the execution without checking well-formedness.
+    ///
+    /// Useful for constructing intentionally ill-formed executions in tests;
+    /// prefer [`ExecutionBuilder::build`] everywhere else.
+    pub fn build_unchecked(&self) -> Execution {
+        let n = self.events.len();
+        let mut exec = Execution::with_events(self.events.clone());
+
+        // Program order: per thread, insertion order; transitively closed.
+        let mut po = Relation::new(n);
+        let threads: Vec<u32> = {
+            let mut t: Vec<u32> = self.events.iter().map(|e| e.thread.0).collect();
+            t.sort_unstable();
+            t.dedup();
+            t
+        };
+        for t in threads {
+            let ids: Vec<usize> = (0..n).filter(|&i| self.events[i].thread.0 == t).collect();
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    po.insert(a, b);
+                }
+            }
+        }
+        for &(a, b) in &self.po_extra {
+            po.insert(a, b);
+        }
+        exec.po = po.transitive_closure();
+
+        let fill = |pairs: &[(usize, usize)]| Relation::from_pairs(n, pairs.iter().copied());
+        exec.rf = fill(&self.rf);
+        exec.co = fill(&self.co).transitive_closure();
+        exec.addr = fill(&self.addr);
+        exec.data = fill(&self.data);
+        exec.ctrl = fill(&self.ctrl);
+        exec.rmw = fill(&self.rmw);
+
+        let mut stxn = Relation::new(n);
+        let mut stxnat = Relation::new(n);
+        for (class, atomic) in &self.txns {
+            for &a in class {
+                for &b in class {
+                    stxn.insert(a, b);
+                    if *atomic {
+                        stxnat.insert(a, b);
+                    }
+                }
+            }
+        }
+        exec.stxn = stxn;
+        exec.stxnat = stxnat;
+
+        let mut scr = Relation::new(n);
+        let mut scrt = Relation::new(n);
+        for (class, transactionalised) in &self.crs {
+            for &a in class {
+                for &b in class {
+                    scr.insert(a, b);
+                    if *transactionalised {
+                        scrt.insert(a, b);
+                    }
+                }
+            }
+        }
+        exec.scr = scr;
+        exec.scrt = scrt;
+        exec
+    }
+
+    /// Assembles the execution and checks well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`WellFormednessError`] found, if any.
+    pub fn build(&self) -> Result<Execution, WellFormednessError> {
+        let exec = self.build_unchecked();
+        check_well_formed(&exec)?;
+        Ok(exec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Annot, Fence};
+
+    #[test]
+    fn po_follows_insertion_order_per_thread() {
+        let mut b = ExecutionBuilder::new();
+        let a0 = b.push(Event::write(0, 0));
+        let b1 = b.push(Event::read(1, 0));
+        let a1 = b.push(Event::read(0, 1));
+        let e = b.build().unwrap();
+        assert!(e.po.contains(a0, a1));
+        assert!(!e.po.contains(a0, b1));
+        assert!(!e.po.contains(b1, a1));
+    }
+
+    #[test]
+    fn co_order_declares_total_order() {
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.push(Event::write(0, 0));
+        let w2 = b.push(Event::write(1, 0));
+        let w3 = b.push(Event::write(2, 0));
+        b.co_order(&[w1, w2, w3]);
+        let e = b.build().unwrap();
+        assert!(e.co.contains(w1, w2) && e.co.contains(w2, w3) && e.co.contains(w1, w3));
+    }
+
+    #[test]
+    fn co_is_transitively_closed_on_build() {
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.push(Event::write(0, 0));
+        let w2 = b.push(Event::write(1, 0));
+        let w3 = b.push(Event::write(2, 0));
+        b.co(w1, w2);
+        b.co(w2, w3);
+        let e = b.build().unwrap();
+        assert!(e.co.contains(w1, w3));
+    }
+
+    #[test]
+    fn txn_and_atomic_txn_populate_both_relations() {
+        let mut b = ExecutionBuilder::new();
+        let a = b.push(Event::write(0, 0));
+        let c = b.push(Event::read(0, 1));
+        let d = b.push(Event::write(1, 1));
+        let f = b.push(Event::read(1, 0));
+        b.txn(&[a, c]);
+        b.atomic_txn(&[d, f]);
+        let e = b.build().unwrap();
+        assert!(e.stxn.contains(a, c));
+        assert!(!e.stxnat.contains(a, c));
+        assert!(e.stxn.contains(d, f));
+        assert!(e.stxnat.contains(d, f));
+    }
+
+    #[test]
+    fn build_rejects_ill_formed_rf() {
+        let mut b = ExecutionBuilder::new();
+        let r1 = b.push(Event::read(0, 0));
+        let r2 = b.push(Event::read(1, 0));
+        b.rf(r1, r2); // reads-from must start at a write
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn builder_supports_fences_and_annotations() {
+        let mut b = ExecutionBuilder::new();
+        let w = b.push(Event::write(0, 0).with_annot(Annot::release()));
+        let f = b.push(Event::fence(0, Fence::Dmb));
+        let r = b.push(Event::read(1, 0).with_annot(Annot::acquire()));
+        b.rf(w, r);
+        let e = b.build().unwrap();
+        assert!(e.releases().contains(w));
+        assert!(e.acquires().contains(r));
+        assert!(e.fences_of(Fence::Dmb).contains(f));
+    }
+}

@@ -1,0 +1,576 @@
+//! A catalog of the executions drawn or described in the paper.
+//!
+//! Each function builds one named execution. They are used throughout the
+//! test suites and benchmarks to check that the formal models give the same
+//! verdicts as the paper, and by the examples as ready-made inputs.
+//!
+//! Location numbering follows the convention of [`crate::Loc`]: location `0`
+//! prints as `x`, `1` as `y`, and so on. Locations `9` is used for the lock
+//! variable `m` of the lock-elision examples.
+
+use crate::{Annot, Event, ExecutionBuilder, Execution, Fence, LockCall};
+
+/// The lock variable `m` used by the lock-elision executions.
+pub const LOCK_VAR: u32 = 9;
+
+/// Fig. 1: a plain (non-transactional) execution.
+///
+/// `P0: a: W x=1` — `P1: b: R x; c: W x=2`, with `rf c→b` and `co a→c`.
+/// The corresponding litmus test's postcondition is `r0 = 2 ∧ x = 2`.
+pub fn fig1() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let a = b.push(Event::write(0, 0));
+    let bb = b.push(Event::read(1, 0));
+    let c = b.push(Event::write(1, 0));
+    b.rf(c, bb);
+    b.co(a, c);
+    b.build().expect("fig1 is well-formed")
+}
+
+/// Fig. 2: a transactional execution.
+///
+/// `P0: [a: W x=1; b: R x] in a transaction` — `P1: c: W x=2`, with
+/// `rf c→b` and `co a→c`. The external write `c` intrudes between the two
+/// transactional accesses, so every strongly-isolating model forbids it.
+pub fn fig2() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let a = b.push(Event::write(0, 0));
+    let bb = b.push(Event::read(0, 0));
+    let c = b.push(Event::write(1, 0));
+    b.txn(&[a, bb]);
+    b.rf(c, bb);
+    b.co(a, c);
+    b.build().expect("fig2 is well-formed")
+}
+
+/// Fig. 3: the four 3-event SC executions that separate weak from strong
+/// isolation. `which` selects the variant `'a'`–`'d'`.
+///
+/// In each variant the two events of one thread form a transaction and a
+/// single *non-transactional* event on another thread intrudes between
+/// them in communication order:
+///
+/// * `a` — *non-interference*: an external write splits two transactional
+///   reads (`fr` out, `rf` back in);
+/// * `b` — the RMW-isolation shape: an external write lands between a
+///   transactional read and the transactional write that follows it;
+/// * `c` — an external read observes the first of two transactional writes
+///   (intermediate state escapes);
+/// * `d` — *containment*: an external write is coherence-ordered between
+///   two transactional writes.
+///
+/// All four are SC-consistent and satisfy weak isolation; all four violate
+/// strong isolation.
+///
+/// # Panics
+///
+/// Panics if `which` is not one of `'a'`, `'b'`, `'c'`, `'d'`.
+pub fn fig3(which: char) -> Execution {
+    let mut b = ExecutionBuilder::new();
+    match which {
+        'a' => {
+            let r1 = b.push(Event::read(0, 0));
+            let r2 = b.push(Event::read(0, 0));
+            let w = b.push(Event::write(1, 0));
+            b.txn(&[r1, r2]);
+            b.rf(w, r2);
+        }
+        'b' => {
+            let r = b.push(Event::read(0, 0));
+            let w2 = b.push(Event::write(0, 0));
+            let w1 = b.push(Event::write(1, 0));
+            b.txn(&[r, w2]);
+            b.co(w1, w2);
+        }
+        'c' => {
+            let w1 = b.push(Event::write(0, 0));
+            let w2 = b.push(Event::write(0, 0));
+            let r = b.push(Event::read(1, 0));
+            b.txn(&[w1, w2]);
+            b.co(w1, w2);
+            b.rf(w1, r);
+        }
+        'd' => {
+            let w1 = b.push(Event::write(0, 0));
+            let w2 = b.push(Event::write(0, 0));
+            let w = b.push(Event::write(1, 0));
+            b.txn(&[w1, w2]);
+            b.co_order(&[w1, w, w2]);
+        }
+        other => panic!("fig3 variant must be 'a'..'d', got {other:?}"),
+    }
+    b.build().expect("fig3 is well-formed")
+}
+
+/// Power execution (1) of §5.2: a WRC-style shape in which a transaction
+/// observes a write and the transaction's own write propagates to a third
+/// thread before the observed one.
+///
+/// Forbidden by the Power TM model via `tprop1` + Observation; allowed by
+/// the non-transactional Power baseline (Power is not multicopy-atomic).
+pub fn power_wrc_tprop1() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let a = b.push(Event::write(0, 0));
+    let rb = b.push(Event::read(1, 0));
+    let c = b.push(Event::write(1, 1));
+    let d = b.push(Event::read(2, 1));
+    let e = b.push(Event::read(2, 0));
+    b.txn(&[rb, c]);
+    b.rf(a, rb);
+    b.rf(c, d);
+    b.addr(d, e);
+    b.build().expect("power exec (1) is well-formed")
+}
+
+/// Power execution (2) of §5.2: transactional writes are multicopy-atomic.
+///
+/// The middle thread sees the transactional write to `x` before the right
+/// thread does. Forbidden by the Power TM model via `tprop2` + Observation;
+/// allowed by the baseline.
+pub fn power_wrc_tprop2() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let a = b.push(Event::write(0, 0));
+    let rb = b.push(Event::read(1, 0));
+    let c = b.push(Event::write(1, 1));
+    let d = b.push(Event::read(2, 1));
+    let e = b.push(Event::read(2, 0));
+    b.txn(&[a]);
+    b.rf(a, rb);
+    b.rf(c, d);
+    b.data(rb, c);
+    b.addr(d, e);
+    b.build().expect("power exec (2) is well-formed")
+}
+
+/// Power execution (3) of §5.2 (from Cain et al.): an IRIW-style shape with
+/// the two writes in transactions. Different threads observe incompatible
+/// transaction serialisation orders, so the Power TM model forbids it via a
+/// `thb` cycle.
+pub fn power_iriw_two_txns() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let a = b.push(Event::write(0, 0));
+    let rb = b.push(Event::read(1, 0));
+    let c = b.push(Event::read(1, 1));
+    let d = b.push(Event::read(2, 1));
+    let e = b.push(Event::read(2, 0));
+    let f = b.push(Event::write(3, 1));
+    b.txn(&[a]);
+    b.txn(&[f]);
+    b.rf(a, rb);
+    b.rf(f, d);
+    b.addr(rb, c);
+    b.addr(d, e);
+    b.build().expect("power exec (3) is well-formed")
+}
+
+/// The variant of [`power_iriw_two_txns`] with only one write transactional.
+/// The paper observed this behaviour empirically, so the Power TM model must
+/// (and does) allow it.
+pub fn power_iriw_one_txn() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let a = b.push(Event::write(0, 0));
+    let rb = b.push(Event::read(1, 0));
+    let c = b.push(Event::read(1, 1));
+    let d = b.push(Event::read(2, 1));
+    let e = b.push(Event::read(2, 0));
+    let f = b.push(Event::write(3, 1));
+    b.txn(&[a]);
+    b.rf(a, rb);
+    b.rf(f, d);
+    b.addr(rb, c);
+    b.addr(d, e);
+    b.build().expect("power IRIW one-txn variant is well-formed")
+}
+
+/// Remark 5.1, first execution: a read-only transaction in the WRC position.
+/// The Power manual is ambiguous here; the model errs on the side of caution
+/// and permits it.
+pub fn remark_5_1_first() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let a = b.push(Event::write(0, 0));
+    let rb = b.push(Event::read(1, 0));
+    let c = b.push(Event::read(1, 1));
+    let d = b.push(Event::write(2, 1));
+    let fence = b.push(Event::fence(2, Fence::Sync));
+    let e = b.push(Event::read(2, 0));
+    b.txn(&[rb, c]);
+    b.rf(a, rb);
+    let _ = fence;
+    let _ = (d, e);
+    b.build().expect("remark 5.1 (first) is well-formed")
+}
+
+/// Remark 5.1, second execution: like the first but the final access is a
+/// write, observed via coherence rather than from-read. Also permitted.
+pub fn remark_5_1_second() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let a = b.push(Event::write(0, 0));
+    let rb = b.push(Event::read(1, 0));
+    let c = b.push(Event::read(1, 1));
+    let d = b.push(Event::write(2, 1));
+    let fence = b.push(Event::fence(2, Fence::Sync));
+    let e = b.push(Event::write(2, 0));
+    b.txn(&[rb, c]);
+    b.rf(a, rb);
+    b.co(e, a);
+    let _ = fence;
+    let _ = d;
+    b.build().expect("remark 5.1 (second) is well-formed")
+}
+
+/// §8.1 monotonicity counterexample, *before* coalescing: a load-exclusive /
+/// store-exclusive pair whose two halves sit in two adjacent single-event
+/// transactions. `TxnCancelsRMW` makes this inconsistent on Power and ARMv8.
+pub fn monotonicity_cex_split() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let r = b.push(Event::read(0, 0));
+    let w = b.push(Event::write(0, 0));
+    b.rmw(r, w);
+    b.txn(&[r]);
+    b.txn(&[w]);
+    b.build().expect("monotonicity counterexample (split) is well-formed")
+}
+
+/// §8.1 monotonicity counterexample, *after* coalescing: the same RMW inside
+/// one transaction. Consistent — so coalescing resurrected a forbidden
+/// execution, violating monotonicity.
+pub fn monotonicity_cex_coalesced() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let r = b.push(Event::read(0, 0));
+    let w = b.push(Event::write(0, 0));
+    b.rmw(r, w);
+    b.txn(&[r, w]);
+    b.build().expect("monotonicity counterexample (coalesced) is well-formed")
+}
+
+/// The §9 (related work) execution used to compare against Dongol et al.:
+/// two transactions exchange a message-passing violation. Forbidden by C++
+/// (hb cycle through `tsw`) and by our Power TM model (a `thb` cycle), but
+/// allowed by Dongol et al.'s weaker Power model.
+pub fn dongol_mp_txn() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let a = b.push(Event::write(0, 0).with_annot(Annot::relaxed_atomic()));
+    let w = b.push(Event::write(0, 1).with_annot(Annot::relaxed_atomic()));
+    let c = b.push(Event::read(1, 1).with_annot(Annot::relaxed_atomic()));
+    let d = b.push(Event::read(1, 0).with_annot(Annot::relaxed_atomic()));
+    b.txn(&[a, w]);
+    b.txn(&[c, d]);
+    b.rf(w, c);
+    b.build().expect("dongol example is well-formed")
+}
+
+// ---------------------------------------------------------------------------
+// Classic litmus shapes, with and without transactions.
+// ---------------------------------------------------------------------------
+
+/// Store buffering (SB): `W x; R y || W y; R x`, both reads from the initial
+/// state. Allowed on x86 (and everything weaker), forbidden under SC.
+pub fn sb() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    b.push(Event::write(0, 0));
+    b.push(Event::read(0, 1));
+    b.push(Event::write(1, 1));
+    b.push(Event::read(1, 0));
+    b.build().expect("SB is well-formed")
+}
+
+/// SB with both threads' accesses inside transactions. Forbidden everywhere:
+/// transactions must appear serialised.
+pub fn sb_txn() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let a = b.push(Event::write(0, 0));
+    let bb = b.push(Event::read(0, 1));
+    let c = b.push(Event::write(1, 1));
+    let d = b.push(Event::read(1, 0));
+    b.txn(&[a, bb]);
+    b.txn(&[c, d]);
+    b.build().expect("SB+txn is well-formed")
+}
+
+/// SB with MFENCE between each write/read pair (x86). Forbidden on x86.
+pub fn sb_mfence() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    b.push(Event::write(0, 0));
+    b.push(Event::fence(0, Fence::MFence));
+    b.push(Event::read(0, 1));
+    b.push(Event::write(1, 1));
+    b.push(Event::fence(1, Fence::MFence));
+    b.push(Event::read(1, 0));
+    b.build().expect("SB+MFENCE is well-formed")
+}
+
+/// Message passing (MP): `W x; W y || R y; R x` where the reader sees the
+/// flag `y` but stale data `x`. Allowed on Power/ARMv8 without
+/// fences/dependencies, forbidden on x86 and SC.
+pub fn mp() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let _wx = b.push(Event::write(0, 0));
+    let wy = b.push(Event::write(0, 1));
+    let ry = b.push(Event::read(1, 1));
+    let _rx = b.push(Event::read(1, 0));
+    b.rf(wy, ry);
+    b.build().expect("MP is well-formed")
+}
+
+/// MP with both critical pairs inside transactions. Forbidden everywhere.
+pub fn mp_txn() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let wx = b.push(Event::write(0, 0));
+    let wy = b.push(Event::write(0, 1));
+    let ry = b.push(Event::read(1, 1));
+    let rx = b.push(Event::read(1, 0));
+    b.txn(&[wx, wy]);
+    b.txn(&[ry, rx]);
+    b.rf(wy, ry);
+    b.build().expect("MP+txn is well-formed")
+}
+
+/// Load buffering (LB): `R x; W y || R y; W x` where each read observes the
+/// other thread's write. Allowed by the Power and ARMv8 models (never
+/// observed on Power silicon), forbidden on x86 and SC.
+pub fn lb() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let rx = b.push(Event::read(0, 0));
+    let wy = b.push(Event::write(0, 1));
+    let ry = b.push(Event::read(1, 1));
+    let wx = b.push(Event::write(1, 0));
+    b.rf(wy, ry);
+    b.rf(wx, rx);
+    b.build().expect("LB is well-formed")
+}
+
+/// LB with both threads transactional. Forbidden everywhere (a communication
+/// cycle between transactions).
+pub fn lb_txn() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let rx = b.push(Event::read(0, 0));
+    let wy = b.push(Event::write(0, 1));
+    let ry = b.push(Event::read(1, 1));
+    let wx = b.push(Event::write(1, 0));
+    b.txn(&[rx, wy]);
+    b.txn(&[ry, wx]);
+    b.rf(wy, ry);
+    b.rf(wx, rx);
+    b.build().expect("LB+txn is well-formed")
+}
+
+/// Write-to-read causality (WRC) with address dependencies on the readers:
+/// allowed on Power (not multicopy-atomic), forbidden on x86 and ARMv8.
+pub fn wrc() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let a = b.push(Event::write(0, 0));
+    let rb = b.push(Event::read(1, 0));
+    let c = b.push(Event::write(1, 1));
+    let d = b.push(Event::read(2, 1));
+    let e = b.push(Event::read(2, 0));
+    b.rf(a, rb);
+    b.rf(c, d);
+    b.data(rb, c);
+    b.addr(d, e);
+    b.build().expect("WRC is well-formed")
+}
+
+/// Independent reads of independent writes (IRIW) with address dependencies:
+/// allowed on Power, forbidden on x86, ARMv8 and SC.
+pub fn iriw() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let a = b.push(Event::write(0, 0));
+    let rb = b.push(Event::read(1, 0));
+    let c = b.push(Event::read(1, 1));
+    let d = b.push(Event::read(2, 1));
+    let e = b.push(Event::read(2, 0));
+    let f = b.push(Event::write(3, 1));
+    b.rf(a, rb);
+    b.rf(f, d);
+    b.addr(rb, c);
+    b.addr(d, e);
+    b.build().expect("IRIW is well-formed")
+}
+
+// ---------------------------------------------------------------------------
+// Lock-elision executions (§1.1, §8.3, Fig. 10, Appendix B).
+// ---------------------------------------------------------------------------
+
+/// Fig. 10 (left): the *abstract* execution for Example 1.1. Two critical
+/// regions on `x`; the left is an ordinary locked CR performing
+/// `x ← x + 2`, the right an elided (transactionalised) CR performing
+/// `x ← 1`. The interleaving shown violates mutual exclusion, so the
+/// CROrder axiom (serialisability of critical regions) forbids it.
+pub fn fig10_abstract() -> Execution {
+    let mut b = ExecutionBuilder::new();
+    let l = b.push(Event::lock_call(0, LockCall::Lock));
+    let rx = b.push(Event::read(0, 0));
+    let wx = b.push(Event::write(0, 0));
+    let u = b.push(Event::lock_call(0, LockCall::Unlock));
+    let lt = b.push(Event::lock_call(1, LockCall::TxLock));
+    let wx2 = b.push(Event::write(1, 0));
+    let ut = b.push(Event::lock_call(1, LockCall::TxUnlock));
+    b.cr(&[l, rx, wx, u]);
+    b.txn_cr(&[lt, wx2, ut]);
+    b.co(wx2, wx);
+    b.data(rx, wx);
+    b.build().expect("fig10 abstract execution is well-formed")
+}
+
+/// Fig. 10 (right): the *concrete* ARMv8 execution that Example 1.1's
+/// program can produce. The left thread is the recommended ARMv8 spinlock
+/// (`LDAXR`/`STXR` acquire, `STLR` release) around `x ← x + 2`; the right
+/// thread is a transaction that reads the lock variable `m` and writes
+/// `x ← 1`.
+///
+/// `include_dmb` selects the §1.1 "fix": appending a `DMB` to the `lock()`
+/// implementation. Without the DMB the execution is consistent under the
+/// ARMv8 TM model (lock elision is unsound); with it, the execution becomes
+/// inconsistent.
+pub fn example_1_1_concrete(include_dmb: bool) -> Execution {
+    let mut b = ExecutionBuilder::new();
+    // P0: spinlock acquire (LDAXR m; STXR m), CR body (LDR x; STR x), release (STLR m).
+    let ldaxr = b.push(Event::read(0, LOCK_VAR).with_annot(Annot::acquire()));
+    let stxr = b.push(Event::write(0, LOCK_VAR));
+    if include_dmb {
+        b.push(Event::fence(0, Fence::Dmb));
+    }
+    let ldr_x = b.push(Event::read(0, 0));
+    let str_x = b.push(Event::write(0, 0));
+    let stlr = b.push(Event::write(0, LOCK_VAR).with_annot(Annot::release()));
+    // P1: transactional CR: read the lock (sees it free), write x, commit.
+    let ldr_m = b.push(Event::read(1, LOCK_VAR));
+    let str_x2 = b.push(Event::write(1, 0));
+
+    b.rmw(ldaxr, stxr);
+    b.ctrl(ldaxr, stxr);
+    b.data(ldr_x, str_x);
+    b.txn(&[ldr_m, str_x2]);
+    // Both lock reads see the lock free (initial value); the elided CR's
+    // write to x is coherence-before the locked CR's write (final x = 2).
+    b.co(str_x2, str_x);
+    b.co(stxr, stlr);
+    b.build().expect("example 1.1 concrete execution is well-formed")
+}
+
+/// Appendix B (second unsoundness example), concrete ARMv8 execution: the
+/// elided CR loads `x` and observes the locked CR's *first* store — an
+/// intermediate value that mutual exclusion should have hidden.
+pub fn appendix_b_concrete(include_dmb: bool) -> Execution {
+    let mut b = ExecutionBuilder::new();
+    // P0: spinlock acquire, store x twice, release.
+    let ldaxr = b.push(Event::read(0, LOCK_VAR).with_annot(Annot::acquire()));
+    let stxr = b.push(Event::write(0, LOCK_VAR));
+    if include_dmb {
+        b.push(Event::fence(0, Fence::Dmb));
+    }
+    let str_x1 = b.push(Event::write(0, 0));
+    let str_x2 = b.push(Event::write(0, 0));
+    let stlr = b.push(Event::write(0, LOCK_VAR).with_annot(Annot::release()));
+    // P1: transactional CR: read the lock, load x (observing the first store).
+    let ldr_m = b.push(Event::read(1, LOCK_VAR));
+    let ldr_x = b.push(Event::read(1, 0));
+
+    b.rmw(ldaxr, stxr);
+    b.ctrl(ldaxr, stxr);
+    b.txn(&[ldr_m, ldr_x]);
+    b.rf(str_x1, ldr_x);
+    b.co(str_x1, str_x2);
+    b.co(stxr, stlr);
+    b.build().expect("appendix B concrete execution is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_catalog_executions_are_well_formed() {
+        // Construction already checks well-formedness; this test simply
+        // exercises every entry and sanity-checks a few sizes.
+        assert_eq!(fig1().len(), 3);
+        assert_eq!(fig2().len(), 3);
+        for which in ['a', 'b', 'c', 'd'] {
+            assert_eq!(fig3(which).len(), 3);
+        }
+        assert_eq!(power_wrc_tprop1().len(), 5);
+        assert_eq!(power_wrc_tprop2().len(), 5);
+        assert_eq!(power_iriw_two_txns().len(), 6);
+        assert_eq!(power_iriw_one_txn().len(), 6);
+        assert_eq!(remark_5_1_first().len(), 6);
+        assert_eq!(remark_5_1_second().len(), 6);
+        assert_eq!(monotonicity_cex_split().len(), 2);
+        assert_eq!(monotonicity_cex_coalesced().len(), 2);
+        assert_eq!(dongol_mp_txn().len(), 4);
+        assert_eq!(sb().len(), 4);
+        assert_eq!(sb_txn().len(), 4);
+        assert_eq!(sb_mfence().len(), 6);
+        assert_eq!(mp().len(), 4);
+        assert_eq!(mp_txn().len(), 4);
+        assert_eq!(lb().len(), 4);
+        assert_eq!(lb_txn().len(), 4);
+        assert_eq!(wrc().len(), 5);
+        assert_eq!(iriw().len(), 6);
+        assert_eq!(fig10_abstract().len(), 7);
+        assert_eq!(example_1_1_concrete(false).len(), 7);
+        assert_eq!(example_1_1_concrete(true).len(), 8);
+        assert_eq!(appendix_b_concrete(false).len(), 7);
+        assert_eq!(appendix_b_concrete(true).len(), 8);
+    }
+
+    #[test]
+    fn fig2_transaction_is_split_by_external_write() {
+        let e = fig2();
+        // The external write communicates into and out of the transaction.
+        let strong = Execution::stronglift(&e.com(), &e.stxn);
+        assert!(!strong.is_acyclic());
+        // But the weak lift sees no transaction-to-transaction cycle.
+        let weak = Execution::weaklift(&e.com(), &e.stxn);
+        assert!(weak.is_acyclic());
+    }
+
+    #[test]
+    fn fig3_variants_violate_strong_but_not_weak_isolation() {
+        for which in ['a', 'b', 'c', 'd'] {
+            let e = fig3(which);
+            assert!(
+                !Execution::stronglift(&e.com(), &e.stxn).is_acyclic(),
+                "fig3({which}) must violate strong isolation"
+            );
+            assert!(
+                Execution::weaklift(&e.com(), &e.stxn).is_acyclic(),
+                "fig3({which}) must satisfy weak isolation"
+            );
+            // And the underlying execution is SC-consistent.
+            assert!(e.po.union(&e.com()).is_acyclic());
+        }
+    }
+
+    #[test]
+    fn monotonicity_pair_differs_only_in_stxn() {
+        let split = monotonicity_cex_split();
+        let merged = monotonicity_cex_coalesced();
+        assert_eq!(split.events, merged.events);
+        assert_eq!(split.rmw, merged.rmw);
+        assert!(split.stxn.is_subset_of(&merged.stxn));
+        assert_ne!(split.stxn, merged.stxn);
+        // The split version has an rmw edge crossing a transaction boundary.
+        assert!(!split.rmw.intersection(&split.tfence()).is_empty());
+        assert!(merged.rmw.intersection(&merged.tfence()).is_empty());
+    }
+
+    #[test]
+    fn lock_elision_abstract_execution_has_two_crs() {
+        let e = fig10_abstract();
+        assert_eq!(e.cr_classes().len(), 2);
+        let transactionalised: Vec<_> = tm_relation::per_classes(&e.scrt);
+        assert_eq!(transactionalised.len(), 1);
+    }
+
+    #[test]
+    fn example_1_1_lock_reads_see_initial_value() {
+        let e = example_1_1_concrete(false);
+        // No rf edge targets the lock-variable reads: they read the initial
+        // (free) state of m, which is what makes the elision race possible.
+        for r in e.reads().iter() {
+            if e.event(r).loc() == Some(crate::Loc(LOCK_VAR)) {
+                assert_eq!(e.rf.predecessors(r).count(), 0);
+            }
+        }
+    }
+}

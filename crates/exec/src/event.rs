@@ -1,0 +1,411 @@
+//! Runtime memory events and their architecture-level annotations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A shared-memory location.
+///
+/// Executions use abstract locations; litmus-test generation later maps them
+/// to names (`x`, `y`, `z`, …) and machine addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Loc(pub u32);
+
+impl Loc {
+    /// Conventional display name (`x`, `y`, `z`, `w`, then `loc4`, `loc5`, …).
+    pub fn name(self) -> String {
+        match self.0 {
+            0 => "x".to_string(),
+            1 => "y".to_string(),
+            2 => "z".to_string(),
+            3 => "w".to_string(),
+            n => format!("loc{n}"),
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A thread identifier within an execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The kind of a fence event.
+///
+/// Fences are events, not edges (footnote 1 of the paper); per-architecture
+/// fence *relations* (`mfence`, `sync`, `dmb`, …) are derived from the
+/// program order around fence events by [`Execution::fence_rel`].
+///
+/// [`Execution::fence_rel`]: crate::Execution::fence_rel
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fence {
+    /// x86 `MFENCE`.
+    MFence,
+    /// Power `sync` (hwsync), the full cumulative barrier.
+    Sync,
+    /// Power `lwsync`, the lightweight barrier (does not order W→R).
+    Lwsync,
+    /// Power `isync`, the instruction-synchronising barrier.
+    Isync,
+    /// ARMv8 `DMB ISH` (full barrier).
+    Dmb,
+    /// ARMv8 `DMB ISHLD` (load barrier).
+    DmbLd,
+    /// ARMv8 `DMB ISHST` (store barrier).
+    DmbSt,
+    /// ARMv8 `ISB`.
+    Isb,
+    /// C++ `atomic_thread_fence(memory_order_seq_cst)`.
+    FenceSc,
+    /// C++ `atomic_thread_fence(memory_order_acquire)`.
+    FenceAcq,
+    /// C++ `atomic_thread_fence(memory_order_release)`.
+    FenceRel,
+}
+
+impl fmt::Display for Fence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Fence::MFence => "MFENCE",
+            Fence::Sync => "sync",
+            Fence::Lwsync => "lwsync",
+            Fence::Isync => "isync",
+            Fence::Dmb => "DMB",
+            Fence::DmbLd => "DMB LD",
+            Fence::DmbSt => "DMB ST",
+            Fence::Isb => "ISB",
+            Fence::FenceSc => "fence(seq_cst)",
+            Fence::FenceAcq => "fence(acquire)",
+            Fence::FenceRel => "fence(release)",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Lock-elision method-call events (§8.3).
+///
+/// These appear only in the *abstract* executions used to specify a lock
+/// library; the lock-elision mapping π expands them into loads, stores and
+/// barriers on the lock variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockCall {
+    /// `lock()` implemented by actually acquiring the mutex (the paper's `L`).
+    Lock,
+    /// `unlock()` paired with [`LockCall::Lock`] (the paper's `U`).
+    Unlock,
+    /// `lock()` that will be transactionalised/elided (the paper's `Lᵗ`).
+    TxLock,
+    /// `unlock()` paired with [`LockCall::TxLock`] (the paper's `Uᵗ`).
+    TxUnlock,
+}
+
+impl fmt::Display for LockCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockCall::Lock => "L",
+            LockCall::Unlock => "U",
+            LockCall::TxLock => "Lt",
+            LockCall::TxUnlock => "Ut",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// What a memory event does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A read (load) of a location.
+    Read(Loc),
+    /// A write (store) to a location.
+    Write(Loc),
+    /// A fence event of the given kind.
+    Fence(Fence),
+    /// A lock-library method call (lock-elision checking only).
+    LockCall(LockCall),
+}
+
+impl EventKind {
+    /// The location accessed, if this is a read or a write.
+    pub fn loc(self) -> Option<Loc> {
+        match self {
+            EventKind::Read(l) | EventKind::Write(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// Consistency-mode / instruction-form annotations carried by an event.
+///
+/// A single flat annotation set covers all four targets; each memory model
+/// simply ignores the annotations that do not concern it (e.g. the C++ model
+/// ignores `acquire` on an ARMv8 `LDAR`-style load, which is instead encoded
+/// via `acq`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Annot {
+    /// Acquire semantics (ARMv8 `LDAR`/`LDAXR`, C++ `memory_order_acquire`).
+    pub acq: bool,
+    /// Release semantics (ARMv8 `STLR`, C++ `memory_order_release`).
+    pub rel: bool,
+    /// C++ `memory_order_seq_cst`.
+    pub sc: bool,
+    /// The event comes from a C++ *atomic* operation (the `Ato` set).
+    pub atomic: bool,
+}
+
+impl Annot {
+    /// No annotations: a plain access.
+    pub const PLAIN: Annot = Annot {
+        acq: false,
+        rel: false,
+        sc: false,
+        atomic: false,
+    };
+
+    /// An acquire access.
+    pub fn acquire() -> Annot {
+        Annot {
+            acq: true,
+            ..Annot::PLAIN
+        }
+    }
+
+    /// A release access.
+    pub fn release() -> Annot {
+        Annot {
+            rel: true,
+            ..Annot::PLAIN
+        }
+    }
+
+    /// A C++ relaxed atomic access (atomic but no ordering).
+    pub fn relaxed_atomic() -> Annot {
+        Annot {
+            atomic: true,
+            ..Annot::PLAIN
+        }
+    }
+
+    /// A C++ acquire atomic access.
+    pub fn acquire_atomic() -> Annot {
+        Annot {
+            acq: true,
+            atomic: true,
+            ..Annot::PLAIN
+        }
+    }
+
+    /// A C++ release atomic access.
+    pub fn release_atomic() -> Annot {
+        Annot {
+            rel: true,
+            atomic: true,
+            ..Annot::PLAIN
+        }
+    }
+
+    /// A C++ seq_cst atomic access (also acquire and release).
+    pub fn seq_cst() -> Annot {
+        Annot {
+            acq: true,
+            rel: true,
+            sc: true,
+            atomic: true,
+        }
+    }
+
+    /// True if this annotation set is weaker than or equal to `other`
+    /// (used by the ⊏ event-downgrade step of §4.2).
+    pub fn is_weaker_or_equal(self, other: Annot) -> bool {
+        (!self.acq || other.acq)
+            && (!self.rel || other.rel)
+            && (!self.sc || other.sc)
+            && (!self.atomic || other.atomic)
+    }
+}
+
+/// A runtime memory event: one vertex of an execution graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// The thread this event belongs to.
+    pub thread: ThreadId,
+    /// What the event does.
+    pub kind: EventKind,
+    /// Consistency-mode annotations.
+    pub annot: Annot,
+}
+
+impl Event {
+    /// A plain read of `loc` on `thread`.
+    pub fn read(thread: u32, loc: u32) -> Event {
+        Event {
+            thread: ThreadId(thread),
+            kind: EventKind::Read(Loc(loc)),
+            annot: Annot::PLAIN,
+        }
+    }
+
+    /// A plain write to `loc` on `thread`.
+    pub fn write(thread: u32, loc: u32) -> Event {
+        Event {
+            thread: ThreadId(thread),
+            kind: EventKind::Write(Loc(loc)),
+            annot: Annot::PLAIN,
+        }
+    }
+
+    /// A fence of kind `fence` on `thread`.
+    pub fn fence(thread: u32, fence: Fence) -> Event {
+        Event {
+            thread: ThreadId(thread),
+            kind: EventKind::Fence(fence),
+            annot: Annot::PLAIN,
+        }
+    }
+
+    /// A lock-library call event on `thread`.
+    pub fn lock_call(thread: u32, call: LockCall) -> Event {
+        Event {
+            thread: ThreadId(thread),
+            kind: EventKind::LockCall(call),
+            annot: Annot::PLAIN,
+        }
+    }
+
+    /// Returns a copy of this event with the given annotations.
+    pub fn with_annot(mut self, annot: Annot) -> Event {
+        self.annot = annot;
+        self
+    }
+
+    /// True if this is a read event.
+    pub fn is_read(&self) -> bool {
+        matches!(self.kind, EventKind::Read(_))
+    }
+
+    /// True if this is a write event.
+    pub fn is_write(&self) -> bool {
+        matches!(self.kind, EventKind::Write(_))
+    }
+
+    /// True if this is a fence event.
+    pub fn is_fence(&self) -> bool {
+        matches!(self.kind, EventKind::Fence(_))
+    }
+
+    /// True if this is a memory access (read or write).
+    pub fn is_access(&self) -> bool {
+        self.is_read() || self.is_write()
+    }
+
+    /// True if this is a lock-library call event.
+    pub fn is_lock_call(&self) -> bool {
+        matches!(self.kind, EventKind::LockCall(_))
+    }
+
+    /// The location accessed, if any.
+    pub fn loc(&self) -> Option<Loc> {
+        self.kind.loc()
+    }
+
+    /// A short label like `R x` or `W y` or `F sync` for diagnostics.
+    pub fn label(&self) -> String {
+        let mode = {
+            let mut s = String::new();
+            if self.annot.sc {
+                s.push_str("sc");
+            } else {
+                if self.annot.acq {
+                    s.push_str("acq");
+                }
+                if self.annot.rel {
+                    s.push_str("rel");
+                }
+            }
+            if self.annot.atomic && !self.annot.sc && !self.annot.acq && !self.annot.rel {
+                s.push_str("rlx");
+            }
+            if s.is_empty() {
+                s
+            } else {
+                format!("[{s}]")
+            }
+        };
+        match self.kind {
+            EventKind::Read(l) => format!("R{mode} {l}"),
+            EventKind::Write(l) => format!("W{mode} {l}"),
+            EventKind::Fence(f) => format!("F {f}"),
+            EventKind::LockCall(c) => format!("{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.thread, self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_names_are_conventional() {
+        assert_eq!(Loc(0).name(), "x");
+        assert_eq!(Loc(1).name(), "y");
+        assert_eq!(Loc(2).name(), "z");
+        assert_eq!(Loc(3).name(), "w");
+        assert_eq!(Loc(7).name(), "loc7");
+    }
+
+    #[test]
+    fn event_constructors_and_predicates() {
+        let r = Event::read(0, 0);
+        let w = Event::write(1, 1);
+        let f = Event::fence(0, Fence::Sync);
+        let l = Event::lock_call(0, LockCall::Lock);
+        assert!(r.is_read() && r.is_access() && !r.is_write());
+        assert!(w.is_write() && w.is_access());
+        assert!(f.is_fence() && !f.is_access());
+        assert!(l.is_lock_call() && !l.is_access());
+        assert_eq!(r.loc(), Some(Loc(0)));
+        assert_eq!(f.loc(), None);
+    }
+
+    #[test]
+    fn annot_weakening_order() {
+        assert!(Annot::PLAIN.is_weaker_or_equal(Annot::acquire()));
+        assert!(Annot::acquire().is_weaker_or_equal(Annot::seq_cst()));
+        assert!(!Annot::acquire().is_weaker_or_equal(Annot::release()));
+        assert!(!Annot::seq_cst().is_weaker_or_equal(Annot::relaxed_atomic()));
+        assert!(Annot::relaxed_atomic().is_weaker_or_equal(Annot::seq_cst()));
+    }
+
+    #[test]
+    fn labels_render_modes() {
+        let e = Event::read(0, 0).with_annot(Annot::acquire());
+        assert_eq!(e.label(), "R[acq] x");
+        let e = Event::write(0, 1).with_annot(Annot::seq_cst());
+        assert_eq!(e.label(), "W[sc] y");
+        let e = Event::read(0, 2).with_annot(Annot::relaxed_atomic());
+        assert_eq!(e.label(), "R[rlx] z");
+        assert_eq!(Event::fence(0, Fence::Dmb).label(), "F DMB");
+        assert_eq!(Event::lock_call(1, LockCall::TxLock).label(), "Lt");
+    }
+
+    #[test]
+    fn display_includes_thread() {
+        let e = Event::write(2, 0);
+        assert_eq!(format!("{e}"), "P2:W x");
+    }
+}

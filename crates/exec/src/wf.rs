@@ -1,0 +1,604 @@
+//! Well-formedness of candidate executions (§2.1, §3.1, §8.3).
+
+use std::error::Error;
+use std::fmt;
+
+use tm_relation::{is_per, is_strict_total_order_on, per_classes, ElemSet, Relation};
+
+use crate::{Execution, LockCall, Loc};
+
+/// The ways an execution can fail to be well-formed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WellFormednessError {
+    /// Program order is not a strict total order over some thread's events,
+    /// or relates events of different threads.
+    MalformedProgramOrder {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A dependency edge (`addr`, `data`, `ctrl`) is not within program
+    /// order or does not originate at a read (or, for `ctrl`, at the write
+    /// of an RMW).
+    MalformedDependency {
+        /// Which dependency relation is at fault.
+        which: &'static str,
+        /// Source event identifier.
+        src: usize,
+        /// Target event identifier.
+        dst: usize,
+    },
+    /// An `rmw` edge does not link a read to a program-order-later write on
+    /// the same location.
+    MalformedRmw {
+        /// Source event identifier.
+        src: usize,
+        /// Target event identifier.
+        dst: usize,
+    },
+    /// A reads-from edge does not go from a write to a read on the same
+    /// location.
+    MalformedReadsFrom {
+        /// Source event identifier.
+        src: usize,
+        /// Target event identifier.
+        dst: usize,
+    },
+    /// A read has more than one incoming reads-from edge.
+    MultipleReadsFrom {
+        /// The offending read.
+        read: usize,
+    },
+    /// A coherence edge does not relate two writes to the same location.
+    MalformedCoherence {
+        /// Source event identifier.
+        src: usize,
+        /// Target event identifier.
+        dst: usize,
+    },
+    /// Coherence is not a strict total order over the writes to a location.
+    CoherenceNotTotal {
+        /// The location whose writes are not totally ordered.
+        loc: Loc,
+    },
+    /// `stxn` (or `scr`) is not a partial equivalence relation.
+    TransactionNotEquivalence {
+        /// Which relation is at fault (`"stxn"`, `"stxnat"`, `"scr"`, `"scrt"`).
+        which: &'static str,
+    },
+    /// A transaction (or critical region) spans more than one thread.
+    TransactionCrossThread {
+        /// Which relation is at fault.
+        which: &'static str,
+        /// The class that spans threads.
+        class: Vec<usize>,
+    },
+    /// A transaction (or critical region) is not a contiguous slice of its
+    /// thread's program order.
+    TransactionNotContiguous {
+        /// Which relation is at fault.
+        which: &'static str,
+        /// The offending class.
+        class: Vec<usize>,
+        /// An event between two class members that is not itself a member.
+        intruder: usize,
+    },
+    /// `stxnat` is not a union of whole `stxn` classes (or `scrt` of `scr`).
+    SubclassNotAligned {
+        /// Which pair of relations is at fault.
+        which: &'static str,
+    },
+    /// A critical region's lock-call events are malformed (e.g. an `L`
+    /// paired with a `Ut`, or a CR with an unlock before its lock).
+    MalformedCriticalRegion {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WellFormednessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormednessError::MalformedProgramOrder { detail } => {
+                write!(f, "malformed program order: {detail}")
+            }
+            WellFormednessError::MalformedDependency { which, src, dst } => {
+                write!(f, "malformed {which} dependency {src} -> {dst}")
+            }
+            WellFormednessError::MalformedRmw { src, dst } => {
+                write!(f, "malformed rmw edge {src} -> {dst}")
+            }
+            WellFormednessError::MalformedReadsFrom { src, dst } => {
+                write!(f, "malformed reads-from edge {src} -> {dst}")
+            }
+            WellFormednessError::MultipleReadsFrom { read } => {
+                write!(f, "read {read} has multiple incoming reads-from edges")
+            }
+            WellFormednessError::MalformedCoherence { src, dst } => {
+                write!(f, "malformed coherence edge {src} -> {dst}")
+            }
+            WellFormednessError::CoherenceNotTotal { loc } => {
+                write!(f, "coherence is not a strict total order on writes to {loc}")
+            }
+            WellFormednessError::TransactionNotEquivalence { which } => {
+                write!(f, "{which} is not a partial equivalence relation")
+            }
+            WellFormednessError::TransactionCrossThread { which, class } => {
+                write!(f, "{which} class {class:?} spans multiple threads")
+            }
+            WellFormednessError::TransactionNotContiguous {
+                which,
+                class,
+                intruder,
+            } => write!(
+                f,
+                "{which} class {class:?} is not contiguous in program order (event {intruder} intrudes)"
+            ),
+            WellFormednessError::SubclassNotAligned { which } => {
+                write!(f, "{which} is not a union of whole classes")
+            }
+            WellFormednessError::MalformedCriticalRegion { detail } => {
+                write!(f, "malformed critical region: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for WellFormednessError {}
+
+/// Checks that `exec` is a well-formed candidate execution.
+///
+/// The conditions are those of §2.1 (plain executions), §3.1 (transactions)
+/// and §8.3 (critical regions):
+///
+/// * `po` is, per thread, a strict total order over the thread's events and
+///   never crosses threads;
+/// * `addr`, `data`, `ctrl` are within `po` and originate at reads (`ctrl`
+///   may also originate at the write of an RMW — store-exclusives can start
+///   control dependencies on Power);
+/// * `rmw` links a read to a po-later write on the same location;
+/// * `rf` links writes to reads of the same location, with at most one
+///   incoming edge per read;
+/// * `co` relates writes to the same location and is a strict total order on
+///   the writes to each location;
+/// * `stxn`/`stxnat`/`scr`/`scrt` are partial equivalence relations whose
+///   classes are single-threaded, contiguous in program order, and whose
+///   "atomic"/"transactionalised" subsets are unions of whole classes;
+/// * critical regions containing lock calls have matching lock/unlock kinds.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_well_formed(exec: &Execution) -> Result<(), WellFormednessError> {
+    check_po(exec)?;
+    check_deps(exec)?;
+    check_rmw(exec)?;
+    check_rf(exec)?;
+    check_co(exec)?;
+    check_class_relation(exec, &exec.stxn, "stxn")?;
+    check_class_relation(exec, &exec.scr, "scr")?;
+    check_subclass(&exec.stxn, &exec.stxnat, "stxnat ⊆ stxn")?;
+    check_subclass(&exec.scr, &exec.scrt, "scrt ⊆ scr")?;
+    check_crs(exec)?;
+    Ok(())
+}
+
+fn check_po(exec: &Execution) -> Result<(), WellFormednessError> {
+    let n = exec.len();
+    for (a, b) in exec.po.iter() {
+        if exec.event(a).thread != exec.event(b).thread {
+            return Err(WellFormednessError::MalformedProgramOrder {
+                detail: format!("po edge {a} -> {b} crosses threads"),
+            });
+        }
+    }
+    for t in 0..exec.thread_count() {
+        let members = ElemSet::from_iter(
+            n,
+            (0..n).filter(|&i| exec.event(i).thread.0 as usize == t),
+        );
+        if members.len() <= 1 {
+            continue;
+        }
+        if !is_strict_total_order_on(&exec.po, &members) {
+            return Err(WellFormednessError::MalformedProgramOrder {
+                detail: format!("po is not a strict total order on thread {t}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_deps(exec: &Execution) -> Result<(), WellFormednessError> {
+    let rmw_writes = exec.rmw.range();
+    for (which, rel) in [
+        ("addr", &exec.addr),
+        ("data", &exec.data),
+        ("ctrl", &exec.ctrl),
+    ] {
+        for (src, dst) in rel.iter() {
+            let src_ok = exec.event(src).is_read()
+                || (which == "ctrl" && exec.event(src).is_write() && rmw_writes.contains(src));
+            if !src_ok || !exec.po.contains(src, dst) {
+                return Err(WellFormednessError::MalformedDependency { which, src, dst });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_rmw(exec: &Execution) -> Result<(), WellFormednessError> {
+    for (src, dst) in exec.rmw.iter() {
+        let ok = exec.event(src).is_read()
+            && exec.event(dst).is_write()
+            && exec.po.contains(src, dst)
+            && exec.event(src).loc() == exec.event(dst).loc();
+        if !ok {
+            return Err(WellFormednessError::MalformedRmw { src, dst });
+        }
+    }
+    Ok(())
+}
+
+fn check_rf(exec: &Execution) -> Result<(), WellFormednessError> {
+    for (src, dst) in exec.rf.iter() {
+        let ok = exec.event(src).is_write()
+            && exec.event(dst).is_read()
+            && exec.event(src).loc() == exec.event(dst).loc();
+        if !ok {
+            return Err(WellFormednessError::MalformedReadsFrom { src, dst });
+        }
+    }
+    for r in exec.reads().iter() {
+        if exec.rf.predecessors(r).count() > 1 {
+            return Err(WellFormednessError::MultipleReadsFrom { read: r });
+        }
+    }
+    Ok(())
+}
+
+fn check_co(exec: &Execution) -> Result<(), WellFormednessError> {
+    for (src, dst) in exec.co.iter() {
+        let ok = exec.event(src).is_write()
+            && exec.event(dst).is_write()
+            && exec.event(src).loc() == exec.event(dst).loc()
+            && src != dst;
+        if !ok {
+            return Err(WellFormednessError::MalformedCoherence { src, dst });
+        }
+    }
+    for loc in exec.locations() {
+        let writes = ElemSet::from_iter(
+            exec.len(),
+            exec.writes()
+                .iter()
+                .filter(|&w| exec.event(w).loc() == Some(loc)),
+        );
+        if writes.len() <= 1 {
+            continue;
+        }
+        if !is_strict_total_order_on(&exec.co, &writes) {
+            return Err(WellFormednessError::CoherenceNotTotal { loc });
+        }
+    }
+    Ok(())
+}
+
+fn check_class_relation(
+    exec: &Execution,
+    rel: &Relation,
+    which: &'static str,
+) -> Result<(), WellFormednessError> {
+    if !is_per(rel) {
+        return Err(WellFormednessError::TransactionNotEquivalence { which });
+    }
+    for class in per_classes(rel) {
+        let thread = exec.event(class[0]).thread;
+        if class.iter().any(|&e| exec.event(e).thread != thread) {
+            return Err(WellFormednessError::TransactionCrossThread {
+                which,
+                class: class.clone(),
+            });
+        }
+        // Contiguity: no event po-between two class members may be outside
+        // the class.
+        for &a in &class {
+            for &b in &class {
+                if !exec.po.contains(a, b) {
+                    continue;
+                }
+                for mid in 0..exec.len() {
+                    if exec.po.contains(a, mid)
+                        && exec.po.contains(mid, b)
+                        && !class.contains(&mid)
+                    {
+                        return Err(WellFormednessError::TransactionNotContiguous {
+                            which,
+                            class: class.clone(),
+                            intruder: mid,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_subclass(
+    whole: &Relation,
+    sub: &Relation,
+    which: &'static str,
+) -> Result<(), WellFormednessError> {
+    if !sub.is_subset_of(whole) {
+        return Err(WellFormednessError::SubclassNotAligned { which });
+    }
+    // Every whole-class that intersects sub must be entirely inside sub.
+    for class in per_classes(whole) {
+        let in_sub: Vec<bool> = class.iter().map(|&e| sub.contains(e, e)).collect();
+        if in_sub.iter().any(|&b| b) && !in_sub.iter().all(|&b| b) {
+            return Err(WellFormednessError::SubclassNotAligned { which });
+        }
+    }
+    Ok(())
+}
+
+fn check_crs(exec: &Execution) -> Result<(), WellFormednessError> {
+    for class in exec.cr_classes() {
+        let transactionalised = exec.scrt.contains(class[0], class[0]);
+        let calls: Vec<(usize, LockCall)> = class
+            .iter()
+            .filter_map(|&e| match exec.event(e).kind {
+                crate::EventKind::LockCall(c) => Some((e, c)),
+                _ => None,
+            })
+            .collect();
+        if calls.is_empty() {
+            continue;
+        }
+        let (expected_lock, expected_unlock) = if transactionalised {
+            (LockCall::TxLock, LockCall::TxUnlock)
+        } else {
+            (LockCall::Lock, LockCall::Unlock)
+        };
+        for &(e, c) in &calls {
+            if c != expected_lock && c != expected_unlock {
+                return Err(WellFormednessError::MalformedCriticalRegion {
+                    detail: format!(
+                        "critical region {class:?} mixes lock-call kinds (event {e} is {c})"
+                    ),
+                });
+            }
+        }
+        let locks: Vec<usize> = calls
+            .iter()
+            .filter(|(_, c)| *c == expected_lock)
+            .map(|(e, _)| *e)
+            .collect();
+        let unlocks: Vec<usize> = calls
+            .iter()
+            .filter(|(_, c)| *c == expected_unlock)
+            .map(|(e, _)| *e)
+            .collect();
+        if locks.len() != 1 || unlocks.len() != 1 {
+            return Err(WellFormednessError::MalformedCriticalRegion {
+                detail: format!(
+                    "critical region {class:?} must contain exactly one lock and one unlock call"
+                ),
+            });
+        }
+        if !exec.po.contains(locks[0], unlocks[0]) {
+            return Err(WellFormednessError::MalformedCriticalRegion {
+                detail: format!(
+                    "critical region {class:?}: unlock {} precedes lock {}",
+                    unlocks[0], locks[0]
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, ExecutionBuilder};
+
+    #[test]
+    fn sb_is_well_formed() {
+        let mut b = ExecutionBuilder::new();
+        b.push(Event::write(0, 0));
+        b.push(Event::read(0, 1));
+        b.push(Event::write(1, 1));
+        b.push(Event::read(1, 0));
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_rf_from_read() {
+        let mut b = ExecutionBuilder::new();
+        let r1 = b.push(Event::read(0, 0));
+        let r2 = b.push(Event::read(1, 0));
+        b.rf(r1, r2);
+        assert!(matches!(
+            b.build(),
+            Err(WellFormednessError::MalformedReadsFrom { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rf_across_locations() {
+        let mut b = ExecutionBuilder::new();
+        let w = b.push(Event::write(0, 0));
+        let r = b.push(Event::read(1, 1));
+        b.rf(w, r);
+        assert!(matches!(
+            b.build(),
+            Err(WellFormednessError::MalformedReadsFrom { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_two_rf_sources_for_one_read() {
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.push(Event::write(0, 0));
+        let w2 = b.push(Event::write(1, 0));
+        let r = b.push(Event::read(2, 0));
+        b.rf(w1, r);
+        b.rf(w2, r);
+        b.co(w1, w2);
+        assert!(matches!(
+            b.build(),
+            Err(WellFormednessError::MultipleReadsFrom { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_partial_coherence() {
+        let mut b = ExecutionBuilder::new();
+        b.push(Event::write(0, 0));
+        b.push(Event::write(1, 0));
+        // Two writes to x but no co edge between them.
+        assert!(matches!(
+            b.build(),
+            Err(WellFormednessError::CoherenceNotTotal { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_co_across_locations() {
+        let mut b = ExecutionBuilder::new();
+        let w1 = b.push(Event::write(0, 0));
+        let w2 = b.push(Event::write(1, 1));
+        b.co(w1, w2);
+        assert!(matches!(
+            b.build(),
+            Err(WellFormednessError::MalformedCoherence { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dependency_from_write() {
+        let mut b = ExecutionBuilder::new();
+        let w = b.push(Event::write(0, 0));
+        let r = b.push(Event::read(0, 1));
+        b.data(w, r);
+        assert!(matches!(
+            b.build(),
+            Err(WellFormednessError::MalformedDependency { which: "data", .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_ctrl_from_rmw_write() {
+        // Power: ctrl edges can begin at a store-exclusive (footnote 3).
+        let mut b = ExecutionBuilder::new();
+        let lr = b.push(Event::read(0, 0));
+        let sw = b.push(Event::write(0, 0));
+        let later = b.push(Event::write(0, 1));
+        b.rmw(lr, sw);
+        b.ctrl(sw, later);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_cross_thread_dependency() {
+        let mut b = ExecutionBuilder::new();
+        let r = b.push(Event::read(0, 0));
+        let w = b.push(Event::write(1, 1));
+        b.data(r, w);
+        assert!(matches!(
+            b.build(),
+            Err(WellFormednessError::MalformedDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rmw_across_locations() {
+        let mut b = ExecutionBuilder::new();
+        let r = b.push(Event::read(0, 0));
+        let w = b.push(Event::write(0, 1));
+        b.rmw(r, w);
+        assert!(matches!(
+            b.build(),
+            Err(WellFormednessError::MalformedRmw { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_cross_thread_transaction() {
+        let mut b = ExecutionBuilder::new();
+        let a = b.push(Event::write(0, 0));
+        let c = b.push(Event::read(1, 0));
+        b.txn(&[a, c]);
+        b.rf(a, c);
+        assert!(matches!(
+            b.build(),
+            Err(WellFormednessError::TransactionCrossThread { which: "stxn", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_contiguous_transaction() {
+        let mut b = ExecutionBuilder::new();
+        let a = b.push(Event::write(0, 0));
+        let mid = b.push(Event::read(0, 1));
+        let c = b.push(Event::write(0, 2));
+        b.txn(&[a, c]);
+        let err = b.build().unwrap_err();
+        assert_eq!(
+            err,
+            WellFormednessError::TransactionNotContiguous {
+                which: "stxn",
+                class: vec![a, c],
+                intruder: mid,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_atomic_marker_on_partial_class() {
+        let mut b = ExecutionBuilder::new();
+        let a = b.push(Event::write(0, 0));
+        let c = b.push(Event::read(0, 1));
+        b.txn(&[a, c]);
+        // Manually mis-mark only one event as atomic.
+        let mut exec = b.build_unchecked();
+        exec.stxnat.insert(a, a);
+        assert!(matches!(
+            check_well_formed(&exec),
+            Err(WellFormednessError::SubclassNotAligned { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_lock_calls_in_cr() {
+        let mut b = ExecutionBuilder::new();
+        let l = b.push(Event::lock_call(0, crate::LockCall::Lock));
+        let w = b.push(Event::write(0, 0));
+        let u = b.push(Event::lock_call(0, crate::LockCall::TxUnlock));
+        b.cr(&[l, w, u]);
+        assert!(matches!(
+            b.build(),
+            Err(WellFormednessError::MalformedCriticalRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_matching_transactionalised_cr() {
+        let mut b = ExecutionBuilder::new();
+        let l = b.push(Event::lock_call(0, crate::LockCall::TxLock));
+        let w = b.push(Event::write(0, 0));
+        let u = b.push(Event::lock_call(0, crate::LockCall::TxUnlock));
+        b.txn_cr(&[l, w, u]);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = WellFormednessError::CoherenceNotTotal { loc: Loc(0) };
+        assert!(format!("{err}").contains('x'));
+        let err = WellFormednessError::MultipleReadsFrom { read: 3 };
+        assert!(format!("{err}").contains('3'));
+    }
+}

@@ -1,0 +1,439 @@
+//! The litmus-test abstract syntax tree.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The concrete targets a litmus test can be rendered for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// x86-64 with Intel TSX (`XBEGIN`/`XEND`/`XABORT`).
+    X86,
+    /// Power with `tbegin.`/`tend.`/`tabort.`.
+    Power,
+    /// ARMv8 with the unofficial `TXBEGIN`/`TXEND`/`TXABORT` of the paper.
+    Armv8,
+    /// C++ with `atomic { … }` / `synchronized { … }` transactions.
+    Cpp,
+}
+
+impl Arch {
+    /// All four targets.
+    pub const ALL: [Arch; 4] = [Arch::X86, Arch::Power, Arch::Armv8, Arch::Cpp];
+
+    /// A short stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arch::X86 => "x86",
+            Arch::Power => "power",
+            Arch::Armv8 => "armv8",
+            Arch::Cpp => "cpp",
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A per-thread register, numbered from zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The consistency mode of a memory access.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// A plain, non-atomic access.
+    #[default]
+    Plain,
+    /// A relaxed atomic access (C++) / ordinary load-store (hardware).
+    Relaxed,
+    /// Acquire (C++ `memory_order_acquire`, ARMv8 `LDAR`).
+    Acquire,
+    /// Release (C++ `memory_order_release`, ARMv8 `STLR`).
+    Release,
+    /// Sequentially consistent (C++ `memory_order_seq_cst`).
+    SeqCst,
+}
+
+impl AccessMode {
+    /// A short suffix used by the generic pretty-printer (empty for plain).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            AccessMode::Plain => "",
+            AccessMode::Relaxed => ".rlx",
+            AccessMode::Acquire => ".acq",
+            AccessMode::Release => ".rel",
+            AccessMode::SeqCst => ".sc",
+        }
+    }
+}
+
+/// The kind of a syntactic dependency carried into an instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// Address dependency (the register feeds the address computation).
+    Addr,
+    /// Data dependency (the register feeds the stored value).
+    Data,
+    /// Control dependency (a conditional branch on the register).
+    Ctrl,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::Addr => "addr",
+            DepKind::Data => "data",
+            DepKind::Ctrl => "ctrl",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A dependency annotation: this instruction syntactically depends on the
+/// value previously loaded into `reg`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dep {
+    /// How the dependency is realised.
+    pub kind: DepKind,
+    /// The register carrying the dependency.
+    pub reg: Reg,
+}
+
+/// The fences a litmus test can contain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FenceInstr {
+    /// x86 `MFENCE`.
+    MFence,
+    /// Power `sync`.
+    Sync,
+    /// Power `lwsync`.
+    Lwsync,
+    /// Power `isync`.
+    Isync,
+    /// ARMv8 `DMB ISH`.
+    Dmb,
+    /// ARMv8 `DMB ISHLD`.
+    DmbLd,
+    /// ARMv8 `DMB ISHST`.
+    DmbSt,
+    /// ARMv8 `ISB`.
+    Isb,
+    /// C++ `atomic_thread_fence(seq_cst)`.
+    FenceSc,
+    /// C++ `atomic_thread_fence(acquire)`.
+    FenceAcq,
+    /// C++ `atomic_thread_fence(release)`.
+    FenceRel,
+}
+
+/// One instruction of a litmus-test thread.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Load from `loc` into `reg`.
+    Load {
+        /// Destination register.
+        reg: Reg,
+        /// Source location name.
+        loc: String,
+        /// Consistency mode.
+        mode: AccessMode,
+        /// Optional syntactic dependency on an earlier load.
+        dep: Option<Dep>,
+    },
+    /// Store `value` to `loc`.
+    Store {
+        /// Destination location name.
+        loc: String,
+        /// The (unique, non-zero) value stored.
+        value: u64,
+        /// Consistency mode.
+        mode: AccessMode,
+        /// Optional syntactic dependency on an earlier load.
+        dep: Option<Dep>,
+    },
+    /// An atomic read-modify-write: load `loc` into `reg`, store `value`.
+    /// Rendered as a `LOCK`-prefixed instruction on x86 and an
+    /// exclusive-pair loop on Power/ARMv8.
+    Rmw {
+        /// Destination register for the read half.
+        reg: Reg,
+        /// Location operated on.
+        loc: String,
+        /// Value written by the write half.
+        value: u64,
+        /// Consistency mode (acquire/release apply to the halves).
+        mode: AccessMode,
+    },
+    /// A memory fence.
+    Fence(FenceInstr),
+    /// Begin a transaction; control transfers to the fail handler on abort.
+    TxBegin,
+    /// Commit the current transaction.
+    TxEnd,
+    /// Explicitly abort the current transaction.
+    TxAbort,
+    /// Acquire the mutex named `mutex` (lock-elision tests only).
+    Lock {
+        /// The mutex name.
+        mutex: String,
+        /// True if this `lock()` is to be elided (transactionalised).
+        elided: bool,
+    },
+    /// Release the mutex named `mutex` (lock-elision tests only).
+    Unlock {
+        /// The mutex name.
+        mutex: String,
+        /// True if the matching `lock()` was elided.
+        elided: bool,
+    },
+}
+
+impl Instr {
+    /// The location this instruction accesses, if it is a memory access.
+    pub fn loc(&self) -> Option<&str> {
+        match self {
+            Instr::Load { loc, .. } | Instr::Store { loc, .. } | Instr::Rmw { loc, .. } => {
+                Some(loc)
+            }
+            _ => None,
+        }
+    }
+
+    /// True if this instruction starts or ends a transaction.
+    pub fn is_txn_boundary(&self) -> bool {
+        matches!(self, Instr::TxBegin | Instr::TxEnd | Instr::TxAbort)
+    }
+}
+
+/// One thread of a litmus test.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Thread {
+    /// The instructions, in program order.
+    pub instrs: Vec<Instr>,
+}
+
+impl Thread {
+    /// Creates an empty thread.
+    pub fn new() -> Thread {
+        Thread::default()
+    }
+
+    /// True if the thread contains a transaction.
+    pub fn has_txn(&self) -> bool {
+        self.instrs.iter().any(Instr::is_txn_boundary)
+    }
+}
+
+/// One conjunct of a postcondition.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cond {
+    /// Register `reg` of thread `thread` holds `value` at the end.
+    RegEq {
+        /// Thread index.
+        thread: usize,
+        /// Register.
+        reg: Reg,
+        /// Expected final value.
+        value: u64,
+    },
+    /// Location `loc` holds `value` at the end.
+    LocEq {
+        /// Location name.
+        loc: String,
+        /// Expected final value.
+        value: u64,
+    },
+    /// The transaction on thread `thread` committed successfully (its `ok`
+    /// flag was not zeroed by the fail handler).
+    TxnCommitted {
+        /// Thread index.
+        thread: usize,
+    },
+}
+
+/// The final-state postcondition of a litmus test (a conjunction).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Postcondition {
+    /// The conjuncts; the test "passes" when all hold simultaneously.
+    pub conjuncts: Vec<Cond>,
+}
+
+impl Postcondition {
+    /// The empty (always-true) postcondition.
+    pub fn new() -> Postcondition {
+        Postcondition::default()
+    }
+}
+
+impl fmt::Display for Postcondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conjuncts.is_empty() {
+            return write!(f, "true");
+        }
+        let parts: Vec<String> = self
+            .conjuncts
+            .iter()
+            .map(|c| match c {
+                Cond::RegEq { thread, reg, value } => format!("{thread}:{reg} = {value}"),
+                Cond::LocEq { loc, value } => format!("{loc} = {value}"),
+                Cond::TxnCommitted { thread } => format!("ok{thread} = 1"),
+            })
+            .collect();
+        write!(f, "{}", parts.join(" /\\ "))
+    }
+}
+
+/// The paper's classification of a test relative to a model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expectation {
+    /// The postcondition must never be observable (the test is in a Forbid
+    /// suite).
+    Forbidden,
+    /// The postcondition is permitted by the model (Allow suite).
+    Allowed,
+}
+
+/// A complete litmus test: initial state, threads, and postcondition.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LitmusTest {
+    /// A short name (unique within a suite).
+    pub name: String,
+    /// Initial values for locations not starting at zero.
+    pub init: Vec<(String, u64)>,
+    /// The threads.
+    pub threads: Vec<Thread>,
+    /// The final-state condition identifying the execution of interest.
+    pub post: Postcondition,
+    /// The verdict of the generating model, if the test came from synthesis.
+    pub expectation: Option<Expectation>,
+}
+
+impl LitmusTest {
+    /// Creates an empty test with the given name.
+    pub fn new(name: impl Into<String>) -> LitmusTest {
+        LitmusTest {
+            name: name.into(),
+            init: Vec::new(),
+            threads: Vec::new(),
+            post: Postcondition::new(),
+            expectation: None,
+        }
+    }
+
+    /// The distinct locations mentioned anywhere in the test.
+    pub fn locations(&self) -> Vec<String> {
+        let mut locs: Vec<String> = self
+            .threads
+            .iter()
+            .flat_map(|t| t.instrs.iter())
+            .filter_map(|i| i.loc().map(str::to_string))
+            .collect();
+        for (l, _) in &self.init {
+            locs.push(l.clone());
+        }
+        locs.sort();
+        locs.dedup();
+        locs
+    }
+
+    /// True if any thread contains a transaction.
+    pub fn has_txn(&self) -> bool {
+        self.threads.iter().any(Thread::has_txn)
+    }
+
+    /// Total number of instructions across all threads.
+    pub fn instr_count(&self) -> usize {
+        self.threads.iter().map(|t| t.instrs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_names_are_stable() {
+        assert_eq!(Arch::X86.name(), "x86");
+        assert_eq!(Arch::Armv8.to_string(), "armv8");
+        assert_eq!(Arch::ALL.len(), 4);
+    }
+
+    #[test]
+    fn postcondition_renders_as_conjunction() {
+        let post = Postcondition {
+            conjuncts: vec![
+                Cond::RegEq {
+                    thread: 1,
+                    reg: Reg(0),
+                    value: 2,
+                },
+                Cond::LocEq {
+                    loc: "x".into(),
+                    value: 2,
+                },
+                Cond::TxnCommitted { thread: 0 },
+            ],
+        };
+        assert_eq!(post.to_string(), "1:r0 = 2 /\\ x = 2 /\\ ok0 = 1");
+        assert_eq!(Postcondition::new().to_string(), "true");
+    }
+
+    #[test]
+    fn test_collects_locations_and_txn_presence() {
+        let mut t = LitmusTest::new("demo");
+        t.threads.push(Thread {
+            instrs: vec![
+                Instr::TxBegin,
+                Instr::Store {
+                    loc: "x".into(),
+                    value: 1,
+                    mode: AccessMode::Plain,
+                    dep: None,
+                },
+                Instr::TxEnd,
+            ],
+        });
+        t.threads.push(Thread {
+            instrs: vec![Instr::Load {
+                reg: Reg(0),
+                loc: "y".into(),
+                mode: AccessMode::Acquire,
+                dep: None,
+            }],
+        });
+        assert_eq!(t.locations(), vec!["x".to_string(), "y".to_string()]);
+        assert!(t.has_txn());
+        assert_eq!(t.instr_count(), 4);
+    }
+
+    #[test]
+    fn instr_helpers() {
+        let store = Instr::Store {
+            loc: "x".into(),
+            value: 1,
+            mode: AccessMode::Release,
+            dep: None,
+        };
+        assert_eq!(store.loc(), Some("x"));
+        assert!(!store.is_txn_boundary());
+        assert!(Instr::TxBegin.is_txn_boundary());
+        assert_eq!(Instr::Fence(FenceInstr::Sync).loc(), None);
+    }
+
+    #[test]
+    fn access_mode_suffixes() {
+        assert_eq!(AccessMode::Plain.suffix(), "");
+        assert_eq!(AccessMode::SeqCst.suffix(), ".sc");
+        assert_eq!(AccessMode::default(), AccessMode::Plain);
+    }
+}

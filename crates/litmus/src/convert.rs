@@ -1,0 +1,378 @@
+//! Converting candidate executions into litmus tests (§2.2, §3.2).
+
+use std::collections::HashMap;
+
+use tm_exec::{Event, EventKind, Execution, Fence, LockCall};
+
+use crate::{AccessMode, Cond, Dep, DepKind, FenceInstr, Instr, LitmusTest, Postcondition, Reg, Thread};
+
+/// Converts an execution into a litmus test whose postcondition passes
+/// exactly when the execution of interest has been taken.
+///
+/// Following §2.2:
+///
+/// * every store writes a unique non-zero value (we number the writes to
+///   each location in coherence order, so the final-value conjunct also
+///   pins down the co-maximal write);
+/// * every read gets a fresh register, and the postcondition asserts it
+///   holds the value of the write it observes (or `0` for reads of the
+///   initial state);
+/// * following §3.2, transactional events are wrapped in `txbegin`/`txend`
+///   and the postcondition asserts the transaction committed;
+/// * dependencies become syntactic dependency annotations on the target
+///   instruction, and RMW pairs collapse into a single RMW instruction;
+/// * lock-elision call events (`L`, `U`, `Lᵗ`, `Uᵗ`) become `lock()` /
+///   `unlock()` pseudo-instructions marked as elided or not.
+///
+/// With more than two writes to one location, fully pinning down `co` would
+/// need extra observer constraints (footnote 2 of the paper); we reproduce
+/// the paper's construction, which constrains the co-maximal write only.
+///
+/// # Examples
+///
+/// ```
+/// use tm_exec::catalog;
+/// use tm_litmus::from_execution;
+///
+/// let test = from_execution(&catalog::fig2(), "fig2");
+/// assert_eq!(test.threads.len(), 2);
+/// assert!(test.has_txn());
+/// assert_eq!(test.post.to_string(), "0:r0 = 2 /\\ x = 2 /\\ ok0 = 1");
+/// ```
+pub fn from_execution(exec: &Execution, name: &str) -> LitmusTest {
+    let mut test = LitmusTest::new(name);
+    let n = exec.len();
+
+    // 1. Unique non-zero values for writes, in coherence order per location.
+    let mut value_of: HashMap<usize, u64> = HashMap::new();
+    for loc in exec.locations() {
+        let mut writes: Vec<usize> = exec
+            .writes()
+            .iter()
+            .filter(|&w| exec.event(w).loc() == Some(loc))
+            .collect();
+        // co is a strict total order on these writes: sort by number of
+        // co-predecessors among them.
+        writes.sort_by_key(|&w| exec.co.predecessors(w).count());
+        for (i, w) in writes.iter().enumerate() {
+            value_of.insert(*w, (i + 1) as u64);
+        }
+    }
+
+    // 2. Fresh registers for reads (numbered per thread), reusing the same
+    //    register for the read half of an RMW.
+    let mut reg_of: HashMap<usize, Reg> = HashMap::new();
+    let mut next_reg: HashMap<u32, u32> = HashMap::new();
+    for e in 0..n {
+        if exec.event(e).is_read() {
+            let t = exec.event(e).thread.0;
+            let r = next_reg.entry(t).or_insert(0);
+            reg_of.insert(e, Reg(*r));
+            *r += 1;
+        }
+    }
+
+    // RMW pairing: the write half is folded into the read half's instruction
+    // when the two are adjacent in program order.
+    let rmw_write_of_read: HashMap<usize, usize> = exec.rmw.iter().collect();
+    let rmw_writes: Vec<usize> = rmw_write_of_read.values().copied().collect();
+
+    // Dependency annotations: first incoming dependency edge wins.
+    let mut dep_of: HashMap<usize, Dep> = HashMap::new();
+    for (kind, rel) in [
+        (DepKind::Addr, &exec.addr),
+        (DepKind::Data, &exec.data),
+        (DepKind::Ctrl, &exec.ctrl),
+    ] {
+        for (src, dst) in rel.iter() {
+            if let Some(&reg) = reg_of.get(&src) {
+                dep_of.entry(dst).or_insert(Dep { kind, reg });
+            }
+        }
+    }
+
+    // Transaction boundaries: for each txn class, note its first and last
+    // event in program order.
+    let mut txn_first: HashMap<usize, ()> = HashMap::new();
+    let mut txn_last: HashMap<usize, ()> = HashMap::new();
+    for class in exec.txn_classes() {
+        let first = *class
+            .iter()
+            .min_by_key(|&&e| exec.po.predecessors(e).count())
+            .expect("transaction classes are non-empty");
+        let last = *class
+            .iter()
+            .max_by_key(|&&e| exec.po.predecessors(e).count())
+            .expect("transaction classes are non-empty");
+        txn_first.insert(first, ());
+        txn_last.insert(last, ());
+    }
+
+    // 3. Emit threads in program order.
+    let thread_count = exec.thread_count();
+    let mut threads_with_txn: Vec<usize> = Vec::new();
+    for t in 0..thread_count {
+        let mut thread = Thread::new();
+        let mut ids: Vec<usize> = (0..n)
+            .filter(|&e| exec.event(e).thread.0 as usize == t)
+            .collect();
+        ids.sort_by_key(|&e| exec.po.predecessors(e).count());
+        for e in ids {
+            if txn_first.contains_key(&e) {
+                thread.instrs.push(Instr::TxBegin);
+                if !threads_with_txn.contains(&t) {
+                    threads_with_txn.push(t);
+                }
+            }
+            if let Some(instr) = instr_for_event(exec, e, &value_of, &reg_of, &dep_of, &rmw_write_of_read, &rmw_writes) {
+                thread.instrs.push(instr);
+            }
+            if txn_last.contains_key(&e) {
+                thread.instrs.push(Instr::TxEnd);
+            }
+        }
+        test.threads.push(thread);
+    }
+
+    // 4. Postcondition.
+    let mut post = Postcondition::new();
+    for r in exec.reads().iter() {
+        // The read half of an RMW still constrains its register.
+        let observed = exec
+            .rf
+            .predecessors(r)
+            .next()
+            .map(|w| value_of[&w])
+            .unwrap_or(0);
+        post.conjuncts.push(Cond::RegEq {
+            thread: exec.event(r).thread.0 as usize,
+            reg: reg_of[&r],
+            value: observed,
+        });
+    }
+    for loc in exec.locations() {
+        let co_max = exec
+            .writes()
+            .iter()
+            .filter(|&w| exec.event(w).loc() == Some(loc))
+            .max_by_key(|&w| exec.co.predecessors(w).count());
+        if let Some(w) = co_max {
+            post.conjuncts.push(Cond::LocEq {
+                loc: loc.name(),
+                value: value_of[&w],
+            });
+        }
+    }
+    for t in threads_with_txn {
+        post.conjuncts.push(Cond::TxnCommitted { thread: t });
+    }
+    test.post = post;
+    test
+}
+
+fn instr_for_event(
+    exec: &Execution,
+    e: usize,
+    value_of: &HashMap<usize, u64>,
+    reg_of: &HashMap<usize, Reg>,
+    dep_of: &HashMap<usize, Dep>,
+    rmw_write_of_read: &HashMap<usize, usize>,
+    rmw_writes: &[usize],
+) -> Option<Instr> {
+    let event: &Event = exec.event(e);
+    let mode = mode_of(event);
+    let dep = dep_of.get(&e).copied();
+    match event.kind {
+        EventKind::Read(loc) => {
+            if let Some(&w) = rmw_write_of_read.get(&e) {
+                // Fold the RMW pair into one instruction.
+                return Some(Instr::Rmw {
+                    reg: reg_of[&e],
+                    loc: loc.name(),
+                    value: value_of[&w],
+                    mode,
+                });
+            }
+            Some(Instr::Load {
+                reg: reg_of[&e],
+                loc: loc.name(),
+                mode,
+                dep,
+            })
+        }
+        EventKind::Write(loc) => {
+            if rmw_writes.contains(&e) {
+                // Emitted as part of the read half.
+                return None;
+            }
+            Some(Instr::Store {
+                loc: loc.name(),
+                value: value_of[&e],
+                mode,
+                dep,
+            })
+        }
+        EventKind::Fence(f) => Some(Instr::Fence(fence_instr(f))),
+        EventKind::LockCall(c) => Some(match c {
+            LockCall::Lock => Instr::Lock {
+                mutex: "m".to_string(),
+                elided: false,
+            },
+            LockCall::Unlock => Instr::Unlock {
+                mutex: "m".to_string(),
+                elided: false,
+            },
+            LockCall::TxLock => Instr::Lock {
+                mutex: "m".to_string(),
+                elided: true,
+            },
+            LockCall::TxUnlock => Instr::Unlock {
+                mutex: "m".to_string(),
+                elided: true,
+            },
+        }),
+    }
+}
+
+fn mode_of(event: &Event) -> AccessMode {
+    if event.annot.sc {
+        AccessMode::SeqCst
+    } else if event.annot.acq {
+        AccessMode::Acquire
+    } else if event.annot.rel {
+        AccessMode::Release
+    } else if event.annot.atomic {
+        AccessMode::Relaxed
+    } else {
+        AccessMode::Plain
+    }
+}
+
+fn fence_instr(f: Fence) -> FenceInstr {
+    match f {
+        Fence::MFence => FenceInstr::MFence,
+        Fence::Sync => FenceInstr::Sync,
+        Fence::Lwsync => FenceInstr::Lwsync,
+        Fence::Isync => FenceInstr::Isync,
+        Fence::Dmb => FenceInstr::Dmb,
+        Fence::DmbLd => FenceInstr::DmbLd,
+        Fence::DmbSt => FenceInstr::DmbSt,
+        Fence::Isb => FenceInstr::Isb,
+        Fence::FenceSc => FenceInstr::FenceSc,
+        Fence::FenceAcq => FenceInstr::FenceAcq,
+        Fence::FenceRel => FenceInstr::FenceRel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::catalog;
+
+    #[test]
+    fn fig1_matches_the_paper_construction() {
+        let test = from_execution(&catalog::fig1(), "fig1");
+        assert_eq!(test.threads.len(), 2);
+        // Thread 0 is the single store of 1; thread 1 loads then stores 2.
+        assert_eq!(test.threads[0].instrs.len(), 1);
+        assert_eq!(test.threads[1].instrs.len(), 2);
+        assert_eq!(test.post.to_string(), "1:r0 = 2 /\\ x = 2");
+        assert!(!test.has_txn());
+    }
+
+    #[test]
+    fn fig2_wraps_the_transaction_and_checks_ok() {
+        let test = from_execution(&catalog::fig2(), "fig2");
+        let t0 = &test.threads[0].instrs;
+        assert!(matches!(t0[0], Instr::TxBegin));
+        assert!(matches!(t0.last().unwrap(), Instr::TxEnd));
+        assert!(test
+            .post
+            .conjuncts
+            .contains(&Cond::TxnCommitted { thread: 0 }));
+    }
+
+    #[test]
+    fn reads_of_initial_state_expect_zero() {
+        let test = from_execution(&catalog::sb(), "sb");
+        for c in &test.post.conjuncts {
+            if let Cond::RegEq { value, .. } = c {
+                assert_eq!(*value, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn writes_get_unique_values_in_coherence_order() {
+        let test = from_execution(&catalog::fig3('d'), "fig3d");
+        // Three writes to x, co-ordered w1 -> w -> w2: values 1, 2, 3; the
+        // final value is the co-maximal write's.
+        let mut values: Vec<u64> = test
+            .threads
+            .iter()
+            .flat_map(|t| t.instrs.iter())
+            .filter_map(|i| match i {
+                Instr::Store { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![1, 2, 3]);
+        assert!(test.post.conjuncts.contains(&Cond::LocEq {
+            loc: "x".into(),
+            value: 3
+        }));
+    }
+
+    #[test]
+    fn rmw_pairs_collapse_into_one_instruction() {
+        let test = from_execution(&catalog::monotonicity_cex_coalesced(), "rmw");
+        let instrs = &test.threads[0].instrs;
+        let rmw_count = instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Rmw { .. }))
+            .count();
+        assert_eq!(rmw_count, 1);
+        // No separate store remains.
+        assert!(!instrs.iter().any(|i| matches!(i, Instr::Store { .. })));
+    }
+
+    #[test]
+    fn dependencies_are_annotated() {
+        let test = from_execution(&catalog::wrc(), "wrc");
+        let deps: Vec<&Dep> = test
+            .threads
+            .iter()
+            .flat_map(|t| t.instrs.iter())
+            .filter_map(|i| match i {
+                Instr::Load { dep: Some(d), .. } | Instr::Store { dep: Some(d), .. } => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deps.len(), 2);
+        assert!(deps.iter().any(|d| d.kind == DepKind::Data));
+        assert!(deps.iter().any(|d| d.kind == DepKind::Addr));
+    }
+
+    #[test]
+    fn lock_calls_become_lock_unlock_instructions() {
+        let test = from_execution(&catalog::fig10_abstract(), "fig10");
+        let t0 = &test.threads[0].instrs;
+        assert!(matches!(t0[0], Instr::Lock { elided: false, .. }));
+        assert!(matches!(t0.last().unwrap(), Instr::Unlock { elided: false, .. }));
+        let t1 = &test.threads[1].instrs;
+        assert!(matches!(t1[0], Instr::Lock { elided: true, .. }));
+    }
+
+    #[test]
+    fn fences_survive_conversion() {
+        let test = from_execution(&catalog::sb_mfence(), "sb+mfences");
+        let fences = test
+            .threads
+            .iter()
+            .flat_map(|t| t.instrs.iter())
+            .filter(|i| matches!(i, Instr::Fence(FenceInstr::MFence)))
+            .count();
+        assert_eq!(fences, 2);
+    }
+}

@@ -1,0 +1,452 @@
+//! A compact line-oriented text format for litmus-test suites.
+//!
+//! Synthesised Forbid/Allow suites are saved in this format (one file can
+//! hold many tests) and can be read back for simulation runs. The format is
+//! deliberately simple — one instruction per line — so that diffs between
+//! suites are reviewable.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::{AccessMode, Cond, Dep, DepKind, Expectation, FenceInstr, Instr, LitmusTest, Postcondition, Reg, Thread};
+
+/// An error produced while parsing the litmus text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Serialises one litmus test into the text format.
+pub fn to_text(test: &LitmusTest) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "test {}", test.name);
+    match test.expectation {
+        Some(Expectation::Forbidden) => {
+            let _ = writeln!(out, "expect forbidden");
+        }
+        Some(Expectation::Allowed) => {
+            let _ = writeln!(out, "expect allowed");
+        }
+        None => {}
+    }
+    if !test.init.is_empty() {
+        let pairs: Vec<String> = test
+            .init
+            .iter()
+            .map(|(l, v)| format!("{l}={v}"))
+            .collect();
+        let _ = writeln!(out, "init {}", pairs.join(" "));
+    }
+    for (i, thread) in test.threads.iter().enumerate() {
+        let _ = writeln!(out, "thread {i}");
+        for instr in &thread.instrs {
+            let _ = writeln!(out, "  {}", instr_to_text(instr));
+        }
+        let _ = writeln!(out, "end");
+    }
+    let conds: Vec<String> = test
+        .post
+        .conjuncts
+        .iter()
+        .map(|c| match c {
+            Cond::RegEq { thread, reg, value } => format!("{thread}:{reg}={value}"),
+            Cond::LocEq { loc, value } => format!("{loc}={value}"),
+            Cond::TxnCommitted { thread } => format!("ok{thread}=1"),
+        })
+        .collect();
+    let _ = writeln!(out, "post {}", conds.join(" & "));
+    let _ = writeln!(out, "endtest");
+    out
+}
+
+/// Serialises a whole suite, separated by blank lines.
+pub fn suite_to_text<'a, I: IntoIterator<Item = &'a LitmusTest>>(tests: I) -> String {
+    tests
+        .into_iter()
+        .map(to_text)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn instr_to_text(instr: &Instr) -> String {
+    match instr {
+        Instr::Load { reg, loc, mode, dep } => {
+            format!("load {reg} {loc} {}{}", mode_name(*mode), dep_text(dep))
+        }
+        Instr::Store { loc, value, mode, dep } => {
+            format!("store {loc} {value} {}{}", mode_name(*mode), dep_text(dep))
+        }
+        Instr::Rmw { reg, loc, value, mode } => {
+            format!("rmw {reg} {loc} {value} {}", mode_name(*mode))
+        }
+        Instr::Fence(f) => format!("fence {}", fence_text(*f)),
+        Instr::TxBegin => "txbegin".to_string(),
+        Instr::TxEnd => "txend".to_string(),
+        Instr::TxAbort => "txabort".to_string(),
+        Instr::Lock { mutex, elided } => {
+            if *elided {
+                format!("lock {mutex} elided")
+            } else {
+                format!("lock {mutex}")
+            }
+        }
+        Instr::Unlock { mutex, elided } => {
+            if *elided {
+                format!("unlock {mutex} elided")
+            } else {
+                format!("unlock {mutex}")
+            }
+        }
+    }
+}
+
+fn dep_text(dep: &Option<Dep>) -> String {
+    match dep {
+        Some(d) => format!(" {}={}", d.kind, d.reg),
+        None => String::new(),
+    }
+}
+
+fn mode_name(mode: AccessMode) -> &'static str {
+    match mode {
+        AccessMode::Plain => "plain",
+        AccessMode::Relaxed => "rlx",
+        AccessMode::Acquire => "acq",
+        AccessMode::Release => "rel",
+        AccessMode::SeqCst => "sc",
+    }
+}
+
+fn fence_text(f: FenceInstr) -> &'static str {
+    match f {
+        FenceInstr::MFence => "mfence",
+        FenceInstr::Sync => "sync",
+        FenceInstr::Lwsync => "lwsync",
+        FenceInstr::Isync => "isync",
+        FenceInstr::Dmb => "dmb",
+        FenceInstr::DmbLd => "dmbld",
+        FenceInstr::DmbSt => "dmbst",
+        FenceInstr::Isb => "isb",
+        FenceInstr::FenceSc => "fence_sc",
+        FenceInstr::FenceAcq => "fence_acq",
+        FenceInstr::FenceRel => "fence_rel",
+    }
+}
+
+/// Parses a suite of litmus tests from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the first malformed line.
+pub fn parse_suite(text: &str) -> Result<Vec<LitmusTest>, ParseError> {
+    let mut tests = Vec::new();
+    let mut current: Option<LitmusTest> = None;
+    let mut current_thread: Option<Thread> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| ParseError {
+            line: lineno,
+            message,
+        };
+        let mut words = line.split_whitespace();
+        let keyword = words.next().unwrap_or_default();
+        let rest: Vec<&str> = words.collect();
+
+        match keyword {
+            "test" => {
+                if current.is_some() {
+                    return Err(err("nested 'test' (missing 'endtest'?)".into()));
+                }
+                current = Some(LitmusTest::new(rest.join(" ")));
+            }
+            "expect" => {
+                let t = current.as_mut().ok_or_else(|| err("'expect' outside a test".into()))?;
+                t.expectation = Some(match rest.first().copied() {
+                    Some("forbidden") => Expectation::Forbidden,
+                    Some("allowed") => Expectation::Allowed,
+                    other => return Err(err(format!("unknown expectation {other:?}"))),
+                });
+            }
+            "init" => {
+                let t = current.as_mut().ok_or_else(|| err("'init' outside a test".into()))?;
+                for pair in &rest {
+                    let (loc, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("bad init binding {pair:?}")))?;
+                    let value = v
+                        .parse()
+                        .map_err(|_| err(format!("bad init value {v:?}")))?;
+                    t.init.push((loc.to_string(), value));
+                }
+            }
+            "thread" => {
+                if current.is_none() {
+                    return Err(err("'thread' outside a test".into()));
+                }
+                if current_thread.is_some() {
+                    return Err(err("nested 'thread' (missing 'end'?)".into()));
+                }
+                current_thread = Some(Thread::new());
+            }
+            "end" => {
+                let thread = current_thread
+                    .take()
+                    .ok_or_else(|| err("'end' without a 'thread'".into()))?;
+                current
+                    .as_mut()
+                    .expect("checked when the thread was opened")
+                    .threads
+                    .push(thread);
+            }
+            "post" => {
+                let t = current.as_mut().ok_or_else(|| err("'post' outside a test".into()))?;
+                t.post = parse_post(&rest.join(" ")).map_err(|m| err(m))?;
+            }
+            "endtest" => {
+                if current_thread.is_some() {
+                    return Err(err("'endtest' with an unclosed thread".into()));
+                }
+                let t = current
+                    .take()
+                    .ok_or_else(|| err("'endtest' without a 'test'".into()))?;
+                tests.push(t);
+            }
+            _ => {
+                let thread = current_thread
+                    .as_mut()
+                    .ok_or_else(|| err(format!("instruction {keyword:?} outside a thread")))?;
+                thread
+                    .instrs
+                    .push(parse_instr(keyword, &rest).map_err(|m| err(m))?);
+            }
+        }
+    }
+    if current.is_some() {
+        return Err(ParseError {
+            line: text.lines().count(),
+            message: "unterminated test (missing 'endtest')".into(),
+        });
+    }
+    Ok(tests)
+}
+
+fn parse_instr(keyword: &str, rest: &[&str]) -> Result<Instr, String> {
+    let parse_reg = |s: &str| -> Result<Reg, String> {
+        s.strip_prefix('r')
+            .and_then(|n| n.parse().ok())
+            .map(Reg)
+            .ok_or_else(|| format!("bad register {s:?}"))
+    };
+    let parse_mode = |s: Option<&&str>| -> Result<AccessMode, String> {
+        match s.copied() {
+            None | Some("plain") => Ok(AccessMode::Plain),
+            Some("rlx") => Ok(AccessMode::Relaxed),
+            Some("acq") => Ok(AccessMode::Acquire),
+            Some("rel") => Ok(AccessMode::Release),
+            Some("sc") => Ok(AccessMode::SeqCst),
+            Some(other) => Err(format!("unknown access mode {other:?}")),
+        }
+    };
+    let parse_dep = |s: Option<&&str>| -> Result<Option<Dep>, String> {
+        match s {
+            None => Ok(None),
+            Some(spec) => {
+                let (kind, reg) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad dependency {spec:?}"))?;
+                let kind = match kind {
+                    "addr" => DepKind::Addr,
+                    "data" => DepKind::Data,
+                    "ctrl" => DepKind::Ctrl,
+                    other => return Err(format!("unknown dependency kind {other:?}")),
+                };
+                Ok(Some(Dep {
+                    kind,
+                    reg: parse_reg(reg)?,
+                }))
+            }
+        }
+    };
+    match keyword {
+        "load" => Ok(Instr::Load {
+            reg: parse_reg(rest.first().ok_or("load needs a register")?)?,
+            loc: rest.get(1).ok_or("load needs a location")?.to_string(),
+            mode: parse_mode(rest.get(2))?,
+            dep: parse_dep(rest.get(3))?,
+        }),
+        "store" => Ok(Instr::Store {
+            loc: rest.first().ok_or("store needs a location")?.to_string(),
+            value: rest
+                .get(1)
+                .and_then(|v| v.parse().ok())
+                .ok_or("store needs a value")?,
+            mode: parse_mode(rest.get(2))?,
+            dep: parse_dep(rest.get(3))?,
+        }),
+        "rmw" => Ok(Instr::Rmw {
+            reg: parse_reg(rest.first().ok_or("rmw needs a register")?)?,
+            loc: rest.get(1).ok_or("rmw needs a location")?.to_string(),
+            value: rest
+                .get(2)
+                .and_then(|v| v.parse().ok())
+                .ok_or("rmw needs a value")?,
+            mode: parse_mode(rest.get(3))?,
+        }),
+        "fence" => {
+            let f = match rest.first().copied() {
+                Some("mfence") => FenceInstr::MFence,
+                Some("sync") => FenceInstr::Sync,
+                Some("lwsync") => FenceInstr::Lwsync,
+                Some("isync") => FenceInstr::Isync,
+                Some("dmb") => FenceInstr::Dmb,
+                Some("dmbld") => FenceInstr::DmbLd,
+                Some("dmbst") => FenceInstr::DmbSt,
+                Some("isb") => FenceInstr::Isb,
+                Some("fence_sc") => FenceInstr::FenceSc,
+                Some("fence_acq") => FenceInstr::FenceAcq,
+                Some("fence_rel") => FenceInstr::FenceRel,
+                other => return Err(format!("unknown fence {other:?}")),
+            };
+            Ok(Instr::Fence(f))
+        }
+        "txbegin" => Ok(Instr::TxBegin),
+        "txend" => Ok(Instr::TxEnd),
+        "txabort" => Ok(Instr::TxAbort),
+        "lock" => Ok(Instr::Lock {
+            mutex: rest.first().ok_or("lock needs a mutex")?.to_string(),
+            elided: rest.get(1) == Some(&"elided"),
+        }),
+        "unlock" => Ok(Instr::Unlock {
+            mutex: rest.first().ok_or("unlock needs a mutex")?.to_string(),
+            elided: rest.get(1) == Some(&"elided"),
+        }),
+        other => Err(format!("unknown instruction {other:?}")),
+    }
+}
+
+fn parse_post(text: &str) -> Result<Postcondition, String> {
+    let mut post = Postcondition::new();
+    for part in text.split('&') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (lhs, rhs) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad condition {part:?}"))?;
+        let (lhs, rhs) = (lhs.trim(), rhs.trim());
+        let value: u64 = rhs.parse().map_err(|_| format!("bad value {rhs:?}"))?;
+        if let Some((thread, reg)) = lhs.split_once(':') {
+            let thread = thread
+                .parse()
+                .map_err(|_| format!("bad thread index {thread:?}"))?;
+            let reg = reg
+                .strip_prefix('r')
+                .and_then(|n| n.parse().ok())
+                .map(Reg)
+                .ok_or_else(|| format!("bad register {reg:?}"))?;
+            post.conjuncts.push(Cond::RegEq { thread, reg, value });
+        } else if let Some(t) = lhs.strip_prefix("ok") {
+            let thread = t.parse().map_err(|_| format!("bad ok index {t:?}"))?;
+            post.conjuncts.push(Cond::TxnCommitted { thread });
+        } else {
+            post.conjuncts.push(Cond::LocEq {
+                loc: lhs.to_string(),
+                value,
+            });
+        }
+    }
+    Ok(post)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_execution;
+    use tm_exec::catalog;
+
+    #[test]
+    fn roundtrip_preserves_generated_tests() {
+        for (exec, name) in [
+            (catalog::sb(), "sb"),
+            (catalog::fig2(), "fig2"),
+            (catalog::wrc(), "wrc"),
+            (catalog::mp_txn(), "mp+txn"),
+            (catalog::monotonicity_cex_coalesced(), "rmw-txn"),
+            (catalog::fig10_abstract(), "fig10"),
+            (catalog::sb_mfence(), "sb+mfence"),
+        ] {
+            let mut test = from_execution(&exec, name);
+            test.expectation = Some(Expectation::Forbidden);
+            let text = to_text(&test);
+            let parsed = parse_suite(&text).expect("generated text must parse");
+            assert_eq!(parsed.len(), 1);
+            assert_eq!(parsed[0], test, "roundtrip failed for {name}");
+        }
+    }
+
+    #[test]
+    fn suite_roundtrip() {
+        let a = from_execution(&catalog::sb(), "sb");
+        let b = from_execution(&catalog::mp(), "mp");
+        let text = suite_to_text([&a, &b]);
+        let parsed = parse_suite(&text).unwrap();
+        assert_eq!(parsed, vec![a, b]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a comment\n\ntest t\nthread 0\n  store x 1 plain\nend\npost x=1\nendtest\n";
+        let parsed = parse_suite(text).unwrap();
+        assert_eq!(parsed[0].name, "t");
+        assert_eq!(parsed[0].threads.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "test t\nthread 0\n  bogus r0 x\nend\npost x=1\nendtest\n";
+        let err = parse_suite(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn unterminated_test_is_rejected() {
+        let err = parse_suite("test t\nthread 0\nend\n").unwrap_err();
+        assert!(err.message.contains("endtest"));
+    }
+
+    #[test]
+    fn instruction_outside_thread_is_rejected() {
+        let err = parse_suite("test t\nstore x 1\nendtest\n").unwrap_err();
+        assert!(err.message.contains("outside a thread"));
+    }
+
+    #[test]
+    fn post_parsing_handles_all_condition_kinds() {
+        let text = "test t\nthread 0\n  load r0 x acq\n  txbegin\n  store y 1 rel\n  txend\nend\npost 0:r0=2 & y=1 & ok0=1\nendtest\n";
+        let parsed = parse_suite(text).unwrap();
+        assert_eq!(parsed[0].post.conjuncts.len(), 3);
+        assert!(parsed[0]
+            .post
+            .conjuncts
+            .contains(&Cond::TxnCommitted { thread: 0 }));
+    }
+}

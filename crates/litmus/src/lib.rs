@@ -1,0 +1,44 @@
+//! Litmus tests for transactional weak-memory models.
+//!
+//! This crate provides the litmus-test layer of the paper's toolflow:
+//!
+//! * a small cross-architecture program AST ([`LitmusTest`], [`Thread`],
+//!   [`Instr`]) covering loads, stores, fences, RMWs, transactions and the
+//!   `lock()`/`unlock()` pseudo-calls used for lock-elision checking;
+//! * [`from_execution`], the §2.2/§3.2 construction that turns a candidate
+//!   execution into a litmus test whose postcondition passes exactly when
+//!   that execution was taken;
+//! * [`render`], per-architecture pretty-printers (x86/TSX, Power, ARMv8
+//!   with the unofficial TM instructions, C++);
+//! * a line-oriented text format ([`to_text`], [`parse_suite`]) for saving
+//!   and reloading synthesised Forbid/Allow suites; and
+//! * a catalog of the hand-written programs of Example 1.1 and Appendix B.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tm_exec::catalog;
+//! use tm_litmus::{from_execution, render, Arch};
+//!
+//! let test = from_execution(&catalog::power_wrc_tprop1(), "wrc+txn");
+//! println!("{test}");                       // generic pseudocode
+//! println!("{}", render(&test, Arch::Power)); // Power assembly
+//! assert!(render(&test, Arch::Power).contains("tbegin."));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+pub mod catalog;
+mod convert;
+mod format;
+mod print;
+
+pub use ast::{
+    AccessMode, Arch, Cond, Dep, DepKind, Expectation, FenceInstr, Instr, LitmusTest,
+    Postcondition, Reg, Thread,
+};
+pub use convert::from_execution;
+pub use format::{parse_suite, suite_to_text, to_text, ParseError};
+pub use print::render;

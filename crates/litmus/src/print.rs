@@ -1,0 +1,436 @@
+//! Rendering litmus tests as generic pseudocode and per-architecture
+//! assembly / C++.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::{AccessMode, Arch, Dep, DepKind, FenceInstr, Instr, LitmusTest, Reg, Thread};
+
+impl fmt::Display for LitmusTest {
+    /// Generic pseudocode rendering, in the style of the paper's examples.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{ {} }}", self.name)?;
+        let init: Vec<String> = self
+            .locations()
+            .iter()
+            .map(|l| {
+                let v = self
+                    .init
+                    .iter()
+                    .find(|(n, _)| n == l)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                format!("{l} = {v}")
+            })
+            .collect();
+        writeln!(f, "Initially: {}", init.join(", "))?;
+        for (i, t) in self.threads.iter().enumerate() {
+            writeln!(f, "P{i}:")?;
+            for instr in &t.instrs {
+                writeln!(f, "  {}", pseudo(instr))?;
+            }
+        }
+        writeln!(f, "Test: {}", self.post)
+    }
+}
+
+fn pseudo(instr: &Instr) -> String {
+    match instr {
+        Instr::Load { reg, loc, mode, dep } => {
+            format!("{reg} <- load{}({loc}){}", mode.suffix(), dep_note(dep))
+        }
+        Instr::Store { loc, value, mode, dep } => {
+            format!("store{}({loc}, {value}){}", mode.suffix(), dep_note(dep))
+        }
+        Instr::Rmw { reg, loc, value, mode } => {
+            format!("{reg} <- rmw{}({loc}, {value})", mode.suffix())
+        }
+        Instr::Fence(f) => format!("fence({})", fence_name(*f)),
+        Instr::TxBegin => "txbegin".to_string(),
+        Instr::TxEnd => "txend".to_string(),
+        Instr::TxAbort => "txabort".to_string(),
+        Instr::Lock { mutex, elided } => {
+            if *elided {
+                format!("lock({mutex})  // elided")
+            } else {
+                format!("lock({mutex})")
+            }
+        }
+        Instr::Unlock { mutex, elided } => {
+            if *elided {
+                format!("unlock({mutex})  // elided")
+            } else {
+                format!("unlock({mutex})")
+            }
+        }
+    }
+}
+
+fn dep_note(dep: &Option<Dep>) -> String {
+    match dep {
+        Some(d) => format!("  // {} dep on {}", d.kind, d.reg),
+        None => String::new(),
+    }
+}
+
+fn fence_name(f: FenceInstr) -> &'static str {
+    match f {
+        FenceInstr::MFence => "mfence",
+        FenceInstr::Sync => "sync",
+        FenceInstr::Lwsync => "lwsync",
+        FenceInstr::Isync => "isync",
+        FenceInstr::Dmb => "dmb",
+        FenceInstr::DmbLd => "dmb ld",
+        FenceInstr::DmbSt => "dmb st",
+        FenceInstr::Isb => "isb",
+        FenceInstr::FenceSc => "seq_cst",
+        FenceInstr::FenceAcq => "acquire",
+        FenceInstr::FenceRel => "release",
+    }
+}
+
+/// Renders a litmus test for a concrete target architecture.
+///
+/// The output is human-oriented assembly (or C++), faithful to the
+/// instruction selection described in the paper: TSX `XBEGIN`/`XEND` on x86,
+/// `tbegin.`/`tend.` on Power, the unofficial `TXBEGIN`/`TXEND` on ARMv8,
+/// and `atomic`/`synchronized` blocks in C++. Dependencies are realised with
+/// the usual false-dependency idioms.
+///
+/// # Examples
+///
+/// ```
+/// use tm_exec::catalog;
+/// use tm_litmus::{from_execution, render, Arch};
+///
+/// let test = from_execution(&catalog::fig2(), "fig2");
+/// let asm = render(&test, Arch::Armv8);
+/// assert!(asm.contains("TXBEGIN"));
+/// ```
+pub fn render(test: &LitmusTest, arch: Arch) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} \"{}\"", arch_header(arch), test.name);
+    let init: Vec<String> = test
+        .locations()
+        .iter()
+        .map(|l| {
+            let v = test
+                .init
+                .iter()
+                .find(|(n, _)| n == l)
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            format!("{l}={v}")
+        })
+        .collect();
+    let _ = writeln!(out, "{{ {} }}", init.join("; "));
+    for (i, thread) in test.threads.iter().enumerate() {
+        let _ = writeln!(out, "P{i}:");
+        let body = match arch {
+            Arch::X86 => render_x86_thread(thread, i),
+            Arch::Power => render_power_thread(thread, i),
+            Arch::Armv8 => render_armv8_thread(thread, i),
+            Arch::Cpp => render_cpp_thread(thread, i),
+        };
+        out.push_str(&body);
+    }
+    let _ = writeln!(out, "exists ({})", test.post);
+    out
+}
+
+fn arch_header(arch: Arch) -> &'static str {
+    match arch {
+        Arch::X86 => "X86",
+        Arch::Power => "PPC",
+        Arch::Armv8 => "AArch64",
+        Arch::Cpp => "C",
+    }
+}
+
+fn render_x86_thread(thread: &Thread, tid: usize) -> String {
+    let mut out = String::new();
+    for instr in &thread.instrs {
+        let line = match instr {
+            Instr::Load { reg, loc, .. } => format!("MOV E{}X, [{loc}]", reg_letter(*reg)),
+            Instr::Store { loc, value, .. } => format!("MOV [{loc}], ${value}"),
+            Instr::Rmw { reg, loc, value, .. } => {
+                format!("LOCK XCHG E{}X, [{loc}]  ; writes {value}", reg_letter(*reg))
+            }
+            Instr::Fence(FenceInstr::MFence) => "MFENCE".to_string(),
+            Instr::Fence(f) => format!("; fence {}", fence_name(*f)),
+            Instr::TxBegin => format!("XBEGIN Lfail{tid}"),
+            Instr::TxEnd => "XEND".to_string(),
+            Instr::TxAbort => "XABORT $0".to_string(),
+            Instr::Lock { mutex, elided } => lock_comment("x86", mutex, *elided, true),
+            Instr::Unlock { mutex, elided } => lock_comment("x86", mutex, *elided, false),
+        };
+        let _ = writeln!(out, "  {line}");
+    }
+    out
+}
+
+fn render_power_thread(thread: &Thread, tid: usize) -> String {
+    let mut out = String::new();
+    for instr in &thread.instrs {
+        let line = match instr {
+            Instr::Load { reg, loc, dep, .. } => match dep {
+                Some(d) if d.kind == DepKind::Addr => format!(
+                    "xor r9,r{0},r{0} ; lwzx r{1},r9,{loc}",
+                    d.reg.0 + 10,
+                    reg.0 + 10
+                ),
+                _ => format!("lwz r{},0({loc})", reg.0 + 10),
+            },
+            Instr::Store { loc, value, dep, .. } => match dep {
+                Some(d) if d.kind == DepKind::Data => format!(
+                    "xor r9,r{0},r{0} ; addi r9,r9,{value} ; stw r9,0({loc})",
+                    d.reg.0 + 10
+                ),
+                Some(d) if d.kind == DepKind::Ctrl => {
+                    format!("cmpw r{},r{0} ; beq Lc{tid} ; Lc{tid}: li r8,{value} ; stw r8,0({loc})", d.reg.0 + 10)
+                }
+                _ => format!("li r8,{value} ; stw r8,0({loc})"),
+            },
+            Instr::Rmw { reg, loc, value, .. } => format!(
+                "Lrmw{tid}: lwarx r{0},0,{loc} ; li r8,{value} ; stwcx. r8,0,{loc} ; bne Lrmw{tid}",
+                reg.0 + 10
+            ),
+            Instr::Fence(FenceInstr::Sync) => "sync".to_string(),
+            Instr::Fence(FenceInstr::Lwsync) => "lwsync".to_string(),
+            Instr::Fence(FenceInstr::Isync) => "isync".to_string(),
+            Instr::Fence(f) => format!("# fence {}", fence_name(*f)),
+            Instr::TxBegin => format!("tbegin. ; beq Lfail{tid}"),
+            Instr::TxEnd => "tend.".to_string(),
+            Instr::TxAbort => "tabort. 0".to_string(),
+            Instr::Lock { mutex, elided } => lock_comment("power", mutex, *elided, true),
+            Instr::Unlock { mutex, elided } => lock_comment("power", mutex, *elided, false),
+        };
+        let _ = writeln!(out, "  {line}");
+    }
+    out
+}
+
+fn render_armv8_thread(thread: &Thread, tid: usize) -> String {
+    let mut out = String::new();
+    for instr in &thread.instrs {
+        let line = match instr {
+            Instr::Load { reg, loc, mode, dep } => {
+                let op = if *mode == AccessMode::Acquire || *mode == AccessMode::SeqCst {
+                    "LDAR"
+                } else {
+                    "LDR"
+                };
+                match dep {
+                    Some(d) if d.kind == DepKind::Addr => format!(
+                        "EOR W9,W{0},W{0} ; {op} W{1},[X_{loc},W9,SXTW]",
+                        d.reg.0 + 2,
+                        reg.0 + 2
+                    ),
+                    _ => format!("{op} W{},[X_{loc}]", reg.0 + 2),
+                }
+            }
+            Instr::Store { loc, value, mode, dep } => {
+                let op = if *mode == AccessMode::Release || *mode == AccessMode::SeqCst {
+                    "STLR"
+                } else {
+                    "STR"
+                };
+                match dep {
+                    Some(d) if d.kind == DepKind::Data => format!(
+                        "EOR W9,W{0},W{0} ; ADD W9,W9,#{value} ; {op} W9,[X_{loc}]",
+                        d.reg.0 + 2
+                    ),
+                    Some(d) if d.kind == DepKind::Ctrl => format!(
+                        "CBNZ W{0},Lc{tid} ; Lc{tid}: MOV W8,#{value} ; {op} W8,[X_{loc}]",
+                        d.reg.0 + 2
+                    ),
+                    _ => format!("MOV W8,#{value} ; {op} W8,[X_{loc}]"),
+                }
+            }
+            Instr::Rmw { reg, loc, value, mode } => {
+                let (ld, st) = if *mode == AccessMode::Acquire || *mode == AccessMode::SeqCst {
+                    ("LDAXR", "STXR")
+                } else {
+                    ("LDXR", "STXR")
+                };
+                format!(
+                    "Lrmw{tid}: {ld} W{0},[X_{loc}] ; MOV W8,#{value} ; {st} W7,W8,[X_{loc}] ; CBNZ W7,Lrmw{tid}",
+                    reg.0 + 2
+                )
+            }
+            Instr::Fence(FenceInstr::Dmb) => "DMB ISH".to_string(),
+            Instr::Fence(FenceInstr::DmbLd) => "DMB ISHLD".to_string(),
+            Instr::Fence(FenceInstr::DmbSt) => "DMB ISHST".to_string(),
+            Instr::Fence(FenceInstr::Isb) => "ISB".to_string(),
+            Instr::Fence(f) => format!("// fence {}", fence_name(*f)),
+            Instr::TxBegin => format!("TXBEGIN Lfail{tid}"),
+            Instr::TxEnd => "TXEND".to_string(),
+            Instr::TxAbort => "TXABORT".to_string(),
+            Instr::Lock { mutex, elided } => lock_comment("armv8", mutex, *elided, true),
+            Instr::Unlock { mutex, elided } => lock_comment("armv8", mutex, *elided, false),
+        };
+        let _ = writeln!(out, "  {line}");
+    }
+    out
+}
+
+fn render_cpp_thread(thread: &Thread, _tid: usize) -> String {
+    let mut out = String::new();
+    let mut indent = 2usize;
+    for instr in &thread.instrs {
+        let line = match instr {
+            Instr::Load { reg, loc, mode, .. } => match mode {
+                AccessMode::Plain => format!("int {reg} = {loc};"),
+                _ => format!(
+                    "int {reg} = atomic_load_explicit(&{loc}, {});",
+                    cpp_order(*mode)
+                ),
+            },
+            Instr::Store { loc, value, mode, .. } => match mode {
+                AccessMode::Plain => format!("{loc} = {value};"),
+                _ => format!(
+                    "atomic_store_explicit(&{loc}, {value}, {});",
+                    cpp_order(*mode)
+                ),
+            },
+            Instr::Rmw { reg, loc, value, mode } => format!(
+                "int {reg} = atomic_exchange_explicit(&{loc}, {value}, {});",
+                cpp_order(*mode)
+            ),
+            Instr::Fence(FenceInstr::FenceSc) => {
+                "atomic_thread_fence(memory_order_seq_cst);".to_string()
+            }
+            Instr::Fence(FenceInstr::FenceAcq) => {
+                "atomic_thread_fence(memory_order_acquire);".to_string()
+            }
+            Instr::Fence(FenceInstr::FenceRel) => {
+                "atomic_thread_fence(memory_order_release);".to_string()
+            }
+            Instr::Fence(f) => format!("/* fence {} */", fence_name(*f)),
+            Instr::TxBegin => {
+                let l = format!("{}atomic {{", " ".repeat(indent));
+                indent += 2;
+                let _ = writeln!(out, "{l}");
+                continue;
+            }
+            Instr::TxEnd => {
+                indent = indent.saturating_sub(2);
+                let _ = writeln!(out, "{}}}", " ".repeat(indent));
+                continue;
+            }
+            Instr::TxAbort => "abort();".to_string(),
+            Instr::Lock { mutex, elided } => {
+                if *elided {
+                    format!("m_{mutex}.lock();  /* elided */")
+                } else {
+                    format!("m_{mutex}.lock();")
+                }
+            }
+            Instr::Unlock { mutex, .. } => format!("m_{mutex}.unlock();"),
+        };
+        let _ = writeln!(out, "{}{line}", " ".repeat(indent));
+    }
+    out
+}
+
+fn cpp_order(mode: AccessMode) -> &'static str {
+    match mode {
+        AccessMode::Plain | AccessMode::Relaxed => "memory_order_relaxed",
+        AccessMode::Acquire => "memory_order_acquire",
+        AccessMode::Release => "memory_order_release",
+        AccessMode::SeqCst => "memory_order_seq_cst",
+    }
+}
+
+fn lock_comment(arch: &str, mutex: &str, elided: bool, is_lock: bool) -> String {
+    let call = if is_lock { "lock" } else { "unlock" };
+    if elided {
+        format!("; {call}({mutex}) [elided, {arch}]")
+    } else {
+        format!("; {call}({mutex}) [{arch} spinlock]")
+    }
+}
+
+fn reg_letter(reg: Reg) -> char {
+    match reg.0 % 4 {
+        0 => 'A',
+        1 => 'B',
+        2 => 'C',
+        _ => 'D',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_execution;
+    use tm_exec::catalog;
+
+    #[test]
+    fn pseudocode_mentions_every_thread_and_the_postcondition() {
+        let test = from_execution(&catalog::sb_txn(), "sb+txn");
+        let text = test.to_string();
+        assert!(text.contains("P0:") && text.contains("P1:"));
+        assert!(text.contains("txbegin") && text.contains("txend"));
+        assert!(text.contains("Test:"));
+    }
+
+    #[test]
+    fn x86_rendering_uses_tsx_mnemonics() {
+        let test = from_execution(&catalog::fig2(), "fig2");
+        let asm = render(&test, Arch::X86);
+        assert!(asm.contains("XBEGIN") && asm.contains("XEND"));
+        assert!(asm.contains("MOV"));
+        assert!(asm.contains("exists"));
+    }
+
+    #[test]
+    fn power_rendering_uses_tbegin_and_exclusives() {
+        let test = from_execution(&catalog::monotonicity_cex_coalesced(), "rmw-in-txn");
+        let asm = render(&test, Arch::Power);
+        assert!(asm.contains("tbegin.") && asm.contains("tend."));
+        assert!(asm.contains("lwarx") && asm.contains("stwcx."));
+    }
+
+    #[test]
+    fn armv8_rendering_uses_acquire_release_and_dependencies() {
+        let test = from_execution(&catalog::wrc(), "wrc");
+        let asm = render(&test, Arch::Armv8);
+        assert!(asm.contains("EOR W9"));
+        assert!(asm.contains("LDR"));
+        let mp_test = {
+            let mut b = tm_exec::ExecutionBuilder::new();
+            b.push(tm_exec::Event::write(0, 0).with_annot(tm_exec::Annot::release()));
+            b.push(tm_exec::Event::read(1, 0).with_annot(tm_exec::Annot::acquire()));
+            from_execution(&b.build().unwrap(), "ra")
+        };
+        let asm = render(&mp_test, Arch::Armv8);
+        assert!(asm.contains("STLR") && asm.contains("LDAR"));
+    }
+
+    #[test]
+    fn cpp_rendering_uses_atomic_blocks_and_orders() {
+        let test = from_execution(&catalog::mp_txn(), "mp+txn");
+        let src = render(&test, Arch::Cpp);
+        assert!(src.contains("atomic {") && src.contains("}"));
+        let sc_test = {
+            let mut b = tm_exec::ExecutionBuilder::new();
+            b.push(tm_exec::Event::write(0, 0).with_annot(tm_exec::Annot::seq_cst()));
+            from_execution(&b.build().unwrap(), "sc")
+        };
+        let src = render(&sc_test, Arch::Cpp);
+        assert!(src.contains("memory_order_seq_cst"));
+    }
+
+    #[test]
+    fn mfence_and_dmb_render_as_fences() {
+        let test = from_execution(&catalog::sb_mfence(), "sb+mfence");
+        assert!(render(&test, Arch::X86).contains("MFENCE"));
+        let mut b = tm_exec::ExecutionBuilder::new();
+        b.push(tm_exec::Event::write(0, 0));
+        b.push(tm_exec::Event::fence(0, tm_exec::Fence::Dmb));
+        b.push(tm_exec::Event::read(0, 1));
+        let test = from_execution(&b.build().unwrap(), "dmb");
+        assert!(render(&test, Arch::Armv8).contains("DMB ISH"));
+    }
+}

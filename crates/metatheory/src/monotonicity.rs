@@ -1,0 +1,205 @@
+//! Monotonicity of transaction introduction, enlargement and coalescing
+//! (§8.1 and the first block of Table 2).
+
+use std::time::{Duration, Instant};
+
+use tm_exec::Execution;
+use tm_models::MemoryModel;
+use tm_relation::per_classes;
+use tm_synth::{enumerate_exact, SynthConfig};
+
+/// The outcome of a bounded monotonicity check.
+#[derive(Clone, Debug)]
+pub struct MonotonicityResult {
+    /// Name of the model checked.
+    pub model: String,
+    /// The event-count bound reached.
+    pub max_events: usize,
+    /// Number of (weaker, stronger) transaction pairs examined.
+    pub pairs_checked: usize,
+    /// A counterexample, if one exists within the bound: the first execution
+    /// has *fewer* transaction edges and is inconsistent, the second has
+    /// *more* and is consistent — so introducing/enlarging/coalescing the
+    /// transaction resurrected a forbidden behaviour.
+    pub counterexample: Option<(Execution, Execution)>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl MonotonicityResult {
+    /// True if no counterexample was found within the bound.
+    pub fn holds(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// Ways of *reducing* the transactions of an execution: the inverses of
+/// introducing a transaction, enlarging one, and coalescing two.
+///
+/// Monotonicity states that going the other way (from the returned execution
+/// back to `exec`) can never turn an inconsistent execution consistent.
+pub fn transaction_reductions(exec: &Execution) -> Vec<Execution> {
+    let mut out = Vec::new();
+    let classes = exec.txn_classes();
+    for class in &classes {
+        // Inverse of *introducing*: drop the whole transaction.
+        let mut dropped = exec.clone();
+        for &a in class {
+            for b in 0..exec.len() {
+                dropped.stxn.remove(a, b);
+                dropped.stxn.remove(b, a);
+                dropped.stxnat.remove(a, b);
+                dropped.stxnat.remove(b, a);
+            }
+        }
+        out.push(dropped);
+
+        // Inverse of *enlarging*: drop the first or last event of the class.
+        if class.len() >= 2 {
+            let mut sorted = class.clone();
+            sorted.sort_by_key(|&e| exec.po.predecessors(e).count());
+            for &end in [sorted[0], *sorted.last().expect("non-empty class")].iter() {
+                let mut shrunk = exec.clone();
+                for b in 0..exec.len() {
+                    shrunk.stxn.remove(end, b);
+                    shrunk.stxn.remove(b, end);
+                    shrunk.stxnat.remove(end, b);
+                    shrunk.stxnat.remove(b, end);
+                }
+                out.push(shrunk);
+            }
+        }
+
+        // Inverse of *coalescing*: split the class in two at each internal
+        // program-order boundary.
+        if class.len() >= 2 {
+            let mut sorted = class.clone();
+            sorted.sort_by_key(|&e| exec.po.predecessors(e).count());
+            for cut in 1..sorted.len() {
+                let (left, right) = sorted.split_at(cut);
+                let mut split = exec.clone();
+                for &a in left {
+                    for &b in right {
+                        split.stxn.remove(a, b);
+                        split.stxn.remove(b, a);
+                        split.stxnat.remove(a, b);
+                        split.stxnat.remove(b, a);
+                    }
+                }
+                out.push(split);
+            }
+        }
+    }
+    out
+}
+
+/// Checks monotonicity of `model` for every execution with up to
+/// `max_events` events under `config`: no transaction reduction of a
+/// consistent execution may be inconsistent.
+pub fn check_monotonicity(
+    model: &dyn MemoryModel,
+    config: &SynthConfig,
+    max_events: usize,
+) -> MonotonicityResult {
+    let start = Instant::now();
+    let mut pairs_checked = 0usize;
+    let mut counterexample: Option<(Execution, Execution)> = None;
+
+    for n in 2..=max_events {
+        if counterexample.is_some() {
+            break;
+        }
+        enumerate_exact(config, n, |exec| {
+            if counterexample.is_some() || per_classes(&exec.stxn).is_empty() {
+                return;
+            }
+            if !model.is_consistent(exec) {
+                return;
+            }
+            for reduced in transaction_reductions(exec) {
+                pairs_checked += 1;
+                if !model.is_consistent(&reduced) {
+                    counterexample = Some((reduced, exec.clone()));
+                    return;
+                }
+            }
+        });
+    }
+
+    MonotonicityResult {
+        model: model.name().to_string(),
+        max_events,
+        pairs_checked,
+        counterexample,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::catalog;
+    use tm_models::{Armv8Model, CppModel, PowerModel, X86Model};
+
+    #[test]
+    fn reductions_cover_drop_shrink_and_split() {
+        let exec = catalog::monotonicity_cex_coalesced();
+        let reductions = transaction_reductions(&exec);
+        // Drop the whole class, shrink at both ends, split at the single
+        // internal boundary.
+        assert_eq!(reductions.len(), 4);
+        assert!(reductions.iter().any(|r| r.txn_classes().is_empty()));
+        assert!(reductions.iter().any(|r| r.txn_classes().len() == 2));
+    }
+
+    #[test]
+    fn power_and_armv8_are_not_monotonic() {
+        // Table 2: a 2-event counterexample (the RMW straddling a
+        // transaction boundary) exists for Power and ARMv8.
+        let cfg = SynthConfig::power(2);
+        for model in [
+            Box::new(PowerModel::tm()) as Box<dyn MemoryModel>,
+            Box::new(Armv8Model::tm()),
+        ] {
+            let result = check_monotonicity(model.as_ref(), &cfg, 2);
+            assert!(!result.holds(), "{} should have a counterexample", result.model);
+            let (weaker, stronger) = result.counterexample.as_ref().unwrap();
+            assert!(!model.is_consistent(weaker));
+            assert!(model.is_consistent(stronger));
+            assert_eq!(weaker.events, stronger.events);
+            assert!(!weaker.rmw.is_empty(), "the counterexample involves an RMW");
+        }
+    }
+
+    #[test]
+    fn x86_is_monotonic_at_small_bounds() {
+        // Table 2: no counterexample for x86 (checked to 6 events in the
+        // paper; we check a smaller bound here and a larger one in the
+        // benchmark harness).
+        let cfg = SynthConfig::x86(3);
+        let result = check_monotonicity(&X86Model::tm(), &cfg, 3);
+        assert!(result.holds(), "{:?}", result.counterexample);
+        assert!(result.pairs_checked > 0);
+    }
+
+    #[test]
+    fn cpp_is_monotonic_at_small_bounds() {
+        let mut cfg = SynthConfig::cpp(3);
+        // Keep the space small: relaxed atomics and plain accesses only.
+        cfg.read_annots.truncate(2);
+        cfg.write_annots.truncate(2);
+        let result = check_monotonicity(&CppModel::tm(), &cfg, 3);
+        assert!(result.holds(), "{:?}", result.counterexample);
+    }
+
+    #[test]
+    fn the_paper_counterexample_is_a_reduction_pair() {
+        let split = catalog::monotonicity_cex_split();
+        let coalesced = catalog::monotonicity_cex_coalesced();
+        let reductions = transaction_reductions(&coalesced);
+        assert!(
+            reductions.iter().any(|r| r.stxn == split.stxn),
+            "splitting the coalesced transaction reproduces the paper's counterexample"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Bounded mechanical checks of the paper's two hand-proved theorems about
+//! the C++ TM model (§7).
+
+use std::time::{Duration, Instant};
+
+use tm_exec::Execution;
+use tm_models::{isolation, CppModel, MemoryModel, ScModel};
+use tm_synth::{enumerate_exact, SynthConfig};
+
+/// The outcome of a bounded theorem check.
+#[derive(Clone, Debug)]
+pub struct TheoremResult {
+    /// Which theorem was checked (`"7.2"` or `"7.3"`).
+    pub theorem: &'static str,
+    /// The event-count bound reached.
+    pub max_events: usize,
+    /// Number of executions that satisfied the theorem's hypotheses.
+    pub instances: usize,
+    /// A counterexample execution, if any hypothesis-satisfying execution
+    /// violated the conclusion.
+    pub counterexample: Option<Execution>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl TheoremResult {
+    /// True if the theorem held on every instance within the bound.
+    pub fn holds(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// Theorem 7.2 (strong isolation for atomic transactions): in a race-free,
+/// C++-consistent execution whose atomic transactions contain no atomic
+/// operations, `stronglift(com, stxnat)` is acyclic.
+///
+/// The check marks every transaction produced by the enumerator as atomic
+/// (`stxnat = stxn`), which is the worst case for the theorem.
+pub fn check_theorem_7_2(config: &SynthConfig, max_events: usize) -> TheoremResult {
+    let start = Instant::now();
+    let cpp = CppModel::tm();
+    let mut instances = 0usize;
+    let mut counterexample = None;
+
+    for n in 2..=max_events {
+        if counterexample.is_some() {
+            break;
+        }
+        enumerate_exact(config, n, |exec| {
+            if counterexample.is_some() || exec.txn_classes().is_empty() {
+                return;
+            }
+            // Treat every transaction as atomic.
+            let mut exec = exec.clone();
+            exec.stxnat = exec.stxn.clone();
+            if !cpp.atomic_txns_contain_no_atomics(&exec) {
+                return;
+            }
+            if !cpp.is_consistent(&exec) || cpp.is_racy(&exec) {
+                return;
+            }
+            instances += 1;
+            if !isolation::strong_isolation_atomic(&exec) {
+                counterexample = Some(exec);
+            }
+        });
+    }
+
+    TheoremResult {
+        theorem: "7.2",
+        max_events,
+        instances,
+        counterexample,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Theorem 7.3 (transactional SC-DRF): a C++-consistent execution with no
+/// relaxed transactions (`stxn = stxnat`), no non-SC atomics (`Ato = SC`)
+/// and no data races is consistent under TSC.
+pub fn check_theorem_7_3(config: &SynthConfig, max_events: usize) -> TheoremResult {
+    let start = Instant::now();
+    let cpp = CppModel::tm();
+    let tsc = ScModel::tsc();
+    let mut instances = 0usize;
+    let mut counterexample = None;
+
+    for n in 2..=max_events {
+        if counterexample.is_some() {
+            break;
+        }
+        enumerate_exact(config, n, |exec| {
+            if counterexample.is_some() {
+                return;
+            }
+            // Hypotheses: every transaction atomic, atomics all SC, no
+            // atomics inside atomic transactions, race free, consistent.
+            let mut exec = exec.clone();
+            exec.stxnat = exec.stxn.clone();
+            if exec.atomics() != exec.sc_events() {
+                return;
+            }
+            if !cpp.atomic_txns_contain_no_atomics(&exec) {
+                return;
+            }
+            if !cpp.is_consistent(&exec) || cpp.is_racy(&exec) {
+                return;
+            }
+            instances += 1;
+            if !tsc.is_consistent(&exec) {
+                counterexample = Some(exec);
+            }
+        });
+    }
+
+    TheoremResult {
+        theorem: "7.3",
+        max_events,
+        instances,
+        counterexample,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::Annot;
+
+    fn cpp_config(events: usize) -> SynthConfig {
+        let mut cfg = SynthConfig::cpp(events);
+        // Keep the space tractable for unit tests: plain and seq_cst
+        // accesses only (the benchmark harness uses the full configuration).
+        cfg.read_annots = vec![Annot::PLAIN, Annot::seq_cst()];
+        cfg.write_annots = vec![Annot::PLAIN, Annot::seq_cst()];
+        cfg
+    }
+
+    #[test]
+    fn theorem_7_2_holds_up_to_three_events() {
+        let result = check_theorem_7_2(&cpp_config(3), 3);
+        assert!(result.holds(), "{:?}", result.counterexample);
+        assert!(result.instances > 0, "the hypotheses must be satisfiable");
+    }
+
+    #[test]
+    fn theorem_7_3_holds_up_to_three_events() {
+        let result = check_theorem_7_3(&cpp_config(3), 3);
+        assert!(result.holds(), "{:?}", result.counterexample);
+        assert!(result.instances > 0);
+    }
+
+    #[test]
+    fn theorem_7_3_hypotheses_matter() {
+        // Dropping the race-freedom hypothesis breaks the conclusion: the
+        // plain (racy) store-buffering execution is C++-consistent but not
+        // TSC-consistent.
+        let sb = tm_exec::catalog::sb();
+        assert!(CppModel::tm().is_consistent(&sb));
+        assert!(CppModel::tm().is_racy(&sb));
+        assert!(!ScModel::tsc().is_consistent(&sb));
+    }
+}

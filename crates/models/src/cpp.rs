@@ -1,0 +1,354 @@
+//! The C++ memory model (RC11 à la Lahav et al.) with the Transactional
+//! Memory technical-specification extension (Fig. 9, §7).
+
+use tm_exec::{Execution, Fence};
+use tm_relation::{ElemSet, Relation};
+
+use crate::isolation::{require_acyclic, require_empty, require_irreflexive};
+use crate::{MemoryModel, Verdict};
+
+/// The C++ memory model, following the RC11 formulation of Lahav et al.
+/// (whose fix is what makes compilation to Power sound), extended — when
+/// `transactional` — with the paper's reformulated transactional
+/// synchronisation (§7.2):
+///
+/// * `HbCom` — `irreflexive(hb ; com*)` where
+///   `hb = (sw ∪ tsw ∪ po)+` and, with TM,
+///   `tsw = weaklift(ecom, stxn)` orders conflicting transactions without
+///   any explicit total order over transactions;
+/// * `RMWIsol` — `empty(rmw ∩ (fre ; coe))`;
+/// * `NoThinAir` — `acyclic(po ∪ rf)`;
+/// * `SeqCst` — `acyclic(psc)` over SC accesses and fences.
+///
+/// The model also exposes the *race-freedom* predicate (`NoRace`) separately
+/// via [`CppModel::is_racy`]: a program with a racy consistent execution is
+/// undefined, and several theorems (7.2, 7.3) assume race freedom.
+///
+/// # Examples
+///
+/// ```
+/// use tm_exec::catalog;
+/// use tm_models::{CppModel, MemoryModel};
+///
+/// // Transactional message passing is forbidden: conflicting transactions
+/// // synchronise, so the stale read contradicts happens-before.
+/// assert!(CppModel::baseline().is_consistent(&catalog::mp_txn()));
+/// assert!(!CppModel::tm().is_consistent(&catalog::mp_txn()));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CppModel {
+    transactional: bool,
+}
+
+impl CppModel {
+    /// The non-transactional baseline (RC11).
+    pub fn baseline() -> CppModel {
+        CppModel {
+            transactional: false,
+        }
+    }
+
+    /// The model with the TM extension.
+    pub fn tm() -> CppModel {
+        CppModel {
+            transactional: true,
+        }
+    }
+
+    /// True if the TM extension is enabled.
+    pub fn is_transactional(&self) -> bool {
+        self.transactional
+    }
+
+    /// The `Acq` set: acquire accesses plus acquire and seq_cst fences.
+    pub fn acq_set(&self, exec: &Execution) -> ElemSet {
+        exec.acquires()
+            .union(&exec.fences_of(Fence::FenceAcq))
+            .union(&exec.fences_of(Fence::FenceSc))
+    }
+
+    /// The `Rel` set: release accesses plus release and seq_cst fences.
+    pub fn rel_set(&self, exec: &Execution) -> ElemSet {
+        exec.releases()
+            .union(&exec.fences_of(Fence::FenceRel))
+            .union(&exec.fences_of(Fence::FenceSc))
+    }
+
+    /// The `SC` set: seq_cst accesses plus seq_cst fences.
+    pub fn sc_set(&self, exec: &Execution) -> ElemSet {
+        exec.sc_events().union(&exec.fences_of(Fence::FenceSc))
+    }
+
+    /// The release sequence: `rs = [W] ; poloc? ; [W ∩ Ato] ; (rf ; rmw)*`.
+    pub fn release_sequence(&self, exec: &Execution) -> Relation {
+        let id_w = Relation::identity_on(&exec.writes());
+        let id_w_ato = Relation::identity_on(&exec.writes().intersection(&exec.atomics()));
+        id_w.compose(&exec.poloc().reflexive_closure())
+            .compose(&id_w_ato)
+            .compose(
+                &exec
+                    .rf
+                    .compose(&exec.rmw)
+                    .reflexive_transitive_closure(),
+            )
+    }
+
+    /// The synchronises-with relation:
+    /// `sw = [Rel] ; ([F] ; po)? ; rs ; rf ; [R ∩ Ato] ; (po ; [F])? ; [Acq]`.
+    pub fn sw(&self, exec: &Execution) -> Relation {
+        let id_rel = Relation::identity_on(&self.rel_set(exec));
+        let id_acq = Relation::identity_on(&self.acq_set(exec));
+        let id_fence = Relation::identity_on(&exec.fences());
+        let id_r_ato = Relation::identity_on(&exec.reads().intersection(&exec.atomics()));
+        let fence_po = id_fence.compose(&exec.po).reflexive_closure();
+        let po_fence = exec.po.compose(&id_fence).reflexive_closure();
+        id_rel
+            .compose(&fence_po)
+            .compose(&self.release_sequence(exec))
+            .compose(&exec.rf)
+            .compose(&id_r_ato)
+            .compose(&po_fence)
+            .compose(&id_acq)
+    }
+
+    /// Transactional synchronisation (§7.2): `tsw = weaklift(ecom, stxn)` —
+    /// conflicting transactions synchronise in extended-communication order.
+    pub fn tsw(&self, exec: &Execution) -> Relation {
+        Execution::weaklift(&exec.ecom(), &exec.stxn)
+    }
+
+    /// Happens-before: `hb = (sw ∪ tsw ∪ po)+` (the `tsw` part only when the
+    /// TM extension is enabled).
+    pub fn hb(&self, exec: &Execution) -> Relation {
+        let mut base = self.sw(exec).union(&exec.po);
+        if self.transactional {
+            base = base.union(&self.tsw(exec));
+        }
+        base.transitive_closure()
+    }
+
+    /// The partial-SC relation used by the `SeqCst` axiom, following RC11.
+    pub fn psc(&self, exec: &Execution) -> Relation {
+        let hb = self.hb(exec);
+        let hb_q = hb.reflexive_closure();
+        let sc = self.sc_set(exec);
+        let sc_fences = sc.intersection(&exec.fences());
+        let id_sc = Relation::identity_on(&sc);
+        let id_f_sc = Relation::identity_on(&sc_fences);
+        let eco = exec.com().transitive_closure();
+
+        // scb = po ∪ (po\loc ; hb ; po\loc) ∪ (hb ∩ sloc) ∪ co ∪ fr
+        let po_nl = exec.po_diff_loc();
+        let scb = exec
+            .po
+            .union(&po_nl.compose(&hb).compose(&po_nl))
+            .union(&hb.intersection(&exec.sloc()))
+            .union(&exec.co)
+            .union(&exec.fr());
+
+        let left = id_sc.union(&id_f_sc.compose(&hb_q));
+        let right = id_sc.union(&hb_q.compose(&id_f_sc));
+        let psc_base = left.compose(&scb).compose(&right);
+        let psc_f = id_f_sc
+            .compose(&hb.union(&hb.compose(&eco).compose(&hb)))
+            .compose(&id_f_sc);
+        psc_base.union(&psc_f)
+    }
+
+    /// The `NoRace` predicate of Fig. 9: true if the execution contains a
+    /// data race, i.e. two conflicting events, not both atomic, unordered by
+    /// happens-before. A program with a racy consistent execution has
+    /// undefined behaviour.
+    pub fn is_racy(&self, exec: &Execution) -> bool {
+        let hb = self.hb(exec);
+        let ato = exec.atomics();
+        let both_atomic = Relation::cross(&ato, &ato);
+        !exec
+            .cnf()
+            .difference(&both_atomic)
+            .difference(&hb.union(&hb.inverse()))
+            .is_empty()
+    }
+
+    /// True if every atomic transaction contains no atomic operation — the
+    /// syntactic restriction the C++ TM specification places on
+    /// `atomic { … }` blocks, and a hypothesis of Theorem 7.2.
+    pub fn atomic_txns_contain_no_atomics(&self, exec: &Execution) -> bool {
+        exec.stxnat.domain().is_disjoint_from(&exec.atomics())
+    }
+}
+
+impl MemoryModel for CppModel {
+    fn name(&self) -> &'static str {
+        if self.transactional {
+            "C++(TM)"
+        } else {
+            "C++"
+        }
+    }
+
+    fn axioms(&self) -> Vec<&'static str> {
+        vec!["HbCom", "RMWIsol", "NoThinAir", "SeqCst"]
+    }
+
+    fn check(&self, exec: &Execution) -> Verdict {
+        let mut verdict = Verdict::consistent(self.name());
+        let hb = self.hb(exec);
+        require_irreflexive(
+            &mut verdict,
+            "HbCom",
+            &hb.compose(&exec.com().reflexive_transitive_closure()),
+        );
+        require_empty(
+            &mut verdict,
+            "RMWIsol",
+            &exec.rmw.intersection(&exec.fre().compose(&exec.coe())),
+        );
+        require_acyclic(&mut verdict, "NoThinAir", &exec.po.union(&exec.rf));
+        require_acyclic(&mut verdict, "SeqCst", &self.psc(exec));
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::{catalog, Annot, Event, ExecutionBuilder};
+
+    /// MP with a release store of the flag and an acquire load of it.
+    fn mp_rel_acq() -> Execution {
+        let mut b = ExecutionBuilder::new();
+        b.push(Event::write(0, 0));
+        let wy = b.push(Event::write(0, 1).with_annot(Annot::release_atomic()));
+        let ry = b.push(Event::read(1, 1).with_annot(Annot::acquire_atomic()));
+        b.push(Event::read(1, 0));
+        b.rf(wy, ry);
+        b.build().unwrap()
+    }
+
+    /// SB with every access seq_cst.
+    fn sb_sc() -> Execution {
+        let mut b = ExecutionBuilder::new();
+        b.push(Event::write(0, 0).with_annot(Annot::seq_cst()));
+        b.push(Event::read(0, 1).with_annot(Annot::seq_cst()));
+        b.push(Event::write(1, 1).with_annot(Annot::seq_cst()));
+        b.push(Event::read(1, 0).with_annot(Annot::seq_cst()));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn relaxed_weak_behaviours_are_consistent_but_racy_when_non_atomic() {
+        let m = CppModel::baseline();
+        assert!(m.is_consistent(&catalog::mp()));
+        assert!(m.is_racy(&catalog::mp()));
+        assert!(m.is_consistent(&catalog::sb()));
+    }
+
+    #[test]
+    fn release_acquire_forbids_stale_reads() {
+        let m = CppModel::baseline();
+        let e = mp_rel_acq();
+        let verdict = m.check(&e);
+        assert!(verdict.violates("HbCom"), "{verdict}");
+        // The synchronisation also removes the race on x.
+        // (The read of x is hb-after the write of x via the sw edge.)
+        assert!(!m.is_racy(&e));
+    }
+
+    #[test]
+    fn seq_cst_forbids_store_buffering() {
+        let verdict = CppModel::baseline().check(&sb_sc());
+        assert!(verdict.violates("SeqCst"), "{verdict}");
+        assert!(CppModel::baseline().is_consistent(&catalog::sb()));
+    }
+
+    #[test]
+    fn load_buffering_is_forbidden_by_no_thin_air() {
+        let verdict = CppModel::baseline().check(&catalog::lb());
+        assert!(verdict.violates("NoThinAir"), "{verdict}");
+    }
+
+    #[test]
+    fn conflicting_transactions_synchronise() {
+        let m = CppModel::tm();
+        // MP, LB and SB between two transactions are all forbidden.
+        assert!(!m.is_consistent(&catalog::mp_txn()));
+        assert!(!m.is_consistent(&catalog::lb_txn()));
+        assert!(!m.is_consistent(&catalog::sb_txn()));
+        // The baseline (ignoring transactions) allows MP and SB.
+        assert!(CppModel::baseline().is_consistent(&catalog::mp_txn()));
+        assert!(CppModel::baseline().is_consistent(&catalog::sb_txn()));
+    }
+
+    #[test]
+    fn dongol_example_is_forbidden_by_cpp() {
+        let verdict = CppModel::tm().check(&catalog::dongol_mp_txn());
+        assert!(verdict.violates("HbCom"), "{verdict}");
+    }
+
+    #[test]
+    fn weak_isolation_follows_from_the_axioms() {
+        // §7.2: WeakIsol follows from the other C++ consistency axioms. All
+        // catalog executions that the TM model accepts satisfy WeakIsol.
+        for e in [
+            catalog::fig2(),
+            catalog::mp_txn(),
+            catalog::lb_txn(),
+            catalog::sb_txn(),
+            catalog::fig3('a'),
+            catalog::fig3('b'),
+        ] {
+            if CppModel::tm().is_consistent(&e) {
+                assert!(crate::isolation::weak_isolation(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn single_transaction_racing_an_atomic_store_is_racy() {
+        // §7.2 "Transactions and Data Races": atomic{ x=1; } || atomic_store(&x,2)
+        // is racy because the transactional store is not an atomic operation.
+        let mut b = ExecutionBuilder::new();
+        let wt = b.push(Event::write(0, 0));
+        let wa = b.push(Event::write(1, 0).with_annot(Annot::seq_cst()));
+        b.atomic_txn(&[wt]);
+        b.co(wt, wa);
+        let e = b.build().unwrap();
+        assert!(CppModel::tm().is_racy(&e));
+        assert!(CppModel::tm().atomic_txns_contain_no_atomics(&e));
+    }
+
+    #[test]
+    fn atomic_txn_scoping_check_detects_atomics_inside() {
+        let mut b = ExecutionBuilder::new();
+        let w = b.push(Event::write(0, 0).with_annot(Annot::seq_cst()));
+        b.atomic_txn(&[w]);
+        let e = b.build().unwrap();
+        assert!(!CppModel::tm().atomic_txns_contain_no_atomics(&e));
+    }
+
+    #[test]
+    fn sc_fences_order_sb() {
+        // SB with relaxed atomics but seq_cst fences between each pair.
+        let mut b = ExecutionBuilder::new();
+        b.push(Event::write(0, 0).with_annot(Annot::relaxed_atomic()));
+        b.push(Event::fence(0, Fence::FenceSc));
+        b.push(Event::read(0, 1).with_annot(Annot::relaxed_atomic()));
+        b.push(Event::write(1, 1).with_annot(Annot::relaxed_atomic()));
+        b.push(Event::fence(1, Fence::FenceSc));
+        b.push(Event::read(1, 0).with_annot(Annot::relaxed_atomic()));
+        let e = b.build().unwrap();
+        let verdict = CppModel::baseline().check(&e);
+        assert!(verdict.violates("SeqCst"), "{verdict}");
+    }
+
+    #[test]
+    fn tm_and_baseline_agree_without_transactions() {
+        for e in [catalog::sb(), catalog::mp(), catalog::lb(), mp_rel_acq(), sb_sc()] {
+            assert_eq!(
+                CppModel::baseline().is_consistent(&e),
+                CppModel::tm().is_consistent(&e)
+            );
+        }
+    }
+}

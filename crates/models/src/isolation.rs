@@ -1,0 +1,126 @@
+//! Isolation axioms (§3.3) and the critical-region serialisation axiom used
+//! for lock-elision checking (§8.3).
+
+use tm_exec::Execution;
+use tm_relation::Relation;
+
+use crate::Verdict;
+
+/// The `WeakIsol` axiom: `acyclic(weaklift(com, stxn))`.
+///
+/// Transactions are isolated from *other transactions*: no communication
+/// cycle exists among whole transactions.
+pub fn weak_isolation(exec: &Execution) -> bool {
+    Execution::weaklift(&exec.com(), &exec.stxn).is_acyclic()
+}
+
+/// The `StrongIsol` axiom: `acyclic(stronglift(com, stxn))`.
+///
+/// Transactions are isolated from *all other code*, transactional or not.
+pub fn strong_isolation(exec: &Execution) -> bool {
+    Execution::stronglift(&exec.com(), &exec.stxn).is_acyclic()
+}
+
+/// Like [`strong_isolation`] but lifted over the *atomic* transactions only
+/// (`stxnat`). This is the conclusion of Theorem 7.2.
+pub fn strong_isolation_atomic(exec: &Execution) -> bool {
+    Execution::stronglift(&exec.com(), &exec.stxnat).is_acyclic()
+}
+
+/// Checks an acyclicity axiom and records a violation with a witness cycle.
+pub(crate) fn require_acyclic(
+    verdict: &mut Verdict,
+    axiom: &'static str,
+    relation: &Relation,
+) {
+    if let Some(cycle) = relation.find_cycle() {
+        verdict.push(axiom, Some(cycle));
+    }
+}
+
+/// Checks an emptiness axiom and records a violation listing one offending
+/// pair.
+pub(crate) fn require_empty(verdict: &mut Verdict, axiom: &'static str, relation: &Relation) {
+    if let Some((a, b)) = relation.iter().next() {
+        verdict.push(axiom, Some(vec![a, b]));
+    }
+}
+
+/// Checks an irreflexivity axiom and records a violation naming one fixed
+/// point.
+pub(crate) fn require_irreflexive(
+    verdict: &mut Verdict,
+    axiom: &'static str,
+    relation: &Relation,
+) {
+    for a in 0..relation.universe() {
+        if relation.contains(a, a) {
+            verdict.push(axiom, Some(vec![a]));
+            return;
+        }
+    }
+}
+
+/// The `CROrder` axiom of §8.3: `acyclic(weaklift(po ∪ com, scr))` — all
+/// critical regions (locked or elided) must be serialisable. This is the
+/// *specification* a lock or lock-elision library must meet.
+pub fn cr_order(exec: &Execution) -> bool {
+    Execution::weaklift(&exec.po.union(&exec.com()), &exec.scr).is_acyclic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::catalog;
+
+    #[test]
+    fn fig3_separates_weak_from_strong_isolation() {
+        for which in ['a', 'b', 'c', 'd'] {
+            let e = catalog::fig3(which);
+            assert!(weak_isolation(&e), "fig3({which}) satisfies weak isolation");
+            assert!(
+                !strong_isolation(&e),
+                "fig3({which}) violates strong isolation"
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_violates_strong_isolation_only() {
+        let e = catalog::fig2();
+        assert!(weak_isolation(&e));
+        assert!(!strong_isolation(&e));
+    }
+
+    #[test]
+    fn transactional_sb_violates_weak_isolation() {
+        // Two transactions communicating in a cycle violate even weak
+        // isolation.
+        let e = catalog::lb_txn();
+        assert!(!weak_isolation(&e));
+        assert!(!strong_isolation(&e));
+    }
+
+    #[test]
+    fn plain_executions_are_trivially_isolated() {
+        for e in [catalog::sb(), catalog::mp(), catalog::iriw()] {
+            assert!(weak_isolation(&e));
+            assert!(strong_isolation(&e));
+        }
+    }
+
+    #[test]
+    fn atomic_isolation_tracks_stxnat_only() {
+        // fig2's transaction is relaxed (not atomic), so the atomic variant
+        // of strong isolation holds vacuously.
+        let e = catalog::fig2();
+        assert!(strong_isolation_atomic(&e));
+    }
+
+    #[test]
+    fn cr_order_rejects_mutual_exclusion_violation() {
+        assert!(!cr_order(&catalog::fig10_abstract()));
+        // An execution without critical regions satisfies CROrder trivially.
+        assert!(cr_order(&catalog::sb()));
+    }
+}

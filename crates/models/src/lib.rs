@@ -1,0 +1,259 @@
+//! Axiomatic weak-memory models with transactional extensions.
+//!
+//! This crate is the core of the reproduction of the PLDI'18 paper *The
+//! Semantics of Transactions and Weak Memory in x86, Power, ARM, and C++*:
+//! it implements the consistency predicates of Fig. 4 (SC / TSC), Fig. 5
+//! (x86 ± TM), Fig. 6 (Power ± TM), Fig. 8 (ARMv8 ± TM) and Fig. 9
+//! (C++ ± TM), the isolation axioms of §3.3, and the `CROrder` axiom used
+//! for lock-elision checking in §8.3.
+//!
+//! All models operate on the [`tm_exec::Execution`] candidate executions and
+//! report per-axiom verdicts, which the synthesiser (`tm-synth`), the
+//! metatheory checks (`tm-metatheory`) and the benchmark harness rely on.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tm_exec::catalog;
+//! use tm_models::{MemoryModel, Target};
+//!
+//! // Ask every model about the transactional store-buffering test.
+//! for target in Target::ALL {
+//!     let verdict = target.model().check(&catalog::sb_txn());
+//!     println!("{verdict}");
+//! }
+//! // Transactions forbid store buffering even on x86.
+//! assert!(Target::X86.model().is_consistent(&catalog::sb_txn()));
+//! assert!(!Target::X86Tm.model().is_consistent(&catalog::sb_txn()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod armv8;
+mod cpp;
+pub mod isolation;
+mod power;
+mod sc;
+mod verdict;
+mod x86;
+
+pub use armv8::Armv8Model;
+pub use cpp::CppModel;
+pub use power::PowerModel;
+pub use sc::ScModel;
+pub use verdict::{Verdict, Violation};
+pub use x86::X86Model;
+
+use tm_exec::Execution;
+
+/// A memory model: a named consistency predicate over candidate executions.
+///
+/// Implementations report *which* axioms an execution violates via
+/// [`MemoryModel::check`]; [`MemoryModel::is_consistent`] is the boolean
+/// summary.
+pub trait MemoryModel {
+    /// A short human-readable name (e.g. `"Power+TM"`).
+    fn name(&self) -> &'static str;
+
+    /// The names of the axioms this model checks, in check order.
+    fn axioms(&self) -> Vec<&'static str>;
+
+    /// Checks `exec` against every axiom and reports all violations.
+    fn check(&self, exec: &Execution) -> Verdict;
+
+    /// True if `exec` satisfies every axiom of this model.
+    fn is_consistent(&self, exec: &Execution) -> bool {
+        self.check(exec).is_consistent()
+    }
+}
+
+/// The memory-model targets studied in the paper, with and without their
+/// transactional extensions.
+///
+/// `Target` is a convenience for tools (synthesis, benchmarks, examples)
+/// that are parameterised by model; each variant constructs the
+/// corresponding [`MemoryModel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Sequential consistency (Fig. 4, baseline).
+    Sc,
+    /// Transactional sequential consistency (Fig. 4 with TxnOrder).
+    Tsc,
+    /// x86-TSO (Fig. 5, baseline).
+    X86,
+    /// x86-TSO with TSX transactions (Fig. 5).
+    X86Tm,
+    /// Power (Fig. 6, baseline).
+    Power,
+    /// Power with transactions (Fig. 6).
+    PowerTm,
+    /// ARMv8 (Fig. 8, baseline).
+    Armv8,
+    /// ARMv8 with the proposed TM extension (Fig. 8).
+    Armv8Tm,
+    /// C++ / RC11 (Fig. 9, baseline).
+    Cpp,
+    /// C++ with the TM technical specification (Fig. 9, §7).
+    CppTm,
+}
+
+impl Target {
+    /// Every target, baseline and transactional.
+    pub const ALL: [Target; 10] = [
+        Target::Sc,
+        Target::Tsc,
+        Target::X86,
+        Target::X86Tm,
+        Target::Power,
+        Target::PowerTm,
+        Target::Armv8,
+        Target::Armv8Tm,
+        Target::Cpp,
+        Target::CppTm,
+    ];
+
+    /// The transactional targets (the models proposed by the paper).
+    pub const TRANSACTIONAL: [Target; 5] = [
+        Target::Tsc,
+        Target::X86Tm,
+        Target::PowerTm,
+        Target::Armv8Tm,
+        Target::CppTm,
+    ];
+
+    /// The hardware architecture targets with TM.
+    pub const HARDWARE_TM: [Target; 3] = [Target::X86Tm, Target::PowerTm, Target::Armv8Tm];
+
+    /// Constructs the memory model for this target.
+    pub fn model(self) -> Box<dyn MemoryModel> {
+        match self {
+            Target::Sc => Box::new(ScModel::sc()),
+            Target::Tsc => Box::new(ScModel::tsc()),
+            Target::X86 => Box::new(X86Model::baseline()),
+            Target::X86Tm => Box::new(X86Model::tm()),
+            Target::Power => Box::new(PowerModel::baseline()),
+            Target::PowerTm => Box::new(PowerModel::tm()),
+            Target::Armv8 => Box::new(Armv8Model::baseline()),
+            Target::Armv8Tm => Box::new(Armv8Model::tm()),
+            Target::Cpp => Box::new(CppModel::baseline()),
+            Target::CppTm => Box::new(CppModel::tm()),
+        }
+    }
+
+    /// The non-transactional baseline this target is built on (`self` if it
+    /// already is a baseline).
+    pub fn baseline(self) -> Target {
+        match self {
+            Target::Tsc => Target::Sc,
+            Target::X86Tm => Target::X86,
+            Target::PowerTm => Target::Power,
+            Target::Armv8Tm => Target::Armv8,
+            Target::CppTm => Target::Cpp,
+            other => other,
+        }
+    }
+
+    /// The transactional extension of this target (`self` if it already is
+    /// transactional).
+    pub fn transactional(self) -> Target {
+        match self {
+            Target::Sc => Target::Tsc,
+            Target::X86 => Target::X86Tm,
+            Target::Power => Target::PowerTm,
+            Target::Armv8 => Target::Armv8Tm,
+            Target::Cpp => Target::CppTm,
+            other => other,
+        }
+    }
+
+    /// True if this target includes the TM axioms.
+    pub fn is_transactional(self) -> bool {
+        self.transactional() == self
+    }
+
+    /// A short stable name, usable in file names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Sc => "sc",
+            Target::Tsc => "tsc",
+            Target::X86 => "x86",
+            Target::X86Tm => "x86-tm",
+            Target::Power => "power",
+            Target::PowerTm => "power-tm",
+            Target::Armv8 => "armv8",
+            Target::Armv8Tm => "armv8-tm",
+            Target::Cpp => "cpp",
+            Target::CppTm => "cpp-tm",
+        }
+    }
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::catalog;
+
+    #[test]
+    fn target_roundtrips_between_baseline_and_transactional() {
+        for t in Target::ALL {
+            assert_eq!(t.baseline().transactional(), t.transactional());
+            assert_eq!(t.transactional().baseline(), t.baseline());
+        }
+        assert!(Target::PowerTm.is_transactional());
+        assert!(!Target::Power.is_transactional());
+    }
+
+    #[test]
+    fn every_target_produces_a_model_with_its_axioms() {
+        for t in Target::ALL {
+            let model = t.model();
+            assert!(!model.axioms().is_empty());
+            assert!(!model.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn transactional_models_are_stronger_on_the_catalog() {
+        // For every catalog execution, a transactional model forbids at
+        // least as much as its baseline (monotone strengthening).
+        let execs = [
+            catalog::sb(),
+            catalog::sb_txn(),
+            catalog::mp(),
+            catalog::mp_txn(),
+            catalog::lb(),
+            catalog::lb_txn(),
+            catalog::fig2(),
+            catalog::fig3('a'),
+            catalog::power_wrc_tprop1(),
+            catalog::power_iriw_two_txns(),
+        ];
+        for t in Target::TRANSACTIONAL {
+            let tm = t.model();
+            let base = t.baseline().model();
+            for e in &execs {
+                if tm.is_consistent(e) {
+                    assert!(
+                        base.is_consistent(e),
+                        "{} allows an execution {} forbids",
+                        tm.name(),
+                        base.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(Target::X86Tm.to_string(), "x86-tm");
+        assert_eq!(Target::Cpp.to_string(), "cpp");
+    }
+}

@@ -1,0 +1,372 @@
+//! The Power memory model with transactional extensions (Fig. 6).
+
+use tm_exec::{Execution, Fence};
+use tm_relation::Relation;
+
+use crate::isolation::{cr_order, require_acyclic, require_empty, require_irreflexive};
+use crate::{MemoryModel, Verdict};
+
+/// The Power memory model of Alglave et al. ("herding cats"), extended —
+/// when `transactional` — with the paper's TM axioms:
+///
+/// * `Coherence`, `RMWIsol`, `Order` (`acyclic(hb)`), `Propagation`
+///   (`acyclic(co ∪ prop)`) and `Observation`
+///   (`irreflexive(fre ; prop ; hb*)`) from the baseline model;
+/// * implicit fences at transaction boundaries (`tfence` joins `sync` in
+///   the fence relation and in `prop2`);
+/// * `tprop1 = rfe ; stxn ; [W]` — the transaction's integrated memory
+///   barrier: writes it observed propagate before its own writes;
+/// * `tprop2 = stxn ; rfe` — transactional writes are multicopy-atomic;
+/// * `thb`, lifted over transactions into `hb` — successful transactions
+///   serialise in an order no thread can contradict;
+/// * `StrongIsol`, `TxnOrder`, and `TxnCancelsRMW` (an RMW straddling a
+///   transaction boundary always fails).
+///
+/// The preserved-program-order (`ppo`) fragment is approximated by
+/// dependencies (`addr`, `data`, control dependencies to stores, and
+/// dependency-into-internal-read-from chains); the paper elides the exact
+/// definition and our conformance suites only rely on this fragment.
+///
+/// # Examples
+///
+/// ```
+/// use tm_exec::catalog;
+/// use tm_models::{MemoryModel, PowerModel};
+///
+/// // WRC with dependencies is allowed on Power (it is not multicopy-atomic) …
+/// assert!(PowerModel::baseline().is_consistent(&catalog::wrc()));
+/// // … but becomes forbidden once the observer chain passes through a
+/// // transaction (execution (1) of §5.2).
+/// assert!(!PowerModel::tm().is_consistent(&catalog::power_wrc_tprop1()));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PowerModel {
+    transactional: bool,
+    cr_order: bool,
+}
+
+impl PowerModel {
+    /// The non-transactional baseline model.
+    pub fn baseline() -> PowerModel {
+        PowerModel {
+            transactional: false,
+            cr_order: false,
+        }
+    }
+
+    /// The transactional model.
+    pub fn tm() -> PowerModel {
+        PowerModel {
+            transactional: true,
+            cr_order: false,
+        }
+    }
+
+    /// Adds the `CROrder` axiom (serialisability of critical regions).
+    pub fn with_cr_order(mut self) -> PowerModel {
+        self.cr_order = true;
+        self
+    }
+
+    /// True if the TM axioms are enabled.
+    pub fn is_transactional(&self) -> bool {
+        self.transactional
+    }
+
+    /// The preserved-program-order approximation.
+    pub fn ppo(&self, exec: &Execution) -> Relation {
+        let deps = exec.addr.union(&exec.data);
+        let ctrl_to_writes = exec
+            .ctrl
+            .compose(&Relation::identity_on(&exec.writes()));
+        deps.union(&ctrl_to_writes)
+            .union(&deps.compose(&exec.rfi()))
+            .intersection(&exec.po)
+    }
+
+    /// The fence relation: `sync ∪ tfence ∪ (lwsync \ (W × R))`.
+    pub fn fence(&self, exec: &Execution) -> Relation {
+        let sync = exec.fence_rel(Fence::Sync);
+        let lwsync = exec.fence_rel(Fence::Lwsync);
+        let w_to_r = Relation::cross(&exec.writes(), &exec.reads());
+        let mut fence = sync.union(&lwsync.difference(&w_to_r));
+        if self.transactional {
+            fence = fence.union(&exec.tfence());
+        }
+        fence
+    }
+
+    /// Intra-thread happens-before: `ihb = ppo ∪ fence`.
+    pub fn ihb(&self, exec: &Execution) -> Relation {
+        self.ppo(exec).union(&self.fence(exec))
+    }
+
+    /// The transactional happens-before relation `thb` (only meaningful for
+    /// the transactional model):
+    /// `thb = (rfe ∪ ((fre ∪ coe)* ; ihb))* ; (fre ∪ coe)* ; rfe?`.
+    pub fn thb(&self, exec: &Execution) -> Relation {
+        let ihb = self.ihb(exec);
+        let fre_coe = exec.fre().union(&exec.coe());
+        let fre_coe_star = fre_coe.reflexive_transitive_closure();
+        let step = exec.rfe().union(&fre_coe_star.compose(&ihb));
+        step.reflexive_transitive_closure()
+            .compose(&fre_coe_star)
+            .compose(&exec.rfe().reflexive_closure())
+    }
+
+    /// The happens-before relation of Fig. 6:
+    /// `hb = (rfe? ; ihb ; rfe?) ∪ weaklift(thb, stxn)` (the lifted part only
+    /// with TM enabled).
+    pub fn hb(&self, exec: &Execution) -> Relation {
+        let ihb = self.ihb(exec);
+        let rfe_q = exec.rfe().reflexive_closure();
+        let mut hb = rfe_q.compose(&ihb).compose(&rfe_q);
+        if self.transactional {
+            hb = hb.union(&Execution::weaklift(&self.thb(exec), &exec.stxn));
+        }
+        hb
+    }
+
+    /// The propagation relation of Fig. 6 (including `tprop1`/`tprop2` when
+    /// TM is enabled).
+    pub fn prop(&self, exec: &Execution) -> Relation {
+        let n = exec.len();
+        let fence = self.fence(exec);
+        let hb_star = self.hb(exec).reflexive_transitive_closure();
+        let rfe_q = exec.rfe().reflexive_closure();
+        let efence = rfe_q.compose(&fence).compose(&rfe_q);
+        let id_w = Relation::identity_on(&exec.writes());
+
+        let prop1 = id_w.compose(&efence).compose(&hb_star).compose(&id_w);
+
+        let mut strong_fence = exec.fence_rel(Fence::Sync);
+        if self.transactional {
+            strong_fence = strong_fence.union(&exec.tfence());
+        }
+        let prop2 = exec
+            .come()
+            .reflexive_transitive_closure()
+            .compose(&efence.reflexive_transitive_closure())
+            .compose(&hb_star)
+            .compose(&strong_fence)
+            .compose(&hb_star);
+
+        let mut prop = prop1.union(&prop2);
+        if self.transactional {
+            let tprop1 = exec.rfe().compose(&exec.stxn).compose(&id_w);
+            let tprop2 = exec.stxn.compose(&exec.rfe());
+            prop = prop.union(&tprop1).union(&tprop2);
+        } else {
+            let _ = n;
+        }
+        prop
+    }
+}
+
+impl MemoryModel for PowerModel {
+    fn name(&self) -> &'static str {
+        if self.transactional {
+            "Power+TM"
+        } else {
+            "Power"
+        }
+    }
+
+    fn axioms(&self) -> Vec<&'static str> {
+        let mut axioms = vec![
+            "Coherence",
+            "RMWIsol",
+            "Order",
+            "Propagation",
+            "Observation",
+        ];
+        if self.transactional {
+            axioms.extend(["StrongIsol", "TxnOrder", "TxnCancelsRMW"]);
+        }
+        if self.cr_order {
+            axioms.push("CROrder");
+        }
+        axioms
+    }
+
+    fn check(&self, exec: &Execution) -> Verdict {
+        let mut verdict = Verdict::consistent(self.name());
+
+        require_acyclic(
+            &mut verdict,
+            "Coherence",
+            &exec.poloc().union(&exec.com()),
+        );
+        require_empty(
+            &mut verdict,
+            "RMWIsol",
+            &exec.rmw.intersection(&exec.fre().compose(&exec.coe())),
+        );
+
+        let hb = self.hb(exec);
+        require_acyclic(&mut verdict, "Order", &hb);
+
+        let prop = self.prop(exec);
+        require_acyclic(&mut verdict, "Propagation", &exec.co.union(&prop));
+        require_irreflexive(
+            &mut verdict,
+            "Observation",
+            &exec
+                .fre()
+                .compose(&prop)
+                .compose(&hb.reflexive_transitive_closure()),
+        );
+
+        if self.transactional {
+            require_acyclic(
+                &mut verdict,
+                "StrongIsol",
+                &Execution::stronglift(&exec.com(), &exec.stxn),
+            );
+            require_acyclic(
+                &mut verdict,
+                "TxnOrder",
+                &Execution::stronglift(&hb, &exec.stxn),
+            );
+            require_empty(
+                &mut verdict,
+                "TxnCancelsRMW",
+                &exec.rmw.intersection(&exec.tfence().transitive_closure()),
+            );
+        }
+        if self.cr_order && !cr_order(exec) {
+            verdict.push("CROrder", None);
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::{catalog, Event, ExecutionBuilder};
+
+    #[test]
+    fn baseline_allows_the_classic_power_relaxations() {
+        let m = PowerModel::baseline();
+        assert!(m.is_consistent(&catalog::sb()));
+        assert!(m.is_consistent(&catalog::mp()));
+        assert!(m.is_consistent(&catalog::lb()));
+        assert!(m.is_consistent(&catalog::wrc()));
+        assert!(m.is_consistent(&catalog::iriw()));
+    }
+
+    #[test]
+    fn mp_with_lwsync_and_addr_is_forbidden() {
+        let mut b = ExecutionBuilder::new();
+        let wx = b.push(Event::write(0, 0));
+        b.push(Event::fence(0, Fence::Lwsync));
+        let wy = b.push(Event::write(0, 1));
+        let ry = b.push(Event::read(1, 1));
+        let rx = b.push(Event::read(1, 0));
+        b.rf(wy, ry);
+        b.addr(ry, rx);
+        let e = b.build().unwrap();
+        let _ = (wx, rx);
+        let verdict = PowerModel::baseline().check(&e);
+        assert!(verdict.violates("Observation"), "{verdict}");
+    }
+
+    #[test]
+    fn sb_with_syncs_is_forbidden() {
+        let mut b = ExecutionBuilder::new();
+        b.push(Event::write(0, 0));
+        b.push(Event::fence(0, Fence::Sync));
+        b.push(Event::read(0, 1));
+        b.push(Event::write(1, 1));
+        b.push(Event::fence(1, Fence::Sync));
+        b.push(Event::read(1, 0));
+        let e = b.build().unwrap();
+        assert!(!PowerModel::baseline().is_consistent(&e));
+    }
+
+    #[test]
+    fn paper_power_executions_get_the_paper_verdicts() {
+        // Execution (1): forbidden with the transaction, allowed without TM
+        // semantics (§5.2, "Barriers within Transactions").
+        let e1 = catalog::power_wrc_tprop1();
+        assert!(PowerModel::baseline().is_consistent(&e1));
+        let verdict = PowerModel::tm().check(&e1);
+        assert!(verdict.violates("Observation"), "{verdict}");
+
+        // Execution (2): transactional writes are multicopy-atomic.
+        let e2 = catalog::power_wrc_tprop2();
+        assert!(PowerModel::baseline().is_consistent(&e2));
+        assert!(!PowerModel::tm().is_consistent(&e2));
+
+        // Execution (3): incompatible transaction serialisation orders.
+        let e3 = catalog::power_iriw_two_txns();
+        assert!(PowerModel::baseline().is_consistent(&e3));
+        let verdict = PowerModel::tm().check(&e3);
+        assert!(verdict.violates("Order"), "{verdict}");
+
+        // The one-transaction variant was observed on hardware and must stay
+        // allowed.
+        assert!(PowerModel::tm().is_consistent(&catalog::power_iriw_one_txn()));
+    }
+
+    #[test]
+    fn remark_5_1_executions_are_permitted() {
+        assert!(PowerModel::tm().is_consistent(&catalog::remark_5_1_first()));
+        assert!(PowerModel::tm().is_consistent(&catalog::remark_5_1_second()));
+    }
+
+    #[test]
+    fn transactional_classics_are_forbidden() {
+        let m = PowerModel::tm();
+        assert!(!m.is_consistent(&catalog::sb_txn()));
+        assert!(!m.is_consistent(&catalog::mp_txn()));
+        assert!(!m.is_consistent(&catalog::lb_txn()));
+        assert!(!m.is_consistent(&catalog::fig2()));
+        for which in ['a', 'b', 'c', 'd'] {
+            assert!(!m.is_consistent(&catalog::fig3(which)));
+        }
+    }
+
+    #[test]
+    fn txn_cancels_rmw_detects_straddling_rmw() {
+        let split = catalog::monotonicity_cex_split();
+        let verdict = PowerModel::tm().check(&split);
+        assert!(verdict.violates("TxnCancelsRMW"), "{verdict}");
+        assert!(PowerModel::tm().is_consistent(&catalog::monotonicity_cex_coalesced()));
+    }
+
+    #[test]
+    fn dongol_example_is_forbidden_by_our_stronger_model() {
+        // §9: Dongol et al.'s Power model allows this, ours forbids it,
+        // which is what makes the C++ compilation mapping sound.
+        let verdict = PowerModel::tm().check(&catalog::dongol_mp_txn());
+        assert!(!verdict.is_consistent());
+    }
+
+    #[test]
+    fn tm_model_agrees_with_baseline_on_plain_executions() {
+        for e in [
+            catalog::sb(),
+            catalog::mp(),
+            catalog::lb(),
+            catalog::wrc(),
+            catalog::iriw(),
+            catalog::sb_mfence(),
+        ] {
+            assert_eq!(
+                PowerModel::baseline().is_consistent(&e),
+                PowerModel::tm().is_consistent(&e)
+            );
+        }
+    }
+
+    #[test]
+    fn cr_order_is_opt_in() {
+        let abstract_exec = catalog::fig10_abstract();
+        assert!(PowerModel::tm().is_consistent(&abstract_exec));
+        assert!(!PowerModel::tm()
+            .with_cr_order()
+            .is_consistent(&abstract_exec));
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-axiom consistency verdicts.
+
+use std::fmt;
+
+/// A single violated axiom, possibly with a witnessing cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The name of the violated axiom (e.g. `"Order"`, `"TxnOrder"`).
+    pub axiom: &'static str,
+    /// A cycle (sequence of event identifiers) witnessing the violation,
+    /// when the axiom is an acyclicity or irreflexivity constraint and a
+    /// witness could be extracted.
+    pub witness: Option<Vec<usize>>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.witness {
+            Some(cycle) => write!(f, "{} (witness cycle {:?})", self.axiom, cycle),
+            None => write!(f, "{}", self.axiom),
+        }
+    }
+}
+
+/// The outcome of checking an execution against a memory model: the list of
+/// violated axioms (empty for a consistent execution).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Verdict {
+    /// The name of the model that produced this verdict.
+    pub model: &'static str,
+    /// Every axiom the execution violates.
+    pub violations: Vec<Violation>,
+}
+
+impl Verdict {
+    /// A verdict with no violations yet.
+    pub fn consistent(model: &'static str) -> Verdict {
+        Verdict {
+            model,
+            violations: Vec::new(),
+        }
+    }
+
+    /// True if no axiom is violated.
+    pub fn is_consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Records a violation of `axiom`.
+    pub fn push(&mut self, axiom: &'static str, witness: Option<Vec<usize>>) {
+        self.violations.push(Violation { axiom, witness });
+    }
+
+    /// True if the named axiom is among the violations.
+    pub fn violates(&self, axiom: &str) -> bool {
+        self.violations.iter().any(|v| v.axiom == axiom)
+    }
+
+    /// The names of all violated axioms, in check order.
+    pub fn violated_axioms(&self) -> Vec<&'static str> {
+        self.violations.iter().map(|v| v.axiom).collect()
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_consistent() {
+            write!(f, "{}: consistent", self.model)
+        } else {
+            write!(
+                f,
+                "{}: inconsistent ({})",
+                self.model,
+                self.violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistent_verdict_has_no_violations() {
+        let v = Verdict::consistent("SC");
+        assert!(v.is_consistent());
+        assert!(!v.violates("Order"));
+        assert_eq!(format!("{v}"), "SC: consistent");
+    }
+
+    #[test]
+    fn violations_are_recorded_and_rendered() {
+        let mut v = Verdict::consistent("x86");
+        v.push("Order", Some(vec![0, 1, 2]));
+        v.push("StrongIsol", None);
+        assert!(!v.is_consistent());
+        assert!(v.violates("Order") && v.violates("StrongIsol"));
+        assert_eq!(v.violated_axioms(), vec!["Order", "StrongIsol"]);
+        let s = format!("{v}");
+        assert!(s.contains("inconsistent") && s.contains("Order") && s.contains("[0, 1, 2]"));
+    }
+}

@@ -1,0 +1,261 @@
+//! The x86-TSO memory model with Intel TSX transactions (Fig. 5).
+
+use tm_exec::{Execution, Fence};
+use tm_relation::Relation;
+
+use crate::isolation::{cr_order, require_acyclic, require_empty};
+use crate::{MemoryModel, Verdict};
+
+/// The x86 memory model of Alglave et al., extended (when `transactional`)
+/// with the paper's TM axioms:
+///
+/// * `Coherence` — `acyclic(poloc ∪ com)`;
+/// * `RMWIsol` — `empty(rmw ∩ (fre ; coe))`;
+/// * `Order` — `acyclic(hb)` with
+///   `hb = mfence ∪ ppo ∪ implied ∪ rfe ∪ fr ∪ co`, where
+///   `ppo` keeps all program order except write→read pairs,
+///   `implied` orders everything around `LOCK`'d RMWs, and — with TM — the
+///   implicit fences at transaction boundaries (`tfence`);
+/// * `StrongIsol` and `TxnOrder` (TM only) — transactions are strongly
+///   isolated and appear atomic in `hb`.
+///
+/// Lock-elision checking (§8.3) additionally needs `CROrder`; enable it
+/// with [`X86Model::with_cr_order`].
+///
+/// # Examples
+///
+/// ```
+/// use tm_exec::catalog;
+/// use tm_models::{MemoryModel, X86Model};
+///
+/// // Store buffering is the one classic relaxation x86 exhibits …
+/// assert!(X86Model::baseline().is_consistent(&catalog::sb()));
+/// // … and it disappears once both threads are transactions.
+/// assert!(!X86Model::tm().is_consistent(&catalog::sb_txn()));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct X86Model {
+    transactional: bool,
+    cr_order: bool,
+}
+
+impl X86Model {
+    /// The non-transactional baseline model.
+    pub fn baseline() -> X86Model {
+        X86Model {
+            transactional: false,
+            cr_order: false,
+        }
+    }
+
+    /// The transactional (TSX) model.
+    pub fn tm() -> X86Model {
+        X86Model {
+            transactional: true,
+            cr_order: false,
+        }
+    }
+
+    /// Adds the `CROrder` axiom (serialisability of critical regions), used
+    /// when checking lock elision against abstract executions.
+    pub fn with_cr_order(mut self) -> X86Model {
+        self.cr_order = true;
+        self
+    }
+
+    /// True if the TM axioms are enabled.
+    pub fn is_transactional(&self) -> bool {
+        self.transactional
+    }
+
+    /// The happens-before relation of Fig. 5 for `exec`.
+    pub fn hb(&self, exec: &Execution) -> Relation {
+        let n = exec.len();
+        let writes = exec.writes();
+        let reads = exec.reads();
+
+        // ppo = ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po — everything except W→R.
+        let ww = Relation::cross(&writes, &writes);
+        let rw = Relation::cross(&reads, &writes);
+        let rr = Relation::cross(&reads, &reads);
+        let ppo = ww.union(&rw).union(&rr).intersection(&exec.po);
+
+        // implied = [L] ; po ∪ po ; [L] (∪ tfence with TM), where L is the
+        // set of events belonging to LOCK'd RMW operations.
+        let locked = exec.rmw.domain().union(&exec.rmw.range());
+        let id_l = Relation::identity_on(&locked);
+        let mut implied = id_l.compose(&exec.po).union(&exec.po.compose(&id_l));
+        let tfence = if self.transactional {
+            exec.tfence()
+        } else {
+            Relation::new(n)
+        };
+        implied = implied.union(&tfence);
+
+        exec.fence_rel(Fence::MFence)
+            .union(&ppo)
+            .union(&implied)
+            .union(&exec.rfe())
+            .union(&exec.fr())
+            .union(&exec.co)
+    }
+}
+
+impl MemoryModel for X86Model {
+    fn name(&self) -> &'static str {
+        if self.transactional {
+            "x86+TM"
+        } else {
+            "x86"
+        }
+    }
+
+    fn axioms(&self) -> Vec<&'static str> {
+        let mut axioms = vec!["Coherence", "RMWIsol", "Order"];
+        if self.transactional {
+            axioms.extend(["StrongIsol", "TxnOrder"]);
+        }
+        if self.cr_order {
+            axioms.push("CROrder");
+        }
+        axioms
+    }
+
+    fn check(&self, exec: &Execution) -> Verdict {
+        let mut verdict = Verdict::consistent(self.name());
+
+        require_acyclic(
+            &mut verdict,
+            "Coherence",
+            &exec.poloc().union(&exec.com()),
+        );
+        require_empty(
+            &mut verdict,
+            "RMWIsol",
+            &exec.rmw.intersection(&exec.fre().compose(&exec.coe())),
+        );
+
+        let hb = self.hb(exec);
+        require_acyclic(&mut verdict, "Order", &hb);
+
+        if self.transactional {
+            require_acyclic(
+                &mut verdict,
+                "StrongIsol",
+                &Execution::stronglift(&exec.com(), &exec.stxn),
+            );
+            require_acyclic(
+                &mut verdict,
+                "TxnOrder",
+                &Execution::stronglift(&hb, &exec.stxn),
+            );
+        }
+        if self.cr_order && !cr_order(exec) {
+            verdict.push("CROrder", None);
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::{catalog, Event, ExecutionBuilder};
+
+    #[test]
+    fn x86_allows_store_buffering_but_nothing_weaker() {
+        let m = X86Model::baseline();
+        assert!(m.is_consistent(&catalog::sb()));
+        assert!(!m.is_consistent(&catalog::mp()));
+        assert!(!m.is_consistent(&catalog::lb()));
+        assert!(!m.is_consistent(&catalog::iriw()));
+        assert!(!m.is_consistent(&catalog::wrc()));
+    }
+
+    #[test]
+    fn mfence_restores_order_for_sb() {
+        assert!(!X86Model::baseline().is_consistent(&catalog::sb_mfence()));
+    }
+
+    #[test]
+    fn locked_rmw_restores_order_for_sb() {
+        // SB where both stores are LOCK'd RMWs: the implied fences forbid
+        // the store-buffering relaxation.
+        let mut b = ExecutionBuilder::new();
+        let r0 = b.push(Event::read(0, 0));
+        let w0 = b.push(Event::write(0, 0));
+        let _ry = b.push(Event::read(0, 1));
+        let r1 = b.push(Event::read(1, 1));
+        let w1 = b.push(Event::write(1, 1));
+        let _rx = b.push(Event::read(1, 0));
+        b.rmw(r0, w0);
+        b.rmw(r1, w1);
+        let e = b.build().unwrap();
+        assert!(!X86Model::baseline().is_consistent(&e));
+
+        // With a LOCK'd RMW on only one thread, the other thread may still
+        // reorder its store with its load, so the outcome stays allowed.
+        let mut b = ExecutionBuilder::new();
+        let r0 = b.push(Event::read(0, 0));
+        let w0 = b.push(Event::write(0, 0));
+        let _ry = b.push(Event::read(0, 1));
+        let _wy = b.push(Event::write(1, 1));
+        let _rx = b.push(Event::read(1, 0));
+        b.rmw(r0, w0);
+        let e = b.build().unwrap();
+        assert!(X86Model::baseline().is_consistent(&e));
+    }
+
+    #[test]
+    fn transactions_forbid_sb() {
+        assert!(X86Model::baseline().is_consistent(&catalog::sb_txn()));
+        let verdict = X86Model::tm().check(&catalog::sb_txn());
+        assert!(!verdict.is_consistent());
+        // The implicit boundary fences and transaction ordering both fire.
+        assert!(verdict.violates("TxnOrder") || verdict.violates("Order"));
+    }
+
+    #[test]
+    fn tm_model_enforces_strong_isolation() {
+        for which in ['a', 'b', 'c', 'd'] {
+            let e = catalog::fig3(which);
+            assert!(X86Model::baseline().is_consistent(&e));
+            let verdict = X86Model::tm().check(&e);
+            assert!(verdict.violates("StrongIsol"), "fig3({which}): {verdict}");
+        }
+        assert!(!X86Model::tm().is_consistent(&catalog::fig2()));
+    }
+
+    #[test]
+    fn tm_model_agrees_with_baseline_on_plain_executions() {
+        for e in [
+            catalog::sb(),
+            catalog::mp(),
+            catalog::lb(),
+            catalog::iriw(),
+            catalog::wrc(),
+            catalog::fig1(),
+            catalog::sb_mfence(),
+        ] {
+            assert_eq!(
+                X86Model::baseline().is_consistent(&e),
+                X86Model::tm().is_consistent(&e),
+                "baseline and TM model must agree on transaction-free executions"
+            );
+        }
+    }
+
+    #[test]
+    fn cr_order_is_opt_in() {
+        let abstract_exec = catalog::fig10_abstract();
+        assert!(X86Model::tm().is_consistent(&abstract_exec));
+        assert!(!X86Model::tm().with_cr_order().is_consistent(&abstract_exec));
+    }
+
+    #[test]
+    fn coherence_violation_is_reported() {
+        // Fig. 1 reads from a po-later write: coherence violation.
+        let verdict = X86Model::baseline().check(&catalog::fig1());
+        assert!(verdict.violates("Coherence"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the relation algebra.
+
+use proptest::prelude::*;
+use tm_relation::{ElemSet, Relation};
+
+const N: usize = 8;
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0..N, 0..N), 0..24)
+        .prop_map(|pairs| Relation::from_pairs(N, pairs))
+}
+
+fn arb_set() -> impl Strategy<Value = ElemSet> {
+    proptest::collection::vec(0..N, 0..N).prop_map(|elems| ElemSet::from_iter(N, elems))
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative(a in arb_relation(), b in arb_relation()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn intersection_is_commutative(a in arb_relation(), b in arb_relation()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn union_is_associative(a in arb_relation(), b in arb_relation(), c in arb_relation()) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn composition_is_associative(a in arb_relation(), b in arb_relation(), c in arb_relation()) {
+        prop_assert_eq!(a.compose(&b).compose(&c), a.compose(&b.compose(&c)));
+    }
+
+    #[test]
+    fn identity_is_composition_unit(a in arb_relation()) {
+        let id = Relation::identity(N);
+        prop_assert_eq!(a.compose(&id), a.clone());
+        prop_assert_eq!(id.compose(&a), a);
+    }
+
+    #[test]
+    fn inverse_is_involutive(a in arb_relation()) {
+        prop_assert_eq!(a.inverse().inverse(), a);
+    }
+
+    #[test]
+    fn inverse_distributes_over_composition(a in arb_relation(), b in arb_relation()) {
+        // (a ; b)⁻¹ = b⁻¹ ; a⁻¹
+        prop_assert_eq!(a.compose(&b).inverse(), b.inverse().compose(&a.inverse()));
+    }
+
+    #[test]
+    fn transitive_closure_is_transitive_and_contains(a in arb_relation()) {
+        let plus = a.transitive_closure();
+        prop_assert!(a.is_subset_of(&plus));
+        prop_assert!(plus.compose(&plus).is_subset_of(&plus));
+        // Idempotence of closure.
+        prop_assert_eq!(plus.transitive_closure(), plus);
+    }
+
+    #[test]
+    fn rtc_contains_identity(a in arb_relation()) {
+        let star = a.reflexive_transitive_closure();
+        prop_assert!(Relation::identity(N).is_subset_of(&star));
+        prop_assert!(a.is_subset_of(&star));
+    }
+
+    #[test]
+    fn acyclic_iff_closure_irreflexive(a in arb_relation()) {
+        prop_assert_eq!(a.is_acyclic(), a.transitive_closure().is_irreflexive());
+    }
+
+    #[test]
+    fn find_cycle_agrees_with_is_acyclic(a in arb_relation()) {
+        match a.find_cycle() {
+            None => prop_assert!(a.is_acyclic()),
+            Some(cycle) => {
+                prop_assert!(!a.is_acyclic());
+                prop_assert!(!cycle.is_empty());
+                for w in cycle.windows(2) {
+                    prop_assert!(a.contains(w[0], w[1]));
+                }
+                prop_assert!(a.contains(*cycle.last().unwrap(), cycle[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan_for_relations(a in arb_relation(), b in arb_relation()) {
+        prop_assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersection(&b.complement())
+        );
+    }
+
+    #[test]
+    fn difference_is_intersection_with_complement(a in arb_relation(), b in arb_relation()) {
+        prop_assert_eq!(a.difference(&b), a.intersection(&b.complement()));
+    }
+
+    #[test]
+    fn restriction_via_identity_lift(a in arb_relation(), s in arb_set()) {
+        // [S] ; r ; [S] == restrict(r, S)
+        let id = Relation::identity_on(&s);
+        prop_assert_eq!(id.compose(&a).compose(&id), a.restrict(&s));
+    }
+
+    #[test]
+    fn domain_range_consistent_with_pairs(a in arb_relation()) {
+        for (x, y) in a.iter() {
+            prop_assert!(a.domain().contains(x));
+            prop_assert!(a.range().contains(y));
+        }
+        prop_assert_eq!(a.domain().is_empty(), a.is_empty());
+    }
+
+    #[test]
+    fn without_elem_removes_all_incident(a in arb_relation(), e in 0..N) {
+        let out = a.without_elem(e);
+        for (x, y) in out.iter() {
+            prop_assert!(x != e && y != e);
+        }
+        prop_assert!(out.is_subset_of(&a));
+    }
+
+    #[test]
+    fn set_algebra_laws(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.union(&b).len(), a.len() + b.len() - a.intersection(&b).len());
+        prop_assert!(a.intersection(&b).is_subset_of(&a));
+        prop_assert!(a.is_subset_of(&a.union(&b)));
+        prop_assert!(a.difference(&b).is_disjoint_from(&b));
+    }
+}

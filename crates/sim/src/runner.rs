@@ -1,0 +1,187 @@
+//! Running litmus tests on the operational simulators and checking their
+//! postconditions — the stand-in for the paper's `litmus` hardware runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tm_litmus::{Cond, LitmusTest};
+
+use crate::machine::{FinalState, Machine, SimArch};
+
+/// The outcome of running one litmus test many times.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObservationReport {
+    /// The test name.
+    pub name: String,
+    /// The architecture simulated.
+    pub arch: SimArch,
+    /// Total number of runs.
+    pub runs: usize,
+    /// Runs whose final state satisfied the postcondition.
+    pub matching_runs: usize,
+    /// Number of distinct final states seen across all runs.
+    pub distinct_states: usize,
+    /// True if the postcondition was observed at least once (the paper's
+    /// "seen" column).
+    pub observed: bool,
+}
+
+/// Evaluates a postcondition against a final state.
+pub fn satisfies(state: &FinalState, test: &LitmusTest) -> bool {
+    test.post.conjuncts.iter().all(|cond| match cond {
+        Cond::RegEq { thread, reg, value } => {
+            state
+                .registers
+                .iter()
+                .find(|(t, r, _)| t == thread && r == reg)
+                .map(|(_, _, v)| *v)
+                .unwrap_or(0)
+                == *value
+        }
+        Cond::LocEq { loc, value } => {
+            state
+                .memory
+                .iter()
+                .find(|(l, _)| l == loc)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+                == *value
+        }
+        Cond::TxnCommitted { thread } => state
+            .txn_committed
+            .iter()
+            .find(|(t, _)| t == thread)
+            .map(|(_, ok)| *ok)
+            .unwrap_or(false),
+    })
+}
+
+/// Runs `test` `runs` times on the `arch` simulator with schedules derived
+/// from `seed`, reporting whether its postcondition is observable.
+pub fn run_test(arch: SimArch, test: &LitmusTest, runs: usize, seed: u64) -> ObservationReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut matching = 0usize;
+    let mut states: Vec<FinalState> = Vec::new();
+    for _ in 0..runs {
+        let machine = Machine::new(arch, test);
+        let mut run_rng = StdRng::seed_from_u64(rng.gen());
+        let state = machine.run(&mut run_rng);
+        if satisfies(&state, test) {
+            matching += 1;
+        }
+        if !states.contains(&state) {
+            states.push(state);
+        }
+    }
+    ObservationReport {
+        name: test.name.clone(),
+        arch,
+        runs,
+        matching_runs: matching,
+        distinct_states: states.len(),
+        observed: matching > 0,
+    }
+}
+
+/// Runs a whole suite, returning one report per test.
+pub fn run_suite(
+    arch: SimArch,
+    tests: &[LitmusTest],
+    runs_per_test: usize,
+    seed: u64,
+) -> Vec<ObservationReport> {
+    tests
+        .iter()
+        .enumerate()
+        .map(|(i, t)| run_test(arch, t, runs_per_test, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// Summary statistics for a suite run: how many tests were observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SuiteObservation {
+    /// Number of tests in the suite.
+    pub total: usize,
+    /// Number of tests whose postcondition was observed at least once.
+    pub seen: usize,
+}
+
+impl SuiteObservation {
+    /// Aggregates per-test reports.
+    pub fn from_reports(reports: &[ObservationReport]) -> SuiteObservation {
+        SuiteObservation {
+            total: reports.len(),
+            seen: reports.iter().filter(|r| r.observed).count(),
+        }
+    }
+
+    /// Tests not observed (the paper's `¬S` column).
+    pub fn not_seen(&self) -> usize {
+        self.total - self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_litmus::from_execution;
+
+    #[test]
+    fn reports_count_matching_runs_and_states() {
+        let test = from_execution(&tm_exec::catalog::sb(), "sb");
+        let report = run_test(SimArch::X86, &test, 300, 1);
+        assert_eq!(report.runs, 300);
+        assert!(report.observed);
+        assert!(report.matching_runs > 0);
+        assert!(report.distinct_states >= 2);
+    }
+
+    #[test]
+    fn satisfies_checks_all_conjunct_kinds() {
+        let state = FinalState {
+            memory: vec![("x".into(), 2)],
+            registers: vec![(1, tm_litmus::Reg(0), 2)],
+            txn_committed: vec![(0, true)],
+        };
+        let mut test = LitmusTest::new("t");
+        test.post.conjuncts = vec![
+            Cond::LocEq {
+                loc: "x".into(),
+                value: 2,
+            },
+            Cond::RegEq {
+                thread: 1,
+                reg: tm_litmus::Reg(0),
+                value: 2,
+            },
+            Cond::TxnCommitted { thread: 0 },
+        ];
+        assert!(satisfies(&state, &test));
+        test.post.conjuncts.push(Cond::LocEq {
+            loc: "y".into(),
+            value: 1,
+        });
+        assert!(!satisfies(&state, &test));
+    }
+
+    #[test]
+    fn suite_observation_aggregates() {
+        let tests = vec![
+            from_execution(&tm_exec::catalog::sb(), "sb"),
+            from_execution(&tm_exec::catalog::sb_mfence(), "sb+mfence"),
+        ];
+        let reports = run_suite(SimArch::X86, &tests, 300, 3);
+        let summary = SuiteObservation::from_reports(&reports);
+        assert_eq!(summary.total, 2);
+        assert_eq!(summary.seen, 1);
+        assert_eq!(summary.not_seen(), 1);
+    }
+
+    #[test]
+    fn runs_are_reproducible_for_a_fixed_seed() {
+        let test = from_execution(&tm_exec::catalog::mp(), "mp");
+        let a = run_test(SimArch::Power, &test, 100, 99);
+        let b = run_test(SimArch::Power, &test, 100, 99);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,172 @@
+//! Canonicalisation of executions up to thread and location renaming.
+
+use tm_exec::{Event, EventKind, Execution, Loc};
+use tm_relation::Relation;
+
+/// A canonical textual signature of `exec` that is invariant under thread
+/// renaming and location renaming.
+///
+/// The enumerator's symmetry breaking is only partial (threads of equal size
+/// can still be swapped), so suites deduplicate found tests by this
+/// signature, mirroring the symmetry breaking Alloy performs for Memalloy.
+pub fn canonical_signature(exec: &Execution) -> String {
+    let thread_count = exec.thread_count();
+    let mut best: Option<String> = None;
+    for perm in thread_permutations(thread_count) {
+        let renamed = apply_thread_permutation(exec, &perm);
+        let relabelled = relabel_locations(&renamed);
+        let sig = relabelled.signature();
+        if best.as_ref().is_none_or(|b| sig < *b) {
+            best = Some(sig);
+        }
+    }
+    best.unwrap_or_default()
+}
+
+fn thread_permutations(k: usize) -> Vec<Vec<usize>> {
+    fn go(remaining: Vec<usize>, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if remaining.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for (i, &x) in remaining.iter().enumerate() {
+            let mut rest = remaining.clone();
+            rest.remove(i);
+            prefix.push(x);
+            go(rest, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    go((0..k).collect(), &mut Vec::new(), &mut out);
+    out
+}
+
+/// Renames threads according to `perm` (old thread `t` becomes
+/// `perm.position(t)`), re-ordering events so identifiers again list thread
+/// 0 first, then thread 1, and so on, preserving program order within each
+/// thread.
+fn apply_thread_permutation(exec: &Execution, perm: &[usize]) -> Execution {
+    let n = exec.len();
+    // perm[i] = old thread id placed at new position i.
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for &old_t in perm {
+        let mut ids: Vec<usize> = (0..n)
+            .filter(|&e| exec.event(e).thread.0 as usize == old_t)
+            .collect();
+        ids.sort_by_key(|&e| exec.po.predecessors(e).count());
+        order.extend(ids);
+    }
+    // map[old id] = new id
+    let mut map = vec![None; n];
+    for (new, &old) in order.iter().enumerate() {
+        map[old] = Some(new);
+    }
+    let new_thread_of_old: Vec<u32> = (0..n)
+        .map(|e| {
+            let old_t = exec.event(e).thread.0 as usize;
+            perm.iter().position(|&t| t == old_t).unwrap_or(old_t) as u32
+        })
+        .collect();
+    let mut events = vec![exec.event(0).clone(); n];
+    for old in 0..n {
+        let mut ev: Event = *exec.event(old);
+        ev.thread = tm_exec::ThreadId(new_thread_of_old[old]);
+        events[map[old].expect("every event is mapped")] = ev;
+    }
+    let rx = |r: &Relation| r.reindex(&map, n);
+    Execution {
+        events,
+        po: rx(&exec.po),
+        rf: rx(&exec.rf),
+        co: rx(&exec.co),
+        addr: rx(&exec.addr),
+        data: rx(&exec.data),
+        ctrl: rx(&exec.ctrl),
+        rmw: rx(&exec.rmw),
+        stxn: rx(&exec.stxn),
+        stxnat: rx(&exec.stxnat),
+        scr: rx(&exec.scr),
+        scrt: rx(&exec.scrt),
+    }
+}
+
+/// Renumbers locations in first-use order (by event identifier).
+fn relabel_locations(exec: &Execution) -> Execution {
+    let mut mapping: Vec<(Loc, Loc)> = Vec::new();
+    let mut out = exec.clone();
+    for e in 0..exec.len() {
+        if let Some(loc) = exec.event(e).loc() {
+            if !mapping.iter().any(|(old, _)| *old == loc) {
+                let new = Loc(mapping.len() as u32);
+                mapping.push((loc, new));
+            }
+        }
+    }
+    for e in 0..out.len() {
+        if let Some(loc) = out.events[e].loc() {
+            let new = mapping
+                .iter()
+                .find(|(old, _)| *old == loc)
+                .map(|(_, new)| *new)
+                .expect("every used location is in the mapping");
+            out.events[e].kind = match out.events[e].kind {
+                EventKind::Read(_) => EventKind::Read(new),
+                EventKind::Write(_) => EventKind::Write(new),
+                other => other,
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::{catalog, Event, ExecutionBuilder};
+
+    #[test]
+    fn signature_is_invariant_under_thread_swap() {
+        // SB with its two threads written in the two possible orders.
+        let a = catalog::sb();
+        let mut b = ExecutionBuilder::new();
+        b.push(Event::write(1, 0));
+        b.push(Event::read(1, 1));
+        b.push(Event::write(0, 1));
+        b.push(Event::read(0, 0));
+        let b = b.build().unwrap();
+        assert_ne!(a.signature(), b.signature());
+        assert_eq!(canonical_signature(&a), canonical_signature(&b));
+    }
+
+    #[test]
+    fn signature_is_invariant_under_location_renaming() {
+        let mut b1 = ExecutionBuilder::new();
+        b1.push(Event::write(0, 0));
+        b1.push(Event::read(1, 0));
+        let e1 = b1.build().unwrap();
+        let mut b2 = ExecutionBuilder::new();
+        b2.push(Event::write(0, 2));
+        b2.push(Event::read(1, 2));
+        let e2 = b2.build().unwrap();
+        assert_eq!(canonical_signature(&e1), canonical_signature(&e2));
+    }
+
+    #[test]
+    fn different_executions_get_different_signatures() {
+        assert_ne!(
+            canonical_signature(&catalog::sb()),
+            canonical_signature(&catalog::lb())
+        );
+        assert_ne!(
+            canonical_signature(&catalog::mp()),
+            canonical_signature(&catalog::mp_txn())
+        );
+    }
+
+    #[test]
+    fn signature_is_stable() {
+        let e = catalog::power_wrc_tprop1();
+        assert_eq!(canonical_signature(&e), canonical_signature(&e.clone()));
+    }
+}

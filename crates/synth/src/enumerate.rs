@@ -1,0 +1,472 @@
+//! Bounded exhaustive enumeration of well-formed candidate executions.
+
+use tm_exec::{Annot, Event, Execution, ExecutionBuilder};
+
+use crate::SynthConfig;
+
+/// Enumerates every well-formed candidate execution with exactly `n` events
+/// within the bounds of `config`, invoking `f` on each. Returns the number
+/// of executions visited.
+///
+/// Enumeration is canonical up to the obvious symmetries: threads are
+/// listed in non-increasing size order and locations are numbered in first-
+/// use order. Remaining thread symmetry (between equal-sized threads) is
+/// left to the caller to collapse with [`crate::canonical_signature`].
+pub fn enumerate_exact(config: &SynthConfig, n: usize, mut f: impl FnMut(&Execution)) -> usize {
+    let mut count = 0;
+    if n == 0 {
+        return 0;
+    }
+    for partition in compositions(n, config.max_threads) {
+        let mut shapes: Vec<EventShape> = Vec::with_capacity(n);
+        enumerate_shapes(config, &partition, &mut shapes, &mut |shapes| {
+            enumerate_relations(config, &partition, shapes, &mut |exec| {
+                count += 1;
+                f(exec);
+            });
+        });
+    }
+    count
+}
+
+/// Enumerates executions of every size from 2 up to `config.max_events`.
+pub fn enumerate_all(config: &SynthConfig, mut f: impl FnMut(&Execution)) -> usize {
+    let mut count = 0;
+    for n in 2..=config.max_events {
+        count += enumerate_exact(config, n, &mut f);
+    }
+    count
+}
+
+/// The non-increasing compositions of `n` into at most `max_parts` parts.
+fn compositions(n: usize, max_parts: usize) -> Vec<Vec<usize>> {
+    fn go(remaining: usize, max_part: usize, parts_left: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if remaining == 0 {
+            out.push(prefix.clone());
+            return;
+        }
+        if parts_left == 0 {
+            return;
+        }
+        for part in (1..=remaining.min(max_part)).rev() {
+            prefix.push(part);
+            go(remaining - part, part, parts_left - 1, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    go(n, n, max_parts, &mut Vec::new(), &mut out);
+    out
+}
+
+/// The per-event choice: what the event is, where it accesses, and how it is
+/// annotated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EventShape {
+    Read(u32, Annot),
+    Write(u32, Annot),
+    Fence(tm_exec::Fence),
+}
+
+fn enumerate_shapes(
+    config: &SynthConfig,
+    partition: &[usize],
+    shapes: &mut Vec<EventShape>,
+    f: &mut impl FnMut(&[EventShape]),
+) {
+    let n: usize = partition.iter().sum();
+    if shapes.len() == n {
+        f(shapes);
+        return;
+    }
+    // Location canonicalisation: a new event may use any location already
+    // used, or the next fresh one.
+    let used = shapes
+        .iter()
+        .filter_map(|s| match s {
+            EventShape::Read(l, _) | EventShape::Write(l, _) => Some(*l + 1),
+            EventShape::Fence(_) => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let loc_limit = (used + 1).min(config.max_locs as u32);
+    for loc in 0..loc_limit {
+        for &annot in &config.read_annots {
+            shapes.push(EventShape::Read(loc, annot));
+            enumerate_shapes(config, partition, shapes, f);
+            shapes.pop();
+        }
+        for &annot in &config.write_annots {
+            shapes.push(EventShape::Write(loc, annot));
+            enumerate_shapes(config, partition, shapes, f);
+            shapes.pop();
+        }
+    }
+    for &fence in &config.fences {
+        shapes.push(EventShape::Fence(fence));
+        enumerate_shapes(config, partition, shapes, f);
+        shapes.pop();
+    }
+}
+
+/// Iterates the cartesian product of `0..dims[i]` index tuples.
+fn for_each_product(dims: &[usize], mut f: impl FnMut(&[usize])) {
+    if dims.iter().any(|&d| d == 0) {
+        return;
+    }
+    let mut idx = vec![0usize; dims.len()];
+    loop {
+        f(&idx);
+        // Advance the odometer.
+        let mut i = 0;
+        loop {
+            if i == dims.len() {
+                return;
+            }
+            idx[i] += 1;
+            if idx[i] < dims[i] {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// All ways of choosing disjoint contiguous non-empty intervals (transactions)
+/// over a thread with events `ids` (in program order), with at most
+/// `max_txns` intervals in total across the caller's budget tracked by the
+/// caller. Each choice is a list of intervals, each a list of event ids.
+fn interval_sets(ids: &[usize]) -> Vec<Vec<Vec<usize>>> {
+    // Dynamic programming over positions: at each position either skip one
+    // event or start an interval of some length.
+    fn go(ids: &[usize], from: usize, acc: &mut Vec<Vec<usize>>, out: &mut Vec<Vec<Vec<usize>>>) {
+        if from == ids.len() {
+            out.push(acc.clone());
+            return;
+        }
+        // Event `from` is not in any transaction.
+        go(ids, from + 1, acc, out);
+        // Or an interval starts at `from`.
+        for end in from + 1..=ids.len() {
+            acc.push(ids[from..end].to_vec());
+            go(ids, end, acc, out);
+            acc.pop();
+        }
+    }
+    let mut out = Vec::new();
+    go(ids, 0, &mut Vec::new(), &mut out);
+    out
+}
+
+fn enumerate_relations(
+    config: &SynthConfig,
+    partition: &[usize],
+    shapes: &[EventShape],
+    f: &mut impl FnMut(&Execution),
+) {
+    let n = shapes.len();
+    // Event ids are grouped by thread: thread t owns a contiguous block.
+    let mut thread_of = vec![0u32; n];
+    let mut thread_blocks: Vec<Vec<usize>> = Vec::new();
+    {
+        let mut next = 0usize;
+        for (t, &size) in partition.iter().enumerate() {
+            let block: Vec<usize> = (next..next + size).collect();
+            for &e in &block {
+                thread_of[e] = t as u32;
+            }
+            thread_blocks.push(block);
+            next += size;
+        }
+    }
+
+    let loc_of = |e: usize| match shapes[e] {
+        EventShape::Read(l, _) | EventShape::Write(l, _) => Some(l),
+        EventShape::Fence(_) => None,
+    };
+    let is_read = |e: usize| matches!(shapes[e], EventShape::Read(..));
+    let is_write = |e: usize| matches!(shapes[e], EventShape::Write(..));
+
+    let reads: Vec<usize> = (0..n).filter(|&e| is_read(e)).collect();
+    let locs: Vec<u32> = {
+        let mut l: Vec<u32> = (0..n).filter_map(loc_of).collect();
+        l.sort_unstable();
+        l.dedup();
+        l
+    };
+
+    // rf choices: each read observes the initial state or one same-location
+    // write.
+    let rf_options: Vec<Vec<Option<usize>>> = reads
+        .iter()
+        .map(|&r| {
+            let mut opts: Vec<Option<usize>> = vec![None];
+            opts.extend(
+                (0..n)
+                    .filter(|&w| is_write(w) && loc_of(w) == loc_of(r))
+                    .map(Some),
+            );
+            opts
+        })
+        .collect();
+
+    // co choices: a permutation of the writes to each location.
+    let co_options: Vec<Vec<Vec<usize>>> = locs
+        .iter()
+        .map(|&l| {
+            let writes: Vec<usize> = (0..n)
+                .filter(|&w| is_write(w) && loc_of(w) == Some(l))
+                .collect();
+            permutations(&writes)
+        })
+        .collect();
+
+    // dependency choices: for each (read, po-later access on the same
+    // thread) pair, either no dependency or one (data to writes, address to
+    // reads).
+    let dep_pairs: Vec<(usize, usize)> = if config.dependencies {
+        let mut pairs = Vec::new();
+        for &r in &reads {
+            for e in r + 1..n {
+                if thread_of[e] == thread_of[r] && loc_of(e).is_some() {
+                    pairs.push((r, e));
+                }
+            }
+        }
+        pairs
+    } else {
+        Vec::new()
+    };
+
+    // rmw choices: adjacent same-location read/write pairs on one thread.
+    let rmw_pairs: Vec<(usize, usize)> = if config.rmws {
+        (0..n.saturating_sub(1))
+            .filter(|&e| {
+                is_read(e)
+                    && is_write(e + 1)
+                    && thread_of[e] == thread_of[e + 1]
+                    && loc_of(e) == loc_of(e + 1)
+            })
+            .map(|e| (e, e + 1))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // transaction choices: per thread, a set of disjoint contiguous
+    // intervals.
+    let txn_options: Vec<Vec<Vec<Vec<usize>>>> = if config.transactions {
+        thread_blocks.iter().map(|b| interval_sets(b)).collect()
+    } else {
+        thread_blocks.iter().map(|_| vec![vec![]]).collect()
+    };
+
+    // The odometer dimensions: rf per read, co per location, 2 per dep pair,
+    // 2 per rmw pair, txn set per thread.
+    let mut dims: Vec<usize> = Vec::new();
+    dims.extend(rf_options.iter().map(Vec::len));
+    dims.extend(co_options.iter().map(Vec::len));
+    dims.extend(std::iter::repeat(2).take(dep_pairs.len()));
+    dims.extend(std::iter::repeat(2).take(rmw_pairs.len()));
+    dims.extend(txn_options.iter().map(Vec::len));
+
+    for_each_product(&dims, |idx| {
+        let mut cursor = 0usize;
+        let mut b = ExecutionBuilder::new();
+        for (e, shape) in shapes.iter().enumerate() {
+            let event = match *shape {
+                EventShape::Read(l, a) => Event::read(thread_of[e], l).with_annot(a),
+                EventShape::Write(l, a) => Event::write(thread_of[e], l).with_annot(a),
+                EventShape::Fence(k) => Event::fence(thread_of[e], k),
+            };
+            b.push(event);
+        }
+        for (i, &r) in reads.iter().enumerate() {
+            if let Some(w) = rf_options[i][idx[cursor + i]] {
+                b.rf(w, r);
+            }
+        }
+        cursor += reads.len();
+        for (i, _) in locs.iter().enumerate() {
+            b.co_order(&co_options[i][idx[cursor + i]]);
+        }
+        cursor += locs.len();
+        for (i, &(r, e)) in dep_pairs.iter().enumerate() {
+            if idx[cursor + i] == 1 {
+                if is_write(e) {
+                    b.data(r, e);
+                } else {
+                    b.addr(r, e);
+                }
+            }
+        }
+        cursor += dep_pairs.len();
+        for (i, &(r, w)) in rmw_pairs.iter().enumerate() {
+            if idx[cursor + i] == 1 {
+                b.rmw(r, w);
+            }
+        }
+        cursor += rmw_pairs.len();
+        let mut txn_count = 0usize;
+        for (t, _) in thread_blocks.iter().enumerate() {
+            for interval in &txn_options[t][idx[cursor + t]] {
+                b.txn(interval);
+                txn_count += 1;
+            }
+        }
+        if txn_count > config.max_txns {
+            return;
+        }
+        if let Ok(exec) = b.build() {
+            f(&exec);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::Fence;
+
+    fn tiny_config() -> SynthConfig {
+        SynthConfig {
+            max_events: 2,
+            max_threads: 2,
+            max_locs: 2,
+            fences: vec![],
+            read_annots: vec![Annot::PLAIN],
+            write_annots: vec![Annot::PLAIN],
+            dependencies: false,
+            rmws: false,
+            transactions: false,
+            max_txns: 0,
+        }
+    }
+
+    #[test]
+    fn compositions_are_non_increasing_and_bounded() {
+        let cs = compositions(4, 3);
+        assert!(cs.contains(&vec![2, 2]));
+        assert!(cs.contains(&vec![2, 1, 1]));
+        assert!(!cs.contains(&vec![1, 1, 1, 1])); // four parts > max
+        for c in &cs {
+            assert_eq!(c.iter().sum::<usize>(), 4);
+            assert!(c.windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+
+    #[test]
+    fn product_iteration_covers_every_tuple() {
+        let mut seen = Vec::new();
+        for_each_product(&[2, 3], |idx| seen.push(idx.to_vec()));
+        assert_eq!(seen.len(), 6);
+        assert!(seen.contains(&vec![1, 2]));
+        // Empty dimension produces nothing.
+        let mut count = 0;
+        for_each_product(&[2, 0], |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn interval_sets_enumerate_disjoint_contiguous_txns() {
+        let sets = interval_sets(&[10, 11, 12]);
+        // Must include: none, each singleton, each pair, the triple, and
+        // combinations like [10],[12].
+        assert!(sets.contains(&vec![]));
+        assert!(sets.contains(&vec![vec![10, 11, 12]]));
+        assert!(sets.contains(&vec![vec![10], vec![12]]));
+        assert!(sets.contains(&vec![vec![10], vec![11], vec![12]]));
+        // All intervals are contiguous and disjoint.
+        for set in &sets {
+            let mut all: Vec<usize> = set.iter().flatten().copied().collect();
+            let len_before = all.len();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), len_before);
+        }
+    }
+
+    #[test]
+    fn two_event_enumeration_is_small_and_well_formed() {
+        let cfg = tiny_config();
+        let mut count = 0;
+        let total = enumerate_exact(&cfg, 2, |exec| {
+            assert_eq!(exec.len(), 2);
+            assert!(tm_exec::check_well_formed(exec).is_ok());
+            count += 1;
+        });
+        assert_eq!(count, total);
+        assert!(total > 0);
+        // Rough sanity bound: 2 events, ≤2 locations, R/W only.
+        assert!(total < 200, "unexpectedly large: {total}");
+    }
+
+    #[test]
+    fn transactions_increase_the_space() {
+        let without = enumerate_exact(&tiny_config(), 2, |_| {});
+        let mut cfg = tiny_config();
+        cfg.transactions = true;
+        cfg.max_txns = 2;
+        let with = enumerate_exact(&cfg, 2, |_| {});
+        assert!(with > without);
+    }
+
+    #[test]
+    fn fences_appear_when_enabled() {
+        let mut cfg = tiny_config();
+        cfg.fences = vec![Fence::MFence];
+        let mut saw_fence = false;
+        enumerate_exact(&cfg, 2, |exec| {
+            if !exec.fences().is_empty() {
+                saw_fence = true;
+            }
+        });
+        assert!(saw_fence);
+    }
+
+    #[test]
+    fn enumerate_all_sums_sizes() {
+        let mut cfg = tiny_config();
+        cfg.max_events = 3;
+        let two = enumerate_exact(&cfg, 2, |_| {});
+        let three = enumerate_exact(&cfg, 3, |_| {});
+        let all = enumerate_all(&cfg, |_| {});
+        assert_eq!(all, two + three);
+    }
+
+    #[test]
+    fn dependencies_and_rmws_appear_when_enabled() {
+        let mut cfg = tiny_config();
+        cfg.dependencies = true;
+        cfg.rmws = true;
+        let mut saw_dep = false;
+        let mut saw_rmw = false;
+        enumerate_exact(&cfg, 2, |exec| {
+            if !exec.data.is_empty() || !exec.addr.is_empty() {
+                saw_dep = true;
+            }
+            if !exec.rmw.is_empty() {
+                saw_rmw = true;
+            }
+        });
+        assert!(saw_dep);
+        assert!(saw_rmw);
+    }
+}

@@ -1,0 +1,49 @@
+//! Bounded exhaustive synthesis of conformance tests for transactional
+//! weak-memory models.
+//!
+//! This crate replaces the paper's SAT-based Memalloy backend with an
+//! explicit bounded search (see DESIGN.md for the substitution argument).
+//! It provides:
+//!
+//! * [`enumerate_exact`] / [`enumerate_all`] — enumeration of every
+//!   well-formed candidate execution within a [`SynthConfig`] bound;
+//! * [`weakenings`] — the ⊏ execution-weakening order of §4.2 (event
+//!   removal, dependency removal, annotation downgrade, transaction shrink);
+//! * [`synthesise_suites`] — the Forbid (minimally-forbidden) and Allow
+//!   (maximally-allowed) conformance suites of Table 1;
+//! * [`find_distinguishing`] — Memalloy's core query: one execution that
+//!   separates two models;
+//! * [`canonical_signature`] — deduplication up to thread/location renaming.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tm_models::{ScModel, X86Model};
+//! use tm_synth::{synthesise_suites, SynthConfig};
+//!
+//! // Synthesise the 3-event Forbid/Allow suites for x86+TM.
+//! let cfg = SynthConfig::x86(3);
+//! let report = synthesise_suites(&X86Model::tm(), &X86Model::baseline(), &cfg, 3);
+//! println!(
+//!     "|E|=3: enumerated {}, forbid {}, allow {}",
+//!     report.enumerated,
+//!     report.forbid.len(),
+//!     report.allow.len()
+//! );
+//! # let _ = ScModel::sc();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod canon;
+mod config;
+mod enumerate;
+mod suite;
+mod weaken;
+
+pub use canon::canonical_signature;
+pub use config::SynthConfig;
+pub use enumerate::{enumerate_all, enumerate_exact};
+pub use suite::{find_distinguishing, synthesise_suites, SuiteReport, SynthesisedTest};
+pub use weaken::weakenings;

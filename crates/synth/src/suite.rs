@@ -1,0 +1,269 @@
+//! Synthesis of Forbid and Allow conformance suites (§4.2, Table 1).
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use tm_exec::Execution;
+use tm_litmus::{from_execution, Expectation, LitmusTest};
+use tm_models::MemoryModel;
+
+use crate::{canonical_signature, enumerate_exact, weakenings, SynthConfig};
+
+/// One synthesised conformance test.
+#[derive(Clone, Debug)]
+pub struct SynthesisedTest {
+    /// The witnessing execution.
+    pub execution: Execution,
+    /// The litmus test derived from it (§2.2, §3.2).
+    pub litmus: LitmusTest,
+    /// How long after the start of synthesis this test was found — the raw
+    /// data behind Fig. 7.
+    pub found_after: Duration,
+}
+
+/// The result of synthesising the Forbid and Allow suites for one model at
+/// one event-count bound: the row format of Table 1.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// Name of the transactional model under study.
+    pub model: String,
+    /// The exact number of events enumerated.
+    pub event_count: usize,
+    /// How many candidate executions were visited.
+    pub enumerated: usize,
+    /// Minimally-forbidden tests: inconsistent under the TM model, consistent
+    /// under the baseline, and every ⊏-weakening consistent under the TM
+    /// model.
+    pub forbid: Vec<SynthesisedTest>,
+    /// Maximally-allowed tests: one ⊏-step weakenings of Forbid tests that
+    /// the TM model accepts.
+    pub allow: Vec<SynthesisedTest>,
+    /// Total wall-clock synthesis time.
+    pub elapsed: Duration,
+}
+
+impl SuiteReport {
+    /// The number of transactions in each Forbid test, as a histogram keyed
+    /// by transaction count (index 0 = no transaction). Used to reproduce
+    /// the "29% had one transaction, 44% had two, …" breakdown of §5.3.
+    pub fn forbid_txn_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; 4];
+        for t in &self.forbid {
+            let k = t.execution.txn_classes().len().min(3);
+            hist[k] += 1;
+        }
+        hist
+    }
+}
+
+/// Synthesises the Forbid and Allow suites for `tm_model` against
+/// `baseline`, enumerating executions with exactly `events` events.
+///
+/// Following §4.2 and §5.3:
+///
+/// * **Forbid** = executions forbidden by the transactional model, allowed
+///   by the baseline, and minimal in the ⊏ order (every weakening is
+///   consistent under the transactional model);
+/// * **Allow** = the one-step weakenings of Forbid tests that the
+///   transactional model accepts (the approximation of maximal consistency
+///   used by the paper).
+///
+/// Tests are deduplicated up to thread and location renaming.
+pub fn synthesise_suites(
+    tm_model: &dyn MemoryModel,
+    baseline: &dyn MemoryModel,
+    config: &SynthConfig,
+    events: usize,
+) -> SuiteReport {
+    let start = Instant::now();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut forbid: Vec<SynthesisedTest> = Vec::new();
+
+    let enumerated = enumerate_exact(config, events, |exec| {
+        // Forbid tests distinguish the TM model from its baseline, so an
+        // execution with no transaction can never qualify.
+        if exec.txn_classes().is_empty() {
+            return;
+        }
+        if tm_model.is_consistent(exec) || !baseline.is_consistent(exec) {
+            return;
+        }
+        // Minimality: every ⊏-weaker execution is consistent under the TM
+        // model.
+        if !weakenings(exec).iter().all(|w| tm_model.is_consistent(w)) {
+            return;
+        }
+        if !seen.insert(canonical_signature(exec)) {
+            return;
+        }
+        let index = forbid.len();
+        let mut litmus = from_execution(exec, &format!("forbid-{}-{events}ev-{index}", tm_model.name()));
+        litmus.expectation = Some(Expectation::Forbidden);
+        forbid.push(SynthesisedTest {
+            execution: exec.clone(),
+            litmus,
+            found_after: start.elapsed(),
+        });
+    });
+
+    // Allow suite: weakenings of Forbid tests that the model accepts.
+    let mut allow: Vec<SynthesisedTest> = Vec::new();
+    let mut allow_seen: HashSet<String> = HashSet::new();
+    for test in &forbid {
+        for weaker in weakenings(&test.execution) {
+            if !tm_model.is_consistent(&weaker) {
+                continue;
+            }
+            if !allow_seen.insert(canonical_signature(&weaker)) {
+                continue;
+            }
+            let index = allow.len();
+            let mut litmus = from_execution(
+                &weaker,
+                &format!("allow-{}-{events}ev-{index}", tm_model.name()),
+            );
+            litmus.expectation = Some(Expectation::Allowed);
+            allow.push(SynthesisedTest {
+                execution: weaker,
+                litmus,
+                found_after: start.elapsed(),
+            });
+        }
+    }
+
+    SuiteReport {
+        model: tm_model.name().to_string(),
+        event_count: events,
+        enumerated,
+        forbid,
+        allow,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Searches for a single execution that is inconsistent under `stronger` but
+/// consistent under `weaker` — Memalloy's core "compare two models" query.
+/// Sizes from 2 to `config.max_events` are tried in order; the first witness
+/// is returned.
+pub fn find_distinguishing(
+    stronger: &dyn MemoryModel,
+    weaker: &dyn MemoryModel,
+    config: &SynthConfig,
+) -> Option<Execution> {
+    for n in 2..=config.max_events {
+        let mut found: Option<Execution> = None;
+        enumerate_exact(config, n, |exec| {
+            if found.is_some() {
+                return;
+            }
+            if !stronger.is_consistent(exec) && weaker.is_consistent(exec) {
+                found = Some(exec.clone());
+            }
+        });
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_models::{Armv8Model, PowerModel, ScModel, X86Model};
+
+    #[test]
+    fn tsc_versus_sc_finds_the_isolation_tests_at_three_events() {
+        let cfg = SynthConfig {
+            dependencies: false,
+            rmws: false,
+            fences: vec![],
+            ..SynthConfig::x86(3)
+        };
+        let report = synthesise_suites(&ScModel::tsc(), &ScModel::sc(), &cfg, 3);
+        // The Fig. 3 shapes (strong-isolation violations) are among the
+        // minimally-forbidden TSC tests.
+        assert!(!report.forbid.is_empty());
+        assert!(report.enumerated > 0);
+        for t in &report.forbid {
+            assert!(!ScModel::tsc().is_consistent(&t.execution));
+            assert!(ScModel::sc().is_consistent(&t.execution));
+            assert_eq!(t.litmus.expectation, Some(Expectation::Forbidden));
+        }
+        // Every forbid test contains at least one transaction.
+        assert_eq!(report.forbid_txn_histogram()[0], 0);
+    }
+
+    #[test]
+    fn x86_two_event_suites_are_tiny() {
+        let cfg = SynthConfig::x86(2);
+        let report = synthesise_suites(&X86Model::tm(), &X86Model::baseline(), &cfg, 2);
+        // With two events there is very little a transaction can forbid that
+        // the baseline allows (the paper found 4 such tests at |E|=3 and 0
+        // at |E|=2 for x86).
+        assert!(report.forbid.len() <= 2, "got {}", report.forbid.len());
+        for t in &report.allow {
+            assert!(X86Model::tm().is_consistent(&t.execution));
+        }
+    }
+
+    #[test]
+    fn forbid_tests_are_minimal() {
+        let cfg = SynthConfig::x86(3);
+        let report = synthesise_suites(&X86Model::tm(), &X86Model::baseline(), &cfg, 3);
+        for t in &report.forbid {
+            for w in weakenings(&t.execution) {
+                assert!(
+                    X86Model::tm().is_consistent(&w),
+                    "a weakening of a Forbid test must be consistent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allow_tests_are_weakenings_that_pass() {
+        let cfg = SynthConfig::x86(3);
+        let report = synthesise_suites(&X86Model::tm(), &X86Model::baseline(), &cfg, 3);
+        assert!(report.allow.len() >= report.forbid.len());
+        for t in &report.allow {
+            assert_eq!(t.litmus.expectation, Some(Expectation::Allowed));
+        }
+    }
+
+    #[test]
+    fn distinguishing_search_separates_known_model_pairs() {
+        let cfg = SynthConfig {
+            transactions: false,
+            rmws: false,
+            fences: vec![],
+            dependencies: false,
+            ..SynthConfig::x86(4)
+        };
+        // SC is stronger than x86: store buffering distinguishes them.
+        let witness = find_distinguishing(&ScModel::sc(), &X86Model::baseline(), &cfg)
+            .expect("SC and x86 differ");
+        assert!(!ScModel::sc().is_consistent(&witness));
+        assert!(X86Model::baseline().is_consistent(&witness));
+
+        // ARMv8 is weaker than x86 on po relaxations: the reverse direction
+        // also finds a witness (x86 forbids something ARMv8 allows).
+        let witness = find_distinguishing(&X86Model::baseline(), &Armv8Model::baseline(), &cfg)
+            .expect("x86 and ARMv8 differ");
+        assert!(Armv8Model::baseline().is_consistent(&witness));
+    }
+
+    #[test]
+    fn power_tm_forbid_tests_exist_at_four_events_with_rmws() {
+        // The §8.1 TxnCancelsRMW shape appears as a tiny Forbid test.
+        let cfg = SynthConfig::power(2);
+        let report = synthesise_suites(&PowerModel::tm(), &PowerModel::baseline(), &cfg, 2);
+        assert!(
+            report
+                .forbid
+                .iter()
+                .any(|t| !t.execution.rmw.is_empty() && !t.execution.txn_classes().is_empty()),
+            "expected an RMW-straddling-transaction Forbid test"
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! The ⊏ execution-weakening order of §4.2.
+
+use tm_exec::{check_well_formed, Annot, Execution};
+
+/// Returns every execution one ⊏-step weaker than `exec`:
+///
+/// 1. an event removed (with its incident edges) — §4.2(i);
+/// 2. a dependency edge (`addr`, `ctrl`, `data`, `rmw`) removed — §4.2(ii);
+/// 3. an event downgraded to a strictly weaker annotation — §4.2(iii);
+/// 4. the first or last event of a transaction made non-transactional —
+///    §4.2(v).
+///
+/// Ill-formed results (e.g. a lock-elision critical region losing its lock
+/// call) are dropped: they are not candidate executions at all.
+pub fn weakenings(exec: &Execution) -> Vec<Execution> {
+    let mut out = Vec::new();
+    let mut push = |candidate: Execution| {
+        if check_well_formed(&candidate).is_ok() {
+            out.push(candidate);
+        }
+    };
+
+    // (i) remove an event.
+    for e in 0..exec.len() {
+        push(exec.remove_event(e));
+    }
+
+    // (ii) remove a dependency edge.
+    for field in [DepField::Addr, DepField::Ctrl, DepField::Data, DepField::Rmw] {
+        let rel = field.get(exec);
+        for (a, b) in rel.iter() {
+            let mut weaker = exec.clone();
+            field.get_mut(&mut weaker).remove(a, b);
+            push(weaker);
+        }
+    }
+
+    // (iii) downgrade an event's annotation.
+    for e in 0..exec.len() {
+        let current = exec.event(e).annot;
+        for weaker in weaker_annots(current) {
+            let mut weaker_exec = exec.clone();
+            weaker_exec.events[e].annot = weaker;
+            push(weaker_exec);
+        }
+    }
+
+    // (v) shrink a transaction at either end.
+    for class in exec.txn_classes() {
+        let first = *class
+            .iter()
+            .min_by_key(|&&e| exec.po.predecessors(e).count())
+            .expect("transaction classes are non-empty");
+        let last = *class
+            .iter()
+            .max_by_key(|&&e| exec.po.predecessors(e).count())
+            .expect("transaction classes are non-empty");
+        let mut ends = vec![first];
+        if last != first {
+            ends.push(last);
+        }
+        for end in ends {
+            let mut weaker = exec.clone();
+            for other in 0..exec.len() {
+                weaker.stxn.remove(end, other);
+                weaker.stxn.remove(other, end);
+                weaker.stxnat.remove(end, other);
+                weaker.stxnat.remove(other, end);
+            }
+            push(weaker);
+        }
+    }
+
+    out
+}
+
+/// Annotation choices strictly weaker than `annot`, drawn from the standard
+/// lattice plain ⊑ relaxed ⊑ {acquire, release} ⊑ seq_cst.
+fn weaker_annots(annot: Annot) -> Vec<Annot> {
+    let candidates = [
+        Annot::PLAIN,
+        Annot::relaxed_atomic(),
+        Annot::acquire(),
+        Annot::release(),
+        Annot::acquire_atomic(),
+        Annot::release_atomic(),
+    ];
+    candidates
+        .into_iter()
+        .filter(|c| *c != annot && c.is_weaker_or_equal(annot))
+        .collect()
+}
+
+#[derive(Clone, Copy)]
+enum DepField {
+    Addr,
+    Ctrl,
+    Data,
+    Rmw,
+}
+
+impl DepField {
+    fn get<'a>(&self, exec: &'a Execution) -> &'a tm_relation::Relation {
+        match self {
+            DepField::Addr => &exec.addr,
+            DepField::Ctrl => &exec.ctrl,
+            DepField::Data => &exec.data,
+            DepField::Rmw => &exec.rmw,
+        }
+    }
+
+    fn get_mut<'a>(&self, exec: &'a mut Execution) -> &'a mut tm_relation::Relation {
+        match self {
+            DepField::Addr => &mut exec.addr,
+            DepField::Ctrl => &mut exec.ctrl,
+            DepField::Data => &mut exec.data,
+            DepField::Rmw => &mut exec.rmw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::{catalog, Event, ExecutionBuilder};
+
+    #[test]
+    fn weakening_a_plain_execution_removes_events_only() {
+        let sb = catalog::sb();
+        let ws = weakenings(&sb);
+        // Four single-event removals, nothing else (no deps, txns, annots).
+        assert_eq!(ws.len(), 4);
+        assert!(ws.iter().all(|w| w.len() == 3));
+    }
+
+    #[test]
+    fn weakening_removes_dependency_edges() {
+        let wrc = catalog::wrc();
+        let ws = weakenings(&wrc);
+        // 5 event removals + 2 dependency removals.
+        assert_eq!(ws.len(), 7);
+        assert!(ws
+            .iter()
+            .any(|w| w.len() == 5 && w.data.is_empty() && !w.addr.is_empty()));
+        assert!(ws
+            .iter()
+            .any(|w| w.len() == 5 && w.addr.is_empty() && !w.data.is_empty()));
+    }
+
+    #[test]
+    fn weakening_shrinks_transactions_from_the_ends() {
+        let fig2 = catalog::fig2();
+        let ws = weakenings(&fig2);
+        // Three event removals plus two transaction shrinks.
+        assert_eq!(ws.len(), 5);
+        let shrunk: Vec<&Execution> = ws.iter().filter(|w| w.len() == 3).collect();
+        assert_eq!(shrunk.len(), 2);
+        for w in shrunk {
+            assert_eq!(w.txn_classes().iter().map(Vec::len).sum::<usize>(), 1);
+        }
+    }
+
+    #[test]
+    fn weakening_downgrades_annotations() {
+        let mut b = ExecutionBuilder::new();
+        b.push(Event::write(0, 0).with_annot(Annot::release()));
+        b.push(Event::read(1, 0).with_annot(Annot::acquire()));
+        let e = b.build().unwrap();
+        let ws = weakenings(&e);
+        // Two removals + one downgrade each.
+        assert_eq!(ws.len(), 4);
+        assert!(ws
+            .iter()
+            .any(|w| w.len() == 2 && w.event(0).annot == Annot::PLAIN));
+        assert!(ws
+            .iter()
+            .any(|w| w.len() == 2 && w.event(1).annot == Annot::PLAIN));
+    }
+
+    #[test]
+    fn weaker_annot_lattice_is_strict() {
+        assert!(weaker_annots(Annot::PLAIN).is_empty());
+        assert!(weaker_annots(Annot::acquire()).contains(&Annot::PLAIN));
+        let sc = weaker_annots(Annot::seq_cst());
+        assert!(sc.contains(&Annot::acquire_atomic()));
+        assert!(sc.contains(&Annot::relaxed_atomic()));
+        assert!(!sc.contains(&Annot::seq_cst()));
+    }
+
+    #[test]
+    fn weakenings_of_rmw_pair_drop_the_pairing() {
+        let e = catalog::monotonicity_cex_coalesced();
+        let ws = weakenings(&e);
+        assert!(ws.iter().any(|w| w.len() == 2 && w.rmw.is_empty()));
+    }
+
+    #[test]
+    fn all_weakenings_are_well_formed() {
+        for exec in [
+            catalog::power_wrc_tprop1(),
+            catalog::power_iriw_two_txns(),
+            catalog::fig10_abstract(),
+            catalog::example_1_1_concrete(false),
+        ] {
+            for w in weakenings(&exec) {
+                assert!(check_well_formed(&w).is_ok());
+            }
+        }
+    }
+}

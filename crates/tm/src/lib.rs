@@ -1,0 +1,54 @@
+//! Umbrella crate for the reproduction of *The Semantics of Transactions and
+//! Weak Memory in x86, Power, ARM, and C++* (PLDI 2018).
+//!
+//! Each subsystem lives in its own crate; this crate simply re-exports them
+//! under one roof so that downstream users (and the repository's examples
+//! and integration tests) can depend on a single package:
+//!
+//! * [`exec`] — candidate executions: events, relations, well-formedness,
+//!   and the catalog of every execution discussed in the paper;
+//! * [`models`] — the axiomatic memory models (SC/TSC, x86, Power, ARMv8,
+//!   C++) with their transactional extensions;
+//! * [`litmus`] — litmus tests: generation from executions, rendering for
+//!   each architecture, and a text format for suites;
+//! * [`synth`] — bounded exhaustive synthesis of Forbid/Allow conformance
+//!   suites (the Memalloy replacement);
+//! * [`sim`] — operational weak-memory + HTM simulators (the hardware
+//!   replacement) and a litmus runner;
+//! * [`metatheory`] — monotonicity, compilation and lock-elision checking,
+//!   plus the bounded checks of Theorems 7.2 and 7.3;
+//! * [`relation`] — the underlying finite relation algebra.
+//!
+//! # Example
+//!
+//! ```
+//! use tm_weak_memory::exec::catalog;
+//! use tm_weak_memory::models::{MemoryModel, Armv8Model};
+//!
+//! // The headline result: the lock-elision witness of Example 1.1 is
+//! // consistent under the proposed ARMv8 TM extension.
+//! let witness = catalog::example_1_1_concrete(false);
+//! assert!(Armv8Model::tm().is_consistent(&witness));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tm_exec as exec;
+pub use tm_litmus as litmus;
+pub use tm_metatheory as metatheory;
+pub use tm_models as models;
+pub use tm_relation as relation;
+pub use tm_sim as sim;
+pub use tm_synth as synth;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_wired_up() {
+        let exec = crate::exec::catalog::sb();
+        assert_eq!(exec.len(), 4);
+        let test = crate::litmus::from_execution(&exec, "sb");
+        assert_eq!(test.threads.len(), 2);
+    }
+}

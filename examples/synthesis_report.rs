@@ -1,0 +1,111 @@
+//! Synthesises the Forbid and Allow conformance suites (Table 1) for a
+//! chosen architecture and event bound, runs them on the operational
+//! simulator, and prints the resulting table row plus the suites themselves
+//! in the litmus text format.
+//!
+//! Run with, e.g.:
+//!
+//! ```text
+//! cargo run --release --example synthesis_report -- x86 3
+//! cargo run --release --example synthesis_report -- power 3
+//! cargo run --release --example synthesis_report -- armv8 3
+//! ```
+
+use std::env;
+
+use tm_weak_memory::litmus::suite_to_text;
+use tm_weak_memory::models::{Armv8Model, MemoryModel, PowerModel, X86Model};
+use tm_weak_memory::sim::{run_suite, SimArch, SuiteObservation};
+use tm_weak_memory::synth::{synthesise_suites, SynthConfig};
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    let arch = args.get(1).map(String::as_str).unwrap_or("x86");
+    let events: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .clamp(2, 5);
+
+    let (tm_model, baseline, config, sim): (
+        Box<dyn MemoryModel>,
+        Box<dyn MemoryModel>,
+        SynthConfig,
+        Option<SimArch>,
+    ) = match arch {
+        "power" => (
+            Box::new(PowerModel::tm()),
+            Box::new(PowerModel::baseline()),
+            SynthConfig::power(events),
+            Some(SimArch::Power),
+        ),
+        "armv8" => (
+            Box::new(Armv8Model::tm()),
+            Box::new(Armv8Model::baseline()),
+            SynthConfig::armv8(events),
+            // ARM hardware has no TM (§6.2): the suites are generated but
+            // cannot be run, exactly as in the paper.
+            None,
+        ),
+        _ => (
+            Box::new(X86Model::tm()),
+            Box::new(X86Model::baseline()),
+            SynthConfig::x86(events),
+            Some(SimArch::X86),
+        ),
+    };
+
+    eprintln!("synthesising {arch} suites at |E| = {events} …");
+    let report = synthesise_suites(tm_model.as_ref(), baseline.as_ref(), &config, events);
+
+    let (forbid_seen, allow_seen) = match sim {
+        Some(sim_arch) => {
+            let forbid_tests: Vec<_> = report.forbid.iter().map(|t| t.litmus.clone()).collect();
+            let allow_tests: Vec<_> = report.allow.iter().map(|t| t.litmus.clone()).collect();
+            let runs = 2000;
+            let forbid_obs =
+                SuiteObservation::from_reports(&run_suite(sim_arch, &forbid_tests, runs, 7));
+            let allow_obs =
+                SuiteObservation::from_reports(&run_suite(sim_arch, &allow_tests, runs, 7));
+            (Some(forbid_obs), Some(allow_obs))
+        }
+        None => (None, None),
+    };
+
+    println!("== Table 1 row for {} ==", report.model);
+    println!(
+        "{:>4} {:>12} {:>14} {:>8} {:>4} {:>4} {:>8} {:>4} {:>4}",
+        "|E|", "enumerated", "synth time", "Forbid", "S", "¬S", "Allow", "S", "¬S"
+    );
+    let fmt_obs = |o: &Option<SuiteObservation>, total: usize| match o {
+        Some(obs) => (obs.seen.to_string(), obs.not_seen().to_string()),
+        None => ("-".to_string(), total.to_string()),
+    };
+    let (fs, fns) = fmt_obs(&forbid_seen, report.forbid.len());
+    let (als, alns) = fmt_obs(&allow_seen, report.allow.len());
+    println!(
+        "{:>4} {:>12} {:>14?} {:>8} {:>4} {:>4} {:>8} {:>4} {:>4}",
+        report.event_count,
+        report.enumerated,
+        report.elapsed,
+        report.forbid.len(),
+        fs,
+        fns,
+        report.allow.len(),
+        als,
+        alns,
+    );
+    let hist = report.forbid_txn_histogram();
+    println!(
+        "Forbid tests by transaction count: 1 txn: {}, 2 txns: {}, 3+ txns: {}",
+        hist[1], hist[2], hist[3]
+    );
+
+    println!("\n== Forbid suite ({} tests) ==", report.forbid.len());
+    println!(
+        "{}",
+        suite_to_text(report.forbid.iter().map(|t| &t.litmus))
+    );
+    println!("== Allow suite ({} tests) ==", report.allow.len());
+    println!("{}", suite_to_text(report.allow.iter().map(|t| &t.litmus)));
+}
