@@ -7,8 +7,7 @@
 //! enumerator at its largest bound: the `found_after` timestamps recorded by
 //! `synthesise_suites` give the cumulative-percentage series directly.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use tm_bench::measure;
 use tm_models::X86Model;
 use tm_synth::{synthesise_suites, SynthConfig};
 
@@ -54,17 +53,11 @@ fn print_fig7() {
     println!();
 }
 
-fn bench_fig7(c: &mut Criterion) {
+fn main() {
     print_fig7();
 
-    let mut group = c.benchmark_group("fig7-synthesis-time");
-    group.sample_size(10);
-    group.bench_function("x86-forbid-3ev", |b| {
-        let cfg = SynthConfig::x86(3);
-        b.iter(|| synthesise_suites(&X86Model::tm(), &X86Model::baseline(), &cfg, 3));
+    let cfg = SynthConfig::x86(3);
+    measure("fig7-synthesis-time/x86-forbid-3ev", 5, || {
+        let _ = synthesise_suites(&X86Model::tm(), &X86Model::baseline(), &cfg, 3);
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);

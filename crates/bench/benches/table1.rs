@@ -8,9 +8,7 @@
 //! grow steeply with |E|, no Forbid test ever observed, most Allow tests
 //! observed on x86 — is the reproduction target (see EXPERIMENTS.md).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use tm_bench::table1_targets;
+use tm_bench::{measure, table1_targets};
 use tm_sim::{run_suite, SimArch, SuiteObservation};
 use tm_synth::synthesise_suites;
 
@@ -85,20 +83,14 @@ fn print_table1() {
     println!();
 }
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     print_table1();
 
-    // Criterion measurement: the synthesis kernel itself at |E| = 3 for each
-    // architecture (the unit of work behind every cell of the table).
-    let mut group = c.benchmark_group("table1-synthesis");
-    group.sample_size(10);
+    // Timing: the synthesis kernel itself at |E| = 3 for each architecture
+    // (the unit of work behind every cell of the table).
     for (name, tm, base, cfg) in table1_targets(3) {
-        group.bench_with_input(BenchmarkId::new("forbid+allow", &name), &name, |b, _| {
-            b.iter(|| synthesise_suites(tm.as_ref(), base.as_ref(), &cfg, 3));
+        measure(&format!("table1-synthesis/forbid+allow/{name}"), 5, || {
+            let _ = synthesise_suites(tm.as_ref(), base.as_ref(), &cfg, 3);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

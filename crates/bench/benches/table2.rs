@@ -9,13 +9,11 @@
 //! DMB repair is applied. See EXPERIMENTS.md for the Power lock-elision
 //! discussion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use tm_bench::measure;
 use tm_exec::Annot;
 use tm_litmus::Arch;
 use tm_metatheory::{
-    check_compilation, check_lock_elision, check_monotonicity, check_theorem_7_2,
-    check_theorem_7_3,
+    check_compilation, check_lock_elision, check_monotonicity, check_theorem_7_2, check_theorem_7_3,
 };
 use tm_models::{Armv8Model, CppModel, MemoryModel, PowerModel, X86Model};
 use tm_synth::SynthConfig;
@@ -30,8 +28,8 @@ fn cpp_config(bound: usize) -> SynthConfig {
 fn print_table2() {
     println!("\n=== Table 2 (reproduced): metatheoretical results ===");
     println!(
-        "{:<14} {:<14} {:>8} {:>12}  {}",
-        "property", "target", "events", "time", "counterexample?"
+        "{:<14} {:<14} {:>8} {:>12}  counterexample?",
+        "property", "target", "events", "time"
     );
 
     let monotonicity: Vec<(Box<dyn MemoryModel>, SynthConfig, usize)> = vec![
@@ -82,7 +80,10 @@ fn print_table2() {
             if r.sound() { "no" } else { "YES" }
         );
     }
-    for r in [check_theorem_7_2(&cpp_config(3), 3), check_theorem_7_3(&cpp_config(3), 3)] {
+    for r in [
+        check_theorem_7_2(&cpp_config(3), 3),
+        check_theorem_7_3(&cpp_config(3), 3),
+    ] {
         println!(
             "{:<14} {:<14} {:>8} {:>12?}  {}",
             format!("Theorem {}", r.theorem),
@@ -95,22 +96,16 @@ fn print_table2() {
     println!();
 }
 
-fn bench_table2(c: &mut Criterion) {
+fn main() {
     print_table2();
 
-    let mut group = c.benchmark_group("table2-metatheory");
-    group.sample_size(10);
-    group.bench_function("monotonicity-x86-3ev", |b| {
-        b.iter(|| check_monotonicity(&X86Model::tm(), &SynthConfig::x86(3), 3))
+    measure("table2-metatheory/monotonicity-x86-3ev", 5, || {
+        let _ = check_monotonicity(&X86Model::tm(), &SynthConfig::x86(3), 3);
     });
-    group.bench_function("compilation-cpp-to-armv8-3ev", |b| {
-        b.iter(|| check_compilation(Arch::Armv8, &cpp_config(3), 3))
+    measure("table2-metatheory/compilation-cpp-to-armv8-3ev", 5, || {
+        let _ = check_compilation(Arch::Armv8, &cpp_config(3), 3);
     });
-    group.bench_function("lock-elision-armv8", |b| {
-        b.iter(|| check_lock_elision(Arch::Armv8, false))
+    measure("table2-metatheory/lock-elision-armv8", 5, || {
+        let _ = check_lock_elision(Arch::Armv8, false);
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

@@ -1,0 +1,248 @@
+//! The bounded-exhaustive sweep throughput benchmark behind
+//! `BENCH_synth.json`.
+//!
+//! Measures executions checked per second on the Table 1/Table 2 workload —
+//! enumerate every candidate execution up to `max_events` and check each
+//! against the transactional model and its baseline — in two configurations:
+//!
+//! * **baseline** — the pre-refactor pipeline, reproduced verbatim: the
+//!   single-threaded builder-based reference enumerator feeding an inline
+//!   copy of the original x86 consistency check, which recomputes every
+//!   derived relation (`sloc`, `fr`, `com`, `tfence`, the lifts) on each
+//!   mention, exactly as the models did before the `ExecView` migration;
+//! * **optimized** — the current pipeline: parallel pruned enumeration with
+//!   one memoized [`ExecView`] shared by both model checks per execution.
+//!
+//! Run with `cargo run --release -p tm-bench --bin bench_synth`; pass a
+//! different event bound as the first argument (default 6). The JSON report
+//! is written to `BENCH_synth.json` in the current directory so the perf
+//! trajectory of the sweep is tracked from PR to PR.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use tm_exec::{ExecView, Execution, Fence};
+use tm_models::{MemoryModel, X86Model};
+use tm_relation::Relation;
+use tm_synth::{enumerate_exact, enumerate_exact_reference, SynthConfig};
+
+// ---- the pre-refactor x86 check, kept verbatim as the measured baseline ---
+
+/// `stronglift` as it was before the empty-transaction early-out.
+fn stronglift_seed(r: &Relation, t: &Relation) -> Relation {
+    let tq = t.reflexive_closure();
+    tq.compose(&r.difference(t)).compose(&tq)
+}
+
+/// `tfence` as it was before the empty-transaction early-out.
+fn tfence_seed(exec: &Execution) -> Relation {
+    let not_stxn = exec.stxn.complement();
+    let enter = not_stxn.compose(&exec.stxn);
+    let exit = exec.stxn.compose(&not_stxn);
+    exec.po.intersection(&enter.union(&exit))
+}
+
+/// The x86 happens-before relation computed the pre-refactor way: every
+/// derived relation recomputed from the bare `Execution` on each mention.
+fn hb_seed(exec: &Execution, transactional: bool) -> Relation {
+    let writes = exec.writes();
+    let reads = exec.reads();
+    let ww = Relation::cross(&writes, &writes);
+    let rw = Relation::cross(&reads, &writes);
+    let rr = Relation::cross(&reads, &reads);
+    let ppo = ww.union(&rw).union(&rr).intersection(&exec.po);
+    let locked = exec.rmw.domain().union(&exec.rmw.range());
+    let id_l = Relation::identity_on(&locked);
+    let mut implied = id_l.compose(&exec.po).union(&exec.po.compose(&id_l));
+    let tf = if transactional {
+        tfence_seed(exec)
+    } else {
+        Relation::new(exec.len())
+    };
+    implied = implied.union(&tf);
+    exec.fence_rel(Fence::MFence)
+        .union(&ppo)
+        .union(&implied)
+        .union(&exec.rfe())
+        .union(&exec.fr())
+        .union(&exec.co)
+}
+
+/// The full pre-refactor x86 check: same axioms, same witness extraction,
+/// no memoization and no early-outs.
+fn check_seed(exec: &Execution, transactional: bool) -> bool {
+    let mut consistent = true;
+    consistent &= exec.poloc().union(&exec.com()).find_cycle().is_none();
+    consistent &= exec
+        .rmw
+        .intersection(&exec.fre().compose(&exec.coe()))
+        .iter()
+        .next()
+        .is_none();
+    let hb = hb_seed(exec, transactional);
+    consistent &= hb.find_cycle().is_none();
+    if transactional {
+        consistent &= stronglift_seed(&exec.com(), &exec.stxn)
+            .find_cycle()
+            .is_none();
+        consistent &= stronglift_seed(&hb, &exec.stxn).find_cycle().is_none();
+    }
+    consistent
+}
+
+/// The sweep configuration: the x86 study of Table 1, trimmed (two threads,
+/// two locations, one transaction, no RMW dimension) so that the full
+/// |E| ≤ 6 sweep — about ten million candidate executions — finishes in
+/// minutes rather than the hours the paper reports for its SAT backend.
+fn sweep_config(max_events: usize) -> SynthConfig {
+    let mut cfg = SynthConfig::x86(max_events);
+    cfg.max_threads = 2;
+    cfg.max_locs = 2;
+    cfg.rmws = false;
+    cfg.max_txns = 1;
+    cfg
+}
+
+struct Mode {
+    name: &'static str,
+    executions: usize,
+    checks: usize,
+    /// How many checks came back consistent — compared across the two modes
+    /// to guarantee they computed the same thing.
+    consistent: usize,
+    seconds: f64,
+}
+
+impl Mode {
+    fn execs_per_sec(&self) -> f64 {
+        self.executions as f64 / self.seconds.max(f64::EPSILON)
+    }
+}
+
+fn run_baseline(cfg: &SynthConfig, max_events: usize) -> Mode {
+    let mut executions = 0usize;
+    let mut checks = 0usize;
+    let mut consistent = 0usize;
+    let start = Instant::now();
+    for n in 2..=max_events {
+        executions += enumerate_exact_reference(cfg, n, |exec| {
+            // The pre-refactor sweep: x86+TM and its baseline model, each
+            // recomputing every derived relation from scratch.
+            consistent += usize::from(check_seed(exec, true));
+            consistent += usize::from(check_seed(exec, false));
+            checks += 2;
+        });
+    }
+    Mode {
+        name: "baseline",
+        executions,
+        checks,
+        consistent,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn run_optimized(cfg: &SynthConfig, models: &[&dyn MemoryModel], max_events: usize) -> Mode {
+    let mut executions = 0usize;
+    let checks = AtomicUsize::new(0);
+    let consistent = AtomicUsize::new(0);
+    let start = Instant::now();
+    for n in 2..=max_events {
+        executions += enumerate_exact(cfg, n, |exec| {
+            // One memoized view shared by all models checking this
+            // execution.
+            let view = ExecView::new(exec);
+            for model in models {
+                if model.is_consistent_view(&view) {
+                    consistent.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            checks.fetch_add(models.len(), Ordering::Relaxed);
+        });
+    }
+    Mode {
+        name: "optimized",
+        executions,
+        checks: checks.into_inner(),
+        consistent: consistent.into_inner(),
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let max_events: usize = match std::env::args().nth(1) {
+        None => 6,
+        Some(arg) => match arg.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("usage: bench_synth [max_events]   (got {arg:?})");
+                std::process::exit(2);
+            }
+        },
+    };
+    let cfg = sweep_config(max_events);
+    let tm = X86Model::tm();
+    let base = X86Model::baseline();
+    let models: [&dyn MemoryModel; 2] = [&tm, &base];
+
+    eprintln!("sweep: x86-trimmed, |E| = 2..={max_events}, 2 models per execution");
+    let baseline = run_baseline(&cfg, max_events);
+    eprintln!(
+        "baseline : {} executions ({} checks) in {:.3}s = {:.0} execs/s",
+        baseline.executions,
+        baseline.checks,
+        baseline.seconds,
+        baseline.execs_per_sec()
+    );
+    let optimized = run_optimized(&cfg, &models, max_events);
+    eprintln!(
+        "optimized: {} executions ({} checks) in {:.3}s = {:.0} execs/s",
+        optimized.executions,
+        optimized.checks,
+        optimized.seconds,
+        optimized.execs_per_sec()
+    );
+    assert_eq!(
+        baseline.executions, optimized.executions,
+        "both pipelines must visit the same space"
+    );
+    assert_eq!(
+        baseline.consistent, optimized.consistent,
+        "both pipelines must reach the same verdicts"
+    );
+
+    let speedup = optimized.execs_per_sec() / baseline.execs_per_sec();
+    eprintln!("speedup  : {speedup:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"synth-sweep\",");
+    let _ = writeln!(json, "  \"config\": \"x86-trimmed\",");
+    let _ = writeln!(json, "  \"max_events\": {max_events},");
+    let _ = writeln!(json, "  \"models_per_execution\": {},", models.len());
+    let _ = writeln!(
+        json,
+        "  \"threads\": {},",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    for mode in [&baseline, &optimized] {
+        let _ = writeln!(json, "  \"{}\": {{", mode.name);
+        let _ = writeln!(json, "    \"executions\": {},", mode.executions);
+        let _ = writeln!(json, "    \"checks\": {},", mode.checks);
+        let _ = writeln!(json, "    \"seconds\": {:.6},", mode.seconds);
+        let _ = writeln!(
+            json,
+            "    \"executions_per_sec\": {:.1}",
+            mode.execs_per_sec()
+        );
+        let _ = writeln!(json, "  }},");
+    }
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3}");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_synth.json", &json).expect("write BENCH_synth.json");
+    println!("{json}");
+}

@@ -8,7 +8,7 @@
 //! prints as `x`, `1` as `y`, and so on. Locations `9` is used for the lock
 //! variable `m` of the lock-elision examples.
 
-use crate::{Annot, Event, ExecutionBuilder, Execution, Fence, LockCall};
+use crate::{Annot, Event, Execution, ExecutionBuilder, Fence, LockCall};
 
 /// The lock variable `m` used by the lock-elision executions.
 pub const LOCK_VAR: u32 = 9;
@@ -179,7 +179,8 @@ pub fn power_iriw_one_txn() -> Execution {
     b.rf(f, d);
     b.addr(rb, c);
     b.addr(d, e);
-    b.build().expect("power IRIW one-txn variant is well-formed")
+    b.build()
+        .expect("power IRIW one-txn variant is well-formed")
 }
 
 /// Remark 5.1, first execution: a read-only transaction in the WRC position.
@@ -228,7 +229,8 @@ pub fn monotonicity_cex_split() -> Execution {
     b.rmw(r, w);
     b.txn(&[r]);
     b.txn(&[w]);
-    b.build().expect("monotonicity counterexample (split) is well-formed")
+    b.build()
+        .expect("monotonicity counterexample (split) is well-formed")
 }
 
 /// §8.1 monotonicity counterexample, *after* coalescing: the same RMW inside
@@ -240,7 +242,8 @@ pub fn monotonicity_cex_coalesced() -> Execution {
     let w = b.push(Event::write(0, 0));
     b.rmw(r, w);
     b.txn(&[r, w]);
-    b.build().expect("monotonicity counterexample (coalesced) is well-formed")
+    b.build()
+        .expect("monotonicity counterexample (coalesced) is well-formed")
 }
 
 /// The §9 (related work) execution used to compare against Dongol et al.:
@@ -445,7 +448,8 @@ pub fn example_1_1_concrete(include_dmb: bool) -> Execution {
     // write to x is coherence-before the locked CR's write (final x = 2).
     b.co(str_x2, str_x);
     b.co(stxr, stlr);
-    b.build().expect("example 1.1 concrete execution is well-formed")
+    b.build()
+        .expect("example 1.1 concrete execution is well-formed")
 }
 
 /// Appendix B (second unsoundness example), concrete ARMv8 execution: the
@@ -472,7 +476,8 @@ pub fn appendix_b_concrete(include_dmb: bool) -> Execution {
     b.rf(str_x1, ldr_x);
     b.co(str_x1, str_x2);
     b.co(stxr, stlr);
-    b.build().expect("appendix B concrete execution is well-formed")
+    b.build()
+        .expect("appendix B concrete execution is well-formed")
 }
 
 #[cfg(test)]

@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A shared-memory location.
 ///
 /// Executions use abstract locations; litmus-test generation later maps them
 /// to names (`x`, `y`, `z`, …) and machine addresses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Loc(pub u32);
 
 impl Loc {
@@ -31,7 +29,7 @@ impl fmt::Display for Loc {
 }
 
 /// A thread identifier within an execution.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadId(pub u32);
 
 impl fmt::Display for ThreadId {
@@ -47,7 +45,7 @@ impl fmt::Display for ThreadId {
 /// program order around fence events by [`Execution::fence_rel`].
 ///
 /// [`Execution::fence_rel`]: crate::Execution::fence_rel
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Fence {
     /// x86 `MFENCE`.
     MFence,
@@ -71,6 +69,29 @@ pub enum Fence {
     FenceAcq,
     /// C++ `atomic_thread_fence(memory_order_release)`.
     FenceRel,
+}
+
+impl Fence {
+    /// Number of fence kinds (the size of a dense per-kind table).
+    pub const COUNT: usize = 11;
+
+    /// A dense index in `0..Fence::COUNT`, stable across runs; used to key
+    /// per-kind memoization tables.
+    pub fn index(self) -> usize {
+        match self {
+            Fence::MFence => 0,
+            Fence::Sync => 1,
+            Fence::Lwsync => 2,
+            Fence::Isync => 3,
+            Fence::Dmb => 4,
+            Fence::DmbLd => 5,
+            Fence::DmbSt => 6,
+            Fence::Isb => 7,
+            Fence::FenceSc => 8,
+            Fence::FenceAcq => 9,
+            Fence::FenceRel => 10,
+        }
+    }
 }
 
 impl fmt::Display for Fence {
@@ -97,7 +118,7 @@ impl fmt::Display for Fence {
 /// These appear only in the *abstract* executions used to specify a lock
 /// library; the lock-elision mapping π expands them into loads, stores and
 /// barriers on the lock variable.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LockCall {
     /// `lock()` implemented by actually acquiring the mutex (the paper's `L`).
     Lock,
@@ -122,7 +143,7 @@ impl fmt::Display for LockCall {
 }
 
 /// What a memory event does.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// A read (load) of a location.
     Read(Loc),
@@ -150,7 +171,7 @@ impl EventKind {
 /// simply ignores the annotations that do not concern it (e.g. the C++ model
 /// ignores `acquire` on an ARMv8 `LDAR`-style load, which is instead encoded
 /// via `acq`).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Annot {
     /// Acquire semantics (ARMv8 `LDAR`/`LDAXR`, C++ `memory_order_acquire`).
     pub acq: bool,
@@ -234,7 +255,7 @@ impl Annot {
 }
 
 /// A runtime memory event: one vertex of an execution graph.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Event {
     /// The thread this event belongs to.
     pub thread: ThreadId,

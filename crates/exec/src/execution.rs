@@ -4,7 +4,7 @@ use std::fmt;
 
 use tm_relation::{ElemSet, Relation};
 
-use crate::{Event, EventKind, Fence, LockCall, Loc};
+use crate::{Event, EventKind, Fence, Loc, LockCall, ThreadId};
 
 /// A candidate execution (§2.1, extended with transactions as in §3.1 and
 /// lock-elision critical regions as in §8.3).
@@ -204,11 +204,23 @@ impl Execution {
     /// Same-location: relates accesses to the same location (irreflexive
     /// pairs included both ways; reflexive pairs excluded).
     pub fn sloc(&self) -> Relation {
+        // Group accesses by location first, then relate within each group,
+        // rather than scanning all event pairs.
         let mut r = Relation::new(self.len());
-        for (i, a) in self.events.iter().enumerate() {
-            for (j, b) in self.events.iter().enumerate() {
-                if i != j && a.loc().is_some() && a.loc() == b.loc() {
+        let mut by_loc: Vec<(Loc, Vec<usize>)> = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if let Some(loc) = e.loc() {
+                match by_loc.iter_mut().find(|(l, _)| *l == loc) {
+                    Some((_, group)) => group.push(i),
+                    None => by_loc.push((loc, vec![i])),
+                }
+            }
+        }
+        for (_, group) in &by_loc {
+            for (k, &i) in group.iter().enumerate() {
+                for &j in &group[k + 1..] {
                     r.insert(i, j);
+                    r.insert(j, i);
                 }
             }
         }
@@ -218,10 +230,19 @@ impl Execution {
     /// Same-thread (internal) pairs: `(po ∪ po⁻¹)*`, i.e. both events on the
     /// same thread (including the reflexive pairs).
     pub fn same_thread(&self) -> Relation {
+        // Group by thread, then relate within each group (reflexive pairs
+        // included), rather than scanning all event pairs.
         let mut r = Relation::new(self.len());
-        for (i, a) in self.events.iter().enumerate() {
-            for (j, b) in self.events.iter().enumerate() {
-                if a.thread == b.thread {
+        let mut by_thread: Vec<(ThreadId, Vec<usize>)> = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match by_thread.iter_mut().find(|(t, _)| *t == e.thread) {
+                Some((_, group)) => group.push(i),
+                None => by_thread.push((e.thread, vec![i])),
+            }
+        }
+        for (_, group) in &by_thread {
+            for &i in group {
+                for &j in group {
                     r.insert(i, j);
                 }
             }
@@ -356,6 +377,10 @@ impl Execution {
     /// both exits the first and enters the second, so it is in `tfence`;
     /// this matters for the transaction-coalescing counterexample of §8.1.
     pub fn tfence(&self) -> Relation {
+        // No transaction, no boundary: po ∩ ((¬∅;∅) ∪ (∅;¬∅)) = ∅.
+        if self.stxn.is_empty() {
+            return Relation::new(self.len());
+        }
         let not_stxn = self.stxn.complement();
         let enter = not_stxn.compose(&self.stxn);
         let exit = self.stxn.compose(&not_stxn);
@@ -367,12 +392,20 @@ impl Execution {
     /// `weaklift(r, t) = t ; (r \ t) ; t` — relates whole transactions when
     /// some event of one is `r`-related to some event of another (§3.3).
     pub fn weaklift(r: &Relation, t: &Relation) -> Relation {
+        // ∅ ; (r \ ∅) ; ∅ = ∅.
+        if t.is_empty() {
+            return Relation::new(r.universe());
+        }
         t.compose(&r.difference(t)).compose(t)
     }
 
     /// `stronglift(r, t) = t? ; (r \ t) ; t?` — like [`Execution::weaklift`]
     /// but the source and/or target may also be non-transactional events.
     pub fn stronglift(r: &Relation, t: &Relation) -> Relation {
+        // ∅? = id, so stronglift(r, ∅) = id ; r ; id = r.
+        if t.is_empty() {
+            return r.clone();
+        }
         let tq = t.reflexive_closure();
         tq.compose(&r.difference(t)).compose(&tq)
     }
@@ -396,9 +429,9 @@ impl Execution {
         let n = self.len();
         let mut map = vec![None; n];
         let mut next = 0;
-        for i in 0..n {
+        for (i, slot) in map.iter_mut().enumerate() {
             if i != id {
-                map[i] = Some(next);
+                *slot = Some(next);
                 next += 1;
             }
         }

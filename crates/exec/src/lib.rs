@@ -41,9 +41,11 @@ mod builder;
 pub mod catalog;
 mod event;
 mod execution;
+mod view;
 mod wf;
 
 pub use builder::ExecutionBuilder;
 pub use event::{Annot, Event, EventKind, Fence, Loc, LockCall, ThreadId};
 pub use execution::Execution;
+pub use view::ExecView;
 pub use wf::{check_well_formed, WellFormednessError};

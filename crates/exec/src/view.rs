@@ -1,0 +1,554 @@
+//! Memoized views of executions: compute each derived relation once.
+//!
+//! A consistency check mentions the same derived relations (`sloc`, `fr`,
+//! `com`, fence relations, …) many times: within one model different axioms
+//! share them, and the synthesis sweep checks every candidate execution
+//! against *several* models. The methods on [`Execution`] recompute from
+//! scratch on every call, which is fine for one-off queries but dominates the
+//! bounded-exhaustive hot path.
+//!
+//! [`ExecView`] wraps a borrowed [`Execution`] and computes each derived
+//! relation lazily, at most once, caching it in a
+//! [`OnceCell`](std::cell::OnceCell). A view is cheap to construct (no
+//! relation is computed up front), is meant to live exactly as long as one
+//! execution is being checked, and can be shared by every model checking that
+//! execution. Views are intentionally `!Sync`: in the parallel synthesis
+//! pipeline each worker builds its own view per candidate.
+//!
+//! For measurement and cross-checking, [`ExecView::uncached`] builds a view
+//! that recomputes on every access — the pre-memoization behaviour — so the
+//! two modes can be benchmarked and tested against each other.
+//!
+//! # Examples
+//!
+//! ```
+//! use tm_exec::{catalog, ExecView};
+//!
+//! let exec = catalog::sb();
+//! let view = ExecView::new(&exec);
+//! // Both calls below compute `fr` once; the second hits the cache.
+//! assert_eq!(view.fr().len(), 2);
+//! assert!(view.com().is_subset_of(&view.com()));
+//! ```
+
+use std::borrow::Cow;
+use std::cell::OnceCell;
+
+use tm_relation::{ElemSet, Relation};
+
+use crate::{Event, Execution, Fence};
+
+/// A lazily-memoized bundle of the derived relations of one [`Execution`].
+///
+/// Every getter mirrors the equally-named method on [`Execution`] and returns
+/// a [`Cow`]: borrowed from the cache in the default memoized mode, owned
+/// (freshly recomputed) in [`uncached`](ExecView::uncached) mode. Model
+/// checks should be written against a view so that one execution checked by
+/// several models shares all of this work.
+pub struct ExecView<'e> {
+    exec: &'e Execution,
+    memoized: bool,
+    // Event sets.
+    reads: OnceCell<ElemSet>,
+    writes: OnceCell<ElemSet>,
+    fences: OnceCell<ElemSet>,
+    acquires: OnceCell<ElemSet>,
+    releases: OnceCell<ElemSet>,
+    sc_events: OnceCell<ElemSet>,
+    atomics: OnceCell<ElemSet>,
+    // Identity lifts used all over the models.
+    id_reads: OnceCell<Relation>,
+    id_writes: OnceCell<Relation>,
+    // Derived relations.
+    sloc: OnceCell<Relation>,
+    same_thread: OnceCell<Relation>,
+    poloc: OnceCell<Relation>,
+    po_diff_loc: OnceCell<Relation>,
+    fr: OnceCell<Relation>,
+    com: OnceCell<Relation>,
+    ecom: OnceCell<Relation>,
+    cnf: OnceCell<Relation>,
+    rfe: OnceCell<Relation>,
+    rfi: OnceCell<Relation>,
+    coe: OnceCell<Relation>,
+    fre: OnceCell<Relation>,
+    come: OnceCell<Relation>,
+    tfence: OnceCell<Relation>,
+    fence_sets: [OnceCell<ElemSet>; Fence::COUNT],
+    fence_rels: [OnceCell<Relation>; Fence::COUNT],
+    // Axiom bodies shared verbatim between several models.
+    x86_hb_base: OnceCell<Relation>,
+    coherence_cycle: OnceCell<Option<Vec<usize>>>,
+    rmw_isol_witness: OnceCell<Option<(usize, usize)>>,
+    strong_isol_cycle: OnceCell<Option<Vec<usize>>>,
+    txn_cancels_rmw_witness: OnceCell<Option<(usize, usize)>>,
+}
+
+impl<'e> ExecView<'e> {
+    /// Creates a memoizing view of `exec`.
+    pub fn new(exec: &'e Execution) -> ExecView<'e> {
+        ExecView {
+            exec,
+            memoized: true,
+            reads: OnceCell::new(),
+            writes: OnceCell::new(),
+            fences: OnceCell::new(),
+            acquires: OnceCell::new(),
+            releases: OnceCell::new(),
+            sc_events: OnceCell::new(),
+            atomics: OnceCell::new(),
+            id_reads: OnceCell::new(),
+            id_writes: OnceCell::new(),
+            sloc: OnceCell::new(),
+            same_thread: OnceCell::new(),
+            poloc: OnceCell::new(),
+            po_diff_loc: OnceCell::new(),
+            fr: OnceCell::new(),
+            com: OnceCell::new(),
+            ecom: OnceCell::new(),
+            cnf: OnceCell::new(),
+            rfe: OnceCell::new(),
+            rfi: OnceCell::new(),
+            coe: OnceCell::new(),
+            fre: OnceCell::new(),
+            come: OnceCell::new(),
+            tfence: OnceCell::new(),
+            fence_sets: std::array::from_fn(|_| OnceCell::new()),
+            fence_rels: std::array::from_fn(|_| OnceCell::new()),
+            x86_hb_base: OnceCell::new(),
+            coherence_cycle: OnceCell::new(),
+            rmw_isol_witness: OnceCell::new(),
+            strong_isol_cycle: OnceCell::new(),
+            txn_cancels_rmw_witness: OnceCell::new(),
+        }
+    }
+
+    /// Creates a view that recomputes every derived relation on each access —
+    /// the pre-memoization behaviour. Used by the benchmark harness as the
+    /// "before" baseline and by the regression tests that pin the memoized
+    /// and unmemoized paths to identical verdicts.
+    pub fn uncached(exec: &'e Execution) -> ExecView<'e> {
+        ExecView {
+            memoized: false,
+            ..ExecView::new(exec)
+        }
+    }
+
+    /// The underlying execution.
+    pub fn exec(&self) -> &'e Execution {
+        self.exec
+    }
+
+    /// True if this view caches derived relations (the default).
+    pub fn is_memoized(&self) -> bool {
+        self.memoized
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.exec.len()
+    }
+
+    /// True if the execution has no events.
+    pub fn is_empty(&self) -> bool {
+        self.exec.is_empty()
+    }
+
+    /// The event with identifier `id`.
+    pub fn event(&self, id: usize) -> &Event {
+        self.exec.event(id)
+    }
+
+    /// Program order (primitive; stored, never recomputed).
+    pub fn po(&self) -> &Relation {
+        &self.exec.po
+    }
+
+    /// Reads-from (primitive).
+    pub fn rf(&self) -> &Relation {
+        &self.exec.rf
+    }
+
+    /// Coherence (primitive).
+    pub fn co(&self) -> &Relation {
+        &self.exec.co
+    }
+
+    fn rel<'s>(
+        &self,
+        cell: &'s OnceCell<Relation>,
+        compute: impl FnOnce() -> Relation,
+    ) -> Cow<'s, Relation> {
+        if self.memoized {
+            Cow::Borrowed(cell.get_or_init(compute))
+        } else {
+            Cow::Owned(compute())
+        }
+    }
+
+    fn set<'s>(
+        &self,
+        cell: &'s OnceCell<ElemSet>,
+        compute: impl FnOnce() -> ElemSet,
+    ) -> Cow<'s, ElemSet> {
+        if self.memoized {
+            Cow::Borrowed(cell.get_or_init(compute))
+        } else {
+            Cow::Owned(compute())
+        }
+    }
+
+    // ---- event sets -----------------------------------------------------
+
+    /// The set `R` of read events.
+    pub fn reads(&self) -> Cow<'_, ElemSet> {
+        self.set(&self.reads, || self.exec.reads())
+    }
+
+    /// The set `W` of write events.
+    pub fn writes(&self) -> Cow<'_, ElemSet> {
+        self.set(&self.writes, || self.exec.writes())
+    }
+
+    /// The set `F` of fence events.
+    pub fn fences(&self) -> Cow<'_, ElemSet> {
+        self.set(&self.fences, || self.exec.fences())
+    }
+
+    /// The set `Acq` of acquire events.
+    pub fn acquires(&self) -> Cow<'_, ElemSet> {
+        self.set(&self.acquires, || self.exec.acquires())
+    }
+
+    /// The set `Rel` of release events.
+    pub fn releases(&self) -> Cow<'_, ElemSet> {
+        self.set(&self.releases, || self.exec.releases())
+    }
+
+    /// The set `SC` of seq_cst events.
+    pub fn sc_events(&self) -> Cow<'_, ElemSet> {
+        self.set(&self.sc_events, || self.exec.sc_events())
+    }
+
+    /// The set `Ato` of C++ atomic events.
+    pub fn atomics(&self) -> Cow<'_, ElemSet> {
+        self.set(&self.atomics, || self.exec.atomics())
+    }
+
+    /// Fence events of exactly the given kind.
+    pub fn fences_of(&self, kind: Fence) -> Cow<'_, ElemSet> {
+        self.set(&self.fence_sets[kind.index()], || self.exec.fences_of(kind))
+    }
+
+    /// The identity relation `[R]` on reads.
+    pub fn id_reads(&self) -> Cow<'_, Relation> {
+        self.rel(&self.id_reads, || Relation::identity_on(&self.reads()))
+    }
+
+    /// The identity relation `[W]` on writes.
+    pub fn id_writes(&self) -> Cow<'_, Relation> {
+        self.rel(&self.id_writes, || Relation::identity_on(&self.writes()))
+    }
+
+    // ---- derived relations ----------------------------------------------
+
+    /// Same-location pairs (see [`Execution::sloc`]).
+    pub fn sloc(&self) -> Cow<'_, Relation> {
+        self.rel(&self.sloc, || self.exec.sloc())
+    }
+
+    /// Same-thread pairs (see [`Execution::same_thread`]).
+    pub fn same_thread(&self) -> Cow<'_, Relation> {
+        self.rel(&self.same_thread, || self.exec.same_thread())
+    }
+
+    /// Restricts `r` to inter-thread (external) pairs.
+    pub fn external(&self, r: &Relation) -> Relation {
+        let mut out = r.clone();
+        out.difference_in_place(&self.same_thread());
+        out
+    }
+
+    /// Restricts `r` to intra-thread (internal) pairs.
+    pub fn internal(&self, r: &Relation) -> Relation {
+        let mut out = r.clone();
+        out.intersect_in_place(&self.same_thread());
+        out
+    }
+
+    /// Program order restricted to same-location accesses.
+    pub fn poloc(&self) -> Cow<'_, Relation> {
+        self.rel(&self.poloc, || {
+            let mut out = self.exec.po.clone();
+            out.intersect_in_place(&self.sloc());
+            out
+        })
+    }
+
+    /// Program order between accesses of different locations.
+    pub fn po_diff_loc(&self) -> Cow<'_, Relation> {
+        self.rel(&self.po_diff_loc, || {
+            let mut out = self.exec.po.clone();
+            out.difference_in_place(&self.sloc());
+            out
+        })
+    }
+
+    /// From-read: `fr = ([R] ; sloc ; [W]) \ (rf⁻¹ ; (co⁻¹)*)`.
+    pub fn fr(&self) -> Cow<'_, Relation> {
+        self.rel(&self.fr, || {
+            let mut r_to_w = self.id_reads().compose(&self.sloc());
+            r_to_w = r_to_w.compose(&self.id_writes());
+            let excluded = self
+                .exec
+                .rf
+                .inverse()
+                .compose(&self.exec.co.inverse().reflexive_transitive_closure());
+            r_to_w.difference_in_place(&excluded);
+            r_to_w
+        })
+    }
+
+    /// External reads-from.
+    pub fn rfe(&self) -> Cow<'_, Relation> {
+        self.rel(&self.rfe, || self.external(&self.exec.rf))
+    }
+
+    /// Internal reads-from.
+    pub fn rfi(&self) -> Cow<'_, Relation> {
+        self.rel(&self.rfi, || self.internal(&self.exec.rf))
+    }
+
+    /// External coherence edges.
+    pub fn coe(&self) -> Cow<'_, Relation> {
+        self.rel(&self.coe, || self.external(&self.exec.co))
+    }
+
+    /// External from-read edges.
+    pub fn fre(&self) -> Cow<'_, Relation> {
+        self.rel(&self.fre, || self.external(&self.fr()))
+    }
+
+    /// Communication: `com = rf ∪ co ∪ fr`.
+    pub fn com(&self) -> Cow<'_, Relation> {
+        self.rel(&self.com, || {
+            let mut out = self.fr().into_owned();
+            out.union_in_place(&self.exec.rf);
+            out.union_in_place(&self.exec.co);
+            out
+        })
+    }
+
+    /// External communication edges.
+    pub fn come(&self) -> Cow<'_, Relation> {
+        self.rel(&self.come, || self.external(&self.com()))
+    }
+
+    /// Extended communication: `ecom = com ∪ (co ; rf)`.
+    pub fn ecom(&self) -> Cow<'_, Relation> {
+        self.rel(&self.ecom, || {
+            let mut out = self.com().into_owned();
+            out.union_in_place(&self.exec.co.compose(&self.exec.rf));
+            out
+        })
+    }
+
+    /// The conflict relation (C++ Fig. 9).
+    pub fn cnf(&self) -> Cow<'_, Relation> {
+        self.rel(&self.cnf, || self.exec.cnf())
+    }
+
+    /// The implicit transaction fence relation.
+    pub fn tfence(&self) -> Cow<'_, Relation> {
+        self.rel(&self.tfence, || self.exec.tfence())
+    }
+
+    /// The per-architecture fence relation for fences of kind `kind`.
+    pub fn fence_rel(&self, kind: Fence) -> Cow<'_, Relation> {
+        self.rel(&self.fence_rels[kind.index()], || {
+            let id_f = Relation::identity_on(&self.fences_of(kind));
+            self.exec.po.compose(&id_f).compose(&self.exec.po)
+        })
+    }
+
+    // ---- axiom bodies shared between models ------------------------------
+
+    /// The non-transactional x86 happens-before body of Fig. 5:
+    /// `mfence ∪ ppo ∪ implied ∪ rfe ∪ fr ∪ co`, where `ppo` is program
+    /// order minus write→read pairs and `implied` orders everything around
+    /// `LOCK`'d RMWs. Shared verbatim between the baseline and TM variants
+    /// of the x86 model (the TM variant unions `tfence` on top), so a sweep
+    /// checking both pays for it once.
+    pub fn x86_hb_base(&self) -> Cow<'_, Relation> {
+        self.rel(&self.x86_hb_base, || {
+            let exec = self.exec;
+            let writes = self.writes();
+            let reads = self.reads();
+            // ppo = ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po — everything except W→R.
+            let mut ppo = Relation::cross(&writes, &writes);
+            ppo.union_in_place(&Relation::cross(&reads, &writes));
+            ppo.union_in_place(&Relation::cross(&reads, &reads));
+            ppo.intersect_in_place(&exec.po);
+            // implied = [L] ; po ∪ po ; [L], L the LOCK'd RMW events.
+            let locked = exec.rmw.domain().union(&exec.rmw.range());
+            let id_l = Relation::identity_on(&locked);
+            let mut hb = self.fence_rel(Fence::MFence).into_owned();
+            hb.union_in_place(&ppo);
+            hb.union_in_place(&id_l.compose(&exec.po));
+            hb.union_in_place(&exec.po.compose(&id_l));
+            hb.union_in_place(&self.rfe());
+            hb.union_in_place(&self.fr());
+            hb.union_in_place(&exec.co);
+            hb
+        })
+    }
+
+    /// A witness cycle in `poloc ∪ com` if the `Coherence` axiom (common to
+    /// the x86, Power and ARMv8 models) is violated, else `None`.
+    pub fn coherence_cycle(&self) -> Option<Vec<usize>> {
+        let compute = || {
+            let mut body = self.poloc().into_owned();
+            body.union_in_place(&self.com());
+            body.find_cycle()
+        };
+        if self.memoized {
+            self.coherence_cycle.get_or_init(compute).clone()
+        } else {
+            compute()
+        }
+    }
+
+    /// An offending pair in `rmw ∩ (fre ; coe)` if the `RMWIsol` axiom
+    /// (common to the x86, Power and ARMv8 models) is violated, else `None`.
+    pub fn rmw_isol_witness(&self) -> Option<(usize, usize)> {
+        let compute = || {
+            // rmw ∩ anything = ∅ without RMWs; skip the composition.
+            if self.exec.rmw.is_empty() {
+                return None;
+            }
+            let mut body = self.fre().compose(&self.coe());
+            body.intersect_in_place(&self.exec.rmw);
+            body.iter().next()
+        };
+        if self.memoized {
+            *self.rmw_isol_witness.get_or_init(compute)
+        } else {
+            compute()
+        }
+    }
+
+    /// A witness cycle in `stronglift(com, stxn)` if the `StrongIsol` axiom
+    /// (common to all transactional models) is violated, else `None`.
+    pub fn strong_isol_cycle(&self) -> Option<Vec<usize>> {
+        let compute = || Execution::stronglift(&self.com(), &self.exec.stxn).find_cycle();
+        if self.memoized {
+            self.strong_isol_cycle.get_or_init(compute).clone()
+        } else {
+            compute()
+        }
+    }
+
+    /// An offending pair in `rmw ∩ tfence⁺` if the `TxnCancelsRMW` axiom
+    /// (common to the Power and ARMv8 models) is violated, else `None`.
+    pub fn txn_cancels_rmw_witness(&self) -> Option<(usize, usize)> {
+        let compute = || {
+            // rmw ∩ anything = ∅ without RMWs; skip the closure.
+            if self.exec.rmw.is_empty() {
+                return None;
+            }
+            let mut body = self.tfence().into_owned();
+            body.transitive_closure_in_place();
+            body.intersect_in_place(&self.exec.rmw);
+            body.iter().next()
+        };
+        if self.memoized {
+            *self.txn_cancels_rmw_witness.get_or_init(compute)
+        } else {
+            compute()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    /// Every getter of the memoized view must agree with the equally-named
+    /// recomputing method on `Execution`, on a representative sample.
+    #[test]
+    fn view_matches_execution_derived_relations() {
+        for exec in [
+            catalog::sb(),
+            catalog::sb_txn(),
+            catalog::mp_txn(),
+            catalog::fig2(),
+            catalog::power_wrc_tprop1(),
+            catalog::power_iriw_two_txns(),
+            catalog::example_1_1_concrete(false),
+        ] {
+            for view in [ExecView::new(&exec), ExecView::uncached(&exec)] {
+                assert_eq!(*view.sloc(), exec.sloc());
+                assert_eq!(*view.same_thread(), exec.same_thread());
+                assert_eq!(*view.poloc(), exec.poloc());
+                assert_eq!(*view.po_diff_loc(), exec.po_diff_loc());
+                assert_eq!(*view.fr(), exec.fr());
+                assert_eq!(*view.com(), exec.com());
+                assert_eq!(*view.ecom(), exec.ecom());
+                assert_eq!(*view.cnf(), exec.cnf());
+                assert_eq!(*view.rfe(), exec.rfe());
+                assert_eq!(*view.rfi(), exec.rfi());
+                assert_eq!(*view.coe(), exec.coe());
+                assert_eq!(*view.fre(), exec.fre());
+                assert_eq!(*view.come(), exec.come());
+                assert_eq!(*view.tfence(), exec.tfence());
+                assert_eq!(*view.reads(), exec.reads());
+                assert_eq!(*view.writes(), exec.writes());
+                for kind in [Fence::MFence, Fence::Sync, Fence::Lwsync, Fence::Dmb] {
+                    assert_eq!(*view.fence_rel(kind), exec.fence_rel(kind));
+                    assert_eq!(*view.fences_of(kind), exec.fences_of(kind));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_and_uncached_agree_on_shared_axiom_bodies() {
+        for exec in [
+            catalog::fig1(),
+            catalog::fig2(),
+            catalog::fig3('a'),
+            catalog::monotonicity_cex_split(),
+            catalog::power_iriw_two_txns(),
+        ] {
+            let memo = ExecView::new(&exec);
+            let fresh = ExecView::uncached(&exec);
+            assert_eq!(
+                memo.coherence_cycle().is_some(),
+                fresh.coherence_cycle().is_some()
+            );
+            assert_eq!(memo.rmw_isol_witness(), fresh.rmw_isol_witness());
+            assert_eq!(
+                memo.strong_isol_cycle().is_some(),
+                fresh.strong_isol_cycle().is_some()
+            );
+            assert_eq!(
+                memo.txn_cancels_rmw_witness(),
+                fresh.txn_cancels_rmw_witness()
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_access_returns_the_cached_relation() {
+        let exec = catalog::sb();
+        let view = ExecView::new(&exec);
+        let first = view.fr().into_owned();
+        // Second access must be the same value (and, internally, the same
+        // cached allocation — Cow::Borrowed both times).
+        assert!(matches!(view.fr(), Cow::Borrowed(_)));
+        assert_eq!(*view.fr(), first);
+        assert!(view.is_memoized());
+        assert!(!ExecView::uncached(&exec).is_memoized());
+    }
+}

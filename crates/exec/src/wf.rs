@@ -5,7 +5,7 @@ use std::fmt;
 
 use tm_relation::{is_per, is_strict_total_order_on, per_classes, ElemSet, Relation};
 
-use crate::{Execution, LockCall, Loc};
+use crate::{Execution, Loc, LockCall};
 
 /// The ways an execution can fail to be well-formed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -193,10 +193,8 @@ fn check_po(exec: &Execution) -> Result<(), WellFormednessError> {
         }
     }
     for t in 0..exec.thread_count() {
-        let members = ElemSet::from_iter(
-            n,
-            (0..n).filter(|&i| exec.event(i).thread.0 as usize == t),
-        );
+        let members =
+            ElemSet::from_iter(n, (0..n).filter(|&i| exec.event(i).thread.0 as usize == t));
         if members.len() <= 1 {
             continue;
         }
@@ -308,9 +306,7 @@ fn check_class_relation(
                     continue;
                 }
                 for mid in 0..exec.len() {
-                    if exec.po.contains(a, mid)
-                        && exec.po.contains(mid, b)
-                        && !class.contains(&mid)
+                    if exec.po.contains(a, mid) && exec.po.contains(mid, b) && !class.contains(&mid)
                     {
                         return Err(WellFormednessError::TransactionNotContiguous {
                             which,

@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The concrete targets a litmus test can be rendered for.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Arch {
     /// x86-64 with Intel TSX (`XBEGIN`/`XEND`/`XABORT`).
     X86,
@@ -39,7 +37,7 @@ impl fmt::Display for Arch {
 }
 
 /// A per-thread register, numbered from zero.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u32);
 
 impl fmt::Display for Reg {
@@ -49,7 +47,7 @@ impl fmt::Display for Reg {
 }
 
 /// The consistency mode of a memory access.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum AccessMode {
     /// A plain, non-atomic access.
     #[default]
@@ -78,7 +76,7 @@ impl AccessMode {
 }
 
 /// The kind of a syntactic dependency carried into an instruction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DepKind {
     /// Address dependency (the register feeds the address computation).
     Addr,
@@ -101,7 +99,7 @@ impl fmt::Display for DepKind {
 
 /// A dependency annotation: this instruction syntactically depends on the
 /// value previously loaded into `reg`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Dep {
     /// How the dependency is realised.
     pub kind: DepKind,
@@ -110,7 +108,7 @@ pub struct Dep {
 }
 
 /// The fences a litmus test can contain.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FenceInstr {
     /// x86 `MFENCE`.
     MFence,
@@ -137,7 +135,7 @@ pub enum FenceInstr {
 }
 
 /// One instruction of a litmus-test thread.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Instr {
     /// Load from `loc` into `reg`.
     Load {
@@ -216,7 +214,7 @@ impl Instr {
 }
 
 /// One thread of a litmus test.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Thread {
     /// The instructions, in program order.
     pub instrs: Vec<Instr>,
@@ -235,7 +233,7 @@ impl Thread {
 }
 
 /// One conjunct of a postcondition.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Cond {
     /// Register `reg` of thread `thread` holds `value` at the end.
     RegEq {
@@ -262,7 +260,7 @@ pub enum Cond {
 }
 
 /// The final-state postcondition of a litmus test (a conjunction).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Postcondition {
     /// The conjuncts; the test "passes" when all hold simultaneously.
     pub conjuncts: Vec<Cond>,
@@ -294,7 +292,7 @@ impl fmt::Display for Postcondition {
 }
 
 /// The paper's classification of a test relative to a model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Expectation {
     /// The postcondition must never be observable (the test is in a Forbid
     /// suite).
@@ -304,7 +302,7 @@ pub enum Expectation {
 }
 
 /// A complete litmus test: initial state, threads, and postcondition.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LitmusTest {
     /// A short name (unique within a suite).
     pub name: String,

@@ -4,7 +4,9 @@ use std::collections::HashMap;
 
 use tm_exec::{Event, EventKind, Execution, Fence, LockCall};
 
-use crate::{AccessMode, Cond, Dep, DepKind, FenceInstr, Instr, LitmusTest, Postcondition, Reg, Thread};
+use crate::{
+    AccessMode, Cond, Dep, DepKind, FenceInstr, Instr, LitmusTest, Postcondition, Reg, Thread,
+};
 
 /// Converts an execution into a litmus test whose postcondition passes
 /// exactly when the execution of interest has been taken.
@@ -124,7 +126,15 @@ pub fn from_execution(exec: &Execution, name: &str) -> LitmusTest {
                     threads_with_txn.push(t);
                 }
             }
-            if let Some(instr) = instr_for_event(exec, e, &value_of, &reg_of, &dep_of, &rmw_write_of_read, &rmw_writes) {
+            if let Some(instr) = instr_for_event(
+                exec,
+                e,
+                &value_of,
+                &reg_of,
+                &dep_of,
+                &rmw_write_of_read,
+                &rmw_writes,
+            ) {
                 thread.instrs.push(instr);
             }
             if txn_last.contains_key(&e) {
@@ -359,7 +369,10 @@ mod tests {
         let test = from_execution(&catalog::fig10_abstract(), "fig10");
         let t0 = &test.threads[0].instrs;
         assert!(matches!(t0[0], Instr::Lock { elided: false, .. }));
-        assert!(matches!(t0.last().unwrap(), Instr::Unlock { elided: false, .. }));
+        assert!(matches!(
+            t0.last().unwrap(),
+            Instr::Unlock { elided: false, .. }
+        ));
         let t1 = &test.threads[1].instrs;
         assert!(matches!(t1[0], Instr::Lock { elided: true, .. }));
     }

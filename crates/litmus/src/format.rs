@@ -9,7 +9,10 @@ use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
 
-use crate::{AccessMode, Cond, Dep, DepKind, Expectation, FenceInstr, Instr, LitmusTest, Postcondition, Reg, Thread};
+use crate::{
+    AccessMode, Cond, Dep, DepKind, Expectation, FenceInstr, Instr, LitmusTest, Postcondition, Reg,
+    Thread,
+};
 
 /// An error produced while parsing the litmus text format.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,11 +45,7 @@ pub fn to_text(test: &LitmusTest) -> String {
         None => {}
     }
     if !test.init.is_empty() {
-        let pairs: Vec<String> = test
-            .init
-            .iter()
-            .map(|(l, v)| format!("{l}={v}"))
-            .collect();
+        let pairs: Vec<String> = test.init.iter().map(|(l, v)| format!("{l}={v}")).collect();
         let _ = writeln!(out, "init {}", pairs.join(" "));
     }
     for (i, thread) in test.threads.iter().enumerate() {
@@ -82,13 +81,28 @@ pub fn suite_to_text<'a, I: IntoIterator<Item = &'a LitmusTest>>(tests: I) -> St
 
 fn instr_to_text(instr: &Instr) -> String {
     match instr {
-        Instr::Load { reg, loc, mode, dep } => {
+        Instr::Load {
+            reg,
+            loc,
+            mode,
+            dep,
+        } => {
             format!("load {reg} {loc} {}{}", mode_name(*mode), dep_text(dep))
         }
-        Instr::Store { loc, value, mode, dep } => {
+        Instr::Store {
+            loc,
+            value,
+            mode,
+            dep,
+        } => {
             format!("store {loc} {value} {}{}", mode_name(*mode), dep_text(dep))
         }
-        Instr::Rmw { reg, loc, value, mode } => {
+        Instr::Rmw {
+            reg,
+            loc,
+            value,
+            mode,
+        } => {
             format!("rmw {reg} {loc} {value} {}", mode_name(*mode))
         }
         Instr::Fence(f) => format!("fence {}", fence_text(*f)),
@@ -177,7 +191,9 @@ pub fn parse_suite(text: &str) -> Result<Vec<LitmusTest>, ParseError> {
                 current = Some(LitmusTest::new(rest.join(" ")));
             }
             "expect" => {
-                let t = current.as_mut().ok_or_else(|| err("'expect' outside a test".into()))?;
+                let t = current
+                    .as_mut()
+                    .ok_or_else(|| err("'expect' outside a test".into()))?;
                 t.expectation = Some(match rest.first().copied() {
                     Some("forbidden") => Expectation::Forbidden,
                     Some("allowed") => Expectation::Allowed,
@@ -185,7 +201,9 @@ pub fn parse_suite(text: &str) -> Result<Vec<LitmusTest>, ParseError> {
                 });
             }
             "init" => {
-                let t = current.as_mut().ok_or_else(|| err("'init' outside a test".into()))?;
+                let t = current
+                    .as_mut()
+                    .ok_or_else(|| err("'init' outside a test".into()))?;
                 for pair in &rest {
                     let (loc, v) = pair
                         .split_once('=')
@@ -216,8 +234,10 @@ pub fn parse_suite(text: &str) -> Result<Vec<LitmusTest>, ParseError> {
                     .push(thread);
             }
             "post" => {
-                let t = current.as_mut().ok_or_else(|| err("'post' outside a test".into()))?;
-                t.post = parse_post(&rest.join(" ")).map_err(|m| err(m))?;
+                let t = current
+                    .as_mut()
+                    .ok_or_else(|| err("'post' outside a test".into()))?;
+                t.post = parse_post(&rest.join(" ")).map_err(&err)?;
             }
             "endtest" => {
                 if current_thread.is_some() {
@@ -234,7 +254,7 @@ pub fn parse_suite(text: &str) -> Result<Vec<LitmusTest>, ParseError> {
                     .ok_or_else(|| err(format!("instruction {keyword:?} outside a thread")))?;
                 thread
                     .instrs
-                    .push(parse_instr(keyword, &rest).map_err(|m| err(m))?);
+                    .push(parse_instr(keyword, &rest).map_err(err)?);
             }
         }
     }

@@ -36,13 +36,28 @@ impl fmt::Display for LitmusTest {
 
 fn pseudo(instr: &Instr) -> String {
     match instr {
-        Instr::Load { reg, loc, mode, dep } => {
+        Instr::Load {
+            reg,
+            loc,
+            mode,
+            dep,
+        } => {
             format!("{reg} <- load{}({loc}){}", mode.suffix(), dep_note(dep))
         }
-        Instr::Store { loc, value, mode, dep } => {
+        Instr::Store {
+            loc,
+            value,
+            mode,
+            dep,
+        } => {
             format!("store{}({loc}, {value}){}", mode.suffix(), dep_note(dep))
         }
-        Instr::Rmw { reg, loc, value, mode } => {
+        Instr::Rmw {
+            reg,
+            loc,
+            value,
+            mode,
+        } => {
             format!("{reg} <- rmw{}({loc}, {value})", mode.suffix())
         }
         Instr::Fence(f) => format!("fence({})", fence_name(*f)),
@@ -153,8 +168,13 @@ fn render_x86_thread(thread: &Thread, tid: usize) -> String {
         let line = match instr {
             Instr::Load { reg, loc, .. } => format!("MOV E{}X, [{loc}]", reg_letter(*reg)),
             Instr::Store { loc, value, .. } => format!("MOV [{loc}], ${value}"),
-            Instr::Rmw { reg, loc, value, .. } => {
-                format!("LOCK XCHG E{}X, [{loc}]  ; writes {value}", reg_letter(*reg))
+            Instr::Rmw {
+                reg, loc, value, ..
+            } => {
+                format!(
+                    "LOCK XCHG E{}X, [{loc}]  ; writes {value}",
+                    reg_letter(*reg)
+                )
             }
             Instr::Fence(FenceInstr::MFence) => "MFENCE".to_string(),
             Instr::Fence(f) => format!("; fence {}", fence_name(*f)),
@@ -181,17 +201,23 @@ fn render_power_thread(thread: &Thread, tid: usize) -> String {
                 ),
                 _ => format!("lwz r{},0({loc})", reg.0 + 10),
             },
-            Instr::Store { loc, value, dep, .. } => match dep {
-                Some(d) if d.kind == DepKind::Data => format!(
-                    "xor r9,r{0},r{0} ; addi r9,r9,{value} ; stw r9,0({loc})",
-                    d.reg.0 + 10
-                ),
-                Some(d) if d.kind == DepKind::Ctrl => {
-                    format!("cmpw r{},r{0} ; beq Lc{tid} ; Lc{tid}: li r8,{value} ; stw r8,0({loc})", d.reg.0 + 10)
+            Instr::Store {
+                loc, value, dep, ..
+            } => {
+                match dep {
+                    Some(d) if d.kind == DepKind::Data => format!(
+                        "xor r9,r{0},r{0} ; addi r9,r9,{value} ; stw r9,0({loc})",
+                        d.reg.0 + 10
+                    ),
+                    Some(d) if d.kind == DepKind::Ctrl => {
+                        format!("cmpw r{},r{0} ; beq Lc{tid} ; Lc{tid}: li r8,{value} ; stw r8,0({loc})", d.reg.0 + 10)
+                    }
+                    _ => format!("li r8,{value} ; stw r8,0({loc})"),
                 }
-                _ => format!("li r8,{value} ; stw r8,0({loc})"),
-            },
-            Instr::Rmw { reg, loc, value, .. } => format!(
+            }
+            Instr::Rmw {
+                reg, loc, value, ..
+            } => format!(
                 "Lrmw{tid}: lwarx r{0},0,{loc} ; li r8,{value} ; stwcx. r8,0,{loc} ; bne Lrmw{tid}",
                 reg.0 + 10
             ),
@@ -214,7 +240,12 @@ fn render_armv8_thread(thread: &Thread, tid: usize) -> String {
     let mut out = String::new();
     for instr in &thread.instrs {
         let line = match instr {
-            Instr::Load { reg, loc, mode, dep } => {
+            Instr::Load {
+                reg,
+                loc,
+                mode,
+                dep,
+            } => {
                 let op = if *mode == AccessMode::Acquire || *mode == AccessMode::SeqCst {
                     "LDAR"
                 } else {
@@ -229,7 +260,12 @@ fn render_armv8_thread(thread: &Thread, tid: usize) -> String {
                     _ => format!("{op} W{},[X_{loc}]", reg.0 + 2),
                 }
             }
-            Instr::Store { loc, value, mode, dep } => {
+            Instr::Store {
+                loc,
+                value,
+                mode,
+                dep,
+            } => {
                 let op = if *mode == AccessMode::Release || *mode == AccessMode::SeqCst {
                     "STLR"
                 } else {
@@ -247,7 +283,12 @@ fn render_armv8_thread(thread: &Thread, tid: usize) -> String {
                     _ => format!("MOV W8,#{value} ; {op} W8,[X_{loc}]"),
                 }
             }
-            Instr::Rmw { reg, loc, value, mode } => {
+            Instr::Rmw {
+                reg,
+                loc,
+                value,
+                mode,
+            } => {
                 let (ld, st) = if *mode == AccessMode::Acquire || *mode == AccessMode::SeqCst {
                     ("LDAXR", "STXR")
                 } else {
@@ -286,14 +327,21 @@ fn render_cpp_thread(thread: &Thread, _tid: usize) -> String {
                     cpp_order(*mode)
                 ),
             },
-            Instr::Store { loc, value, mode, .. } => match mode {
+            Instr::Store {
+                loc, value, mode, ..
+            } => match mode {
                 AccessMode::Plain => format!("{loc} = {value};"),
                 _ => format!(
                     "atomic_store_explicit(&{loc}, {value}, {});",
                     cpp_order(*mode)
                 ),
             },
-            Instr::Rmw { reg, loc, value, mode } => format!(
+            Instr::Rmw {
+                reg,
+                loc,
+                value,
+                mode,
+            } => format!(
                 "int {reg} = atomic_exchange_explicit(&{loc}, {value}, {});",
                 cpp_order(*mode)
             ),

@@ -196,9 +196,9 @@ pub fn elide(abstract_exec: &Execution, arch: Arch, dmb_fix: bool) -> Execution 
         ids.sort_by_key(|&e| abstract_exec.po.predecessors(e).count());
 
         // Is this thread's critical region elided?
-        let elided = ids
-            .iter()
-            .any(|&e| abstract_exec.event(e).kind == tm_exec::EventKind::LockCall(LockCall::TxLock));
+        let elided = ids.iter().any(|&e| {
+            abstract_exec.event(e).kind == tm_exec::EventKind::LockCall(LockCall::TxLock)
+        });
         let thread = t as u32;
         let mut txn_members: Vec<usize> = Vec::new();
         let mut ctrl_sources: Vec<usize> = Vec::new();

@@ -1,9 +1,11 @@
 //! Monotonicity of transaction introduction, enlargement and coalescing
 //! (§8.1 and the first block of Table 2).
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use tm_exec::Execution;
+use tm_exec::{ExecView, Execution};
 use tm_models::MemoryModel;
 use tm_relation::per_classes;
 use tm_synth::{enumerate_exact, SynthConfig};
@@ -21,6 +23,10 @@ pub struct MonotonicityResult {
     /// has *fewer* transaction edges and is inconsistent, the second has
     /// *more* and is consistent — so introducing/enlarging/coalescing the
     /// transaction resurrected a forbidden behaviour.
+    ///
+    /// The search runs on the parallel enumerator, so when counterexamples
+    /// exist *which* one is reported (and the exact `pairs_checked` at the
+    /// moment of the find) can vary between runs; whether one exists cannot.
     pub counterexample: Option<(Execution, Execution)>,
     /// Wall-clock time spent.
     pub elapsed: Duration,
@@ -102,24 +108,29 @@ pub fn check_monotonicity(
     max_events: usize,
 ) -> MonotonicityResult {
     let start = Instant::now();
-    let mut pairs_checked = 0usize;
-    let mut counterexample: Option<(Execution, Execution)> = None;
+    let pairs_checked = AtomicUsize::new(0);
+    let found = AtomicBool::new(false);
+    let counterexample: Mutex<Option<(Execution, Execution)>> = Mutex::new(None);
 
     for n in 2..=max_events {
-        if counterexample.is_some() {
+        if found.load(Ordering::Relaxed) {
             break;
         }
         enumerate_exact(config, n, |exec| {
-            if counterexample.is_some() || per_classes(&exec.stxn).is_empty() {
+            if found.load(Ordering::Relaxed) || per_classes(&exec.stxn).is_empty() {
                 return;
             }
-            if !model.is_consistent(exec) {
+            if !model.is_consistent_view(&ExecView::new(exec)) {
                 return;
             }
             for reduced in transaction_reductions(exec) {
-                pairs_checked += 1;
-                if !model.is_consistent(&reduced) {
-                    counterexample = Some((reduced, exec.clone()));
+                pairs_checked.fetch_add(1, Ordering::Relaxed);
+                if !model.is_consistent_view(&ExecView::new(&reduced)) {
+                    found.store(true, Ordering::Relaxed);
+                    counterexample
+                        .lock()
+                        .unwrap()
+                        .get_or_insert_with(|| (reduced.clone(), exec.clone()));
                     return;
                 }
             }
@@ -129,8 +140,8 @@ pub fn check_monotonicity(
     MonotonicityResult {
         model: model.name().to_string(),
         max_events,
-        pairs_checked,
-        counterexample,
+        pairs_checked: pairs_checked.into_inner(),
+        counterexample: counterexample.into_inner().unwrap(),
         elapsed: start.elapsed(),
     }
 }
@@ -162,7 +173,11 @@ mod tests {
             Box::new(Armv8Model::tm()),
         ] {
             let result = check_monotonicity(model.as_ref(), &cfg, 2);
-            assert!(!result.holds(), "{} should have a counterexample", result.model);
+            assert!(
+                !result.holds(),
+                "{} should have a counterexample",
+                result.model
+            );
             let (weaker, stronger) = result.counterexample.as_ref().unwrap();
             assert!(!model.is_consistent(weaker));
             assert!(model.is_consistent(stronger));

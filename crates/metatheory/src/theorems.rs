@@ -1,9 +1,11 @@
 //! Bounded mechanical checks of the paper's two hand-proved theorems about
 //! the C++ TM model (§7).
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use tm_exec::Execution;
+use tm_exec::{ExecView, Execution};
 use tm_models::{isolation, CppModel, MemoryModel, ScModel};
 use tm_synth::{enumerate_exact, SynthConfig};
 
@@ -17,7 +19,8 @@ pub struct TheoremResult {
     /// Number of executions that satisfied the theorem's hypotheses.
     pub instances: usize,
     /// A counterexample execution, if any hypothesis-satisfying execution
-    /// violated the conclusion.
+    /// violated the conclusion. As with the other parallel searches, which
+    /// counterexample is reported is run-dependent; existence is not.
     pub counterexample: Option<Execution>,
     /// Wall-clock time spent.
     pub elapsed: Duration,
@@ -39,29 +42,33 @@ impl TheoremResult {
 pub fn check_theorem_7_2(config: &SynthConfig, max_events: usize) -> TheoremResult {
     let start = Instant::now();
     let cpp = CppModel::tm();
-    let mut instances = 0usize;
-    let mut counterexample = None;
+    let instances = AtomicUsize::new(0);
+    let found = AtomicBool::new(false);
+    let counterexample: Mutex<Option<Execution>> = Mutex::new(None);
 
     for n in 2..=max_events {
-        if counterexample.is_some() {
+        if found.load(Ordering::Relaxed) {
             break;
         }
         enumerate_exact(config, n, |exec| {
-            if counterexample.is_some() || exec.txn_classes().is_empty() {
+            if found.load(Ordering::Relaxed) || exec.txn_classes().is_empty() {
                 return;
             }
             // Treat every transaction as atomic.
             let mut exec = exec.clone();
             exec.stxnat = exec.stxn.clone();
-            if !cpp.atomic_txns_contain_no_atomics(&exec) {
+            let view = ExecView::new(&exec);
+            if !cpp.atomic_txns_contain_no_atomics_view(&view) {
                 return;
             }
-            if !cpp.is_consistent(&exec) || cpp.is_racy(&exec) {
+            if !cpp.is_consistent_view(&view) || cpp.is_racy_view(&view) {
                 return;
             }
-            instances += 1;
-            if !isolation::strong_isolation_atomic(&exec) {
-                counterexample = Some(exec);
+            instances.fetch_add(1, Ordering::Relaxed);
+            if !isolation::strong_isolation_atomic_view(&view) {
+                found.store(true, Ordering::Relaxed);
+                drop(view);
+                counterexample.lock().unwrap().get_or_insert(exec);
             }
         });
     }
@@ -69,8 +76,8 @@ pub fn check_theorem_7_2(config: &SynthConfig, max_events: usize) -> TheoremResu
     TheoremResult {
         theorem: "7.2",
         max_events,
-        instances,
-        counterexample,
+        instances: instances.into_inner(),
+        counterexample: counterexample.into_inner().unwrap(),
         elapsed: start.elapsed(),
     }
 }
@@ -82,33 +89,37 @@ pub fn check_theorem_7_3(config: &SynthConfig, max_events: usize) -> TheoremResu
     let start = Instant::now();
     let cpp = CppModel::tm();
     let tsc = ScModel::tsc();
-    let mut instances = 0usize;
-    let mut counterexample = None;
+    let instances = AtomicUsize::new(0);
+    let found = AtomicBool::new(false);
+    let counterexample: Mutex<Option<Execution>> = Mutex::new(None);
 
     for n in 2..=max_events {
-        if counterexample.is_some() {
+        if found.load(Ordering::Relaxed) {
             break;
         }
         enumerate_exact(config, n, |exec| {
-            if counterexample.is_some() {
+            if found.load(Ordering::Relaxed) {
                 return;
             }
             // Hypotheses: every transaction atomic, atomics all SC, no
             // atomics inside atomic transactions, race free, consistent.
             let mut exec = exec.clone();
             exec.stxnat = exec.stxn.clone();
-            if exec.atomics() != exec.sc_events() {
+            let view = ExecView::new(&exec);
+            if *view.atomics() != *view.sc_events() {
                 return;
             }
-            if !cpp.atomic_txns_contain_no_atomics(&exec) {
+            if !cpp.atomic_txns_contain_no_atomics_view(&view) {
                 return;
             }
-            if !cpp.is_consistent(&exec) || cpp.is_racy(&exec) {
+            if !cpp.is_consistent_view(&view) || cpp.is_racy_view(&view) {
                 return;
             }
-            instances += 1;
-            if !tsc.is_consistent(&exec) {
-                counterexample = Some(exec);
+            instances.fetch_add(1, Ordering::Relaxed);
+            if !tsc.is_consistent_view(&view) {
+                found.store(true, Ordering::Relaxed);
+                drop(view);
+                counterexample.lock().unwrap().get_or_insert(exec);
             }
         });
     }
@@ -116,8 +127,8 @@ pub fn check_theorem_7_3(config: &SynthConfig, max_events: usize) -> TheoremResu
     TheoremResult {
         theorem: "7.3",
         max_events,
-        instances,
-        counterexample,
+        instances: instances.into_inner(),
+        counterexample: counterexample.into_inner().unwrap(),
         elapsed: start.elapsed(),
     }
 }

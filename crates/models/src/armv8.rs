@@ -1,9 +1,9 @@
 //! The ARMv8 (AArch64) memory model with the proposed TM extension (Fig. 8).
 
-use tm_exec::{Execution, Fence};
+use tm_exec::{ExecView, Execution, Fence};
 use tm_relation::Relation;
 
-use crate::isolation::{cr_order, require_acyclic, require_empty};
+use crate::isolation::{cr_order_view, require_acyclic};
 use crate::{MemoryModel, Verdict};
 
 /// The multicopy-atomic ARMv8 memory model (Deacon's aarch64.cat, as used by
@@ -73,34 +73,53 @@ impl Armv8Model {
     /// Dependency-ordered-before: address and data dependencies, control
     /// dependencies to stores, and dependencies feeding internal reads-from.
     pub fn dob(&self, exec: &Execution) -> Relation {
+        self.dob_view(&ExecView::new(exec))
+    }
+
+    /// [`Armv8Model::dob`] over a memoized view.
+    pub fn dob_view(&self, view: &ExecView<'_>) -> Relation {
+        let exec = view.exec();
         let deps = exec.addr.union(&exec.data);
-        let ctrl_to_writes = exec
-            .ctrl
-            .compose(&Relation::identity_on(&exec.writes()));
-        deps.union(&ctrl_to_writes)
-            .union(&deps.compose(&exec.rfi()))
-            .intersection(&exec.po)
+        let ctrl_to_writes = exec.ctrl.compose(&view.id_writes());
+        let mut dob = deps.compose(&view.rfi());
+        dob.union_in_place(&deps);
+        dob.union_in_place(&ctrl_to_writes);
+        dob.intersect_in_place(&exec.po);
+        dob
     }
 
     /// Atomic-ordered-before: the RMW pairing, plus ordering from an RMW's
     /// write to a program-order-later acquire load of the same value chain.
     pub fn aob(&self, exec: &Execution) -> Relation {
+        self.aob_view(&ExecView::new(exec))
+    }
+
+    /// [`Armv8Model::aob`] over a memoized view.
+    pub fn aob_view(&self, view: &ExecView<'_>) -> Relation {
+        let exec = view.exec();
         let rmw_writes = Relation::identity_on(&exec.rmw.range());
-        let acq_reads = Relation::identity_on(&exec.acquires().intersection(&exec.reads()));
-        exec.rmw
-            .union(&rmw_writes.compose(&exec.rfi()).compose(&acq_reads))
+        let acq_reads = Relation::identity_on(&view.acquires().intersection(&view.reads()));
+        let mut aob = rmw_writes.compose(&view.rfi()).compose(&acq_reads);
+        aob.union_in_place(&exec.rmw);
+        aob
     }
 
     /// Barrier-ordered-before: DMB variants plus the one-way barriers implied
     /// by acquire loads and release stores.
     pub fn bob(&self, exec: &Execution) -> Relation {
-        let dmb = exec.fence_rel(Fence::Dmb);
-        let dmb_ld = Relation::identity_on(&exec.reads()).compose(&exec.fence_rel(Fence::DmbLd));
-        let dmb_st = Relation::identity_on(&exec.writes())
-            .compose(&exec.fence_rel(Fence::DmbSt))
-            .compose(&Relation::identity_on(&exec.writes()));
-        let acq_reads = exec.acquires().intersection(&exec.reads());
-        let rel_writes = exec.releases().intersection(&exec.writes());
+        self.bob_view(&ExecView::new(exec))
+    }
+
+    /// [`Armv8Model::bob`] over a memoized view.
+    pub fn bob_view(&self, view: &ExecView<'_>) -> Relation {
+        let exec = view.exec();
+        let dmb_ld = view.id_reads().compose(&view.fence_rel(Fence::DmbLd));
+        let dmb_st = view
+            .id_writes()
+            .compose(&view.fence_rel(Fence::DmbSt))
+            .compose(&view.id_writes());
+        let acq_reads = view.acquires().intersection(&view.reads());
+        let rel_writes = view.releases().intersection(&view.writes());
         let acq_first = Relation::identity_on(&acq_reads).compose(&exec.po);
         let rel_last = exec.po.compose(&Relation::identity_on(&rel_writes));
         // A release store is ordered before a program-order-later acquire
@@ -109,22 +128,28 @@ impl Armv8Model {
         let rel_acq = Relation::identity_on(&rel_writes)
             .compose(&exec.po)
             .compose(&Relation::identity_on(&acq_reads));
-        dmb.union(&dmb_ld)
-            .union(&dmb_st)
-            .union(&acq_first)
-            .union(&rel_last)
-            .union(&rel_acq)
+        let mut bob = view.fence_rel(Fence::Dmb).into_owned();
+        bob.union_in_place(&dmb_ld);
+        bob.union_in_place(&dmb_st);
+        bob.union_in_place(&acq_first);
+        bob.union_in_place(&rel_last);
+        bob.union_in_place(&rel_acq);
+        bob
     }
 
     /// The ordered-before relation of Fig. 8.
     pub fn ob(&self, exec: &Execution) -> Relation {
-        let mut ob = exec
-            .come()
-            .union(&self.dob(exec))
-            .union(&self.aob(exec))
-            .union(&self.bob(exec));
+        self.ob_view(&ExecView::new(exec))
+    }
+
+    /// [`Armv8Model::ob`] over a memoized view.
+    pub fn ob_view(&self, view: &ExecView<'_>) -> Relation {
+        let mut ob = view.come().into_owned();
+        ob.union_in_place(&self.dob_view(view));
+        ob.union_in_place(&self.aob_view(view));
+        ob.union_in_place(&self.bob_view(view));
         if self.transactional {
-            ob = ob.union(&exec.tfence());
+            ob.union_in_place(&view.tfence());
         }
         ob
     }
@@ -150,40 +175,32 @@ impl MemoryModel for Armv8Model {
         axioms
     }
 
-    fn check(&self, exec: &Execution) -> Verdict {
+    fn check_view(&self, view: &ExecView<'_>) -> Verdict {
         let mut verdict = Verdict::consistent(self.name());
 
-        require_acyclic(
-            &mut verdict,
-            "Coherence",
-            &exec.poloc().union(&exec.com()),
-        );
-        let ob = self.ob(exec);
+        if let Some(cycle) = view.coherence_cycle() {
+            verdict.push("Coherence", Some(cycle));
+        }
+        let ob = self.ob_view(view);
         require_acyclic(&mut verdict, "Order", &ob);
-        require_empty(
-            &mut verdict,
-            "RMWIsol",
-            &exec.rmw.intersection(&exec.fre().compose(&exec.coe())),
-        );
+        if let Some((a, b)) = view.rmw_isol_witness() {
+            verdict.push("RMWIsol", Some(vec![a, b]));
+        }
 
         if self.transactional {
-            require_acyclic(
-                &mut verdict,
-                "StrongIsol",
-                &Execution::stronglift(&exec.com(), &exec.stxn),
-            );
+            if let Some(cycle) = view.strong_isol_cycle() {
+                verdict.push("StrongIsol", Some(cycle));
+            }
             require_acyclic(
                 &mut verdict,
                 "TxnOrder",
-                &Execution::stronglift(&ob, &exec.stxn),
+                &Execution::stronglift(&ob, &view.exec().stxn),
             );
-            require_empty(
-                &mut verdict,
-                "TxnCancelsRMW",
-                &exec.rmw.intersection(&exec.tfence().transitive_closure()),
-            );
+            if let Some((a, b)) = view.txn_cancels_rmw_witness() {
+                verdict.push("TxnCancelsRMW", Some(vec![a, b]));
+            }
         }
-        if self.cr_order && !cr_order(exec) {
+        if self.cr_order && !cr_order_view(view) {
             verdict.push("CROrder", None);
         }
         verdict

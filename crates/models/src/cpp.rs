@@ -1,10 +1,10 @@
 //! The C++ memory model (RC11 à la Lahav et al.) with the Transactional
 //! Memory technical-specification extension (Fig. 9, §7).
 
-use tm_exec::{Execution, Fence};
+use tm_exec::{ExecView, Execution, Fence};
 use tm_relation::{ElemSet, Relation};
 
-use crate::isolation::{require_acyclic, require_empty, require_irreflexive};
+use crate::isolation::{require_acyclic, require_irreflexive};
 use crate::{MemoryModel, Verdict};
 
 /// The C++ memory model, following the RC11 formulation of Lahav et al.
@@ -62,49 +62,71 @@ impl CppModel {
 
     /// The `Acq` set: acquire accesses plus acquire and seq_cst fences.
     pub fn acq_set(&self, exec: &Execution) -> ElemSet {
-        exec.acquires()
-            .union(&exec.fences_of(Fence::FenceAcq))
-            .union(&exec.fences_of(Fence::FenceSc))
+        self.acq_set_view(&ExecView::new(exec))
+    }
+
+    /// [`CppModel::acq_set`] over a memoized view.
+    pub fn acq_set_view(&self, view: &ExecView<'_>) -> ElemSet {
+        view.acquires()
+            .union(&view.fences_of(Fence::FenceAcq))
+            .union(&view.fences_of(Fence::FenceSc))
     }
 
     /// The `Rel` set: release accesses plus release and seq_cst fences.
     pub fn rel_set(&self, exec: &Execution) -> ElemSet {
-        exec.releases()
-            .union(&exec.fences_of(Fence::FenceRel))
-            .union(&exec.fences_of(Fence::FenceSc))
+        self.rel_set_view(&ExecView::new(exec))
+    }
+
+    /// [`CppModel::rel_set`] over a memoized view.
+    pub fn rel_set_view(&self, view: &ExecView<'_>) -> ElemSet {
+        view.releases()
+            .union(&view.fences_of(Fence::FenceRel))
+            .union(&view.fences_of(Fence::FenceSc))
     }
 
     /// The `SC` set: seq_cst accesses plus seq_cst fences.
     pub fn sc_set(&self, exec: &Execution) -> ElemSet {
-        exec.sc_events().union(&exec.fences_of(Fence::FenceSc))
+        self.sc_set_view(&ExecView::new(exec))
+    }
+
+    /// [`CppModel::sc_set`] over a memoized view.
+    pub fn sc_set_view(&self, view: &ExecView<'_>) -> ElemSet {
+        view.sc_events().union(&view.fences_of(Fence::FenceSc))
     }
 
     /// The release sequence: `rs = [W] ; poloc? ; [W ∩ Ato] ; (rf ; rmw)*`.
     pub fn release_sequence(&self, exec: &Execution) -> Relation {
-        let id_w = Relation::identity_on(&exec.writes());
-        let id_w_ato = Relation::identity_on(&exec.writes().intersection(&exec.atomics()));
-        id_w.compose(&exec.poloc().reflexive_closure())
+        self.release_sequence_view(&ExecView::new(exec))
+    }
+
+    /// [`CppModel::release_sequence`] over a memoized view.
+    pub fn release_sequence_view(&self, view: &ExecView<'_>) -> Relation {
+        let exec = view.exec();
+        let id_w_ato = Relation::identity_on(&view.writes().intersection(&view.atomics()));
+        view.id_writes()
+            .compose(&view.poloc().reflexive_closure())
             .compose(&id_w_ato)
-            .compose(
-                &exec
-                    .rf
-                    .compose(&exec.rmw)
-                    .reflexive_transitive_closure(),
-            )
+            .compose(&exec.rf.compose(&exec.rmw).reflexive_transitive_closure())
     }
 
     /// The synchronises-with relation:
     /// `sw = [Rel] ; ([F] ; po)? ; rs ; rf ; [R ∩ Ato] ; (po ; [F])? ; [Acq]`.
     pub fn sw(&self, exec: &Execution) -> Relation {
-        let id_rel = Relation::identity_on(&self.rel_set(exec));
-        let id_acq = Relation::identity_on(&self.acq_set(exec));
-        let id_fence = Relation::identity_on(&exec.fences());
-        let id_r_ato = Relation::identity_on(&exec.reads().intersection(&exec.atomics()));
+        self.sw_view(&ExecView::new(exec))
+    }
+
+    /// [`CppModel::sw`] over a memoized view.
+    pub fn sw_view(&self, view: &ExecView<'_>) -> Relation {
+        let exec = view.exec();
+        let id_rel = Relation::identity_on(&self.rel_set_view(view));
+        let id_acq = Relation::identity_on(&self.acq_set_view(view));
+        let id_fence = Relation::identity_on(&view.fences());
+        let id_r_ato = Relation::identity_on(&view.reads().intersection(&view.atomics()));
         let fence_po = id_fence.compose(&exec.po).reflexive_closure();
         let po_fence = exec.po.compose(&id_fence).reflexive_closure();
         id_rel
             .compose(&fence_po)
-            .compose(&self.release_sequence(exec))
+            .compose(&self.release_sequence_view(view))
             .compose(&exec.rf)
             .compose(&id_r_ato)
             .compose(&po_fence)
@@ -114,45 +136,63 @@ impl CppModel {
     /// Transactional synchronisation (§7.2): `tsw = weaklift(ecom, stxn)` —
     /// conflicting transactions synchronise in extended-communication order.
     pub fn tsw(&self, exec: &Execution) -> Relation {
-        Execution::weaklift(&exec.ecom(), &exec.stxn)
+        self.tsw_view(&ExecView::new(exec))
+    }
+
+    /// [`CppModel::tsw`] over a memoized view.
+    pub fn tsw_view(&self, view: &ExecView<'_>) -> Relation {
+        Execution::weaklift(&view.ecom(), &view.exec().stxn)
     }
 
     /// Happens-before: `hb = (sw ∪ tsw ∪ po)+` (the `tsw` part only when the
     /// TM extension is enabled).
     pub fn hb(&self, exec: &Execution) -> Relation {
-        let mut base = self.sw(exec).union(&exec.po);
+        self.hb_view(&ExecView::new(exec))
+    }
+
+    /// [`CppModel::hb`] over a memoized view.
+    pub fn hb_view(&self, view: &ExecView<'_>) -> Relation {
+        let mut base = self.sw_view(view);
+        base.union_in_place(&view.exec().po);
         if self.transactional {
-            base = base.union(&self.tsw(exec));
+            base.union_in_place(&self.tsw_view(view));
         }
-        base.transitive_closure()
+        base.transitive_closure_in_place();
+        base
     }
 
     /// The partial-SC relation used by the `SeqCst` axiom, following RC11.
     pub fn psc(&self, exec: &Execution) -> Relation {
-        let hb = self.hb(exec);
+        self.psc_view(&ExecView::new(exec))
+    }
+
+    /// [`CppModel::psc`] over a memoized view.
+    pub fn psc_view(&self, view: &ExecView<'_>) -> Relation {
+        let exec = view.exec();
+        let hb = self.hb_view(view);
         let hb_q = hb.reflexive_closure();
-        let sc = self.sc_set(exec);
-        let sc_fences = sc.intersection(&exec.fences());
+        let sc = self.sc_set_view(view);
+        let sc_fences = sc.intersection(&view.fences());
         let id_sc = Relation::identity_on(&sc);
         let id_f_sc = Relation::identity_on(&sc_fences);
-        let eco = exec.com().transitive_closure();
+        let eco = view.com().transitive_closure();
 
         // scb = po ∪ (po\loc ; hb ; po\loc) ∪ (hb ∩ sloc) ∪ co ∪ fr
-        let po_nl = exec.po_diff_loc();
-        let scb = exec
-            .po
-            .union(&po_nl.compose(&hb).compose(&po_nl))
-            .union(&hb.intersection(&exec.sloc()))
-            .union(&exec.co)
-            .union(&exec.fr());
+        let po_nl = view.po_diff_loc();
+        let mut scb = po_nl.compose(&hb).compose(&po_nl);
+        scb.union_in_place(&exec.po);
+        scb.union_in_place(&hb.intersection(&view.sloc()));
+        scb.union_in_place(&exec.co);
+        scb.union_in_place(&view.fr());
 
         let left = id_sc.union(&id_f_sc.compose(&hb_q));
         let right = id_sc.union(&hb_q.compose(&id_f_sc));
-        let psc_base = left.compose(&scb).compose(&right);
+        let mut psc = left.compose(&scb).compose(&right);
         let psc_f = id_f_sc
             .compose(&hb.union(&hb.compose(&eco).compose(&hb)))
             .compose(&id_f_sc);
-        psc_base.union(&psc_f)
+        psc.union_in_place(&psc_f);
+        psc
     }
 
     /// The `NoRace` predicate of Fig. 9: true if the execution contains a
@@ -160,21 +200,34 @@ impl CppModel {
     /// happens-before. A program with a racy consistent execution has
     /// undefined behaviour.
     pub fn is_racy(&self, exec: &Execution) -> bool {
-        let hb = self.hb(exec);
-        let ato = exec.atomics();
+        self.is_racy_view(&ExecView::new(exec))
+    }
+
+    /// [`CppModel::is_racy`] over a memoized view.
+    pub fn is_racy_view(&self, view: &ExecView<'_>) -> bool {
+        let hb = self.hb_view(view);
+        let ato = view.atomics();
         let both_atomic = Relation::cross(&ato, &ato);
-        !exec
-            .cnf()
-            .difference(&both_atomic)
-            .difference(&hb.union(&hb.inverse()))
-            .is_empty()
+        let mut races = view.cnf().into_owned();
+        races.difference_in_place(&both_atomic);
+        races.difference_in_place(&hb);
+        races.difference_in_place(&hb.inverse());
+        !races.is_empty()
     }
 
     /// True if every atomic transaction contains no atomic operation — the
     /// syntactic restriction the C++ TM specification places on
     /// `atomic { … }` blocks, and a hypothesis of Theorem 7.2.
     pub fn atomic_txns_contain_no_atomics(&self, exec: &Execution) -> bool {
-        exec.stxnat.domain().is_disjoint_from(&exec.atomics())
+        self.atomic_txns_contain_no_atomics_view(&ExecView::new(exec))
+    }
+
+    /// [`CppModel::atomic_txns_contain_no_atomics`] over a memoized view.
+    pub fn atomic_txns_contain_no_atomics_view(&self, view: &ExecView<'_>) -> bool {
+        view.exec()
+            .stxnat
+            .domain()
+            .is_disjoint_from(&view.atomics())
     }
 }
 
@@ -191,21 +244,20 @@ impl MemoryModel for CppModel {
         vec!["HbCom", "RMWIsol", "NoThinAir", "SeqCst"]
     }
 
-    fn check(&self, exec: &Execution) -> Verdict {
+    fn check_view(&self, view: &ExecView<'_>) -> Verdict {
+        let exec = view.exec();
         let mut verdict = Verdict::consistent(self.name());
-        let hb = self.hb(exec);
+        let hb = self.hb_view(view);
         require_irreflexive(
             &mut verdict,
             "HbCom",
-            &hb.compose(&exec.com().reflexive_transitive_closure()),
+            &hb.compose(&view.com().reflexive_transitive_closure()),
         );
-        require_empty(
-            &mut verdict,
-            "RMWIsol",
-            &exec.rmw.intersection(&exec.fre().compose(&exec.coe())),
-        );
+        if let Some((a, b)) = view.rmw_isol_witness() {
+            verdict.push("RMWIsol", Some(vec![a, b]));
+        }
         require_acyclic(&mut verdict, "NoThinAir", &exec.po.union(&exec.rf));
-        require_acyclic(&mut verdict, "SeqCst", &self.psc(exec));
+        require_acyclic(&mut verdict, "SeqCst", &self.psc_view(view));
         verdict
     }
 }
@@ -344,7 +396,13 @@ mod tests {
 
     #[test]
     fn tm_and_baseline_agree_without_transactions() {
-        for e in [catalog::sb(), catalog::mp(), catalog::lb(), mp_rel_acq(), sb_sc()] {
+        for e in [
+            catalog::sb(),
+            catalog::mp(),
+            catalog::lb(),
+            mp_rel_acq(),
+            sb_sc(),
+        ] {
             assert_eq!(
                 CppModel::baseline().is_consistent(&e),
                 CppModel::tm().is_consistent(&e)

@@ -1,7 +1,7 @@
 //! Isolation axioms (§3.3) and the critical-region serialisation axiom used
 //! for lock-elision checking (§8.3).
 
-use tm_exec::Execution;
+use tm_exec::{ExecView, Execution};
 use tm_relation::Relation;
 
 use crate::Verdict;
@@ -11,48 +11,47 @@ use crate::Verdict;
 /// Transactions are isolated from *other transactions*: no communication
 /// cycle exists among whole transactions.
 pub fn weak_isolation(exec: &Execution) -> bool {
-    Execution::weaklift(&exec.com(), &exec.stxn).is_acyclic()
+    weak_isolation_view(&ExecView::new(exec))
+}
+
+/// [`weak_isolation`] over a memoized view.
+pub fn weak_isolation_view(view: &ExecView<'_>) -> bool {
+    Execution::weaklift(&view.com(), &view.exec().stxn).is_acyclic()
 }
 
 /// The `StrongIsol` axiom: `acyclic(stronglift(com, stxn))`.
 ///
 /// Transactions are isolated from *all other code*, transactional or not.
 pub fn strong_isolation(exec: &Execution) -> bool {
-    Execution::stronglift(&exec.com(), &exec.stxn).is_acyclic()
+    strong_isolation_view(&ExecView::new(exec))
+}
+
+/// [`strong_isolation`] over a memoized view.
+pub fn strong_isolation_view(view: &ExecView<'_>) -> bool {
+    view.strong_isol_cycle().is_none()
 }
 
 /// Like [`strong_isolation`] but lifted over the *atomic* transactions only
 /// (`stxnat`). This is the conclusion of Theorem 7.2.
 pub fn strong_isolation_atomic(exec: &Execution) -> bool {
-    Execution::stronglift(&exec.com(), &exec.stxnat).is_acyclic()
+    strong_isolation_atomic_view(&ExecView::new(exec))
+}
+
+/// [`strong_isolation_atomic`] over a memoized view.
+pub fn strong_isolation_atomic_view(view: &ExecView<'_>) -> bool {
+    Execution::stronglift(&view.com(), &view.exec().stxnat).is_acyclic()
 }
 
 /// Checks an acyclicity axiom and records a violation with a witness cycle.
-pub(crate) fn require_acyclic(
-    verdict: &mut Verdict,
-    axiom: &'static str,
-    relation: &Relation,
-) {
+pub(crate) fn require_acyclic(verdict: &mut Verdict, axiom: &'static str, relation: &Relation) {
     if let Some(cycle) = relation.find_cycle() {
         verdict.push(axiom, Some(cycle));
     }
 }
 
-/// Checks an emptiness axiom and records a violation listing one offending
-/// pair.
-pub(crate) fn require_empty(verdict: &mut Verdict, axiom: &'static str, relation: &Relation) {
-    if let Some((a, b)) = relation.iter().next() {
-        verdict.push(axiom, Some(vec![a, b]));
-    }
-}
-
 /// Checks an irreflexivity axiom and records a violation naming one fixed
 /// point.
-pub(crate) fn require_irreflexive(
-    verdict: &mut Verdict,
-    axiom: &'static str,
-    relation: &Relation,
-) {
+pub(crate) fn require_irreflexive(verdict: &mut Verdict, axiom: &'static str, relation: &Relation) {
     for a in 0..relation.universe() {
         if relation.contains(a, a) {
             verdict.push(axiom, Some(vec![a]));
@@ -65,7 +64,15 @@ pub(crate) fn require_irreflexive(
 /// critical regions (locked or elided) must be serialisable. This is the
 /// *specification* a lock or lock-elision library must meet.
 pub fn cr_order(exec: &Execution) -> bool {
-    Execution::weaklift(&exec.po.union(&exec.com()), &exec.scr).is_acyclic()
+    cr_order_view(&ExecView::new(exec))
+}
+
+/// [`cr_order`] over a memoized view.
+pub fn cr_order_view(view: &ExecView<'_>) -> bool {
+    let exec = view.exec();
+    let mut body = view.com().into_owned();
+    body.union_in_place(&exec.po);
+    Execution::weaklift(&body, &exec.scr).is_acyclic()
 }
 
 #[cfg(test)]

@@ -45,22 +45,43 @@ pub use sc::ScModel;
 pub use verdict::{Verdict, Violation};
 pub use x86::X86Model;
 
-use tm_exec::Execution;
+use tm_exec::{ExecView, Execution};
 
 /// A memory model: a named consistency predicate over candidate executions.
 ///
 /// Implementations report *which* axioms an execution violates via
-/// [`MemoryModel::check`]; [`MemoryModel::is_consistent`] is the boolean
+/// [`MemoryModel::check_view`]; [`MemoryModel::is_consistent`] is the boolean
 /// summary.
-pub trait MemoryModel {
+///
+/// Checks are written against an [`ExecView`] so that the derived relations
+/// (`sloc`, `fr`, `com`, fence relations, …) an execution's axioms share are
+/// computed once per execution — and, when several models check the same
+/// execution (as the synthesis sweep does), once across *all* of them if the
+/// callers share one view. The [`MemoryModel::check`] convenience wraps a
+/// fresh view around a bare [`Execution`].
+///
+/// Models are `Send + Sync` so `&dyn MemoryModel` can be shared by the
+/// parallel enumeration workers.
+pub trait MemoryModel: Send + Sync {
     /// A short human-readable name (e.g. `"Power+TM"`).
     fn name(&self) -> &'static str;
 
     /// The names of the axioms this model checks, in check order.
     fn axioms(&self) -> Vec<&'static str>;
 
+    /// Checks the viewed execution against every axiom and reports all
+    /// violations. Derived relations are fetched through `view`, memoized.
+    fn check_view(&self, view: &ExecView<'_>) -> Verdict;
+
     /// Checks `exec` against every axiom and reports all violations.
-    fn check(&self, exec: &Execution) -> Verdict;
+    fn check(&self, exec: &Execution) -> Verdict {
+        self.check_view(&ExecView::new(exec))
+    }
+
+    /// True if the viewed execution satisfies every axiom of this model.
+    fn is_consistent_view(&self, view: &ExecView<'_>) -> bool {
+        self.check_view(view).is_consistent()
+    }
 
     /// True if `exec` satisfies every axiom of this model.
     fn is_consistent(&self, exec: &Execution) -> bool {

@@ -1,9 +1,9 @@
 //! The Power memory model with transactional extensions (Fig. 6).
 
-use tm_exec::{Execution, Fence};
+use tm_exec::{ExecView, Execution, Fence};
 use tm_relation::Relation;
 
-use crate::isolation::{cr_order, require_acyclic, require_empty, require_irreflexive};
+use crate::isolation::{cr_order_view, require_acyclic, require_irreflexive};
 use crate::{MemoryModel, Verdict};
 
 /// The Power memory model of Alglave et al. ("herding cats"), extended —
@@ -75,54 +75,87 @@ impl PowerModel {
 
     /// The preserved-program-order approximation.
     pub fn ppo(&self, exec: &Execution) -> Relation {
+        self.ppo_view(&ExecView::new(exec))
+    }
+
+    /// [`PowerModel::ppo`] over a memoized view.
+    pub fn ppo_view(&self, view: &ExecView<'_>) -> Relation {
+        let exec = view.exec();
         let deps = exec.addr.union(&exec.data);
-        let ctrl_to_writes = exec
-            .ctrl
-            .compose(&Relation::identity_on(&exec.writes()));
-        deps.union(&ctrl_to_writes)
-            .union(&deps.compose(&exec.rfi()))
-            .intersection(&exec.po)
+        let ctrl_to_writes = exec.ctrl.compose(&view.id_writes());
+        let mut ppo = deps.compose(&view.rfi());
+        ppo.union_in_place(&deps);
+        ppo.union_in_place(&ctrl_to_writes);
+        ppo.intersect_in_place(&exec.po);
+        ppo
     }
 
     /// The fence relation: `sync ∪ tfence ∪ (lwsync \ (W × R))`.
     pub fn fence(&self, exec: &Execution) -> Relation {
-        let sync = exec.fence_rel(Fence::Sync);
-        let lwsync = exec.fence_rel(Fence::Lwsync);
-        let w_to_r = Relation::cross(&exec.writes(), &exec.reads());
-        let mut fence = sync.union(&lwsync.difference(&w_to_r));
+        self.fence_view(&ExecView::new(exec))
+    }
+
+    /// [`PowerModel::fence`] over a memoized view.
+    pub fn fence_view(&self, view: &ExecView<'_>) -> Relation {
+        let mut lwsync = view.fence_rel(Fence::Lwsync).into_owned();
+        lwsync.difference_in_place(&Relation::cross(&view.writes(), &view.reads()));
+        let mut fence = lwsync;
+        fence.union_in_place(&view.fence_rel(Fence::Sync));
         if self.transactional {
-            fence = fence.union(&exec.tfence());
+            fence.union_in_place(&view.tfence());
         }
         fence
     }
 
     /// Intra-thread happens-before: `ihb = ppo ∪ fence`.
     pub fn ihb(&self, exec: &Execution) -> Relation {
-        self.ppo(exec).union(&self.fence(exec))
+        self.ihb_view(&ExecView::new(exec))
+    }
+
+    /// [`PowerModel::ihb`] over a memoized view.
+    pub fn ihb_view(&self, view: &ExecView<'_>) -> Relation {
+        let mut ihb = self.ppo_view(view);
+        ihb.union_in_place(&self.fence_view(view));
+        ihb
     }
 
     /// The transactional happens-before relation `thb` (only meaningful for
     /// the transactional model):
     /// `thb = (rfe ∪ ((fre ∪ coe)* ; ihb))* ; (fre ∪ coe)* ; rfe?`.
     pub fn thb(&self, exec: &Execution) -> Relation {
-        let ihb = self.ihb(exec);
-        let fre_coe = exec.fre().union(&exec.coe());
+        self.thb_view(&ExecView::new(exec))
+    }
+
+    /// [`PowerModel::thb`] over a memoized view.
+    pub fn thb_view(&self, view: &ExecView<'_>) -> Relation {
+        let ihb = self.ihb_view(view);
+        let mut fre_coe = view.fre().into_owned();
+        fre_coe.union_in_place(&view.coe());
         let fre_coe_star = fre_coe.reflexive_transitive_closure();
-        let step = exec.rfe().union(&fre_coe_star.compose(&ihb));
+        let mut step = fre_coe_star.compose(&ihb);
+        step.union_in_place(&view.rfe());
         step.reflexive_transitive_closure()
             .compose(&fre_coe_star)
-            .compose(&exec.rfe().reflexive_closure())
+            .compose(&view.rfe().reflexive_closure())
     }
 
     /// The happens-before relation of Fig. 6:
     /// `hb = (rfe? ; ihb ; rfe?) ∪ weaklift(thb, stxn)` (the lifted part only
     /// with TM enabled).
     pub fn hb(&self, exec: &Execution) -> Relation {
-        let ihb = self.ihb(exec);
-        let rfe_q = exec.rfe().reflexive_closure();
+        self.hb_view(&ExecView::new(exec))
+    }
+
+    /// [`PowerModel::hb`] over a memoized view.
+    pub fn hb_view(&self, view: &ExecView<'_>) -> Relation {
+        let ihb = self.ihb_view(view);
+        let rfe_q = view.rfe().reflexive_closure();
         let mut hb = rfe_q.compose(&ihb).compose(&rfe_q);
         if self.transactional {
-            hb = hb.union(&Execution::weaklift(&self.thb(exec), &exec.stxn));
+            hb.union_in_place(&Execution::weaklift(
+                &self.thb_view(view),
+                &view.exec().stxn,
+            ));
         }
         hb
     }
@@ -130,20 +163,25 @@ impl PowerModel {
     /// The propagation relation of Fig. 6 (including `tprop1`/`tprop2` when
     /// TM is enabled).
     pub fn prop(&self, exec: &Execution) -> Relation {
-        let n = exec.len();
-        let fence = self.fence(exec);
-        let hb_star = self.hb(exec).reflexive_transitive_closure();
-        let rfe_q = exec.rfe().reflexive_closure();
+        self.prop_view(&ExecView::new(exec))
+    }
+
+    /// [`PowerModel::prop`] over a memoized view.
+    pub fn prop_view(&self, view: &ExecView<'_>) -> Relation {
+        let exec = view.exec();
+        let fence = self.fence_view(view);
+        let hb_star = self.hb_view(view).reflexive_transitive_closure();
+        let rfe_q = view.rfe().reflexive_closure();
         let efence = rfe_q.compose(&fence).compose(&rfe_q);
-        let id_w = Relation::identity_on(&exec.writes());
+        let id_w = view.id_writes();
 
         let prop1 = id_w.compose(&efence).compose(&hb_star).compose(&id_w);
 
-        let mut strong_fence = exec.fence_rel(Fence::Sync);
+        let mut strong_fence = view.fence_rel(Fence::Sync).into_owned();
         if self.transactional {
-            strong_fence = strong_fence.union(&exec.tfence());
+            strong_fence.union_in_place(&view.tfence());
         }
-        let prop2 = exec
+        let prop2 = view
             .come()
             .reflexive_transitive_closure()
             .compose(&efence.reflexive_transitive_closure())
@@ -151,13 +189,13 @@ impl PowerModel {
             .compose(&strong_fence)
             .compose(&hb_star);
 
-        let mut prop = prop1.union(&prop2);
+        let mut prop = prop1;
+        prop.union_in_place(&prop2);
         if self.transactional {
-            let tprop1 = exec.rfe().compose(&exec.stxn).compose(&id_w);
-            let tprop2 = exec.stxn.compose(&exec.rfe());
-            prop = prop.union(&tprop1).union(&tprop2);
-        } else {
-            let _ = n;
+            let tprop1 = view.rfe().compose(&exec.stxn).compose(&id_w);
+            let tprop2 = exec.stxn.compose(&view.rfe());
+            prop.union_in_place(&tprop1);
+            prop.union_in_place(&tprop2);
         }
         prop
     }
@@ -189,52 +227,45 @@ impl MemoryModel for PowerModel {
         axioms
     }
 
-    fn check(&self, exec: &Execution) -> Verdict {
+    fn check_view(&self, view: &ExecView<'_>) -> Verdict {
+        let exec = view.exec();
         let mut verdict = Verdict::consistent(self.name());
 
-        require_acyclic(
-            &mut verdict,
-            "Coherence",
-            &exec.poloc().union(&exec.com()),
-        );
-        require_empty(
-            &mut verdict,
-            "RMWIsol",
-            &exec.rmw.intersection(&exec.fre().compose(&exec.coe())),
-        );
+        if let Some(cycle) = view.coherence_cycle() {
+            verdict.push("Coherence", Some(cycle));
+        }
+        if let Some((a, b)) = view.rmw_isol_witness() {
+            verdict.push("RMWIsol", Some(vec![a, b]));
+        }
 
-        let hb = self.hb(exec);
+        let hb = self.hb_view(view);
         require_acyclic(&mut verdict, "Order", &hb);
 
-        let prop = self.prop(exec);
+        let prop = self.prop_view(view);
         require_acyclic(&mut verdict, "Propagation", &exec.co.union(&prop));
         require_irreflexive(
             &mut verdict,
             "Observation",
-            &exec
+            &view
                 .fre()
                 .compose(&prop)
                 .compose(&hb.reflexive_transitive_closure()),
         );
 
         if self.transactional {
-            require_acyclic(
-                &mut verdict,
-                "StrongIsol",
-                &Execution::stronglift(&exec.com(), &exec.stxn),
-            );
+            if let Some(cycle) = view.strong_isol_cycle() {
+                verdict.push("StrongIsol", Some(cycle));
+            }
             require_acyclic(
                 &mut verdict,
                 "TxnOrder",
                 &Execution::stronglift(&hb, &exec.stxn),
             );
-            require_empty(
-                &mut verdict,
-                "TxnCancelsRMW",
-                &exec.rmw.intersection(&exec.tfence().transitive_closure()),
-            );
+            if let Some((a, b)) = view.txn_cancels_rmw_witness() {
+                verdict.push("TxnCancelsRMW", Some(vec![a, b]));
+            }
         }
-        if self.cr_order && !cr_order(exec) {
+        if self.cr_order && !cr_order_view(view) {
             verdict.push("CROrder", None);
         }
         verdict

@@ -1,6 +1,6 @@
 //! Sequential consistency and transactional sequential consistency (Fig. 4).
 
-use tm_exec::Execution;
+use tm_exec::{ExecView, Execution};
 
 use crate::isolation::require_acyclic;
 use crate::{MemoryModel, Verdict};
@@ -71,15 +71,16 @@ impl MemoryModel for ScModel {
         }
     }
 
-    fn check(&self, exec: &Execution) -> Verdict {
+    fn check_view(&self, view: &ExecView<'_>) -> Verdict {
         let mut verdict = Verdict::consistent(self.name());
-        let hb = exec.po.union(&exec.com());
+        let mut hb = view.com().into_owned();
+        hb.union_in_place(&view.exec().po);
         require_acyclic(&mut verdict, "Order", &hb);
         if self.transactional {
             require_acyclic(
                 &mut verdict,
                 "TxnOrder",
-                &Execution::stronglift(&hb, &exec.stxn),
+                &Execution::stronglift(&hb, &view.exec().stxn),
             );
         }
         verdict

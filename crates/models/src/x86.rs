@@ -1,9 +1,9 @@
 //! The x86-TSO memory model with Intel TSX transactions (Fig. 5).
 
-use tm_exec::{Execution, Fence};
+use tm_exec::{ExecView, Execution};
 use tm_relation::Relation;
 
-use crate::isolation::{cr_order, require_acyclic, require_empty};
+use crate::isolation::{cr_order_view, require_acyclic};
 use crate::{MemoryModel, Verdict};
 
 /// The x86 memory model of Alglave et al., extended (when `transactional`)
@@ -70,34 +70,21 @@ impl X86Model {
 
     /// The happens-before relation of Fig. 5 for `exec`.
     pub fn hb(&self, exec: &Execution) -> Relation {
-        let n = exec.len();
-        let writes = exec.writes();
-        let reads = exec.reads();
+        self.hb_view(&ExecView::new(exec))
+    }
 
-        // ppo = ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po — everything except W→R.
-        let ww = Relation::cross(&writes, &writes);
-        let rw = Relation::cross(&reads, &writes);
-        let rr = Relation::cross(&reads, &reads);
-        let ppo = ww.union(&rw).union(&rr).intersection(&exec.po);
-
-        // implied = [L] ; po ∪ po ; [L] (∪ tfence with TM), where L is the
-        // set of events belonging to LOCK'd RMW operations.
-        let locked = exec.rmw.domain().union(&exec.rmw.range());
-        let id_l = Relation::identity_on(&locked);
-        let mut implied = id_l.compose(&exec.po).union(&exec.po.compose(&id_l));
-        let tfence = if self.transactional {
-            exec.tfence()
-        } else {
-            Relation::new(n)
-        };
-        implied = implied.union(&tfence);
-
-        exec.fence_rel(Fence::MFence)
-            .union(&ppo)
-            .union(&implied)
-            .union(&exec.rfe())
-            .union(&exec.fr())
-            .union(&exec.co)
+    /// [`X86Model::hb`] over a memoized view.
+    ///
+    /// The non-transactional body (`mfence ∪ ppo ∪ implied ∪ rfe ∪ fr ∪ co`)
+    /// is memoized once on the view — see [`ExecView::x86_hb_base`] — so the
+    /// baseline and TM variants checking the same execution share it; the TM
+    /// variant adds the implicit transaction-boundary fences.
+    pub fn hb_view(&self, view: &ExecView<'_>) -> Relation {
+        let mut hb = view.x86_hb_base().into_owned();
+        if self.transactional {
+            hb.union_in_place(&view.tfence());
+        }
+        hb
     }
 }
 
@@ -121,36 +108,30 @@ impl MemoryModel for X86Model {
         axioms
     }
 
-    fn check(&self, exec: &Execution) -> Verdict {
+    fn check_view(&self, view: &ExecView<'_>) -> Verdict {
         let mut verdict = Verdict::consistent(self.name());
 
-        require_acyclic(
-            &mut verdict,
-            "Coherence",
-            &exec.poloc().union(&exec.com()),
-        );
-        require_empty(
-            &mut verdict,
-            "RMWIsol",
-            &exec.rmw.intersection(&exec.fre().compose(&exec.coe())),
-        );
+        if let Some(cycle) = view.coherence_cycle() {
+            verdict.push("Coherence", Some(cycle));
+        }
+        if let Some((a, b)) = view.rmw_isol_witness() {
+            verdict.push("RMWIsol", Some(vec![a, b]));
+        }
 
-        let hb = self.hb(exec);
+        let hb = self.hb_view(view);
         require_acyclic(&mut verdict, "Order", &hb);
 
         if self.transactional {
-            require_acyclic(
-                &mut verdict,
-                "StrongIsol",
-                &Execution::stronglift(&exec.com(), &exec.stxn),
-            );
+            if let Some(cycle) = view.strong_isol_cycle() {
+                verdict.push("StrongIsol", Some(cycle));
+            }
             require_acyclic(
                 &mut verdict,
                 "TxnOrder",
-                &Execution::stronglift(&hb, &exec.stxn),
+                &Execution::stronglift(&hb, &view.exec().stxn),
             );
         }
-        if self.cr_order && !cr_order(exec) {
+        if self.cr_order && !cr_order_view(view) {
             verdict.push("CROrder", None);
         }
         verdict

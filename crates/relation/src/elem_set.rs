@@ -67,7 +67,11 @@ impl ElemSet {
     ///
     /// Panics if `elem >= universe`.
     pub fn insert(&mut self, elem: usize) -> bool {
-        assert!(elem < self.universe, "element {elem} outside universe {}", self.universe);
+        assert!(
+            elem < self.universe,
+            "element {elem} outside universe {}",
+            self.universe
+        );
         let (w, b) = (elem / BITS, elem % BITS);
         let newly = self.words[w] & (1 << b) == 0;
         self.words[w] |= 1 << b;
@@ -216,13 +220,13 @@ mod tests {
     fn boolean_algebra() {
         let a = ElemSet::from_iter(8, [0, 1, 2, 5]);
         let b = ElemSet::from_iter(8, [2, 3, 5, 7]);
-        assert_eq!(a.union(&b).iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 5, 7]);
+        assert_eq!(
+            a.union(&b).iter().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 5, 7]
+        );
         assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![2, 5]);
         assert_eq!(a.difference(&b).iter().collect::<Vec<_>>(), vec![0, 1]);
-        assert_eq!(
-            a.complement().iter().collect::<Vec<_>>(),
-            vec![3, 4, 6, 7]
-        );
+        assert_eq!(a.complement().iter().collect::<Vec<_>>(), vec![3, 4, 6, 7]);
     }
 
     #[test]

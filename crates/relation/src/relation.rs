@@ -156,8 +156,23 @@ impl Relation {
     }
 
     /// Successors of `a`: every `b` with `(a, b)` in the relation.
+    ///
+    /// Iterates word by word over the bit-packed row, so sparse rows cost
+    /// O(words) rather than O(universe).
     pub fn successors(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
-        (0..self.universe).filter(move |&b| self.contains(a, b))
+        let row = &self.rows[a * self.words_per_row..(a + 1) * self.words_per_row];
+        row.iter().enumerate().flat_map(|(w, &word)| {
+            let base = w * BITS;
+            std::iter::successors(if word == 0 { None } else { Some(word) }, |&bits| {
+                let rest = bits & (bits - 1);
+                if rest == 0 {
+                    None
+                } else {
+                    Some(rest)
+                }
+            })
+            .map(move |bits| base + bits.trailing_zeros() as usize)
+        })
     }
 
     /// Predecessors of `b`: every `a` with `(a, b)` in the relation.
@@ -180,6 +195,42 @@ impl Relation {
         self.zip_with(other, |a, b| a | b)
     }
 
+    /// In-place union: `self ← self ∪ other`, with no allocation.
+    ///
+    /// The workhorse of relation assembly on hot paths (models build `hb`,
+    /// `ob`, `prop` as unions of many parts; the allocating [`Relation::union`]
+    /// clones the row storage every time).
+    pub fn union_in_place(&mut self, other: &Relation) {
+        debug_assert_eq!(
+            self.universe, other.universe,
+            "relation operation across different universes"
+        );
+        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self ← self ∩ other`, with no allocation.
+    pub fn intersect_in_place(&mut self, other: &Relation) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: `self ← self \ other`, with no allocation.
+    pub fn difference_in_place(&mut self, other: &Relation) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+            *a &= !b;
+        }
+    }
+
+    /// Removes every pair: the relation becomes empty (storage is kept).
+    pub fn clear(&mut self) {
+        self.rows.fill(0);
+    }
+
     /// Intersection of two relations.
     pub fn intersection(&self, other: &Relation) -> Relation {
         self.zip_with(other, |a, b| a & b)
@@ -192,12 +243,21 @@ impl Relation {
 
     /// Complement with respect to all pairs of the universe.
     pub fn complement(&self) -> Relation {
-        let mut out = Relation::new(self.universe);
+        // Word-level: negate each row, masking off the bits past the
+        // universe boundary in the last word.
+        let mut out = self.clone();
+        let tail_bits = self.universe % BITS;
+        let tail_mask = if tail_bits == 0 {
+            u64::MAX
+        } else {
+            (1u64 << tail_bits) - 1
+        };
         for a in 0..self.universe {
-            for b in 0..self.universe {
-                if !self.contains(a, b) {
-                    out.insert(a, b);
-                }
+            let base = a * self.words_per_row;
+            for w in 0..self.words_per_row {
+                let full = (w + 1) * BITS <= self.universe;
+                let mask = if full { u64::MAX } else { tail_mask };
+                out.rows[base + w] = !self.rows[base + w] & mask;
             }
         }
         out
@@ -214,15 +274,55 @@ impl Relation {
 
     /// Relational composition `self ; other`.
     pub fn compose(&self, other: &Relation) -> Relation {
+        let mut out = Relation::new(self.universe);
+        self.compose_into(other, &mut out);
+        out
+    }
+
+    /// Allocation-free relational composition: `out ← self ; other`.
+    ///
+    /// `out` is cleared first, so it can be a scratch relation reused across
+    /// calls. Word-level: for every `b` in row `a` of `self`, row `b` of
+    /// `other` is OR-ed into row `a` of `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the three universes differ.
+    pub fn compose_into(&self, other: &Relation, out: &mut Relation) {
+        debug_assert_eq!(self.universe, other.universe);
+        debug_assert_eq!(self.universe, out.universe);
+        out.clear();
+        let w = self.words_per_row;
+        for a in 0..self.universe {
+            let dst_base = a * w;
+            for (wi, &word) in self.rows[a * w..(a + 1) * w].iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let b = wi * BITS + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let src_base = b * w;
+                    for j in 0..w {
+                        out.rows[dst_base + j] |= other.rows[src_base + j];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference composition by the textbook triple loop, kept as an oracle
+    /// for the word-level [`Relation::compose_into`] fast path.
+    pub fn compose_naive(&self, other: &Relation) -> Relation {
         debug_assert_eq!(self.universe, other.universe);
         let mut out = Relation::new(self.universe);
         for a in 0..self.universe {
-            // out row a = union over b in succ(a) of other's row b
-            let dst_base = a * self.words_per_row;
-            for b in self.successors(a) {
-                let src_base = b * other.words_per_row;
-                for w in 0..self.words_per_row {
-                    out.rows[dst_base + w] |= other.rows[src_base + w];
+            for b in 0..self.universe {
+                if !self.contains(a, b) {
+                    continue;
+                }
+                for c in 0..self.universe {
+                    if other.contains(b, c) {
+                        out.insert(a, c);
+                    }
                 }
             }
         }
@@ -234,23 +334,63 @@ impl Relation {
         self.union(&Relation::identity(self.universe))
     }
 
-    /// Transitive closure `r⁺`, computed by iterated squaring/row-or.
+    /// Transitive closure `r⁺`.
     pub fn transitive_closure(&self) -> Relation {
-        // Floyd–Warshall style bit-parallel closure.
         let mut out = self.clone();
-        for k in 0..self.universe {
-            let k_row: Vec<u64> =
-                out.rows[k * out.words_per_row..(k + 1) * out.words_per_row].to_vec();
-            for a in 0..self.universe {
-                if out.contains(a, k) {
-                    let base = a * out.words_per_row;
-                    for w in 0..out.words_per_row {
-                        out.rows[base + w] |= k_row[w];
-                    }
+        out.transitive_closure_in_place();
+        out
+    }
+
+    /// In-place transitive closure by word-level Floyd–Warshall, with no
+    /// allocation beyond the relation itself.
+    ///
+    /// Two prunes keep litmus-sized closures cheap: a pivot `k` whose row is
+    /// empty contributes nothing and is skipped outright, and within a pivot
+    /// only rows with the `(a, k)` bit set are touched (checked by direct
+    /// word indexing rather than a full `contains`). Rows are split with
+    /// `split_at_mut` so the pivot row is OR-ed in without being copied.
+    pub fn transitive_closure_in_place(&mut self) {
+        let n = self.universe;
+        let w = self.words_per_row;
+        for k in 0..n {
+            let k_base = k * w;
+            if self.rows[k_base..k_base + w].iter().all(|&x| x == 0) {
+                continue;
+            }
+            let (kw, kb) = (k / BITS, 1u64 << (k % BITS));
+            for a in 0..n {
+                if a == k || self.rows[a * w + kw] & kb == 0 {
+                    continue;
+                }
+                let a_base = a * w;
+                // Borrow the pivot row and row `a` disjointly (a != k).
+                let (lo, hi) = self.rows.split_at_mut(a_base.max(k_base));
+                let (dst, src) = if a_base < k_base {
+                    (&mut lo[a_base..a_base + w], &hi[..w])
+                } else {
+                    (&mut hi[..w], &lo[k_base..k_base + w])
+                };
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d |= s;
                 }
             }
         }
-        out
+    }
+
+    /// Reference transitive closure by fixpoint iteration
+    /// (`r ∪ r;r ∪ r;r;r ∪ …` until nothing changes, with an early exit on
+    /// stabilisation), kept as an oracle for
+    /// [`Relation::transitive_closure_in_place`].
+    pub fn transitive_closure_naive(&self) -> Relation {
+        let mut acc = self.clone();
+        loop {
+            let step = acc.compose_naive(self);
+            let next = acc.union(&step);
+            if next == acc {
+                return acc;
+            }
+            acc = next;
+        }
     }
 
     /// Reflexive-transitive closure `r*`.
@@ -264,39 +404,59 @@ impl Relation {
         (0..self.universe).all(|a| !self.contains(a, a))
     }
 
+    /// The smallest successor of `a` that is `>= from`, found by scanning
+    /// the bit-packed row word by word (no allocation).
+    fn next_successor(&self, a: usize, from: usize) -> Option<usize> {
+        if from >= self.universe {
+            return None;
+        }
+        let row = &self.rows[a * self.words_per_row..(a + 1) * self.words_per_row];
+        let mut wi = from / BITS;
+        let mut word = row[wi] & (u64::MAX << (from % BITS));
+        loop {
+            if word != 0 {
+                return Some(wi * BITS + word.trailing_zeros() as usize);
+            }
+            wi += 1;
+            if wi >= row.len() {
+                return None;
+            }
+            word = row[wi];
+        }
+    }
+
     /// Returns `true` if the relation has no cycle (the `acyclic(r)` axiom
     /// predicate), i.e. its transitive closure is irreflexive.
     pub fn is_acyclic(&self) -> bool {
-        // DFS with colouring avoids building the full closure.
-        #[derive(Clone, Copy, PartialEq)]
-        enum Colour {
-            White,
-            Grey,
-            Black,
-        }
-        let mut colour = vec![Colour::White; self.universe];
-        for start in 0..self.universe {
-            if colour[start] != Colour::White {
+        // Iterative DFS with colouring; successor rows are scanned in place
+        // through a per-frame cursor, so no per-node allocation happens.
+        let n = self.universe;
+        let mut state = vec![0u8; n]; // 0 white, 1 grey, 2 black
+        let mut stack: Vec<(usize, usize)> = Vec::with_capacity(n); // (node, cursor)
+        for start in 0..n {
+            if state[start] != 0 {
                 continue;
             }
-            // Iterative DFS.
-            let mut stack: Vec<(usize, Vec<usize>)> =
-                vec![(start, self.successors(start).collect())];
-            colour[start] = Colour::Grey;
-            while let Some((node, succs)) = stack.last_mut() {
-                if let Some(next) = succs.pop() {
-                    match colour[next] {
-                        Colour::Grey => return false,
-                        Colour::White => {
-                            colour[next] = Colour::Grey;
-                            let next_succs = self.successors(next).collect();
-                            stack.push((next, next_succs));
+            stack.push((start, 0));
+            state[start] = 1;
+            while let Some(frame) = stack.last_mut() {
+                let node = frame.0;
+                match self.next_successor(node, frame.1) {
+                    Some(next) => {
+                        frame.1 = next + 1;
+                        match state[next] {
+                            1 => return false,
+                            0 => {
+                                state[next] = 1;
+                                stack.push((next, 0));
+                            }
+                            _ => {}
                         }
-                        Colour::Black => {}
                     }
-                } else {
-                    colour[*node] = Colour::Black;
-                    stack.pop();
+                    None => {
+                        state[node] = 2;
+                        stack.pop();
+                    }
                 }
             }
         }
@@ -309,40 +469,44 @@ impl Relation {
         let n = self.universe;
         let mut state = vec![0u8; n]; // 0 white, 1 grey, 2 black
         let mut parent = vec![usize::MAX; n];
+        let mut stack: Vec<(usize, usize)> = Vec::with_capacity(n); // (node, cursor)
         for start in 0..n {
             if state[start] != 0 {
                 continue;
             }
-            let mut stack: Vec<(usize, Vec<usize>)> =
-                vec![(start, self.successors(start).collect())];
+            stack.push((start, 0));
             state[start] = 1;
-            while let Some((node, succs)) = stack.last_mut() {
-                let node = *node;
-                if let Some(next) = succs.pop() {
-                    if state[next] == 1 {
-                        // Found a back edge node -> next. The cycle is the
-                        // tree path next -> ... -> node plus that back edge.
-                        let mut path = vec![node];
-                        let mut cur = node;
-                        while cur != next {
-                            cur = parent[cur];
-                            if cur == usize::MAX {
-                                break;
+            while let Some(frame) = stack.last_mut() {
+                let node = frame.0;
+                match self.next_successor(node, frame.1) {
+                    Some(next) => {
+                        frame.1 = next + 1;
+                        if state[next] == 1 {
+                            // Found a back edge node -> next. The cycle is
+                            // the tree path next -> ... -> node plus that
+                            // back edge.
+                            let mut path = vec![node];
+                            let mut cur = node;
+                            while cur != next {
+                                cur = parent[cur];
+                                if cur == usize::MAX {
+                                    break;
+                                }
+                                path.push(cur);
                             }
-                            path.push(cur);
+                            path.reverse();
+                            return Some(path);
                         }
-                        path.reverse();
-                        return Some(path);
+                        if state[next] == 0 {
+                            state[next] = 1;
+                            parent[next] = node;
+                            stack.push((next, 0));
+                        }
                     }
-                    if state[next] == 0 {
-                        state[next] = 1;
-                        parent[next] = node;
-                        let next_succs = self.successors(next).collect();
-                        stack.push((next, next_succs));
+                    None => {
+                        state[node] = 2;
+                        stack.pop();
                     }
-                } else {
-                    state[node] = 2;
-                    stack.pop();
                 }
             }
         }
@@ -352,10 +516,7 @@ impl Relation {
     /// Returns `true` if every pair of `self` is also in `other`.
     pub fn is_subset_of(&self, other: &Relation) -> bool {
         debug_assert_eq!(self.universe, other.universe);
-        self.rows
-            .iter()
-            .zip(&other.rows)
-            .all(|(a, b)| a & !b == 0)
+        self.rows.iter().zip(&other.rows).all(|(a, b)| a & !b == 0)
     }
 
     /// Restricts the relation to pairs whose source is in `set`
@@ -534,7 +695,13 @@ mod tests {
         let dr = r.restrict_domain(&evens);
         assert_eq!(dr.len(), 3);
         let rr = r.restrict_range(&evens);
-        assert_eq!(rr.iter().collect::<Vec<_>>(), vec![(2, 3)].into_iter().filter(|_| false).collect::<Vec<_>>());
+        assert_eq!(
+            rr.iter().collect::<Vec<_>>(),
+            vec![(2, 3)]
+                .into_iter()
+                .filter(|_| false)
+                .collect::<Vec<_>>()
+        );
         assert!(rr.is_empty());
         let odd_targets = ElemSet::from_iter(5, [1, 3]);
         assert_eq!(r.restrict_range(&odd_targets).len(), 3);

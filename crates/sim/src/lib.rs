@@ -32,7 +32,9 @@
 #![warn(missing_docs)]
 
 mod machine;
+mod rng;
 mod runner;
 
 pub use machine::{explore, FinalState, Machine, SimArch};
+pub use rng::SimRng;
 pub use runner::{run_suite, run_test, satisfies, ObservationReport, SuiteObservation};

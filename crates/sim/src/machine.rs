@@ -23,8 +23,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SimRng;
 
 use tm_litmus::{AccessMode, DepKind, FenceInstr, Instr, LitmusTest, Reg, Thread};
 
@@ -116,7 +115,11 @@ enum Action {
     /// Flush the oldest store-buffer entry of `thread` to memory.
     Flush { thread: usize },
     /// Propagate write number `index` on `loc` to thread `to` (Power only).
-    Propagate { loc: String, index: usize, to: usize },
+    Propagate {
+        loc: String,
+        index: usize,
+        to: usize,
+    },
 }
 
 impl Machine {
@@ -169,12 +172,12 @@ impl Machine {
     /// expose the non-multicopy-atomic behaviours (WRC, IRIW) on the Power
     /// machine — the simulation analogue of the `litmus` affinity parameter
     /// the paper uses to coax IRIW out of an 80-core POWER8.
-    pub fn run(mut self, rng: &mut StdRng) -> FinalState {
+    pub fn run(mut self, rng: &mut SimRng) -> FinalState {
         let eagerness: Vec<f64> = (0..self.thread_count)
-            .map(|_| rng.gen_range(0.02..1.0))
+            .map(|_| rng.gen_range_f64(0.02, 1.0))
             .collect();
         let speed: Vec<f64> = (0..self.thread_count)
-            .map(|_| rng.gen_range(0.02..1.0))
+            .map(|_| rng.gen_range_f64(0.02, 1.0))
             .collect();
         loop {
             let actions = self.enabled_actions();
@@ -190,7 +193,7 @@ impl Machine {
                 })
                 .collect();
             let total: f64 = weights.iter().sum();
-            let mut pick = rng.gen_range(0.0..total);
+            let mut pick = rng.gen_range_f64(0.0, total);
             let mut chosen = actions.len() - 1;
             for (i, w) in weights.iter().enumerate() {
                 if pick < *w {
@@ -246,7 +249,10 @@ impl Machine {
         for (t, thread) in self.threads.iter().enumerate() {
             for i in 0..thread.instrs.len() {
                 if !thread.done[i] && self.can_execute(t, i) {
-                    actions.push(Action::Execute { thread: t, instr: i });
+                    actions.push(Action::Execute {
+                        thread: t,
+                        instr: i,
+                    });
                     if !self.arch.reorders() {
                         // In-order: only the first not-done instruction is a
                         // candidate.
@@ -368,12 +374,11 @@ impl Machine {
             | Instr::Fence(FenceInstr::Sync)
             | Instr::Fence(FenceInstr::MFence)
             | Instr::Fence(FenceInstr::FenceSc) => return true,
-            Instr::Fence(FenceInstr::Lwsync) | Instr::Fence(FenceInstr::DmbLd) => {
+            Instr::Fence(FenceInstr::Lwsync) | Instr::Fence(FenceInstr::DmbLd)
                 // Orders everything except store→load.
-                if !matches!(l, Instr::Load { .. }) || !self.stores_before(t, earlier) {
+                if (!matches!(l, Instr::Load { .. }) || !self.stores_before(t, earlier)) => {
                     return true;
                 }
-            }
             Instr::Fence(FenceInstr::DmbSt) => {
                 if matches!(l, Instr::Store { .. } | Instr::Rmw { .. }) {
                     return true;
@@ -438,7 +443,7 @@ impl Machine {
 
     // ---- execution --------------------------------------------------------
 
-    fn step(&mut self, action: &Action, rng: &mut StdRng) {
+    fn step(&mut self, action: &Action, rng: &mut SimRng) {
         match action {
             Action::Flush { thread } => self.flush_one(*thread),
             Action::Propagate { loc, index, to } => {
@@ -476,10 +481,7 @@ impl Machine {
         self.history
             .entry(loc.to_string())
             .or_default()
-            .push(WriteRecord {
-                value,
-                visible_to,
-            });
+            .push(WriteRecord { value, visible_to });
         for t in visible_now {
             if t != writer {
                 self.notify_conflict(t, loc);
@@ -491,7 +493,9 @@ impl Machine {
     /// with its read or write set (strong isolation: any access counts).
     fn notify_conflict(&mut self, t: usize, loc: &str) {
         let txn = &mut self.threads[t].txn;
-        if txn.active && !txn.aborted && (txn.read_set.contains(loc) || txn.write_set.contains_key(loc))
+        if txn.active
+            && !txn.aborted
+            && (txn.read_set.contains(loc) || txn.write_set.contains_key(loc))
         {
             txn.aborted = true;
         }
@@ -510,7 +514,7 @@ impl Machine {
         }
     }
 
-    fn execute(&mut self, t: usize, i: usize, _rng: &mut StdRng) {
+    fn execute(&mut self, t: usize, i: usize, _rng: &mut SimRng) {
         let instr = self.threads[t].instrs[i].clone();
         self.threads[t].done[i] = true;
 
@@ -539,13 +543,12 @@ impl Machine {
                     self.commit_write(t, &loc, value, !self.arch.non_mca());
                 }
             }
-            Instr::Rmw { reg, loc, value, .. } => {
+            Instr::Rmw {
+                reg, loc, value, ..
+            } => {
                 // RMWs are atomic against the coherence history: read the
                 // latest write visible anywhere and append globally.
-                let current = self.history[&loc]
-                    .last()
-                    .map(|w| w.value)
-                    .unwrap_or(0);
+                let current = self.history[&loc].last().map(|w| w.value).unwrap_or(0);
                 self.threads[t].regs.insert(reg, current);
                 if self.threads[t].txn.active {
                     self.threads[t].txn.read_set.insert(loc.clone());
@@ -554,13 +557,20 @@ impl Machine {
                     self.commit_write(t, &loc, value, true);
                 }
             }
+            Instr::Fence(FenceInstr::Sync) => {
+                // sync is cumulative: writes this thread has observed
+                // propagate to everyone.
+                self.propagate_visible_writes(t);
+            }
             Instr::Fence(_) => {}
             Instr::TxBegin => {
                 // A transaction boundary has the ordering semantics of a
-                // LOCK-prefixed instruction (§5.2): drain the store buffer.
+                // LOCK-prefixed instruction (§5.2): drain the store buffer
+                // and propagate observed writes cumulatively.
                 while !self.threads[t].store_buffer.is_empty() {
                     self.flush_one(t);
                 }
+                self.propagate_visible_writes(t);
                 let saved = self.threads[t].regs.clone();
                 let txn = &mut self.threads[t].txn;
                 txn.active = true;
@@ -571,10 +581,14 @@ impl Machine {
                 txn.saved_regs = saved.into_iter().collect();
             }
             Instr::TxEnd => {
-                // Commit is also a full fence on every architecture we model.
+                // Commit is also a full fence on every architecture we
+                // model; on Power it is cumulative (the integrated barrier
+                // behind `tprop1`): writes the transaction read from must be
+                // visible everywhere before its own writes publish.
                 while !self.threads[t].store_buffer.is_empty() {
                     self.flush_one(t);
                 }
+                self.propagate_visible_writes(t);
                 let aborted = self.threads[t].txn.aborted;
                 if aborted {
                     // Roll back registers; the fail handler zeroes ok.
@@ -647,6 +661,40 @@ impl Machine {
         }
     }
 
+    /// Cumulative barrier on the non-multicopy-atomic machine: every write
+    /// already visible to `t` becomes visible to every thread. This is the
+    /// "group A" propagation of a Power `sync`, and — crucially for the
+    /// model's `tprop1` axiom — of a transaction boundary: writes a
+    /// transaction observed must propagate everywhere before (or with) the
+    /// transaction's own writes. On multicopy-atomic machines it is a no-op.
+    fn propagate_visible_writes(&mut self, t: usize) {
+        if !self.arch.non_mca() {
+            return;
+        }
+        let all: HashSet<usize> = (0..self.thread_count).collect();
+        // One entry per location, no matter how many of its writes promote.
+        let mut newly_visible: Vec<String> = Vec::new();
+        for (loc, hist) in self.history.iter_mut() {
+            let mut promoted = false;
+            for w in hist.iter_mut() {
+                if w.visible_to.contains(&t) && w.visible_to.len() < self.thread_count {
+                    w.visible_to.clone_from(&all);
+                    promoted = true;
+                }
+            }
+            if promoted {
+                newly_visible.push(loc.clone());
+            }
+        }
+        for loc in newly_visible {
+            for other in 0..self.thread_count {
+                if other != t {
+                    self.notify_conflict(other, &loc);
+                }
+            }
+        }
+    }
+
     fn load_value(&self, t: usize, loc: &str) -> u64 {
         // Transactional reads see the transaction's own writes first.
         if self.threads[t].txn.active {
@@ -670,11 +718,11 @@ impl Machine {
 /// Runs `test` `runs` times on `arch` with schedules drawn from `seed`,
 /// collecting the distinct final states.
 pub fn explore(arch: SimArch, test: &LitmusTest, runs: usize, seed: u64) -> Vec<FinalState> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut seen: Vec<FinalState> = Vec::new();
     for _ in 0..runs {
         let machine = Machine::new(arch, test);
-        let mut run_rng = StdRng::seed_from_u64(rng.gen());
+        let mut run_rng = SimRng::seed_from_u64(rng.next_u64());
         let state = machine.run(&mut run_rng);
         if !seen.contains(&state) {
             seen.push(state);
@@ -718,7 +766,10 @@ mod tests {
     fn transactional_sb_never_exhibits_the_relaxation() {
         let test = from_execution(&tm_exec::catalog::sb_txn(), "sb+txn");
         for arch in [SimArch::X86, SimArch::Armv8, SimArch::Power] {
-            assert!(!observes(arch, &test, 600), "{arch:?} exposed SB inside txns");
+            assert!(
+                !observes(arch, &test, 600),
+                "{arch:?} exposed SB inside txns"
+            );
         }
     }
 

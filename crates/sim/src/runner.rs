@@ -1,8 +1,7 @@
 //! Running litmus tests on the operational simulators and checking their
 //! postconditions — the stand-in for the paper's `litmus` hardware runs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SimRng;
 
 use tm_litmus::{Cond, LitmusTest};
 
@@ -59,12 +58,12 @@ pub fn satisfies(state: &FinalState, test: &LitmusTest) -> bool {
 /// Runs `test` `runs` times on the `arch` simulator with schedules derived
 /// from `seed`, reporting whether its postcondition is observable.
 pub fn run_test(arch: SimArch, test: &LitmusTest, runs: usize, seed: u64) -> ObservationReport {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     let mut matching = 0usize;
     let mut states: Vec<FinalState> = Vec::new();
     for _ in 0..runs {
         let machine = Machine::new(arch, test);
-        let mut run_rng = StdRng::seed_from_u64(rng.gen());
+        let mut run_rng = SimRng::seed_from_u64(rng.next_u64());
         let state = machine.run(&mut run_rng);
         if satisfies(&state, test) {
             matching += 1;

@@ -68,7 +68,7 @@ fn apply_thread_permutation(exec: &Execution, perm: &[usize]) -> Execution {
             perm.iter().position(|&t| t == old_t).unwrap_or(old_t) as u32
         })
         .collect();
-    let mut events = vec![exec.event(0).clone(); n];
+    let mut events = vec![*exec.event(0); n];
     for old in 0..n {
         let mut ev: Event = *exec.event(old);
         ev.thread = tm_exec::ThreadId(new_thread_of_old[old]);

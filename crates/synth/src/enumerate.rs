@@ -1,26 +1,136 @@
 //! Bounded exhaustive enumeration of well-formed candidate executions.
+//!
+//! # Architecture
+//!
+//! Enumeration is a two-stage pipeline:
+//!
+//! 1. A **work-unit producer** splits the space into units of the form
+//!    *(thread-size partition, shape prefix)*: the partition fixes how many
+//!    events each thread owns, and the prefix fixes the kind/location/
+//!    annotation of the first few events. Producing units is cheap (a few
+//!    thousand at most), so it runs up front on the calling thread.
+//! 2. A pool of **workers** (scoped threads, one per available core) claims
+//!    units from a shared atomic cursor. Each worker expands its unit's
+//!    shape prefix to full shape vectors, then enumerates every choice of
+//!    `rf`/`co`/dependencies/RMWs/transactions for each shape, assembling
+//!    candidate [`Execution`]s *directly* — the per-edge constraints
+//!    (reads-from links same-location write→read with one source per read,
+//!    coherence is a total order per location, dependencies stay within a
+//!    thread's program order) are enforced as the edges are chosen, so the
+//!    full well-formedness re-check that the builder-based path pays per
+//!    candidate is skipped (and asserted in debug builds).
+//!
+//! The callback is `Fn + Sync` and is invoked concurrently from all workers;
+//! callers accumulate through atomics or a mutex. Per-worker visit counters
+//! are summed into the return value.
+//!
+//! The original single-threaded generate-and-test loop is kept as
+//! [`enumerate_exact_reference`]: it is the oracle the parallel pipeline is
+//! tested against, and the "before" baseline the benchmark harness measures.
+//!
+//! Set `TM_SYNTH_THREADS` to pin the worker count (e.g. `1` to disable
+//! parallelism).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use tm_exec::{Annot, Event, Execution, ExecutionBuilder};
+use tm_relation::Relation;
 
 use crate::SynthConfig;
+
+/// How many leading events a work unit's shape prefix fixes. Deep enough to
+/// produce thousands of units (good load balance), shallow enough that the
+/// unit list stays small.
+#[cfg(not(test))]
+const PREFIX_DEPTH: usize = 3;
+/// In unit tests the prefix is shallower, so the 3-event configurations the
+/// tests use genuinely exercise the prefix-continuation path of
+/// `expand_unit` (with the production depth they would degenerate to
+/// complete shape vectors).
+#[cfg(test)]
+const PREFIX_DEPTH: usize = 2;
 
 /// Enumerates every well-formed candidate execution with exactly `n` events
 /// within the bounds of `config`, invoking `f` on each. Returns the number
 /// of executions visited.
 ///
+/// `f` is called concurrently from a pool of worker threads (see the module
+/// docs); the *set* of executions visited is deterministic, the order is
+/// not.
+///
 /// Enumeration is canonical up to the obvious symmetries: threads are
 /// listed in non-increasing size order and locations are numbered in first-
 /// use order. Remaining thread symmetry (between equal-sized threads) is
 /// left to the caller to collapse with [`crate::canonical_signature`].
-pub fn enumerate_exact(config: &SynthConfig, n: usize, mut f: impl FnMut(&Execution)) -> usize {
+pub fn enumerate_exact(config: &SynthConfig, n: usize, f: impl Fn(&Execution) + Sync) -> usize {
+    enumerate_exact_with_threads(config, n, worker_count(), f)
+}
+
+/// [`enumerate_exact`] with an explicit worker count (tests use this to pin
+/// the pool size without touching the process environment).
+fn enumerate_exact_with_threads(
+    config: &SynthConfig,
+    n: usize,
+    threads: usize,
+    f: impl Fn(&Execution) + Sync,
+) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let units = produce_units(config, n);
+    let threads = threads.min(units.len().max(1));
+    if threads <= 1 {
+        let mut count = 0;
+        for unit in &units {
+            count += expand_unit(config, unit, n, &f);
+        }
+        return count;
+    }
+    let cursor = AtomicUsize::new(0);
+    let total = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = 0usize;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(unit) = units.get(i) else { break };
+                    local += expand_unit(config, unit, n, &f);
+                }
+                total.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    total.load(Ordering::Relaxed)
+}
+
+/// Enumerates executions of every size from 2 up to `config.max_events`.
+pub fn enumerate_all(config: &SynthConfig, f: impl Fn(&Execution) + Sync) -> usize {
+    let mut count = 0;
+    for n in 2..=config.max_events {
+        count += enumerate_exact(config, n, &f);
+    }
+    count
+}
+
+/// The original single-threaded generate-and-test enumerator, retained as
+/// the oracle for the parallel pipeline (see `pipeline_matches_reference` in
+/// this module's tests) and as the benchmark baseline. Every candidate is
+/// assembled through [`ExecutionBuilder`] and re-checked for well-formedness
+/// after the fact.
+pub fn enumerate_exact_reference(
+    config: &SynthConfig,
+    n: usize,
+    mut f: impl FnMut(&Execution),
+) -> usize {
     let mut count = 0;
     if n == 0 {
         return 0;
     }
     for partition in compositions(n, config.max_threads) {
         let mut shapes: Vec<EventShape> = Vec::with_capacity(n);
-        enumerate_shapes(config, &partition, &mut shapes, &mut |shapes| {
-            enumerate_relations(config, &partition, shapes, &mut |exec| {
+        enumerate_shapes(config, n, &mut shapes, &mut |shapes| {
+            enumerate_relations_reference(config, &partition, shapes, &mut |exec| {
                 count += 1;
                 f(exec);
             });
@@ -29,18 +139,68 @@ pub fn enumerate_exact(config: &SynthConfig, n: usize, mut f: impl FnMut(&Execut
     count
 }
 
-/// Enumerates executions of every size from 2 up to `config.max_events`.
-pub fn enumerate_all(config: &SynthConfig, mut f: impl FnMut(&Execution)) -> usize {
-    let mut count = 0;
-    for n in 2..=config.max_events {
-        count += enumerate_exact(config, n, &mut f);
+/// Number of worker threads: `TM_SYNTH_THREADS` if set, else the number of
+/// available cores.
+fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("TM_SYNTH_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
     }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One unit of parallel work: a thread-size partition plus a fixed prefix of
+/// event shapes.
+struct WorkUnit {
+    partition: Vec<usize>,
+    prefix: Vec<EventShape>,
+}
+
+/// Stage 1 of the pipeline: the partition × shape-prefix work units.
+fn produce_units(config: &SynthConfig, n: usize) -> Vec<WorkUnit> {
+    let depth = n.min(PREFIX_DEPTH);
+    let mut units = Vec::new();
+    for partition in compositions(n, config.max_threads) {
+        let mut prefix: Vec<EventShape> = Vec::with_capacity(depth);
+        enumerate_shapes(config, depth, &mut prefix, &mut |prefix| {
+            units.push(WorkUnit {
+                partition: partition.clone(),
+                prefix: prefix.to_vec(),
+            });
+        });
+    }
+    units
+}
+
+/// Stage 2: expands a unit's shape prefix to full shape vectors and
+/// enumerates all relation choices for each. Returns how many executions
+/// were visited.
+fn expand_unit(
+    config: &SynthConfig,
+    unit: &WorkUnit,
+    n: usize,
+    f: &(impl Fn(&Execution) + Sync),
+) -> usize {
+    let mut count = 0;
+    let mut shapes = unit.prefix.clone();
+    enumerate_shapes(config, n, &mut shapes, &mut |shapes| {
+        count += enumerate_relations(config, &unit.partition, shapes, f);
+    });
     count
 }
 
 /// The non-increasing compositions of `n` into at most `max_parts` parts.
 fn compositions(n: usize, max_parts: usize) -> Vec<Vec<usize>> {
-    fn go(remaining: usize, max_part: usize, parts_left: usize, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn go(
+        remaining: usize,
+        max_part: usize,
+        parts_left: usize,
+        prefix: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if remaining == 0 {
             out.push(prefix.clone());
             return;
@@ -68,19 +228,20 @@ enum EventShape {
     Fence(tm_exec::Fence),
 }
 
+/// Extends `shapes` with every choice for the next event until `target`
+/// events are shaped, invoking `f` on each complete vector. Locations are
+/// canonicalised: a new event may use any location already used, or the next
+/// fresh one.
 fn enumerate_shapes(
     config: &SynthConfig,
-    partition: &[usize],
+    target: usize,
     shapes: &mut Vec<EventShape>,
     f: &mut impl FnMut(&[EventShape]),
 ) {
-    let n: usize = partition.iter().sum();
-    if shapes.len() == n {
+    if shapes.len() == target {
         f(shapes);
         return;
     }
-    // Location canonicalisation: a new event may use any location already
-    // used, or the next fresh one.
     let used = shapes
         .iter()
         .filter_map(|s| match s {
@@ -93,25 +254,25 @@ fn enumerate_shapes(
     for loc in 0..loc_limit {
         for &annot in &config.read_annots {
             shapes.push(EventShape::Read(loc, annot));
-            enumerate_shapes(config, partition, shapes, f);
+            enumerate_shapes(config, target, shapes, f);
             shapes.pop();
         }
         for &annot in &config.write_annots {
             shapes.push(EventShape::Write(loc, annot));
-            enumerate_shapes(config, partition, shapes, f);
+            enumerate_shapes(config, target, shapes, f);
             shapes.pop();
         }
     }
     for &fence in &config.fences {
         shapes.push(EventShape::Fence(fence));
-        enumerate_shapes(config, partition, shapes, f);
+        enumerate_shapes(config, target, shapes, f);
         shapes.pop();
     }
 }
 
 /// Iterates the cartesian product of `0..dims[i]` index tuples.
 fn for_each_product(dims: &[usize], mut f: impl FnMut(&[usize])) {
-    if dims.iter().any(|&d| d == 0) {
+    if dims.contains(&0) {
         return;
     }
     let mut idx = vec![0usize; dims.len()];
@@ -150,9 +311,8 @@ fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
 }
 
 /// All ways of choosing disjoint contiguous non-empty intervals (transactions)
-/// over a thread with events `ids` (in program order), with at most
-/// `max_txns` intervals in total across the caller's budget tracked by the
-/// caller. Each choice is a list of intervals, each a list of event ids.
+/// over a thread with events `ids` (in program order). Each choice is a list
+/// of intervals, each a list of event ids.
 fn interval_sets(ids: &[usize]) -> Vec<Vec<Vec<usize>>> {
     // Dynamic programming over positions: at each position either skip one
     // event or start an interval of some length.
@@ -175,22 +335,40 @@ fn interval_sets(ids: &[usize]) -> Vec<Vec<Vec<usize>>> {
     out
 }
 
-fn enumerate_relations(
+/// The relation choices shared by every product of one shape vector.
+struct RelationChoices {
+    thread_of: Vec<u32>,
+    thread_blocks: Vec<Vec<usize>>,
+    /// Program order: fixed by the partition alone.
+    po: Relation,
+    reads: Vec<usize>,
+    rf_options: Vec<Vec<Option<usize>>>,
+    co_options: Vec<Vec<Vec<usize>>>,
+    dep_pairs: Vec<(usize, usize)>,
+    rmw_pairs: Vec<(usize, usize)>,
+    txn_options: Vec<Vec<Vec<Vec<usize>>>>,
+    is_write: Vec<bool>,
+}
+
+fn relation_choices(
     config: &SynthConfig,
     partition: &[usize],
     shapes: &[EventShape],
-    f: &mut impl FnMut(&Execution),
-) {
+) -> RelationChoices {
     let n = shapes.len();
     // Event ids are grouped by thread: thread t owns a contiguous block.
     let mut thread_of = vec![0u32; n];
     let mut thread_blocks: Vec<Vec<usize>> = Vec::new();
+    let mut po = Relation::new(n);
     {
         let mut next = 0usize;
         for (t, &size) in partition.iter().enumerate() {
             let block: Vec<usize> = (next..next + size).collect();
             for &e in &block {
                 thread_of[e] = t as u32;
+                for b in e + 1..next + size {
+                    po.insert(e, b);
+                }
             }
             thread_blocks.push(block);
             next += size;
@@ -213,7 +391,8 @@ fn enumerate_relations(
     };
 
     // rf choices: each read observes the initial state or one same-location
-    // write.
+    // write — reads-from well-formedness (write→read, same location, one
+    // source per read) holds as the edge is chosen.
     let rf_options: Vec<Vec<Option<usize>>> = reads
         .iter()
         .map(|&r| {
@@ -227,7 +406,8 @@ fn enumerate_relations(
         })
         .collect();
 
-    // co choices: a permutation of the writes to each location.
+    // co choices: a permutation of the writes to each location — coherence
+    // is a strict total order per location by construction.
     let co_options: Vec<Vec<Vec<usize>>> = locs
         .iter()
         .map(|&l| {
@@ -278,55 +458,208 @@ fn enumerate_relations(
         thread_blocks.iter().map(|_| vec![vec![]]).collect()
     };
 
-    // The odometer dimensions: rf per read, co per location, 2 per dep pair,
-    // 2 per rmw pair, txn set per thread.
-    let mut dims: Vec<usize> = Vec::new();
-    dims.extend(rf_options.iter().map(Vec::len));
-    dims.extend(co_options.iter().map(Vec::len));
-    dims.extend(std::iter::repeat(2).take(dep_pairs.len()));
-    dims.extend(std::iter::repeat(2).take(rmw_pairs.len()));
-    dims.extend(txn_options.iter().map(Vec::len));
+    RelationChoices {
+        thread_of,
+        thread_blocks,
+        po,
+        reads,
+        rf_options,
+        co_options,
+        dep_pairs,
+        rmw_pairs,
+        txn_options,
+        is_write: (0..n).map(is_write).collect(),
+    }
+}
+
+/// The odometer layout shared by the direct and reference enumerators: the
+/// dimension vector and the offset of each choice family within an index
+/// tuple.
+struct OdometerLayout {
+    dims: Vec<usize>,
+    rf_at: usize,
+    co_at: usize,
+    dep_at: usize,
+    rmw_at: usize,
+    txn_at: usize,
+}
+
+impl RelationChoices {
+    /// The odometer dimensions: rf per read, co per location, 2 per dep
+    /// pair, 2 per rmw pair, txn set per thread.
+    fn odometer(&self) -> OdometerLayout {
+        let mut dims: Vec<usize> = Vec::new();
+        dims.extend(self.rf_options.iter().map(Vec::len));
+        dims.extend(self.co_options.iter().map(Vec::len));
+        dims.extend(std::iter::repeat_n(2, self.dep_pairs.len()));
+        dims.extend(std::iter::repeat_n(2, self.rmw_pairs.len()));
+        dims.extend(self.txn_options.iter().map(Vec::len));
+        let rf_at = 0;
+        let co_at = rf_at + self.rf_options.len();
+        let dep_at = co_at + self.co_options.len();
+        let rmw_at = dep_at + self.dep_pairs.len();
+        let txn_at = rmw_at + self.rmw_pairs.len();
+        OdometerLayout {
+            dims,
+            rf_at,
+            co_at,
+            dep_at,
+            rmw_at,
+            txn_at,
+        }
+    }
+}
+
+fn shape_events(shapes: &[EventShape], thread_of: &[u32]) -> Vec<Event> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(e, shape)| match *shape {
+            EventShape::Read(l, a) => Event::read(thread_of[e], l).with_annot(a),
+            EventShape::Write(l, a) => Event::write(thread_of[e], l).with_annot(a),
+            EventShape::Fence(k) => Event::fence(thread_of[e], k),
+        })
+        .collect()
+}
+
+/// Enumerates every relation choice for one complete shape vector,
+/// assembling each candidate [`Execution`] directly from the chosen edges.
+///
+/// Well-formedness is enforced *as edges are chosen* (see the comments in
+/// [`relation_choices`]): program order is fixed per partition, every `rf`
+/// option pairs a read with a same-location write, every `co` option is a
+/// total order of the writes to one location, dependency/RMW pairs stay
+/// within one thread's program order, and transactions are contiguous
+/// per-thread intervals. The builder-based reference path re-validates all
+/// of this per candidate; here it is a debug assertion.
+fn enumerate_relations(
+    config: &SynthConfig,
+    partition: &[usize],
+    shapes: &[EventShape],
+    f: &(impl Fn(&Execution) + Sync),
+) -> usize {
+    let choices = relation_choices(config, partition, shapes);
+    let events = shape_events(shapes, &choices.thread_of);
+    let OdometerLayout {
+        dims,
+        rf_at,
+        co_at,
+        dep_at,
+        rmw_at,
+        txn_at,
+    } = choices.odometer();
+
+    let mut count = 0usize;
+    for_each_product(&dims, |idx| {
+        // Early rejection: the transaction budget depends only on the chosen
+        // interval sets, so check it before assembling anything.
+        let txn_count: usize = choices
+            .txn_options
+            .iter()
+            .enumerate()
+            .map(|(t, opts)| opts[idx[txn_at + t]].len())
+            .sum();
+        if txn_count > config.max_txns {
+            return;
+        }
+
+        let mut exec = Execution::with_events(events.clone());
+        exec.po = choices.po.clone();
+        for (i, &r) in choices.reads.iter().enumerate() {
+            if let Some(w) = choices.rf_options[i][idx[rf_at + i]] {
+                exec.rf.insert(w, r);
+            }
+        }
+        for (i, options) in choices.co_options.iter().enumerate() {
+            let order = &options[idx[co_at + i]];
+            for (k, &a) in order.iter().enumerate() {
+                for &b in &order[k + 1..] {
+                    exec.co.insert(a, b);
+                }
+            }
+        }
+        for (i, &(r, e)) in choices.dep_pairs.iter().enumerate() {
+            if idx[dep_at + i] == 1 {
+                if choices.is_write[e] {
+                    exec.data.insert(r, e);
+                } else {
+                    exec.addr.insert(r, e);
+                }
+            }
+        }
+        for (i, &(r, w)) in choices.rmw_pairs.iter().enumerate() {
+            if idx[rmw_at + i] == 1 {
+                exec.rmw.insert(r, w);
+            }
+        }
+        for (t, _) in choices.thread_blocks.iter().enumerate() {
+            for interval in &choices.txn_options[t][idx[txn_at + t]] {
+                for &a in interval {
+                    for &b in interval {
+                        exec.stxn.insert(a, b);
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            tm_exec::check_well_formed(&exec).is_ok(),
+            "direct assembly must produce well-formed executions"
+        );
+        count += 1;
+        f(&exec);
+    });
+    count
+}
+
+/// The builder-based generate-and-test loop behind
+/// [`enumerate_exact_reference`].
+fn enumerate_relations_reference(
+    config: &SynthConfig,
+    partition: &[usize],
+    shapes: &[EventShape],
+    f: &mut impl FnMut(&Execution),
+) {
+    let choices = relation_choices(config, partition, shapes);
+    let events = shape_events(shapes, &choices.thread_of);
+    let OdometerLayout {
+        dims,
+        rf_at,
+        co_at,
+        dep_at,
+        rmw_at,
+        txn_at,
+    } = choices.odometer();
 
     for_each_product(&dims, |idx| {
-        let mut cursor = 0usize;
         let mut b = ExecutionBuilder::new();
-        for (e, shape) in shapes.iter().enumerate() {
-            let event = match *shape {
-                EventShape::Read(l, a) => Event::read(thread_of[e], l).with_annot(a),
-                EventShape::Write(l, a) => Event::write(thread_of[e], l).with_annot(a),
-                EventShape::Fence(k) => Event::fence(thread_of[e], k),
-            };
+        for &event in &events {
             b.push(event);
         }
-        for (i, &r) in reads.iter().enumerate() {
-            if let Some(w) = rf_options[i][idx[cursor + i]] {
+        for (i, &r) in choices.reads.iter().enumerate() {
+            if let Some(w) = choices.rf_options[i][idx[rf_at + i]] {
                 b.rf(w, r);
             }
         }
-        cursor += reads.len();
-        for (i, _) in locs.iter().enumerate() {
-            b.co_order(&co_options[i][idx[cursor + i]]);
+        for (i, options) in choices.co_options.iter().enumerate() {
+            b.co_order(&options[idx[co_at + i]]);
         }
-        cursor += locs.len();
-        for (i, &(r, e)) in dep_pairs.iter().enumerate() {
-            if idx[cursor + i] == 1 {
-                if is_write(e) {
+        for (i, &(r, e)) in choices.dep_pairs.iter().enumerate() {
+            if idx[dep_at + i] == 1 {
+                if choices.is_write[e] {
                     b.data(r, e);
                 } else {
                     b.addr(r, e);
                 }
             }
         }
-        cursor += dep_pairs.len();
-        for (i, &(r, w)) in rmw_pairs.iter().enumerate() {
-            if idx[cursor + i] == 1 {
+        for (i, &(r, w)) in choices.rmw_pairs.iter().enumerate() {
+            if idx[rmw_at + i] == 1 {
                 b.rmw(r, w);
             }
         }
-        cursor += rmw_pairs.len();
         let mut txn_count = 0usize;
-        for (t, _) in thread_blocks.iter().enumerate() {
-            for interval in &txn_options[t][idx[cursor + t]] {
+        for (t, _) in choices.thread_blocks.iter().enumerate() {
+            for interval in &choices.txn_options[t][idx[txn_at + t]] {
                 b.txn(interval);
                 txn_count += 1;
             }
@@ -343,6 +676,9 @@ fn enumerate_relations(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
     use tm_exec::Fence;
 
     fn tiny_config() -> SynthConfig {
@@ -406,13 +742,13 @@ mod tests {
     #[test]
     fn two_event_enumeration_is_small_and_well_formed() {
         let cfg = tiny_config();
-        let mut count = 0;
+        let count = AtomicUsize::new(0);
         let total = enumerate_exact(&cfg, 2, |exec| {
             assert_eq!(exec.len(), 2);
             assert!(tm_exec::check_well_formed(exec).is_ok());
-            count += 1;
+            count.fetch_add(1, Ordering::Relaxed);
         });
-        assert_eq!(count, total);
+        assert_eq!(count.load(Ordering::Relaxed), total);
         assert!(total > 0);
         // Rough sanity bound: 2 events, ≤2 locations, R/W only.
         assert!(total < 200, "unexpectedly large: {total}");
@@ -432,13 +768,13 @@ mod tests {
     fn fences_appear_when_enabled() {
         let mut cfg = tiny_config();
         cfg.fences = vec![Fence::MFence];
-        let mut saw_fence = false;
+        let saw_fence = AtomicBool::new(false);
         enumerate_exact(&cfg, 2, |exec| {
             if !exec.fences().is_empty() {
-                saw_fence = true;
+                saw_fence.store(true, Ordering::Relaxed);
             }
         });
-        assert!(saw_fence);
+        assert!(saw_fence.load(Ordering::Relaxed));
     }
 
     #[test]
@@ -456,17 +792,75 @@ mod tests {
         let mut cfg = tiny_config();
         cfg.dependencies = true;
         cfg.rmws = true;
-        let mut saw_dep = false;
-        let mut saw_rmw = false;
+        let saw_dep = AtomicBool::new(false);
+        let saw_rmw = AtomicBool::new(false);
         enumerate_exact(&cfg, 2, |exec| {
             if !exec.data.is_empty() || !exec.addr.is_empty() {
-                saw_dep = true;
+                saw_dep.store(true, Ordering::Relaxed);
             }
             if !exec.rmw.is_empty() {
-                saw_rmw = true;
+                saw_rmw.store(true, Ordering::Relaxed);
             }
         });
-        assert!(saw_dep);
-        assert!(saw_rmw);
+        assert!(saw_dep.load(Ordering::Relaxed));
+        assert!(saw_rmw.load(Ordering::Relaxed));
+    }
+
+    /// The parallel direct-assembly pipeline must visit exactly the multiset
+    /// of executions the builder-based reference enumerator visits.
+    #[test]
+    fn pipeline_matches_reference() {
+        let configs = [
+            {
+                let mut cfg = tiny_config();
+                cfg.max_events = 3;
+                cfg.transactions = true;
+                cfg.max_txns = 2;
+                cfg.rmws = true;
+                cfg
+            },
+            {
+                let mut cfg = tiny_config();
+                cfg.max_events = 3;
+                cfg.fences = vec![Fence::Sync];
+                cfg.dependencies = true;
+                cfg
+            },
+        ];
+        for cfg in configs {
+            for n in 2..=cfg.max_events {
+                let mut reference: BTreeMap<String, usize> = BTreeMap::new();
+                let ref_count = enumerate_exact_reference(&cfg, n, |exec| {
+                    *reference.entry(exec.signature()).or_default() += 1;
+                });
+                let parallel: Mutex<BTreeMap<String, usize>> = Mutex::new(BTreeMap::new());
+                let par_count = enumerate_exact(&cfg, n, |exec| {
+                    *parallel
+                        .lock()
+                        .unwrap()
+                        .entry(exec.signature())
+                        .or_default() += 1;
+                });
+                assert_eq!(ref_count, par_count, "count mismatch at n={n}");
+                assert_eq!(
+                    reference,
+                    parallel.into_inner().unwrap(),
+                    "signature multiset mismatch at n={n}"
+                );
+            }
+        }
+    }
+
+    /// The worker pool must produce the same result no matter how many
+    /// threads service the unit queue.
+    #[test]
+    fn counts_are_thread_count_independent() {
+        let mut cfg = tiny_config();
+        cfg.max_events = 3;
+        cfg.transactions = true;
+        cfg.max_txns = 1;
+        let single = enumerate_exact_with_threads(&cfg, 3, 1, |_| {});
+        let multi = enumerate_exact_with_threads(&cfg, 3, 4, |_| {});
+        assert_eq!(single, multi);
     }
 }

@@ -44,6 +44,6 @@ mod weaken;
 
 pub use canon::canonical_signature;
 pub use config::SynthConfig;
-pub use enumerate::{enumerate_all, enumerate_exact};
+pub use enumerate::{enumerate_all, enumerate_exact, enumerate_exact_reference};
 pub use suite::{find_distinguishing, synthesise_suites, SuiteReport, SynthesisedTest};
 pub use weaken::weakenings;

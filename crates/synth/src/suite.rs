@@ -1,9 +1,11 @@
 //! Synthesis of Forbid and Allow conformance suites (§4.2, Table 1).
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use tm_exec::Execution;
+use tm_exec::{ExecView, Execution};
 use tm_litmus::{from_execution, Expectation, LitmusTest};
 use tm_models::MemoryModel;
 
@@ -76,8 +78,11 @@ pub fn synthesise_suites(
     events: usize,
 ) -> SuiteReport {
     let start = Instant::now();
-    let mut seen: HashSet<String> = HashSet::new();
-    let mut forbid: Vec<SynthesisedTest> = Vec::new();
+    // Candidates found by the parallel workers, keyed by canonical signature
+    // for deduplication; sorted afterwards so the report is deterministic
+    // regardless of worker interleaving.
+    let found: Mutex<Vec<(String, Execution, Duration)>> = Mutex::new(Vec::new());
+    let seen: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
 
     let enumerated = enumerate_exact(config, events, |exec| {
         // Forbid tests distinguish the TM model from its baseline, so an
@@ -85,7 +90,9 @@ pub fn synthesise_suites(
         if exec.txn_classes().is_empty() {
             return;
         }
-        if tm_model.is_consistent(exec) || !baseline.is_consistent(exec) {
+        // One memoized view serves both model checks.
+        let view = ExecView::new(exec);
+        if tm_model.is_consistent_view(&view) || !baseline.is_consistent_view(&view) {
             return;
         }
         // Minimality: every ⊏-weaker execution is consistent under the TM
@@ -93,18 +100,34 @@ pub fn synthesise_suites(
         if !weakenings(exec).iter().all(|w| tm_model.is_consistent(w)) {
             return;
         }
-        if !seen.insert(canonical_signature(exec)) {
+        let sig = canonical_signature(exec);
+        if !seen.lock().unwrap().insert(sig.clone()) {
             return;
         }
-        let index = forbid.len();
-        let mut litmus = from_execution(exec, &format!("forbid-{}-{events}ev-{index}", tm_model.name()));
-        litmus.expectation = Some(Expectation::Forbidden);
-        forbid.push(SynthesisedTest {
-            execution: exec.clone(),
-            litmus,
-            found_after: start.elapsed(),
-        });
+        found
+            .lock()
+            .unwrap()
+            .push((sig, exec.clone(), start.elapsed()));
     });
+
+    let mut candidates = found.into_inner().unwrap();
+    candidates.sort_by(|a, b| a.0.cmp(&b.0));
+    let forbid: Vec<SynthesisedTest> = candidates
+        .into_iter()
+        .enumerate()
+        .map(|(index, (_, execution, found_after))| {
+            let mut litmus = from_execution(
+                &execution,
+                &format!("forbid-{}-{events}ev-{index}", tm_model.name()),
+            );
+            litmus.expectation = Some(Expectation::Forbidden);
+            SynthesisedTest {
+                execution,
+                litmus,
+                found_after,
+            }
+        })
+        .collect();
 
     // Allow suite: weakenings of Forbid tests that the model accepts.
     let mut allow: Vec<SynthesisedTest> = Vec::new();
@@ -143,23 +166,28 @@ pub fn synthesise_suites(
 
 /// Searches for a single execution that is inconsistent under `stronger` but
 /// consistent under `weaker` — Memalloy's core "compare two models" query.
-/// Sizes from 2 to `config.max_events` are tried in order; the first witness
-/// is returned.
+/// Sizes from 2 to `config.max_events` are tried in order; a witness of the
+/// smallest separating size is returned (which witness of that size is
+/// run-dependent, since the enumeration workers race to it).
 pub fn find_distinguishing(
     stronger: &dyn MemoryModel,
     weaker: &dyn MemoryModel,
     config: &SynthConfig,
 ) -> Option<Execution> {
     for n in 2..=config.max_events {
-        let mut found: Option<Execution> = None;
+        let done = AtomicBool::new(false);
+        let found: Mutex<Option<Execution>> = Mutex::new(None);
         enumerate_exact(config, n, |exec| {
-            if found.is_some() {
+            if done.load(Ordering::Relaxed) {
                 return;
             }
-            if !stronger.is_consistent(exec) && weaker.is_consistent(exec) {
-                found = Some(exec.clone());
+            let view = ExecView::new(exec);
+            if !stronger.is_consistent_view(&view) && weaker.is_consistent_view(&view) {
+                done.store(true, Ordering::Relaxed);
+                found.lock().unwrap().get_or_insert_with(|| exec.clone());
             }
         });
+        let found = found.into_inner().unwrap();
         if found.is_some() {
             return found;
         }

@@ -26,7 +26,12 @@ pub fn weakenings(exec: &Execution) -> Vec<Execution> {
     }
 
     // (ii) remove a dependency edge.
-    for field in [DepField::Addr, DepField::Ctrl, DepField::Data, DepField::Rmw] {
+    for field in [
+        DepField::Addr,
+        DepField::Ctrl,
+        DepField::Data,
+        DepField::Rmw,
+    ] {
         let rel = field.get(exec);
         for (a, b) in rel.iter() {
             let mut weaker = exec.clone();

@@ -24,13 +24,22 @@ fn main() {
     // The axiomatic verdicts on the witnessing execution pair (Fig. 10).
     let witness = catalog::example_1_1_concrete(false);
     let fixed = catalog::example_1_1_concrete(true);
-    println!("ARMv8+TM verdict on the witness:  {}", Armv8Model::tm().check(&witness));
-    println!("ARMv8+TM verdict with a DMB fix:  {}", Armv8Model::tm().check(&fixed));
+    println!(
+        "ARMv8+TM verdict on the witness:  {}",
+        Armv8Model::tm().check(&witness)
+    );
+    println!(
+        "ARMv8+TM verdict with a DMB fix:  {}",
+        Armv8Model::tm().check(&fixed)
+    );
     println!();
 
     // The automated check of §8.3 across architectures (Table 2, bottom).
     println!("== Lock-elision soundness search (Table 2, bottom block) ==");
-    println!("{:<16} {:>10} {:>12} {:>12}", "target", "abstract", "time", "witness?");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12}",
+        "target", "abstract", "time", "witness?"
+    );
     for (arch, fix) in [
         (Arch::X86, false),
         (Arch::Power, false),

@@ -102,10 +102,7 @@ fn main() {
     );
 
     println!("\n== Forbid suite ({} tests) ==", report.forbid.len());
-    println!(
-        "{}",
-        suite_to_text(report.forbid.iter().map(|t| &t.litmus))
-    );
+    println!("{}", suite_to_text(report.forbid.iter().map(|t| &t.litmus)));
     println!("== Allow suite ({} tests) ==", report.allow.len());
     println!("{}", suite_to_text(report.allow.iter().map(|t| &t.litmus)));
 }
