@@ -3,15 +3,22 @@
 //!
 //! Measures executions checked per second on the Table 1/Table 2 workload —
 //! enumerate every candidate execution up to `max_events` and check each
-//! against the transactional model and its baseline — in two configurations:
+//! against the transactional model and its baseline — in three
+//! configurations:
 //!
 //! * **baseline** — the pre-refactor pipeline, reproduced verbatim: the
 //!   single-threaded builder-based reference enumerator feeding an inline
 //!   copy of the original x86 consistency check, which recomputes every
 //!   derived relation (`sloc`, `fr`, `com`, `tfence`, the lifts) on each
 //!   mention, exactly as the models did before the `ExecView` migration;
-//! * **optimized** — the current pipeline: parallel pruned enumeration with
-//!   one memoized [`ExecView`] shared by both model checks per execution.
+//! * **optimized** — the previous production pipeline: parallel pruned
+//!   enumeration with one memoized [`ExecView`] shared by both model checks
+//!   per execution, driving the retained hand-written axiom predicates
+//!   (`check_view_reference`);
+//! * **ir** — the current pipeline: the same enumeration and shared view,
+//!   but verdicts come from the declarative axiom-IR evaluator with
+//!   hash-consed common-subexpression memoization and cheapest-axiom-first
+//!   early exit. Tracked so IR throughput is pinned from day one.
 //!
 //! Run with `cargo run --release -p tm-bench --bin bench_synth`; pass a
 //! different event bound as the first argument (default 6). The JSON report
@@ -143,18 +150,33 @@ fn run_baseline(cfg: &SynthConfig, max_events: usize) -> Mode {
     }
 }
 
-fn run_optimized(cfg: &SynthConfig, models: &[&dyn MemoryModel], max_events: usize) -> Mode {
+/// The shared parallel-sweep driver: one memoized view per execution,
+/// every model checked through `is_consistent`. The two measured
+/// configurations differ only in that predicate:
+///
+/// * **optimized** — the hand-written axiom predicates
+///   (`check_view_reference`), i.e. the previous production pipeline;
+/// * **ir** — the axiom-IR evaluator, where shared subexpressions are
+///   computed once per execution across both models and each check stops at
+///   the first violated axiom, cheapest axioms first.
+fn run_parallel(
+    name: &'static str,
+    cfg: &SynthConfig,
+    max_events: usize,
+    is_consistent: impl Fn(&dyn MemoryModel, &ExecView<'_>) -> bool + Sync,
+) -> Mode {
     let mut executions = 0usize;
     let checks = AtomicUsize::new(0);
     let consistent = AtomicUsize::new(0);
     let start = Instant::now();
+    let tm = X86Model::tm();
+    let base = X86Model::baseline();
+    let models: [&dyn MemoryModel; 2] = [&tm, &base];
     for n in 2..=max_events {
         executions += enumerate_exact(cfg, n, |exec| {
-            // One memoized view shared by all models checking this
-            // execution.
             let view = ExecView::new(exec);
             for model in models {
-                if model.is_consistent_view(&view) {
+                if is_consistent(model, &view) {
                     consistent.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -162,7 +184,7 @@ fn run_optimized(cfg: &SynthConfig, models: &[&dyn MemoryModel], max_events: usi
         });
     }
     Mode {
-        name: "optimized",
+        name,
         executions,
         checks: checks.into_inner(),
         consistent: consistent.into_inner(),
@@ -182,9 +204,6 @@ fn main() {
         },
     };
     let cfg = sweep_config(max_events);
-    let tm = X86Model::tm();
-    let base = X86Model::baseline();
-    let models: [&dyn MemoryModel; 2] = [&tm, &base];
 
     eprintln!("sweep: x86-trimmed, |E| = 2..={max_events}, 2 models per execution");
     let baseline = run_baseline(&cfg, max_events);
@@ -195,7 +214,9 @@ fn main() {
         baseline.seconds,
         baseline.execs_per_sec()
     );
-    let optimized = run_optimized(&cfg, &models, max_events);
+    let optimized = run_parallel("optimized", &cfg, max_events, |model, view| {
+        model.check_view_reference(view).is_consistent()
+    });
     eprintln!(
         "optimized: {} executions ({} checks) in {:.3}s = {:.0} execs/s",
         optimized.executions,
@@ -203,24 +224,39 @@ fn main() {
         optimized.seconds,
         optimized.execs_per_sec()
     );
-    assert_eq!(
-        baseline.executions, optimized.executions,
-        "both pipelines must visit the same space"
+    let ir = run_parallel("ir", &cfg, max_events, |model, view| {
+        model.is_consistent_view(view)
+    });
+    eprintln!(
+        "ir       : {} executions ({} checks) in {:.3}s = {:.0} execs/s",
+        ir.executions,
+        ir.checks,
+        ir.seconds,
+        ir.execs_per_sec()
     );
-    assert_eq!(
-        baseline.consistent, optimized.consistent,
-        "both pipelines must reach the same verdicts"
-    );
+    for mode in [&optimized, &ir] {
+        assert_eq!(
+            baseline.executions, mode.executions,
+            "all pipelines must visit the same space"
+        );
+        assert_eq!(
+            baseline.consistent, mode.consistent,
+            "all pipelines must reach the same verdicts ({} differs)",
+            mode.name
+        );
+    }
 
     let speedup = optimized.execs_per_sec() / baseline.execs_per_sec();
-    eprintln!("speedup  : {speedup:.2}x");
+    let ir_speedup = ir.execs_per_sec() / baseline.execs_per_sec();
+    let ir_vs_optimized = ir.execs_per_sec() / optimized.execs_per_sec();
+    eprintln!("speedup  : memoized {speedup:.2}x, ir {ir_speedup:.2}x (ir/memoized {ir_vs_optimized:.2}x)");
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"synth-sweep\",");
     let _ = writeln!(json, "  \"config\": \"x86-trimmed\",");
     let _ = writeln!(json, "  \"max_events\": {max_events},");
-    let _ = writeln!(json, "  \"models_per_execution\": {},", models.len());
+    let _ = writeln!(json, "  \"models_per_execution\": 2,");
     let _ = writeln!(
         json,
         "  \"threads\": {},",
@@ -228,7 +264,7 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(1)
     );
-    for mode in [&baseline, &optimized] {
+    for mode in [&baseline, &optimized, &ir] {
         let _ = writeln!(json, "  \"{}\": {{", mode.name);
         let _ = writeln!(json, "    \"executions\": {},", mode.executions);
         let _ = writeln!(json, "    \"checks\": {},", mode.checks);
@@ -240,7 +276,9 @@ fn main() {
         );
         let _ = writeln!(json, "  }},");
     }
-    let _ = writeln!(json, "  \"speedup\": {speedup:.3}");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"ir_speedup\": {ir_speedup:.3},");
+    let _ = writeln!(json, "  \"ir_vs_optimized\": {ir_vs_optimized:.3}");
     json.push_str("}\n");
 
     std::fs::write("BENCH_synth.json", &json).expect("write BENCH_synth.json");

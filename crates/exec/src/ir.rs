@@ -1,0 +1,1010 @@
+//! A declarative relational-algebra IR for memory-model axioms.
+//!
+//! The paper defines every model — SC/TSC, x86 ± TM, Power ± TM, ARMv8 ± TM
+//! and C++ ± TM — as a handful of axioms (`acyclic`/`irreflexive`/`empty`
+//! heads) over derived relations built from a small operator vocabulary:
+//! composition `;`, union `∪`, intersection `∩`, difference `\`, inverse
+//! `r⁻¹`, the closures `r?`/`r⁺`/`r*`, identity restrictions `[S]`, and the
+//! transaction lifts `weaklift`/`stronglift`. This module makes that
+//! vocabulary first-class:
+//!
+//! * [`RelExpr`] nodes (and [`SetExpr`] nodes for event sets) are interned
+//!   into an [`IrPool`] with hash-consing, so a subexpression written twice —
+//!   inside one axiom, across two axioms, or across two *models* — is one
+//!   node with one identity;
+//! * an [`IrEval`] evaluates interned expressions against an [`ExecView`],
+//!   memoizing each node's value per execution. Because identical
+//!   subexpressions share a node, common-subexpression elimination falls out
+//!   of the representation: the shared node is computed once no matter how
+//!   many axioms of how many models mention it. This generalises the four
+//!   hand-picked memoized axiom bodies the view used to carry;
+//! * an [`Axiom`] pairs a body with an [`AxiomHead`] and a syntactic cost
+//!   estimate, so a consistency sweep can check cheapest axioms first and
+//!   stop at the first violation;
+//! * [`rel_polarity`] computes the syntactic polarity of a base relation
+//!   inside an expression, which the metatheory uses to *derive* §8.1
+//!   monotonicity from axiom structure (see [`txn_polarity`]).
+//!
+//! The pool is deliberately independent of any concrete model: `tm-models`
+//! builds one shared catalog for the paper's models, and user-defined models
+//! can build their own pools with the same constructors.
+//!
+//! # Examples
+//!
+//! ```
+//! use tm_exec::ir::{AxiomHead, IrEval, IrPool, RelBase};
+//! use tm_exec::{catalog, ExecView};
+//!
+//! let mut pool = IrPool::new();
+//! let po = pool.base(RelBase::Po);
+//! let com = pool.base(RelBase::Com);
+//! let hb = pool.union(po, com);
+//! // Writing the union again yields the same node: hash-consing.
+//! assert_eq!(hb, pool.union(com, po));
+//! let order = pool.axiom("Order", AxiomHead::Acyclic, hb);
+//!
+//! let exec = catalog::sb();
+//! let view = ExecView::new(&exec);
+//! let eval = IrEval::new(&pool, &view);
+//! // Store buffering has a po ∪ com cycle: the SC Order axiom fails.
+//! assert!(!eval.holds(&order));
+//! assert!(eval.witness(&order).is_some());
+//! ```
+
+use std::cell::OnceCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tm_relation::{ElemSet, Relation};
+
+use crate::{ExecView, Execution, Fence};
+
+/// Base event sets an [`ExecView`] can provide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SetBase {
+    /// The set `R` of read events.
+    Reads,
+    /// The set `W` of write events.
+    Writes,
+    /// The set `F` of fence events (any kind).
+    Fences,
+    /// The set `Acq` of acquire events.
+    Acquires,
+    /// The set `Rel` of release events.
+    Releases,
+    /// The set `SC` of seq_cst events.
+    ScEvents,
+    /// The set `Ato` of C++ atomic events.
+    Atomics,
+    /// Fence events of exactly one kind.
+    FencesOf(Fence),
+    /// Sources of the `rmw` pairing (the reads of RMWs).
+    RmwDomain,
+    /// Targets of the `rmw` pairing (the writes of RMWs).
+    RmwRange,
+}
+
+/// Base (primitive or view-derived) relations an [`ExecView`] can provide.
+///
+/// Everything here is either stored on the [`Execution`] or memoized on the
+/// view, so a base node costs one lookup however often it is mentioned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RelBase {
+    /// Program order.
+    Po,
+    /// Reads-from.
+    Rf,
+    /// Coherence.
+    Co,
+    /// Address dependencies.
+    Addr,
+    /// Data dependencies.
+    Data,
+    /// Control dependencies.
+    Ctrl,
+    /// Read-modify-write pairing.
+    Rmw,
+    /// Same-successful-transaction.
+    Stxn,
+    /// Same-successful-atomic-transaction.
+    Stxnat,
+    /// Same-critical-region.
+    Scr,
+    /// Same-location pairs.
+    Sloc,
+    /// Program order restricted to same-location accesses.
+    Poloc,
+    /// Program order between different locations.
+    PoDiffLoc,
+    /// From-read.
+    Fr,
+    /// External reads-from.
+    Rfe,
+    /// Internal reads-from.
+    Rfi,
+    /// External coherence.
+    Coe,
+    /// External from-read.
+    Fre,
+    /// Communication `rf ∪ co ∪ fr`.
+    Com,
+    /// External communication.
+    Come,
+    /// Extended communication `com ∪ (co ; rf)`.
+    Ecom,
+    /// The C++ conflict relation.
+    Cnf,
+    /// Implicit transaction-boundary fences.
+    Tfence,
+    /// The per-architecture fence relation `po ; [F_kind] ; po`.
+    FenceRel(Fence),
+}
+
+/// An interned set expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SetExpr {
+    /// A base set provided by the view.
+    Base(SetBase),
+    /// Set union.
+    Union(SetId, SetId),
+    /// Set intersection.
+    Inter(SetId, SetId),
+}
+
+/// An interned relation expression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RelExpr {
+    /// A base relation provided by the view.
+    Base(RelBase),
+    /// The identity relation `[S]` on a set.
+    IdOn(SetId),
+    /// The cartesian product `A × B` of two sets.
+    Cross(SetId, SetId),
+    /// Relational composition `a ; b`.
+    Seq(RelId, RelId),
+    /// Union `a ∪ b`.
+    Union(RelId, RelId),
+    /// Intersection `a ∩ b`.
+    Inter(RelId, RelId),
+    /// Difference `a \ b`.
+    Diff(RelId, RelId),
+    /// Inverse `a⁻¹`.
+    Inverse(RelId),
+    /// Reflexive closure `a?`.
+    Opt(RelId),
+    /// Transitive closure `a⁺`.
+    Plus(RelId),
+    /// Reflexive-transitive closure `a*`.
+    Star(RelId),
+    /// `weaklift(a, t) = t ; (a \ t) ; t` (§3.3).
+    WeakLift(RelId, RelId),
+    /// `stronglift(a, t) = t? ; (a \ t) ; t?` (§3.3).
+    StrongLift(RelId, RelId),
+}
+
+/// Identity of an interned [`SetExpr`] within one [`IrPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetId(u32);
+
+/// Identity of an interned [`RelExpr`] within one [`IrPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(u32);
+
+impl RelId {
+    /// The dense index of this expression in its pool.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SetId {
+    /// The dense index of this expression in its pool.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The predicate an [`Axiom`] applies to its body relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AxiomHead {
+    /// `acyclic(body)`.
+    Acyclic,
+    /// `irreflexive(body)`.
+    Irreflexive,
+    /// `empty(body)`.
+    Empty,
+}
+
+/// One named axiom of a memory model: a head predicate over an interned
+/// body, plus a syntactic cost estimate used to order early-exit checks.
+#[derive(Clone, Copy, Debug)]
+pub struct Axiom {
+    /// The axiom's name as it appears in verdicts (e.g. `"Order"`).
+    pub name: &'static str,
+    /// The predicate applied to the body.
+    pub head: AxiomHead,
+    /// The interned body relation.
+    pub body: RelId,
+    /// Estimated evaluation cost (arbitrary units; larger = slower). Used to
+    /// check cheap axioms first when only a boolean verdict is needed.
+    pub cost: u32,
+}
+
+static POOL_STAMPS: AtomicU64 = AtomicU64::new(1);
+
+/// A hash-consing arena of [`RelExpr`]/[`SetExpr`] nodes.
+///
+/// Interning the same structural expression twice returns the same id, so
+/// node identity doubles as a memoization key: see [`IrEval`]. Unions and
+/// intersections are normalised by operand order, making them commutative at
+/// the representation level (`a ∪ b` and `b ∪ a` are one node).
+#[derive(Debug, Default)]
+pub struct IrPool {
+    stamp: u64,
+    rels: Vec<RelExpr>,
+    rel_costs: Vec<u32>,
+    rel_index: HashMap<RelExpr, RelId>,
+    sets: Vec<SetExpr>,
+    set_index: HashMap<SetExpr, SetId>,
+}
+
+impl IrPool {
+    /// Creates an empty pool with a process-unique stamp (used to keep two
+    /// pools' memo tables apart when both evaluate against one view).
+    pub fn new() -> IrPool {
+        IrPool {
+            stamp: POOL_STAMPS.fetch_add(1, Ordering::Relaxed),
+            ..IrPool::default()
+        }
+    }
+
+    /// The process-unique identity of this pool.
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Number of interned relation expressions.
+    pub fn rel_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Number of interned set expressions.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The node behind a relation id.
+    pub fn rel_expr(&self, id: RelId) -> RelExpr {
+        self.rels[id.index()]
+    }
+
+    /// The node behind a set id.
+    pub fn set_expr(&self, id: SetId) -> SetExpr {
+        self.sets[id.index()]
+    }
+
+    /// The syntactic cost estimate of a relation expression.
+    pub fn rel_cost(&self, id: RelId) -> u32 {
+        self.rel_costs[id.index()]
+    }
+
+    fn intern_set(&mut self, node: SetExpr) -> SetId {
+        if let Some(&id) = self.set_index.get(&node) {
+            return id;
+        }
+        let id = SetId(self.sets.len() as u32);
+        self.sets.push(node);
+        self.set_index.insert(node, id);
+        id
+    }
+
+    fn intern_rel(&mut self, node: RelExpr) -> RelId {
+        if let Some(&id) = self.rel_index.get(&node) {
+            return id;
+        }
+        let cost = self.cost_of(node);
+        let id = RelId(self.rels.len() as u32);
+        self.rels.push(node);
+        self.rel_costs.push(cost);
+        self.rel_index.insert(node, id);
+        id
+    }
+
+    /// Cost heuristic: base lookups are nearly free (memoized on the view),
+    /// boolean combinations are linear in the bit matrix, compositions cost
+    /// more, closures and lifts the most.
+    fn cost_of(&self, node: RelExpr) -> u32 {
+        let c = |id: RelId| self.rel_costs[id.index()];
+        match node {
+            RelExpr::Base(_) => 1,
+            RelExpr::IdOn(_) | RelExpr::Cross(_, _) => 2,
+            RelExpr::Union(a, b) | RelExpr::Inter(a, b) | RelExpr::Diff(a, b) => c(a) + c(b) + 1,
+            RelExpr::Seq(a, b) => c(a) + c(b) + 4,
+            RelExpr::Inverse(a) => c(a) + 2,
+            RelExpr::Opt(a) => c(a) + 1,
+            RelExpr::Plus(a) | RelExpr::Star(a) => c(a) + 12,
+            RelExpr::WeakLift(a, t) | RelExpr::StrongLift(a, t) => c(a) + c(t) + 10,
+        }
+    }
+
+    // ---- set constructors -------------------------------------------------
+
+    /// Interns a base set.
+    pub fn set_base(&mut self, base: SetBase) -> SetId {
+        self.intern_set(SetExpr::Base(base))
+    }
+
+    /// Interns a set union (normalised: commutative).
+    pub fn set_union(&mut self, a: SetId, b: SetId) -> SetId {
+        if a == b {
+            return a;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        self.intern_set(SetExpr::Union(a, b))
+    }
+
+    /// Interns a set intersection (normalised: commutative).
+    pub fn set_inter(&mut self, a: SetId, b: SetId) -> SetId {
+        if a == b {
+            return a;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        self.intern_set(SetExpr::Inter(a, b))
+    }
+
+    // ---- relation constructors --------------------------------------------
+
+    /// Interns a base relation.
+    pub fn base(&mut self, base: RelBase) -> RelId {
+        self.intern_rel(RelExpr::Base(base))
+    }
+
+    /// Interns the identity `[S]` on a set.
+    pub fn id_on(&mut self, set: SetId) -> RelId {
+        self.intern_rel(RelExpr::IdOn(set))
+    }
+
+    /// Interns the cartesian product of two sets.
+    pub fn cross(&mut self, a: SetId, b: SetId) -> RelId {
+        self.intern_rel(RelExpr::Cross(a, b))
+    }
+
+    /// Interns a composition `a ; b`.
+    pub fn seq(&mut self, a: RelId, b: RelId) -> RelId {
+        self.intern_rel(RelExpr::Seq(a, b))
+    }
+
+    /// Interns the composition of a whole chain, left to right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is empty.
+    pub fn seq_all(&mut self, chain: &[RelId]) -> RelId {
+        let (&first, rest) = chain.split_first().expect("seq_all of an empty chain");
+        rest.iter().fold(first, |acc, &next| self.seq(acc, next))
+    }
+
+    /// Interns a union (normalised: commutative, idempotent).
+    pub fn union(&mut self, a: RelId, b: RelId) -> RelId {
+        if a == b {
+            return a;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        self.intern_rel(RelExpr::Union(a, b))
+    }
+
+    /// Interns the union of a whole list of relations.
+    ///
+    /// Operands are sorted first so that any two unions of the same parts —
+    /// however they were written — intern to the same node tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn union_all(&mut self, parts: &[RelId]) -> RelId {
+        let mut sorted = parts.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let (&first, rest) = sorted.split_first().expect("union_all of an empty list");
+        rest.iter().fold(first, |acc, &next| self.union(acc, next))
+    }
+
+    /// Interns an intersection (normalised: commutative, idempotent).
+    pub fn inter(&mut self, a: RelId, b: RelId) -> RelId {
+        if a == b {
+            return a;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        self.intern_rel(RelExpr::Inter(a, b))
+    }
+
+    /// Interns a difference `a \ b`.
+    pub fn diff(&mut self, a: RelId, b: RelId) -> RelId {
+        self.intern_rel(RelExpr::Diff(a, b))
+    }
+
+    /// Interns an inverse `a⁻¹`.
+    pub fn inverse(&mut self, a: RelId) -> RelId {
+        self.intern_rel(RelExpr::Inverse(a))
+    }
+
+    /// Interns a reflexive closure `a?`.
+    pub fn opt(&mut self, a: RelId) -> RelId {
+        self.intern_rel(RelExpr::Opt(a))
+    }
+
+    /// Interns a transitive closure `a⁺`.
+    pub fn plus(&mut self, a: RelId) -> RelId {
+        self.intern_rel(RelExpr::Plus(a))
+    }
+
+    /// Interns a reflexive-transitive closure `a*`.
+    pub fn star(&mut self, a: RelId) -> RelId {
+        self.intern_rel(RelExpr::Star(a))
+    }
+
+    /// Interns `weaklift(a, t)`.
+    pub fn weaklift(&mut self, a: RelId, t: RelId) -> RelId {
+        self.intern_rel(RelExpr::WeakLift(a, t))
+    }
+
+    /// Interns `stronglift(a, t)`.
+    pub fn stronglift(&mut self, a: RelId, t: RelId) -> RelId {
+        self.intern_rel(RelExpr::StrongLift(a, t))
+    }
+
+    /// Builds an [`Axiom`] over an interned body, computing its cost.
+    pub fn axiom(&mut self, name: &'static str, head: AxiomHead, body: RelId) -> Axiom {
+        let head_cost = match head {
+            AxiomHead::Acyclic => 3,
+            AxiomHead::Irreflexive | AxiomHead::Empty => 1,
+        };
+        Axiom {
+            name,
+            head,
+            body,
+            cost: self.rel_cost(body) + head_cost,
+        }
+    }
+}
+
+/// Per-execution memo table for one pool's expressions, hosted on an
+/// [`ExecView`] so that every axiom of every model checking that execution
+/// shares it.
+#[derive(Debug)]
+pub struct IrMemo {
+    stamp: u64,
+    rels: Box<[OnceCell<Relation>]>,
+    sets: Box<[OnceCell<ElemSet>]>,
+}
+
+impl IrMemo {
+    pub(crate) fn new(stamp: u64, rel_count: usize, set_count: usize) -> IrMemo {
+        IrMemo {
+            stamp,
+            rels: (0..rel_count).map(|_| OnceCell::new()).collect(),
+            sets: (0..set_count).map(|_| OnceCell::new()).collect(),
+        }
+    }
+
+    pub(crate) fn fits(&self, stamp: u64, rel_count: usize, set_count: usize) -> bool {
+        self.stamp == stamp && self.rels.len() >= rel_count && self.sets.len() >= set_count
+    }
+}
+
+enum Slots<'a> {
+    /// The view's per-execution memo: shared with every other evaluator of
+    /// the same pool on the same view (cross-axiom and cross-model CSE).
+    Shared(&'a IrMemo),
+    /// A private memo: used on uncached views (which promise to recompute)
+    /// and when a different pool already claimed the view's memo.
+    Local(IrMemo),
+}
+
+/// An evaluator of interned expressions against one [`ExecView`].
+///
+/// Each node's value is computed at most once per execution (see [`IrMemo`]);
+/// base nodes delegate to the view's own memoized getters. The evaluator is
+/// cheap to construct, so model checks build one per check call and still
+/// share all node values through the view.
+pub struct IrEval<'a> {
+    pool: &'a IrPool,
+    view: &'a ExecView<'a>,
+    slots: Slots<'a>,
+}
+
+impl<'a> IrEval<'a> {
+    /// Creates an evaluator for `pool` over `view`.
+    pub fn new(pool: &'a IrPool, view: &'a ExecView<'a>) -> IrEval<'a> {
+        let slots = match view.ir_memo(pool.stamp(), pool.rel_count(), pool.set_count()) {
+            Some(memo) => Slots::Shared(memo),
+            None => Slots::Local(IrMemo::new(
+                pool.stamp(),
+                pool.rel_count(),
+                pool.set_count(),
+            )),
+        };
+        IrEval { pool, view, slots }
+    }
+
+    /// The view this evaluator reads base relations from.
+    pub fn view(&self) -> &'a ExecView<'a> {
+        self.view
+    }
+
+    fn rel_slot(&self, id: RelId) -> &OnceCell<Relation> {
+        match &self.slots {
+            Slots::Shared(memo) => &memo.rels[id.index()],
+            Slots::Local(memo) => &memo.rels[id.index()],
+        }
+    }
+
+    fn set_slot(&self, id: SetId) -> &OnceCell<ElemSet> {
+        match &self.slots {
+            Slots::Shared(memo) => &memo.sets[id.index()],
+            Slots::Local(memo) => &memo.sets[id.index()],
+        }
+    }
+
+    /// The value of a set expression.
+    pub fn set(&self, id: SetId) -> std::borrow::Cow<'_, ElemSet> {
+        use std::borrow::Cow;
+        match self.pool.set_expr(id) {
+            SetExpr::Base(base) => match base {
+                SetBase::Reads => self.view.reads(),
+                SetBase::Writes => self.view.writes(),
+                SetBase::Fences => self.view.fences(),
+                SetBase::Acquires => self.view.acquires(),
+                SetBase::Releases => self.view.releases(),
+                SetBase::ScEvents => self.view.sc_events(),
+                SetBase::Atomics => self.view.atomics(),
+                SetBase::FencesOf(kind) => self.view.fences_of(kind),
+                SetBase::RmwDomain => Cow::Borrowed(
+                    self.set_slot(id)
+                        .get_or_init(|| self.view.exec().rmw.domain()),
+                ),
+                SetBase::RmwRange => Cow::Borrowed(
+                    self.set_slot(id)
+                        .get_or_init(|| self.view.exec().rmw.range()),
+                ),
+            },
+            _ => Cow::Borrowed(self.set_slot(id).get_or_init(|| self.compute_set(id))),
+        }
+    }
+
+    fn compute_set(&self, id: SetId) -> ElemSet {
+        match self.pool.set_expr(id) {
+            SetExpr::Base(_) => unreachable!("base sets are served by the view"),
+            SetExpr::Union(a, b) => self.set(a).union(&self.set(b)),
+            SetExpr::Inter(a, b) => self.set(a).intersection(&self.set(b)),
+        }
+    }
+
+    /// The value of a relation expression.
+    pub fn rel(&self, id: RelId) -> std::borrow::Cow<'_, Relation> {
+        use std::borrow::Cow;
+        match self.pool.rel_expr(id) {
+            RelExpr::Base(base) => self.base_rel(base),
+            _ => Cow::Borrowed(self.rel_slot(id).get_or_init(|| self.compute_rel(id))),
+        }
+    }
+
+    fn base_rel(&self, base: RelBase) -> std::borrow::Cow<'_, Relation> {
+        use std::borrow::Cow;
+        let exec = self.view.exec();
+        match base {
+            RelBase::Po => Cow::Borrowed(self.view.po()),
+            RelBase::Rf => Cow::Borrowed(self.view.rf()),
+            RelBase::Co => Cow::Borrowed(self.view.co()),
+            RelBase::Addr => Cow::Borrowed(&exec.addr),
+            RelBase::Data => Cow::Borrowed(&exec.data),
+            RelBase::Ctrl => Cow::Borrowed(&exec.ctrl),
+            RelBase::Rmw => Cow::Borrowed(&exec.rmw),
+            RelBase::Stxn => Cow::Borrowed(&exec.stxn),
+            RelBase::Stxnat => Cow::Borrowed(&exec.stxnat),
+            RelBase::Scr => Cow::Borrowed(&exec.scr),
+            RelBase::Sloc => self.view.sloc(),
+            RelBase::Poloc => self.view.poloc(),
+            RelBase::PoDiffLoc => self.view.po_diff_loc(),
+            RelBase::Fr => self.view.fr(),
+            RelBase::Rfe => self.view.rfe(),
+            RelBase::Rfi => self.view.rfi(),
+            RelBase::Coe => self.view.coe(),
+            RelBase::Fre => self.view.fre(),
+            RelBase::Com => self.view.com(),
+            RelBase::Come => self.view.come(),
+            RelBase::Ecom => self.view.ecom(),
+            RelBase::Cnf => self.view.cnf(),
+            RelBase::Tfence => self.view.tfence(),
+            RelBase::FenceRel(kind) => self.view.fence_rel(kind),
+        }
+    }
+
+    fn compute_rel(&self, id: RelId) -> Relation {
+        match self.pool.rel_expr(id) {
+            RelExpr::Base(_) => unreachable!("base relations are served by the view"),
+            RelExpr::IdOn(s) => Relation::identity_on(&self.set(s)),
+            RelExpr::Cross(a, b) => Relation::cross(&self.set(a), &self.set(b)),
+            RelExpr::Seq(a, b) => self.rel(a).compose(&self.rel(b)),
+            RelExpr::Union(a, b) => {
+                let mut out = self.rel(a).into_owned();
+                out.union_in_place(&self.rel(b));
+                out
+            }
+            RelExpr::Inter(a, b) => {
+                let mut out = self.rel(a).into_owned();
+                out.intersect_in_place(&self.rel(b));
+                out
+            }
+            RelExpr::Diff(a, b) => {
+                let mut out = self.rel(a).into_owned();
+                out.difference_in_place(&self.rel(b));
+                out
+            }
+            RelExpr::Inverse(a) => self.rel(a).inverse(),
+            RelExpr::Opt(a) => self.rel(a).reflexive_closure(),
+            RelExpr::Plus(a) => {
+                let mut out = self.rel(a).into_owned();
+                out.transitive_closure_in_place();
+                out
+            }
+            RelExpr::Star(a) => {
+                let mut out = self.rel(a).into_owned();
+                out.transitive_closure_in_place();
+                for e in 0..out.universe() {
+                    out.insert(e, e);
+                }
+                out
+            }
+            RelExpr::WeakLift(a, t) => Execution::weaklift(&self.rel(a), &self.rel(t)),
+            RelExpr::StrongLift(a, t) => Execution::stronglift(&self.rel(a), &self.rel(t)),
+        }
+    }
+
+    /// True if the axiom holds on this execution. Does not extract a witness,
+    /// so this is the fast path for early-exit sweeps.
+    pub fn holds(&self, axiom: &Axiom) -> bool {
+        let body = self.rel(axiom.body);
+        match axiom.head {
+            AxiomHead::Acyclic => body.is_acyclic(),
+            AxiomHead::Irreflexive => body.is_irreflexive(),
+            AxiomHead::Empty => body.is_empty(),
+        }
+    }
+
+    /// A witness of the axiom's violation (`None` if it holds): a cycle for
+    /// `acyclic`, a fixed point for `irreflexive`, the first pair for
+    /// `empty` — matching what the hand-written checks used to report.
+    pub fn witness(&self, axiom: &Axiom) -> Option<Vec<usize>> {
+        let body = self.rel(axiom.body);
+        match axiom.head {
+            AxiomHead::Acyclic => body.find_cycle(),
+            AxiomHead::Irreflexive => (0..body.universe())
+                .find(|&a| body.contains(a, a))
+                .map(|a| vec![a]),
+            AxiomHead::Empty => body.iter().next().map(|(a, b)| vec![a, b]),
+        }
+    }
+}
+
+// ---- polarity analysis ----------------------------------------------------
+
+/// The syntactic polarity of a base relation's occurrences in an expression.
+///
+/// If growing the base relation can only grow the expression's value the
+/// polarity is [`Positive`](Polarity::Positive); if it can only shrink it,
+/// [`Negative`](Polarity::Negative); occurrences under both signs are
+/// [`Mixed`](Polarity::Mixed), and no occurrence at all is
+/// [`Constant`](Polarity::Constant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Polarity {
+    /// The expression does not depend on the base relation.
+    Constant,
+    /// Monotonically non-decreasing in the base relation.
+    Positive,
+    /// Monotonically non-increasing in the base relation.
+    Negative,
+    /// Occurs under both signs; no monotonicity conclusion is possible.
+    Mixed,
+}
+
+impl Polarity {
+    /// Least upper bound in the lattice `Constant < {Positive, Negative} < Mixed`.
+    pub fn join(self, other: Polarity) -> Polarity {
+        use Polarity::*;
+        match (self, other) {
+            (Constant, p) | (p, Constant) => p,
+            (Positive, Positive) => Positive,
+            (Negative, Negative) => Negative,
+            _ => Mixed,
+        }
+    }
+
+    /// Flips the sign (under a difference's right operand).
+    pub fn negate(self) -> Polarity {
+        match self {
+            Polarity::Positive => Polarity::Negative,
+            Polarity::Negative => Polarity::Positive,
+            p => p,
+        }
+    }
+}
+
+/// The polarity of a set expression with respect to the base relations
+/// classified by `of`: almost every base set is an event-kind predicate and
+/// thus constant, but `RmwDomain`/`RmwRange` are derived from the `rmw`
+/// relation (monotonically — growing `rmw` grows both projections), and set
+/// union/intersection are monotone in each operand.
+pub fn set_polarity(pool: &IrPool, id: SetId, of: &impl Fn(RelBase) -> Polarity) -> Polarity {
+    match pool.set_expr(id) {
+        SetExpr::Base(SetBase::RmwDomain | SetBase::RmwRange) => of(RelBase::Rmw),
+        SetExpr::Base(_) => Polarity::Constant,
+        SetExpr::Union(a, b) | SetExpr::Inter(a, b) => {
+            set_polarity(pool, a, of).join(set_polarity(pool, b, of))
+        }
+    }
+}
+
+/// Computes the syntactic polarity of `id` with respect to the base
+/// relations classified by `of`.
+///
+/// Every operator of the IR except difference is monotone in each operand,
+/// so polarities join; the right operand of `\` is negated. `IdOn`/`Cross`
+/// take the polarity of their sets (see [`set_polarity`] — event-kind sets
+/// are constant, but the RMW projections track `rmw`).
+pub fn rel_polarity(pool: &IrPool, id: RelId, of: &impl Fn(RelBase) -> Polarity) -> Polarity {
+    match pool.rel_expr(id) {
+        RelExpr::Base(base) => of(base),
+        RelExpr::IdOn(s) => set_polarity(pool, s, of),
+        RelExpr::Cross(a, b) => set_polarity(pool, a, of).join(set_polarity(pool, b, of)),
+        RelExpr::Seq(a, b) | RelExpr::Union(a, b) | RelExpr::Inter(a, b) => {
+            rel_polarity(pool, a, of).join(rel_polarity(pool, b, of))
+        }
+        RelExpr::Diff(a, b) => rel_polarity(pool, a, of).join(rel_polarity(pool, b, of).negate()),
+        RelExpr::Inverse(a) | RelExpr::Opt(a) | RelExpr::Plus(a) | RelExpr::Star(a) => {
+            rel_polarity(pool, a, of)
+        }
+        // lift(r, t) = t⟨?⟩ ; (r \ t) ; t⟨?⟩ — t occurs both positively
+        // (the outer compositions) and negatively (the difference).
+        RelExpr::WeakLift(a, t) | RelExpr::StrongLift(a, t) => {
+            let pt = rel_polarity(pool, t, of);
+            rel_polarity(pool, a, of).join(pt).join(pt.negate())
+        }
+    }
+}
+
+/// The polarity of `id` in the *transactional structure* of an execution:
+/// `stxn`/`stxnat` count positively, and `tfence` — whose definition
+/// `po ∩ ((¬stxn ; stxn) ∪ (stxn ; ¬stxn))` mentions `stxn` under both
+/// signs — counts as mixed.
+///
+/// If every axiom body of a model is `Constant` or `Positive` here, shrinking
+/// the transactions of an execution shrinks every axiom body, so a consistent
+/// execution stays consistent under every transaction reduction: §8.1
+/// monotonicity holds *by construction*. `Mixed` is inconclusive (the model
+/// may still be monotone, as x86 is), never wrong.
+pub fn txn_polarity(pool: &IrPool, id: RelId) -> Polarity {
+    rel_polarity(pool, id, &|base| match base {
+        RelBase::Stxn | RelBase::Stxnat => Polarity::Positive,
+        RelBase::Tfence => Polarity::Mixed,
+        _ => Polarity::Constant,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn eval_pair<'a>(pool: &'a IrPool, view: &'a ExecView<'a>) -> IrEval<'a> {
+        IrEval::new(pool, view)
+    }
+
+    #[test]
+    fn hash_consing_shares_nodes_across_expressions() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let com = p.base(RelBase::Com);
+        let u1 = p.union(po, com);
+        let u2 = p.union(com, po);
+        assert_eq!(u1, u2);
+        let all = p.union_all(&[com, po, com]);
+        assert_eq!(all, u1);
+        let s1 = p.seq(po, com);
+        let s2 = p.seq(po, com);
+        assert_eq!(s1, s2);
+        // Composition is not commutative: different node.
+        assert_ne!(s1, p.seq(com, po));
+        // po, com, po ∪ com, po ; com, com ; po — and nothing else.
+        assert_eq!(p.rel_count(), 5);
+    }
+
+    #[test]
+    fn evaluation_matches_direct_computation() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let rf = p.base(RelBase::Rf);
+        let fr = p.base(RelBase::Fr);
+        let com = p.base(RelBase::Com);
+        let seq = p.seq(rf, po);
+        let u = p.union(po, com);
+        let star = p.star(rf);
+        let inv = p.inverse(rf);
+        let reads = p.set_base(SetBase::Reads);
+        let writes = p.set_base(SetBase::Writes);
+        let id_r = p.id_on(reads);
+        let wr = p.cross(writes, reads);
+        let restricted = p.seq(id_r, fr);
+
+        for exec in [
+            catalog::sb(),
+            catalog::mp_txn(),
+            catalog::power_wrc_tprop1(),
+        ] {
+            let view = ExecView::new(&exec);
+            let e = eval_pair(&p, &view);
+            assert_eq!(*e.rel(seq), exec.rf.compose(&exec.po));
+            assert_eq!(*e.rel(u), exec.po.union(&exec.com()));
+            assert_eq!(*e.rel(star), exec.rf.reflexive_transitive_closure());
+            assert_eq!(*e.rel(inv), exec.rf.inverse());
+            assert_eq!(
+                *e.rel(wr),
+                tm_relation::Relation::cross(&exec.writes(), &exec.reads())
+            );
+            assert_eq!(
+                *e.rel(restricted),
+                tm_relation::Relation::identity_on(&exec.reads()).compose(&exec.fr())
+            );
+        }
+    }
+
+    #[test]
+    fn lifts_evaluate_through_execution_helpers() {
+        let mut p = IrPool::new();
+        let com = p.base(RelBase::Com);
+        let stxn = p.base(RelBase::Stxn);
+        let weak = p.weaklift(com, stxn);
+        let strong = p.stronglift(com, stxn);
+        let exec = catalog::fig2();
+        let view = ExecView::new(&exec);
+        let e = eval_pair(&p, &view);
+        assert_eq!(*e.rel(weak), Execution::weaklift(&exec.com(), &exec.stxn));
+        assert_eq!(
+            *e.rel(strong),
+            Execution::stronglift(&exec.com(), &exec.stxn)
+        );
+    }
+
+    #[test]
+    fn axiom_heads_and_witnesses() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let com = p.base(RelBase::Com);
+        let hb = p.union(po, com);
+        let order = p.axiom("Order", AxiomHead::Acyclic, hb);
+        let rmw = p.base(RelBase::Rmw);
+        let empty_rmw = p.axiom("NoRmw", AxiomHead::Empty, rmw);
+
+        let sb = catalog::sb();
+        let view = ExecView::new(&sb);
+        let e = eval_pair(&p, &view);
+        assert!(!e.holds(&order));
+        let cycle = e.witness(&order).expect("sb has an SC cycle");
+        assert!(cycle.len() >= 2);
+        assert!(e.holds(&empty_rmw));
+        assert_eq!(e.witness(&empty_rmw), None);
+
+        let mp_txn = catalog::mp_txn();
+        let view = ExecView::new(&mp_txn);
+        let e = eval_pair(&p, &view);
+        assert!(!e.holds(&order));
+    }
+
+    #[test]
+    fn memo_is_shared_through_the_view() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let com = p.base(RelBase::Com);
+        let hb = p.union(po, com);
+        let exec = catalog::sb();
+        let view = ExecView::new(&exec);
+        let first = eval_pair(&p, &view);
+        let value = first.rel(hb).into_owned();
+        // A second evaluator over the same view sees the cached value.
+        let second = eval_pair(&p, &view);
+        assert!(matches!(second.slots, Slots::Shared(_)));
+        assert_eq!(*second.rel(hb), value);
+        // An uncached view gets a private memo but the same values.
+        let fresh_view = ExecView::uncached(&exec);
+        let third = eval_pair(&p, &fresh_view);
+        assert!(matches!(third.slots, Slots::Local(_)));
+        assert_eq!(*third.rel(hb), value);
+    }
+
+    #[test]
+    fn second_pool_falls_back_to_a_local_memo() {
+        let mut p1 = IrPool::new();
+        let hb1 = {
+            let po = p1.base(RelBase::Po);
+            let com = p1.base(RelBase::Com);
+            p1.union(po, com)
+        };
+        let mut p2 = IrPool::new();
+        let hb2 = {
+            let po = p2.base(RelBase::Po);
+            let com = p2.base(RelBase::Com);
+            p2.union(po, com)
+        };
+        assert_ne!(p1.stamp(), p2.stamp());
+        let exec = catalog::sb();
+        let view = ExecView::new(&exec);
+        let e1 = eval_pair(&p1, &view);
+        let _ = e1.rel(hb1);
+        let e2 = eval_pair(&p2, &view);
+        assert!(matches!(e2.slots, Slots::Local(_)));
+        assert_eq!(*e2.rel(hb2), *e1.rel(hb1));
+    }
+
+    #[test]
+    fn polarity_analysis_follows_the_rules() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let com = p.base(RelBase::Com);
+        let stxn = p.base(RelBase::Stxn);
+        let tfence = p.base(RelBase::Tfence);
+
+        assert_eq!(txn_polarity(&p, po), Polarity::Constant);
+        assert_eq!(txn_polarity(&p, stxn), Polarity::Positive);
+        assert_eq!(txn_polarity(&p, tfence), Polarity::Mixed);
+
+        let pos = p.seq(stxn, po);
+        assert_eq!(txn_polarity(&p, pos), Polarity::Positive);
+        let neg = p.diff(po, stxn);
+        assert_eq!(txn_polarity(&p, neg), Polarity::Negative);
+        let mixed = p.union(pos, neg);
+        assert_eq!(txn_polarity(&p, mixed), Polarity::Mixed);
+        let lifted = p.stronglift(com, stxn);
+        assert_eq!(txn_polarity(&p, lifted), Polarity::Mixed);
+        let closure = p.plus(pos);
+        assert_eq!(txn_polarity(&p, closure), Polarity::Positive);
+    }
+
+    #[test]
+    fn polarity_sees_through_relation_derived_sets() {
+        // [dom(rmw) ∪ ran(rmw)] ; po — the x86 "implied" shape — must track
+        // the rmw relation, even though it goes through set nodes.
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let dom = p.set_base(SetBase::RmwDomain);
+        let ran = p.set_base(SetBase::RmwRange);
+        let locked = p.set_union(dom, ran);
+        let id_l = p.id_on(locked);
+        let implied = p.seq(id_l, po);
+        let of_rmw = |base: RelBase| {
+            if base == RelBase::Rmw {
+                Polarity::Positive
+            } else {
+                Polarity::Constant
+            }
+        };
+        assert_eq!(rel_polarity(&p, implied, &of_rmw), Polarity::Positive);
+        // Event-kind sets stay constant.
+        let reads = p.set_base(SetBase::Reads);
+        let id_r = p.id_on(reads);
+        assert_eq!(rel_polarity(&p, id_r, &of_rmw), Polarity::Constant);
+        // And nothing here depends on the transactional structure.
+        assert_eq!(txn_polarity(&p, implied), Polarity::Constant);
+    }
+
+    #[test]
+    fn costs_order_cheap_axioms_first() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let rf = p.base(RelBase::Rf);
+        let cheap = p.axiom("Cheap", AxiomHead::Empty, rf);
+        let seq = p.seq(po, rf);
+        let closed = p.star(seq);
+        let pricey = p.axiom("Pricey", AxiomHead::Acyclic, closed);
+        assert!(cheap.cost < pricey.cost);
+    }
+}

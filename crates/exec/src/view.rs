@@ -82,6 +82,12 @@ pub struct ExecView<'e> {
     rmw_isol_witness: OnceCell<Option<(usize, usize)>>,
     strong_isol_cycle: OnceCell<Option<Vec<usize>>>,
     txn_cancels_rmw_witness: OnceCell<Option<(usize, usize)>>,
+    // Per-execution memo table of the axiom-IR evaluator (see `crate::ir`):
+    // one slot per interned expression, claimed by the first pool that
+    // evaluates against this view. This generalises the hand-picked shared
+    // axiom bodies above — *any* subexpression shared by two axioms or two
+    // models is computed once.
+    ir: OnceCell<crate::ir::IrMemo>,
 }
 
 impl<'e> ExecView<'e> {
@@ -120,6 +126,7 @@ impl<'e> ExecView<'e> {
             rmw_isol_witness: OnceCell::new(),
             strong_isol_cycle: OnceCell::new(),
             txn_cancels_rmw_witness: OnceCell::new(),
+            ir: OnceCell::new(),
         }
     }
 
@@ -142,6 +149,27 @@ impl<'e> ExecView<'e> {
     /// True if this view caches derived relations (the default).
     pub fn is_memoized(&self) -> bool {
         self.memoized
+    }
+
+    /// The per-execution memo table for the axiom-IR evaluator, shared by
+    /// every evaluator of the same pool over this view.
+    ///
+    /// Returns `None` on uncached views (which promise to recompute
+    /// everything) and when a *different* pool already claimed the table;
+    /// the evaluator then falls back to a private memo.
+    pub(crate) fn ir_memo(
+        &self,
+        stamp: u64,
+        rel_count: usize,
+        set_count: usize,
+    ) -> Option<&crate::ir::IrMemo> {
+        if !self.memoized {
+            return None;
+        }
+        let memo = self
+            .ir
+            .get_or_init(|| crate::ir::IrMemo::new(stamp, rel_count, set_count));
+        memo.fits(stamp, rel_count, set_count).then_some(memo)
     }
 
     /// Number of events.

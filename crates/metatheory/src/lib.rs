@@ -5,7 +5,10 @@
 //! * [`check_monotonicity`] — introducing, enlarging or coalescing
 //!   transactions never makes an inconsistent execution consistent (§8.1).
 //!   Holds for x86 and C++; Power and ARMv8 have the 2-event
-//!   RMW-straddles-a-boundary counterexample.
+//!   RMW-straddles-a-boundary counterexample. [`syntactic_monotonicity`]
+//!   derives the property from axiom *structure* alone (polarity analysis
+//!   over the shared axiom IR) wherever every axiom body is positive in the
+//!   transactional structure, and is cross-checked against the enumeration.
 //! * [`check_compilation`] — compiling C++ transactions directly to x86,
 //!   Power or ARMv8 transactions is sound (§8.2).
 //! * [`check_lock_elision`] — the lock-elision mapping of Table 3 preserves
@@ -37,5 +40,8 @@ mod theorems;
 
 pub use compile::{check_compilation, compile_execution, CompilationResult};
 pub use elision::{abstract_family, check_lock_elision, elide, CrBody, ElisionResult, LOCK_VAR};
-pub use monotonicity::{check_monotonicity, transaction_reductions, MonotonicityResult};
+pub use monotonicity::{
+    check_monotonicity, syntactic_monotonicity, transaction_reductions, MonotonicityResult,
+    SyntacticMonotonicity,
+};
 pub use theorems::{check_theorem_7_2, check_theorem_7_3, TheoremResult};

@@ -5,8 +5,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use tm_exec::ir::{txn_polarity, Polarity};
 use tm_exec::{ExecView, Execution};
-use tm_models::MemoryModel;
+use tm_models::{MemoryModel, Target};
 use tm_relation::per_classes;
 use tm_synth::{enumerate_exact, SynthConfig};
 
@@ -36,6 +37,63 @@ impl MonotonicityResult {
     /// True if no counterexample was found within the bound.
     pub fn holds(&self) -> bool {
         self.counterexample.is_none()
+    }
+}
+
+/// The verdict of the *syntactic* monotonicity analysis: the polarity of the
+/// transactional structure (`stxn`, `stxnat`, `tfence`) in each axiom body
+/// of a model's IR table.
+///
+/// Shrinking an execution's transactions shrinks every axiom body whose
+/// polarity is positive (or constant), and a sub-relation of an acyclic /
+/// irreflexive / empty relation stays acyclic / irreflexive / empty — so if
+/// *every* axiom is positive-or-constant, §8.1 monotonicity holds by
+/// construction, with no enumeration at all. A mixed polarity (e.g. anything
+/// built from `tfence`, whose definition mentions `stxn` under both signs)
+/// is inconclusive, never wrong: x86+TM is mixed yet monotone, while Power
+/// and ARMv8 are mixed and genuinely non-monotone.
+#[derive(Clone, Debug)]
+pub struct SyntacticMonotonicity {
+    /// Name of the analysed model.
+    pub model: String,
+    /// The transactional polarity of each axiom body, in declaration order.
+    pub per_axiom: Vec<(&'static str, Polarity)>,
+}
+
+impl SyntacticMonotonicity {
+    /// True if every axiom body is constant or positive in the transactional
+    /// structure, i.e. monotonicity is derived from axiom structure alone.
+    pub fn conclusive(&self) -> bool {
+        self.per_axiom
+            .iter()
+            .all(|(_, p)| matches!(p, Polarity::Constant | Polarity::Positive))
+    }
+
+    /// The axioms that block a syntactic conclusion (negative or mixed).
+    pub fn blocking_axioms(&self) -> Vec<&'static str> {
+        self.per_axiom
+            .iter()
+            .filter(|(_, p)| matches!(p, Polarity::Negative | Polarity::Mixed))
+            .map(|(name, _)| *name)
+            .collect()
+    }
+}
+
+/// Derives §8.1 monotonicity (or fails to) from the *structure* of a
+/// target's axiom table, by polarity analysis over the shared axiom IR.
+///
+/// Cross-check the inconclusive cases with the enumeration-based
+/// [`check_monotonicity`]; the conclusive ones need no search.
+pub fn syntactic_monotonicity(target: Target) -> SyntacticMonotonicity {
+    let cat = tm_models::ir::catalog();
+    let table = cat.model(target);
+    SyntacticMonotonicity {
+        model: table.name().to_string(),
+        per_axiom: table
+            .axioms()
+            .iter()
+            .map(|axiom| (axiom.name, txn_polarity(cat.pool(), axiom.body)))
+            .collect(),
     }
 }
 
@@ -205,6 +263,60 @@ mod tests {
         cfg.write_annots.truncate(2);
         let result = check_monotonicity(&CppModel::tm(), &cfg, 3);
         assert!(result.holds(), "{:?}", result.counterexample);
+    }
+
+    #[test]
+    fn syntactic_analysis_is_conclusive_exactly_for_transaction_free_tables() {
+        // Baseline models never mention the transactional structure, so
+        // their monotonicity is derived from axiom structure alone.
+        for target in [
+            Target::Sc,
+            Target::X86,
+            Target::Power,
+            Target::Armv8,
+            Target::Cpp,
+        ] {
+            let syn = syntactic_monotonicity(target);
+            assert!(syn.conclusive(), "{}: {:?}", syn.model, syn.per_axiom);
+            assert!(syn.blocking_axioms().is_empty());
+        }
+        // Every transactional table goes through `tfence` or a lift, whose
+        // polarity is mixed, so the syntactic criterion must stay silent —
+        // in particular it must NOT claim monotonicity for Power/ARMv8,
+        // which have real counterexamples (Table 2).
+        for target in Target::TRANSACTIONAL {
+            let syn = syntactic_monotonicity(target);
+            assert!(!syn.conclusive(), "{}: {:?}", syn.model, syn.per_axiom);
+            assert!(!syn.blocking_axioms().is_empty());
+        }
+    }
+
+    #[test]
+    fn syntactic_verdicts_are_cross_checked_against_enumeration() {
+        // Wherever the polarity analysis concludes monotonicity, the
+        // enumeration-based check must find no counterexample; where a
+        // counterexample is known to exist, the analysis must have been
+        // inconclusive (a conclusive verdict there would be a soundness bug
+        // in the polarity rules).
+        for target in [Target::X86, Target::PowerTm, Target::Armv8Tm] {
+            let syn = syntactic_monotonicity(target);
+            let cfg = SynthConfig::power(2);
+            let result = check_monotonicity(target.model().as_ref(), &cfg, 2);
+            if syn.conclusive() {
+                assert!(
+                    result.holds(),
+                    "{}: syntactically monotone but enumeration disagrees",
+                    syn.model
+                );
+            }
+            if !result.holds() {
+                assert!(
+                    !syn.conclusive(),
+                    "{}: counterexample exists but analysis claimed monotonicity",
+                    syn.model
+                );
+            }
+        }
     }
 
     #[test]

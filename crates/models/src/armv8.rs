@@ -3,7 +3,7 @@
 use tm_exec::{ExecView, Execution, Fence};
 use tm_relation::Relation;
 
-use crate::isolation::{cr_order_view, require_acyclic};
+use crate::isolation::{cr_order_reference, require_acyclic};
 use crate::{MemoryModel, Verdict};
 
 /// The multicopy-atomic ARMv8 memory model (Deacon's aarch64.cat, as used by
@@ -68,6 +68,15 @@ impl Armv8Model {
     /// True if the TM axioms are enabled.
     pub fn is_transactional(&self) -> bool {
         self.transactional
+    }
+
+    /// The [`crate::Target`] whose axiom table this model checks.
+    fn target(&self) -> crate::Target {
+        if self.transactional {
+            crate::Target::Armv8Tm
+        } else {
+            crate::Target::Armv8
+        }
     }
 
     /// Dependency-ordered-before: address and data dependencies, control
@@ -176,6 +185,23 @@ impl MemoryModel for Armv8Model {
     }
 
     fn check_view(&self, view: &ExecView<'_>) -> Verdict {
+        crate::ir::check_table(
+            self.name(),
+            crate::ir::catalog().model(self.target()),
+            self.cr_order,
+            view,
+        )
+    }
+
+    fn is_consistent_view(&self, view: &ExecView<'_>) -> bool {
+        crate::ir::table_holds(
+            crate::ir::catalog().model(self.target()),
+            self.cr_order,
+            view,
+        )
+    }
+
+    fn check_view_reference(&self, view: &ExecView<'_>) -> Verdict {
         let mut verdict = Verdict::consistent(self.name());
 
         if let Some(cycle) = view.coherence_cycle() {
@@ -200,7 +226,7 @@ impl MemoryModel for Armv8Model {
                 verdict.push("TxnCancelsRMW", Some(vec![a, b]));
             }
         }
-        if self.cr_order && !cr_order_view(view) {
+        if self.cr_order && !cr_order_reference(view) {
             verdict.push("CROrder", None);
         }
         verdict

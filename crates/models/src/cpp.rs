@@ -60,6 +60,15 @@ impl CppModel {
         self.transactional
     }
 
+    /// The [`crate::Target`] whose axiom table this model checks.
+    fn target(&self) -> crate::Target {
+        if self.transactional {
+            crate::Target::CppTm
+        } else {
+            crate::Target::Cpp
+        }
+    }
+
     /// The `Acq` set: acquire accesses plus acquire and seq_cst fences.
     pub fn acq_set(&self, exec: &Execution) -> ElemSet {
         self.acq_set_view(&ExecView::new(exec))
@@ -245,6 +254,19 @@ impl MemoryModel for CppModel {
     }
 
     fn check_view(&self, view: &ExecView<'_>) -> Verdict {
+        crate::ir::check_table(
+            self.name(),
+            crate::ir::catalog().model(self.target()),
+            false,
+            view,
+        )
+    }
+
+    fn is_consistent_view(&self, view: &ExecView<'_>) -> bool {
+        crate::ir::table_holds(crate::ir::catalog().model(self.target()), false, view)
+    }
+
+    fn check_view_reference(&self, view: &ExecView<'_>) -> Verdict {
         let exec = view.exec();
         let mut verdict = Verdict::consistent(self.name());
         let hb = self.hb_view(view);

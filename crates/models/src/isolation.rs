@@ -16,6 +16,11 @@ pub fn weak_isolation(exec: &Execution) -> bool {
 
 /// [`weak_isolation`] over a memoized view.
 pub fn weak_isolation_view(view: &ExecView<'_>) -> bool {
+    crate::ir::axiom_holds(crate::ir::catalog().weak_isol(), view)
+}
+
+/// [`weak_isolation_view`] computed the pre-IR way, kept as an oracle.
+pub fn weak_isolation_reference(view: &ExecView<'_>) -> bool {
     Execution::weaklift(&view.com(), &view.exec().stxn).is_acyclic()
 }
 
@@ -28,6 +33,11 @@ pub fn strong_isolation(exec: &Execution) -> bool {
 
 /// [`strong_isolation`] over a memoized view.
 pub fn strong_isolation_view(view: &ExecView<'_>) -> bool {
+    crate::ir::axiom_holds(crate::ir::catalog().strong_isol(), view)
+}
+
+/// [`strong_isolation_view`] computed the pre-IR way, kept as an oracle.
+pub fn strong_isolation_reference(view: &ExecView<'_>) -> bool {
     view.strong_isol_cycle().is_none()
 }
 
@@ -39,6 +49,12 @@ pub fn strong_isolation_atomic(exec: &Execution) -> bool {
 
 /// [`strong_isolation_atomic`] over a memoized view.
 pub fn strong_isolation_atomic_view(view: &ExecView<'_>) -> bool {
+    crate::ir::axiom_holds(crate::ir::catalog().strong_isol_atomic(), view)
+}
+
+/// [`strong_isolation_atomic_view`] computed the pre-IR way, kept as an
+/// oracle.
+pub fn strong_isolation_atomic_reference(view: &ExecView<'_>) -> bool {
     Execution::stronglift(&view.com(), &view.exec().stxnat).is_acyclic()
 }
 
@@ -69,6 +85,11 @@ pub fn cr_order(exec: &Execution) -> bool {
 
 /// [`cr_order`] over a memoized view.
 pub fn cr_order_view(view: &ExecView<'_>) -> bool {
+    crate::ir::axiom_holds(crate::ir::catalog().cr_order(), view)
+}
+
+/// [`cr_order_view`] computed the pre-IR way, kept as an oracle.
+pub fn cr_order_reference(view: &ExecView<'_>) -> bool {
     let exec = view.exec();
     let mut body = view.com().into_owned();
     body.union_in_place(&exec.po);

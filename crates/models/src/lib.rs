@@ -32,6 +32,7 @@
 
 mod armv8;
 mod cpp;
+pub mod ir;
 pub mod isolation;
 mod power;
 mod sc;
@@ -73,6 +74,15 @@ pub trait MemoryModel: Send + Sync {
     /// violations. Derived relations are fetched through `view`, memoized.
     fn check_view(&self, view: &ExecView<'_>) -> Verdict;
 
+    /// The retained hand-written consistency check, kept for one release as
+    /// an oracle for the axiom-IR evaluator that [`MemoryModel::check_view`]
+    /// now routes through (see [`ir`]). The parity tests pin the two paths
+    /// to identical verdicts; models without a legacy implementation fall
+    /// back to `check_view`.
+    fn check_view_reference(&self, view: &ExecView<'_>) -> Verdict {
+        self.check_view(view)
+    }
+
     /// Checks `exec` against every axiom and reports all violations.
     fn check(&self, exec: &Execution) -> Verdict {
         self.check_view(&ExecView::new(exec))
@@ -85,7 +95,10 @@ pub trait MemoryModel: Send + Sync {
 
     /// True if `exec` satisfies every axiom of this model.
     fn is_consistent(&self, exec: &Execution) -> bool {
-        self.check(exec).is_consistent()
+        // Route through the view-based check so models with an early-exit
+        // `is_consistent_view` (cheapest axiom first, stop at the first
+        // violation, no witness extraction) benefit here too.
+        self.is_consistent_view(&ExecView::new(exec))
     }
 }
 

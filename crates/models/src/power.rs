@@ -3,7 +3,7 @@
 use tm_exec::{ExecView, Execution, Fence};
 use tm_relation::Relation;
 
-use crate::isolation::{cr_order_view, require_acyclic, require_irreflexive};
+use crate::isolation::{cr_order_reference, require_acyclic, require_irreflexive};
 use crate::{MemoryModel, Verdict};
 
 /// The Power memory model of Alglave et al. ("herding cats"), extended —
@@ -71,6 +71,15 @@ impl PowerModel {
     /// True if the TM axioms are enabled.
     pub fn is_transactional(&self) -> bool {
         self.transactional
+    }
+
+    /// The [`crate::Target`] whose axiom table this model checks.
+    fn target(&self) -> crate::Target {
+        if self.transactional {
+            crate::Target::PowerTm
+        } else {
+            crate::Target::Power
+        }
     }
 
     /// The preserved-program-order approximation.
@@ -228,6 +237,23 @@ impl MemoryModel for PowerModel {
     }
 
     fn check_view(&self, view: &ExecView<'_>) -> Verdict {
+        crate::ir::check_table(
+            self.name(),
+            crate::ir::catalog().model(self.target()),
+            self.cr_order,
+            view,
+        )
+    }
+
+    fn is_consistent_view(&self, view: &ExecView<'_>) -> bool {
+        crate::ir::table_holds(
+            crate::ir::catalog().model(self.target()),
+            self.cr_order,
+            view,
+        )
+    }
+
+    fn check_view_reference(&self, view: &ExecView<'_>) -> Verdict {
         let exec = view.exec();
         let mut verdict = Verdict::consistent(self.name());
 
@@ -265,7 +291,7 @@ impl MemoryModel for PowerModel {
                 verdict.push("TxnCancelsRMW", Some(vec![a, b]));
             }
         }
-        if self.cr_order && !cr_order_view(view) {
+        if self.cr_order && !cr_order_reference(view) {
             verdict.push("CROrder", None);
         }
         verdict

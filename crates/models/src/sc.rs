@@ -52,6 +52,15 @@ impl ScModel {
     pub fn is_transactional(&self) -> bool {
         self.transactional
     }
+
+    /// The [`crate::Target`] whose axiom table this model checks.
+    fn target(&self) -> crate::Target {
+        if self.transactional {
+            crate::Target::Tsc
+        } else {
+            crate::Target::Sc
+        }
+    }
 }
 
 impl MemoryModel for ScModel {
@@ -72,6 +81,19 @@ impl MemoryModel for ScModel {
     }
 
     fn check_view(&self, view: &ExecView<'_>) -> Verdict {
+        crate::ir::check_table(
+            self.name(),
+            crate::ir::catalog().model(self.target()),
+            false,
+            view,
+        )
+    }
+
+    fn is_consistent_view(&self, view: &ExecView<'_>) -> bool {
+        crate::ir::table_holds(crate::ir::catalog().model(self.target()), false, view)
+    }
+
+    fn check_view_reference(&self, view: &ExecView<'_>) -> Verdict {
         let mut verdict = Verdict::consistent(self.name());
         let mut hb = view.com().into_owned();
         hb.union_in_place(&view.exec().po);

@@ -3,7 +3,7 @@
 use tm_exec::{ExecView, Execution};
 use tm_relation::Relation;
 
-use crate::isolation::{cr_order_view, require_acyclic};
+use crate::isolation::{cr_order_reference, require_acyclic};
 use crate::{MemoryModel, Verdict};
 
 /// The x86 memory model of Alglave et al., extended (when `transactional`)
@@ -68,6 +68,15 @@ impl X86Model {
         self.transactional
     }
 
+    /// The [`crate::Target`] whose axiom table this model checks.
+    fn target(&self) -> crate::Target {
+        if self.transactional {
+            crate::Target::X86Tm
+        } else {
+            crate::Target::X86
+        }
+    }
+
     /// The happens-before relation of Fig. 5 for `exec`.
     pub fn hb(&self, exec: &Execution) -> Relation {
         self.hb_view(&ExecView::new(exec))
@@ -109,6 +118,23 @@ impl MemoryModel for X86Model {
     }
 
     fn check_view(&self, view: &ExecView<'_>) -> Verdict {
+        crate::ir::check_table(
+            self.name(),
+            crate::ir::catalog().model(self.target()),
+            self.cr_order,
+            view,
+        )
+    }
+
+    fn is_consistent_view(&self, view: &ExecView<'_>) -> bool {
+        crate::ir::table_holds(
+            crate::ir::catalog().model(self.target()),
+            self.cr_order,
+            view,
+        )
+    }
+
+    fn check_view_reference(&self, view: &ExecView<'_>) -> Verdict {
         let mut verdict = Verdict::consistent(self.name());
 
         if let Some(cycle) = view.coherence_cycle() {
@@ -131,7 +157,7 @@ impl MemoryModel for X86Model {
                 &Execution::stronglift(&hb, &view.exec().stxn),
             );
         }
-        if self.cr_order && !cr_order_view(view) {
+        if self.cr_order && !cr_order_reference(view) {
             verdict.push("CROrder", None);
         }
         verdict

@@ -46,4 +46,4 @@ pub use canon::canonical_signature;
 pub use config::SynthConfig;
 pub use enumerate::{enumerate_all, enumerate_exact, enumerate_exact_reference};
 pub use suite::{find_distinguishing, synthesise_suites, SuiteReport, SynthesisedTest};
-pub use weaken::weakenings;
+pub use weaken::{weakenings, weakenings_with_signatures};

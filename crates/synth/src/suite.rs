@@ -1,6 +1,6 @@
 //! Synthesis of Forbid and Allow conformance suites (§4.2, Table 1).
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -9,7 +9,9 @@ use tm_exec::{ExecView, Execution};
 use tm_litmus::{from_execution, Expectation, LitmusTest};
 use tm_models::MemoryModel;
 
-use crate::{canonical_signature, enumerate_exact, weakenings, SynthConfig};
+use crate::{
+    canonical_signature, enumerate_exact, weakenings, weakenings_with_signatures, SynthConfig,
+};
 
 /// One synthesised conformance test.
 #[derive(Clone, Debug)]
@@ -130,29 +132,36 @@ pub fn synthesise_suites(
         .collect();
 
     // Allow suite: weakenings of Forbid tests that the model accepts.
-    let mut allow: Vec<SynthesisedTest> = Vec::new();
-    let mut allow_seen: HashSet<String> = HashSet::new();
+    // `weakenings` already returns each candidate once (deduplicated by
+    // canonical signature), so no per-test re-filtering happens here; two
+    // *distinct* Forbid tests can still share a weakening, so the suites are
+    // merged across tests by signature, which also fixes the report order.
+    let mut allow_by_sig: BTreeMap<String, (Execution, Duration)> = BTreeMap::new();
     for test in &forbid {
-        for weaker in weakenings(&test.execution) {
-            if !tm_model.is_consistent(&weaker) {
-                continue;
+        for (sig, weaker) in weakenings_with_signatures(&test.execution) {
+            if tm_model.is_consistent(&weaker) {
+                allow_by_sig
+                    .entry(sig)
+                    .or_insert_with(|| (weaker, start.elapsed()));
             }
-            if !allow_seen.insert(canonical_signature(&weaker)) {
-                continue;
-            }
-            let index = allow.len();
+        }
+    }
+    let allow: Vec<SynthesisedTest> = allow_by_sig
+        .into_values()
+        .enumerate()
+        .map(|(index, (weaker, found_after))| {
             let mut litmus = from_execution(
                 &weaker,
                 &format!("allow-{}-{events}ev-{index}", tm_model.name()),
             );
             litmus.expectation = Some(Expectation::Allowed);
-            allow.push(SynthesisedTest {
+            SynthesisedTest {
                 execution: weaker,
                 litmus,
-                found_after: start.elapsed(),
-            });
-        }
-    }
+                found_after,
+            }
+        })
+        .collect();
 
     SuiteReport {
         model: tm_model.name().to_string(),

@@ -1,6 +1,10 @@
 //! The ⊏ execution-weakening order of §4.2.
 
+use std::collections::HashSet;
+
 use tm_exec::{check_well_formed, Annot, Execution};
+
+use crate::canonical_signature;
 
 /// Returns every execution one ⊏-step weaker than `exec`:
 ///
@@ -11,12 +15,30 @@ use tm_exec::{check_well_formed, Annot, Execution};
 ///    §4.2(v).
 ///
 /// Ill-formed results (e.g. a lock-elision critical region losing its lock
-/// call) are dropped: they are not candidate executions at all.
+/// call) are dropped: they are not candidate executions at all. The result
+/// is deduplicated by [`canonical_signature`]: two weakening steps that land
+/// on the same execution up to thread/location renaming (removing either of
+/// two symmetric events, say) yield one entry, so callers neither check the
+/// same candidate twice nor need to re-filter duplicates themselves.
 pub fn weakenings(exec: &Execution) -> Vec<Execution> {
+    weakenings_with_signatures(exec)
+        .into_iter()
+        .map(|(_, weaker)| weaker)
+        .collect()
+}
+
+/// [`weakenings`] paired with each result's [`canonical_signature`] — the
+/// signature is computed for deduplication anyway, so callers that key on it
+/// (the Allow-suite merge) need not recompute it.
+pub fn weakenings_with_signatures(exec: &Execution) -> Vec<(String, Execution)> {
     let mut out = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
     let mut push = |candidate: Execution| {
         if check_well_formed(&candidate).is_ok() {
-            out.push(candidate);
+            let sig = canonical_signature(&candidate);
+            if seen.insert(sig.clone()) {
+                out.push((sig, candidate));
+            }
         }
     };
 
@@ -133,9 +155,30 @@ mod tests {
     fn weakening_a_plain_execution_removes_events_only() {
         let sb = catalog::sb();
         let ws = weakenings(&sb);
-        // Four single-event removals, nothing else (no deps, txns, annots).
-        assert_eq!(ws.len(), 4);
+        // Four single-event removals, but SB is symmetric under swapping its
+        // threads (and locations), so only two canonical weakenings remain:
+        // "drop a write" and "drop a read".
+        assert_eq!(ws.len(), 2);
         assert!(ws.iter().all(|w| w.len() == 3));
+        assert!(ws.iter().any(|w| w.writes().len() == 1));
+        assert!(ws.iter().any(|w| w.reads().len() == 1));
+    }
+
+    #[test]
+    fn weakenings_contain_no_canonical_duplicates() {
+        for exec in [
+            catalog::sb(),
+            catalog::sb_txn(),
+            catalog::wrc(),
+            catalog::fig2(),
+            catalog::power_iriw_two_txns(),
+            catalog::monotonicity_cex_coalesced(),
+        ] {
+            let ws = weakenings(&exec);
+            let sigs: std::collections::HashSet<String> =
+                ws.iter().map(crate::canonical_signature).collect();
+            assert_eq!(sigs.len(), ws.len(), "duplicate weakenings returned");
+        }
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Parity of the axiom-IR evaluator against the retained hand-written
+//! checks.
+//!
+//! Every model's `check_view` now routes through the declarative IR tables
+//! (`tm_models::ir`); the pre-IR predicates are kept for one release as
+//! `check_view_reference` oracles. These tests pin the two paths to
+//! identical verdicts — axiom names, order *and* witnesses — first on the
+//! whole named-execution catalog, then exhaustively on every enumerated
+//! execution at small bounds.
+
+use tm_weak_memory::exec::{catalog, ExecView, Execution};
+use tm_weak_memory::models::isolation;
+use tm_weak_memory::models::{Armv8Model, MemoryModel, PowerModel, Target, X86Model};
+use tm_weak_memory::synth::{enumerate_exact, SynthConfig};
+
+/// Every named execution the repository ships.
+fn full_catalog() -> Vec<Execution> {
+    let mut execs = vec![
+        catalog::fig1(),
+        catalog::fig2(),
+        catalog::power_wrc_tprop1(),
+        catalog::power_wrc_tprop2(),
+        catalog::power_iriw_two_txns(),
+        catalog::power_iriw_one_txn(),
+        catalog::remark_5_1_first(),
+        catalog::remark_5_1_second(),
+        catalog::monotonicity_cex_split(),
+        catalog::monotonicity_cex_coalesced(),
+        catalog::dongol_mp_txn(),
+        catalog::sb(),
+        catalog::sb_txn(),
+        catalog::sb_mfence(),
+        catalog::mp(),
+        catalog::mp_txn(),
+        catalog::lb(),
+        catalog::lb_txn(),
+        catalog::wrc(),
+        catalog::iriw(),
+        catalog::fig10_abstract(),
+    ];
+    for which in ['a', 'b', 'c', 'd'] {
+        execs.push(catalog::fig3(which));
+    }
+    for dmb in [false, true] {
+        execs.push(catalog::example_1_1_concrete(dmb));
+        execs.push(catalog::appendix_b_concrete(dmb));
+    }
+    execs
+}
+
+/// Asserts IR and reference verdicts agree for `model` on `exec`, on both
+/// the memoized and the uncached view.
+fn assert_parity(model: &dyn MemoryModel, exec: &Execution, context: &str) {
+    for view in [ExecView::new(exec), ExecView::uncached(exec)] {
+        let ir = model.check_view(&view);
+        let reference = model.check_view_reference(&view);
+        assert_eq!(
+            ir,
+            reference,
+            "{}: IR and hand-written verdicts differ for {} \
+             (IR: {ir}, reference: {reference})",
+            context,
+            model.name()
+        );
+        assert_eq!(ir.is_consistent(), model.is_consistent_view(&view));
+    }
+}
+
+#[test]
+fn catalog_wide_verdict_parity_for_every_target() {
+    for exec in full_catalog() {
+        for target in Target::ALL {
+            assert_parity(target.model().as_ref(), &exec, "catalog");
+        }
+    }
+}
+
+#[test]
+fn catalog_wide_parity_with_cr_order_enabled() {
+    let models: [Box<dyn MemoryModel>; 3] = [
+        Box::new(X86Model::tm().with_cr_order()),
+        Box::new(PowerModel::tm().with_cr_order()),
+        Box::new(Armv8Model::tm().with_cr_order()),
+    ];
+    for exec in full_catalog() {
+        for model in &models {
+            assert_parity(model.as_ref(), &exec, "catalog+cr");
+        }
+    }
+}
+
+#[test]
+fn catalog_wide_isolation_parity() {
+    for exec in full_catalog() {
+        let view = ExecView::new(&exec);
+        assert_eq!(
+            isolation::weak_isolation_view(&view),
+            isolation::weak_isolation_reference(&view)
+        );
+        assert_eq!(
+            isolation::strong_isolation_view(&view),
+            isolation::strong_isolation_reference(&view)
+        );
+        assert_eq!(
+            isolation::strong_isolation_atomic_view(&view),
+            isolation::strong_isolation_atomic_reference(&view)
+        );
+        assert_eq!(
+            isolation::cr_order_view(&view),
+            isolation::cr_order_reference(&view)
+        );
+    }
+}
+
+/// Exhaustive agreement over every enumerated execution at |E| ≤ `bound`
+/// under `cfg`, for all ten targets at once (one shared view per execution,
+/// exactly as the synthesis sweep uses them).
+fn exhaustive_parity(cfg: &SynthConfig, bound: usize) -> usize {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let models: Vec<Box<dyn MemoryModel>> = Target::ALL.iter().map(|t| t.model()).collect();
+    let checked = AtomicUsize::new(0);
+    for n in 2..=bound {
+        enumerate_exact(cfg, n, |exec| {
+            let view = ExecView::new(exec);
+            for model in &models {
+                let ir = model.check_view(&view);
+                let reference = model.check_view_reference(&view);
+                assert_eq!(
+                    ir,
+                    reference,
+                    "IR and hand-written verdicts differ for {} on:\n{exec:?}",
+                    model.name()
+                );
+                assert_eq!(ir.is_consistent(), model.is_consistent_view(&view));
+            }
+            checked.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    checked.into_inner()
+}
+
+#[test]
+fn exhaustive_parity_on_x86_trimmed_space_up_to_four_events() {
+    // The bench sweep's configuration: 2 threads, 2 locations, MFENCE, one
+    // transaction — release-friendly at |E| ≤ 4 while still covering
+    // fences, transactions and every model's axioms.
+    let mut cfg = SynthConfig::x86(4);
+    cfg.max_threads = 2;
+    cfg.max_locs = 2;
+    cfg.rmws = false;
+    cfg.max_txns = 1;
+    let checked = exhaustive_parity(&cfg, 4);
+    assert!(checked > 1_000, "only {checked} executions enumerated");
+}
+
+#[test]
+fn exhaustive_parity_on_power_space_with_rmws_and_dependencies() {
+    // Smaller bound, richer vocabulary: sync/lwsync fences, address/data
+    // dependencies and RMW pairs exercise TxnCancelsRMW, Propagation and
+    // Observation on both paths.
+    let cfg = SynthConfig::power(3);
+    let checked = exhaustive_parity(&cfg, 3);
+    assert!(checked > 1_000, "only {checked} executions enumerated");
+}
+
+#[test]
+fn exhaustive_parity_on_cpp_annotated_space() {
+    // C++ annotations (relaxed/acquire/release/seq_cst) drive sw, psc and
+    // the HbCom axiom; keep the space small with three events.
+    let mut cfg = SynthConfig::cpp(3);
+    cfg.max_threads = 2;
+    let checked = exhaustive_parity(&cfg, 3);
+    assert!(checked > 500, "only {checked} executions enumerated");
+}
