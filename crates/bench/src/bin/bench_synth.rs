@@ -11,28 +11,34 @@
 //!   copy of the original x86 consistency check, which recomputes every
 //!   derived relation (`sloc`, `fr`, `com`, `tfence`, the lifts) on each
 //!   mention, exactly as the models did before the `ExecView` migration;
-//! * **optimized** — the previous production pipeline: parallel pruned
-//!   enumeration with one memoized [`ExecView`] shared by both model checks
-//!   per execution, driving the retained hand-written axiom predicates
-//!   (`check_view_reference`);
-//! * **ir** — the current pipeline: the same enumeration and shared view,
-//!   but verdicts come from the declarative axiom-IR evaluator with
-//!   hash-consed common-subexpression memoization and cheapest-axiom-first
-//!   early exit. Tracked so IR throughput is pinned from day one.
+//! * **ir** — the per-execution IR pipeline: parallel pruned enumeration,
+//!   one memoized [`ExecView`] per candidate shared by both model checks,
+//!   verdicts from the declarative axiom-IR evaluator with hash-consed
+//!   common-subexpression memoization and cheapest-axiom-first early exit;
+//! * **ir-incremental** — the delta-threading pipeline: the enumerator
+//!   mutates one execution in place and hands each worker's
+//!   [`IncrementalChecker`] the edge delta, so axiom bodies whose
+//!   dependency footprint the delta misses keep their values (and cached
+//!   verdicts) across sibling candidates instead of being recomputed.
 //!
 //! Run with `cargo run --release -p tm-bench --bin bench_synth`; pass a
 //! different event bound as the first argument (default 6). The JSON report
-//! is written to `BENCH_synth.json` in the current directory so the perf
-//! trajectory of the sweep is tracked from PR to PR.
+//! is **appended** to the `runs` trajectory of `BENCH_synth.json` in the
+//! current directory (keyed by configuration and date), so the perf history
+//! of the sweep accumulates from PR to PR instead of being overwritten.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
+use tm_exec::ir::Delta;
 use tm_exec::{ExecView, Execution, Fence};
-use tm_models::{MemoryModel, X86Model};
+use tm_models::ir::IncrementalChecker;
+use tm_models::{MemoryModel, Target, X86Model};
 use tm_relation::Relation;
-use tm_synth::{enumerate_exact, enumerate_exact_reference, SynthConfig};
+use tm_synth::{
+    enumerate_exact, enumerate_exact_incremental, enumerate_exact_reference, SynthConfig,
+};
 
 // ---- the pre-refactor x86 check, kept verbatim as the measured baseline ---
 
@@ -115,8 +121,8 @@ struct Mode {
     name: &'static str,
     executions: usize,
     checks: usize,
-    /// How many checks came back consistent — compared across the two modes
-    /// to guarantee they computed the same thing.
+    /// How many checks came back consistent — compared across the modes to
+    /// guarantee they computed the same thing.
     consistent: usize,
     seconds: f64,
 }
@@ -150,21 +156,9 @@ fn run_baseline(cfg: &SynthConfig, max_events: usize) -> Mode {
     }
 }
 
-/// The shared parallel-sweep driver: one memoized view per execution,
-/// every model checked through `is_consistent`. The two measured
-/// configurations differ only in that predicate:
-///
-/// * **optimized** — the hand-written axiom predicates
-///   (`check_view_reference`), i.e. the previous production pipeline;
-/// * **ir** — the axiom-IR evaluator, where shared subexpressions are
-///   computed once per execution across both models and each check stops at
-///   the first violated axiom, cheapest axioms first.
-fn run_parallel(
-    name: &'static str,
-    cfg: &SynthConfig,
-    max_events: usize,
-    is_consistent: impl Fn(&dyn MemoryModel, &ExecView<'_>) -> bool + Sync,
-) -> Mode {
+/// The per-execution IR sweep: parallel pruned enumeration, one memoized
+/// view per candidate, the axiom-IR evaluator with early exit.
+fn run_ir(cfg: &SynthConfig, max_events: usize) -> Mode {
     let mut executions = 0usize;
     let checks = AtomicUsize::new(0);
     let consistent = AtomicUsize::new(0);
@@ -176,7 +170,7 @@ fn run_parallel(
         executions += enumerate_exact(cfg, n, |exec| {
             let view = ExecView::new(exec);
             for model in models {
-                if is_consistent(model, &view) {
+                if model.is_consistent_view(&view) {
                     consistent.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -184,12 +178,80 @@ fn run_parallel(
         });
     }
     Mode {
-        name,
+        name: "ir",
         executions,
         checks: checks.into_inner(),
         consistent: consistent.into_inner(),
         seconds: start.elapsed().as_secs_f64(),
     }
+}
+
+/// The incremental IR sweep: the enumerator mutates one execution in place
+/// and threads the edge delta to a per-worker [`IncrementalChecker`], which
+/// re-evaluates only the axiom bodies the delta's footprint touches.
+fn run_incremental(cfg: &SynthConfig, max_events: usize) -> Mode {
+    let mut executions = 0usize;
+    let checks = AtomicUsize::new(0);
+    let consistent = AtomicUsize::new(0);
+    let start = Instant::now();
+    for n in 2..=max_events {
+        executions += enumerate_exact_incremental(cfg, n, || {
+            let mut checker = IncrementalChecker::new();
+            let (checks, consistent) = (&checks, &consistent);
+            move |exec: &Execution, delta: &Delta| {
+                checker.advance(exec, delta);
+                for target in [Target::X86Tm, Target::X86] {
+                    if checker.is_consistent(exec, target) {
+                        consistent.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                checks.fetch_add(2, Ordering::Relaxed);
+            }
+        });
+    }
+    Mode {
+        name: "ir-incremental",
+        executions,
+        checks: checks.into_inner(),
+        consistent: consistent.into_inner(),
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, via the days-to-civil algorithm (no
+/// date-time dependency in this workspace).
+fn today_utc() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Appends `run` to the `runs` array of the trajectory file, creating the
+/// file (or replacing a pre-trajectory snapshot) if needed.
+fn append_run(path: &str, run: &str) {
+    let fresh = format!("{{\n  \"bench\": \"synth-sweep\",\n  \"runs\": [\n{run}\n  ]\n}}\n");
+    let updated = match std::fs::read_to_string(path) {
+        Ok(existing) if existing.contains("\"runs\": [") => {
+            match existing.rfind("\n  ]") {
+                // Splice the new run in front of the array's closing bracket.
+                Some(pos) => format!("{},\n{run}{}", &existing[..pos], &existing[pos..]),
+                None => fresh,
+            }
+        }
+        _ => fresh,
+    };
+    std::fs::write(path, updated).expect("write BENCH_synth.json");
 }
 
 fn main() {
@@ -207,34 +269,23 @@ fn main() {
 
     eprintln!("sweep: x86-trimmed, |E| = 2..={max_events}, 2 models per execution");
     let baseline = run_baseline(&cfg, max_events);
-    eprintln!(
-        "baseline : {} executions ({} checks) in {:.3}s = {:.0} execs/s",
-        baseline.executions,
-        baseline.checks,
-        baseline.seconds,
-        baseline.execs_per_sec()
-    );
-    let optimized = run_parallel("optimized", &cfg, max_events, |model, view| {
-        model.check_view_reference(view).is_consistent()
-    });
-    eprintln!(
-        "optimized: {} executions ({} checks) in {:.3}s = {:.0} execs/s",
-        optimized.executions,
-        optimized.checks,
-        optimized.seconds,
-        optimized.execs_per_sec()
-    );
-    let ir = run_parallel("ir", &cfg, max_events, |model, view| {
-        model.is_consistent_view(view)
-    });
-    eprintln!(
-        "ir       : {} executions ({} checks) in {:.3}s = {:.0} execs/s",
-        ir.executions,
-        ir.checks,
-        ir.seconds,
-        ir.execs_per_sec()
-    );
-    for mode in [&optimized, &ir] {
+    let modes = [
+        baseline,
+        run_ir(&cfg, max_events),
+        run_incremental(&cfg, max_events),
+    ];
+    for mode in &modes {
+        eprintln!(
+            "{:<14}: {} executions ({} checks) in {:.3}s = {:.0} execs/s",
+            mode.name,
+            mode.executions,
+            mode.checks,
+            mode.seconds,
+            mode.execs_per_sec()
+        );
+    }
+    let [baseline, ir, incremental] = &modes;
+    for mode in [ir, incremental] {
         assert_eq!(
             baseline.executions, mode.executions,
             "all pipelines must visit the same space"
@@ -246,41 +297,49 @@ fn main() {
         );
     }
 
-    let speedup = optimized.execs_per_sec() / baseline.execs_per_sec();
     let ir_speedup = ir.execs_per_sec() / baseline.execs_per_sec();
-    let ir_vs_optimized = ir.execs_per_sec() / optimized.execs_per_sec();
-    eprintln!("speedup  : memoized {speedup:.2}x, ir {ir_speedup:.2}x (ir/memoized {ir_vs_optimized:.2}x)");
+    let incremental_speedup = incremental.execs_per_sec() / baseline.execs_per_sec();
+    let incremental_vs_ir = incremental.execs_per_sec() / ir.execs_per_sec();
+    eprintln!(
+        "speedup over baseline: ir {ir_speedup:.2}x, ir-incremental {incremental_speedup:.2}x \
+         (incremental/ir {incremental_vs_ir:.2}x)"
+    );
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"synth-sweep\",");
-    let _ = writeln!(json, "  \"config\": \"x86-trimmed\",");
-    let _ = writeln!(json, "  \"max_events\": {max_events},");
-    let _ = writeln!(json, "  \"models_per_execution\": 2,");
+    let mut run = String::new();
+    run.push_str("    {\n");
+    let _ = writeln!(run, "      \"date\": \"{}\",", today_utc());
+    let _ = writeln!(run, "      \"config\": \"x86-trimmed\",");
+    let _ = writeln!(run, "      \"max_events\": {max_events},");
+    let _ = writeln!(run, "      \"models_per_execution\": 2,");
     let _ = writeln!(
-        json,
-        "  \"threads\": {},",
+        run,
+        "      \"threads\": {},",
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     );
-    for mode in [&baseline, &optimized, &ir] {
-        let _ = writeln!(json, "  \"{}\": {{", mode.name);
-        let _ = writeln!(json, "    \"executions\": {},", mode.executions);
-        let _ = writeln!(json, "    \"checks\": {},", mode.checks);
-        let _ = writeln!(json, "    \"seconds\": {:.6},", mode.seconds);
+    let _ = writeln!(run, "      \"modes\": {{");
+    for (i, mode) in modes.iter().enumerate() {
+        let _ = writeln!(run, "        \"{}\": {{", mode.name);
+        let _ = writeln!(run, "          \"executions\": {},", mode.executions);
+        let _ = writeln!(run, "          \"checks\": {},", mode.checks);
+        let _ = writeln!(run, "          \"seconds\": {:.6},", mode.seconds);
         let _ = writeln!(
-            json,
-            "    \"executions_per_sec\": {:.1}",
+            run,
+            "          \"executions_per_sec\": {:.1}",
             mode.execs_per_sec()
         );
-        let _ = writeln!(json, "  }},");
+        let comma = if i + 1 < modes.len() { "," } else { "" };
+        let _ = writeln!(run, "        }}{comma}");
     }
-    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
-    let _ = writeln!(json, "  \"ir_speedup\": {ir_speedup:.3},");
-    let _ = writeln!(json, "  \"ir_vs_optimized\": {ir_vs_optimized:.3}");
-    json.push_str("}\n");
+    let _ = writeln!(run, "      }},");
+    let _ = writeln!(run, "      \"speedups\": {{");
+    let _ = writeln!(run, "        \"ir\": {ir_speedup:.3},");
+    let _ = writeln!(run, "        \"ir_incremental\": {incremental_speedup:.3},");
+    let _ = writeln!(run, "        \"incremental_vs_ir\": {incremental_vs_ir:.3}");
+    let _ = writeln!(run, "      }}");
+    run.push_str("    }");
 
-    std::fs::write("BENCH_synth.json", &json).expect("write BENCH_synth.json");
-    println!("{json}");
+    append_run("BENCH_synth.json", &run);
+    println!("{run}");
 }

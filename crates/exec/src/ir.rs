@@ -791,6 +791,859 @@ pub fn txn_polarity(pool: &IrPool, id: RelId) -> Polarity {
     })
 }
 
+// ---- incremental evaluation ------------------------------------------------
+
+/// A bitmask over the *mutable inputs* of an execution: the primitive
+/// relations an enumerator edits between sibling candidates (`po`, `rf`,
+/// `co`, the dependency relations, `rmw`, and the transaction/region
+/// memberships).
+///
+/// Every interned expression node carries a **dependency footprint** — the
+/// mask of inputs its value transitively reads — computed once per pool by
+/// [`IncrementalEval::new`]. Applying a [`Delta`] then touches only the
+/// nodes whose footprint intersects the delta's mask; everything else keeps
+/// its cached value across sibling candidates in the enumeration tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct DeltaMask(u16);
+
+impl DeltaMask {
+    /// The empty mask: nothing changed.
+    pub const NONE: DeltaMask = DeltaMask(0);
+    /// Program order changed.
+    pub const PO: DeltaMask = DeltaMask(1 << 0);
+    /// Reads-from changed.
+    pub const RF: DeltaMask = DeltaMask(1 << 1);
+    /// Coherence changed.
+    pub const CO: DeltaMask = DeltaMask(1 << 2);
+    /// Address dependencies changed.
+    pub const ADDR: DeltaMask = DeltaMask(1 << 3);
+    /// Data dependencies changed.
+    pub const DATA: DeltaMask = DeltaMask(1 << 4);
+    /// Control dependencies changed.
+    pub const CTRL: DeltaMask = DeltaMask(1 << 5);
+    /// The RMW pairing changed.
+    pub const RMW: DeltaMask = DeltaMask(1 << 6);
+    /// Successful-transaction membership changed.
+    pub const STXN: DeltaMask = DeltaMask(1 << 7);
+    /// Atomic-transaction membership changed.
+    pub const STXNAT: DeltaMask = DeltaMask(1 << 8);
+    /// Critical-region membership changed.
+    pub const SCR: DeltaMask = DeltaMask(1 << 9);
+    /// Every input changed.
+    pub const ALL: DeltaMask = DeltaMask((1 << 10) - 1);
+
+    /// True if no input is in the mask.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if the two masks share an input.
+    pub fn intersects(self, other: DeltaMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// The mutable input a *primitive* base relation reads, or `None` for
+    /// the derived bases (whose footprints combine several inputs).
+    pub fn of_primitive(base: RelBase) -> Option<DeltaMask> {
+        match base {
+            RelBase::Po => Some(DeltaMask::PO),
+            RelBase::Rf => Some(DeltaMask::RF),
+            RelBase::Co => Some(DeltaMask::CO),
+            RelBase::Addr => Some(DeltaMask::ADDR),
+            RelBase::Data => Some(DeltaMask::DATA),
+            RelBase::Ctrl => Some(DeltaMask::CTRL),
+            RelBase::Rmw => Some(DeltaMask::RMW),
+            RelBase::Stxn => Some(DeltaMask::STXN),
+            RelBase::Stxnat => Some(DeltaMask::STXNAT),
+            RelBase::Scr => Some(DeltaMask::SCR),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::BitOr for DeltaMask {
+    type Output = DeltaMask;
+    fn bitor(self, rhs: DeltaMask) -> DeltaMask {
+        DeltaMask(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for DeltaMask {
+    fn bitor_assign(&mut self, rhs: DeltaMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+/// The footprint of a base relation, split by sign: `(positive, negative)`.
+///
+/// An input in the positive mask only can be maintained under edge
+/// *addition* by semi-naïve delta propagation; an input in the negative
+/// mask (which also covers mixed occurrences — e.g. `stxn` in `tfence`, or
+/// `rf`/`co` in `fr`, which this crate defines by *subtracting* a growing
+/// exclusion set) forces re-evaluation when it changes.
+fn base_masks(base: RelBase) -> (DeltaMask, DeltaMask) {
+    use RelBase::*;
+    let rfco = DeltaMask::RF | DeltaMask::CO;
+    match base {
+        Po | Poloc | PoDiffLoc | FenceRel(_) => (DeltaMask::PO, DeltaMask::NONE),
+        Rf | Rfe | Rfi => (DeltaMask::RF, DeltaMask::NONE),
+        Co | Coe => (DeltaMask::CO, DeltaMask::NONE),
+        Addr => (DeltaMask::ADDR, DeltaMask::NONE),
+        Data => (DeltaMask::DATA, DeltaMask::NONE),
+        Ctrl => (DeltaMask::CTRL, DeltaMask::NONE),
+        Rmw => (DeltaMask::RMW, DeltaMask::NONE),
+        Stxn => (DeltaMask::STXN, DeltaMask::NONE),
+        Stxnat => (DeltaMask::STXNAT, DeltaMask::NONE),
+        Scr => (DeltaMask::SCR, DeltaMask::NONE),
+        // Event-kind structure only: constant while the shape is fixed.
+        Sloc | Cnf => (DeltaMask::NONE, DeltaMask::NONE),
+        // fr subtracts an exclusion set that grows with rf and co, so it can
+        // only *shrink* under additions; everything built on it is tainted.
+        Fr | Fre => (DeltaMask::NONE, rfco),
+        Com | Come | Ecom => (rfco, rfco),
+        // tfence = po ∩ ((¬stxn ; stxn) ∪ (stxn ; ¬stxn)): mixed in stxn.
+        Tfence => (DeltaMask::PO | DeltaMask::STXN, DeltaMask::STXN),
+    }
+}
+
+fn set_base_masks(base: SetBase) -> (DeltaMask, DeltaMask) {
+    match base {
+        SetBase::RmwDomain | SetBase::RmwRange => (DeltaMask::RMW, DeltaMask::NONE),
+        _ => (DeltaMask::NONE, DeltaMask::NONE),
+    }
+}
+
+/// A record of edits applied to an execution since the last
+/// [`IncrementalEval::apply`], built through the `add_edge`/`remove_edge`
+/// hooks as the enumerator mutates the execution in place.
+///
+/// The delta distinguishes pure *additions* (which monotone nodes absorb by
+/// semi-naïve propagation) from edits involving removals (which fall back
+/// to footprint-based invalidation), and a *full* delta (a brand-new
+/// execution: every cache is dropped).
+#[derive(Clone, Debug)]
+pub struct Delta {
+    mask: DeltaMask,
+    additions_only: bool,
+    full: bool,
+    added: Vec<(RelBase, usize, usize)>,
+}
+
+impl Default for Delta {
+    fn default() -> Delta {
+        Delta::new()
+    }
+}
+
+impl Delta {
+    /// An empty delta: nothing changed yet.
+    pub fn new() -> Delta {
+        Delta {
+            mask: DeltaMask::NONE,
+            additions_only: true,
+            full: false,
+            added: Vec::new(),
+        }
+    }
+
+    /// The delta that invalidates everything — used when a new execution
+    /// replaces the previous one (new shape vector, new universe).
+    pub fn everything() -> Delta {
+        Delta {
+            mask: DeltaMask::ALL,
+            additions_only: false,
+            full: true,
+            added: Vec::new(),
+        }
+    }
+
+    /// Forgets all recorded edits (after the consumer has applied them).
+    pub fn clear(&mut self) {
+        self.mask = DeltaMask::NONE;
+        self.additions_only = true;
+        self.full = false;
+        self.added.clear();
+    }
+
+    /// Records the addition of pair `(a, b)` to a primitive base relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is a derived relation — only the primitives stored
+    /// on the [`Execution`] can be edited directly.
+    pub fn add_edge(&mut self, base: RelBase, a: usize, b: usize) {
+        let mask = DeltaMask::of_primitive(base)
+            .unwrap_or_else(|| panic!("{base:?} is derived, not an editable input"));
+        self.mask |= mask;
+        self.added.push((base, a, b));
+    }
+
+    /// Records the removal of pair `(a, b)` from a primitive base relation.
+    ///
+    /// Removals disable semi-naïve maintenance for this delta: affected
+    /// nodes are invalidated and recomputed on next use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is a derived relation.
+    pub fn remove_edge(&mut self, base: RelBase, _a: usize, _b: usize) {
+        let mask = DeltaMask::of_primitive(base)
+            .unwrap_or_else(|| panic!("{base:?} is derived, not an editable input"));
+        self.mask |= mask;
+        self.additions_only = false;
+    }
+
+    /// Marks whole input families as changed without pair-level detail
+    /// (treated like removals: invalidation, not propagation).
+    pub fn touch(&mut self, mask: DeltaMask) {
+        self.mask |= mask;
+        self.additions_only = false;
+    }
+
+    /// The inputs this delta touches.
+    pub fn mask(&self) -> DeltaMask {
+        self.mask
+    }
+
+    /// True if no edit has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.mask.is_empty() && !self.full
+    }
+
+    /// True if every recorded edit was an addition.
+    pub fn is_additions_only(&self) -> bool {
+        self.additions_only
+    }
+
+    /// True if this delta replaces the execution wholesale.
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// The added pairs of one primitive family, as a relation over
+    /// `universe`.
+    fn added_relation(&self, family: RelBase, universe: usize) -> Relation {
+        let mut d = Relation::new(universe);
+        for &(base, a, b) in &self.added {
+            if base == family {
+                d.insert(a, b);
+            }
+        }
+        d
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct HeadCache {
+    acyclic: Option<bool>,
+    irreflexive: Option<bool>,
+    empty: Option<bool>,
+}
+
+/// How one node fared during an additions-only propagation pass.
+enum Grown<T> {
+    /// Footprint disjoint from the delta: value and delta (= ∅) unchanged.
+    Clean,
+    /// Value updated in place; the recorded relation is what was added.
+    Grew(T),
+    /// Value dropped (non-monotone node, or no cached value to extend).
+    Lost,
+}
+
+/// A *stateful* evaluator of interned expressions that survives across the
+/// candidates of an enumeration sweep — the incremental sibling of the
+/// per-execution [`IrEval`].
+///
+/// Where [`IrEval`] memoizes within one execution and is discarded with its
+/// [`ExecView`], an `IncrementalEval` keeps every node value alive and is
+/// told *what changed* between candidates through [`Delta`]s:
+///
+/// * nodes whose dependency footprint is disjoint from the delta keep their
+///   cached values (and cached head verdicts) untouched;
+/// * under a pure-*addition* delta, nodes that are syntactically monotone
+///   (positive) in every changed input are **maintained** by semi-naïve
+///   delta propagation — `Δ(a ∪ b) = Δa ∪ Δb`, `Δ(a ; b) = Δa;b ∪ a;Δb`,
+///   `Δ(a⁺) = (a⁺? ; Δa ; a⁺?)⁺`, and so on — instead of being recomputed;
+/// * all other affected nodes are invalidated and lazily re-evaluated on
+///   next use.
+///
+/// The caller owns the evolving [`Execution`] and must mutate it *before*
+/// applying the matching delta; `tm_synth`'s incremental enumeration drives
+/// exactly this protocol.
+pub struct IncrementalEval<'p> {
+    pool: &'p IrPool,
+    universe: usize,
+    rel_vals: Vec<Option<Relation>>,
+    set_vals: Vec<Option<ElemSet>>,
+    heads: Vec<HeadCache>,
+    rel_pos: Vec<DeltaMask>,
+    rel_neg: Vec<DeltaMask>,
+    set_pos: Vec<DeltaMask>,
+    set_neg: Vec<DeltaMask>,
+    same_thread: Option<Relation>,
+}
+
+impl<'p> IncrementalEval<'p> {
+    /// Creates an evaluator for `pool`, computing every node's dependency
+    /// footprint bottom-up (children are always interned before parents, so
+    /// one ascending pass suffices).
+    pub fn new(pool: &'p IrPool) -> IncrementalEval<'p> {
+        let mut set_pos = Vec::with_capacity(pool.set_count());
+        let mut set_neg = Vec::with_capacity(pool.set_count());
+        for i in 0..pool.set_count() {
+            let (p, n) = match pool.set_expr(SetId(i as u32)) {
+                SetExpr::Base(b) => set_base_masks(b),
+                SetExpr::Union(a, b) | SetExpr::Inter(a, b) => (
+                    set_pos[a.index()] | set_pos[b.index()],
+                    set_neg[a.index()] | set_neg[b.index()],
+                ),
+            };
+            set_pos.push(p);
+            set_neg.push(n);
+        }
+        let mut rel_pos: Vec<DeltaMask> = Vec::with_capacity(pool.rel_count());
+        let mut rel_neg: Vec<DeltaMask> = Vec::with_capacity(pool.rel_count());
+        for i in 0..pool.rel_count() {
+            let (p, n) = match pool.rel_expr(RelId(i as u32)) {
+                RelExpr::Base(b) => base_masks(b),
+                RelExpr::IdOn(s) => (set_pos[s.index()], set_neg[s.index()]),
+                RelExpr::Cross(a, b) => (
+                    set_pos[a.index()] | set_pos[b.index()],
+                    set_neg[a.index()] | set_neg[b.index()],
+                ),
+                RelExpr::Seq(a, b) | RelExpr::Union(a, b) | RelExpr::Inter(a, b) => (
+                    rel_pos[a.index()] | rel_pos[b.index()],
+                    rel_neg[a.index()] | rel_neg[b.index()],
+                ),
+                // The right operand of a difference flips sign.
+                RelExpr::Diff(a, b) => (
+                    rel_pos[a.index()] | rel_neg[b.index()],
+                    rel_neg[a.index()] | rel_pos[b.index()],
+                ),
+                RelExpr::Inverse(a) | RelExpr::Opt(a) | RelExpr::Plus(a) | RelExpr::Star(a) => {
+                    (rel_pos[a.index()], rel_neg[a.index()])
+                }
+                // lift(r, t) = t⟨?⟩ ; (r \ t) ; t⟨?⟩ — t occurs mixed.
+                RelExpr::WeakLift(a, t) | RelExpr::StrongLift(a, t) => {
+                    let mixed = rel_pos[t.index()] | rel_neg[t.index()];
+                    (rel_pos[a.index()] | mixed, rel_neg[a.index()] | mixed)
+                }
+            };
+            rel_pos.push(p);
+            rel_neg.push(n);
+        }
+        IncrementalEval {
+            pool,
+            universe: 0,
+            rel_vals: vec![None; pool.rel_count()],
+            set_vals: vec![None; pool.set_count()],
+            heads: vec![HeadCache::default(); pool.rel_count()],
+            rel_pos,
+            rel_neg,
+            set_pos,
+            set_neg,
+            same_thread: None,
+        }
+    }
+
+    /// The pool this evaluator interprets.
+    pub fn pool(&self) -> &'p IrPool {
+        self.pool
+    }
+
+    /// The full dependency footprint of a relation node.
+    pub fn footprint(&self, id: RelId) -> DeltaMask {
+        self.rel_pos[id.index()] | self.rel_neg[id.index()]
+    }
+
+    /// The inputs in which a relation node is *not* monotonically
+    /// non-decreasing (negative or mixed occurrences): a pure-addition delta
+    /// touching any of them forces re-evaluation rather than propagation.
+    pub fn nonmonotone_inputs(&self, id: RelId) -> DeltaMask {
+        self.rel_neg[id.index()]
+    }
+
+    /// Drops every cached value: the next queries recompute from `exec`.
+    pub fn reset(&mut self, exec: &Execution) {
+        self.universe = exec.len();
+        self.rel_vals.iter_mut().for_each(|v| *v = None);
+        self.set_vals.iter_mut().for_each(|v| *v = None);
+        self.heads
+            .iter_mut()
+            .for_each(|h| *h = HeadCache::default());
+        self.same_thread = None;
+    }
+
+    /// Absorbs one delta: the caller has already mutated `exec` accordingly.
+    ///
+    /// Full deltas (and universe changes) reset everything; deltas with
+    /// removals invalidate by footprint; pure-addition deltas are propagated
+    /// semi-naïvely through monotone nodes and invalidate only the rest.
+    pub fn apply(&mut self, exec: &Execution, delta: &Delta) {
+        if delta.is_full() || exec.len() != self.universe {
+            self.reset(exec);
+            return;
+        }
+        if delta.is_empty() {
+            return;
+        }
+        if !delta.is_additions_only() {
+            self.invalidate(delta.mask());
+            return;
+        }
+        self.propagate_additions(exec, delta);
+    }
+
+    /// Drops the cached value (and head verdicts) of every node whose
+    /// footprint intersects `mask`.
+    fn invalidate(&mut self, mask: DeltaMask) {
+        for i in 0..self.pool.set_count() {
+            if (self.set_pos[i] | self.set_neg[i]).intersects(mask) {
+                self.set_vals[i] = None;
+            }
+        }
+        for i in 0..self.pool.rel_count() {
+            if (self.rel_pos[i] | self.rel_neg[i]).intersects(mask) {
+                self.rel_vals[i] = None;
+                self.heads[i] = HeadCache::default();
+            }
+        }
+    }
+
+    /// Semi-naïve pass for a pure-addition delta: one ascending sweep over
+    /// the pool (children before parents), growing monotone cached values in
+    /// place and invalidating the rest.
+    fn propagate_additions(&mut self, exec: &Execution, delta: &Delta) {
+        let mask = delta.mask();
+        if mask.intersects(DeltaMask::RF | DeltaMask::CO) && self.same_thread.is_none() {
+            self.same_thread = Some(exec.same_thread());
+        }
+
+        // Sets first: relation nodes only consume them, never the reverse.
+        let mut set_grown: Vec<Grown<ElemSet>> = Vec::with_capacity(self.pool.set_count());
+        for i in 0..self.pool.set_count() {
+            if !(self.set_pos[i] | self.set_neg[i]).intersects(mask) {
+                set_grown.push(Grown::Clean);
+                continue;
+            }
+            let d = if self.set_neg[i].intersects(mask) || self.set_vals[i].is_none() {
+                None
+            } else {
+                self.set_delta(SetId(i as u32), delta, &set_grown)
+            };
+            match d {
+                Some(d) => {
+                    let merged = self.set_vals[i].as_ref().unwrap().union(&d);
+                    self.set_vals[i] = Some(merged);
+                    set_grown.push(Grown::Grew(d));
+                }
+                None => {
+                    self.set_vals[i] = None;
+                    set_grown.push(Grown::Lost);
+                }
+            }
+        }
+
+        let mut rel_grown: Vec<Grown<Relation>> = Vec::with_capacity(self.pool.rel_count());
+        for i in 0..self.pool.rel_count() {
+            if !(self.rel_pos[i] | self.rel_neg[i]).intersects(mask) {
+                rel_grown.push(Grown::Clean);
+                continue;
+            }
+            let d = if self.rel_neg[i].intersects(mask) || self.rel_vals[i].is_none() {
+                None
+            } else {
+                self.rel_delta(RelId(i as u32), delta, &rel_grown, &set_grown)
+            };
+            match d {
+                Some(d) => {
+                    if !d.is_empty() {
+                        self.rel_vals[i].as_mut().unwrap().union_in_place(&d);
+                        self.heads[i] = HeadCache::default();
+                    }
+                    rel_grown.push(Grown::Grew(d));
+                }
+                None => {
+                    self.rel_vals[i] = None;
+                    self.heads[i] = HeadCache::default();
+                    rel_grown.push(Grown::Lost);
+                }
+            }
+        }
+    }
+
+    /// The growth of one monotone set node under an addition delta, or
+    /// `None` if a needed child value or child delta is unavailable.
+    fn set_delta(&self, id: SetId, delta: &Delta, grown: &[Grown<ElemSet>]) -> Option<ElemSet> {
+        let child = |s: SetId| -> Option<ElemSet> {
+            match &grown[s.index()] {
+                Grown::Clean => Some(ElemSet::new(self.universe)),
+                Grown::Grew(d) => Some(d.clone()),
+                Grown::Lost => None,
+            }
+        };
+        match self.pool.set_expr(id) {
+            SetExpr::Base(SetBase::RmwDomain) => Some(ElemSet::from_iter(
+                self.universe,
+                delta
+                    .added
+                    .iter()
+                    .filter(|&&(b, _, _)| b == RelBase::Rmw)
+                    .map(|&(_, a, _)| a),
+            )),
+            SetExpr::Base(SetBase::RmwRange) => Some(ElemSet::from_iter(
+                self.universe,
+                delta
+                    .added
+                    .iter()
+                    .filter(|&&(b, _, _)| b == RelBase::Rmw)
+                    .map(|&(_, _, b)| b),
+            )),
+            // Other base sets are constant: they cannot reach this path.
+            SetExpr::Base(_) => None,
+            SetExpr::Union(a, b) => Some(child(a)?.union(&child(b)?)),
+            SetExpr::Inter(a, b) => {
+                let (da, db) = (child(a)?, child(b)?);
+                let va = self.set_vals[a.index()].as_ref()?;
+                let vb = self.set_vals[b.index()].as_ref()?;
+                Some(da.intersection(vb).union(&va.intersection(&db)))
+            }
+        }
+    }
+
+    /// The growth of one monotone relation node under an addition delta, or
+    /// `None` if the node cannot be maintained (fall back to invalidation).
+    ///
+    /// Each returned delta `Δ` satisfies `new \ old ⊆ Δ ⊆ new`, which makes
+    /// `old ∪ Δ` exactly the new value for monotone nodes.
+    fn rel_delta(
+        &self,
+        id: RelId,
+        delta: &Delta,
+        rel_grown: &[Grown<Relation>],
+        set_grown: &[Grown<ElemSet>],
+    ) -> Option<Relation> {
+        let child = |r: RelId| -> Option<Relation> {
+            match &rel_grown[r.index()] {
+                Grown::Clean => Some(Relation::new(self.universe)),
+                Grown::Grew(d) => Some(d.clone()),
+                Grown::Lost => None,
+            }
+        };
+        let set_child = |s: SetId| -> Option<ElemSet> {
+            match &set_grown[s.index()] {
+                Grown::Clean => Some(ElemSet::new(self.universe)),
+                Grown::Grew(d) => Some(d.clone()),
+                Grown::Lost => None,
+            }
+        };
+        let value = |r: RelId| self.rel_vals[r.index()].as_ref();
+        match self.pool.rel_expr(id) {
+            RelExpr::Base(base) => self.base_delta(base, delta),
+            RelExpr::IdOn(s) => Some(Relation::identity_on(&set_child(s)?)),
+            RelExpr::Cross(a, b) => {
+                let (da, db) = (set_child(a)?, set_child(b)?);
+                let va = self.set_vals[a.index()].as_ref()?;
+                let vb = self.set_vals[b.index()].as_ref()?;
+                let mut out = Relation::cross(&da, vb);
+                out.union_in_place(&Relation::cross(va, &db));
+                Some(out)
+            }
+            RelExpr::Seq(a, b) => {
+                let (da, db) = (child(a)?, child(b)?);
+                let mut out = da.compose(value(b)?);
+                out.union_in_place(&value(a)?.compose(&db));
+                Some(out)
+            }
+            RelExpr::Union(a, b) => {
+                let mut out = child(a)?;
+                out.union_in_place(&child(b)?);
+                Some(out)
+            }
+            RelExpr::Inter(a, b) => {
+                let (da, db) = (child(a)?, child(b)?);
+                let mut left = da;
+                left.intersect_in_place(value(b)?);
+                let mut right = value(a)?.clone();
+                right.intersect_in_place(&db);
+                left.union_in_place(&right);
+                Some(left)
+            }
+            RelExpr::Diff(a, b) => {
+                // The polarity gate guarantees b is untouched by this delta.
+                let mut out = child(a)?;
+                out.difference_in_place(value(b)?);
+                Some(out)
+            }
+            RelExpr::Inverse(a) => Some(child(a)?.inverse()),
+            RelExpr::Opt(a) => child(a),
+            RelExpr::Plus(a) => {
+                // (a ∪ Δ)⁺ = a⁺ ∪ (a⁺? ; Δ ; a⁺?)⁺ — every new path is an
+                // alternation of old paths and new edges.
+                let da = child(a)?;
+                let cq = value(id)?.reflexive_closure();
+                let mut d = cq.compose(&da).compose(&cq);
+                d.transitive_closure_in_place();
+                Some(d)
+            }
+            RelExpr::Star(a) => {
+                // Same as Plus, with the reflexive old value as the spine.
+                let da = child(a)?;
+                let c = value(id)?;
+                let mut d = c.compose(&da).compose(c);
+                d.transitive_closure_in_place();
+                Some(d)
+            }
+            RelExpr::WeakLift(a, t) => {
+                // weaklift distributes over unions of its first operand.
+                Some(Execution::weaklift(&child(a)?, value(t)?))
+            }
+            RelExpr::StrongLift(a, t) => Some(Execution::stronglift(&child(a)?, value(t)?)),
+        }
+    }
+
+    /// The growth of a base node under an addition delta.
+    fn base_delta(&self, base: RelBase, delta: &Delta) -> Option<Relation> {
+        if DeltaMask::of_primitive(base).is_some() {
+            return Some(delta.added_relation(base, self.universe));
+        }
+        match base {
+            RelBase::Rfe => {
+                let mut d = delta.added_relation(RelBase::Rf, self.universe);
+                d.difference_in_place(self.same_thread.as_ref()?);
+                Some(d)
+            }
+            RelBase::Rfi => {
+                let mut d = delta.added_relation(RelBase::Rf, self.universe);
+                d.intersect_in_place(self.same_thread.as_ref()?);
+                Some(d)
+            }
+            RelBase::Coe => {
+                let mut d = delta.added_relation(RelBase::Co, self.universe);
+                d.difference_in_place(self.same_thread.as_ref()?);
+                Some(d)
+            }
+            // The remaining derived bases are either constant (never reach
+            // this path) or non-monotone (filtered by the polarity gate).
+            _ => None,
+        }
+    }
+
+    /// The current value of a set expression, computing it if missing.
+    pub fn set(&mut self, exec: &Execution, id: SetId) -> &ElemSet {
+        self.ensure_set(exec, id);
+        self.set_vals[id.index()].as_ref().unwrap()
+    }
+
+    fn ensure_set(&mut self, exec: &Execution, id: SetId) {
+        if self.set_vals[id.index()].is_some() {
+            return;
+        }
+        let value = match self.pool.set_expr(id) {
+            SetExpr::Base(base) => match base {
+                SetBase::Reads => exec.reads(),
+                SetBase::Writes => exec.writes(),
+                SetBase::Fences => exec.fences(),
+                SetBase::Acquires => exec.acquires(),
+                SetBase::Releases => exec.releases(),
+                SetBase::ScEvents => exec.sc_events(),
+                SetBase::Atomics => exec.atomics(),
+                SetBase::FencesOf(kind) => exec.fences_of(kind),
+                SetBase::RmwDomain => exec.rmw.domain(),
+                SetBase::RmwRange => exec.rmw.range(),
+            },
+            SetExpr::Union(a, b) => {
+                self.ensure_set(exec, a);
+                self.ensure_set(exec, b);
+                self.set_vals[a.index()]
+                    .as_ref()
+                    .unwrap()
+                    .union(self.set_vals[b.index()].as_ref().unwrap())
+            }
+            SetExpr::Inter(a, b) => {
+                self.ensure_set(exec, a);
+                self.ensure_set(exec, b);
+                self.set_vals[a.index()]
+                    .as_ref()
+                    .unwrap()
+                    .intersection(self.set_vals[b.index()].as_ref().unwrap())
+            }
+        };
+        self.set_vals[id.index()] = Some(value);
+    }
+
+    /// The current value of a relation expression, computing it if missing.
+    pub fn rel(&mut self, exec: &Execution, id: RelId) -> &Relation {
+        self.ensure_rel(exec, id);
+        self.rel_vals[id.index()].as_ref().unwrap()
+    }
+
+    fn ensure_rel(&mut self, exec: &Execution, id: RelId) {
+        if self.rel_vals[id.index()].is_some() {
+            return;
+        }
+        let value = match self.pool.rel_expr(id) {
+            RelExpr::Base(base) => Self::base_value(exec, base),
+            RelExpr::IdOn(s) => {
+                self.ensure_set(exec, s);
+                Relation::identity_on(self.set_vals[s.index()].as_ref().unwrap())
+            }
+            RelExpr::Cross(a, b) => {
+                self.ensure_set(exec, a);
+                self.ensure_set(exec, b);
+                Relation::cross(
+                    self.set_vals[a.index()].as_ref().unwrap(),
+                    self.set_vals[b.index()].as_ref().unwrap(),
+                )
+            }
+            RelExpr::Seq(a, b) => {
+                self.ensure_rel(exec, a);
+                self.ensure_rel(exec, b);
+                self.rel_vals[a.index()]
+                    .as_ref()
+                    .unwrap()
+                    .compose(self.rel_vals[b.index()].as_ref().unwrap())
+            }
+            RelExpr::Union(a, b) => {
+                self.ensure_rel(exec, a);
+                self.ensure_rel(exec, b);
+                let mut out = self.rel_vals[a.index()].as_ref().unwrap().clone();
+                out.union_in_place(self.rel_vals[b.index()].as_ref().unwrap());
+                out
+            }
+            RelExpr::Inter(a, b) => {
+                self.ensure_rel(exec, a);
+                self.ensure_rel(exec, b);
+                let mut out = self.rel_vals[a.index()].as_ref().unwrap().clone();
+                out.intersect_in_place(self.rel_vals[b.index()].as_ref().unwrap());
+                out
+            }
+            RelExpr::Diff(a, b) => {
+                self.ensure_rel(exec, a);
+                self.ensure_rel(exec, b);
+                let mut out = self.rel_vals[a.index()].as_ref().unwrap().clone();
+                out.difference_in_place(self.rel_vals[b.index()].as_ref().unwrap());
+                out
+            }
+            RelExpr::Inverse(a) => {
+                self.ensure_rel(exec, a);
+                self.rel_vals[a.index()].as_ref().unwrap().inverse()
+            }
+            RelExpr::Opt(a) => {
+                self.ensure_rel(exec, a);
+                self.rel_vals[a.index()]
+                    .as_ref()
+                    .unwrap()
+                    .reflexive_closure()
+            }
+            RelExpr::Plus(a) => {
+                self.ensure_rel(exec, a);
+                let mut out = self.rel_vals[a.index()].as_ref().unwrap().clone();
+                out.transitive_closure_in_place();
+                out
+            }
+            RelExpr::Star(a) => {
+                self.ensure_rel(exec, a);
+                let mut out = self.rel_vals[a.index()].as_ref().unwrap().clone();
+                out.transitive_closure_in_place();
+                for e in 0..out.universe() {
+                    out.insert(e, e);
+                }
+                out
+            }
+            RelExpr::WeakLift(a, t) => {
+                self.ensure_rel(exec, a);
+                self.ensure_rel(exec, t);
+                Execution::weaklift(
+                    self.rel_vals[a.index()].as_ref().unwrap(),
+                    self.rel_vals[t.index()].as_ref().unwrap(),
+                )
+            }
+            RelExpr::StrongLift(a, t) => {
+                self.ensure_rel(exec, a);
+                self.ensure_rel(exec, t);
+                Execution::stronglift(
+                    self.rel_vals[a.index()].as_ref().unwrap(),
+                    self.rel_vals[t.index()].as_ref().unwrap(),
+                )
+            }
+        };
+        self.rel_vals[id.index()] = Some(value);
+    }
+
+    /// The value of a base relation, recomputed from the execution (the
+    /// incremental analogue of the view's memoized getters).
+    fn base_value(exec: &Execution, base: RelBase) -> Relation {
+        match base {
+            RelBase::Po => exec.po.clone(),
+            RelBase::Rf => exec.rf.clone(),
+            RelBase::Co => exec.co.clone(),
+            RelBase::Addr => exec.addr.clone(),
+            RelBase::Data => exec.data.clone(),
+            RelBase::Ctrl => exec.ctrl.clone(),
+            RelBase::Rmw => exec.rmw.clone(),
+            RelBase::Stxn => exec.stxn.clone(),
+            RelBase::Stxnat => exec.stxnat.clone(),
+            RelBase::Scr => exec.scr.clone(),
+            RelBase::Sloc => exec.sloc(),
+            RelBase::Poloc => exec.poloc(),
+            RelBase::PoDiffLoc => exec.po_diff_loc(),
+            RelBase::Fr => exec.fr(),
+            RelBase::Rfe => exec.rfe(),
+            RelBase::Rfi => exec.rfi(),
+            RelBase::Coe => exec.coe(),
+            RelBase::Fre => exec.fre(),
+            RelBase::Com => exec.com(),
+            RelBase::Come => exec.come(),
+            RelBase::Ecom => exec.ecom(),
+            RelBase::Cnf => exec.cnf(),
+            RelBase::Tfence => exec.tfence(),
+            RelBase::FenceRel(kind) => exec.fence_rel(kind),
+        }
+    }
+
+    /// True if the axiom holds on the current execution. The verdict is
+    /// cached per `(body, head)` and survives deltas that leave the body's
+    /// footprint untouched — the fast path of the incremental sweep.
+    pub fn holds(&mut self, exec: &Execution, axiom: &Axiom) -> bool {
+        let i = axiom.body.index();
+        let cached = match axiom.head {
+            AxiomHead::Acyclic => self.heads[i].acyclic,
+            AxiomHead::Irreflexive => self.heads[i].irreflexive,
+            AxiomHead::Empty => self.heads[i].empty,
+        };
+        if let Some(v) = cached {
+            return v;
+        }
+        self.ensure_rel(exec, axiom.body);
+        let body = self.rel_vals[i].as_ref().unwrap();
+        let v = match axiom.head {
+            AxiomHead::Acyclic => body.is_acyclic(),
+            AxiomHead::Irreflexive => body.is_irreflexive(),
+            AxiomHead::Empty => body.is_empty(),
+        };
+        match axiom.head {
+            AxiomHead::Acyclic => self.heads[i].acyclic = Some(v),
+            AxiomHead::Irreflexive => self.heads[i].irreflexive = Some(v),
+            AxiomHead::Empty => self.heads[i].empty = Some(v),
+        }
+        v
+    }
+
+    /// A witness of the axiom's violation, matching [`IrEval::witness`].
+    pub fn witness(&mut self, exec: &Execution, axiom: &Axiom) -> Option<Vec<usize>> {
+        self.ensure_rel(exec, axiom.body);
+        let body = self.rel_vals[axiom.body.index()].as_ref().unwrap();
+        match axiom.head {
+            AxiomHead::Acyclic => body.find_cycle(),
+            AxiomHead::Irreflexive => (0..body.universe())
+                .find(|&a| body.contains(a, a))
+                .map(|a| vec![a]),
+            AxiomHead::Empty => body.iter().next().map(|(a, b)| vec![a, b]),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -994,6 +1847,212 @@ mod tests {
         assert_eq!(rel_polarity(&p, id_r, &of_rmw), Polarity::Constant);
         // And nothing here depends on the transactional structure.
         assert_eq!(txn_polarity(&p, implied), Polarity::Constant);
+    }
+
+    /// A pool exercising every operator over the inputs the enumerator
+    /// mutates, with an axiom per interesting head.
+    fn incremental_fixture() -> (IrPool, Vec<Axiom>) {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let rf = p.base(RelBase::Rf);
+        let co = p.base(RelBase::Co);
+        let com = p.base(RelBase::Com);
+        let stxn = p.base(RelBase::Stxn);
+        let tfence = p.base(RelBase::Tfence);
+        let rfe = p.base(RelBase::Rfe);
+        let poloc = p.base(RelBase::Poloc);
+        let reads = p.set_base(SetBase::Reads);
+        let dom = p.set_base(SetBase::RmwDomain);
+        let ran = p.set_base(SetBase::RmwRange);
+        let locked = p.set_union(dom, ran);
+        let id_l = p.id_on(locked);
+        let implied = p.seq(id_l, po);
+        let hb = {
+            let u = p.union_all(&[po, rfe, implied, tfence]);
+            p.plus(u)
+        };
+        let lifted = p.stronglift(com, stxn);
+        let weak = p.weaklift(com, stxn);
+        let poloc_com = p.union(poloc, com);
+        let rf_star = p.star(rf);
+        let inv = p.inverse(rf);
+        let co_minus_rf = p.diff(co, rf);
+        let id_r = p.id_on(reads);
+        let chained = p.seq_all(&[id_r, rf_star, inv]);
+        let axioms = vec![
+            p.axiom("Order", AxiomHead::Acyclic, hb),
+            p.axiom("Coherence", AxiomHead::Acyclic, poloc_com),
+            p.axiom("StrongIsol", AxiomHead::Acyclic, lifted),
+            p.axiom("WeakIsol", AxiomHead::Acyclic, weak),
+            p.axiom("NoCoNotRf", AxiomHead::Empty, co_minus_rf),
+            p.axiom("Chained", AxiomHead::Irreflexive, chained),
+        ];
+        (p, axioms)
+    }
+
+    /// Asserts the incremental evaluator agrees with a from-scratch
+    /// [`IrEval`] on every axiom of the fixture.
+    fn assert_matches_scratch(
+        pool: &IrPool,
+        axioms: &[Axiom],
+        inc: &mut IncrementalEval<'_>,
+        exec: &Execution,
+        context: &str,
+    ) {
+        let view = ExecView::new(exec);
+        let scratch = IrEval::new(pool, &view);
+        for axiom in axioms {
+            assert_eq!(
+                *inc.rel(exec, axiom.body),
+                *scratch.rel(axiom.body),
+                "{context}: body of {} diverged",
+                axiom.name
+            );
+            assert_eq!(
+                inc.holds(exec, axiom),
+                scratch.holds(axiom),
+                "{context}: verdict of {} diverged",
+                axiom.name
+            );
+            assert_eq!(
+                inc.witness(exec, axiom),
+                scratch.witness(axiom),
+                "{context}: witness of {} diverged",
+                axiom.name
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_scratch_under_additions() {
+        let (pool, axioms) = incremental_fixture();
+        let mut exec = catalog::mp();
+        let mut inc = IncrementalEval::new(&pool);
+        inc.apply(&exec, &Delta::everything());
+        assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "initial");
+
+        // Pure additions: rf, co, rmw and dependency edges appear one at a
+        // time — the semi-naïve path.
+        let additions = [
+            (RelBase::Co, 0, 2),
+            (RelBase::Rf, 0, 3),
+            (RelBase::Addr, 2, 3),
+            (RelBase::Rmw, 2, 3),
+            (RelBase::Data, 0, 1),
+        ];
+        for (step, &(base, a, b)) in additions.iter().enumerate() {
+            let target = match base {
+                RelBase::Rf => &mut exec.rf,
+                RelBase::Co => &mut exec.co,
+                RelBase::Addr => &mut exec.addr,
+                RelBase::Data => &mut exec.data,
+                RelBase::Rmw => &mut exec.rmw,
+                _ => unreachable!(),
+            };
+            target.insert(a, b);
+            let mut delta = Delta::new();
+            delta.add_edge(base, a, b);
+            assert!(delta.is_additions_only());
+            inc.apply(&exec, &delta);
+            assert_matches_scratch(&pool, &axioms, &mut inc, &exec, &format!("add {step}"));
+        }
+    }
+
+    #[test]
+    fn incremental_matches_scratch_under_removals_and_txn_flips() {
+        let (pool, axioms) = incremental_fixture();
+        let mut exec = catalog::mp_txn();
+        let mut inc = IncrementalEval::new(&pool);
+        inc.apply(&exec, &Delta::everything());
+        assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "initial");
+
+        // Remove an rf edge: invalidation path.
+        let (w, r) = exec.rf.iter().next().expect("mp_txn has rf edges");
+        exec.rf.remove(w, r);
+        let mut delta = Delta::new();
+        delta.remove_edge(RelBase::Rf, w, r);
+        assert!(!delta.is_additions_only());
+        inc.apply(&exec, &delta);
+        assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "rf removal");
+
+        // Dissolve the first transaction: stxn removals touch tfence (mixed
+        // polarity) and the lifts.
+        let txn_pairs: Vec<(usize, usize)> = exec.stxn.iter().collect();
+        let mut delta = Delta::new();
+        for &(a, b) in &txn_pairs {
+            exec.stxn.remove(a, b);
+            delta.remove_edge(RelBase::Stxn, a, b);
+        }
+        inc.apply(&exec, &delta);
+        assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "txn dissolved");
+
+        // Grow a fresh transaction by additions only.
+        let mut delta = Delta::new();
+        for a in [0usize, 1] {
+            for b in [0usize, 1] {
+                exec.stxn.insert(a, b);
+                delta.add_edge(RelBase::Stxn, a, b);
+            }
+        }
+        inc.apply(&exec, &delta);
+        assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "txn regrown");
+    }
+
+    #[test]
+    fn untouched_footprints_keep_cached_values_and_verdicts() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let rf = p.base(RelBase::Rf);
+        let stxn = p.base(RelBase::Stxn);
+        let po_rf = p.union(po, rf);
+        let lifted = p.stronglift(po_rf, stxn);
+        let order = p.axiom("Order", AxiomHead::Acyclic, po_rf);
+        let txn_order = p.axiom("TxnOrder", AxiomHead::Acyclic, lifted);
+
+        let mut inc = IncrementalEval::new(&p);
+        // po ∪ rf depends on po and rf only; the lift also tracks stxn.
+        assert!(inc.footprint(po_rf).intersects(DeltaMask::RF));
+        assert!(!inc.footprint(po_rf).intersects(DeltaMask::STXN));
+        assert!(inc.footprint(lifted).intersects(DeltaMask::STXN));
+        assert!(inc.nonmonotone_inputs(lifted).intersects(DeltaMask::STXN));
+        assert!(inc.nonmonotone_inputs(po_rf).is_empty());
+
+        let mut exec = catalog::sb();
+        inc.apply(&exec, &Delta::everything());
+        let before = inc.rel(&exec, po_rf).clone();
+        assert!(inc.holds(&exec, &order));
+        assert!(inc.holds(&exec, &txn_order));
+
+        // A transaction flip must not disturb the po ∪ rf node...
+        exec.stxn.insert(0, 0);
+        exec.stxn.insert(1, 1);
+        exec.stxn.insert(0, 1);
+        exec.stxn.insert(1, 0);
+        let mut delta = Delta::new();
+        for (a, b) in [(0, 0), (1, 1), (0, 1), (1, 0)] {
+            delta.add_edge(RelBase::Stxn, a, b);
+        }
+        inc.apply(&exec, &delta);
+        assert_eq!(*inc.rel(&exec, po_rf), before);
+        assert!(inc.holds(&exec, &order));
+        // ...while the lifted node sees the new transaction.
+        let view = ExecView::new(&exec);
+        let scratch = IrEval::new(&p, &view);
+        assert_eq!(inc.holds(&exec, &txn_order), scratch.holds(&txn_order));
+    }
+
+    #[test]
+    fn full_delta_resets_across_universes() {
+        let (pool, axioms) = incremental_fixture();
+        let mut inc = IncrementalEval::new(&pool);
+        for exec in [
+            catalog::sb(),
+            catalog::power_wrc_tprop1(),
+            catalog::mp_txn(),
+        ] {
+            inc.apply(&exec, &Delta::everything());
+            assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "reset");
+        }
     }
 
     #[test]

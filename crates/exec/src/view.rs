@@ -76,17 +76,11 @@ pub struct ExecView<'e> {
     tfence: OnceCell<Relation>,
     fence_sets: [OnceCell<ElemSet>; Fence::COUNT],
     fence_rels: [OnceCell<Relation>; Fence::COUNT],
-    // Axiom bodies shared verbatim between several models.
-    x86_hb_base: OnceCell<Relation>,
-    coherence_cycle: OnceCell<Option<Vec<usize>>>,
-    rmw_isol_witness: OnceCell<Option<(usize, usize)>>,
-    strong_isol_cycle: OnceCell<Option<Vec<usize>>>,
-    txn_cancels_rmw_witness: OnceCell<Option<(usize, usize)>>,
     // Per-execution memo table of the axiom-IR evaluator (see `crate::ir`):
     // one slot per interned expression, claimed by the first pool that
-    // evaluates against this view. This generalises the hand-picked shared
-    // axiom bodies above — *any* subexpression shared by two axioms or two
-    // models is computed once.
+    // evaluates against this view. Any subexpression shared by two axioms
+    // or two models is computed once — this is what replaced the hand-picked
+    // per-axiom caches the view used to carry before the IR existed.
     ir: OnceCell<crate::ir::IrMemo>,
 }
 
@@ -121,11 +115,6 @@ impl<'e> ExecView<'e> {
             tfence: OnceCell::new(),
             fence_sets: std::array::from_fn(|_| OnceCell::new()),
             fence_rels: std::array::from_fn(|_| OnceCell::new()),
-            x86_hb_base: OnceCell::new(),
-            coherence_cycle: OnceCell::new(),
-            rmw_isol_witness: OnceCell::new(),
-            strong_isol_cycle: OnceCell::new(),
-            txn_cancels_rmw_witness: OnceCell::new(),
             ir: OnceCell::new(),
         }
     }
@@ -398,103 +387,6 @@ impl<'e> ExecView<'e> {
             self.exec.po.compose(&id_f).compose(&self.exec.po)
         })
     }
-
-    // ---- axiom bodies shared between models ------------------------------
-
-    /// The non-transactional x86 happens-before body of Fig. 5:
-    /// `mfence ∪ ppo ∪ implied ∪ rfe ∪ fr ∪ co`, where `ppo` is program
-    /// order minus write→read pairs and `implied` orders everything around
-    /// `LOCK`'d RMWs. Shared verbatim between the baseline and TM variants
-    /// of the x86 model (the TM variant unions `tfence` on top), so a sweep
-    /// checking both pays for it once.
-    pub fn x86_hb_base(&self) -> Cow<'_, Relation> {
-        self.rel(&self.x86_hb_base, || {
-            let exec = self.exec;
-            let writes = self.writes();
-            let reads = self.reads();
-            // ppo = ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po — everything except W→R.
-            let mut ppo = Relation::cross(&writes, &writes);
-            ppo.union_in_place(&Relation::cross(&reads, &writes));
-            ppo.union_in_place(&Relation::cross(&reads, &reads));
-            ppo.intersect_in_place(&exec.po);
-            // implied = [L] ; po ∪ po ; [L], L the LOCK'd RMW events.
-            let locked = exec.rmw.domain().union(&exec.rmw.range());
-            let id_l = Relation::identity_on(&locked);
-            let mut hb = self.fence_rel(Fence::MFence).into_owned();
-            hb.union_in_place(&ppo);
-            hb.union_in_place(&id_l.compose(&exec.po));
-            hb.union_in_place(&exec.po.compose(&id_l));
-            hb.union_in_place(&self.rfe());
-            hb.union_in_place(&self.fr());
-            hb.union_in_place(&exec.co);
-            hb
-        })
-    }
-
-    /// A witness cycle in `poloc ∪ com` if the `Coherence` axiom (common to
-    /// the x86, Power and ARMv8 models) is violated, else `None`.
-    pub fn coherence_cycle(&self) -> Option<Vec<usize>> {
-        let compute = || {
-            let mut body = self.poloc().into_owned();
-            body.union_in_place(&self.com());
-            body.find_cycle()
-        };
-        if self.memoized {
-            self.coherence_cycle.get_or_init(compute).clone()
-        } else {
-            compute()
-        }
-    }
-
-    /// An offending pair in `rmw ∩ (fre ; coe)` if the `RMWIsol` axiom
-    /// (common to the x86, Power and ARMv8 models) is violated, else `None`.
-    pub fn rmw_isol_witness(&self) -> Option<(usize, usize)> {
-        let compute = || {
-            // rmw ∩ anything = ∅ without RMWs; skip the composition.
-            if self.exec.rmw.is_empty() {
-                return None;
-            }
-            let mut body = self.fre().compose(&self.coe());
-            body.intersect_in_place(&self.exec.rmw);
-            body.iter().next()
-        };
-        if self.memoized {
-            *self.rmw_isol_witness.get_or_init(compute)
-        } else {
-            compute()
-        }
-    }
-
-    /// A witness cycle in `stronglift(com, stxn)` if the `StrongIsol` axiom
-    /// (common to all transactional models) is violated, else `None`.
-    pub fn strong_isol_cycle(&self) -> Option<Vec<usize>> {
-        let compute = || Execution::stronglift(&self.com(), &self.exec.stxn).find_cycle();
-        if self.memoized {
-            self.strong_isol_cycle.get_or_init(compute).clone()
-        } else {
-            compute()
-        }
-    }
-
-    /// An offending pair in `rmw ∩ tfence⁺` if the `TxnCancelsRMW` axiom
-    /// (common to the Power and ARMv8 models) is violated, else `None`.
-    pub fn txn_cancels_rmw_witness(&self) -> Option<(usize, usize)> {
-        let compute = || {
-            // rmw ∩ anything = ∅ without RMWs; skip the closure.
-            if self.exec.rmw.is_empty() {
-                return None;
-            }
-            let mut body = self.tfence().into_owned();
-            body.transitive_closure_in_place();
-            body.intersect_in_place(&self.exec.rmw);
-            body.iter().next()
-        };
-        if self.memoized {
-            *self.txn_cancels_rmw_witness.get_or_init(compute)
-        } else {
-            compute()
-        }
-    }
 }
 
 #[cfg(test)]
@@ -537,33 +429,6 @@ mod tests {
                     assert_eq!(*view.fences_of(kind), exec.fences_of(kind));
                 }
             }
-        }
-    }
-
-    #[test]
-    fn memoized_and_uncached_agree_on_shared_axiom_bodies() {
-        for exec in [
-            catalog::fig1(),
-            catalog::fig2(),
-            catalog::fig3('a'),
-            catalog::monotonicity_cex_split(),
-            catalog::power_iriw_two_txns(),
-        ] {
-            let memo = ExecView::new(&exec);
-            let fresh = ExecView::uncached(&exec);
-            assert_eq!(
-                memo.coherence_cycle().is_some(),
-                fresh.coherence_cycle().is_some()
-            );
-            assert_eq!(memo.rmw_isol_witness(), fresh.rmw_isol_witness());
-            assert_eq!(
-                memo.strong_isol_cycle().is_some(),
-                fresh.strong_isol_cycle().is_some()
-            );
-            assert_eq!(
-                memo.txn_cancels_rmw_witness(),
-                fresh.txn_cancels_rmw_witness()
-            );
         }
     }
 

@@ -3,7 +3,6 @@
 use tm_exec::{ExecView, Execution, Fence};
 use tm_relation::Relation;
 
-use crate::isolation::{cr_order_reference, require_acyclic};
 use crate::{MemoryModel, Verdict};
 
 /// The multicopy-atomic ARMv8 memory model (Deacon's aarch64.cat, as used by
@@ -199,37 +198,6 @@ impl MemoryModel for Armv8Model {
             self.cr_order,
             view,
         )
-    }
-
-    fn check_view_reference(&self, view: &ExecView<'_>) -> Verdict {
-        let mut verdict = Verdict::consistent(self.name());
-
-        if let Some(cycle) = view.coherence_cycle() {
-            verdict.push("Coherence", Some(cycle));
-        }
-        let ob = self.ob_view(view);
-        require_acyclic(&mut verdict, "Order", &ob);
-        if let Some((a, b)) = view.rmw_isol_witness() {
-            verdict.push("RMWIsol", Some(vec![a, b]));
-        }
-
-        if self.transactional {
-            if let Some(cycle) = view.strong_isol_cycle() {
-                verdict.push("StrongIsol", Some(cycle));
-            }
-            require_acyclic(
-                &mut verdict,
-                "TxnOrder",
-                &Execution::stronglift(&ob, &view.exec().stxn),
-            );
-            if let Some((a, b)) = view.txn_cancels_rmw_witness() {
-                verdict.push("TxnCancelsRMW", Some(vec![a, b]));
-            }
-        }
-        if self.cr_order && !cr_order_reference(view) {
-            verdict.push("CROrder", None);
-        }
-        verdict
     }
 }
 

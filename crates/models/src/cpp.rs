@@ -4,7 +4,6 @@
 use tm_exec::{ExecView, Execution, Fence};
 use tm_relation::{ElemSet, Relation};
 
-use crate::isolation::{require_acyclic, require_irreflexive};
 use crate::{MemoryModel, Verdict};
 
 /// The C++ memory model, following the RC11 formulation of Lahav et al.
@@ -264,23 +263,6 @@ impl MemoryModel for CppModel {
 
     fn is_consistent_view(&self, view: &ExecView<'_>) -> bool {
         crate::ir::table_holds(crate::ir::catalog().model(self.target()), false, view)
-    }
-
-    fn check_view_reference(&self, view: &ExecView<'_>) -> Verdict {
-        let exec = view.exec();
-        let mut verdict = Verdict::consistent(self.name());
-        let hb = self.hb_view(view);
-        require_irreflexive(
-            &mut verdict,
-            "HbCom",
-            &hb.compose(&view.com().reflexive_transitive_closure()),
-        );
-        if let Some((a, b)) = view.rmw_isol_witness() {
-            verdict.push("RMWIsol", Some(vec![a, b]));
-        }
-        require_acyclic(&mut verdict, "NoThinAir", &exec.po.union(&exec.rf));
-        require_acyclic(&mut verdict, "SeqCst", &self.psc_view(view));
-        verdict
     }
 }
 

@@ -9,12 +9,13 @@
 //! and the evaluator computes it once per execution however many models
 //! check it (see [`tm_exec::ir`]).
 //!
-//! The hand-written checks the models carried before this table existed are
-//! retained for one release as
-//! [`MemoryModel::check_view_reference`](crate::MemoryModel::check_view_reference)
-//! oracles; the parity tests in `tests/ir_parity.rs` pin the two to
-//! identical verdicts on the catalog and on every enumerated execution at
-//! small bounds.
+//! The hand-written checks the models carried before this table existed
+//! have been retired after their one-release soak; `tests/ir_parity.rs`
+//! now pins the IR against its *enumeration oracles* instead — the memoized
+//! and recomputing views must agree, the full-verdict and early-exit paths
+//! must agree, and the stateful [`IncrementalChecker`] driven by the
+//! delta-threading enumeration must agree with all of them, on the catalog
+//! and on every enumerated execution at small bounds.
 //!
 //! # Defining a new model
 //!
@@ -525,9 +526,13 @@ pub(crate) fn check_table(
             verdict.push(axiom.name, Some(witness));
         }
     }
-    // The hand-written checks reported CROrder without a witness; keep that.
-    if cr_order && !eval.holds(cat.cr_order()) {
-        verdict.push("CROrder", None);
+    if cr_order {
+        // The retired hand-written check reported CROrder without a witness;
+        // the IR evaluator extracts the offending cycle like any other
+        // acyclicity axiom.
+        if let Some(witness) = eval.witness(cat.cr_order()) {
+            verdict.push("CROrder", Some(witness));
+        }
     }
     verdict
 }
@@ -545,6 +550,118 @@ pub(crate) fn table_holds(table: &ModelAxioms, cr_order: bool, view: &ExecView<'
 /// Evaluates a single standalone axiom (isolation, `CROrder`) on a view.
 pub(crate) fn axiom_holds(axiom: &Axiom, view: &ExecView<'_>) -> bool {
     IrEval::new(catalog().pool(), view).holds(axiom)
+}
+
+// ---- incremental checking ---------------------------------------------------
+
+/// A *stateful* model checker for enumeration sweeps: the shared-catalog
+/// front end of [`IncrementalEval`](tm_exec::ir::IncrementalEval).
+///
+/// Where [`MemoryModel::check_view`](crate::MemoryModel::check_view) builds
+/// a fresh evaluator per execution, an `IncrementalChecker` lives for a
+/// whole sweep and is told *what changed* between candidates through the
+/// [`Delta`]s that `tm_synth::enumerate_exact_incremental` threads to its
+/// sink. Axiom bodies whose dependency footprint the delta misses keep
+/// their values — and their cached verdicts — across siblings in the
+/// enumeration tree.
+///
+/// # Examples
+///
+/// ```
+/// use tm_exec::catalog;
+/// use tm_exec::ir::{Delta, RelBase};
+/// use tm_models::ir::IncrementalChecker;
+/// use tm_models::Target;
+///
+/// let mut checker = IncrementalChecker::new();
+/// let mut exec = catalog::sb();
+/// checker.advance(&exec, &Delta::everything());
+/// assert!(checker.is_consistent(&exec, Target::X86));
+/// assert!(!checker.is_consistent(&exec, Target::Sc));
+///
+/// // Wrap both threads in transactions, telling the checker what changed:
+/// // only the stxn-dependent axiom bodies are re-evaluated.
+/// let mut delta = Delta::new();
+/// for (a, b) in [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2), (2, 3), (3, 2), (3, 3)] {
+///     exec.stxn.insert(a, b);
+///     delta.add_edge(RelBase::Stxn, a, b);
+/// }
+/// checker.advance(&exec, &delta);
+/// assert!(checker.is_consistent(&exec, Target::X86));
+/// assert!(!checker.is_consistent(&exec, Target::X86Tm));
+/// ```
+pub struct IncrementalChecker {
+    eval: tm_exec::ir::IncrementalEval<'static>,
+}
+
+impl Default for IncrementalChecker {
+    fn default() -> IncrementalChecker {
+        IncrementalChecker::new()
+    }
+}
+
+impl IncrementalChecker {
+    /// A checker over the shared axiom catalog, with every node value
+    /// unknown until the first [`advance`](IncrementalChecker::advance).
+    pub fn new() -> IncrementalChecker {
+        IncrementalChecker {
+            eval: tm_exec::ir::IncrementalEval::new(catalog().pool()),
+        }
+    }
+
+    /// Absorbs the edits that turned the previous candidate into `exec`.
+    /// Call once per candidate, before any query about it.
+    pub fn advance(&mut self, exec: &tm_exec::Execution, delta: &tm_exec::ir::Delta) {
+        self.eval.apply(exec, delta);
+    }
+
+    /// True if `exec` satisfies every axiom of `target` — the early-exit
+    /// sweep path (cheapest axioms first, cached verdicts reused).
+    pub fn is_consistent(&mut self, exec: &tm_exec::Execution, target: Target) -> bool {
+        let table = catalog().model(target);
+        let eval = &mut self.eval;
+        table.in_cost_order().all(|axiom| eval.holds(exec, axiom))
+    }
+
+    /// Like [`is_consistent`](IncrementalChecker::is_consistent) with the
+    /// §8.3 `CROrder` axiom appended.
+    pub fn is_consistent_with_cr_order(
+        &mut self,
+        exec: &tm_exec::Execution,
+        target: Target,
+    ) -> bool {
+        self.is_consistent(exec, target) && self.eval.holds(exec, catalog().cr_order())
+    }
+
+    /// The full verdict of `target` on `exec`, with witnesses — matching
+    /// [`MemoryModel::check_view`](crate::MemoryModel::check_view) verdict
+    /// for verdict.
+    pub fn check(&mut self, exec: &tm_exec::Execution, target: Target) -> Verdict {
+        self.check_with_cr_order(exec, target, false)
+    }
+
+    /// [`check`](IncrementalChecker::check), optionally appending `CROrder`.
+    pub fn check_with_cr_order(
+        &mut self,
+        exec: &tm_exec::Execution,
+        target: Target,
+        cr_order: bool,
+    ) -> Verdict {
+        let cat = catalog();
+        let table = cat.model(target);
+        let mut verdict = Verdict::consistent(table.name());
+        for axiom in table.axioms() {
+            if let Some(witness) = self.eval.witness(exec, axiom) {
+                verdict.push(axiom.name, Some(witness));
+            }
+        }
+        if cr_order {
+            if let Some(witness) = self.eval.witness(exec, cat.cr_order()) {
+                verdict.push("CROrder", Some(witness));
+            }
+        }
+        verdict
+    }
 }
 
 // ---- user-defined models ---------------------------------------------------

@@ -2,9 +2,6 @@
 //! for lock-elision checking (§8.3).
 
 use tm_exec::{ExecView, Execution};
-use tm_relation::Relation;
-
-use crate::Verdict;
 
 /// The `WeakIsol` axiom: `acyclic(weaklift(com, stxn))`.
 ///
@@ -19,11 +16,6 @@ pub fn weak_isolation_view(view: &ExecView<'_>) -> bool {
     crate::ir::axiom_holds(crate::ir::catalog().weak_isol(), view)
 }
 
-/// [`weak_isolation_view`] computed the pre-IR way, kept as an oracle.
-pub fn weak_isolation_reference(view: &ExecView<'_>) -> bool {
-    Execution::weaklift(&view.com(), &view.exec().stxn).is_acyclic()
-}
-
 /// The `StrongIsol` axiom: `acyclic(stronglift(com, stxn))`.
 ///
 /// Transactions are isolated from *all other code*, transactional or not.
@@ -34,11 +26,6 @@ pub fn strong_isolation(exec: &Execution) -> bool {
 /// [`strong_isolation`] over a memoized view.
 pub fn strong_isolation_view(view: &ExecView<'_>) -> bool {
     crate::ir::axiom_holds(crate::ir::catalog().strong_isol(), view)
-}
-
-/// [`strong_isolation_view`] computed the pre-IR way, kept as an oracle.
-pub fn strong_isolation_reference(view: &ExecView<'_>) -> bool {
-    view.strong_isol_cycle().is_none()
 }
 
 /// Like [`strong_isolation`] but lifted over the *atomic* transactions only
@@ -52,30 +39,6 @@ pub fn strong_isolation_atomic_view(view: &ExecView<'_>) -> bool {
     crate::ir::axiom_holds(crate::ir::catalog().strong_isol_atomic(), view)
 }
 
-/// [`strong_isolation_atomic_view`] computed the pre-IR way, kept as an
-/// oracle.
-pub fn strong_isolation_atomic_reference(view: &ExecView<'_>) -> bool {
-    Execution::stronglift(&view.com(), &view.exec().stxnat).is_acyclic()
-}
-
-/// Checks an acyclicity axiom and records a violation with a witness cycle.
-pub(crate) fn require_acyclic(verdict: &mut Verdict, axiom: &'static str, relation: &Relation) {
-    if let Some(cycle) = relation.find_cycle() {
-        verdict.push(axiom, Some(cycle));
-    }
-}
-
-/// Checks an irreflexivity axiom and records a violation naming one fixed
-/// point.
-pub(crate) fn require_irreflexive(verdict: &mut Verdict, axiom: &'static str, relation: &Relation) {
-    for a in 0..relation.universe() {
-        if relation.contains(a, a) {
-            verdict.push(axiom, Some(vec![a]));
-            return;
-        }
-    }
-}
-
 /// The `CROrder` axiom of §8.3: `acyclic(weaklift(po ∪ com, scr))` — all
 /// critical regions (locked or elided) must be serialisable. This is the
 /// *specification* a lock or lock-elision library must meet.
@@ -86,14 +49,6 @@ pub fn cr_order(exec: &Execution) -> bool {
 /// [`cr_order`] over a memoized view.
 pub fn cr_order_view(view: &ExecView<'_>) -> bool {
     crate::ir::axiom_holds(crate::ir::catalog().cr_order(), view)
-}
-
-/// [`cr_order_view`] computed the pre-IR way, kept as an oracle.
-pub fn cr_order_reference(view: &ExecView<'_>) -> bool {
-    let exec = view.exec();
-    let mut body = view.com().into_owned();
-    body.union_in_place(&exec.po);
-    Execution::weaklift(&body, &exec.scr).is_acyclic()
 }
 
 #[cfg(test)]

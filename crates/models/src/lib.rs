@@ -74,15 +74,6 @@ pub trait MemoryModel: Send + Sync {
     /// violations. Derived relations are fetched through `view`, memoized.
     fn check_view(&self, view: &ExecView<'_>) -> Verdict;
 
-    /// The retained hand-written consistency check, kept for one release as
-    /// an oracle for the axiom-IR evaluator that [`MemoryModel::check_view`]
-    /// now routes through (see [`ir`]). The parity tests pin the two paths
-    /// to identical verdicts; models without a legacy implementation fall
-    /// back to `check_view`.
-    fn check_view_reference(&self, view: &ExecView<'_>) -> Verdict {
-        self.check_view(view)
-    }
-
     /// Checks `exec` against every axiom and reports all violations.
     fn check(&self, exec: &Execution) -> Verdict {
         self.check_view(&ExecView::new(exec))

@@ -3,7 +3,6 @@
 use tm_exec::{ExecView, Execution, Fence};
 use tm_relation::Relation;
 
-use crate::isolation::{cr_order_reference, require_acyclic, require_irreflexive};
 use crate::{MemoryModel, Verdict};
 
 /// The Power memory model of Alglave et al. ("herding cats"), extended —
@@ -251,50 +250,6 @@ impl MemoryModel for PowerModel {
             self.cr_order,
             view,
         )
-    }
-
-    fn check_view_reference(&self, view: &ExecView<'_>) -> Verdict {
-        let exec = view.exec();
-        let mut verdict = Verdict::consistent(self.name());
-
-        if let Some(cycle) = view.coherence_cycle() {
-            verdict.push("Coherence", Some(cycle));
-        }
-        if let Some((a, b)) = view.rmw_isol_witness() {
-            verdict.push("RMWIsol", Some(vec![a, b]));
-        }
-
-        let hb = self.hb_view(view);
-        require_acyclic(&mut verdict, "Order", &hb);
-
-        let prop = self.prop_view(view);
-        require_acyclic(&mut verdict, "Propagation", &exec.co.union(&prop));
-        require_irreflexive(
-            &mut verdict,
-            "Observation",
-            &view
-                .fre()
-                .compose(&prop)
-                .compose(&hb.reflexive_transitive_closure()),
-        );
-
-        if self.transactional {
-            if let Some(cycle) = view.strong_isol_cycle() {
-                verdict.push("StrongIsol", Some(cycle));
-            }
-            require_acyclic(
-                &mut verdict,
-                "TxnOrder",
-                &Execution::stronglift(&hb, &exec.stxn),
-            );
-            if let Some((a, b)) = view.txn_cancels_rmw_witness() {
-                verdict.push("TxnCancelsRMW", Some(vec![a, b]));
-            }
-        }
-        if self.cr_order && !cr_order_reference(view) {
-            verdict.push("CROrder", None);
-        }
-        verdict
     }
 }
 

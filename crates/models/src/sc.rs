@@ -1,8 +1,7 @@
 //! Sequential consistency and transactional sequential consistency (Fig. 4).
 
-use tm_exec::{ExecView, Execution};
+use tm_exec::ExecView;
 
-use crate::isolation::require_acyclic;
 use crate::{MemoryModel, Verdict};
 
 /// The SC memory model, optionally strengthened to transactional SC (TSC).
@@ -91,21 +90,6 @@ impl MemoryModel for ScModel {
 
     fn is_consistent_view(&self, view: &ExecView<'_>) -> bool {
         crate::ir::table_holds(crate::ir::catalog().model(self.target()), false, view)
-    }
-
-    fn check_view_reference(&self, view: &ExecView<'_>) -> Verdict {
-        let mut verdict = Verdict::consistent(self.name());
-        let mut hb = view.com().into_owned();
-        hb.union_in_place(&view.exec().po);
-        require_acyclic(&mut verdict, "Order", &hb);
-        if self.transactional {
-            require_acyclic(
-                &mut verdict,
-                "TxnOrder",
-                &Execution::stronglift(&hb, &view.exec().stxn),
-            );
-        }
-        verdict
     }
 }
 

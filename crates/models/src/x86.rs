@@ -1,9 +1,8 @@
 //! The x86-TSO memory model with Intel TSX transactions (Fig. 5).
 
-use tm_exec::{ExecView, Execution};
+use tm_exec::{ExecView, Execution, Fence};
 use tm_relation::Relation;
 
-use crate::isolation::{cr_order_reference, require_acyclic};
 use crate::{MemoryModel, Verdict};
 
 /// The x86 memory model of Alglave et al., extended (when `transactional`)
@@ -84,12 +83,29 @@ impl X86Model {
 
     /// [`X86Model::hb`] over a memoized view.
     ///
-    /// The non-transactional body (`mfence ∪ ppo ∪ implied ∪ rfe ∪ fr ∪ co`)
-    /// is memoized once on the view — see [`ExecView::x86_hb_base`] — so the
-    /// baseline and TM variants checking the same execution share it; the TM
-    /// variant adds the implicit transaction-boundary fences.
+    /// In the checking pipeline this body lives as a hash-consed node of the
+    /// shared axiom IR (see [`crate::ir`]), where both x86 variants — and
+    /// the incremental sweep — share its value; this helper recomputes it
+    /// directly for callers that want the relation itself.
     pub fn hb_view(&self, view: &ExecView<'_>) -> Relation {
-        let mut hb = view.x86_hb_base().into_owned();
+        let exec = view.exec();
+        let writes = view.writes();
+        let reads = view.reads();
+        // ppo = ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po — everything except W→R.
+        let mut ppo = Relation::cross(&writes, &writes);
+        ppo.union_in_place(&Relation::cross(&reads, &writes));
+        ppo.union_in_place(&Relation::cross(&reads, &reads));
+        ppo.intersect_in_place(&exec.po);
+        // implied = [L] ; po ∪ po ; [L], L the LOCK'd RMW events.
+        let locked = exec.rmw.domain().union(&exec.rmw.range());
+        let id_l = Relation::identity_on(&locked);
+        let mut hb = view.fence_rel(Fence::MFence).into_owned();
+        hb.union_in_place(&ppo);
+        hb.union_in_place(&id_l.compose(&exec.po));
+        hb.union_in_place(&exec.po.compose(&id_l));
+        hb.union_in_place(&view.rfe());
+        hb.union_in_place(&view.fr());
+        hb.union_in_place(&exec.co);
         if self.transactional {
             hb.union_in_place(&view.tfence());
         }
@@ -132,35 +148,6 @@ impl MemoryModel for X86Model {
             self.cr_order,
             view,
         )
-    }
-
-    fn check_view_reference(&self, view: &ExecView<'_>) -> Verdict {
-        let mut verdict = Verdict::consistent(self.name());
-
-        if let Some(cycle) = view.coherence_cycle() {
-            verdict.push("Coherence", Some(cycle));
-        }
-        if let Some((a, b)) = view.rmw_isol_witness() {
-            verdict.push("RMWIsol", Some(vec![a, b]));
-        }
-
-        let hb = self.hb_view(view);
-        require_acyclic(&mut verdict, "Order", &hb);
-
-        if self.transactional {
-            if let Some(cycle) = view.strong_isol_cycle() {
-                verdict.push("StrongIsol", Some(cycle));
-            }
-            require_acyclic(
-                &mut verdict,
-                "TxnOrder",
-                &Execution::stronglift(&hb, &view.exec().stxn),
-            );
-        }
-        if self.cr_order && !cr_order_reference(view) {
-            verdict.push("CROrder", None);
-        }
-        verdict
     }
 }
 

@@ -33,6 +33,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use tm_exec::ir::{Delta, RelBase};
 use tm_exec::{Annot, Event, Execution, ExecutionBuilder};
 use tm_relation::Relation;
 
@@ -137,6 +138,257 @@ pub fn enumerate_exact_reference(
         });
     }
     count
+}
+
+/// [`enumerate_exact`], threading *edge deltas* instead of handing each
+/// candidate out as an unrelated execution — the hot path of the
+/// incremental axiom-IR sweep.
+///
+/// Each worker builds one sink with `make_sink` and walks its work units by
+/// **mutating a single [`Execution`] in place**: between consecutive
+/// candidates only the edges of the odometer dimensions that advanced are
+/// removed/added, and the accompanying [`Delta`] records exactly those
+/// edits (a *full* delta announces a brand-new execution at each new shape
+/// vector). The walk orders dimensions so the cheapest-to-invalidate
+/// families change fastest — transactions first, then RMWs, dependencies,
+/// coherence, and reads-from last — maximising how much an incremental
+/// evaluator ([`tm_exec::ir::IncrementalEval`]) can reuse across siblings.
+///
+/// The set of candidates visited is exactly that of [`enumerate_exact`]
+/// (the order differs); the return value is the number visited.
+pub fn enumerate_exact_incremental<S>(
+    config: &SynthConfig,
+    n: usize,
+    make_sink: impl Fn() -> S + Sync,
+) -> usize
+where
+    S: FnMut(&Execution, &Delta),
+{
+    enumerate_exact_incremental_with_threads(config, n, worker_count(), make_sink)
+}
+
+/// [`enumerate_exact_incremental`] with an explicit worker count.
+fn enumerate_exact_incremental_with_threads<S>(
+    config: &SynthConfig,
+    n: usize,
+    threads: usize,
+    make_sink: impl Fn() -> S + Sync,
+) -> usize
+where
+    S: FnMut(&Execution, &Delta),
+{
+    if n == 0 {
+        return 0;
+    }
+    let units = produce_units(config, n);
+    let threads = threads.min(units.len().max(1));
+    if threads <= 1 {
+        let mut sink = make_sink();
+        let mut count = 0;
+        for unit in &units {
+            count += expand_unit_incremental(config, unit, n, &mut sink);
+        }
+        return count;
+    }
+    let cursor = AtomicUsize::new(0);
+    let total = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut sink = make_sink();
+                let mut local = 0usize;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(unit) = units.get(i) else { break };
+                    local += expand_unit_incremental(config, unit, n, &mut sink);
+                }
+                total.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    total.load(Ordering::Relaxed)
+}
+
+/// [`expand_unit`] for the delta-threading pipeline.
+fn expand_unit_incremental<S: FnMut(&Execution, &Delta)>(
+    config: &SynthConfig,
+    unit: &WorkUnit,
+    n: usize,
+    sink: &mut S,
+) -> usize {
+    let mut count = 0;
+    let mut shapes = unit.prefix.clone();
+    enumerate_shapes(config, n, &mut shapes, &mut |shapes| {
+        count += enumerate_relations_incremental(config, &unit.partition, shapes, sink);
+    });
+    count
+}
+
+/// Walks every relation choice of one shape vector by mutating a single
+/// execution in place, odometer position *last-first* so the transaction
+/// dimensions (laid out last) are the fastest-changing.
+fn enumerate_relations_incremental<S: FnMut(&Execution, &Delta)>(
+    config: &SynthConfig,
+    partition: &[usize],
+    shapes: &[EventShape],
+    sink: &mut S,
+) -> usize {
+    let choices = relation_choices(config, partition, shapes);
+    let events = shape_events(shapes, &choices.thread_of);
+    let layout = choices.odometer();
+    if layout.dims.contains(&0) {
+        return 0;
+    }
+    let mut idx = vec![0usize; layout.dims.len()];
+
+    // Assemble the candidate at the all-zero index tuple.
+    let mut exec = Execution::with_events(events);
+    exec.po = choices.po.clone();
+    for (i, opts) in choices.rf_options.iter().enumerate() {
+        if let Some(w) = opts[0] {
+            exec.rf.insert(w, choices.reads[i]);
+        }
+    }
+    for opts in &choices.co_options {
+        let order = &opts[0];
+        for (k, &a) in order.iter().enumerate() {
+            for &b in &order[k + 1..] {
+                exec.co.insert(a, b);
+            }
+        }
+    }
+    for opts in &choices.txn_options {
+        for interval in &opts[0] {
+            for &a in interval {
+                for &b in interval {
+                    exec.stxn.insert(a, b);
+                }
+            }
+        }
+    }
+
+    let mut count = 0usize;
+    // The first candidate of a shape is announced with a full delta; edits
+    // accumulate across budget-skipped candidates until one is visited.
+    let mut delta = Delta::everything();
+    loop {
+        let txn_count: usize = choices
+            .txn_options
+            .iter()
+            .enumerate()
+            .map(|(t, opts)| opts[idx[layout.txn_at + t]].len())
+            .sum();
+        if txn_count <= config.max_txns {
+            debug_assert!(
+                tm_exec::check_well_formed(&exec).is_ok(),
+                "incremental assembly must produce well-formed executions"
+            );
+            count += 1;
+            sink(&exec, &delta);
+            delta.clear();
+        }
+
+        // Advance the odometer, last position fastest, applying each
+        // dimension's edge edits as it moves.
+        let mut p = layout.dims.len();
+        loop {
+            if p == 0 {
+                return count;
+            }
+            p -= 1;
+            let old = idx[p];
+            idx[p] += 1;
+            if idx[p] < layout.dims[p] {
+                apply_dim(&choices, &layout, &mut exec, &mut delta, p, old, idx[p]);
+                break;
+            }
+            idx[p] = 0;
+            apply_dim(&choices, &layout, &mut exec, &mut delta, p, old, 0);
+            // Carry into the next-slower dimension.
+        }
+    }
+}
+
+/// Applies the edge edits of moving odometer position `p` from choice
+/// `old_i` to `new_i`, mutating `exec` and recording the edits in `delta`.
+fn apply_dim(
+    choices: &RelationChoices,
+    layout: &OdometerLayout,
+    exec: &mut Execution,
+    delta: &mut Delta,
+    p: usize,
+    old_i: usize,
+    new_i: usize,
+) {
+    if p >= layout.txn_at {
+        let t = p - layout.txn_at;
+        for interval in &choices.txn_options[t][old_i] {
+            for &a in interval {
+                for &b in interval {
+                    exec.stxn.remove(a, b);
+                    delta.remove_edge(RelBase::Stxn, a, b);
+                }
+            }
+        }
+        for interval in &choices.txn_options[t][new_i] {
+            for &a in interval {
+                for &b in interval {
+                    exec.stxn.insert(a, b);
+                    delta.add_edge(RelBase::Stxn, a, b);
+                }
+            }
+        }
+    } else if p >= layout.rmw_at {
+        let (r, w) = choices.rmw_pairs[p - layout.rmw_at];
+        if new_i == 1 {
+            exec.rmw.insert(r, w);
+            delta.add_edge(RelBase::Rmw, r, w);
+        } else {
+            exec.rmw.remove(r, w);
+            delta.remove_edge(RelBase::Rmw, r, w);
+        }
+    } else if p >= layout.dep_at {
+        let (r, e) = choices.dep_pairs[p - layout.dep_at];
+        let (rel, base) = if choices.is_write[e] {
+            (&mut exec.data, RelBase::Data)
+        } else {
+            (&mut exec.addr, RelBase::Addr)
+        };
+        if new_i == 1 {
+            rel.insert(r, e);
+            delta.add_edge(base, r, e);
+        } else {
+            rel.remove(r, e);
+            delta.remove_edge(base, r, e);
+        }
+    } else if p >= layout.co_at {
+        let i = p - layout.co_at;
+        let old = &choices.co_options[i][old_i];
+        for (k, &a) in old.iter().enumerate() {
+            for &b in &old[k + 1..] {
+                exec.co.remove(a, b);
+                delta.remove_edge(RelBase::Co, a, b);
+            }
+        }
+        let new = &choices.co_options[i][new_i];
+        for (k, &a) in new.iter().enumerate() {
+            for &b in &new[k + 1..] {
+                exec.co.insert(a, b);
+                delta.add_edge(RelBase::Co, a, b);
+            }
+        }
+    } else {
+        let i = p - layout.rf_at;
+        let r = choices.reads[i];
+        if let Some(w) = choices.rf_options[i][old_i] {
+            exec.rf.remove(w, r);
+            delta.remove_edge(RelBase::Rf, w, r);
+        }
+        if let Some(w) = choices.rf_options[i][new_i] {
+            exec.rf.insert(w, r);
+            delta.add_edge(RelBase::Rf, w, r);
+        }
+    }
 }
 
 /// Number of worker threads: `TM_SYNTH_THREADS` if set, else the number of
@@ -849,6 +1101,104 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The delta-threading pipeline must visit exactly the multiset of
+    /// executions the from-scratch pipeline visits.
+    #[test]
+    fn incremental_pipeline_matches_exact() {
+        let configs = [
+            {
+                let mut cfg = tiny_config();
+                cfg.max_events = 3;
+                cfg.transactions = true;
+                cfg.max_txns = 2;
+                cfg.rmws = true;
+                cfg
+            },
+            {
+                let mut cfg = tiny_config();
+                cfg.max_events = 3;
+                cfg.fences = vec![Fence::Sync];
+                cfg.dependencies = true;
+                cfg
+            },
+        ];
+        for cfg in configs {
+            for n in 2..=cfg.max_events {
+                let exact: Mutex<BTreeMap<String, usize>> = Mutex::new(BTreeMap::new());
+                let exact_count = enumerate_exact(&cfg, n, |exec| {
+                    *exact.lock().unwrap().entry(exec.signature()).or_default() += 1;
+                });
+                let incremental: Mutex<BTreeMap<String, usize>> = Mutex::new(BTreeMap::new());
+                let inc_count = enumerate_exact_incremental(&cfg, n, || {
+                    |exec: &Execution, _delta: &Delta| {
+                        *incremental
+                            .lock()
+                            .unwrap()
+                            .entry(exec.signature())
+                            .or_default() += 1;
+                    }
+                });
+                assert_eq!(exact_count, inc_count, "count mismatch at n={n}");
+                assert_eq!(
+                    exact.into_inner().unwrap(),
+                    incremental.into_inner().unwrap(),
+                    "signature multiset mismatch at n={n}"
+                );
+            }
+        }
+    }
+
+    /// The deltas handed to the sink must faithfully describe how the
+    /// in-place execution evolved: every family that differs from the
+    /// previous candidate is in the mask, and an additions-only delta never
+    /// shrinks a relation.
+    #[test]
+    fn incremental_deltas_describe_the_mutations() {
+        let mut cfg = tiny_config();
+        cfg.max_events = 3;
+        cfg.transactions = true;
+        cfg.max_txns = 2;
+        cfg.rmws = true;
+        cfg.dependencies = true;
+        use tm_exec::ir::DeltaMask;
+        let checked = AtomicUsize::new(0);
+        enumerate_exact_incremental(&cfg, 3, || {
+            let mut prev: Option<Execution> = None;
+            let checked = &checked;
+            move |exec: &Execution, delta: &Delta| {
+                assert!(tm_exec::check_well_formed(exec).is_ok());
+                if let Some(prev) = prev.as_ref().filter(|_| !delta.is_full()) {
+                    let families = [
+                        (DeltaMask::RF, &prev.rf, &exec.rf),
+                        (DeltaMask::CO, &prev.co, &exec.co),
+                        (DeltaMask::ADDR, &prev.addr, &exec.addr),
+                        (DeltaMask::DATA, &prev.data, &exec.data),
+                        (DeltaMask::RMW, &prev.rmw, &exec.rmw),
+                        (DeltaMask::STXN, &prev.stxn, &exec.stxn),
+                    ];
+                    for (mask, before, after) in families {
+                        if before != after {
+                            assert!(
+                                delta.mask().intersects(mask),
+                                "changed family missing from the delta mask"
+                            );
+                        }
+                        if delta.is_additions_only() {
+                            assert!(
+                                before.is_subset_of(after),
+                                "additions-only delta shrank a relation"
+                            );
+                        }
+                    }
+                    assert_eq!(prev.po, exec.po, "po is fixed within a shape");
+                }
+                prev = Some(exec.clone());
+                checked.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(checked.load(Ordering::Relaxed) > 100);
     }
 
     /// The worker pool must produce the same result no matter how many

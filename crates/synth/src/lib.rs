@@ -44,6 +44,8 @@ mod weaken;
 
 pub use canon::canonical_signature;
 pub use config::SynthConfig;
-pub use enumerate::{enumerate_all, enumerate_exact, enumerate_exact_reference};
+pub use enumerate::{
+    enumerate_all, enumerate_exact, enumerate_exact_incremental, enumerate_exact_reference,
+};
 pub use suite::{find_distinguishing, synthesise_suites, SuiteReport, SynthesisedTest};
 pub use weaken::{weakenings, weakenings_with_signatures};

@@ -1,12 +1,21 @@
-//! Parity of the axiom-IR evaluator against the retained hand-written
-//! checks.
+//! Parity of the axiom-IR evaluator against its enumeration oracles.
 //!
-//! Every model's `check_view` now routes through the declarative IR tables
-//! (`tm_models::ir`); the pre-IR predicates are kept for one release as
-//! `check_view_reference` oracles. These tests pin the two paths to
-//! identical verdicts — axiom names, order *and* witnesses — first on the
-//! whole named-execution catalog, then exhaustively on every enumerated
-//! execution at small bounds.
+//! The hand-written `check_view_reference` predicates retired after their
+//! one-release soak, so the IR is now pinned against *itself under
+//! different evaluation strategies*, which must all agree execution for
+//! execution:
+//!
+//! * the **memoized** view (the production hot path) against the
+//!   **uncached** view, which recomputes every derived relation and every
+//!   IR node from scratch on each access;
+//! * the **full-verdict** path (`check_view`, witnesses extracted, axioms
+//!   in declaration order) against the **early-exit** path
+//!   (`is_consistent_view`, cheapest axiom first, no witnesses);
+//! * the **isolation axioms** against direct relational-algebra
+//!   computation of their §3.3 definitions.
+//!
+//! The incremental evaluator gets the same treatment in
+//! `incremental_parity.rs`, driven by the delta-threading enumeration.
 
 use tm_weak_memory::exec::{catalog, ExecView, Execution};
 use tm_weak_memory::models::isolation;
@@ -48,21 +57,27 @@ fn full_catalog() -> Vec<Execution> {
     execs
 }
 
-/// Asserts IR and reference verdicts agree for `model` on `exec`, on both
-/// the memoized and the uncached view.
+/// Asserts the memoized and uncached views produce the same verdict for
+/// `model` on `exec`, and that the early-exit path agrees with it.
 fn assert_parity(model: &dyn MemoryModel, exec: &Execution, context: &str) {
-    for view in [ExecView::new(exec), ExecView::uncached(exec)] {
-        let ir = model.check_view(&view);
-        let reference = model.check_view_reference(&view);
+    let memo = ExecView::new(exec);
+    let fresh = ExecView::uncached(exec);
+    let verdict = model.check_view(&memo);
+    assert_eq!(
+        verdict,
+        model.check_view(&fresh),
+        "{}: memoized and uncached verdicts differ for {}",
+        context,
+        model.name()
+    );
+    for view in [&memo, &fresh] {
         assert_eq!(
-            ir,
-            reference,
-            "{}: IR and hand-written verdicts differ for {} \
-             (IR: {ir}, reference: {reference})",
+            verdict.is_consistent(),
+            model.is_consistent_view(view),
+            "{}: full-verdict and early-exit paths differ for {}",
             context,
             model.name()
         );
-        assert_eq!(ir.is_consistent(), model.is_consistent_view(&view));
     }
 }
 
@@ -89,25 +104,53 @@ fn catalog_wide_parity_with_cr_order_enabled() {
     }
 }
 
+/// `CROrder` violations used to be reported bare because the legacy paths
+/// could not extract a witness; the IR evaluator reports the offending
+/// cycle like any other acyclicity axiom (ROADMAP "witness-quality parity").
+#[test]
+fn cr_order_violations_carry_a_witness_cycle() {
+    let exec = catalog::fig10_abstract();
+    let models: [Box<dyn MemoryModel>; 3] = [
+        Box::new(X86Model::tm().with_cr_order()),
+        Box::new(PowerModel::tm().with_cr_order()),
+        Box::new(Armv8Model::tm().with_cr_order()),
+    ];
+    for model in &models {
+        let verdict = model.check(&exec);
+        let violation = verdict
+            .violations
+            .iter()
+            .find(|v| v.axiom == "CROrder")
+            .unwrap_or_else(|| panic!("{} misses the CROrder violation", model.name()));
+        let cycle = violation
+            .witness
+            .as_ref()
+            .unwrap_or_else(|| panic!("{} reports CROrder without its cycle", model.name()));
+        assert!(cycle.len() >= 2, "degenerate CROrder witness {cycle:?}");
+    }
+}
+
 #[test]
 fn catalog_wide_isolation_parity() {
     for exec in full_catalog() {
         let view = ExecView::new(&exec);
+        // The §3.3 definitions, computed directly on the relation algebra.
+        let com = exec.com();
         assert_eq!(
             isolation::weak_isolation_view(&view),
-            isolation::weak_isolation_reference(&view)
+            Execution::weaklift(&com, &exec.stxn).is_acyclic()
         );
         assert_eq!(
             isolation::strong_isolation_view(&view),
-            isolation::strong_isolation_reference(&view)
+            Execution::stronglift(&com, &exec.stxn).is_acyclic()
         );
         assert_eq!(
             isolation::strong_isolation_atomic_view(&view),
-            isolation::strong_isolation_atomic_reference(&view)
+            Execution::stronglift(&com, &exec.stxnat).is_acyclic()
         );
         assert_eq!(
             isolation::cr_order_view(&view),
-            isolation::cr_order_reference(&view)
+            Execution::weaklift(&exec.po.union(&com), &exec.scr).is_acyclic()
         );
     }
 }
@@ -122,16 +165,16 @@ fn exhaustive_parity(cfg: &SynthConfig, bound: usize) -> usize {
     for n in 2..=bound {
         enumerate_exact(cfg, n, |exec| {
             let view = ExecView::new(exec);
+            let fresh = ExecView::uncached(exec);
             for model in &models {
-                let ir = model.check_view(&view);
-                let reference = model.check_view_reference(&view);
+                let verdict = model.check_view(&view);
                 assert_eq!(
-                    ir,
-                    reference,
-                    "IR and hand-written verdicts differ for {} on:\n{exec:?}",
+                    verdict,
+                    model.check_view(&fresh),
+                    "memoized and uncached verdicts differ for {} on:\n{exec:?}",
                     model.name()
                 );
-                assert_eq!(ir.is_consistent(), model.is_consistent_view(&view));
+                assert_eq!(verdict.is_consistent(), model.is_consistent_view(&view));
             }
             checked.fetch_add(1, Ordering::Relaxed);
         });
