@@ -218,6 +218,56 @@ fn run_incremental(cfg: &SynthConfig, max_events: usize) -> Mode {
     }
 }
 
+/// The incremental IR sweep over *runtime-loaded* models: `models/x86.cat`
+/// and `models/x86_tm.cat` are parsed and elaborated into two private
+/// hash-consed pools, and each worker drives one delta-threading
+/// [`IncrementalModelChecker`](tm_models::ir::IncrementalModelChecker) per
+/// model. Measures what loading a model from text costs versus the
+/// compiled-in catalog: elaboration happens once, the hash-consed pools are
+/// x86-only (smaller than the shared ten-model catalog), and the verdicts
+/// must be bit-identical.
+fn run_cat_loaded(cfg: &SynthConfig, max_events: usize) -> Mode {
+    let dir = cat_models_dir();
+    let tm = tm_cat::load_file(dir.join("x86_tm.cat")).expect("models/x86_tm.cat loads");
+    let base = tm_cat::load_file(dir.join("x86.cat")).expect("models/x86.cat loads");
+    let mut executions = 0usize;
+    let checks = AtomicUsize::new(0);
+    let consistent = AtomicUsize::new(0);
+    let start = Instant::now();
+    for n in 2..=max_events {
+        executions += enumerate_exact_incremental(cfg, n, || {
+            let mut checkers = [tm.incremental(), base.incremental()];
+            let (checks, consistent) = (&checks, &consistent);
+            move |exec: &Execution, delta: &Delta| {
+                for checker in &mut checkers {
+                    checker.advance(exec, delta);
+                    if checker.is_consistent(exec) {
+                        consistent.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                checks.fetch_add(2, Ordering::Relaxed);
+            }
+        });
+    }
+    Mode {
+        name: "cat-loaded",
+        executions,
+        checks: checks.into_inner(),
+        consistent: consistent.into_inner(),
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// The shipped `.cat` models, whether the bench runs from the repository
+/// root (CI) or anywhere else (fall back to the manifest location).
+fn cat_models_dir() -> std::path::PathBuf {
+    let cwd = std::path::PathBuf::from("models");
+    if cwd.join("x86_tm.cat").exists() {
+        return cwd;
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../models")
+}
+
 /// Today's UTC date as `YYYY-MM-DD`, via the days-to-civil algorithm (no
 /// date-time dependency in this workspace).
 fn today_utc() -> String {
@@ -273,6 +323,7 @@ fn main() {
         baseline,
         run_ir(&cfg, max_events),
         run_incremental(&cfg, max_events),
+        run_cat_loaded(&cfg, max_events),
     ];
     for mode in &modes {
         eprintln!(
@@ -284,8 +335,8 @@ fn main() {
             mode.execs_per_sec()
         );
     }
-    let [baseline, ir, incremental] = &modes;
-    for mode in [ir, incremental] {
+    let [baseline, ir, incremental, cat_loaded] = &modes;
+    for mode in [ir, incremental, cat_loaded] {
         assert_eq!(
             baseline.executions, mode.executions,
             "all pipelines must visit the same space"
@@ -300,10 +351,21 @@ fn main() {
     let ir_speedup = ir.execs_per_sec() / baseline.execs_per_sec();
     let incremental_speedup = incremental.execs_per_sec() / baseline.execs_per_sec();
     let incremental_vs_ir = incremental.execs_per_sec() / ir.execs_per_sec();
+    let cat_speedup = cat_loaded.execs_per_sec() / baseline.execs_per_sec();
+    let cat_vs_incremental = cat_loaded.execs_per_sec() / incremental.execs_per_sec();
     eprintln!(
         "speedup over baseline: ir {ir_speedup:.2}x, ir-incremental {incremental_speedup:.2}x \
-         (incremental/ir {incremental_vs_ir:.2}x)"
+         (incremental/ir {incremental_vs_ir:.2}x), cat-loaded {cat_speedup:.2}x \
+         (cat/incremental {cat_vs_incremental:.2}x)"
     );
+    // Hash-consing must keep the text-loaded pipeline within noise of the
+    // compiled-in one; only gate when the run is long enough to mean it.
+    if incremental.seconds >= 0.5 {
+        assert!(
+            cat_vs_incremental > 0.5,
+            "cat-loaded fell to {cat_vs_incremental:.2}x of ir-incremental"
+        );
+    }
 
     let mut run = String::new();
     run.push_str("    {\n");
@@ -336,7 +398,15 @@ fn main() {
     let _ = writeln!(run, "      \"speedups\": {{");
     let _ = writeln!(run, "        \"ir\": {ir_speedup:.3},");
     let _ = writeln!(run, "        \"ir_incremental\": {incremental_speedup:.3},");
-    let _ = writeln!(run, "        \"incremental_vs_ir\": {incremental_vs_ir:.3}");
+    let _ = writeln!(
+        run,
+        "        \"incremental_vs_ir\": {incremental_vs_ir:.3},"
+    );
+    let _ = writeln!(run, "        \"cat_loaded\": {cat_speedup:.3},");
+    let _ = writeln!(
+        run,
+        "        \"cat_vs_incremental\": {cat_vs_incremental:.3}"
+    );
     let _ = writeln!(run, "      }}");
     run.push_str("    }");
 

@@ -1,0 +1,139 @@
+//! The abstract syntax of the `.cat` dialect.
+//!
+//! Every node carries its [`Span`] so the elaborator can point diagnostics
+//! (kind mismatches, unknown names) at the exact source range.
+
+use crate::error::Span;
+
+/// An expression over relations and event sets. Kinds (set vs relation) are
+/// not distinguished syntactically — the elaborator infers and checks them.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// A name: a primitive, or a `let`-bound definition.
+    Name(String, Span),
+    /// Union `a | b` (sets or relations).
+    Union(Box<Expr>, Box<Expr>, Span),
+    /// Intersection `a & b` (sets or relations).
+    Inter(Box<Expr>, Box<Expr>, Span),
+    /// Difference `a \ b` (relations).
+    Diff(Box<Expr>, Box<Expr>, Span),
+    /// Composition `a ; b` (relations).
+    Seq(Box<Expr>, Box<Expr>, Span),
+    /// Cartesian product `A * B` (sets; yields a relation).
+    Cross(Box<Expr>, Box<Expr>, Span),
+    /// Reflexive closure `a?`.
+    Opt(Box<Expr>, Span),
+    /// Transitive closure `a+`.
+    Plus(Box<Expr>, Span),
+    /// Reflexive-transitive closure `a*`.
+    Star(Box<Expr>, Span),
+    /// Inverse (transpose) `~a`.
+    Inverse(Box<Expr>, Span),
+    /// Identity restriction `[S]`.
+    IdOn(Box<Expr>, Span),
+    /// A function application: `weaklift(a, t)`, `domain(rmw)`, ….
+    Call(String, Span, Vec<Expr>, Span),
+}
+
+impl Expr {
+    /// The source range of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Name(_, s)
+            | Expr::Union(_, _, s)
+            | Expr::Inter(_, _, s)
+            | Expr::Diff(_, _, s)
+            | Expr::Seq(_, _, s)
+            | Expr::Cross(_, _, s)
+            | Expr::Opt(_, s)
+            | Expr::Plus(_, s)
+            | Expr::Star(_, s)
+            | Expr::Inverse(_, s)
+            | Expr::IdOn(_, s)
+            | Expr::Call(_, _, _, s) => *s,
+        }
+    }
+
+    /// True if `name` occurs free in this expression (used to detect
+    /// genuinely recursive `let rec` groups).
+    pub fn mentions(&self, name: &str) -> bool {
+        match self {
+            Expr::Name(n, _) => n == name,
+            Expr::Union(a, b, _)
+            | Expr::Inter(a, b, _)
+            | Expr::Diff(a, b, _)
+            | Expr::Seq(a, b, _)
+            | Expr::Cross(a, b, _) => a.mentions(name) || b.mentions(name),
+            Expr::Opt(a, _)
+            | Expr::Plus(a, _)
+            | Expr::Star(a, _)
+            | Expr::Inverse(a, _)
+            | Expr::IdOn(a, _) => a.mentions(name),
+            Expr::Call(_, _, args, _) => args.iter().any(|a| a.mentions(name)),
+        }
+    }
+}
+
+/// The predicate head of an axiom statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Head {
+    /// `acyclic e`.
+    Acyclic,
+    /// `irreflexive e`.
+    Irreflexive,
+    /// `empty e`.
+    Empty,
+}
+
+/// One `name = expr` binding of a `let` (or `let rec`) statement.
+#[derive(Clone, Debug)]
+pub struct Binding {
+    /// The bound name.
+    pub name: String,
+    /// Where the name is written.
+    pub name_span: Span,
+    /// The bound expression.
+    pub expr: Expr,
+}
+
+/// A top-level statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `let` / `let rec` with one or more `and`-joined bindings.
+    Let {
+        /// True for `let rec`.
+        rec: bool,
+        /// The bindings, in source order.
+        bindings: Vec<Binding>,
+        /// The whole statement's span.
+        span: Span,
+    },
+    /// An axiom: `acyclic e as Name` (the name is optional).
+    Axiom {
+        /// The head predicate.
+        head: Head,
+        /// The body expression.
+        body: Expr,
+        /// The `as` name, if given.
+        name: Option<(String, Span)>,
+        /// The whole statement's span.
+        span: Span,
+    },
+    /// `include "file.cat"` — spliced in by the loader before elaboration.
+    Include {
+        /// The literal path as written.
+        path: String,
+        /// The string literal's span.
+        span: Span,
+    },
+}
+
+/// One parsed `.cat` file: an optional model name (a leading string
+/// literal) and the statements in source order.
+#[derive(Clone, Debug)]
+pub struct CatFile {
+    /// The model name, when the file opens with a string literal.
+    pub name: Option<String>,
+    /// The statements.
+    pub stmts: Vec<Stmt>,
+}

@@ -1,0 +1,340 @@
+//! `tm-cat` — load, check and sweep `.cat` memory models at runtime.
+//!
+//! ```text
+//! tm-cat list                       # litmus tests and built-in targets
+//! tm-cat print <target>             # render a built-in model as .cat
+//! tm-cat check <file> [options]     # verdicts on named litmus executions
+//! tm-cat sweep <file> [options]     # bounded-exhaustive synthesis sweep
+//! ```
+//!
+//! `check` options:
+//!   --litmus NAME   check one named execution (repeatable; default: all)
+//!   --expect TARGET compare every verdict against a built-in model and
+//!                   exit non-zero on any drift
+//!   --program       also print each execution's litmus program (§2.2)
+//!
+//! `sweep` options:
+//!   --events N      event bound (default 4)
+//!   --config C      enumeration preset: x86 | power | armv8 | cpp
+//!   --expect TARGET compare per-execution consistency against a built-in
+//!                   model and exit non-zero on any drift
+//!   --incremental   drive the delta-threading enumeration instead of the
+//!                   per-execution pipeline (verdicts must agree)
+
+use std::process::ExitCode;
+
+use tm_cat::{load_file, print_target};
+use tm_exec::{catalog, Execution};
+use tm_litmus::from_execution;
+use tm_models::ir::IrModel;
+use tm_models::{MemoryModel, Target};
+use tm_synth::{enumerate_exact, enumerate_exact_incremental, SynthConfig};
+
+fn named_executions() -> Vec<(&'static str, Execution)> {
+    catalog::named()
+}
+
+fn parse_target(name: &str) -> Result<Target, String> {
+    Target::ALL
+        .into_iter()
+        .find(|t| t.name() == name)
+        .ok_or_else(|| {
+            let all: Vec<&str> = Target::ALL.iter().map(|t| t.name()).collect();
+            format!(
+                "unknown target `{name}` (expected one of: {})",
+                all.join(", ")
+            )
+        })
+}
+
+fn parse_config(name: &str, events: usize) -> Result<SynthConfig, String> {
+    match name {
+        "x86" => Ok(SynthConfig::x86(events)),
+        "power" => Ok(SynthConfig::power(events)),
+        "armv8" => Ok(SynthConfig::armv8(events)),
+        "cpp" => Ok(SynthConfig::cpp(events)),
+        other => Err(format!(
+            "unknown config `{other}` (expected x86, power, armv8 or cpp)"
+        )),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tm-cat list\n  tm-cat print <target>\n  tm-cat check <file.cat> \
+         [--litmus NAME]... [--expect TARGET] [--program]\n  tm-cat sweep <file.cat> \
+         [--events N] [--config x86|power|armv8|cpp] [--expect TARGET] [--incremental]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => list(),
+        "print" => match args.get(1).map(|t| parse_target(t)) {
+            Some(Ok(target)) => {
+                print!("{}", print_target(target));
+                ExitCode::SUCCESS
+            }
+            Some(Err(msg)) => {
+                eprintln!("tm-cat: {msg}");
+                ExitCode::from(2)
+            }
+            None => usage(),
+        },
+        "check" => check(&args[1..]),
+        "sweep" => sweep(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn list() -> ExitCode {
+    println!("litmus executions (tm-cat check --litmus NAME):");
+    for (name, exec) in named_executions() {
+        println!("  {name:<24} ({} events)", exec.len());
+    }
+    println!("\nbuilt-in targets (tm-cat print TARGET, --expect TARGET):");
+    for target in Target::ALL {
+        println!("  {}", target.name());
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_or_exit(path: &str) -> Result<IrModel, ExitCode> {
+    match load_file(path) {
+        Ok(model) => Ok(model),
+        Err(e) => {
+            eprintln!("{e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut litmus: Vec<String> = Vec::new();
+    let mut expect: Option<Target> = None;
+    let mut program = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--litmus" if i + 1 < args.len() => {
+                litmus.push(args[i + 1].clone());
+                i += 2;
+            }
+            "--expect" if i + 1 < args.len() => {
+                match parse_target(&args[i + 1]) {
+                    Ok(t) => expect = Some(t),
+                    Err(msg) => {
+                        eprintln!("tm-cat: {msg}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--program" => {
+                program = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("tm-cat: unknown option `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let model = match load_or_exit(path) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+    println!(
+        "loaded `{}` from {path} ({} axioms: {})",
+        model.name(),
+        model.table().axioms().len(),
+        model.axioms().join(", ")
+    );
+
+    let all = named_executions();
+    let selected: Vec<&(&str, Execution)> = if litmus.is_empty() {
+        all.iter().collect()
+    } else {
+        let mut out = Vec::new();
+        for want in &litmus {
+            match all.iter().find(|(name, _)| name == want) {
+                Some(entry) => out.push(entry),
+                None => {
+                    eprintln!("tm-cat: unknown litmus test `{want}` (see `tm-cat list`)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        out
+    };
+
+    let reference = expect.map(|t| t.model());
+    let mut drift = 0usize;
+    for (name, exec) in &selected {
+        let verdict = model.check(exec);
+        println!("{name:<24} {verdict}");
+        if program {
+            println!("{}", from_execution(exec, name));
+        }
+        if let Some(reference) = &reference {
+            let expected = reference.check(exec);
+            // Witness-level comparison: names AND cycles must coincide.
+            if verdict.violations != expected.violations {
+                drift += 1;
+                println!("  DRIFT: built-in {expected}");
+            }
+        }
+    }
+    if let Some(target) = expect {
+        if drift > 0 {
+            eprintln!(
+                "tm-cat: {drift} verdict(s) drift from built-in `{}`",
+                target.name()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "all {} verdicts match built-in `{}`",
+            selected.len(),
+            target.name()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn sweep(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut events = 4usize;
+    let mut config_name = "x86".to_string();
+    let mut expect: Option<Target> = None;
+    let mut incremental = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--events" if i + 1 < args.len() => {
+                match args[i + 1].parse() {
+                    Ok(n) => events = n,
+                    Err(_) => {
+                        eprintln!("tm-cat: --events expects a number");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--config" if i + 1 < args.len() => {
+                config_name = args[i + 1].clone();
+                i += 2;
+            }
+            "--expect" if i + 1 < args.len() => {
+                match parse_target(&args[i + 1]) {
+                    Ok(t) => expect = Some(t),
+                    Err(msg) => {
+                        eprintln!("tm-cat: {msg}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--incremental" => {
+                incremental = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("tm-cat: unknown option `{other}`");
+                return usage();
+            }
+        }
+    }
+    let config = match parse_config(&config_name, events) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("tm-cat: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let model = match load_or_exit(path) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+    println!(
+        "sweeping `{}` over the {config_name} space, |E| <= {events}{}",
+        model.name(),
+        if incremental { " (incremental)" } else { "" }
+    );
+
+    let reference = expect.map(|t| t.model());
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let total = AtomicUsize::new(0);
+    let consistent = AtomicUsize::new(0);
+    let drift = AtomicUsize::new(0);
+    let start = std::time::Instant::now();
+    let mut executions = 0usize;
+    for n in 2..=events {
+        if incremental {
+            executions += enumerate_exact_incremental(&config, n, || {
+                let mut checker = model.incremental();
+                let (total, consistent, drift) = (&total, &consistent, &drift);
+                let reference = &reference;
+                move |exec: &Execution, delta: &tm_exec::ir::Delta| {
+                    checker.advance(exec, delta);
+                    let ok = checker.is_consistent(exec);
+                    total.fetch_add(1, Ordering::Relaxed);
+                    if ok {
+                        consistent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(reference) = reference {
+                        if reference.is_consistent(exec) != ok {
+                            drift.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        } else {
+            executions += enumerate_exact(&config, n, |exec| {
+                let ok = model.is_consistent(exec);
+                total.fetch_add(1, Ordering::Relaxed);
+                if ok {
+                    consistent.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(reference) = &reference {
+                    if reference.is_consistent(exec) != ok {
+                        drift.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "{executions} executions in {secs:.3}s ({:.0} execs/s): {} consistent, {} forbidden",
+        executions as f64 / secs.max(f64::EPSILON),
+        consistent.load(Ordering::Relaxed),
+        total.load(Ordering::Relaxed) - consistent.load(Ordering::Relaxed),
+    );
+    if let Some(target) = expect {
+        let drift = drift.load(Ordering::Relaxed);
+        if drift > 0 {
+            eprintln!(
+                "tm-cat: {drift} execution(s) drift from built-in `{}`",
+                target.name()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "verdicts match built-in `{}` on the whole space",
+            target.name()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,305 @@
+//! Elaboration: spanned `.cat` syntax into the hash-consed axiom IR.
+//!
+//! The dialect is kind-checked here — every expression is either an *event
+//! set* or a *relation*, the operators demand specific kinds, and mismatches
+//! are reported with the span of the offending operand. The output is an
+//! [`IrModel`]: a private [`IrPool`](tm_exec::ir::IrPool) holding every
+//! lowered node (hash-consed, so repeated subexpressions — across `let`
+//! bindings, axioms, or `include`d files — are one node, exactly like the
+//! built-in catalog) plus the axiom table in declaration order.
+
+use std::collections::HashMap;
+
+use tm_exec::ir::{AxiomHead, IrPool, RelBase, RelExpr, RelId, SetId};
+use tm_models::ir::IrModel;
+
+use crate::ast::{Binding, CatFile, Expr, Head, Stmt};
+use crate::error::{CatError, Sources, Span};
+use crate::prim::{lookup, Prim};
+
+/// The kind-tagged result of elaborating one expression.
+#[derive(Clone, Copy, Debug)]
+enum Value {
+    Set(SetId),
+    Rel(RelId),
+}
+
+impl Value {
+    fn kind(self) -> &'static str {
+        match self {
+            Value::Set(_) => "a set",
+            Value::Rel(_) => "a relation",
+        }
+    }
+}
+
+struct Elab<'a> {
+    sources: &'a Sources,
+    pool: IrPool,
+    env: HashMap<String, Value>,
+}
+
+/// Elaborates a parsed (and include-spliced) file into a model named `name`.
+pub fn elaborate(sources: &Sources, name: String, file: &CatFile) -> Result<IrModel, CatError> {
+    let mut elab = Elab {
+        sources,
+        pool: IrPool::new(),
+        env: HashMap::new(),
+    };
+    let mut axioms = Vec::new();
+    for stmt in &file.stmts {
+        match stmt {
+            Stmt::Include { path, span } => {
+                // The loader splices includes before elaboration; reaching
+                // one here means the caller skipped that pass.
+                return Err(elab.err(
+                    *span,
+                    format!("unresolved include of \"{path}\" (load through the file loader)"),
+                ));
+            }
+            Stmt::Let { rec, bindings, .. } => elab.let_group(*rec, bindings)?,
+            Stmt::Axiom {
+                head, body, name, ..
+            } => {
+                let body_id = elab.rel(body)?;
+                let axiom_name = match name {
+                    Some((n, _)) => n.clone(),
+                    None => format!("axiom{}", axioms.len() + 1),
+                };
+                let head = match head {
+                    Head::Acyclic => AxiomHead::Acyclic,
+                    Head::Irreflexive => AxiomHead::Irreflexive,
+                    Head::Empty => AxiomHead::Empty,
+                };
+                axioms.push(elab.pool.axiom(axiom_name, head, body_id));
+            }
+        }
+    }
+    Ok(IrModel::from_parts(name, elab.pool, axioms))
+}
+
+impl<'a> Elab<'a> {
+    fn err(&self, span: Span, message: impl Into<String>) -> CatError {
+        CatError::new(self.sources, span, message)
+    }
+
+    fn let_group(&mut self, rec: bool, bindings: &[Binding]) -> Result<(), CatError> {
+        for (i, binding) in bindings.iter().enumerate() {
+            if rec {
+                // Bindings elaborate in order, so references to *earlier*
+                // members of the group are ordinary sequential uses; a
+                // reference to the binding itself or a *later* member is a
+                // genuine fixpoint, which the IR (a finite DAG with explicit
+                // closure operators) has no lowering for. Catch those by
+                // name before resolution fails with a misleading "unknown
+                // name".
+                for other in &bindings[i..] {
+                    if binding.expr.mentions(&other.name) {
+                        return Err(self.err(
+                            binding.name_span,
+                            format!(
+                                "recursive definition of `{}` (via `{}`) is not supported: the \
+                                 IR has no fixpoint operator; express the recursion with the \
+                                 closure operators `+` or `*`",
+                                binding.name, other.name
+                            ),
+                        ));
+                    }
+                }
+            }
+            let value = self.eval(&binding.expr)?;
+            self.env.insert(binding.name.clone(), value);
+        }
+        Ok(())
+    }
+
+    /// Elaborates an expression that must be a relation.
+    fn rel(&mut self, e: &Expr) -> Result<RelId, CatError> {
+        match self.eval(e)? {
+            Value::Rel(id) => Ok(id),
+            Value::Set(_) => Err(self.err(
+                e.span(),
+                "expected a relation, found a set (wrap it as `[S]` to use the identity \
+                 relation on it)",
+            )),
+        }
+    }
+
+    /// Elaborates an expression that must be a set.
+    fn set(&mut self, e: &Expr, what: &str) -> Result<SetId, CatError> {
+        match self.eval(e)? {
+            Value::Set(id) => Ok(id),
+            Value::Rel(_) => Err(self.err(
+                e.span(),
+                format!("{what} needs a set, but this expression is a relation"),
+            )),
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Result<Value, CatError> {
+        match e {
+            Expr::Name(name, span) => {
+                if let Some(&v) = self.env.get(name) {
+                    return Ok(v);
+                }
+                match lookup(name) {
+                    Some(Prim::Rel(base)) => Ok(Value::Rel(self.pool.base(base))),
+                    Some(Prim::Set(base)) => Ok(Value::Set(self.pool.set_base(base))),
+                    None => Err(self.err(*span, format!("unknown name `{name}`"))),
+                }
+            }
+            Expr::Union(a, b, span) => {
+                let (va, vb) = (self.eval(a)?, self.eval(b)?);
+                match (va, vb) {
+                    (Value::Rel(a), Value::Rel(b)) => Ok(Value::Rel(self.pool.union(a, b))),
+                    (Value::Set(a), Value::Set(b)) => Ok(Value::Set(self.pool.set_union(a, b))),
+                    _ => Err(self.kind_mismatch("|", va, vb, *span)),
+                }
+            }
+            Expr::Inter(a, b, span) => {
+                let (va, vb) = (self.eval(a)?, self.eval(b)?);
+                match (va, vb) {
+                    (Value::Rel(a), Value::Rel(b)) => Ok(Value::Rel(self.pool.inter(a, b))),
+                    (Value::Set(a), Value::Set(b)) => Ok(Value::Set(self.pool.set_inter(a, b))),
+                    _ => Err(self.kind_mismatch("&", va, vb, *span)),
+                }
+            }
+            Expr::Diff(a, b, _) => {
+                let (va, vb) = (self.eval(a)?, self.eval(b)?);
+                match (va, vb) {
+                    (Value::Rel(a), Value::Rel(b)) => Ok(Value::Rel(self.pool.diff(a, b))),
+                    (Value::Set(_), _) | (_, Value::Set(_)) => Err(self.err(
+                        if matches!(va, Value::Set(_)) {
+                            a.span()
+                        } else {
+                            b.span()
+                        },
+                        "`\\` subtracts relations; set difference is not supported by the IR",
+                    )),
+                }
+            }
+            Expr::Seq(a, b, _) => {
+                let left = self.seq_operand(a)?;
+                let right = self.seq_operand(b)?;
+                Ok(Value::Rel(self.pool.seq(left, right)))
+            }
+            Expr::Cross(a, b, _) => {
+                let sa = self.cross_operand(a)?;
+                let sb = self.cross_operand(b)?;
+                Ok(Value::Rel(self.pool.cross(sa, sb)))
+            }
+            Expr::Opt(a, _) => {
+                let r = self.postfix_operand(a, "?")?;
+                Ok(Value::Rel(self.pool.opt(r)))
+            }
+            Expr::Plus(a, _) => {
+                let r = self.postfix_operand(a, "+")?;
+                Ok(Value::Rel(self.pool.plus(r)))
+            }
+            Expr::Star(a, _) => {
+                let r = self.postfix_operand(a, "*")?;
+                Ok(Value::Rel(self.pool.star(r)))
+            }
+            Expr::Inverse(a, _) => {
+                let r = self.postfix_operand(a, "~")?;
+                Ok(Value::Rel(self.pool.inverse(r)))
+            }
+            Expr::IdOn(a, _) => {
+                let s = self.set(a, "`[_]`")?;
+                Ok(Value::Rel(self.pool.id_on(s)))
+            }
+            Expr::Call(name, name_span, args, span) => self.call(name, *name_span, args, *span),
+        }
+    }
+
+    fn kind_mismatch(&self, op: &str, va: Value, vb: Value, span: Span) -> CatError {
+        self.err(
+            span,
+            format!(
+                "`{op}` needs both operands of the same kind, but the left is {} and the \
+                 right is {}",
+                va.kind(),
+                vb.kind()
+            ),
+        )
+    }
+
+    fn seq_operand(&mut self, e: &Expr) -> Result<RelId, CatError> {
+        match self.eval(e)? {
+            Value::Rel(id) => Ok(id),
+            Value::Set(_) => Err(self.err(
+                e.span(),
+                "`;` composes relations, but this operand is a set (write `[S]` for the \
+                 identity relation on it)",
+            )),
+        }
+    }
+
+    fn cross_operand(&mut self, e: &Expr) -> Result<SetId, CatError> {
+        match self.eval(e)? {
+            Value::Set(id) => Ok(id),
+            Value::Rel(_) => Err(self.err(
+                e.span(),
+                "`*` is the cartesian product of two sets, but this operand is a relation \
+                 (the postfix closure `*` binds only when not followed by an operand)",
+            )),
+        }
+    }
+
+    fn postfix_operand(&mut self, e: &Expr, op: &str) -> Result<RelId, CatError> {
+        match self.eval(e)? {
+            Value::Rel(id) => Ok(id),
+            Value::Set(_) => Err(self.err(
+                e.span(),
+                format!("`{op}` applies to a relation, but this expression is a set"),
+            )),
+        }
+    }
+
+    fn call(
+        &mut self,
+        name: &str,
+        name_span: Span,
+        args: &[Expr],
+        span: Span,
+    ) -> Result<Value, CatError> {
+        let arity = |n: usize| -> Result<(), CatError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(self.err(
+                    span,
+                    format!("`{name}` takes {n} argument(s), found {}", args.len()),
+                ))
+            }
+        };
+        match name {
+            "weaklift" | "stronglift" => {
+                arity(2)?;
+                let r = self.rel(&args[0])?;
+                let t = self.rel(&args[1])?;
+                Ok(Value::Rel(if name == "weaklift" {
+                    self.pool.weaklift(r, t)
+                } else {
+                    self.pool.stronglift(r, t)
+                }))
+            }
+            "domain" | "range" => {
+                arity(1)?;
+                let r = self.rel(&args[0])?;
+                if self.pool.rel_expr(r) != RelExpr::Base(RelBase::Rmw) {
+                    return Err(self.err(
+                        args[0].span(),
+                        format!("`{name}(...)` is only available for the primitive `rmw` relation"),
+                    ));
+                }
+                Ok(Value::Set(self.pool.set_base(if name == "domain" {
+                    tm_exec::ir::SetBase::RmwDomain
+                } else {
+                    tm_exec::ir::SetBase::RmwRange
+                })))
+            }
+            _ => Err(self.err(name_span, format!("unknown function `{name}`"))),
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Span-carrying diagnostics for the `.cat` front end.
+//!
+//! Every phase — lexing, parsing, elaboration, file loading — reports a
+//! [`CatError`] pointing at the offending source range. Rendering follows
+//! the familiar compiler shape:
+//!
+//! ```text
+//! error: unknown name `foo`
+//!   --> models/broken.cat:3:9
+//!    |
+//!  3 | acyclic foo as Order
+//!    |         ^^^
+//! ```
+
+use std::fmt;
+
+/// A half-open byte range into one source file (see [`Sources`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Index of the source file in the loader's [`Sources`] arena.
+    pub src: u32,
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering `start..end` of source `src`.
+    pub fn new(src: u32, start: usize, end: usize) -> Span {
+        Span {
+            src,
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other` (same source).
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            src: self.src,
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// One loaded source file: display path plus full text, kept so diagnostics
+/// can quote the offending line.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// The path as shown in diagnostics (`<input>` for in-memory sources).
+    pub path: String,
+    /// The complete source text.
+    pub text: String,
+}
+
+/// The arena of every source file a load touched (the root file plus its
+/// transitive `include`s). Spans index into it.
+#[derive(Clone, Debug, Default)]
+pub struct Sources {
+    files: Vec<SourceFile>,
+}
+
+impl Sources {
+    /// An empty arena.
+    pub fn new() -> Sources {
+        Sources::default()
+    }
+
+    /// Adds a file and returns its index for [`Span::src`].
+    pub fn add(&mut self, path: impl Into<String>, text: impl Into<String>) -> u32 {
+        self.files.push(SourceFile {
+            path: path.into(),
+            text: text.into(),
+        });
+        (self.files.len() - 1) as u32
+    }
+
+    /// The file behind a span.
+    pub fn file(&self, src: u32) -> &SourceFile {
+        &self.files[src as usize]
+    }
+}
+
+/// A diagnostic from any `.cat` phase, fully rendered (the source line is
+/// captured at construction so the error outlives the loader).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatError {
+    /// The one-line message (`unknown name \`foo\``).
+    pub message: String,
+    /// Display path of the offending file.
+    pub path: String,
+    /// 1-based line of the span start.
+    pub line: u32,
+    /// 1-based column (in characters) of the span start.
+    pub col: u32,
+    /// The full text of the offending line.
+    pub line_text: String,
+    /// Length of the caret underline, in characters (at least 1).
+    pub caret_len: u32,
+}
+
+impl CatError {
+    /// Builds a diagnostic for `span`, quoting its line from `sources`.
+    pub fn new(sources: &Sources, span: Span, message: impl Into<String>) -> CatError {
+        let file = sources.file(span.src);
+        let start = (span.start as usize).min(file.text.len());
+        let end = (span.end as usize).clamp(start, file.text.len());
+        let line_start = file.text[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = file.text[start..]
+            .find('\n')
+            .map_or(file.text.len(), |i| start + i);
+        let line = file.text[..start].matches('\n').count() as u32 + 1;
+        let col = file.text[line_start..start].chars().count() as u32 + 1;
+        let caret_end = end.min(line_end).max(start);
+        let caret_len = (file.text[start..caret_end].chars().count() as u32).max(1);
+        CatError {
+            message: message.into(),
+            path: file.path.clone(),
+            line,
+            col,
+            line_text: file.text[line_start..line_end].to_string(),
+            caret_len,
+        }
+    }
+
+    /// A diagnostic with a location but no quotable source (I/O errors).
+    pub fn io(path: impl Into<String>, message: impl Into<String>) -> CatError {
+        CatError {
+            message: message.into(),
+            path: path.into(),
+            line: 0,
+            col: 0,
+            line_text: String::new(),
+            caret_len: 0,
+        }
+    }
+}
+
+impl fmt::Display for CatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {}", self.message)?;
+        if self.line == 0 {
+            return write!(f, "  --> {}", self.path);
+        }
+        writeln!(f, "  --> {}:{}:{}", self.path, self.line, self.col)?;
+        let gutter = self.line.to_string().len().max(2);
+        writeln!(f, "{:>gutter$} |", "")?;
+        writeln!(f, "{:>gutter$} | {}", self.line, self.line_text)?;
+        write!(
+            f,
+            "{:>gutter$} | {:>pad$}{}",
+            "",
+            "",
+            "^".repeat(self.caret_len as usize),
+            pad = (self.col - 1) as usize
+        )
+    }
+}
+
+impl std::error::Error for CatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_line_and_caret() {
+        let mut sources = Sources::new();
+        let src = sources.add("m.cat", "let a = po\nacyclic foo as A\n");
+        let span = Span::new(src, 19, 22);
+        let err = CatError::new(&sources, span, "unknown name `foo`");
+        let rendered = err.to_string();
+        assert!(rendered.contains("m.cat:2:9"), "{rendered}");
+        assert!(rendered.contains("acyclic foo as A"), "{rendered}");
+        assert!(rendered.contains("        ^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn spans_at_eof_still_render() {
+        let mut sources = Sources::new();
+        let src = sources.add("m.cat", "let x =");
+        let span = Span::new(src, 7, 7);
+        let err = CatError::new(&sources, span, "expected an expression");
+        assert!(err.to_string().contains("m.cat:1:8"));
+    }
+}

@@ -1,0 +1,302 @@
+//! The `.cat` lexer: source text to spanned tokens.
+//!
+//! The token set is small — identifiers (which may contain `.` and `-`, as
+//! in `dmb.ld` and `po-loc`), string literals, the operator punctuation of
+//! the relation algebra, and a handful of keywords. Comments are OCaml-style
+//! `(* ... *)` (nesting) or `//` to end of line.
+
+use crate::error::{CatError, Sources, Span};
+
+/// One lexical token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or primitive name (`po`, `dmb.ld`, `po-loc`).
+    Ident(String),
+    /// A double-quoted string literal (model names, include paths).
+    Str(String),
+    /// `let`
+    Let,
+    /// `rec`
+    Rec,
+    /// `and`
+    And,
+    /// `as`
+    As,
+    /// `include`
+    Include,
+    /// `acyclic`
+    Acyclic,
+    /// `irreflexive`
+    Irreflexive,
+    /// `empty`
+    Empty,
+    /// `=`
+    Eq,
+    /// `|`
+    Pipe,
+    /// `&`
+    Amp,
+    /// `;`
+    Semi,
+    /// `\`
+    Backslash,
+    /// `+`
+    Plus,
+    /// `*`
+    Star,
+    /// `?`
+    Question,
+    /// `~`
+    Tilde,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// How the token reads in diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(name) => format!("`{name}`"),
+            Tok::Str(_) => "a string literal".to_string(),
+            Tok::Let => "`let`".to_string(),
+            Tok::Rec => "`rec`".to_string(),
+            Tok::And => "`and`".to_string(),
+            Tok::As => "`as`".to_string(),
+            Tok::Include => "`include`".to_string(),
+            Tok::Acyclic => "`acyclic`".to_string(),
+            Tok::Irreflexive => "`irreflexive`".to_string(),
+            Tok::Empty => "`empty`".to_string(),
+            Tok::Eq => "`=`".to_string(),
+            Tok::Pipe => "`|`".to_string(),
+            Tok::Amp => "`&`".to_string(),
+            Tok::Semi => "`;`".to_string(),
+            Tok::Backslash => "`\\`".to_string(),
+            Tok::Plus => "`+`".to_string(),
+            Tok::Star => "`*`".to_string(),
+            Tok::Question => "`?`".to_string(),
+            Tok::Tilde => "`~`".to_string(),
+            Tok::LParen => "`(`".to_string(),
+            Tok::RParen => "`)`".to_string(),
+            Tok::LBracket => "`[`".to_string(),
+            Tok::RBracket => "`]`".to_string(),
+            Tok::Comma => "`,`".to_string(),
+            Tok::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token kind (and payload, for identifiers and strings).
+    pub tok: Tok,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    // `.` and `-` are name characters (`dmb.ld`, `po-loc`): the dialect has
+    // no binary minus or dot operator, so the grammar stays unambiguous.
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-'
+}
+
+/// Lexes one source file (index `src` in `sources`) into tokens, ending with
+/// a [`Tok::Eof`] token.
+pub fn lex(sources: &Sources, src: u32) -> Result<Vec<Token>, CatError> {
+    let text = sources.file(src).text.clone();
+    let bytes: Vec<char> = text.chars().collect();
+    // Byte offsets per char index, so spans are byte-based like the text.
+    let mut offsets = Vec::with_capacity(bytes.len() + 1);
+    let mut off = 0;
+    for c in &bytes {
+        offsets.push(off);
+        off += c.len_utf8();
+    }
+    offsets.push(off);
+
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let start = offsets[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Nesting block comment.
+        if c == '(' && bytes.get(i + 1) == Some(&'*') {
+            let open = Span::new(src, start, offsets[i + 2]);
+            let mut depth = 1;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == '(' && bytes.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&')') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            if depth > 0 {
+                return Err(CatError::new(sources, open, "unterminated comment"));
+            }
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let mut s = String::new();
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != '"' {
+                if bytes[j] == '\n' {
+                    break;
+                }
+                s.push(bytes[j]);
+                j += 1;
+            }
+            if bytes.get(j) != Some(&'"') {
+                let span = Span::new(src, start, offsets[j]);
+                return Err(CatError::new(sources, span, "unterminated string literal"));
+            }
+            out.push(Token {
+                tok: Tok::Str(s),
+                span: Span::new(src, start, offsets[j + 1]),
+            });
+            i = j + 1;
+            continue;
+        }
+        // Identifier or keyword.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < bytes.len() && is_ident_continue(bytes[j]) {
+                j += 1;
+            }
+            let word: String = bytes[i..j].iter().collect();
+            let tok = match word.as_str() {
+                "let" => Tok::Let,
+                "rec" => Tok::Rec,
+                "and" => Tok::And,
+                "as" => Tok::As,
+                "include" => Tok::Include,
+                "acyclic" => Tok::Acyclic,
+                "irreflexive" => Tok::Irreflexive,
+                "empty" => Tok::Empty,
+                _ => Tok::Ident(word),
+            };
+            out.push(Token {
+                tok,
+                span: Span::new(src, start, offsets[j]),
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation.
+        let tok = match c {
+            '=' => Tok::Eq,
+            '|' => Tok::Pipe,
+            '&' => Tok::Amp,
+            ';' => Tok::Semi,
+            '\\' => Tok::Backslash,
+            '+' => Tok::Plus,
+            '*' => Tok::Star,
+            '?' => Tok::Question,
+            '~' => Tok::Tilde,
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ',' => Tok::Comma,
+            other => {
+                let span = Span::new(src, start, offsets[i + 1]);
+                return Err(CatError::new(
+                    sources,
+                    span,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        };
+        out.push(Token {
+            tok,
+            span: Span::new(src, start, offsets[i + 1]),
+        });
+        i += 1;
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(src, off, off),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_str(text: &str) -> Result<Vec<Tok>, CatError> {
+        let mut sources = Sources::new();
+        let src = sources.add("<test>", text);
+        Ok(lex(&sources, src)?.into_iter().map(|t| t.tok).collect())
+    }
+
+    #[test]
+    fn lexes_identifiers_with_dots_and_dashes() {
+        let toks = lex_str("po-loc | dmb.ld ; F.sc").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("po-loc".into()),
+                Tok::Pipe,
+                Tok::Ident("dmb.ld".into()),
+                Tok::Semi,
+                Tok::Ident("F.sc".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_nest_and_line_comments_stop_at_newline() {
+        let toks = lex_str("po (* outer (* inner *) still *) | // rest\nrf").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("po".into()),
+                Tok::Pipe,
+                Tok::Ident("rf".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_characters_with_a_span() {
+        let mut sources = Sources::new();
+        let src = sources.add("<test>", "po @ rf");
+        let err = lex(&sources, src).unwrap_err();
+        assert!(err.message.contains("unexpected character `@`"));
+        assert_eq!((err.line, err.col), (1, 4));
+    }
+}

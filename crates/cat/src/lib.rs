@@ -1,0 +1,259 @@
+//! A `.cat`-style model language for transactional weak-memory models.
+//!
+//! The herd ecosystem exchanges memory models as `.cat` files — small
+//! scripts of relation algebra. This crate gives the reproduction the same
+//! door: a lexer, a recursive-descent parser, and an elaborator that lower
+//! a `.cat` dialect onto the hash-consed axiom IR of [`tm_exec::ir`],
+//! producing a [`tm_models::ir::IrModel`] that plugs into everything the
+//! built-in catalog plugs into — the litmus verdicts, the exhaustive
+//! synthesis sweep, the incremental delta-driven checker, and the
+//! metatheory's polarity analysis — **without recompiling anything**.
+//!
+//! The dialect (see the repository README for the full grammar):
+//!
+//! * primitive relations `po rf co fr rmw stxn stxnat scr po-loc sloc com
+//!   rfe fre tfence mfence sync lwsync dmb dmb.ld …` and event sets `R W F
+//!   Acq Rel SC A F.sc …`;
+//! * operators `|` (union), `&` (intersection), `\` (difference), `;`
+//!   (composition), `A * B` (product of sets), postfix `+ * ?` (closures),
+//!   prefix `~` (inverse), `[S]` (identity on a set), and the §3.3
+//!   transaction lifts `weaklift(r, t)` / `stronglift(r, t)`;
+//! * `let` (and syntactically `let rec`) bindings, `include "file.cat"`,
+//!   and axiom heads `acyclic e as Name`, `irreflexive e as Name`,
+//!   `empty e as Name`;
+//! * `(* … *)` and `//` comments, and an optional leading string literal
+//!   naming the model.
+//!
+//! Every error — lexical, syntactic, or a kind mismatch caught during
+//! elaboration — is a [`CatError`] carrying the offending span and
+//! rendering compiler-style with the source line and a caret.
+//!
+//! # Examples
+//!
+//! ```
+//! use tm_cat::load_str;
+//! use tm_exec::catalog;
+//! use tm_models::MemoryModel;
+//!
+//! let model = load_str(
+//!     "tcoh",
+//!     r#"
+//!     "SC-per-loc+WeakIsol"
+//!     acyclic po-loc | com as Coherence
+//!     acyclic weaklift(com, stxn) as WeakIsol
+//!     "#,
+//! )
+//! .unwrap();
+//! assert_eq!(model.name(), "SC-per-loc+WeakIsol");
+//! assert!(model.is_consistent(&catalog::sb()));
+//! assert!(!model.is_consistent(&catalog::lb_txn()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod elab;
+pub mod error;
+pub mod lexer;
+mod parser;
+mod prim;
+mod print;
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use tm_models::ir::IrModel;
+
+pub use error::{CatError, SourceFile, Sources, Span};
+pub use print::{print_model, print_target};
+
+use ast::{CatFile, Stmt};
+
+/// How deep `include` chains may nest.
+const MAX_INCLUDE_DEPTH: usize = 16;
+
+/// Parses and elaborates `.cat` source held in memory.
+///
+/// `name_hint` names the model when the source has no leading string
+/// literal. `include` paths resolve relative to the current directory.
+pub fn load_str(name_hint: &str, text: &str) -> Result<IrModel, CatError> {
+    let mut loader = Loader::new();
+    let file = loader.parse_source("<input>".to_string(), text.to_string(), None, 0)?;
+    loader.finish(name_hint, file)
+}
+
+/// Loads, parses and elaborates a `.cat` file from disk, following its
+/// `include`s (relative to the including file, cycles rejected).
+///
+/// The model is named by the file's leading string literal, or its file
+/// stem when absent.
+pub fn load_file(path: impl AsRef<Path>) -> Result<IrModel, CatError> {
+    let path = path.as_ref();
+    let mut loader = Loader::new();
+    let file = loader.parse_path(path, 0)?;
+    let hint = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "model".to_string());
+    loader.finish(&hint, file)
+}
+
+struct Loader {
+    sources: Sources,
+    /// Canonicalised paths currently on the include stack (cycle check).
+    in_flight: HashSet<PathBuf>,
+}
+
+impl Loader {
+    fn new() -> Loader {
+        Loader {
+            sources: Sources::new(),
+            in_flight: HashSet::new(),
+        }
+    }
+
+    fn parse_path(&mut self, path: &Path, depth: usize) -> Result<CatFile, CatError> {
+        let display = path.display().to_string();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CatError::io(display.clone(), format!("cannot read {display}: {e}")))?;
+        let canonical = path.canonicalize().unwrap_or_else(|_| path.to_path_buf());
+        if !self.in_flight.insert(canonical.clone()) {
+            return Err(CatError::io(
+                display.clone(),
+                format!("include cycle through {display}"),
+            ));
+        }
+        let parent = path.parent().map(Path::to_path_buf);
+        let file = self.parse_source(display, text, parent, depth)?;
+        self.in_flight.remove(&canonical);
+        Ok(file)
+    }
+
+    /// Parses one source and splices its `include`s in place.
+    fn parse_source(
+        &mut self,
+        display: String,
+        text: String,
+        dir: Option<PathBuf>,
+        depth: usize,
+    ) -> Result<CatFile, CatError> {
+        let src = self.sources.add(display, text);
+        let tokens = lexer::lex(&self.sources, src)?;
+        let file = parser::parse(&self.sources, tokens)?;
+        let mut stmts = Vec::with_capacity(file.stmts.len());
+        for stmt in file.stmts {
+            match stmt {
+                Stmt::Include { path, span } => {
+                    if depth + 1 > MAX_INCLUDE_DEPTH {
+                        return Err(CatError::new(
+                            &self.sources,
+                            span,
+                            format!("includes nest deeper than {MAX_INCLUDE_DEPTH}"),
+                        ));
+                    }
+                    let resolved = match &dir {
+                        Some(d) => d.join(&path),
+                        None => PathBuf::from(&path),
+                    };
+                    let included = self.parse_path(&resolved, depth + 1)?;
+                    // The included file's own leading name (if any) is
+                    // ignored; its statements are spliced in order.
+                    stmts.extend(included.stmts);
+                }
+                other => stmts.push(other),
+            }
+        }
+        Ok(CatFile {
+            name: file.name,
+            stmts,
+        })
+    }
+
+    fn finish(self, name_hint: &str, file: CatFile) -> Result<IrModel, CatError> {
+        let name = file.name.clone().unwrap_or_else(|| name_hint.to_string());
+        let model = elab::elaborate(&self.sources, name, &file)?;
+        if model.table().axioms().is_empty() {
+            return Err(CatError::io(
+                "<model>",
+                format!(
+                    "model `{}` defines no axioms (every consistency check would \
+                     trivially pass)",
+                    model.table().name()
+                ),
+            ));
+        }
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::catalog;
+    use tm_models::{MemoryModel, Target};
+
+    #[test]
+    fn load_str_builds_a_working_model() {
+        let model = load_str("demo", "acyclic po | com as Order\n").unwrap();
+        assert_eq!(model.name(), "demo");
+        // SC's one axiom: forbids store buffering, allows Fig. 2's run.
+        assert!(!model.is_consistent(&catalog::sb()));
+        assert!(model.is_consistent(&catalog::fig2()));
+    }
+
+    #[test]
+    fn shared_subexpressions_are_hash_consed_across_lets_and_axioms() {
+        let model = load_str(
+            "demo",
+            "let a = po | com\nlet b = po | com\nacyclic a as A\nirreflexive b as B\n",
+        )
+        .unwrap();
+        // `a` and `b` intern to the same node, so the two bodies coincide.
+        assert_eq!(
+            model.table().axioms()[0].body,
+            model.table().axioms()[1].body
+        );
+    }
+
+    #[test]
+    fn every_builtin_model_round_trips_through_print_and_parse() {
+        for target in Target::ALL {
+            let text = print_target(target);
+            let model = load_str("roundtrip", &text)
+                .unwrap_or_else(|e| panic!("{target}: reparse failed\n{e}\n---\n{text}"));
+            let builtin = target.model();
+            assert_eq!(model.name(), builtin.name(), "{target}");
+            assert_eq!(
+                model.axioms(),
+                builtin.axioms(),
+                "{target}: axiom lists differ\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn let_rec_allows_in_order_references_within_the_group() {
+        // `b` uses the *earlier* binding `a` — sequential, not a fixpoint.
+        let model = load_str(
+            "demo",
+            "let rec a = po-loc | com and b = a | rfe\nacyclic b as Order\n",
+        )
+        .unwrap();
+        assert_eq!(model.axioms(), vec!["Order"]);
+        // A reference to a *later* member of the group is genuine recursion.
+        let err = load_str("demo", "let rec a = b and b = po\nacyclic a as A\n").unwrap_err();
+        assert!(
+            err.message
+                .contains("recursive definition of `a` (via `b`)"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn model_without_axioms_is_rejected() {
+        let err = load_str("demo", "let a = po\n").unwrap_err();
+        assert!(err.message.contains("defines no axioms"), "{}", err.message);
+    }
+}

@@ -1,0 +1,408 @@
+//! Recursive-descent parser for the `.cat` dialect.
+//!
+//! Operator precedence, loosest to tightest:
+//!
+//! | level | operators         | meaning                          |
+//! |-------|-------------------|----------------------------------|
+//! | 1     | `\|`              | union                            |
+//! | 2     | `&`               | intersection                     |
+//! | 3     | `\`               | difference (left-associative)    |
+//! | 4     | `;`               | composition                      |
+//! | 5     | `*` (binary)      | cartesian product of sets        |
+//! | 6     | `+` `*` `?` (postfix), `~` (prefix) | closures, inverse |
+//!
+//! The two readings of `*` are disambiguated by one token of lookahead: a
+//! `*` followed by the start of an operand (a name, `(`, `[` or `~`) is the
+//! binary product, anything else is the postfix reflexive-transitive
+//! closure — so `W * W` is a product while `com* ; rfe?` closes `com`.
+
+use crate::ast::{Binding, CatFile, Expr, Head, Stmt};
+use crate::error::{CatError, Sources, Span};
+use crate::lexer::{Tok, Token};
+
+struct Parser<'a> {
+    sources: &'a Sources,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses one lexed file.
+pub fn parse(sources: &Sources, tokens: Vec<Token>) -> Result<CatFile, CatError> {
+    Parser {
+        sources,
+        tokens,
+        pos: 0,
+    }
+    .file()
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, span: Span, message: impl Into<String>) -> CatError {
+        CatError::new(self.sources, span, message)
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<Token, CatError> {
+        if *self.peek() == want {
+            Ok(self.bump())
+        } else {
+            Err(self.err(
+                self.span(),
+                format!("expected {what}, found {}", self.peek().describe()),
+            ))
+        }
+    }
+
+    fn file(&mut self) -> Result<CatFile, CatError> {
+        let name = if let Tok::Str(s) = self.peek() {
+            let s = s.clone();
+            self.bump();
+            Some(s)
+        } else {
+            None
+        };
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::Eof {
+            stmts.push(self.stmt()?);
+        }
+        Ok(CatFile { name, stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CatError> {
+        match self.peek().clone() {
+            Tok::Include => {
+                let start = self.bump().span;
+                let tok = self.bump();
+                match tok.tok {
+                    Tok::Str(path) => Ok(Stmt::Include {
+                        path,
+                        span: start.to(tok.span),
+                    }),
+                    other => Err(self.err(
+                        tok.span,
+                        format!(
+                            "expected a string literal after `include`, found {}",
+                            other.describe()
+                        ),
+                    )),
+                }
+            }
+            Tok::Let => self.let_stmt(),
+            Tok::Acyclic => self.axiom(Head::Acyclic),
+            Tok::Irreflexive => self.axiom(Head::Irreflexive),
+            Tok::Empty => self.axiom(Head::Empty),
+            other => Err(self.err(
+                self.span(),
+                format!(
+                    "expected a statement (`let`, `include`, `acyclic`, `irreflexive` or \
+                     `empty`), found {}",
+                    other.describe()
+                ),
+            )),
+        }
+    }
+
+    fn let_stmt(&mut self) -> Result<Stmt, CatError> {
+        let start = self.bump().span; // `let`
+        let rec = if *self.peek() == Tok::Rec {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let what = if rec { "`let rec`" } else { "`let`" };
+        let mut bindings = vec![self.binding(what)?];
+        while *self.peek() == Tok::And {
+            self.bump();
+            bindings.push(self.binding(what)?);
+        }
+        let span = start.to(bindings.last().unwrap().expr.span());
+        Ok(Stmt::Let {
+            rec,
+            bindings,
+            span,
+        })
+    }
+
+    fn binding(&mut self, what: &str) -> Result<Binding, CatError> {
+        let tok = self.bump();
+        let (name, name_span) = match tok.tok {
+            Tok::Ident(name) => (name, tok.span),
+            Tok::Eof => {
+                return Err(self.err(
+                    tok.span,
+                    format!("unterminated {what}: expected a binding, found end of input"),
+                ))
+            }
+            other => {
+                return Err(self.err(
+                    tok.span,
+                    format!(
+                        "expected a name to bind in {what}, found {}",
+                        other.describe()
+                    ),
+                ))
+            }
+        };
+        self.expect(Tok::Eq, "`=`")?;
+        let expr = self.expr()?;
+        Ok(Binding {
+            name,
+            name_span,
+            expr,
+        })
+    }
+
+    fn axiom(&mut self, head: Head) -> Result<Stmt, CatError> {
+        let start = self.bump().span;
+        let body = self.expr()?;
+        let mut span = start.to(body.span());
+        let name = if *self.peek() == Tok::As {
+            self.bump();
+            let tok = self.bump();
+            match tok.tok {
+                Tok::Ident(name) => {
+                    span = span.to(tok.span);
+                    Some((name, tok.span))
+                }
+                other => {
+                    return Err(self.err(
+                        tok.span,
+                        format!(
+                            "expected an axiom name after `as`, found {}",
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::Axiom {
+            head,
+            body,
+            name,
+            span,
+        })
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, CatError> {
+        self.union()
+    }
+
+    fn union(&mut self) -> Result<Expr, CatError> {
+        let mut lhs = self.inter()?;
+        while *self.peek() == Tok::Pipe {
+            self.bump();
+            let rhs = self.inter()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Union(Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn inter(&mut self) -> Result<Expr, CatError> {
+        let mut lhs = self.diff()?;
+        while *self.peek() == Tok::Amp {
+            self.bump();
+            let rhs = self.diff()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Inter(Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn diff(&mut self) -> Result<Expr, CatError> {
+        let mut lhs = self.seq()?;
+        while *self.peek() == Tok::Backslash {
+            self.bump();
+            let rhs = self.seq()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Diff(Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn seq(&mut self) -> Result<Expr, CatError> {
+        let mut lhs = self.cross()?;
+        while *self.peek() == Tok::Semi {
+            self.bump();
+            let rhs = self.cross()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Seq(Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn starts_operand(tok: &Tok) -> bool {
+        matches!(
+            tok,
+            Tok::Ident(_) | Tok::LParen | Tok::LBracket | Tok::Tilde
+        )
+    }
+
+    fn cross(&mut self) -> Result<Expr, CatError> {
+        let mut lhs = self.postfix()?;
+        while *self.peek() == Tok::Star && Self::starts_operand(self.peek2()) {
+            self.bump();
+            let rhs = self.postfix()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Cross(Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CatError> {
+        let mut e = self.prefix()?;
+        loop {
+            match self.peek() {
+                Tok::Plus => {
+                    let span = e.span().to(self.bump().span);
+                    e = Expr::Plus(Box::new(e), span);
+                }
+                Tok::Question => {
+                    let span = e.span().to(self.bump().span);
+                    e = Expr::Opt(Box::new(e), span);
+                }
+                Tok::Star if !Self::starts_operand(self.peek2()) => {
+                    let span = e.span().to(self.bump().span);
+                    e = Expr::Star(Box::new(e), span);
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn prefix(&mut self) -> Result<Expr, CatError> {
+        if *self.peek() == Tok::Tilde {
+            let start = self.bump().span;
+            let e = self.prefix()?;
+            let span = start.to(e.span());
+            return Ok(Expr::Inverse(Box::new(e), span));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, CatError> {
+        let tok = self.bump();
+        match tok.tok {
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = vec![self.expr()?];
+                    while *self.peek() == Tok::Comma {
+                        self.bump();
+                        args.push(self.expr()?);
+                    }
+                    let close = self.expect(Tok::RParen, "`)`")?;
+                    let span = tok.span.to(close.span);
+                    Ok(Expr::Call(name, tok.span, args, span))
+                } else {
+                    Ok(Expr::Name(name, tok.span))
+                }
+            }
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::LBracket => {
+                let e = self.expr()?;
+                let close = self.expect(Tok::RBracket, "`]`")?;
+                let span = tok.span.to(close.span);
+                Ok(Expr::IdOn(Box::new(e), span))
+            }
+            other => Err(self.err(
+                tok.span,
+                format!("expected an expression, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_str(text: &str) -> Result<CatFile, CatError> {
+        let mut sources = Sources::new();
+        let src = sources.add("<test>", text);
+        let tokens = lex(&sources, src)?;
+        parse(&sources, tokens)
+    }
+
+    #[test]
+    fn parses_a_small_model() {
+        let file = parse_str(
+            "\"demo\"\nlet hb = po | rf\nacyclic hb as Order\nempty rmw & (fre ; coe) as RMWIsol\n",
+        )
+        .unwrap();
+        assert_eq!(file.name.as_deref(), Some("demo"));
+        assert_eq!(file.stmts.len(), 3);
+    }
+
+    #[test]
+    fn star_is_cross_before_an_operand_and_closure_otherwise() {
+        let file = parse_str("acyclic (W * W) | com* as A").unwrap();
+        let Stmt::Axiom { body, .. } = &file.stmts[0] else {
+            panic!("not an axiom")
+        };
+        let Expr::Union(l, r, _) = body else {
+            panic!("not a union: {body:?}")
+        };
+        assert!(matches!(**l, Expr::Cross(_, _, _)), "{l:?}");
+        assert!(matches!(**r, Expr::Star(_, _)), "{r:?}");
+    }
+
+    #[test]
+    fn let_rec_groups_with_and() {
+        let file = parse_str("let rec a = po and b = a | rf\nacyclic b\n").unwrap();
+        let Stmt::Let { rec, bindings, .. } = &file.stmts[0] else {
+            panic!("not a let")
+        };
+        assert!(*rec);
+        assert_eq!(bindings.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_let_rec_reports_the_hole() {
+        let err = parse_str("let rec x = po | x and").unwrap_err();
+        assert!(
+            err.message.contains("unterminated `let rec`"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn missing_operand_is_a_parse_error() {
+        let err = parse_str("acyclic po | as A").unwrap_err();
+        assert!(
+            err.message.contains("expected an expression"),
+            "{}",
+            err.message
+        );
+    }
+}

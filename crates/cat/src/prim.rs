@@ -1,0 +1,207 @@
+//! The primitive vocabulary of the dialect: the names under which the
+//! [`RelBase`]/[`SetBase`] inputs of the axiom IR appear in `.cat` source.
+//!
+//! One table serves both directions — the elaborator resolves names through
+//! [`lookup`], and the pretty-printer renders IR bases back through
+//! [`rel_name`]/[`set_name`] — so the two can never drift apart.
+
+use tm_exec::ir::{RelBase, SetBase};
+use tm_exec::Fence;
+
+/// A resolved primitive name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Prim {
+    /// A primitive (or view-derived) relation.
+    Rel(RelBase),
+    /// A primitive event set.
+    Set(SetBase),
+}
+
+/// The spelling suffix of a fence kind (`dmb.ld`, `F.sc`, …).
+fn fence_suffix(f: Fence) -> &'static str {
+    match f {
+        Fence::MFence => "mfence",
+        Fence::Sync => "sync",
+        Fence::Lwsync => "lwsync",
+        Fence::Isync => "isync",
+        Fence::Dmb => "dmb",
+        Fence::DmbLd => "dmb.ld",
+        Fence::DmbSt => "dmb.st",
+        Fence::Isb => "isb",
+        Fence::FenceSc => "sc",
+        Fence::FenceAcq => "acq",
+        Fence::FenceRel => "rel",
+    }
+}
+
+const ALL_FENCES: [Fence; 11] = [
+    Fence::MFence,
+    Fence::Sync,
+    Fence::Lwsync,
+    Fence::Isync,
+    Fence::Dmb,
+    Fence::DmbLd,
+    Fence::DmbSt,
+    Fence::Isb,
+    Fence::FenceSc,
+    Fence::FenceAcq,
+    Fence::FenceRel,
+];
+
+/// The `.cat` name of a base relation.
+pub fn rel_name(base: RelBase) -> String {
+    match base {
+        RelBase::Po => "po".into(),
+        RelBase::Rf => "rf".into(),
+        RelBase::Co => "co".into(),
+        RelBase::Addr => "addr".into(),
+        RelBase::Data => "data".into(),
+        RelBase::Ctrl => "ctrl".into(),
+        RelBase::Rmw => "rmw".into(),
+        RelBase::Stxn => "stxn".into(),
+        RelBase::Stxnat => "stxnat".into(),
+        RelBase::Scr => "scr".into(),
+        RelBase::Sloc => "sloc".into(),
+        RelBase::Poloc => "po-loc".into(),
+        RelBase::PoDiffLoc => "po-diff-loc".into(),
+        RelBase::Fr => "fr".into(),
+        RelBase::Rfe => "rfe".into(),
+        RelBase::Rfi => "rfi".into(),
+        RelBase::Coe => "coe".into(),
+        RelBase::Fre => "fre".into(),
+        RelBase::Com => "com".into(),
+        RelBase::Come => "come".into(),
+        RelBase::Ecom => "ecom".into(),
+        RelBase::Cnf => "cnf".into(),
+        RelBase::Tfence => "tfence".into(),
+        RelBase::FenceRel(f) => match f {
+            Fence::FenceSc | Fence::FenceAcq | Fence::FenceRel => {
+                format!("fence.{}", fence_suffix(f))
+            }
+            other => fence_suffix(other).to_string(),
+        },
+    }
+}
+
+/// The `.cat` name of a base set. `RmwDomain`/`RmwRange` have no bare name —
+/// they are written `domain(rmw)` / `range(rmw)` (the printer special-cases
+/// them).
+pub fn set_name(base: SetBase) -> Option<String> {
+    match base {
+        SetBase::Reads => Some("R".into()),
+        SetBase::Writes => Some("W".into()),
+        SetBase::Fences => Some("F".into()),
+        SetBase::Acquires => Some("Acq".into()),
+        SetBase::Releases => Some("Rel".into()),
+        SetBase::ScEvents => Some("SC".into()),
+        SetBase::Atomics => Some("A".into()),
+        SetBase::FencesOf(f) => Some(format!("F.{}", fence_suffix(f))),
+        SetBase::RmwDomain | SetBase::RmwRange => None,
+    }
+}
+
+/// Resolves a primitive name. `poloc` is accepted as an alias of `po-loc`.
+pub fn lookup(name: &str) -> Option<Prim> {
+    let rel = |b| Some(Prim::Rel(b));
+    let set = |b| Some(Prim::Set(b));
+    match name {
+        "po" => rel(RelBase::Po),
+        "rf" => rel(RelBase::Rf),
+        "co" => rel(RelBase::Co),
+        "addr" => rel(RelBase::Addr),
+        "data" => rel(RelBase::Data),
+        "ctrl" => rel(RelBase::Ctrl),
+        "rmw" => rel(RelBase::Rmw),
+        "stxn" => rel(RelBase::Stxn),
+        "stxnat" => rel(RelBase::Stxnat),
+        "scr" => rel(RelBase::Scr),
+        "sloc" => rel(RelBase::Sloc),
+        "po-loc" | "poloc" => rel(RelBase::Poloc),
+        "po-diff-loc" => rel(RelBase::PoDiffLoc),
+        "fr" => rel(RelBase::Fr),
+        "rfe" => rel(RelBase::Rfe),
+        "rfi" => rel(RelBase::Rfi),
+        "coe" => rel(RelBase::Coe),
+        "fre" => rel(RelBase::Fre),
+        "com" => rel(RelBase::Com),
+        "come" => rel(RelBase::Come),
+        "ecom" => rel(RelBase::Ecom),
+        "cnf" => rel(RelBase::Cnf),
+        "tfence" => rel(RelBase::Tfence),
+        "R" => set(SetBase::Reads),
+        "W" => set(SetBase::Writes),
+        "F" => set(SetBase::Fences),
+        "Acq" => set(SetBase::Acquires),
+        "Rel" => set(SetBase::Releases),
+        "SC" => set(SetBase::ScEvents),
+        "A" => set(SetBase::Atomics),
+        _ => {
+            for f in ALL_FENCES {
+                if name == rel_name(RelBase::FenceRel(f)) {
+                    return rel(RelBase::FenceRel(f));
+                }
+                if Some(name) == set_name(SetBase::FencesOf(f)).as_deref() {
+                    return set(SetBase::FencesOf(f));
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rel_base_round_trips_through_its_name() {
+        let mut bases = vec![
+            RelBase::Po,
+            RelBase::Rf,
+            RelBase::Co,
+            RelBase::Addr,
+            RelBase::Data,
+            RelBase::Ctrl,
+            RelBase::Rmw,
+            RelBase::Stxn,
+            RelBase::Stxnat,
+            RelBase::Scr,
+            RelBase::Sloc,
+            RelBase::Poloc,
+            RelBase::PoDiffLoc,
+            RelBase::Fr,
+            RelBase::Rfe,
+            RelBase::Rfi,
+            RelBase::Coe,
+            RelBase::Fre,
+            RelBase::Com,
+            RelBase::Come,
+            RelBase::Ecom,
+            RelBase::Cnf,
+            RelBase::Tfence,
+        ];
+        bases.extend(ALL_FENCES.map(RelBase::FenceRel));
+        for base in bases {
+            assert_eq!(lookup(&rel_name(base)), Some(Prim::Rel(base)), "{base:?}");
+        }
+    }
+
+    #[test]
+    fn every_named_set_base_round_trips() {
+        let mut bases = vec![
+            SetBase::Reads,
+            SetBase::Writes,
+            SetBase::Fences,
+            SetBase::Acquires,
+            SetBase::Releases,
+            SetBase::ScEvents,
+            SetBase::Atomics,
+        ];
+        bases.extend(ALL_FENCES.map(SetBase::FencesOf));
+        for base in bases {
+            let name = set_name(base).unwrap();
+            assert_eq!(lookup(&name), Some(Prim::Set(base)), "{base:?}");
+        }
+        assert_eq!(set_name(SetBase::RmwDomain), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! Pretty-printing axiom tables back to `.cat` source.
+//!
+//! The printer is the inverse of the parser/elaborator pair: it renders a
+//! [`ModelAxioms`] table (plus the [`IrPool`] its bodies live in) as a
+//! `.cat` file that re-elaborates to a verdict-identical model. Hash-consed
+//! nodes referenced more than once inside the model are hoisted into `let`
+//! bindings, so the sharing the pool discovered is visible in the text —
+//! and re-interning the reparsed text rediscovers exactly the same sharing.
+//!
+//! Parenthesisation follows the parser's precedence table, with the right
+//! operand of each left-associative binary operator printed one level
+//! tighter so that nesting survives the round trip.
+
+use std::collections::HashMap;
+
+use tm_exec::ir::{IrPool, RelExpr, RelId, SetBase, SetExpr, SetId};
+use tm_models::ir::ModelAxioms;
+use tm_models::Target;
+
+use crate::prim::{rel_name, set_name};
+
+// Precedence levels, matching the parser (larger binds tighter).
+const UNION: u8 = 1;
+const INTER: u8 = 2;
+const DIFF: u8 = 3;
+const SEQ: u8 = 4;
+const CROSS: u8 = 5;
+const POSTFIX: u8 = 6;
+const ATOM: u8 = 7;
+
+struct Printer<'p> {
+    pool: &'p IrPool,
+    /// Names of let-bound shared nodes.
+    bound: HashMap<RelId, String>,
+}
+
+/// Renders a model's axiom table as `.cat` source.
+pub fn print_model(name: &str, table: &ModelAxioms, pool: &IrPool) -> String {
+    // Count how often each relation node is referenced from within this
+    // model (axiom bodies and internal edges). Nodes referenced twice or
+    // more — shared subexpressions — become `let` bindings.
+    let mut uses: HashMap<RelId, usize> = HashMap::new();
+    let mut visited: Vec<bool> = vec![false; pool.rel_count()];
+    let mut stack: Vec<RelId> = Vec::new();
+    for axiom in table.axioms() {
+        *uses.entry(axiom.body).or_default() += 1;
+        stack.push(axiom.body);
+    }
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut visited[id.index()], true) {
+            continue;
+        }
+        for child in rel_children(pool, id) {
+            *uses.entry(child).or_default() += 1;
+            stack.push(child);
+        }
+    }
+    let mut shared: Vec<RelId> = uses
+        .iter()
+        .filter(|&(&id, &n)| n >= 2 && !matches!(pool.rel_expr(id), RelExpr::Base(_)))
+        .map(|(&id, _)| id)
+        .collect();
+    // Children are interned before parents, so ascending id order is a
+    // topological order: every binding only mentions earlier bindings.
+    shared.sort();
+
+    let bound: HashMap<RelId, String> = shared
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, format!("x{i}")))
+        .collect();
+    let printer = Printer { pool, bound };
+
+    let mut out = String::new();
+    out.push_str(&format!("\"{name}\"\n"));
+    if !shared.is_empty() {
+        out.push('\n');
+    }
+    for &id in &shared {
+        out.push_str(&format!(
+            "let {} = {}\n",
+            printer.bound[&id],
+            printer.rel_def(id)
+        ));
+    }
+    out.push('\n');
+    for axiom in table.axioms() {
+        let head = match axiom.head {
+            tm_exec::ir::AxiomHead::Acyclic => "acyclic",
+            tm_exec::ir::AxiomHead::Irreflexive => "irreflexive",
+            tm_exec::ir::AxiomHead::Empty => "empty",
+        };
+        out.push_str(&format!(
+            "{head} {} as {}\n",
+            printer.rel(axiom.body, UNION),
+            axiom.name
+        ));
+    }
+    out
+}
+
+/// Renders a built-in catalog model as `.cat` source.
+pub fn print_target(target: Target) -> String {
+    let cat = tm_models::ir::catalog();
+    let table = cat.model(target);
+    print_model(table.name(), table, cat.pool())
+}
+
+fn rel_children(pool: &IrPool, id: RelId) -> Vec<RelId> {
+    match pool.rel_expr(id) {
+        RelExpr::Base(_) | RelExpr::IdOn(_) | RelExpr::Cross(_, _) => vec![],
+        RelExpr::Seq(a, b)
+        | RelExpr::Union(a, b)
+        | RelExpr::Inter(a, b)
+        | RelExpr::Diff(a, b)
+        | RelExpr::WeakLift(a, b)
+        | RelExpr::StrongLift(a, b) => vec![a, b],
+        RelExpr::Inverse(a) | RelExpr::Opt(a) | RelExpr::Plus(a) | RelExpr::Star(a) => vec![a],
+    }
+}
+
+impl<'p> Printer<'p> {
+    /// The definition body of a bound node (does not shortcut to its name).
+    fn rel_def(&self, id: RelId) -> String {
+        self.rel_node(id, UNION)
+    }
+
+    /// A reference to a node: its binding name when bound, else its body.
+    fn rel(&self, id: RelId, min: u8) -> String {
+        if let Some(name) = self.bound.get(&id) {
+            return name.clone();
+        }
+        self.rel_node(id, min)
+    }
+
+    fn rel_node(&self, id: RelId, min: u8) -> String {
+        let (text, level) = match self.pool.rel_expr(id) {
+            RelExpr::Base(base) => (rel_name(base), ATOM),
+            RelExpr::IdOn(s) => (format!("[{}]", self.set(s, UNION)), ATOM),
+            RelExpr::Cross(a, b) => (
+                format!("{} * {}", self.set(a, POSTFIX), self.set(b, POSTFIX)),
+                CROSS,
+            ),
+            // Union, intersection and composition are associative (and the
+            // pool normalises unions/intersections), so chains print flat:
+            // `a | b | c` rather than `a | (b | c)`.
+            RelExpr::Seq(_, _) => (self.chain(id, " ; ", SEQ), SEQ),
+            RelExpr::Union(_, _) => (self.chain(id, " | ", UNION), UNION),
+            RelExpr::Inter(_, _) => (self.chain(id, " & ", INTER), INTER),
+            RelExpr::Diff(a, b) => (
+                format!("{} \\ {}", self.rel(a, DIFF), self.rel(b, DIFF + 1)),
+                DIFF,
+            ),
+            RelExpr::Inverse(a) => (format!("~{}", self.rel(a, ATOM)), POSTFIX),
+            RelExpr::Opt(a) => (format!("{}?", self.rel(a, POSTFIX)), POSTFIX),
+            RelExpr::Plus(a) => (format!("{}+", self.rel(a, POSTFIX)), POSTFIX),
+            RelExpr::Star(a) => (format!("{}*", self.rel(a, POSTFIX)), POSTFIX),
+            RelExpr::WeakLift(a, t) => (
+                format!("weaklift({}, {})", self.rel(a, UNION), self.rel(t, UNION)),
+                ATOM,
+            ),
+            RelExpr::StrongLift(a, t) => (
+                format!("stronglift({}, {})", self.rel(a, UNION), self.rel(t, UNION)),
+                ATOM,
+            ),
+        };
+        if level < min {
+            format!("({text})")
+        } else {
+            text
+        }
+    }
+
+    /// Flattens a chain of one associative operator into `a OP b OP c`,
+    /// stopping at bound nodes (which print as their `let` names).
+    fn chain(&self, id: RelId, op: &str, level: u8) -> String {
+        let mut leaves = Vec::new();
+        self.chain_leaves(id, id, &mut leaves);
+        leaves
+            .into_iter()
+            .map(|leaf| self.rel(leaf, level + 1))
+            .collect::<Vec<_>>()
+            .join(op)
+    }
+
+    fn chain_leaves(&self, root: RelId, id: RelId, out: &mut Vec<RelId>) {
+        let same_op = match (self.pool.rel_expr(root), self.pool.rel_expr(id)) {
+            (RelExpr::Seq(_, _), RelExpr::Seq(a, b))
+            | (RelExpr::Union(_, _), RelExpr::Union(a, b))
+            | (RelExpr::Inter(_, _), RelExpr::Inter(a, b)) => Some((a, b)),
+            _ => None,
+        };
+        match same_op {
+            Some((a, b)) if id == root || !self.bound.contains_key(&id) => {
+                self.chain_leaves(root, a, out);
+                self.chain_leaves(root, b, out);
+            }
+            _ => out.push(id),
+        }
+    }
+
+    fn set(&self, id: SetId, min: u8) -> String {
+        let (text, level) = match self.pool.set_expr(id) {
+            SetExpr::Base(SetBase::RmwDomain) => ("domain(rmw)".to_string(), ATOM),
+            SetExpr::Base(SetBase::RmwRange) => ("range(rmw)".to_string(), ATOM),
+            SetExpr::Base(base) => (set_name(base).expect("named set base"), ATOM),
+            SetExpr::Union(a, b) => (
+                format!("{} | {}", self.set(a, UNION), self.set(b, UNION + 1)),
+                UNION,
+            ),
+            SetExpr::Inter(a, b) => (
+                format!("{} & {}", self.set(a, INTER), self.set(b, INTER + 1)),
+                INTER,
+            ),
+        };
+        if level < min {
+            format!("({text})")
+        } else {
+            text
+        }
+    }
+}

@@ -480,6 +480,44 @@ pub fn appendix_b_concrete(include_dmb: bool) -> Execution {
         .expect("appendix B concrete execution is well-formed")
 }
 
+/// Every catalog execution under a stable name — the single source of truth
+/// for tools that iterate the catalog (the `tm-cat` CLI's litmus list, the
+/// `.cat` round-trip and shipped-model parity tests). Add new executions
+/// here so every consumer picks them up.
+pub fn named() -> Vec<(&'static str, Execution)> {
+    vec![
+        ("sb", sb()),
+        ("sb-txn", sb_txn()),
+        ("sb-mfence", sb_mfence()),
+        ("mp", mp()),
+        ("mp-txn", mp_txn()),
+        ("lb", lb()),
+        ("lb-txn", lb_txn()),
+        ("wrc", wrc()),
+        ("iriw", iriw()),
+        ("fig1", fig1()),
+        ("fig2", fig2()),
+        ("fig3a", fig3('a')),
+        ("fig3b", fig3('b')),
+        ("fig3c", fig3('c')),
+        ("fig3d", fig3('d')),
+        ("power-wrc-tprop1", power_wrc_tprop1()),
+        ("power-wrc-tprop2", power_wrc_tprop2()),
+        ("power-iriw-two-txns", power_iriw_two_txns()),
+        ("power-iriw-one-txn", power_iriw_one_txn()),
+        ("remark-5.1-first", remark_5_1_first()),
+        ("remark-5.1-second", remark_5_1_second()),
+        ("monotonicity-split", monotonicity_cex_split()),
+        ("monotonicity-coalesced", monotonicity_cex_coalesced()),
+        ("dongol-mp-txn", dongol_mp_txn()),
+        ("fig10-abstract", fig10_abstract()),
+        ("example-1.1-armv8", example_1_1_concrete(false)),
+        ("example-1.1-armv8-dmb", example_1_1_concrete(true)),
+        ("appendix-b", appendix_b_concrete(false)),
+        ("appendix-b-dmb", appendix_b_concrete(true)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

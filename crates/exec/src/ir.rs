@@ -217,10 +217,14 @@ pub enum AxiomHead {
 
 /// One named axiom of a memory model: a head predicate over an interned
 /// body, plus a syntactic cost estimate used to order early-exit checks.
-#[derive(Clone, Copy, Debug)]
+///
+/// Names are [`Cow`](std::borrow::Cow) so the built-in catalog pays nothing
+/// (string literals) while runtime-loaded models — e.g. those parsed from
+/// `.cat` source by the `tm-cat` crate — carry names owned by the axiom.
+#[derive(Clone, Debug)]
 pub struct Axiom {
     /// The axiom's name as it appears in verdicts (e.g. `"Order"`).
-    pub name: &'static str,
+    pub name: std::borrow::Cow<'static, str>,
     /// The predicate applied to the body.
     pub head: AxiomHead,
     /// The interned body relation.
@@ -453,14 +457,21 @@ impl IrPool {
         self.intern_rel(RelExpr::StrongLift(a, t))
     }
 
-    /// Builds an [`Axiom`] over an interned body, computing its cost.
-    pub fn axiom(&mut self, name: &'static str, head: AxiomHead, body: RelId) -> Axiom {
+    /// Builds an [`Axiom`] over an interned body, computing its cost. The
+    /// name may be a `&'static str` (free) or an owned `String` (runtime
+    /// models loaded from text).
+    pub fn axiom(
+        &mut self,
+        name: impl Into<std::borrow::Cow<'static, str>>,
+        head: AxiomHead,
+        body: RelId,
+    ) -> Axiom {
         let head_cost = match head {
             AxiomHead::Acyclic => 3,
             AxiomHead::Irreflexive | AxiomHead::Empty => 1,
         };
         Axiom {
-            name,
+            name: name.into(),
             head,
             body,
             cost: self.rel_cost(body) + head_cost,

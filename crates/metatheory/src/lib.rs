@@ -41,7 +41,7 @@ mod theorems;
 pub use compile::{check_compilation, compile_execution, CompilationResult};
 pub use elision::{abstract_family, check_lock_elision, elide, CrBody, ElisionResult, LOCK_VAR};
 pub use monotonicity::{
-    check_monotonicity, syntactic_monotonicity, transaction_reductions, MonotonicityResult,
-    SyntacticMonotonicity,
+    check_monotonicity, syntactic_monotonicity, syntactic_monotonicity_of, transaction_reductions,
+    MonotonicityResult, SyntacticMonotonicity,
 };
 pub use theorems::{check_theorem_7_2, check_theorem_7_3, TheoremResult};

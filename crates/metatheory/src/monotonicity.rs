@@ -57,7 +57,9 @@ pub struct SyntacticMonotonicity {
     /// Name of the analysed model.
     pub model: String,
     /// The transactional polarity of each axiom body, in declaration order.
-    pub per_axiom: Vec<(&'static str, Polarity)>,
+    /// Names are owned so the analysis runs on runtime-loaded models (e.g.
+    /// `.cat` files elaborated by `tm-cat`) as well as the built-in catalog.
+    pub per_axiom: Vec<(String, Polarity)>,
 }
 
 impl SyntacticMonotonicity {
@@ -70,11 +72,11 @@ impl SyntacticMonotonicity {
     }
 
     /// The axioms that block a syntactic conclusion (negative or mixed).
-    pub fn blocking_axioms(&self) -> Vec<&'static str> {
+    pub fn blocking_axioms(&self) -> Vec<&str> {
         self.per_axiom
             .iter()
             .filter(|(_, p)| matches!(p, Polarity::Negative | Polarity::Mixed))
-            .map(|(name, _)| *name)
+            .map(|(name, _)| name.as_str())
             .collect()
     }
 }
@@ -86,13 +88,23 @@ impl SyntacticMonotonicity {
 /// [`check_monotonicity`]; the conclusive ones need no search.
 pub fn syntactic_monotonicity(target: Target) -> SyntacticMonotonicity {
     let cat = tm_models::ir::catalog();
-    let table = cat.model(target);
+    syntactic_monotonicity_of(cat.model(target), cat.pool())
+}
+
+/// [`syntactic_monotonicity`] over an arbitrary axiom table and the pool its
+/// bodies are interned in — the entry point for user-defined models, whether
+/// built in Rust ([`tm_models::ir::IrModel`]) or loaded from `.cat` text.
+/// Pass `model.table()` and `model.pool()`.
+pub fn syntactic_monotonicity_of(
+    table: &tm_models::ir::ModelAxioms,
+    pool: &tm_exec::ir::IrPool,
+) -> SyntacticMonotonicity {
     SyntacticMonotonicity {
         model: table.name().to_string(),
         per_axiom: table
             .axioms()
             .iter()
-            .map(|axiom| (axiom.name, txn_polarity(cat.pool(), axiom.body)))
+            .map(|axiom| (axiom.name.to_string(), txn_polarity(pool, axiom.body)))
             .collect(),
     }
 }

@@ -164,7 +164,7 @@ impl Armv8Model {
 }
 
 impl MemoryModel for Armv8Model {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         if self.transactional {
             "ARMv8+TM"
         } else {
@@ -172,7 +172,7 @@ impl MemoryModel for Armv8Model {
         }
     }
 
-    fn axioms(&self) -> Vec<&'static str> {
+    fn axioms(&self) -> Vec<&str> {
         let mut axioms = vec!["Coherence", "Order", "RMWIsol"];
         if self.transactional {
             axioms.extend(["StrongIsol", "TxnOrder", "TxnCancelsRMW"]);
@@ -185,7 +185,6 @@ impl MemoryModel for Armv8Model {
 
     fn check_view(&self, view: &ExecView<'_>) -> Verdict {
         crate::ir::check_table(
-            self.name(),
             crate::ir::catalog().model(self.target()),
             self.cr_order,
             view,

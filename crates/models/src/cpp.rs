@@ -240,7 +240,7 @@ impl CppModel {
 }
 
 impl MemoryModel for CppModel {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         if self.transactional {
             "C++(TM)"
         } else {
@@ -248,17 +248,12 @@ impl MemoryModel for CppModel {
         }
     }
 
-    fn axioms(&self) -> Vec<&'static str> {
+    fn axioms(&self) -> Vec<&str> {
         vec!["HbCom", "RMWIsol", "NoThinAir", "SeqCst"]
     }
 
     fn check_view(&self, view: &ExecView<'_>) -> Verdict {
-        crate::ir::check_table(
-            self.name(),
-            crate::ir::catalog().model(self.target()),
-            false,
-            view,
-        )
+        crate::ir::check_table(crate::ir::catalog().model(self.target()), false, view)
     }
 
     fn is_consistent_view(&self, view: &ExecView<'_>) -> bool {

@@ -46,9 +46,12 @@
 //! assert!(model.check(&catalog::fig1()).violates("Coherence"));
 //! ```
 
+use std::borrow::Cow;
 use std::sync::OnceLock;
 
-use tm_exec::ir::{Axiom, AxiomHead, IrEval, IrPool, RelBase, RelId, SetBase};
+use tm_exec::ir::{
+    Axiom, AxiomHead, Delta, IncrementalEval, IrEval, IrPool, RelBase, RelId, SetBase,
+};
 use tm_exec::{ExecView, Fence};
 
 use crate::{Target, Verdict};
@@ -58,25 +61,33 @@ use crate::{Target, Verdict};
 /// boolean sweeps.
 #[derive(Debug)]
 pub struct ModelAxioms {
-    name: &'static str,
+    name: Cow<'static, str>,
     axioms: Vec<Axiom>,
     by_cost: Vec<usize>,
 }
 
 impl ModelAxioms {
-    fn new(name: &'static str, axioms: Vec<Axiom>) -> ModelAxioms {
+    /// Packages a named list of axioms, precomputing the cheapest-first
+    /// check order. Public so runtime loaders (the `tm-cat` crate) can build
+    /// tables outside this crate.
+    pub fn new(name: impl Into<Cow<'static, str>>, axioms: Vec<Axiom>) -> ModelAxioms {
         let mut by_cost: Vec<usize> = (0..axioms.len()).collect();
         by_cost.sort_by_key(|&i| axioms[i].cost);
         ModelAxioms {
-            name,
+            name: name.into(),
             axioms,
             by_cost,
         }
     }
 
     /// The model's display name.
-    pub fn name(&self) -> &'static str {
-        self.name
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The display name as a clonable [`Cow`] (free for built-in tables).
+    pub fn name_cow(&self) -> Cow<'static, str> {
+        self.name.clone()
     }
 
     /// The axioms in declaration (reporting) order.
@@ -210,7 +221,7 @@ fn build_catalog() -> IrCatalog {
     // ---- Fig. 4: SC and TSC ----------------------------------------------
     let sc_order = p.axiom("Order", AxiomHead::Acyclic, po_com);
     let tsc_lift = p.stronglift(po_com, stxn);
-    let sc = ModelAxioms::new("SC", vec![sc_order]);
+    let sc = ModelAxioms::new("SC", vec![sc_order.clone()]);
     let tsc = ModelAxioms::new(
         "TSC",
         vec![sc_order, p.axiom("TxnOrder", AxiomHead::Acyclic, tsc_lift)],
@@ -512,18 +523,13 @@ fn build_catalog() -> IrCatalog {
 /// Checks every axiom of `table` (in declaration order), extracting
 /// witnesses, and appends `CROrder` when `cr_order` is set — the full-verdict
 /// path behind [`MemoryModel::check_view`](crate::MemoryModel::check_view).
-pub(crate) fn check_table(
-    name: &'static str,
-    table: &ModelAxioms,
-    cr_order: bool,
-    view: &ExecView<'_>,
-) -> Verdict {
+pub(crate) fn check_table(table: &ModelAxioms, cr_order: bool, view: &ExecView<'_>) -> Verdict {
     let cat = catalog();
     let eval = IrEval::new(cat.pool(), view);
-    let mut verdict = Verdict::consistent(name);
+    let mut verdict = Verdict::consistent(table.name_cow());
     for axiom in table.axioms() {
         if let Some(witness) = eval.witness(axiom) {
-            verdict.push(axiom.name, Some(witness));
+            verdict.push(axiom.name.clone(), Some(witness));
         }
     }
     if cr_order {
@@ -649,10 +655,10 @@ impl IncrementalChecker {
     ) -> Verdict {
         let cat = catalog();
         let table = cat.model(target);
-        let mut verdict = Verdict::consistent(table.name());
+        let mut verdict = Verdict::consistent(table.name_cow());
         for axiom in table.axioms() {
             if let Some(witness) = self.eval.witness(exec, axiom) {
-                verdict.push(axiom.name, Some(witness));
+                verdict.push(axiom.name.clone(), Some(witness));
             }
         }
         if cr_order {
@@ -681,9 +687,27 @@ pub struct IrModel {
 impl IrModel {
     /// Builds a model named `name` from the axioms `define` interns into the
     /// given pool.
-    pub fn new(name: &'static str, define: impl FnOnce(&mut IrPool) -> Vec<Axiom>) -> IrModel {
+    pub fn new(
+        name: impl Into<Cow<'static, str>>,
+        define: impl FnOnce(&mut IrPool) -> Vec<Axiom>,
+    ) -> IrModel {
         let mut pool = IrPool::new();
         let axioms = define(&mut pool);
+        IrModel {
+            pool,
+            table: ModelAxioms::new(name, axioms),
+        }
+    }
+
+    /// Packages a pool and a pre-built axiom table as a model — the entry
+    /// point for runtime loaders (the `tm-cat` elaborator) whose
+    /// construction can fail halfway and therefore cannot run inside the
+    /// infallible [`IrModel::new`] closure.
+    pub fn from_parts(
+        name: impl Into<Cow<'static, str>>,
+        pool: IrPool,
+        axioms: Vec<Axiom>,
+    ) -> IrModel {
         IrModel {
             pool,
             table: ModelAxioms::new(name, axioms),
@@ -699,23 +723,37 @@ impl IrModel {
     pub fn pool(&self) -> &IrPool {
         &self.pool
     }
+
+    /// A stateful delta-driven checker for this model — the analogue of
+    /// [`IncrementalChecker`] over this model's private pool, for use with
+    /// `tm_synth::enumerate_exact_incremental`.
+    pub fn incremental(&self) -> IncrementalModelChecker<'_> {
+        IncrementalModelChecker {
+            eval: IncrementalEval::new(&self.pool),
+            table: &self.table,
+        }
+    }
 }
 
 impl crate::MemoryModel for IrModel {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         self.table.name()
     }
 
-    fn axioms(&self) -> Vec<&'static str> {
-        self.table.axioms().iter().map(|a| a.name).collect()
+    fn axioms(&self) -> Vec<&str> {
+        self.table
+            .axioms()
+            .iter()
+            .map(|a| a.name.as_ref())
+            .collect()
     }
 
     fn check_view(&self, view: &ExecView<'_>) -> Verdict {
         let eval = IrEval::new(&self.pool, view);
-        let mut verdict = Verdict::consistent(self.table.name());
+        let mut verdict = Verdict::consistent(self.table.name_cow());
         for axiom in self.table.axioms() {
             if let Some(witness) = eval.witness(axiom) {
-                verdict.push(axiom.name, Some(witness));
+                verdict.push(axiom.name.clone(), Some(witness));
             }
         }
         verdict
@@ -724,6 +762,45 @@ impl crate::MemoryModel for IrModel {
     fn is_consistent_view(&self, view: &ExecView<'_>) -> bool {
         let eval = IrEval::new(&self.pool, view);
         self.table.in_cost_order().all(|axiom| eval.holds(axiom))
+    }
+}
+
+/// A stateful, delta-driven checker for one [`IrModel`]: the user-model
+/// sibling of [`IncrementalChecker`], so models loaded at runtime (e.g. from
+/// `.cat` text) plug into the incremental enumeration hot path exactly like
+/// the built-in catalog does.
+///
+/// Borrows the model, so build it inside the per-worker closure of
+/// `enumerate_exact_incremental` (scoped threads keep the borrow legal).
+pub struct IncrementalModelChecker<'m> {
+    eval: IncrementalEval<'m>,
+    table: &'m ModelAxioms,
+}
+
+impl<'m> IncrementalModelChecker<'m> {
+    /// Absorbs the edits that turned the previous candidate into `exec`.
+    pub fn advance(&mut self, exec: &tm_exec::Execution, delta: &Delta) {
+        self.eval.apply(exec, delta);
+    }
+
+    /// True if `exec` satisfies every axiom — early-exit, cached verdicts.
+    pub fn is_consistent(&mut self, exec: &tm_exec::Execution) -> bool {
+        let eval = &mut self.eval;
+        self.table
+            .in_cost_order()
+            .all(|axiom| eval.holds(exec, axiom))
+    }
+
+    /// The full verdict with witnesses, matching
+    /// [`MemoryModel::check`](crate::MemoryModel::check) on the same model.
+    pub fn check(&mut self, exec: &tm_exec::Execution) -> Verdict {
+        let mut verdict = Verdict::consistent(self.table.name_cow());
+        for axiom in self.table.axioms() {
+            if let Some(witness) = self.eval.witness(exec, axiom) {
+                verdict.push(axiom.name.clone(), Some(witness));
+            }
+        }
+        verdict
     }
 }
 
@@ -738,7 +815,7 @@ mod tests {
         let cat = catalog();
         for target in Target::ALL {
             let table = cat.model(target);
-            let names: Vec<&str> = table.axioms().iter().map(|a| a.name).collect();
+            let names: Vec<&str> = table.axioms().iter().map(|a| a.name.as_ref()).collect();
             assert_eq!(names, target.model().axioms(), "{target}");
             assert!(!table.name().is_empty());
             // The cost order is a permutation of the declaration order.

@@ -64,11 +64,13 @@ use tm_exec::{ExecView, Execution};
 /// Models are `Send + Sync` so `&dyn MemoryModel` can be shared by the
 /// parallel enumeration workers.
 pub trait MemoryModel: Send + Sync {
-    /// A short human-readable name (e.g. `"Power+TM"`).
-    fn name(&self) -> &'static str;
+    /// A short human-readable name (e.g. `"Power+TM"`). Borrowed from the
+    /// model so that runtime-loaded models (whose names come from `.cat`
+    /// source text) can implement the trait too.
+    fn name(&self) -> &str;
 
     /// The names of the axioms this model checks, in check order.
-    fn axioms(&self) -> Vec<&'static str>;
+    fn axioms(&self) -> Vec<&str>;
 
     /// Checks the viewed execution against every axiom and reports all
     /// violations. Derived relations are fetched through `view`, memoized.

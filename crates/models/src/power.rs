@@ -210,7 +210,7 @@ impl PowerModel {
 }
 
 impl MemoryModel for PowerModel {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         if self.transactional {
             "Power+TM"
         } else {
@@ -218,7 +218,7 @@ impl MemoryModel for PowerModel {
         }
     }
 
-    fn axioms(&self) -> Vec<&'static str> {
+    fn axioms(&self) -> Vec<&str> {
         let mut axioms = vec![
             "Coherence",
             "RMWIsol",
@@ -237,7 +237,6 @@ impl MemoryModel for PowerModel {
 
     fn check_view(&self, view: &ExecView<'_>) -> Verdict {
         crate::ir::check_table(
-            self.name(),
             crate::ir::catalog().model(self.target()),
             self.cr_order,
             view,

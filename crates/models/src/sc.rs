@@ -63,7 +63,7 @@ impl ScModel {
 }
 
 impl MemoryModel for ScModel {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         if self.transactional {
             "TSC"
         } else {
@@ -71,7 +71,7 @@ impl MemoryModel for ScModel {
         }
     }
 
-    fn axioms(&self) -> Vec<&'static str> {
+    fn axioms(&self) -> Vec<&str> {
         if self.transactional {
             vec!["Order", "TxnOrder"]
         } else {
@@ -80,12 +80,7 @@ impl MemoryModel for ScModel {
     }
 
     fn check_view(&self, view: &ExecView<'_>) -> Verdict {
-        crate::ir::check_table(
-            self.name(),
-            crate::ir::catalog().model(self.target()),
-            false,
-            view,
-        )
+        crate::ir::check_table(crate::ir::catalog().model(self.target()), false, view)
     }
 
     fn is_consistent_view(&self, view: &ExecView<'_>) -> bool {

@@ -1,12 +1,16 @@
 //! Per-axiom consistency verdicts.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// A single violated axiom, possibly with a witnessing cycle.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
     /// The name of the violated axiom (e.g. `"Order"`, `"TxnOrder"`).
-    pub axiom: &'static str,
+    ///
+    /// A [`Cow`] so built-in axioms report their static names for free while
+    /// runtime-loaded models (`.cat` files) report owned names.
+    pub axiom: Cow<'static, str>,
     /// A cycle (sequence of event identifiers) witnessing the violation,
     /// when the axiom is an acyclicity or irreflexivity constraint and a
     /// witness could be extracted.
@@ -27,16 +31,16 @@ impl fmt::Display for Violation {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Verdict {
     /// The name of the model that produced this verdict.
-    pub model: &'static str,
+    pub model: Cow<'static, str>,
     /// Every axiom the execution violates.
     pub violations: Vec<Violation>,
 }
 
 impl Verdict {
     /// A verdict with no violations yet.
-    pub fn consistent(model: &'static str) -> Verdict {
+    pub fn consistent(model: impl Into<Cow<'static, str>>) -> Verdict {
         Verdict {
-            model,
+            model: model.into(),
             violations: Vec::new(),
         }
     }
@@ -47,8 +51,11 @@ impl Verdict {
     }
 
     /// Records a violation of `axiom`.
-    pub fn push(&mut self, axiom: &'static str, witness: Option<Vec<usize>>) {
-        self.violations.push(Violation { axiom, witness });
+    pub fn push(&mut self, axiom: impl Into<Cow<'static, str>>, witness: Option<Vec<usize>>) {
+        self.violations.push(Violation {
+            axiom: axiom.into(),
+            witness,
+        });
     }
 
     /// True if the named axiom is among the violations.
@@ -57,8 +64,8 @@ impl Verdict {
     }
 
     /// The names of all violated axioms, in check order.
-    pub fn violated_axioms(&self) -> Vec<&'static str> {
-        self.violations.iter().map(|v| v.axiom).collect()
+    pub fn violated_axioms(&self) -> Vec<&str> {
+        self.violations.iter().map(|v| v.axiom.as_ref()).collect()
     }
 }
 

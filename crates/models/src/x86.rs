@@ -114,7 +114,7 @@ impl X86Model {
 }
 
 impl MemoryModel for X86Model {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         if self.transactional {
             "x86+TM"
         } else {
@@ -122,7 +122,7 @@ impl MemoryModel for X86Model {
         }
     }
 
-    fn axioms(&self) -> Vec<&'static str> {
+    fn axioms(&self) -> Vec<&str> {
         let mut axioms = vec!["Coherence", "RMWIsol", "Order"];
         if self.transactional {
             axioms.extend(["StrongIsol", "TxnOrder"]);
@@ -135,7 +135,6 @@ impl MemoryModel for X86Model {
 
     fn check_view(&self, view: &ExecView<'_>) -> Verdict {
         crate::ir::check_table(
-            self.name(),
             crate::ir::catalog().model(self.target()),
             self.cr_order,
             view,

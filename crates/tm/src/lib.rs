@@ -7,6 +7,8 @@
 //!
 //! * [`exec`] — candidate executions: events, relations, well-formedness,
 //!   and the catalog of every execution discussed in the paper;
+//! * [`cat`] — the `.cat` model language: parse, elaborate and check
+//!   user-defined memory models at runtime (see `models/*.cat`);
 //! * [`models`] — the axiomatic memory models (SC/TSC, x86, Power, ARMv8,
 //!   C++) with their transactional extensions;
 //! * [`litmus`] — litmus tests: generation from executions, rendering for
@@ -34,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tm_cat as cat;
 pub use tm_exec as exec;
 pub use tm_litmus as litmus;
 pub use tm_metatheory as metatheory;

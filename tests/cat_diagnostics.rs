@@ -1,0 +1,129 @@
+//! Golden tests for `.cat` diagnostics: each class of error is pinned down
+//! to its exact rendering — message, span arrow, quoted line and caret —
+//! so reporting regressions show up as test diffs.
+
+use tm_cat::load_str;
+
+fn diag(source: &str) -> String {
+    load_str("golden", source)
+        .err()
+        .unwrap_or_else(|| panic!("source unexpectedly elaborates:\n{source}"))
+        .to_string()
+}
+
+#[test]
+fn unknown_relation_points_at_the_name() {
+    assert_eq!(
+        diag("acyclic foo | po as Order\n"),
+        "\
+error: unknown name `foo`
+  --> <input>:1:9
+   |
+ 1 | acyclic foo | po as Order
+   |         ^^^"
+    );
+}
+
+#[test]
+fn composing_a_set_is_a_kind_mismatch() {
+    assert_eq!(
+        diag("let hb = po ; W\nacyclic hb as Order\n"),
+        "\
+error: `;` composes relations, but this operand is a set (write `[S]` for the identity relation on it)
+  --> <input>:1:15
+   |
+ 1 | let hb = po ; W
+   |               ^"
+    );
+}
+
+#[test]
+fn identity_brackets_need_a_set() {
+    assert_eq!(
+        diag("acyclic [po] ; rf as Order\n"),
+        "\
+error: `[_]` needs a set, but this expression is a relation
+  --> <input>:1:10
+   |
+ 1 | acyclic [po] ; rf as Order
+   |          ^^"
+    );
+}
+
+#[test]
+fn mixed_union_reports_both_kinds() {
+    assert_eq!(
+        diag("acyclic po | W as Order\n"),
+        "\
+error: `|` needs both operands of the same kind, but the left is a relation and the right is a set
+  --> <input>:1:9
+   |
+ 1 | acyclic po | W as Order
+   |         ^^^^^^"
+    );
+}
+
+#[test]
+fn unterminated_let_rec_reports_the_missing_binding() {
+    assert_eq!(
+        diag("let rec hb = po | hb and"),
+        "\
+error: unterminated `let rec`: expected a binding, found end of input
+  --> <input>:1:25
+   |
+ 1 | let rec hb = po | hb and
+   |                         ^"
+    );
+}
+
+#[test]
+fn genuine_recursion_is_rejected_with_guidance() {
+    assert_eq!(
+        diag("let rec hb = po | hb\nacyclic hb as Order\n"),
+        "\
+error: recursive definition of `hb` (via `hb`) is not supported: the IR has no fixpoint operator; express the recursion with the closure operators `+` or `*`
+  --> <input>:1:9
+   |
+ 1 | let rec hb = po | hb
+   |         ^^"
+    );
+}
+
+#[test]
+fn bad_tokens_are_lexical_errors() {
+    assert_eq!(
+        diag("acyclic po @ rf as Order\n"),
+        "\
+error: unexpected character `@`
+  --> <input>:1:12
+   |
+ 1 | acyclic po @ rf as Order
+   |            ^"
+    );
+}
+
+#[test]
+fn wrong_arity_on_lift_functions() {
+    assert_eq!(
+        diag("acyclic stronglift(com) as Order\n"),
+        "\
+error: `stronglift` takes 2 argument(s), found 1
+  --> <input>:1:9
+   |
+ 1 | acyclic stronglift(com) as Order
+   |         ^^^^^^^^^^^^^^^"
+    );
+}
+
+#[test]
+fn domain_of_a_non_rmw_relation_is_rejected() {
+    assert_eq!(
+        diag("acyclic [domain(po)] ; rf as Order\n"),
+        "\
+error: `domain(...)` is only available for the primitive `rmw` relation
+  --> <input>:1:17
+   |
+ 1 | acyclic [domain(po)] ; rf as Order
+   |                 ^^"
+    );
+}
