@@ -37,7 +37,8 @@ use tm_models::ir::IncrementalChecker;
 use tm_models::{MemoryModel, Target, X86Model};
 use tm_relation::Relation;
 use tm_synth::{
-    enumerate_exact, enumerate_exact_incremental, enumerate_exact_reference, SynthConfig,
+    enumerate_exact, enumerate_exact_incremental, enumerate_exact_reference, synthesise_suites,
+    synthesise_suites_per_execution, SuiteReport, SynthConfig,
 };
 
 // ---- the pre-refactor x86 check, kept verbatim as the measured baseline ---
@@ -258,6 +259,49 @@ fn run_cat_loaded(cfg: &SynthConfig, max_events: usize) -> Mode {
     }
 }
 
+/// Full Table-1 suite synthesis (Forbid + Allow for x86 ± TM at exactly
+/// `max_events` events), measured once on the per-execution pipeline (fresh
+/// views, cloned weakenings for every minimality probe, globally locked
+/// deduplication) and once on the delta-driven pipeline (stateful
+/// per-worker checkers, savepoint/rollback-probed weakenings expressed as
+/// removal deltas, per-worker sinks merged after the sweep).
+fn run_suite(cfg: &SynthConfig, max_events: usize, incremental: bool) -> (Mode, SuiteReport) {
+    let tm = X86Model::tm();
+    let base = X86Model::baseline();
+    let start = Instant::now();
+    let report = if incremental {
+        synthesise_suites(&tm, &base, cfg, max_events)
+    } else {
+        synthesise_suites_per_execution(&tm, &base, cfg, max_events)
+    };
+    let mode = Mode {
+        name: if incremental {
+            "suite-incremental"
+        } else {
+            "suite-per-exec"
+        },
+        executions: report.enumerated,
+        checks: report.enumerated * 2,
+        // The Forbid count doubles as the cross-pipeline agreement check.
+        consistent: report.forbid.len(),
+        seconds: start.elapsed().as_secs_f64(),
+    };
+    (mode, report)
+}
+
+/// The signatures of a synthesised suite, for old-vs-new comparison.
+fn suite_signatures(report: &SuiteReport) -> (Vec<String>, Vec<String>) {
+    let sigs = |tests: &[tm_synth::SynthesisedTest]| {
+        let mut sigs: Vec<String> = tests
+            .iter()
+            .map(|t| tm_synth::canonical_signature(&t.execution))
+            .collect();
+        sigs.sort();
+        sigs
+    };
+    (sigs(&report.forbid), sigs(&report.allow))
+}
+
 /// The shipped `.cat` models, whether the bench runs from the repository
 /// root (CI) or anywhere else (fall back to the manifest location).
 fn cat_models_dir() -> std::path::PathBuf {
@@ -325,9 +369,13 @@ fn main() {
         run_incremental(&cfg, max_events),
         run_cat_loaded(&cfg, max_events),
     ];
-    for mode in &modes {
+    eprintln!("suites: x86-trimmed, |E| = {max_events}, x86+TM vs x86 (Forbid + Allow)");
+    let (suite_old, old_report) = run_suite(&cfg, max_events, false);
+    let (suite_new, new_report) = run_suite(&cfg, max_events, true);
+    let suite_modes = [suite_old, suite_new];
+    for mode in modes.iter().chain(&suite_modes) {
         eprintln!(
-            "{:<14}: {} executions ({} checks) in {:.3}s = {:.0} execs/s",
+            "{:<17}: {} executions ({} checks) in {:.3}s = {:.0} execs/s",
             mode.name,
             mode.executions,
             mode.checks,
@@ -347,16 +395,31 @@ fn main() {
             mode.name
         );
     }
+    // The two suite pipelines must synthesise identical suites.
+    assert_eq!(
+        suite_signatures(&old_report),
+        suite_signatures(&new_report),
+        "old and new suite pipelines disagree"
+    );
+    assert_eq!(
+        old_report.forbid_txn_histogram(),
+        new_report.forbid_txn_histogram(),
+        "old and new suite pipelines disagree on the txn histogram"
+    );
+    let [suite_old, suite_new] = &suite_modes;
+    assert_eq!(suite_old.executions, suite_new.executions);
 
     let ir_speedup = ir.execs_per_sec() / baseline.execs_per_sec();
     let incremental_speedup = incremental.execs_per_sec() / baseline.execs_per_sec();
     let incremental_vs_ir = incremental.execs_per_sec() / ir.execs_per_sec();
     let cat_speedup = cat_loaded.execs_per_sec() / baseline.execs_per_sec();
     let cat_vs_incremental = cat_loaded.execs_per_sec() / incremental.execs_per_sec();
+    let suite_speedup = suite_new.execs_per_sec() / suite_old.execs_per_sec();
     eprintln!(
         "speedup over baseline: ir {ir_speedup:.2}x, ir-incremental {incremental_speedup:.2}x \
          (incremental/ir {incremental_vs_ir:.2}x), cat-loaded {cat_speedup:.2}x \
-         (cat/incremental {cat_vs_incremental:.2}x)"
+         (cat/incremental {cat_vs_incremental:.2}x), \
+         suite-incremental/suite-per-exec {suite_speedup:.2}x"
     );
     // Hash-consing must keep the text-loaded pipeline within noise of the
     // compiled-in one; only gate when the run is long enough to mean it.
@@ -364,6 +427,15 @@ fn main() {
         assert!(
             cat_vs_incremental > 0.5,
             "cat-loaded fell to {cat_vs_incremental:.2}x of ir-incremental"
+        );
+    }
+    // The delta-driven suite pipeline must beat the per-execution one
+    // clearly (the |E| = 6 acceptance bar is 1.5×); gate a little below it
+    // so machine noise on short CI runs cannot flake the build.
+    if suite_old.seconds >= 0.5 {
+        assert!(
+            suite_speedup > 1.2,
+            "suite-incremental fell to {suite_speedup:.2}x of suite-per-exec"
         );
     }
 
@@ -381,7 +453,8 @@ fn main() {
             .unwrap_or(1)
     );
     let _ = writeln!(run, "      \"modes\": {{");
-    for (i, mode) in modes.iter().enumerate() {
+    let all_modes: Vec<&Mode> = modes.iter().chain(&suite_modes).collect();
+    for (i, mode) in all_modes.iter().enumerate() {
         let _ = writeln!(run, "        \"{}\": {{", mode.name);
         let _ = writeln!(run, "          \"executions\": {},", mode.executions);
         let _ = writeln!(run, "          \"checks\": {},", mode.checks);
@@ -391,10 +464,16 @@ fn main() {
             "          \"executions_per_sec\": {:.1}",
             mode.execs_per_sec()
         );
-        let comma = if i + 1 < modes.len() { "," } else { "" };
+        let comma = if i + 1 < all_modes.len() { "," } else { "" };
         let _ = writeln!(run, "        }}{comma}");
     }
     let _ = writeln!(run, "      }},");
+    let _ = writeln!(
+        run,
+        "      \"suite\": {{ \"forbid\": {}, \"allow\": {} }},",
+        new_report.forbid.len(),
+        new_report.allow.len()
+    );
     let _ = writeln!(run, "      \"speedups\": {{");
     let _ = writeln!(run, "        \"ir\": {ir_speedup:.3},");
     let _ = writeln!(run, "        \"ir_incremental\": {incremental_speedup:.3},");
@@ -405,7 +484,11 @@ fn main() {
     let _ = writeln!(run, "        \"cat_loaded\": {cat_speedup:.3},");
     let _ = writeln!(
         run,
-        "        \"cat_vs_incremental\": {cat_vs_incremental:.3}"
+        "        \"cat_vs_incremental\": {cat_vs_incremental:.3},"
+    );
+    let _ = writeln!(
+        run,
+        "        \"suite_incremental_vs_per_exec\": {suite_speedup:.3}"
     );
     let _ = writeln!(run, "      }}");
     run.push_str("    }");

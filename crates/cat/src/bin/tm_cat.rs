@@ -20,6 +20,10 @@
 //!                   model and exit non-zero on any drift
 //!   --incremental   drive the delta-threading enumeration instead of the
 //!                   per-execution pipeline (verdicts must agree)
+//!   --suites        synthesise the Forbid/Allow conformance suites (Table 1)
+//!                   for the loaded model against --baseline FILE, via the
+//!                   incremental pipeline (per-worker stateful checkers,
+//!                   savepoint-probed ⊏-minimality walks)
 
 use std::process::ExitCode;
 
@@ -28,7 +32,7 @@ use tm_exec::{catalog, Execution};
 use tm_litmus::from_execution;
 use tm_models::ir::IrModel;
 use tm_models::{MemoryModel, Target};
-use tm_synth::{enumerate_exact, enumerate_exact_incremental, SynthConfig};
+use tm_synth::{enumerate_exact, enumerate_exact_incremental, synthesise_suites, SynthConfig};
 
 fn named_executions() -> Vec<(&'static str, Execution)> {
     catalog::named()
@@ -63,7 +67,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tm-cat list\n  tm-cat print <target>\n  tm-cat check <file.cat> \
          [--litmus NAME]... [--expect TARGET] [--program]\n  tm-cat sweep <file.cat> \
-         [--events N] [--config x86|power|armv8|cpp] [--expect TARGET] [--incremental]"
+         [--events N] [--config x86|power|armv8|cpp] [--expect TARGET] [--incremental] \
+         [--suites --baseline <file.cat>]"
     );
     ExitCode::from(2)
 }
@@ -219,9 +224,19 @@ fn sweep(args: &[String]) -> ExitCode {
     let mut config_name = "x86".to_string();
     let mut expect: Option<Target> = None;
     let mut incremental = false;
+    let mut suites = false;
+    let mut baseline_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--suites" => {
+                suites = true;
+                i += 1;
+            }
+            "--baseline" if i + 1 < args.len() => {
+                baseline_path = Some(args[i + 1].clone());
+                i += 2;
+            }
             "--events" if i + 1 < args.len() => {
                 match args[i + 1].parse() {
                     Ok(n) => events = n,
@@ -267,6 +282,24 @@ fn sweep(args: &[String]) -> ExitCode {
         Ok(m) => m,
         Err(code) => return code,
     };
+    if suites {
+        // Suite synthesis always runs incrementally and has no built-in
+        // "expected suite" to diff against: reject rather than silently
+        // ignore the flags.
+        if expect.is_some() || incremental {
+            eprintln!("tm-cat: --suites does not combine with --expect or --incremental");
+            return ExitCode::from(2);
+        }
+        let Some(baseline_path) = baseline_path else {
+            eprintln!("tm-cat: --suites needs --baseline <file.cat> (the non-TM model)");
+            return ExitCode::from(2);
+        };
+        let baseline = match load_or_exit(&baseline_path) {
+            Ok(m) => m,
+            Err(code) => return code,
+        };
+        return sweep_suites(&model, &baseline, &config, events);
+    }
     println!(
         "sweeping `{}` over the {config_name} space, |E| <= {events}{}",
         model.name(),
@@ -335,6 +368,45 @@ fn sweep(args: &[String]) -> ExitCode {
             "verdicts match built-in `{}` on the whole space",
             target.name()
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `sweep --suites`: synthesise the Forbid/Allow conformance suites for a
+/// loaded model against a loaded baseline — the Table 1 row for a model
+/// that exists only as `.cat` text. Runs the incremental pipeline (the
+/// [`IrModel`] provides a delta-driven checker, so the enumerator mutates
+/// one execution per worker in place and the ⊏-minimality walk probes each
+/// weakening by savepoint/rollback).
+fn sweep_suites(
+    model: &IrModel,
+    baseline: &IrModel,
+    config: &SynthConfig,
+    events: usize,
+) -> ExitCode {
+    println!(
+        "synthesising Forbid/Allow suites: `{}` vs baseline `{}`, |E| = {events}",
+        model.name(),
+        baseline.name()
+    );
+    let report = synthesise_suites(model, baseline, config, events);
+    let hist = report.forbid_txn_histogram();
+    println!(
+        "{} executions in {:.3}s ({:.0} execs/s)",
+        report.enumerated,
+        report.elapsed.as_secs_f64(),
+        report.enumerated as f64 / report.elapsed.as_secs_f64().max(f64::EPSILON),
+    );
+    println!(
+        "forbid {} allow {} (forbid txn histogram: {} with 1, {} with 2, {} with 3+)",
+        report.forbid.len(),
+        report.allow.len(),
+        hist[1],
+        hist[2],
+        hist[3],
+    );
+    for test in &report.forbid {
+        println!("\n{}", test.litmus);
     }
     ExitCode::SUCCESS
 }

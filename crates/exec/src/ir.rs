@@ -840,8 +840,12 @@ impl DeltaMask {
     pub const STXNAT: DeltaMask = DeltaMask(1 << 8);
     /// Critical-region membership changed.
     pub const SCR: DeltaMask = DeltaMask(1 << 9);
+    /// Event annotations changed (the ⊏ downgrade step of §4.2 edits the
+    /// acquire/release/sc/atomic flags in place, which moves events between
+    /// the `Acq`/`Rel`/`SC`/`Ato` base sets).
+    pub const ANNOT: DeltaMask = DeltaMask(1 << 10);
     /// Every input changed.
-    pub const ALL: DeltaMask = DeltaMask((1 << 10) - 1);
+    pub const ALL: DeltaMask = DeltaMask((1 << 11) - 1);
 
     /// True if no input is in the mask.
     pub fn is_empty(self) -> bool {
@@ -887,11 +891,13 @@ impl std::ops::BitOrAssign for DeltaMask {
 
 /// The footprint of a base relation, split by sign: `(positive, negative)`.
 ///
-/// An input in the positive mask only can be maintained under edge
-/// *addition* by semi-naïve delta propagation; an input in the negative
-/// mask (which also covers mixed occurrences — e.g. `stxn` in `tfence`, or
-/// `rf`/`co` in `fr`, which this crate defines by *subtracting* a growing
-/// exclusion set) forces re-evaluation when it changes.
+/// An input in the positive mask only grows the base monotonically, so its
+/// pair-level delta is the base's own delta (filtered, for the derived
+/// bases). An input in the negative mask (which also covers mixed
+/// occurrences — e.g. `stxn` in `tfence`, or `rf`/`co` in `fr`, which this
+/// crate defines by *subtracting* a growing exclusion set) means the base
+/// is re-read from the execution and diffed when that input changes; the
+/// exact diff then maintains every dependent node all the same.
 fn base_masks(base: RelBase) -> (DeltaMask, DeltaMask) {
     use RelBase::*;
     let rfco = DeltaMask::RF | DeltaMask::CO;
@@ -920,24 +926,43 @@ fn base_masks(base: RelBase) -> (DeltaMask, DeltaMask) {
 fn set_base_masks(base: SetBase) -> (DeltaMask, DeltaMask) {
     match base {
         SetBase::RmwDomain | SetBase::RmwRange => (DeltaMask::RMW, DeltaMask::NONE),
+        // Annotation flags move events in and out of these sets. Annotation
+        // edits carry no pair-level record, but base sets are re-read from
+        // the execution and diffed, which is exact in both directions — so
+        // these stay positive-only and their dependents stay on the
+        // maintained path under downgrade probes.
+        SetBase::Acquires | SetBase::Releases | SetBase::ScEvents | SetBase::Atomics => {
+            (DeltaMask::ANNOT, DeltaMask::NONE)
+        }
         _ => (DeltaMask::NONE, DeltaMask::NONE),
     }
 }
 
 /// A record of edits applied to an execution since the last
 /// [`IncrementalEval::apply`], built through the `add_edge`/`remove_edge`
-/// hooks as the enumerator mutates the execution in place.
+/// hooks as the enumerator (or a ⊏-weakening probe) mutates the execution
+/// in place.
 ///
-/// The delta distinguishes pure *additions* (which monotone nodes absorb by
-/// semi-naïve propagation) from edits involving removals (which fall back
-/// to footprint-based invalidation), and a *full* delta (a brand-new
-/// execution: every cache is dropped).
+/// Both additions **and removals** are recorded pair by pair, so the
+/// evaluator can maintain every affected node exactly — growing and
+/// shrinking cached values in place — rather than invalidating by
+/// footprint. A *full* delta announces a brand-new execution (every cache
+/// is dropped), a *coarse* delta ([`Delta::touch`]) marks input families
+/// without pair detail (affected base relations are re-read from the
+/// execution and diffed), and [`Delta::touch_annots`] records in-place
+/// event-annotation edits (which have no pair representation at all).
+///
+/// Edits must describe **true membership transitions**: record `add_edge`
+/// only for pairs that were absent and `remove_edge` only for pairs that
+/// were present. A pair may be edited several times in one delta (the
+/// odometer walk removes and re-adds); the *net* effect is what propagates.
 #[derive(Clone, Debug)]
 pub struct Delta {
     mask: DeltaMask,
     additions_only: bool,
     full: bool,
-    added: Vec<(RelBase, usize, usize)>,
+    coarse: bool,
+    edits: Vec<(RelBase, u32, u32, bool)>,
 }
 
 impl Default for Delta {
@@ -953,7 +978,8 @@ impl Delta {
             mask: DeltaMask::NONE,
             additions_only: true,
             full: false,
-            added: Vec::new(),
+            coarse: false,
+            edits: Vec::new(),
         }
     }
 
@@ -964,7 +990,8 @@ impl Delta {
             mask: DeltaMask::ALL,
             additions_only: false,
             full: true,
-            added: Vec::new(),
+            coarse: true,
+            edits: Vec::new(),
         }
     }
 
@@ -973,7 +1000,8 @@ impl Delta {
         self.mask = DeltaMask::NONE;
         self.additions_only = true;
         self.full = false;
-        self.added.clear();
+        self.coarse = false;
+        self.edits.clear();
     }
 
     /// Records the addition of pair `(a, b)` to a primitive base relation.
@@ -986,28 +1014,40 @@ impl Delta {
         let mask = DeltaMask::of_primitive(base)
             .unwrap_or_else(|| panic!("{base:?} is derived, not an editable input"));
         self.mask |= mask;
-        self.added.push((base, a, b));
+        self.edits.push((base, a as u32, b as u32, true));
     }
 
     /// Records the removal of pair `(a, b)` from a primitive base relation.
     ///
-    /// Removals disable semi-naïve maintenance for this delta: affected
-    /// nodes are invalidated and recomputed on next use.
+    /// Removals are maintained exactly, like additions: counting-based
+    /// deletion through joins, DRed-style rederivation through closures.
     ///
     /// # Panics
     ///
     /// Panics if `base` is a derived relation.
-    pub fn remove_edge(&mut self, base: RelBase, _a: usize, _b: usize) {
+    pub fn remove_edge(&mut self, base: RelBase, a: usize, b: usize) {
         let mask = DeltaMask::of_primitive(base)
             .unwrap_or_else(|| panic!("{base:?} is derived, not an editable input"));
         self.mask |= mask;
         self.additions_only = false;
+        self.edits.push((base, a as u32, b as u32, false));
     }
 
-    /// Marks whole input families as changed without pair-level detail
-    /// (treated like removals: invalidation, not propagation).
+    /// Marks whole input families as changed without pair-level detail.
+    /// Affected base relations are re-read from the execution and diffed
+    /// against their cached values; derived nodes are then maintained from
+    /// the resulting exact deltas as usual.
     pub fn touch(&mut self, mask: DeltaMask) {
         self.mask |= mask;
+        self.additions_only = false;
+        self.coarse = true;
+    }
+
+    /// Records that event annotations changed in place (the ⊏ downgrade
+    /// step). The annotation-derived base sets (`Acq`, `Rel`, `SC`, `Ato`)
+    /// are re-read from the execution and diffed.
+    pub fn touch_annots(&mut self) {
+        self.mask |= DeltaMask::ANNOT;
         self.additions_only = false;
     }
 
@@ -1031,16 +1071,31 @@ impl Delta {
         self.full
     }
 
-    /// The added pairs of one primitive family, as a relation over
-    /// `universe`.
-    fn added_relation(&self, family: RelBase, universe: usize) -> Relation {
-        let mut d = Relation::new(universe);
-        for &(base, a, b) in &self.added {
-            if base == family {
-                d.insert(a, b);
+    /// True if [`Delta::touch`] marked a family without pair detail.
+    pub fn is_coarse(&self) -> bool {
+        self.coarse
+    }
+
+    /// The net added and removed pairs of one primitive family, as
+    /// relations over `universe`. Replays the edit log in order, so a pair
+    /// removed and later re-added nets out.
+    fn net_relations(&self, family: RelBase, universe: usize) -> (Relation, Relation) {
+        let mut add = Relation::new(universe);
+        let mut del = Relation::new(universe);
+        for &(base, a, b, added) in &self.edits {
+            if base != family {
+                continue;
+            }
+            let (a, b) = (a as usize, b as usize);
+            if added {
+                add.insert(a, b);
+                del.remove(a, b);
+            } else {
+                del.insert(a, b);
+                add.remove(a, b);
             }
         }
-        d
+        (add, del)
     }
 }
 
@@ -1051,14 +1106,88 @@ struct HeadCache {
     empty: Option<bool>,
 }
 
-/// How one node fared during an additions-only propagation pass.
-enum Grown<T> {
-    /// Footprint disjoint from the delta: value and delta (= ∅) unchanged.
+impl HeadCache {
+    /// All three head predicates are anti-monotone in the body: growing the
+    /// body can only *break* them, shrinking it can only *repair* them. A
+    /// cached verdict therefore survives a grow-only delta if it was `false`
+    /// and a shrink-only delta if it was `true`; mixed deltas clear it.
+    fn refine(&mut self, grew: bool, shrank: bool) {
+        let keep = |v: &mut Option<bool>| {
+            *v = match *v {
+                Some(false) if !shrank => Some(false),
+                Some(true) if !grew => Some(true),
+                _ => None,
+            };
+        };
+        keep(&mut self.acyclic);
+        keep(&mut self.irreflexive);
+        keep(&mut self.empty);
+    }
+}
+
+/// Counters describing how [`IncrementalEval::apply`] absorbed its deltas;
+/// read them with [`IncrementalEval::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Derived nodes whose cached value was grown/shrunk *in place* by an
+    /// exact delta rule (semi-naïve addition, counting-based deletion
+    /// through joins, DRed rederivation through closures).
+    pub maintained: u64,
+    /// Base nodes re-read from the execution and diffed against their
+    /// cached value (the monotone derived bases such as `rfe`, primitives
+    /// under coarse deltas, and the `rmw` projections).
+    pub rebased: u64,
+    /// Nodes *non-monotone* in a changed input (and their dependents)
+    /// dropped for lazy recomputation on next use — the deliberate lazy
+    /// path, not a fallback: early-exit consistency sweeps never pay for
+    /// bodies they do not query.
+    pub dropped: u64,
+    /// *Maintainable* monotone nodes (every input monotone under the
+    /// delta, every child valued) dropped without maintenance — the
+    /// footprint-invalidation fallback removals used to force. Zero since
+    /// counting-based deletion; the parity tests pin it at zero over whole
+    /// enumeration sweeps.
+    pub invalidated: u64,
+    /// Full resets (a brand-new execution or a universe change).
+    pub resets: u64,
+}
+
+/// How one node fared during a propagation pass: untouched, edited with the
+/// exact pairs that appeared and disappeared, or holding no cached value.
+enum Shift<T> {
+    /// Value unchanged (footprint disjoint, or the edits cancelled out).
     Clean,
-    /// Value updated in place; the recorded relation is what was added.
-    Grew(T),
-    /// Value dropped (non-monotone node, or no cached value to extend).
-    Lost,
+    /// Value updated in place; `add`/`del` are exactly `new \ old` and
+    /// `old \ new`.
+    Edited { add: T, del: T },
+    /// No cached value: the node stays lazy (parents cannot hold values
+    /// either, so nothing consumes this).
+    Missing,
+}
+
+/// One relation node's journalled state: value, head verdicts, supports.
+type SavedRel = (usize, Option<Relation>, HeadCache, Option<Box<[u32]>>);
+
+/// The per-node state a savepoint journal captures on first touch.
+struct Journal {
+    universe: usize,
+    rel_saved: Vec<bool>,
+    set_saved: Vec<bool>,
+    rels: Vec<SavedRel>,
+    sets: Vec<(usize, Option<ElemSet>)>,
+}
+
+/// The outcome of maintaining one relation node under a delta.
+struct RelUpdate {
+    new: Relation,
+    add: Relation,
+    del: Relation,
+    /// Updated support counts, for `Seq` nodes whose counting table was
+    /// built or advanced by this delta.
+    counts: Option<Box<[u32]>>,
+    /// The node was re-read from the execution rather than delta-maintained
+    /// (derived bases, coarse touches).
+    rebased: bool,
 }
 
 /// A *stateful* evaluator of interned expressions that survives across the
@@ -1071,12 +1200,26 @@ enum Grown<T> {
 ///
 /// * nodes whose dependency footprint is disjoint from the delta keep their
 ///   cached values (and cached head verdicts) untouched;
-/// * under a pure-*addition* delta, nodes that are syntactically monotone
-///   (positive) in every changed input are **maintained** by semi-naïve
-///   delta propagation — `Δ(a ∪ b) = Δa ∪ Δb`, `Δ(a ; b) = Δa;b ∪ a;Δb`,
-///   `Δ(a⁺) = (a⁺? ; Δa ; a⁺?)⁺`, and so on — instead of being recomputed;
-/// * all other affected nodes are invalidated and lazily re-evaluated on
-///   next use.
+/// * every other node holding a value is **maintained in place** with an
+///   *exact* delta (`add = new \ old`, `del = old \ new`) derived from its
+///   children's deltas: additions flow through the semi-naïve rules
+///   (`Δ(a ∪ b) = Δa ∪ Δb`, `Δ(a ; b) = Δa;b ∪ a;Δb`,
+///   `Δ(a⁺) = (a⁺? ; Δa ; a⁺?)⁺`, …), removals through **counting-based
+///   deletion** — `;` nodes keep a per-pair support count of join witnesses,
+///   decremented as pairs disappear — and through **DRed-style
+///   rederivation** for the closures (over-delete everything a removed pair
+///   could have derived, then rederive from what survives);
+/// * base relations the view derives non-monotonically (`fr`, `tfence`, the
+///   annotation sets, …) are re-read from the mutated execution and diffed,
+///   so even their dependents stay maintained rather than invalidated;
+/// * head verdicts survive one-sided deltas: every head predicate is
+///   anti-monotone in its body, so a `false` survives grow-only and a
+///   `true` survives shrink-only deltas.
+///
+/// A [`savepoint`](IncrementalEval::savepoint)/[`rollback`](IncrementalEval::rollback)
+/// journal snapshots each node's state on first touch, so a caller can
+/// probe a delta (a ⊏-weakening of the current candidate, say) and undo it
+/// in O(touched nodes).
 ///
 /// The caller owns the evolving [`Execution`] and must mutate it *before*
 /// applying the matching delta; `tm_synth`'s incremental enumeration drives
@@ -1087,12 +1230,32 @@ pub struct IncrementalEval<'p> {
     rel_vals: Vec<Option<Relation>>,
     set_vals: Vec<Option<ElemSet>>,
     heads: Vec<HeadCache>,
+    /// Per-pair join-witness counts for `Seq` nodes, built lazily the first
+    /// time a node is maintained and kept in lock-step with its value.
+    seq_counts: Vec<Option<Box<[u32]>>>,
     rel_pos: Vec<DeltaMask>,
     rel_neg: Vec<DeltaMask>,
-    set_pos: Vec<DeltaMask>,
     set_neg: Vec<DeltaMask>,
-    same_thread: Option<Relation>,
+    /// For each [`DeltaMask`] input bit, the relation/set nodes whose
+    /// footprint contains it (ascending) — a delta visits the union of its
+    /// bits' lists instead of scanning the whole pool.
+    rel_touched_by: Vec<Vec<u32>>,
+    set_touched_by: Vec<Vec<u32>>,
+    /// Per-node delta records for the current propagation epoch. Stamps
+    /// avoid clearing the arrays between deltas: a stale entry reads as
+    /// [`Shift::Clean`].
+    rel_shift: Vec<Shift<Relation>>,
+    set_shift: Vec<Shift<ElemSet>>,
+    rel_shift_epoch: Vec<u64>,
+    set_shift_epoch: Vec<u64>,
+    epoch: u64,
+    scratch_ids: Vec<u32>,
+    journal: Option<Journal>,
+    stats: MaintenanceStats,
 }
+
+/// The number of distinct [`DeltaMask`] input bits.
+const MASK_BITS: usize = 11;
 
 impl<'p> IncrementalEval<'p> {
     /// Creates an evaluator for `pool`, computing every node's dependency
@@ -1143,17 +1306,41 @@ impl<'p> IncrementalEval<'p> {
             rel_pos.push(p);
             rel_neg.push(n);
         }
+        let mut rel_touched_by: Vec<Vec<u32>> = vec![Vec::new(); MASK_BITS];
+        let mut set_touched_by: Vec<Vec<u32>> = vec![Vec::new(); MASK_BITS];
+        for bit in 0..MASK_BITS {
+            let bit_mask = DeltaMask(1 << bit);
+            for i in 0..pool.rel_count() {
+                if (rel_pos[i] | rel_neg[i]).intersects(bit_mask) {
+                    rel_touched_by[bit].push(i as u32);
+                }
+            }
+            for i in 0..pool.set_count() {
+                if (set_pos[i] | set_neg[i]).intersects(bit_mask) {
+                    set_touched_by[bit].push(i as u32);
+                }
+            }
+        }
         IncrementalEval {
             pool,
             universe: 0,
             rel_vals: vec![None; pool.rel_count()],
             set_vals: vec![None; pool.set_count()],
             heads: vec![HeadCache::default(); pool.rel_count()],
+            seq_counts: vec![None; pool.rel_count()],
             rel_pos,
             rel_neg,
-            set_pos,
             set_neg,
-            same_thread: None,
+            rel_touched_by,
+            set_touched_by,
+            rel_shift: (0..pool.rel_count()).map(|_| Shift::Clean).collect(),
+            set_shift: (0..pool.set_count()).map(|_| Shift::Clean).collect(),
+            rel_shift_epoch: vec![0; pool.rel_count()],
+            set_shift_epoch: vec![0; pool.set_count()],
+            epoch: 0,
+            scratch_ids: Vec::new(),
+            journal: None,
+            stats: MaintenanceStats::default(),
         }
     }
 
@@ -1168,28 +1355,124 @@ impl<'p> IncrementalEval<'p> {
     }
 
     /// The inputs in which a relation node is *not* monotonically
-    /// non-decreasing (negative or mixed occurrences): a pure-addition delta
-    /// touching any of them forces re-evaluation rather than propagation.
+    /// non-decreasing (negative or mixed occurrences). Purely informational
+    /// since counting-based deletion landed: every node is maintained with
+    /// exact deltas whichever sign an input occurs under.
     pub fn nonmonotone_inputs(&self, id: RelId) -> DeltaMask {
         self.rel_neg[id.index()]
     }
 
+    /// The maintenance counters accumulated since construction.
+    pub fn stats(&self) -> MaintenanceStats {
+        self.stats
+    }
+
+    /// Starts recording undo information: every node state subsequently
+    /// changed (by [`apply`](IncrementalEval::apply), lazy evaluation or
+    /// verdict caching) is snapshotted on first touch, so a later
+    /// [`rollback`](IncrementalEval::rollback) restores this exact state in
+    /// O(touched nodes). One savepoint may be active at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a savepoint is already active.
+    pub fn savepoint(&mut self) {
+        assert!(
+            self.journal.is_none(),
+            "IncrementalEval supports one active savepoint at a time"
+        );
+        self.journal = Some(Journal {
+            universe: self.universe,
+            rel_saved: vec![false; self.pool.rel_count()],
+            set_saved: vec![false; self.pool.set_count()],
+            rels: Vec::new(),
+            sets: Vec::new(),
+        });
+    }
+
+    /// Restores the state captured by the active savepoint and ends it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no savepoint is active.
+    pub fn rollback(&mut self) {
+        let journal = self
+            .journal
+            .take()
+            .expect("rollback without an active savepoint");
+        self.universe = journal.universe;
+        for (i, val, heads, counts) in journal.rels {
+            self.rel_vals[i] = val;
+            self.heads[i] = heads;
+            self.seq_counts[i] = counts;
+        }
+        for (i, val) in journal.sets {
+            self.set_vals[i] = val;
+        }
+    }
+
+    /// Ends the active savepoint, keeping every change made since it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no savepoint is active.
+    pub fn commit(&mut self) {
+        assert!(
+            self.journal.take().is_some(),
+            "commit without an active savepoint"
+        );
+    }
+
+    fn journal_rel(&mut self, i: usize) {
+        if let Some(journal) = &mut self.journal {
+            if !journal.rel_saved[i] {
+                journal.rel_saved[i] = true;
+                journal.rels.push((
+                    i,
+                    self.rel_vals[i].clone(),
+                    self.heads[i],
+                    self.seq_counts[i].clone(),
+                ));
+            }
+        }
+    }
+
+    fn journal_set(&mut self, i: usize) {
+        if let Some(journal) = &mut self.journal {
+            if !journal.set_saved[i] {
+                journal.set_saved[i] = true;
+                journal.sets.push((i, self.set_vals[i].clone()));
+            }
+        }
+    }
+
     /// Drops every cached value: the next queries recompute from `exec`.
     pub fn reset(&mut self, exec: &Execution) {
+        if self.journal.is_some() {
+            for i in 0..self.pool.rel_count() {
+                self.journal_rel(i);
+            }
+            for i in 0..self.pool.set_count() {
+                self.journal_set(i);
+            }
+        }
         self.universe = exec.len();
         self.rel_vals.iter_mut().for_each(|v| *v = None);
         self.set_vals.iter_mut().for_each(|v| *v = None);
+        self.seq_counts.iter_mut().for_each(|c| *c = None);
         self.heads
             .iter_mut()
             .for_each(|h| *h = HeadCache::default());
-        self.same_thread = None;
+        self.stats.resets += 1;
     }
 
     /// Absorbs one delta: the caller has already mutated `exec` accordingly.
     ///
-    /// Full deltas (and universe changes) reset everything; deltas with
-    /// removals invalidate by footprint; pure-addition deltas are propagated
-    /// semi-naïvely through monotone nodes and invalidate only the rest.
+    /// Full deltas (and universe changes) reset everything; every other
+    /// delta — additions, removals, annotation edits, coarse touches — is
+    /// propagated through the valued nodes in place, children before
+    /// parents, leaving each with an exact `new \ old` / `old \ new` record
+    /// for its own parents.
     pub fn apply(&mut self, exec: &Execution, delta: &Delta) {
         if delta.is_full() || exec.len() != self.universe {
             self.reset(exec);
@@ -1198,245 +1481,469 @@ impl<'p> IncrementalEval<'p> {
         if delta.is_empty() {
             return;
         }
-        if !delta.is_additions_only() {
-            self.invalidate(delta.mask());
-            return;
-        }
-        self.propagate_additions(exec, delta);
+        self.propagate(exec, delta);
     }
 
-    /// Drops the cached value (and head verdicts) of every node whose
-    /// footprint intersects `mask`.
-    fn invalidate(&mut self, mask: DeltaMask) {
-        for i in 0..self.pool.set_count() {
-            if (self.set_pos[i] | self.set_neg[i]).intersects(mask) {
+    /// One ascending maintenance sweep over the touched nodes (children
+    /// before parents; sets before relations, which consume them). Only the
+    /// nodes whose footprint the delta intersects are visited, via the
+    /// per-input lists built at construction.
+    fn propagate(&mut self, exec: &Execution, delta: &Delta) {
+        let mask = delta.mask();
+        self.epoch += 1;
+
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        Self::collect_touched(&self.set_touched_by, mask, &mut ids);
+        for &id in &ids {
+            let i = id as usize;
+            if self.set_vals[i].is_none() {
+                self.set_shift[i] = Shift::Missing;
+                self.set_shift_epoch[i] = self.epoch;
+                continue;
+            }
+            if self.set_neg[i].intersects(mask) {
+                // Non-monotone in a changed input (the annotation sets):
+                // drop for lazy recomputation on next use.
+                self.journal_set(i);
                 self.set_vals[i] = None;
+                self.stats.dropped += 1;
+                self.set_shift[i] = Shift::Missing;
+                self.set_shift_epoch[i] = self.epoch;
+                continue;
+            }
+            let computed: Option<ElemSet> = match self.pool.set_expr(SetId(i as u32)) {
+                SetExpr::Base(base) => {
+                    self.stats.rebased += 1;
+                    Some(Self::base_set_value(exec, base))
+                }
+                SetExpr::Union(a, b) => {
+                    match (&self.set_vals[a.index()], &self.set_vals[b.index()]) {
+                        (Some(va), Some(vb)) => Some(va.union(vb)),
+                        _ => None,
+                    }
+                }
+                SetExpr::Inter(a, b) => {
+                    match (&self.set_vals[a.index()], &self.set_vals[b.index()]) {
+                        (Some(va), Some(vb)) => Some(va.intersection(vb)),
+                        _ => None,
+                    }
+                }
+            };
+            match computed {
+                None => {
+                    debug_assert!(false, "valued set node with an unvalued child");
+                    self.journal_set(i);
+                    self.set_vals[i] = None;
+                    self.stats.invalidated += 1;
+                    self.set_shift[i] = Shift::Missing;
+                    self.set_shift_epoch[i] = self.epoch;
+                }
+                Some(new) => {
+                    let old = self.set_vals[i].as_ref().unwrap();
+                    let add = new.difference(old);
+                    let del = old.difference(&new);
+                    if add.is_empty() && del.is_empty() {
+                        // Stale stamp: parents read this as Clean.
+                        continue;
+                    }
+                    self.journal_set(i);
+                    self.set_vals[i] = Some(new);
+                    self.set_shift[i] = Shift::Edited { add, del };
+                    self.set_shift_epoch[i] = self.epoch;
+                }
             }
         }
-        for i in 0..self.pool.rel_count() {
-            if (self.rel_pos[i] | self.rel_neg[i]).intersects(mask) {
+
+        Self::collect_touched(&self.rel_touched_by, mask, &mut ids);
+        for &id in &ids {
+            let i = id as usize;
+            if self.rel_vals[i].is_none() {
+                self.rel_shift[i] = Shift::Missing;
+                self.rel_shift_epoch[i] = self.epoch;
+                continue;
+            }
+            if self.rel_neg[i].intersects(mask) {
+                // Non-monotone in a changed input (fr and its dependents
+                // under rf/co edits, tfence under stxn flips, …): drop for
+                // lazy recomputation — an early-exit sweep only ever pays
+                // for the bodies it actually queries.
+                self.journal_rel(i);
                 self.rel_vals[i] = None;
                 self.heads[i] = HeadCache::default();
-            }
-        }
-    }
-
-    /// Semi-naïve pass for a pure-addition delta: one ascending sweep over
-    /// the pool (children before parents), growing monotone cached values in
-    /// place and invalidating the rest.
-    fn propagate_additions(&mut self, exec: &Execution, delta: &Delta) {
-        let mask = delta.mask();
-        if mask.intersects(DeltaMask::RF | DeltaMask::CO) && self.same_thread.is_none() {
-            self.same_thread = Some(exec.same_thread());
-        }
-
-        // Sets first: relation nodes only consume them, never the reverse.
-        let mut set_grown: Vec<Grown<ElemSet>> = Vec::with_capacity(self.pool.set_count());
-        for i in 0..self.pool.set_count() {
-            if !(self.set_pos[i] | self.set_neg[i]).intersects(mask) {
-                set_grown.push(Grown::Clean);
+                self.seq_counts[i] = None;
+                self.stats.dropped += 1;
+                self.rel_shift[i] = Shift::Missing;
+                self.rel_shift_epoch[i] = self.epoch;
                 continue;
             }
-            let d = if self.set_neg[i].intersects(mask) || self.set_vals[i].is_none() {
-                None
-            } else {
-                self.set_delta(SetId(i as u32), delta, &set_grown)
-            };
-            match d {
-                Some(d) => {
-                    let merged = self.set_vals[i].as_ref().unwrap().union(&d);
-                    self.set_vals[i] = Some(merged);
-                    set_grown.push(Grown::Grew(d));
-                }
+            match self.shift_rel(exec, delta, RelId(i as u32)) {
                 None => {
-                    self.set_vals[i] = None;
-                    set_grown.push(Grown::Lost);
-                }
-            }
-        }
-
-        let mut rel_grown: Vec<Grown<Relation>> = Vec::with_capacity(self.pool.rel_count());
-        for i in 0..self.pool.rel_count() {
-            if !(self.rel_pos[i] | self.rel_neg[i]).intersects(mask) {
-                rel_grown.push(Grown::Clean);
-                continue;
-            }
-            let d = if self.rel_neg[i].intersects(mask) || self.rel_vals[i].is_none() {
-                None
-            } else {
-                self.rel_delta(RelId(i as u32), delta, &rel_grown, &set_grown)
-            };
-            match d {
-                Some(d) => {
-                    if !d.is_empty() {
-                        self.rel_vals[i].as_mut().unwrap().union_in_place(&d);
-                        self.heads[i] = HeadCache::default();
-                    }
-                    rel_grown.push(Grown::Grew(d));
-                }
-                None => {
+                    // A needed child was dropped (a difference whose
+                    // subtrahend is non-monotone, say): this node cannot be
+                    // maintained either and follows it to the lazy path.
+                    self.journal_rel(i);
                     self.rel_vals[i] = None;
                     self.heads[i] = HeadCache::default();
-                    rel_grown.push(Grown::Lost);
+                    self.seq_counts[i] = None;
+                    self.stats.dropped += 1;
+                    self.rel_shift[i] = Shift::Missing;
+                    self.rel_shift_epoch[i] = self.epoch;
+                }
+                Some(update) => {
+                    if update.rebased {
+                        self.stats.rebased += 1;
+                    }
+                    let grew = !update.add.is_empty();
+                    let shrank = !update.del.is_empty();
+                    if grew || shrank || update.counts.is_some() {
+                        self.journal_rel(i);
+                        if let Some(counts) = update.counts {
+                            self.seq_counts[i] = Some(counts);
+                        }
+                        if grew || shrank {
+                            self.rel_vals[i] = Some(update.new);
+                            self.heads[i].refine(grew, shrank);
+                            self.stats.maintained += 1;
+                        }
+                    }
+                    if grew || shrank {
+                        self.rel_shift[i] = Shift::Edited {
+                            add: update.add,
+                            del: update.del,
+                        };
+                        self.rel_shift_epoch[i] = self.epoch;
+                    }
                 }
             }
         }
+        self.scratch_ids = ids;
     }
 
-    /// The growth of one monotone set node under an addition delta, or
-    /// `None` if a needed child value or child delta is unavailable.
-    fn set_delta(&self, id: SetId, delta: &Delta, grown: &[Grown<ElemSet>]) -> Option<ElemSet> {
-        let child = |s: SetId| -> Option<ElemSet> {
-            match &grown[s.index()] {
-                Grown::Clean => Some(ElemSet::new(self.universe)),
-                Grown::Grew(d) => Some(d.clone()),
-                Grown::Lost => None,
+    /// The ascending union of the touched-node lists of the mask's bits.
+    fn collect_touched(lists: &[Vec<u32>], mask: DeltaMask, out: &mut Vec<u32>) {
+        out.clear();
+        let mut hit = 0usize;
+        for (bit, list) in lists.iter().enumerate() {
+            if mask.intersects(DeltaMask(1 << bit)) && !list.is_empty() {
+                out.extend_from_slice(list);
+                hit += 1;
             }
-        };
-        match self.pool.set_expr(id) {
-            SetExpr::Base(SetBase::RmwDomain) => Some(ElemSet::from_iter(
-                self.universe,
-                delta
-                    .added
-                    .iter()
-                    .filter(|&&(b, _, _)| b == RelBase::Rmw)
-                    .map(|&(_, a, _)| a),
-            )),
-            SetExpr::Base(SetBase::RmwRange) => Some(ElemSet::from_iter(
-                self.universe,
-                delta
-                    .added
-                    .iter()
-                    .filter(|&&(b, _, _)| b == RelBase::Rmw)
-                    .map(|&(_, _, b)| b),
-            )),
-            // Other base sets are constant: they cannot reach this path.
-            SetExpr::Base(_) => None,
-            SetExpr::Union(a, b) => Some(child(a)?.union(&child(b)?)),
-            SetExpr::Inter(a, b) => {
-                let (da, db) = (child(a)?, child(b)?);
-                let va = self.set_vals[a.index()].as_ref()?;
-                let vb = self.set_vals[b.index()].as_ref()?;
-                Some(da.intersection(vb).union(&va.intersection(&db)))
-            }
+        }
+        if hit > 1 {
+            out.sort_unstable();
+            out.dedup();
         }
     }
 
-    /// The growth of one monotone relation node under an addition delta, or
-    /// `None` if the node cannot be maintained (fall back to invalidation).
-    ///
-    /// Each returned delta `Δ` satisfies `new \ old ⊆ Δ ⊆ new`, which makes
-    /// `old ∪ Δ` exactly the new value for monotone nodes.
-    fn rel_delta(
-        &self,
-        id: RelId,
-        delta: &Delta,
-        rel_grown: &[Grown<Relation>],
-        set_grown: &[Grown<ElemSet>],
-    ) -> Option<Relation> {
-        let child = |r: RelId| -> Option<Relation> {
-            match &rel_grown[r.index()] {
-                Grown::Clean => Some(Relation::new(self.universe)),
-                Grown::Grew(d) => Some(d.clone()),
-                Grown::Lost => None,
+    /// Maintains one valued relation node under a delta, returning its new
+    /// value and the exact pairs that appeared and disappeared — or `None`
+    /// if a child it needs holds no value (an invariant breach).
+    fn shift_rel(&self, exec: &Execution, delta: &Delta, id: RelId) -> Option<RelUpdate> {
+        let i = id.index();
+        let old = self.rel_vals[i].as_ref().unwrap();
+        let empty = Relation::new(self.universe);
+        // A child's exact (add, del) — empty pair when it was untouched
+        // this epoch (a stale stamp reads as Clean).
+        let parts = |r: RelId| -> Option<(&Relation, &Relation)> {
+            if self.rel_shift_epoch[r.index()] != self.epoch {
+                return Some((&empty, &empty));
+            }
+            match &self.rel_shift[r.index()] {
+                Shift::Clean => Some((&empty, &empty)),
+                Shift::Edited { add, del } => Some((add, del)),
+                Shift::Missing => None,
             }
         };
-        let set_child = |s: SetId| -> Option<ElemSet> {
-            match &set_grown[s.index()] {
-                Grown::Clean => Some(ElemSet::new(self.universe)),
-                Grown::Grew(d) => Some(d.clone()),
-                Grown::Lost => None,
+        let set_parts = |s: SetId| -> Option<(Option<&ElemSet>, Option<&ElemSet>)> {
+            if self.set_shift_epoch[s.index()] != self.epoch {
+                return Some((None, None));
+            }
+            match &self.set_shift[s.index()] {
+                Shift::Clean => Some((None, None)),
+                Shift::Edited { add, del } => Some((Some(add), Some(del))),
+                Shift::Missing => None,
             }
         };
-        let value = |r: RelId| self.rel_vals[r.index()].as_ref();
-        match self.pool.rel_expr(id) {
-            RelExpr::Base(base) => self.base_delta(base, delta),
-            RelExpr::IdOn(s) => Some(Relation::identity_on(&set_child(s)?)),
+        let val = |r: RelId| self.rel_vals[r.index()].as_ref();
+        let set_val = |s: SetId| self.set_vals[s.index()].as_ref();
+        // Finalises a directly recomputed value into an exact update.
+        let diffed = |new: Relation| -> RelUpdate {
+            let add = new.difference(old);
+            let del = old.difference(&new);
+            RelUpdate {
+                new,
+                add,
+                del,
+                counts: None,
+                rebased: false,
+            }
+        };
+        // Finalises an exact (add, del) pair into the updated value.
+        let applied = |add: Relation, del: Relation| -> RelUpdate {
+            let mut new = old.clone();
+            new.union_in_place(&add);
+            new.difference_in_place(&del);
+            RelUpdate {
+                new,
+                add,
+                del,
+                counts: None,
+                rebased: false,
+            }
+        };
+        // The edits cancelled out below this node: nothing to store.
+        let unchanged = || RelUpdate {
+            new: Relation::new(self.universe),
+            add: Relation::new(self.universe),
+            del: Relation::new(self.universe),
+            counts: None,
+            rebased: false,
+        };
+
+        let update = match self.pool.rel_expr(id) {
+            RelExpr::Base(base) => {
+                if let (Some(_), false) = (DeltaMask::of_primitive(base), delta.is_coarse()) {
+                    // Primitive family with a pair-exact edit log: net the
+                    // log against the cached value.
+                    let (net_add, net_del) = delta.net_relations(base, self.universe);
+                    let add = net_add.difference(old);
+                    let del = net_del.intersection(old);
+                    let update = applied(add, del);
+                    debug_assert_eq!(
+                        update.new,
+                        Self::base_value(exec, base),
+                        "delta edit log out of sync with the execution for {base:?}"
+                    );
+                    update
+                } else {
+                    // Derived bases (fr, tfence, rfe, …) and coarse touches:
+                    // re-read from the execution and diff.
+                    RelUpdate {
+                        rebased: true,
+                        ..diffed(Self::base_value(exec, base))
+                    }
+                }
+            }
+            RelExpr::IdOn(s) => {
+                let (sa, sd) = set_parts(s)?;
+                let add = sa.map_or_else(|| empty.clone(), Relation::identity_on);
+                let del = sd.map_or_else(|| empty.clone(), Relation::identity_on);
+                applied(add, del)
+            }
             RelExpr::Cross(a, b) => {
-                let (da, db) = (set_child(a)?, set_child(b)?);
-                let va = self.set_vals[a.index()].as_ref()?;
-                let vb = self.set_vals[b.index()].as_ref()?;
-                let mut out = Relation::cross(&da, vb);
-                out.union_in_place(&Relation::cross(va, &db));
-                Some(out)
+                let (sa, sb) = (set_parts(a)?, set_parts(b)?);
+                if sa.0.is_none() && sa.1.is_none() && sb.0.is_none() && sb.1.is_none() {
+                    return Some(unchanged());
+                }
+                diffed(Relation::cross(set_val(a)?, set_val(b)?))
             }
             RelExpr::Seq(a, b) => {
-                let (da, db) = (child(a)?, child(b)?);
-                let mut out = da.compose(value(b)?);
-                out.union_in_place(&value(a)?.compose(&db));
-                Some(out)
+                let ((add_a, del_a), (add_b, del_b)) = (parts(a)?, parts(b)?);
+                if add_a.is_empty() && del_a.is_empty() && add_b.is_empty() && del_b.is_empty() {
+                    return Some(unchanged());
+                }
+                let (new_a, new_b) = (val(a)?, val(b)?);
+                let counting =
+                    self.seq_counts[i].is_some() || !del_a.is_empty() || !del_b.is_empty();
+                if !counting {
+                    // Pure additions with no live counting table: the plain
+                    // semi-naïve join delta, no per-pair bookkeeping.
+                    let mut d = add_a.compose(new_b);
+                    d.union_in_place(&new_a.compose(add_b));
+                    let add = d.difference(old);
+                    applied(add, empty.clone())
+                } else {
+                    // A removal reached this node (or one did before):
+                    // maintain the per-pair support counts.
+                    return Some(self.shift_seq(id, old, new_a, new_b, add_a, del_a, add_b, del_b));
+                }
             }
             RelExpr::Union(a, b) => {
-                let mut out = child(a)?;
-                out.union_in_place(&child(b)?);
-                Some(out)
+                let ((add_a, del_a), (add_b, del_b)) = (parts(a)?, parts(b)?);
+                // A pair joins the union iff it joined either operand and
+                // was not already present; it leaves iff it left every
+                // operand that held it and neither holds it now.
+                let mut add = add_a.union(add_b);
+                add.difference_in_place(old);
+                let mut del = del_a.union(del_b);
+                del.difference_in_place(val(a)?);
+                del.difference_in_place(val(b)?);
+                applied(add, del)
             }
             RelExpr::Inter(a, b) => {
-                let (da, db) = (child(a)?, child(b)?);
-                let mut left = da;
-                left.intersect_in_place(value(b)?);
-                let mut right = value(a)?.clone();
-                right.intersect_in_place(&db);
-                left.union_in_place(&right);
-                Some(left)
+                let mut new = val(a)?.clone();
+                new.intersect_in_place(val(b)?);
+                diffed(new)
             }
             RelExpr::Diff(a, b) => {
-                // The polarity gate guarantees b is untouched by this delta.
-                let mut out = child(a)?;
-                out.difference_in_place(value(b)?);
-                Some(out)
+                let mut new = val(a)?.clone();
+                new.difference_in_place(val(b)?);
+                diffed(new)
             }
-            RelExpr::Inverse(a) => Some(child(a)?.inverse()),
-            RelExpr::Opt(a) => child(a),
+            RelExpr::Inverse(a) => {
+                let (add_a, del_a) = parts(a)?;
+                applied(add_a.inverse(), del_a.inverse())
+            }
+            RelExpr::Opt(a) => diffed(val(a)?.reflexive_closure()),
             RelExpr::Plus(a) => {
-                // (a ∪ Δ)⁺ = a⁺ ∪ (a⁺? ; Δ ; a⁺?)⁺ — every new path is an
-                // alternation of old paths and new edges.
-                let da = child(a)?;
-                let cq = value(id)?.reflexive_closure();
-                let mut d = cq.compose(&da).compose(&cq);
-                d.transitive_closure_in_place();
-                Some(d)
+                let (add_a, del_a) = parts(a)?;
+                if del_a.is_empty() {
+                    // Semi-naïve growth: (a ∪ Δ)⁺ = a⁺ ∪ (a⁺? ; Δ ; a⁺?)⁺ —
+                    // every new path alternates old paths and new edges.
+                    let oldq = old.reflexive_closure();
+                    let mut d = oldq.compose(add_a).compose(&oldq);
+                    d.transitive_closure_in_place();
+                    let add = d.difference(old);
+                    applied(add, empty.clone())
+                } else {
+                    // DRed: over-delete every pair whose derivations could
+                    // pass through a removed edge, then rederive from the
+                    // survivors plus the new child value. Any pair with an
+                    // intact path avoids the over-delete set entirely, so
+                    // closing (old \ over) ∪ new_a is exactly new_a⁺.
+                    let oldq = old.reflexive_closure();
+                    let over = oldq.compose(del_a).compose(&oldq);
+                    let mut seed = old.difference(&over);
+                    seed.union_in_place(val(a)?);
+                    seed.transitive_closure_in_place();
+                    diffed(seed)
+                }
             }
             RelExpr::Star(a) => {
-                // Same as Plus, with the reflexive old value as the spine.
-                let da = child(a)?;
-                let c = value(id)?;
-                let mut d = c.compose(&da).compose(c);
-                d.transitive_closure_in_place();
-                Some(d)
+                let (add_a, del_a) = parts(a)?;
+                if del_a.is_empty() {
+                    // The reflexive old value is its own spine.
+                    let mut d = old.compose(add_a).compose(old);
+                    d.transitive_closure_in_place();
+                    let add = d.difference(old);
+                    applied(add, empty.clone())
+                } else {
+                    let over = old.compose(del_a).compose(old);
+                    let mut seed = old.difference(&over);
+                    seed.union_in_place(val(a)?);
+                    seed.transitive_closure_in_place();
+                    for e in 0..self.universe {
+                        seed.insert(e, e);
+                    }
+                    diffed(seed)
+                }
             }
-            RelExpr::WeakLift(a, t) => {
-                // weaklift distributes over unions of its first operand.
-                Some(Execution::weaklift(&child(a)?, value(t)?))
+            RelExpr::WeakLift(a, t) | RelExpr::StrongLift(a, t) => {
+                let strong = matches!(self.pool.rel_expr(id), RelExpr::StrongLift(_, _));
+                let (add_a, del_a) = parts(a)?;
+                let (add_t, del_t) = parts(t)?;
+                let lift = |r: &Relation, t: &Relation| {
+                    if strong {
+                        Execution::stronglift(r, t)
+                    } else {
+                        Execution::weaklift(r, t)
+                    }
+                };
+                if del_a.is_empty() && add_t.is_empty() && del_t.is_empty() {
+                    // The lift distributes over unions of its first operand.
+                    let d = lift(add_a, val(t)?);
+                    let add = d.difference(old);
+                    applied(add, empty.clone())
+                } else {
+                    diffed(lift(val(a)?, val(t)?))
+                }
             }
-            RelExpr::StrongLift(a, t) => Some(Execution::stronglift(&child(a)?, value(t)?)),
+        };
+        Some(update)
+    }
+
+    /// Counting-based maintenance of a `Seq` node: the per-pair support
+    /// count is the number of join witnesses `y` with `a(x, y) ∧ b(y, z)`;
+    /// additions increment, removals decrement, and a pair lives exactly
+    /// while its count is positive. The table is built lazily from the
+    /// operands' pre-delta values the first time the node is maintained.
+    #[allow(clippy::too_many_arguments)]
+    fn shift_seq(
+        &self,
+        id: RelId,
+        old: &Relation,
+        new_a: &Relation,
+        new_b: &Relation,
+        add_a: &Relation,
+        del_a: &Relation,
+        add_b: &Relation,
+        del_b: &Relation,
+    ) -> RelUpdate {
+        let n = self.universe;
+        // Reconstruct the pre-delta operands (`new \ add ∪ del`).
+        let rewind = |new: &Relation, add: &Relation, del: &Relation| {
+            let mut old = new.clone();
+            old.difference_in_place(add);
+            old.union_in_place(del);
+            old
+        };
+        let old_b = rewind(new_b, add_b, del_b);
+        let mut counts: Box<[u32]> = match &self.seq_counts[id.index()] {
+            Some(counts) => counts.clone(),
+            None => {
+                let old_a = rewind(new_a, add_a, del_a);
+                let mut counts = vec![0u32; n * n].into_boxed_slice();
+                for (x, y) in old_a.iter() {
+                    for z in old_b.successors(y) {
+                        counts[x * n + z] += 1;
+                    }
+                }
+                counts
+            }
+        };
+        // Σ old_a·old_b  →  Σ new_a·old_b  →  Σ new_a·new_b.
+        for (x, y) in add_a.iter() {
+            for z in old_b.successors(y) {
+                counts[x * n + z] += 1;
+            }
+        }
+        for (x, y) in del_a.iter() {
+            for z in old_b.successors(y) {
+                counts[x * n + z] -= 1;
+            }
+        }
+        for (y, z) in add_b.iter() {
+            for x in new_a.predecessors(y) {
+                counts[x * n + z] += 1;
+            }
+        }
+        for (y, z) in del_b.iter() {
+            for x in new_a.predecessors(y) {
+                counts[x * n + z] -= 1;
+            }
+        }
+        let mut new = Relation::new(n);
+        for x in 0..n {
+            for z in 0..n {
+                if counts[x * n + z] > 0 {
+                    new.insert(x, z);
+                }
+            }
+        }
+        let add = new.difference(old);
+        let del = old.difference(&new);
+        RelUpdate {
+            new,
+            add,
+            del,
+            counts: Some(counts),
+            rebased: false,
         }
     }
 
-    /// The growth of a base node under an addition delta.
-    fn base_delta(&self, base: RelBase, delta: &Delta) -> Option<Relation> {
-        if DeltaMask::of_primitive(base).is_some() {
-            return Some(delta.added_relation(base, self.universe));
-        }
+    /// The value of a base set, recomputed from the execution.
+    fn base_set_value(exec: &Execution, base: SetBase) -> ElemSet {
         match base {
-            RelBase::Rfe => {
-                let mut d = delta.added_relation(RelBase::Rf, self.universe);
-                d.difference_in_place(self.same_thread.as_ref()?);
-                Some(d)
-            }
-            RelBase::Rfi => {
-                let mut d = delta.added_relation(RelBase::Rf, self.universe);
-                d.intersect_in_place(self.same_thread.as_ref()?);
-                Some(d)
-            }
-            RelBase::Coe => {
-                let mut d = delta.added_relation(RelBase::Co, self.universe);
-                d.difference_in_place(self.same_thread.as_ref()?);
-                Some(d)
-            }
-            // The remaining derived bases are either constant (never reach
-            // this path) or non-monotone (filtered by the polarity gate).
-            _ => None,
+            SetBase::Reads => exec.reads(),
+            SetBase::Writes => exec.writes(),
+            SetBase::Fences => exec.fences(),
+            SetBase::Acquires => exec.acquires(),
+            SetBase::Releases => exec.releases(),
+            SetBase::ScEvents => exec.sc_events(),
+            SetBase::Atomics => exec.atomics(),
+            SetBase::FencesOf(kind) => exec.fences_of(kind),
+            SetBase::RmwDomain => exec.rmw.domain(),
+            SetBase::RmwRange => exec.rmw.range(),
         }
     }
 
@@ -1451,18 +1958,7 @@ impl<'p> IncrementalEval<'p> {
             return;
         }
         let value = match self.pool.set_expr(id) {
-            SetExpr::Base(base) => match base {
-                SetBase::Reads => exec.reads(),
-                SetBase::Writes => exec.writes(),
-                SetBase::Fences => exec.fences(),
-                SetBase::Acquires => exec.acquires(),
-                SetBase::Releases => exec.releases(),
-                SetBase::ScEvents => exec.sc_events(),
-                SetBase::Atomics => exec.atomics(),
-                SetBase::FencesOf(kind) => exec.fences_of(kind),
-                SetBase::RmwDomain => exec.rmw.domain(),
-                SetBase::RmwRange => exec.rmw.range(),
-            },
+            SetExpr::Base(base) => Self::base_set_value(exec, base),
             SetExpr::Union(a, b) => {
                 self.ensure_set(exec, a);
                 self.ensure_set(exec, b);
@@ -1480,6 +1976,7 @@ impl<'p> IncrementalEval<'p> {
                     .intersection(self.set_vals[b.index()].as_ref().unwrap())
             }
         };
+        self.journal_set(id.index());
         self.set_vals[id.index()] = Some(value);
     }
 
@@ -1579,6 +2076,7 @@ impl<'p> IncrementalEval<'p> {
                 )
             }
         };
+        self.journal_rel(id.index());
         self.rel_vals[id.index()] = Some(value);
     }
 
@@ -1633,6 +2131,7 @@ impl<'p> IncrementalEval<'p> {
             AxiomHead::Irreflexive => body.is_irreflexive(),
             AxiomHead::Empty => body.is_empty(),
         };
+        self.journal_rel(i);
         match axiom.head {
             AxiomHead::Acyclic => self.heads[i].acyclic = Some(v),
             AxiomHead::Irreflexive => self.heads[i].irreflexive = Some(v),
@@ -1658,7 +2157,7 @@ impl<'p> IncrementalEval<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::catalog;
+    use crate::{catalog, Annot};
 
     fn eval_pair<'a>(pool: &'a IrPool, view: &'a ExecView<'a>) -> IrEval<'a> {
         IrEval::new(pool, view)
@@ -2050,6 +2549,231 @@ mod tests {
         let view = ExecView::new(&exec);
         let scratch = IrEval::new(&p, &view);
         assert_eq!(inc.holds(&exec, &txn_order), scratch.holds(&txn_order));
+    }
+
+    #[test]
+    fn removals_are_maintained_not_invalidated() {
+        let (pool, axioms) = incremental_fixture();
+        let mut exec = catalog::mp_txn();
+        let mut inc = IncrementalEval::new(&pool);
+        inc.apply(&exec, &Delta::everything());
+        // Materialise every axiom body, then remove edges one at a time.
+        assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "initial");
+        let removals: Vec<(RelBase, usize, usize)> = exec
+            .rf
+            .iter()
+            .map(|(a, b)| (RelBase::Rf, a, b))
+            .chain(exec.co.iter().map(|(a, b)| (RelBase::Co, a, b)))
+            .chain(exec.stxn.iter().map(|(a, b)| (RelBase::Stxn, a, b)))
+            .collect();
+        for (base, a, b) in removals {
+            match base {
+                RelBase::Rf => exec.rf.remove(a, b),
+                RelBase::Co => exec.co.remove(a, b),
+                RelBase::Stxn => exec.stxn.remove(a, b),
+                _ => unreachable!(),
+            };
+            let mut delta = Delta::new();
+            delta.remove_edge(base, a, b);
+            inc.apply(&exec, &delta);
+            assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "removal");
+        }
+        let stats = inc.stats();
+        assert_eq!(
+            stats.invalidated, 0,
+            "removals must be maintained, never invalidated by footprint"
+        );
+        assert!(
+            stats.maintained > 0,
+            "derived nodes were maintained in place"
+        );
+        assert!(stats.rebased > 0, "derived bases were re-read and diffed");
+    }
+
+    #[test]
+    fn seq_support_counts_track_join_witnesses() {
+        let mut p = IrPool::new();
+        let rf = p.base(RelBase::Rf);
+        let co = p.base(RelBase::Co);
+        let seq = p.seq(rf, co);
+        // Not a well-formed execution — the IR is pure relational algebra.
+        let mut exec = catalog::sb();
+        exec.rf.clear();
+        exec.co.clear();
+        for (a, b) in [(0, 1), (0, 2)] {
+            exec.rf.insert(a, b);
+        }
+        for (a, b) in [(1, 3), (2, 3)] {
+            exec.co.insert(a, b);
+        }
+        let mut inc = IncrementalEval::new(&p);
+        inc.apply(&exec, &Delta::everything());
+        assert!(inc.rel(&exec, seq).contains(0, 3));
+
+        // (0, 3) has two witnesses: dropping one keeps the pair alive …
+        exec.rf.remove(0, 1);
+        let mut delta = Delta::new();
+        delta.remove_edge(RelBase::Rf, 0, 1);
+        inc.apply(&exec, &delta);
+        assert!(inc.rel(&exec, seq).contains(0, 3));
+
+        // … and dropping the second deletes it, with no invalidation.
+        exec.rf.remove(0, 2);
+        let mut delta = Delta::new();
+        delta.remove_edge(RelBase::Rf, 0, 2);
+        inc.apply(&exec, &delta);
+        assert!(!inc.rel(&exec, seq).contains(0, 3));
+        assert_eq!(inc.stats().invalidated, 0);
+    }
+
+    #[test]
+    fn savepoint_rollback_restores_probe_state() {
+        let (pool, axioms) = incremental_fixture();
+        let mut exec = catalog::mp_txn();
+        let mut inc = IncrementalEval::new(&pool);
+        inc.apply(&exec, &Delta::everything());
+        assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "initial");
+
+        // Probe an edge removal and roll it back.
+        let (w, r) = exec.rf.iter().next().expect("mp_txn has rf edges");
+        inc.savepoint();
+        exec.rf.remove(w, r);
+        let mut delta = Delta::new();
+        delta.remove_edge(RelBase::Rf, w, r);
+        inc.apply(&exec, &delta);
+        assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "probe");
+        inc.rollback();
+        exec.rf.insert(w, r);
+        assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "rolled back");
+
+        // A probe across a universe change (event removal) also rolls back.
+        let smaller = exec.remove_event(0);
+        inc.savepoint();
+        inc.apply(&smaller, &Delta::everything());
+        assert_matches_scratch(&pool, &axioms, &mut inc, &smaller, "smaller probe");
+        inc.rollback();
+        assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "universe restored");
+
+        // Commit keeps the probed state instead.
+        inc.savepoint();
+        exec.stxn.clear();
+        inc.apply(&exec, &Delta::everything());
+        inc.commit();
+        assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "committed");
+    }
+
+    #[test]
+    fn annotation_edits_propagate_through_touch_annots() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let acq = p.set_base(SetBase::Acquires);
+        let id_acq = p.id_on(acq);
+        let acq_po = p.seq(id_acq, po);
+        let order = p.axiom("AcqOrder", AxiomHead::Empty, acq_po);
+
+        let mut exec = catalog::mp();
+        exec.events[2].annot = Annot::acquire();
+        let mut inc = IncrementalEval::new(&p);
+        inc.apply(&exec, &Delta::everything());
+        let before = inc.holds(&exec, &order);
+
+        // Downgrade the acquire in place; only ANNOT-sensitive nodes move.
+        exec.events[2].annot = Annot::PLAIN;
+        let mut delta = Delta::new();
+        delta.touch_annots();
+        assert!(!delta.is_additions_only());
+        inc.apply(&exec, &delta);
+        let view = ExecView::new(&exec);
+        let scratch = IrEval::new(&p, &view);
+        assert_eq!(inc.holds(&exec, &order), scratch.holds(&order));
+        assert_eq!(*inc.rel(&exec, acq_po), *scratch.rel(acq_po));
+        assert_ne!(before, inc.holds(&exec, &order));
+        // Every node here is monotone (annotation sets rebase exactly), so
+        // the annotation probe maintains in place — nothing drops.
+        assert_eq!(inc.stats().invalidated, 0);
+        assert_eq!(inc.stats().dropped, 0);
+        assert!(
+            inc.stats().rebased > 0,
+            "annotation sets re-read and diffed"
+        );
+    }
+
+    /// In a pool built purely from monotone operators over monotone bases,
+    /// *no* drop is legitimate: every removal delta must be absorbed by
+    /// counting-based deletion / DRed rederivation in place. This is the
+    /// falsifiable form of the no-invalidation guarantee — reintroducing
+    /// any footprint-style fallback for removals surfaces here as
+    /// `dropped > 0`, whichever counter it bumps.
+    #[test]
+    fn monotone_pool_removals_never_drop_any_node() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let rf = p.base(RelBase::Rf);
+        let co = p.base(RelBase::Co);
+        let rfe = p.base(RelBase::Rfe);
+        let dom = p.set_base(SetBase::RmwDomain);
+        let ran = p.set_base(SetBase::RmwRange);
+        let locked = p.set_union(dom, ran);
+        let id_l = p.id_on(locked);
+        let implied = p.seq(id_l, po);
+        let hb = {
+            let u = p.union_all(&[po, rfe, implied, co]);
+            p.plus(u)
+        };
+        let rf_co = p.seq(rf, co);
+        let rf_star = p.star(rf);
+        let inv = p.inverse(co);
+        let opt = p.opt(rf_co);
+        let axioms = vec![
+            p.axiom("Order", AxiomHead::Acyclic, hb),
+            p.axiom("RfCo", AxiomHead::Irreflexive, rf_co),
+            p.axiom("Star", AxiomHead::Acyclic, rf_star),
+            p.axiom("Inv", AxiomHead::Acyclic, inv),
+            p.axiom("Opt", AxiomHead::Irreflexive, opt),
+        ];
+
+        let mut exec = catalog::mp();
+        let mut inc = IncrementalEval::new(&p);
+        inc.apply(&exec, &Delta::everything());
+        assert_matches_scratch(&p, &axioms, &mut inc, &exec, "initial");
+
+        // Toggle every editable family this pool reads, on and off.
+        let mut rng_state = 0x5eedu64;
+        let mut rng = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng_state >> 33) as usize
+        };
+        let n = exec.len();
+        for step in 0..60 {
+            let (family, a, b) = (
+                [RelBase::Rf, RelBase::Co, RelBase::Rmw][rng() % 3],
+                rng() % n,
+                rng() % n,
+            );
+            let rel = match family {
+                RelBase::Rf => &mut exec.rf,
+                RelBase::Co => &mut exec.co,
+                RelBase::Rmw => &mut exec.rmw,
+                _ => unreachable!(),
+            };
+            let mut delta = Delta::new();
+            if rel.contains(a, b) {
+                rel.remove(a, b);
+                delta.remove_edge(family, a, b);
+            } else {
+                rel.insert(a, b);
+                delta.add_edge(family, a, b);
+            }
+            inc.apply(&exec, &delta);
+            assert_matches_scratch(&p, &axioms, &mut inc, &exec, &format!("toggle {step}"));
+        }
+        let stats = inc.stats();
+        assert_eq!(stats.invalidated, 0, "invariant-breach fallback fired");
+        assert_eq!(
+            stats.dropped, 0,
+            "a monotone node was dropped instead of maintained"
+        );
+        assert!(stats.maintained > 0);
     }
 
     #[test]

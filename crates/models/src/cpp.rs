@@ -259,6 +259,16 @@ impl MemoryModel for CppModel {
     fn is_consistent_view(&self, view: &ExecView<'_>) -> bool {
         crate::ir::table_holds(crate::ir::catalog().model(self.target()), false, view)
     }
+    fn catalog_target(&self) -> Option<(crate::Target, bool)> {
+        Some((self.target(), false))
+    }
+
+    fn incremental_checker(&self) -> Option<Box<dyn crate::DeltaChecker + '_>> {
+        Some(Box::new(crate::ir::TargetChecker::new(
+            self.target(),
+            false,
+        )))
+    }
 }
 
 #[cfg(test)]

@@ -621,6 +621,23 @@ impl IncrementalChecker {
         self.eval.apply(exec, delta);
     }
 
+    /// Starts recording undo state for a probe (see
+    /// [`IncrementalEval::savepoint`]).
+    pub fn savepoint(&mut self) {
+        self.eval.savepoint();
+    }
+
+    /// Restores the state captured by the active savepoint.
+    pub fn rollback(&mut self) {
+        self.eval.rollback();
+    }
+
+    /// The underlying evaluator's maintenance counters — the parity tests
+    /// pin `invalidated` at zero over whole sweeps.
+    pub fn stats(&self) -> tm_exec::ir::MaintenanceStats {
+        self.eval.stats()
+    }
+
     /// True if `exec` satisfies every axiom of `target` — the early-exit
     /// sweep path (cheapest axioms first, cached verdicts reused).
     pub fn is_consistent(&mut self, exec: &tm_exec::Execution, target: Target) -> bool {
@@ -667,6 +684,49 @@ impl IncrementalChecker {
             }
         }
         verdict
+    }
+}
+
+/// An [`IncrementalChecker`] pinned to one [`Target`] (optionally with the
+/// §8.3 `CROrder` axiom appended) — the [`DeltaChecker`](crate::DeltaChecker)
+/// the built-in models hand to generic incremental pipelines such as
+/// `tm_synth::synthesise_suites`.
+pub struct TargetChecker {
+    checker: IncrementalChecker,
+    target: Target,
+    cr_order: bool,
+}
+
+impl TargetChecker {
+    /// A delta-driven checker for `target`, appending `CROrder` when asked.
+    pub fn new(target: Target, cr_order: bool) -> TargetChecker {
+        TargetChecker {
+            checker: IncrementalChecker::new(),
+            target,
+            cr_order,
+        }
+    }
+}
+
+impl crate::DeltaChecker for TargetChecker {
+    fn advance(&mut self, exec: &tm_exec::Execution, delta: &Delta) {
+        self.checker.advance(exec, delta);
+    }
+
+    fn is_consistent(&mut self, exec: &tm_exec::Execution) -> bool {
+        if self.cr_order {
+            self.checker.is_consistent_with_cr_order(exec, self.target)
+        } else {
+            self.checker.is_consistent(exec, self.target)
+        }
+    }
+
+    fn savepoint(&mut self) {
+        self.checker.savepoint();
+    }
+
+    fn rollback(&mut self) {
+        self.checker.rollback();
     }
 }
 
@@ -763,6 +823,10 @@ impl crate::MemoryModel for IrModel {
         let eval = IrEval::new(&self.pool, view);
         self.table.in_cost_order().all(|axiom| eval.holds(axiom))
     }
+
+    fn incremental_checker(&self) -> Option<Box<dyn crate::DeltaChecker + '_>> {
+        Some(Box::new(self.incremental()))
+    }
 }
 
 /// A stateful, delta-driven checker for one [`IrModel`]: the user-model
@@ -783,6 +847,21 @@ impl<'m> IncrementalModelChecker<'m> {
         self.eval.apply(exec, delta);
     }
 
+    /// Starts recording undo state for a probe.
+    pub fn savepoint(&mut self) {
+        self.eval.savepoint();
+    }
+
+    /// Restores the state captured by the active savepoint.
+    pub fn rollback(&mut self) {
+        self.eval.rollback();
+    }
+
+    /// The underlying evaluator's maintenance counters.
+    pub fn stats(&self) -> tm_exec::ir::MaintenanceStats {
+        self.eval.stats()
+    }
+
     /// True if `exec` satisfies every axiom — early-exit, cached verdicts.
     pub fn is_consistent(&mut self, exec: &tm_exec::Execution) -> bool {
         let eval = &mut self.eval;
@@ -801,6 +880,24 @@ impl<'m> IncrementalModelChecker<'m> {
             }
         }
         verdict
+    }
+}
+
+impl crate::DeltaChecker for IncrementalModelChecker<'_> {
+    fn advance(&mut self, exec: &tm_exec::Execution, delta: &Delta) {
+        IncrementalModelChecker::advance(self, exec, delta);
+    }
+
+    fn is_consistent(&mut self, exec: &tm_exec::Execution) -> bool {
+        IncrementalModelChecker::is_consistent(self, exec)
+    }
+
+    fn savepoint(&mut self) {
+        IncrementalModelChecker::savepoint(self);
+    }
+
+    fn rollback(&mut self) {
+        IncrementalModelChecker::rollback(self);
     }
 }
 

@@ -46,7 +46,37 @@ pub use sc::ScModel;
 pub use verdict::{Verdict, Violation};
 pub use x86::X86Model;
 
+use tm_exec::ir::Delta;
 use tm_exec::{ExecView, Execution};
+
+/// A stateful, delta-driven consistency checker: the object-safe face of
+/// the incremental axiom-IR evaluators, letting generic pipelines (suite
+/// synthesis, the distinguishing-execution search) drive *any* model
+/// incrementally without knowing whether it is a built-in catalog table or
+/// a runtime-loaded `.cat` model.
+///
+/// The protocol matches [`tm_exec::ir::IncrementalEval`]: mutate the
+/// execution first, then [`advance`](DeltaChecker::advance) with the
+/// matching delta, then query. [`savepoint`](DeltaChecker::savepoint) and
+/// [`rollback`](DeltaChecker::rollback) bracket a *probe* — apply a delta
+/// (a ⊏-weakening of the current candidate, say), query it, and restore the
+/// pre-probe state in O(touched nodes).
+pub trait DeltaChecker {
+    /// Absorbs the edits that turned the previous candidate into `exec`.
+    /// Call once per candidate, before any query about it — even when the
+    /// candidate will be skipped, so the cached state stays coherent.
+    fn advance(&mut self, exec: &Execution, delta: &Delta);
+
+    /// True if `exec` satisfies every axiom of the model — early-exit,
+    /// cached verdicts reused across deltas that miss their footprints.
+    fn is_consistent(&mut self, exec: &Execution) -> bool;
+
+    /// Starts recording undo state; one savepoint may be active at a time.
+    fn savepoint(&mut self);
+
+    /// Restores the state captured by the active savepoint.
+    fn rollback(&mut self);
+}
 
 /// A memory model: a named consistency predicate over candidate executions.
 ///
@@ -92,6 +122,26 @@ pub trait MemoryModel: Send + Sync {
         // `is_consistent_view` (cheapest axiom first, stop at the first
         // violation, no witness extraction) benefit here too.
         self.is_consistent_view(&ExecView::new(exec))
+    }
+
+    /// A delta-driven [`DeltaChecker`] for this model, or `None` if it only
+    /// supports per-execution checking. All built-in models and runtime
+    /// [`ir::IrModel`]s return one; incremental pipelines fall back to
+    /// fresh-view evaluation when this is `None`.
+    fn incremental_checker(&self) -> Option<Box<dyn DeltaChecker + '_>> {
+        None
+    }
+
+    /// The shared-catalog axiom table this model checks, if it is one of
+    /// the built-in models: the [`Target`] plus whether the §8.3 `CROrder`
+    /// axiom is appended. Pipelines that check *several* built-in models
+    /// per candidate (suite synthesis checks a TM model and its baseline)
+    /// use this to drive them all through **one** stateful
+    /// [`ir::IncrementalChecker`] — one delta propagation over the shared
+    /// pool instead of one per model, with every shared axiom body's value
+    /// computed once. `None` for runtime models with private pools.
+    fn catalog_target(&self) -> Option<(Target, bool)> {
+        None
     }
 }
 

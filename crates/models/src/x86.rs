@@ -148,6 +148,16 @@ impl MemoryModel for X86Model {
             view,
         )
     }
+    fn catalog_target(&self) -> Option<(crate::Target, bool)> {
+        Some((self.target(), self.cr_order))
+    }
+
+    fn incremental_checker(&self) -> Option<Box<dyn crate::DeltaChecker + '_>> {
+        Some(Box::new(crate::ir::TargetChecker::new(
+            self.target(),
+            self.cr_order,
+        )))
+    }
 }
 
 #[cfg(test)]

@@ -64,7 +64,22 @@ const PREFIX_DEPTH: usize = 2;
 /// use order. Remaining thread symmetry (between equal-sized threads) is
 /// left to the caller to collapse with [`crate::canonical_signature`].
 pub fn enumerate_exact(config: &SynthConfig, n: usize, f: impl Fn(&Execution) + Sync) -> usize {
-    enumerate_exact_with_threads(config, n, worker_count(), f)
+    enumerate_exact_with_threads(config, n, worker_count(), f, &|| false)
+}
+
+/// [`enumerate_exact`] with a cooperative stop hook: `should_stop` is
+/// polled in the work-unit claim loop and between shape vectors, so a
+/// caller that found what it was looking for (see
+/// [`crate::find_distinguishing`]) actually halts the sweep instead of
+/// merely ignoring the remaining candidates. The returned count covers the
+/// candidates visited before the stop.
+pub fn enumerate_exact_until(
+    config: &SynthConfig,
+    n: usize,
+    f: impl Fn(&Execution) + Sync,
+    should_stop: impl Fn() -> bool + Sync,
+) -> usize {
+    enumerate_exact_with_threads(config, n, worker_count(), f, &should_stop)
 }
 
 /// [`enumerate_exact`] with an explicit worker count (tests use this to pin
@@ -74,6 +89,7 @@ fn enumerate_exact_with_threads(
     n: usize,
     threads: usize,
     f: impl Fn(&Execution) + Sync,
+    should_stop: &(impl Fn() -> bool + Sync),
 ) -> usize {
     if n == 0 {
         return 0;
@@ -83,7 +99,10 @@ fn enumerate_exact_with_threads(
     if threads <= 1 {
         let mut count = 0;
         for unit in &units {
-            count += expand_unit(config, unit, n, &f);
+            if should_stop() {
+                break;
+            }
+            count += expand_unit(config, unit, n, &f, should_stop);
         }
         return count;
     }
@@ -94,9 +113,12 @@ fn enumerate_exact_with_threads(
             scope.spawn(|| {
                 let mut local = 0usize;
                 loop {
+                    if should_stop() {
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(unit) = units.get(i) else { break };
-                    local += expand_unit(config, unit, n, &f);
+                    local += expand_unit(config, unit, n, &f, should_stop);
                 }
                 total.fetch_add(local, Ordering::Relaxed);
             });
@@ -164,7 +186,22 @@ pub fn enumerate_exact_incremental<S>(
 where
     S: FnMut(&Execution, &Delta),
 {
-    enumerate_exact_incremental_with_threads(config, n, worker_count(), make_sink)
+    enumerate_exact_incremental_with_threads(config, n, worker_count(), make_sink, &|| false)
+}
+
+/// [`enumerate_exact_incremental`] with a cooperative stop hook, polled in
+/// the work-unit claim loop and between shape vectors (see
+/// [`enumerate_exact_until`]).
+pub fn enumerate_exact_incremental_until<S>(
+    config: &SynthConfig,
+    n: usize,
+    make_sink: impl Fn() -> S + Sync,
+    should_stop: impl Fn() -> bool + Sync,
+) -> usize
+where
+    S: FnMut(&Execution, &Delta),
+{
+    enumerate_exact_incremental_with_threads(config, n, worker_count(), make_sink, &should_stop)
 }
 
 /// [`enumerate_exact_incremental`] with an explicit worker count.
@@ -173,6 +210,7 @@ fn enumerate_exact_incremental_with_threads<S>(
     n: usize,
     threads: usize,
     make_sink: impl Fn() -> S + Sync,
+    should_stop: &(impl Fn() -> bool + Sync),
 ) -> usize
 where
     S: FnMut(&Execution, &Delta),
@@ -186,7 +224,10 @@ where
         let mut sink = make_sink();
         let mut count = 0;
         for unit in &units {
-            count += expand_unit_incremental(config, unit, n, &mut sink);
+            if should_stop() {
+                break;
+            }
+            count += expand_unit_incremental(config, unit, n, &mut sink, should_stop);
         }
         return count;
     }
@@ -198,9 +239,12 @@ where
                 let mut sink = make_sink();
                 let mut local = 0usize;
                 loop {
+                    if should_stop() {
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(unit) = units.get(i) else { break };
-                    local += expand_unit_incremental(config, unit, n, &mut sink);
+                    local += expand_unit_incremental(config, unit, n, &mut sink, should_stop);
                 }
                 total.fetch_add(local, Ordering::Relaxed);
             });
@@ -215,10 +259,14 @@ fn expand_unit_incremental<S: FnMut(&Execution, &Delta)>(
     unit: &WorkUnit,
     n: usize,
     sink: &mut S,
+    should_stop: &(impl Fn() -> bool + Sync),
 ) -> usize {
     let mut count = 0;
     let mut shapes = unit.prefix.clone();
     enumerate_shapes(config, n, &mut shapes, &mut |shapes| {
+        if should_stop() {
+            return;
+        }
         count += enumerate_relations_incremental(config, &unit.partition, shapes, sink);
     });
     count
@@ -435,10 +483,14 @@ fn expand_unit(
     unit: &WorkUnit,
     n: usize,
     f: &(impl Fn(&Execution) + Sync),
+    should_stop: &(impl Fn() -> bool + Sync),
 ) -> usize {
     let mut count = 0;
     let mut shapes = unit.prefix.clone();
     enumerate_shapes(config, n, &mut shapes, &mut |shapes| {
+        if should_stop() {
+            return;
+        }
         count += enumerate_relations(config, &unit.partition, shapes, f);
     });
     count
@@ -1209,8 +1261,47 @@ mod tests {
         cfg.max_events = 3;
         cfg.transactions = true;
         cfg.max_txns = 1;
-        let single = enumerate_exact_with_threads(&cfg, 3, 1, |_| {});
-        let multi = enumerate_exact_with_threads(&cfg, 3, 4, |_| {});
+        let single = enumerate_exact_with_threads(&cfg, 3, 1, |_| {}, &|| false);
+        let multi = enumerate_exact_with_threads(&cfg, 3, 4, |_| {}, &|| false);
         assert_eq!(single, multi);
+    }
+
+    /// The cooperative stop hook must actually cut the sweep short rather
+    /// than letting workers enumerate the whole space.
+    #[test]
+    fn should_stop_halts_the_sweep_early() {
+        let mut cfg = tiny_config();
+        cfg.max_events = 3;
+        cfg.transactions = true;
+        cfg.max_txns = 2;
+        let full = enumerate_exact(&cfg, 3, |_| {});
+
+        let seen = AtomicUsize::new(0);
+        let visited = enumerate_exact_until(
+            &cfg,
+            3,
+            |_| {
+                seen.fetch_add(1, Ordering::Relaxed);
+            },
+            || seen.load(Ordering::Relaxed) >= 10,
+        );
+        assert!(visited < full, "stop hook did not halt ({visited}/{full})");
+
+        let seen = AtomicUsize::new(0);
+        let visited = enumerate_exact_incremental_until(
+            &cfg,
+            3,
+            || {
+                let seen = &seen;
+                move |_: &Execution, _: &Delta| {
+                    seen.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            || seen.load(Ordering::Relaxed) >= 10,
+        );
+        assert!(visited < full, "incremental stop hook did not halt");
+
+        // A never-firing hook visits everything.
+        assert_eq!(enumerate_exact_until(&cfg, 3, |_| {}, || false), full);
     }
 }

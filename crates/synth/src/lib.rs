@@ -45,7 +45,14 @@ mod weaken;
 pub use canon::canonical_signature;
 pub use config::SynthConfig;
 pub use enumerate::{
-    enumerate_all, enumerate_exact, enumerate_exact_incremental, enumerate_exact_reference,
+    enumerate_all, enumerate_exact, enumerate_exact_incremental, enumerate_exact_incremental_until,
+    enumerate_exact_reference, enumerate_exact_until,
 };
-pub use suite::{find_distinguishing, synthesise_suites, SuiteReport, SynthesisedTest};
-pub use weaken::{weakenings, weakenings_with_signatures};
+pub use suite::{
+    find_distinguishing, synthesise_suites, synthesise_suites_per_execution, SuiteReport,
+    SynthesisedTest,
+};
+pub use weaken::{
+    apply_weakening_edits, undo_weakening_edits, weakening_edits, weakenings,
+    weakenings_with_signatures, Weakening, WeakeningEdit,
+};

@@ -1,16 +1,41 @@
 //! Synthesis of Forbid and Allow conformance suites (§4.2, Table 1).
+//!
+//! The default [`synthesise_suites`] pipeline is **delta-driven**: the
+//! enumerator mutates one execution per worker in place, each worker's
+//! stateful [`DeltaChecker`] pair absorbs the edge deltas, and the
+//! ⊏-minimality walk probes each weakening as a removal delta bracketed by
+//! checker savepoint/rollback — no per-candidate views, no cloned
+//! weakenings on the hot path. Two wrinkles the port had to handle:
+//!
+//! * the transaction-free early-out must still *thread the delta* (advance
+//!   the checkers) before skipping, or their cached state would drift from
+//!   the in-place execution;
+//! * the minimality walk probes from the candidate's live state, so every
+//!   probe is bracketed by `savepoint`/`rollback` on the checker and
+//!   apply/undo on a reusable probe buffer (event removals, which change
+//!   the universe, are probed as full-delta resets under the same
+//!   savepoint).
+//!
+//! The pre-incremental pipeline is kept as
+//! [`synthesise_suites_per_execution`] — the parity oracle and the "before"
+//! the benchmark harness measures.
 
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use tm_exec::{ExecView, Execution};
+use tm_exec::ir::Delta;
+use tm_exec::{check_well_formed, ExecView, Execution};
 use tm_litmus::{from_execution, Expectation, LitmusTest};
-use tm_models::MemoryModel;
+use tm_models::ir::IncrementalChecker;
+use tm_models::{DeltaChecker, MemoryModel, Target};
 
+use crate::weaken::{apply_weakening_edits, undo_weakening_edits, weakening_edits, Weakening};
 use crate::{
-    canonical_signature, enumerate_exact, weakenings, weakenings_with_signatures, SynthConfig,
+    canonical_signature, enumerate_exact, enumerate_exact_incremental,
+    enumerate_exact_incremental_until, enumerate_exact_until, weakenings,
+    weakenings_with_signatures, SynthConfig,
 };
 
 /// One synthesised conformance test.
@@ -60,6 +85,119 @@ impl SuiteReport {
     }
 }
 
+/// A worker-local accumulator of Forbid candidates: findings collect in an
+/// unlocked local vector (plus a local signature filter) and merge into the
+/// shared vector exactly once, when the worker's sink is dropped at the end
+/// of the sweep — the shared mutex is touched once per worker, not once per
+/// candidate.
+struct WorkerFinds<'a> {
+    local: Vec<(String, Execution, Duration)>,
+    seen: HashSet<String>,
+    out: &'a Mutex<Vec<(String, Execution, Duration)>>,
+}
+
+impl<'a> WorkerFinds<'a> {
+    fn new(out: &'a Mutex<Vec<(String, Execution, Duration)>>) -> WorkerFinds<'a> {
+        WorkerFinds {
+            local: Vec::new(),
+            seen: HashSet::new(),
+            out,
+        }
+    }
+}
+
+impl Drop for WorkerFinds<'_> {
+    fn drop(&mut self) {
+        self.out.lock().unwrap().append(&mut self.local);
+    }
+}
+
+/// One target's face on a *shared* catalog checker: when both models of a
+/// suite are built-in, a single [`IncrementalChecker`] absorbs each delta
+/// once and serves every target's axioms from the same shared-pool state;
+/// this adapter lets the minimality walk probe the TM target through the
+/// common [`DeltaChecker`] interface.
+struct CatalogProbe<'c> {
+    checker: &'c mut IncrementalChecker,
+    target: Target,
+    cr_order: bool,
+}
+
+impl DeltaChecker for CatalogProbe<'_> {
+    fn advance(&mut self, exec: &Execution, delta: &Delta) {
+        self.checker.advance(exec, delta);
+    }
+
+    fn is_consistent(&mut self, exec: &Execution) -> bool {
+        if self.cr_order {
+            self.checker.is_consistent_with_cr_order(exec, self.target)
+        } else {
+            self.checker.is_consistent(exec, self.target)
+        }
+    }
+
+    fn savepoint(&mut self) {
+        self.checker.savepoint();
+    }
+
+    fn rollback(&mut self) {
+        self.checker.rollback();
+    }
+}
+
+/// The ⊏-minimality check, probed incrementally: every weakening of `exec`
+/// must be consistent under the model `checker` fronts. Same-universe
+/// weakenings are applied to a reusable probe buffer and undone; every
+/// probe is bracketed by checker savepoint/rollback, so the checker's live
+/// state (which describes `exec`) survives untouched.
+fn minimal_under_weakenings(
+    checker: &mut dyn DeltaChecker,
+    exec: &Execution,
+    probe_buf: &mut Option<Execution>,
+) -> bool {
+    let probe = match probe_buf {
+        Some(probe) => {
+            probe.clone_from(exec);
+            probe
+        }
+        None => probe_buf.insert(exec.clone()),
+    };
+    for weakening in weakening_edits(exec) {
+        let consistent = match weakening {
+            // An event removal changes the universe: probe it as a full
+            // reset, still under the savepoint.
+            Weakening::Rebuild(weaker) => {
+                checker.savepoint();
+                checker.advance(&weaker, &Delta::everything());
+                let ok = checker.is_consistent(&weaker);
+                checker.rollback();
+                ok
+            }
+            Weakening::Edits(edits) => {
+                let mut delta = Delta::new();
+                apply_weakening_edits(probe, &edits, &mut delta);
+                let ok = if check_well_formed(probe).is_ok() {
+                    checker.savepoint();
+                    checker.advance(probe, &delta);
+                    let ok = checker.is_consistent(probe);
+                    checker.rollback();
+                    ok
+                } else {
+                    // Ill-formed results are not candidate executions and
+                    // do not bear on minimality.
+                    true
+                };
+                undo_weakening_edits(probe, &edits);
+                ok
+            }
+        };
+        if !consistent {
+            return false;
+        }
+    }
+    true
+}
+
 /// Synthesises the Forbid and Allow suites for `tm_model` against
 /// `baseline`, enumerating executions with exactly `events` events.
 ///
@@ -73,6 +211,13 @@ impl SuiteReport {
 ///   used by the paper).
 ///
 /// Tests are deduplicated up to thread and location renaming.
+///
+/// When both models provide a [`DeltaChecker`] (all built-in models and
+/// runtime `.cat` models do), the sweep runs on the delta-threading
+/// enumeration with stateful checkers and savepoint-probed minimality
+/// walks; otherwise it falls back to per-execution views. Either way the
+/// result is identical to [`synthesise_suites_per_execution`], pinned by
+/// `tests/suite_parity.rs`.
 pub fn synthesise_suites(
     tm_model: &dyn MemoryModel,
     baseline: &dyn MemoryModel,
@@ -80,15 +225,140 @@ pub fn synthesise_suites(
     events: usize,
 ) -> SuiteReport {
     let start = Instant::now();
-    // Candidates found by the parallel workers, keyed by canonical signature
-    // for deduplication; sorted afterwards so the report is deterministic
-    // regardless of worker interleaving.
+    // Candidates found by the parallel workers; sorted and deduplicated
+    // afterwards so the report is deterministic regardless of worker
+    // interleaving.
+    let found: Mutex<Vec<(String, Execution, Duration)>> = Mutex::new(Vec::new());
+
+    let catalog_pair = tm_model.catalog_target().zip(baseline.catalog_target());
+    let incremental =
+        tm_model.incremental_checker().is_some() && baseline.incremental_checker().is_some();
+    let enumerated = if let Some(((tm_target, tm_cr), (base_target, base_cr))) = catalog_pair {
+        // Both models are built-in: one shared-catalog checker absorbs each
+        // delta once and serves both targets (whose axiom bodies largely
+        // coincide as hash-consed nodes) from the same state.
+        enumerate_exact_incremental(config, events, || {
+            let mut checker = IncrementalChecker::new();
+            let mut finds = WorkerFinds::new(&found);
+            let mut probe_buf: Option<Execution> = None;
+            move |exec: &Execution, delta: &Delta| {
+                checker.advance(exec, delta);
+                if exec.stxn.is_empty() {
+                    return;
+                }
+                let tm_ok = if tm_cr {
+                    checker.is_consistent_with_cr_order(exec, tm_target)
+                } else {
+                    checker.is_consistent(exec, tm_target)
+                };
+                if tm_ok {
+                    return;
+                }
+                let base_ok = if base_cr {
+                    checker.is_consistent_with_cr_order(exec, base_target)
+                } else {
+                    checker.is_consistent(exec, base_target)
+                };
+                if !base_ok {
+                    return;
+                }
+                let sig = canonical_signature(exec);
+                if !finds.seen.insert(sig.clone()) {
+                    return;
+                }
+                let mut probe = CatalogProbe {
+                    checker: &mut checker,
+                    target: tm_target,
+                    cr_order: tm_cr,
+                };
+                if !minimal_under_weakenings(&mut probe, exec, &mut probe_buf) {
+                    return;
+                }
+                finds.local.push((sig, exec.clone(), start.elapsed()));
+            }
+        })
+    } else if incremental {
+        enumerate_exact_incremental(config, events, || {
+            let mut tm_checker = tm_model.incremental_checker().expect("probed above");
+            let mut base_checker = baseline.incremental_checker().expect("probed above");
+            let mut finds = WorkerFinds::new(&found);
+            let mut probe_buf: Option<Execution> = None;
+            move |exec: &Execution, delta: &Delta| {
+                // Thread the delta *before* any early-out: a skipped
+                // candidate still moved the in-place execution, and the
+                // checkers' cached state must follow it.
+                tm_checker.advance(exec, delta);
+                base_checker.advance(exec, delta);
+                // Forbid tests distinguish the TM model from its baseline,
+                // so an execution with no transaction can never qualify
+                // (no stxn pair ⇔ no transaction class — allocation-free,
+                // unlike materialising the classes).
+                if exec.stxn.is_empty() {
+                    return;
+                }
+                if tm_checker.is_consistent(exec) || !base_checker.is_consistent(exec) {
+                    return;
+                }
+                let sig = canonical_signature(exec);
+                if !finds.seen.insert(sig.clone()) {
+                    return;
+                }
+                if !minimal_under_weakenings(tm_checker.as_mut(), exec, &mut probe_buf) {
+                    return;
+                }
+                finds.local.push((sig, exec.clone(), start.elapsed()));
+            }
+        })
+    } else {
+        // View-based fallback for models without incremental checkers —
+        // still per-worker sinks, so the shared mutex stays cold.
+        enumerate_exact_incremental(config, events, || {
+            let mut finds = WorkerFinds::new(&found);
+            move |exec: &Execution, _delta: &Delta| {
+                if exec.txn_classes().is_empty() {
+                    return;
+                }
+                let view = ExecView::new(exec);
+                if tm_model.is_consistent_view(&view) || !baseline.is_consistent_view(&view) {
+                    return;
+                }
+                let sig = canonical_signature(exec);
+                if !finds.seen.insert(sig.clone()) {
+                    return;
+                }
+                if !weakenings(exec).iter().all(|w| tm_model.is_consistent(w)) {
+                    return;
+                }
+                finds.local.push((sig, exec.clone(), start.elapsed()));
+            }
+        })
+    };
+
+    finish_report(
+        tm_model,
+        events,
+        enumerated,
+        found.into_inner().unwrap(),
+        start,
+    )
+}
+
+/// The pre-incremental suite pipeline, kept verbatim: per-execution views,
+/// cloned weakenings for the minimality walk, and globally locked
+/// deduplication inside the hot sink. It is the oracle `tests/suite_parity.rs`
+/// pins [`synthesise_suites`] against and the "before" configuration the
+/// benchmark harness measures.
+pub fn synthesise_suites_per_execution(
+    tm_model: &dyn MemoryModel,
+    baseline: &dyn MemoryModel,
+    config: &SynthConfig,
+    events: usize,
+) -> SuiteReport {
+    let start = Instant::now();
     let found: Mutex<Vec<(String, Execution, Duration)>> = Mutex::new(Vec::new());
     let seen: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
 
     let enumerated = enumerate_exact(config, events, |exec| {
-        // Forbid tests distinguish the TM model from its baseline, so an
-        // execution with no transaction can never qualify.
         if exec.txn_classes().is_empty() {
             return;
         }
@@ -112,8 +382,29 @@ pub fn synthesise_suites(
             .push((sig, exec.clone(), start.elapsed()));
     });
 
-    let mut candidates = found.into_inner().unwrap();
-    candidates.sort_by(|a, b| a.0.cmp(&b.0));
+    finish_report(
+        tm_model,
+        events,
+        enumerated,
+        found.into_inner().unwrap(),
+        start,
+    )
+}
+
+/// Sorts, deduplicates and packages the Forbid candidates, then derives the
+/// Allow suite — shared by every synthesis pipeline.
+fn finish_report(
+    tm_model: &dyn MemoryModel,
+    events: usize,
+    enumerated: usize,
+    mut candidates: Vec<(String, Execution, Duration)>,
+    start: Instant,
+) -> SuiteReport {
+    // Workers deduplicate locally; two workers can still find the same
+    // canonical test, so deduplicate globally here (keeping the earliest
+    // find, which also fixes the report order).
+    candidates.sort_by(|a, b| a.0.cmp(&b.0).then(a.2.cmp(&b.2)));
+    candidates.dedup_by(|a, b| a.0 == b.0);
     let forbid: Vec<SynthesisedTest> = candidates
         .into_iter()
         .enumerate()
@@ -178,24 +469,97 @@ pub fn synthesise_suites(
 /// Sizes from 2 to `config.max_events` are tried in order; a witness of the
 /// smallest separating size is returned (which witness of that size is
 /// run-dependent, since the enumeration workers race to it).
+///
+/// The first witness found **stops the sweep**: the enumeration polls a
+/// cooperative stop hook between work units and shape vectors, so workers
+/// halt instead of enumerating the rest of the space with a dead sink.
+/// When both models provide a [`DeltaChecker`], candidates are checked
+/// through per-worker stateful checkers on the delta-threading enumeration.
 pub fn find_distinguishing(
     stronger: &dyn MemoryModel,
     weaker: &dyn MemoryModel,
     config: &SynthConfig,
 ) -> Option<Execution> {
+    let catalog_pair = stronger.catalog_target().zip(weaker.catalog_target());
+    let incremental =
+        stronger.incremental_checker().is_some() && weaker.incremental_checker().is_some();
     for n in 2..=config.max_events {
         let done = AtomicBool::new(false);
         let found: Mutex<Option<Execution>> = Mutex::new(None);
-        enumerate_exact(config, n, |exec| {
-            if done.load(Ordering::Relaxed) {
-                return;
-            }
-            let view = ExecView::new(exec);
-            if !stronger.is_consistent_view(&view) && weaker.is_consistent_view(&view) {
-                done.store(true, Ordering::Relaxed);
-                found.lock().unwrap().get_or_insert_with(|| exec.clone());
-            }
-        });
+        if let Some(((strong_target, strong_cr), (weak_target, weak_cr))) = catalog_pair {
+            enumerate_exact_incremental_until(
+                config,
+                n,
+                || {
+                    let mut checker = IncrementalChecker::new();
+                    let (done, found) = (&done, &found);
+                    move |exec: &Execution, delta: &Delta| {
+                        checker.advance(exec, delta);
+                        if done.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let strong_ok = if strong_cr {
+                            checker.is_consistent_with_cr_order(exec, strong_target)
+                        } else {
+                            checker.is_consistent(exec, strong_target)
+                        };
+                        if strong_ok {
+                            return;
+                        }
+                        let weak_ok = if weak_cr {
+                            checker.is_consistent_with_cr_order(exec, weak_target)
+                        } else {
+                            checker.is_consistent(exec, weak_target)
+                        };
+                        if weak_ok {
+                            done.store(true, Ordering::Relaxed);
+                            found.lock().unwrap().get_or_insert_with(|| exec.clone());
+                        }
+                    }
+                },
+                || done.load(Ordering::Relaxed),
+            );
+        } else if incremental {
+            enumerate_exact_incremental_until(
+                config,
+                n,
+                || {
+                    let mut strong_checker = stronger.incremental_checker().expect("probed above");
+                    let mut weak_checker = weaker.incremental_checker().expect("probed above");
+                    let (done, found) = (&done, &found);
+                    move |exec: &Execution, delta: &Delta| {
+                        // Keep the cached state coherent even while the
+                        // sweep drains after a witness was found.
+                        strong_checker.advance(exec, delta);
+                        weak_checker.advance(exec, delta);
+                        if done.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        if !strong_checker.is_consistent(exec) && weak_checker.is_consistent(exec) {
+                            done.store(true, Ordering::Relaxed);
+                            found.lock().unwrap().get_or_insert_with(|| exec.clone());
+                        }
+                    }
+                },
+                || done.load(Ordering::Relaxed),
+            );
+        } else {
+            enumerate_exact_until(
+                config,
+                n,
+                |exec| {
+                    if done.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let view = ExecView::new(exec);
+                    if !stronger.is_consistent_view(&view) && weaker.is_consistent_view(&view) {
+                        done.store(true, Ordering::Relaxed);
+                        found.lock().unwrap().get_or_insert_with(|| exec.clone());
+                    }
+                },
+                || done.load(Ordering::Relaxed),
+            );
+        }
         let found = found.into_inner().unwrap();
         if found.is_some() {
             return found;

@@ -2,9 +2,165 @@
 
 use std::collections::HashSet;
 
+use tm_exec::ir::{Delta, RelBase};
 use tm_exec::{check_well_formed, Annot, Execution};
 
 use crate::canonical_signature;
+
+/// One ⊏-weakening expressed *against the candidate it weakens*, so an
+/// incremental pipeline can probe it without cloning the execution:
+///
+/// * the same-universe steps (§4.2(ii) dependency removal, §4.2(iii)
+///   annotation downgrade, §4.2(v) transaction shrink) are reversible edit
+///   scripts — apply them in place with [`apply_weakening_edits`] (which
+///   records the matching [`Delta`] for a stateful checker), probe, then
+///   [`undo_weakening_edits`];
+/// * event removal (§4.2(i)) changes the universe, so the weaker execution
+///   is materialised outright.
+///
+/// Edit-script weakenings are **not** pre-filtered for well-formedness or
+/// deduplicated: probe loops check `check_well_formed` on the edited
+/// execution (skipping ill-formed results, which are not candidates at
+/// all) and deduplicate by signature if they need to. The clone-based
+/// [`weakenings`] family, which filters and deduplicates, is built on this
+/// same generator.
+#[derive(Clone, Debug)]
+pub enum Weakening {
+    /// §4.2(i): an event removed with its incident edges (boxed: most
+    /// weakenings are small edit scripts).
+    Rebuild(Box<Execution>),
+    /// A same-universe weakening as a reversible edit script.
+    Edits(Vec<WeakeningEdit>),
+}
+
+/// One reversible in-place edit of an execution.
+#[derive(Clone, Copy, Debug)]
+pub enum WeakeningEdit {
+    /// Remove pair `(a, b)` from a primitive relation (`addr`, `ctrl`,
+    /// `data`, `rmw`, `stxn`, `stxnat`).
+    RemovePair(RelBase, usize, usize),
+    /// Replace event `e`'s annotation: `(event, old, new)`.
+    SetAnnot(usize, Annot, Annot),
+}
+
+fn primitive_mut(exec: &mut Execution, base: RelBase) -> &mut tm_relation::Relation {
+    match base {
+        RelBase::Addr => &mut exec.addr,
+        RelBase::Ctrl => &mut exec.ctrl,
+        RelBase::Data => &mut exec.data,
+        RelBase::Rmw => &mut exec.rmw,
+        RelBase::Stxn => &mut exec.stxn,
+        RelBase::Stxnat => &mut exec.stxnat,
+        other => unreachable!("weakenings do not edit {other:?}"),
+    }
+}
+
+/// Applies an edit script in place, recording the edits in `delta` so a
+/// stateful checker ([`tm_models::DeltaChecker`]-shaped) can absorb them.
+///
+/// [`tm_models::DeltaChecker`]: https://docs.rs/tm-models
+pub fn apply_weakening_edits(exec: &mut Execution, edits: &[WeakeningEdit], delta: &mut Delta) {
+    for &edit in edits {
+        match edit {
+            WeakeningEdit::RemovePair(base, a, b) => {
+                primitive_mut(exec, base).remove(a, b);
+                delta.remove_edge(base, a, b);
+            }
+            WeakeningEdit::SetAnnot(e, _, new) => {
+                exec.events[e].annot = new;
+                delta.touch_annots();
+            }
+        }
+    }
+}
+
+/// Reverts an edit script applied by [`apply_weakening_edits`], restoring
+/// the execution exactly. Callers pair this with a checker rollback.
+pub fn undo_weakening_edits(exec: &mut Execution, edits: &[WeakeningEdit]) {
+    for &edit in edits.iter().rev() {
+        match edit {
+            WeakeningEdit::RemovePair(base, a, b) => {
+                primitive_mut(exec, base).insert(a, b);
+            }
+            WeakeningEdit::SetAnnot(e, old, _) => {
+                exec.events[e].annot = old;
+            }
+        }
+    }
+}
+
+/// Every one-step ⊏-weakening of `exec` as a [`Weakening`] — the
+/// delta-friendly generator behind [`weakenings`]. `Rebuild` results are
+/// filtered for well-formedness (an ill-formed execution is not a
+/// candidate); `Edits` results are raw (see [`Weakening`] on the caller's
+/// obligations).
+pub fn weakening_edits(exec: &Execution) -> Vec<Weakening> {
+    let mut out = Vec::new();
+
+    // (i) remove an event.
+    for e in 0..exec.len() {
+        let weaker = exec.remove_event(e);
+        if check_well_formed(&weaker).is_ok() {
+            out.push(Weakening::Rebuild(Box::new(weaker)));
+        }
+    }
+
+    // (ii) remove a dependency edge.
+    for (field, base) in [
+        (DepField::Addr, RelBase::Addr),
+        (DepField::Ctrl, RelBase::Ctrl),
+        (DepField::Data, RelBase::Data),
+        (DepField::Rmw, RelBase::Rmw),
+    ] {
+        for (a, b) in field.get(exec).iter() {
+            out.push(Weakening::Edits(vec![WeakeningEdit::RemovePair(
+                base, a, b,
+            )]));
+        }
+    }
+
+    // (iii) downgrade an event's annotation.
+    for e in 0..exec.len() {
+        let current = exec.event(e).annot;
+        for weaker in weaker_annots(current) {
+            out.push(Weakening::Edits(vec![WeakeningEdit::SetAnnot(
+                e, current, weaker,
+            )]));
+        }
+    }
+
+    // (v) shrink a transaction at either end.
+    for class in exec.txn_classes() {
+        let first = *class
+            .iter()
+            .min_by_key(|&&e| exec.po.predecessors(e).count())
+            .expect("transaction classes are non-empty");
+        let last = *class
+            .iter()
+            .max_by_key(|&&e| exec.po.predecessors(e).count())
+            .expect("transaction classes are non-empty");
+        let mut ends = vec![first];
+        if last != first {
+            ends.push(last);
+        }
+        for end in ends {
+            let mut edits = Vec::new();
+            for other in 0..exec.len() {
+                for (rel, base) in [(&exec.stxn, RelBase::Stxn), (&exec.stxnat, RelBase::Stxnat)] {
+                    if rel.contains(end, other) {
+                        edits.push(WeakeningEdit::RemovePair(base, end, other));
+                    }
+                    if other != end && rel.contains(other, end) {
+                        edits.push(WeakeningEdit::RemovePair(base, other, end));
+                    }
+                }
+            }
+            out.push(Weakening::Edits(edits));
+        }
+    }
+
+    out
+}
 
 /// Returns every execution one ⊏-step weaker than `exec`:
 ///
@@ -29,75 +185,29 @@ pub fn weakenings(exec: &Execution) -> Vec<Execution> {
 
 /// [`weakenings`] paired with each result's [`canonical_signature`] — the
 /// signature is computed for deduplication anyway, so callers that key on it
-/// (the Allow-suite merge) need not recompute it.
+/// (the Allow-suite merge) need not recompute it. Materialises every
+/// [`weakening_edits`] result on a clone, filters the ill-formed ones, and
+/// deduplicates.
 pub fn weakenings_with_signatures(exec: &Execution) -> Vec<(String, Execution)> {
     let mut out = Vec::new();
     let mut seen: HashSet<String> = HashSet::new();
-    let mut push = |candidate: Execution| {
-        if check_well_formed(&candidate).is_ok() {
-            let sig = canonical_signature(&candidate);
+    for weakening in weakening_edits(exec) {
+        let weaker = match weakening {
+            Weakening::Rebuild(weaker) => *weaker,
+            Weakening::Edits(edits) => {
+                let mut weaker = exec.clone();
+                let mut delta = Delta::new();
+                apply_weakening_edits(&mut weaker, &edits, &mut delta);
+                weaker
+            }
+        };
+        if check_well_formed(&weaker).is_ok() {
+            let sig = canonical_signature(&weaker);
             if seen.insert(sig.clone()) {
-                out.push((sig, candidate));
+                out.push((sig, weaker));
             }
         }
-    };
-
-    // (i) remove an event.
-    for e in 0..exec.len() {
-        push(exec.remove_event(e));
     }
-
-    // (ii) remove a dependency edge.
-    for field in [
-        DepField::Addr,
-        DepField::Ctrl,
-        DepField::Data,
-        DepField::Rmw,
-    ] {
-        let rel = field.get(exec);
-        for (a, b) in rel.iter() {
-            let mut weaker = exec.clone();
-            field.get_mut(&mut weaker).remove(a, b);
-            push(weaker);
-        }
-    }
-
-    // (iii) downgrade an event's annotation.
-    for e in 0..exec.len() {
-        let current = exec.event(e).annot;
-        for weaker in weaker_annots(current) {
-            let mut weaker_exec = exec.clone();
-            weaker_exec.events[e].annot = weaker;
-            push(weaker_exec);
-        }
-    }
-
-    // (v) shrink a transaction at either end.
-    for class in exec.txn_classes() {
-        let first = *class
-            .iter()
-            .min_by_key(|&&e| exec.po.predecessors(e).count())
-            .expect("transaction classes are non-empty");
-        let last = *class
-            .iter()
-            .max_by_key(|&&e| exec.po.predecessors(e).count())
-            .expect("transaction classes are non-empty");
-        let mut ends = vec![first];
-        if last != first {
-            ends.push(last);
-        }
-        for end in ends {
-            let mut weaker = exec.clone();
-            for other in 0..exec.len() {
-                weaker.stxn.remove(end, other);
-                weaker.stxn.remove(other, end);
-                weaker.stxnat.remove(end, other);
-                weaker.stxnat.remove(other, end);
-            }
-            push(weaker);
-        }
-    }
-
     out
 }
 
@@ -133,15 +243,6 @@ impl DepField {
             DepField::Ctrl => &exec.ctrl,
             DepField::Data => &exec.data,
             DepField::Rmw => &exec.rmw,
-        }
-    }
-
-    fn get_mut<'a>(&self, exec: &'a mut Execution) -> &'a mut tm_relation::Relation {
-        match self {
-            DepField::Addr => &mut exec.addr,
-            DepField::Ctrl => &mut exec.ctrl,
-            DepField::Data => &mut exec.data,
-            DepField::Rmw => &mut exec.rmw,
         }
     }
 }
@@ -240,6 +341,44 @@ mod tests {
         let e = catalog::monotonicity_cex_coalesced();
         let ws = weakenings(&e);
         assert!(ws.iter().any(|w| w.len() == 2 && w.rmw.is_empty()));
+    }
+
+    /// The delta-friendly edit scripts and the clone-based weakenings are
+    /// two views of the same ⊏ step: replaying every same-universe script
+    /// in place reaches exactly the materialised weakenings, and undoing
+    /// restores the candidate bit for bit.
+    #[test]
+    fn edit_scripts_match_materialised_weakenings() {
+        for exec in [
+            catalog::sb_txn(),
+            catalog::fig2(),
+            catalog::wrc(),
+            catalog::power_iriw_two_txns(),
+            catalog::monotonicity_cex_coalesced(),
+        ] {
+            let mut probe = exec.clone();
+            let mut probed: std::collections::HashSet<String> = std::collections::HashSet::new();
+            for weakening in weakening_edits(&exec) {
+                if let Weakening::Edits(edits) = weakening {
+                    let mut delta = Delta::new();
+                    apply_weakening_edits(&mut probe, &edits, &mut delta);
+                    assert!(!delta.is_empty(), "edit scripts record their delta");
+                    if check_well_formed(&probe).is_ok() {
+                        probed.insert(canonical_signature(&probe));
+                    }
+                    undo_weakening_edits(&mut probe, &edits);
+                    assert_eq!(probe, exec, "undo must restore the candidate exactly");
+                }
+            }
+            for (sig, weaker) in weakenings_with_signatures(&exec) {
+                if weaker.len() == exec.len() {
+                    assert!(
+                        probed.contains(&sig),
+                        "materialised weakening missing from the edit scripts"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //!   (`enumerate_exact_incremental`) at the same bounds `ir_parity.rs` uses
 //!   for the view-based paths — the x86-trimmed space at |E| ≤ 4 plus the
 //!   richer Power and C++ vocabularies at |E| ≤ 3.
+//!
+//! Every walk and sweep additionally pins the engine's maintenance
+//! counters: removal deltas must never take the footprint-invalidation
+//! fallback on a maintainable monotone node (`stats().invalidated == 0`) —
+//! monotone nodes are shrunk in place by counting-based deletion and DRed
+//! rederivation, and only genuinely non-monotone nodes drop to the lazy
+//! path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -142,8 +149,17 @@ fn incremental_matches_scratch_on_random_edge_walks() {
             }
             checker.advance(&exec, &delta);
             assert_matches_scratch(&mut checker, &exec, &format!("walk step {step}"));
+            assert_eq!(
+                checker.stats().invalidated,
+                0,
+                "a monotone node fell back to footprint invalidation"
+            );
         }
     }
+    assert!(
+        checker.stats().maintained > 0,
+        "removal walks must maintain derived nodes in place"
+    );
 }
 
 /// A walk of pure additions keeps every delta on the semi-naïve path.
@@ -199,6 +215,11 @@ fn exhaustive_incremental_parity(cfg: &SynthConfig, bound: usize) -> usize {
                         "incremental and from-scratch verdicts differ for {target} on:\n{exec:?}"
                     );
                 }
+                assert_eq!(
+                    checker.stats().invalidated,
+                    0,
+                    "a monotone node fell back to footprint invalidation"
+                );
                 checked.fetch_add(1, Ordering::Relaxed);
             }
         });
