@@ -333,6 +333,11 @@ fn today_utc() -> String {
 
 /// Appends `run` to the `runs` array of the trajectory file, creating the
 /// file (or replacing a pre-trajectory snapshot) if needed.
+///
+/// The update is atomic: the new content is written to a sibling temp file
+/// and renamed over the original, so a crash (or a second bench run racing
+/// this one) can never leave a half-written trajectory — the file either
+/// has the old runs or the old runs plus this one.
 fn append_run(path: &str, run: &str) {
     let fresh = format!("{{\n  \"bench\": \"synth-sweep\",\n  \"runs\": [\n{run}\n  ]\n}}\n");
     let updated = match std::fs::read_to_string(path) {
@@ -345,7 +350,12 @@ fn append_run(path: &str, run: &str) {
         }
         _ => fresh,
     };
-    std::fs::write(path, updated).expect("write BENCH_synth.json");
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    if let Err(e) = std::fs::write(&tmp, &updated).and_then(|()| std::fs::rename(&tmp, path)) {
+        let _ = std::fs::remove_file(&tmp);
+        eprintln!("bench_synth: cannot update {path}: {e}");
+        std::process::exit(2);
+    }
 }
 
 fn main() {

@@ -24,15 +24,47 @@
 //!                   for the loaded model against --baseline FILE, via the
 //!                   incremental pipeline (per-worker stateful checkers,
 //!                   savepoint-probed ⊏-minimality walks)
+//!
+//! `sweep` checkpointing (fault-tolerant runs; see README "Checkpointed
+//! sweeps"):
+//!   --checkpoint DIR    journal completed work units into DIR; an
+//!                       interrupted run resumed from the journal produces
+//!                       suites identical to an uninterrupted one
+//!   --resume            replay an existing journal and continue it
+//!   --shard I/M         run only work units with id % M == I
+//!   --supervise M       spawn M shard children (checkpoints DIR/shard-I),
+//!                       restart crashed ones, then merge their journals
+//!   --budget SECS       wall-clock budget; unfinished units stay pending
+//!   --unit-deadline S   per-unit deadline; over-deadline units are retried,
+//!                       then quarantined
+//!   --retries N         retry attempts per failing unit (default 2)
+//!   --backoff-ms MS     base retry backoff, doubled per attempt (default 25)
+//!   --sync-batch N      journal records per fsync (default 1)
+//!   --fail-plan KIND:K  fault injection: panic|panic-once|exit|stall after
+//!                       K claimed units (also: TM_SWEEP_FAIL_PLAN env var)
+//!
+//! Exit codes: 0 success; 1 verdict drift from --expect; 2 usage, parse or
+//! IO error; 3 sweep finished degraded (quarantined units) or ran out of
+//! budget with units still pending.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use tm_cat::{load_file, print_target};
 use tm_exec::{catalog, Execution};
 use tm_litmus::from_execution;
 use tm_models::ir::IrModel;
 use tm_models::{MemoryModel, Target};
+use tm_sweep::{
+    merge_sharded, run_sweep, supervise, FailPlan, SupervisorOptions, SweepJob, SweepMode,
+    SweepOptions, SweepOutcome, SweepStatus,
+};
 use tm_synth::{enumerate_exact, enumerate_exact_incremental, synthesise_suites, SynthConfig};
+
+/// Exit code for a sweep that finished degraded (quarantined units) or ran
+/// out of budget with units still pending.
+const EXIT_PARTIAL: u8 = 3;
 
 fn named_executions() -> Vec<(&'static str, Execution)> {
     catalog::named()
@@ -68,7 +100,9 @@ fn usage() -> ExitCode {
         "usage:\n  tm-cat list\n  tm-cat print <target>\n  tm-cat check <file.cat> \
          [--litmus NAME]... [--expect TARGET] [--program]\n  tm-cat sweep <file.cat> \
          [--events N] [--config x86|power|armv8|cpp] [--expect TARGET] [--incremental] \
-         [--suites --baseline <file.cat>]"
+         [--suites --baseline <file.cat>]\n                [--checkpoint DIR [--resume] \
+         [--shard I/M | --supervise M] [--budget SECS]\n                 [--unit-deadline SECS] \
+         [--retries N] [--backoff-ms MS] [--sync-batch N]\n                 [--fail-plan KIND:K]]"
     );
     ExitCode::from(2)
 }
@@ -109,12 +143,15 @@ fn list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Loads a `.cat` model or reports the failure as a usage/IO error (exit
+/// code 2) — a missing or unparsable file is an operator problem, not a
+/// verdict.
 fn load_or_exit(path: &str) -> Result<IrModel, ExitCode> {
     match load_file(path) {
         Ok(model) => Ok(model),
         Err(e) => {
             eprintln!("{e}");
-            Err(ExitCode::FAILURE)
+            Err(ExitCode::from(2))
         }
     }
 }
@@ -216,97 +253,247 @@ fn check(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn sweep(args: &[String]) -> ExitCode {
+/// Everything the `sweep` subcommand parsed from its arguments.
+struct SweepArgs {
+    path: String,
+    events: usize,
+    config_name: String,
+    expect: Option<Target>,
+    incremental: bool,
+    suites: bool,
+    baseline_path: Option<String>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    shard: Option<(u32, u32)>,
+    supervise: Option<u32>,
+    budget: Option<Duration>,
+    unit_deadline: Option<Duration>,
+    retries: u32,
+    backoff: Duration,
+    sync_batch: usize,
+    fail_plan: Option<FailPlan>,
+}
+
+fn parse_shard(s: &str) -> Result<(u32, u32), String> {
+    let (i, m) = s
+        .split_once('/')
+        .ok_or_else(|| format!("bad shard `{s}` (expected I/M)"))?;
+    let i: u32 = i.parse().map_err(|_| format!("bad shard index `{i}`"))?;
+    let m: u32 = m.parse().map_err(|_| format!("bad shard count `{m}`"))?;
+    if m == 0 || i >= m {
+        return Err(format!("bad shard {i}/{m} (expected 0 <= I < M)"));
+    }
+    Ok((i, m))
+}
+
+fn parse_secs(flag: &str, s: &str) -> Result<Duration, String> {
+    let secs: f64 = s
+        .parse()
+        .map_err(|_| format!("{flag} expects a number of seconds"))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!("{flag} expects a non-negative number of seconds"));
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, ExitCode> {
     let Some(path) = args.first() else {
-        return usage();
+        return Err(usage());
     };
-    let mut events = 4usize;
-    let mut config_name = "x86".to_string();
-    let mut expect: Option<Target> = None;
-    let mut incremental = false;
-    let mut suites = false;
-    let mut baseline_path: Option<String> = None;
+    let mut parsed = SweepArgs {
+        path: path.clone(),
+        events: 4,
+        config_name: "x86".to_string(),
+        expect: None,
+        incremental: false,
+        suites: false,
+        baseline_path: None,
+        checkpoint: None,
+        resume: false,
+        shard: None,
+        supervise: None,
+        budget: None,
+        unit_deadline: None,
+        retries: 2,
+        backoff: Duration::from_millis(25),
+        sync_batch: 1,
+        fail_plan: None,
+    };
+    let fail = |msg: String| {
+        eprintln!("tm-cat: {msg}");
+        ExitCode::from(2)
+    };
     let mut i = 1;
     while i < args.len() {
-        match args[i].as_str() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        match flag {
             "--suites" => {
-                suites = true;
+                parsed.suites = true;
                 i += 1;
-            }
-            "--baseline" if i + 1 < args.len() => {
-                baseline_path = Some(args[i + 1].clone());
-                i += 2;
-            }
-            "--events" if i + 1 < args.len() => {
-                match args[i + 1].parse() {
-                    Ok(n) => events = n,
-                    Err(_) => {
-                        eprintln!("tm-cat: --events expects a number");
-                        return ExitCode::from(2);
-                    }
-                }
-                i += 2;
-            }
-            "--config" if i + 1 < args.len() => {
-                config_name = args[i + 1].clone();
-                i += 2;
-            }
-            "--expect" if i + 1 < args.len() => {
-                match parse_target(&args[i + 1]) {
-                    Ok(t) => expect = Some(t),
-                    Err(msg) => {
-                        eprintln!("tm-cat: {msg}");
-                        return ExitCode::from(2);
-                    }
-                }
-                i += 2;
             }
             "--incremental" => {
-                incremental = true;
+                parsed.incremental = true;
                 i += 1;
+            }
+            "--resume" => {
+                parsed.resume = true;
+                i += 1;
+            }
+            "--baseline" | "--events" | "--config" | "--expect" | "--checkpoint" | "--shard"
+            | "--supervise" | "--budget" | "--unit-deadline" | "--retries" | "--backoff-ms"
+            | "--sync-batch" | "--fail-plan" => {
+                let Some(value) = value else {
+                    return Err(fail(format!("{flag} expects a value")));
+                };
+                match flag {
+                    "--baseline" => parsed.baseline_path = Some(value.clone()),
+                    "--events" => {
+                        parsed.events = value
+                            .parse()
+                            .map_err(|_| fail("--events expects a number".into()))?
+                    }
+                    "--config" => parsed.config_name = value.clone(),
+                    "--expect" => parsed.expect = Some(parse_target(value).map_err(fail)?),
+                    "--checkpoint" => parsed.checkpoint = Some(PathBuf::from(value)),
+                    "--shard" => parsed.shard = Some(parse_shard(value).map_err(fail)?),
+                    "--supervise" => {
+                        let m: u32 = value
+                            .parse()
+                            .map_err(|_| fail("--supervise expects a shard count".into()))?;
+                        if m == 0 {
+                            return Err(fail("--supervise expects at least one shard".into()));
+                        }
+                        parsed.supervise = Some(m);
+                    }
+                    "--budget" => parsed.budget = Some(parse_secs(flag, value).map_err(fail)?),
+                    "--unit-deadline" => {
+                        parsed.unit_deadline = Some(parse_secs(flag, value).map_err(fail)?)
+                    }
+                    "--retries" => {
+                        parsed.retries = value
+                            .parse()
+                            .map_err(|_| fail("--retries expects a number".into()))?
+                    }
+                    "--backoff-ms" => {
+                        let ms: u64 = value
+                            .parse()
+                            .map_err(|_| fail("--backoff-ms expects milliseconds".into()))?;
+                        parsed.backoff = Duration::from_millis(ms);
+                    }
+                    "--sync-batch" => {
+                        let n: usize = value
+                            .parse()
+                            .map_err(|_| fail("--sync-batch expects a number".into()))?;
+                        if n == 0 {
+                            return Err(fail("--sync-batch must be at least 1".into()));
+                        }
+                        parsed.sync_batch = n;
+                    }
+                    "--fail-plan" => parsed.fail_plan = Some(FailPlan::parse(value).map_err(fail)?),
+                    _ => unreachable!("matched above"),
+                }
+                i += 2;
             }
             other => {
                 eprintln!("tm-cat: unknown option `{other}`");
-                return usage();
+                return Err(usage());
             }
         }
     }
-    let config = match parse_config(&config_name, events) {
+    if parsed.fail_plan.is_none() {
+        parsed.fail_plan = FailPlan::from_env().map_err(fail)?;
+    }
+
+    // Flag compatibility: checkpointing knobs need --checkpoint; sharding
+    // and supervision are mutually exclusive ways to split the space.
+    if parsed.checkpoint.is_none()
+        && (parsed.resume
+            || parsed.shard.is_some()
+            || parsed.supervise.is_some()
+            || parsed.budget.is_some()
+            || parsed.unit_deadline.is_some()
+            || parsed.fail_plan.is_some())
+    {
+        return Err(fail(
+            "--resume/--shard/--supervise/--budget/--unit-deadline/--fail-plan need \
+             --checkpoint DIR"
+                .into(),
+        ));
+    }
+    if parsed.shard.is_some() && parsed.supervise.is_some() {
+        return Err(fail(
+            "--shard and --supervise are mutually exclusive".into(),
+        ));
+    }
+    if parsed.suites && (parsed.expect.is_some() || parsed.incremental) {
+        eprintln!("tm-cat: --suites does not combine with --expect or --incremental");
+        return Err(ExitCode::from(2));
+    }
+    if parsed.suites && parsed.baseline_path.is_none() {
+        eprintln!("tm-cat: --suites needs --baseline <file.cat> (the non-TM model)");
+        return Err(ExitCode::from(2));
+    }
+    if parsed.checkpoint.is_some() && parsed.incremental {
+        eprintln!("tm-cat: --checkpoint always runs incrementally; drop --incremental");
+        return Err(ExitCode::from(2));
+    }
+    Ok(parsed)
+}
+
+fn sweep(args: &[String]) -> ExitCode {
+    let parsed = match parse_sweep_args(args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let config = match parse_config(&parsed.config_name, parsed.events) {
         Ok(c) => c,
         Err(msg) => {
             eprintln!("tm-cat: {msg}");
             return ExitCode::from(2);
         }
     };
-    let model = match load_or_exit(path) {
+    let model = match load_or_exit(&parsed.path) {
         Ok(m) => m,
         Err(code) => return code,
     };
-    if suites {
-        // Suite synthesis always runs incrementally and has no built-in
-        // "expected suite" to diff against: reject rather than silently
-        // ignore the flags.
-        if expect.is_some() || incremental {
-            eprintln!("tm-cat: --suites does not combine with --expect or --incremental");
-            return ExitCode::from(2);
-        }
-        let Some(baseline_path) = baseline_path else {
-            eprintln!("tm-cat: --suites needs --baseline <file.cat> (the non-TM model)");
-            return ExitCode::from(2);
-        };
-        let baseline = match load_or_exit(&baseline_path) {
-            Ok(m) => m,
+    let baseline = match &parsed.baseline_path {
+        Some(path) => match load_or_exit(path) {
+            Ok(m) => Some(m),
             Err(code) => return code,
-        };
-        return sweep_suites(&model, &baseline, &config, events);
+        },
+        None => None,
+    };
+
+    if parsed.supervise.is_some() {
+        return sweep_supervised(&parsed);
     }
+    if parsed.checkpoint.is_some() {
+        return sweep_checkpointed(&parsed, &model, baseline.as_ref(), &config);
+    }
+    if parsed.suites {
+        return sweep_suites(
+            &model,
+            baseline.as_ref().expect("validated above"),
+            &config,
+            parsed.events,
+        );
+    }
+    sweep_legacy(&parsed, &model, &config)
+}
+
+/// The original in-memory sweep: no checkpointing, counts only.
+fn sweep_legacy(parsed: &SweepArgs, model: &IrModel, config: &SynthConfig) -> ExitCode {
+    let events = parsed.events;
+    let incremental = parsed.incremental;
     println!(
-        "sweeping `{}` over the {config_name} space, |E| <= {events}{}",
+        "sweeping `{}` over the {} space, |E| <= {events}{}",
         model.name(),
+        parsed.config_name,
         if incremental { " (incremental)" } else { "" }
     );
 
-    let reference = expect.map(|t| t.model());
+    let reference = parsed.expect.map(|t| t.model());
     use std::sync::atomic::{AtomicUsize, Ordering};
     let total = AtomicUsize::new(0);
     let consistent = AtomicUsize::new(0);
@@ -315,7 +502,7 @@ fn sweep(args: &[String]) -> ExitCode {
     let mut executions = 0usize;
     for n in 2..=events {
         if incremental {
-            executions += enumerate_exact_incremental(&config, n, || {
+            executions += enumerate_exact_incremental(config, n, || {
                 let mut checker = model.incremental();
                 let (total, consistent, drift) = (&total, &consistent, &drift);
                 let reference = &reference;
@@ -334,7 +521,7 @@ fn sweep(args: &[String]) -> ExitCode {
                 }
             });
         } else {
-            executions += enumerate_exact(&config, n, |exec| {
+            executions += enumerate_exact(config, n, |exec| {
                 let ok = model.is_consistent(exec);
                 total.fetch_add(1, Ordering::Relaxed);
                 if ok {
@@ -355,7 +542,7 @@ fn sweep(args: &[String]) -> ExitCode {
         consistent.load(Ordering::Relaxed),
         total.load(Ordering::Relaxed) - consistent.load(Ordering::Relaxed),
     );
-    if let Some(target) = expect {
+    if let Some(target) = parsed.expect {
         let drift = drift.load(Ordering::Relaxed);
         if drift > 0 {
             eprintln!(
@@ -390,13 +577,18 @@ fn sweep_suites(
         baseline.name()
     );
     let report = synthesise_suites(model, baseline, config, events);
-    let hist = report.forbid_txn_histogram();
     println!(
         "{} executions in {:.3}s ({:.0} execs/s)",
         report.enumerated,
         report.elapsed.as_secs_f64(),
         report.enumerated as f64 / report.elapsed.as_secs_f64().max(f64::EPSILON),
     );
+    print_suite_lines(&report);
+    ExitCode::SUCCESS
+}
+
+fn print_suite_lines(report: &tm_synth::SuiteReport) {
+    let hist = report.forbid_txn_histogram();
     println!(
         "forbid {} allow {} (forbid txn histogram: {} with 1, {} with 2, {} with 3+)",
         report.forbid.len(),
@@ -408,5 +600,277 @@ fn sweep_suites(
     for test in &report.forbid {
         println!("\n{}", test.litmus);
     }
-    ExitCode::SUCCESS
+}
+
+/// Prints what a checkpointed run did and turns its status into an exit
+/// code: 0 complete, 1 drift, 3 degraded or out of budget.
+fn report_outcome(parsed: &SweepArgs, outcome: &SweepOutcome, secs: f64) -> u8 {
+    println!(
+        "units: {} total, {} completed ({} reused from checkpoint), {} pending, \
+         {} quarantined; {} retry attempt(s) in {secs:.3}s",
+        outcome.total_units,
+        outcome.completed_units,
+        outcome.reused_units,
+        outcome.pending_units,
+        outcome.quarantined.len(),
+        outcome.retried_attempts,
+    );
+    for q in &outcome.quarantined {
+        eprintln!(
+            "tm-cat: quarantined unit {:#018x} {} after {} attempt(s): {}",
+            q.unit_id,
+            if q.label.is_empty() {
+                String::new()
+            } else {
+                format!("({}) ", q.label)
+            },
+            q.attempts,
+            q.reason
+        );
+    }
+    if let Some(report) = &outcome.suites {
+        println!("{} executions enumerated", outcome.visited);
+        print_suite_lines(report);
+    } else if parsed.suites {
+        println!(
+            "{} executions enumerated (shard only; merge shard journals for suites)",
+            outcome.visited
+        );
+    } else {
+        println!(
+            "{} executions: {} consistent, {} forbidden",
+            outcome.visited,
+            outcome.consistent,
+            outcome.visited - outcome.consistent,
+        );
+    }
+    match outcome.status {
+        SweepStatus::BudgetExhausted => {
+            eprintln!(
+                "tm-cat: budget exhausted with {} unit(s) pending; resume with \
+                 --checkpoint ... --resume",
+                outcome.pending_units
+            );
+            EXIT_PARTIAL
+        }
+        SweepStatus::Partial => {
+            eprintln!(
+                "tm-cat: sweep finished DEGRADED: {} quarantined unit(s) are missing \
+                 from the results",
+                outcome.quarantined.len()
+            );
+            EXIT_PARTIAL
+        }
+        SweepStatus::Complete => {
+            if let Some(target) = parsed.expect {
+                if outcome.drift > 0 {
+                    eprintln!(
+                        "tm-cat: {} execution(s) drift from built-in `{}`",
+                        outcome.drift,
+                        target.name()
+                    );
+                    return 1;
+                }
+                println!(
+                    "verdicts match built-in `{}` on the whole space",
+                    target.name()
+                );
+            }
+            0
+        }
+    }
+}
+
+fn sweep_checkpointed(
+    parsed: &SweepArgs,
+    model: &IrModel,
+    baseline: Option<&IrModel>,
+    config: &SynthConfig,
+) -> ExitCode {
+    let reference = parsed.expect.map(|t| t.model());
+    let job = SweepJob {
+        model,
+        baseline: baseline.map(|b| b as &dyn MemoryModel),
+        reference: reference.as_deref(),
+        mode: if parsed.suites {
+            SweepMode::Suites
+        } else {
+            SweepMode::Counts
+        },
+        config,
+        events: parsed.events,
+    };
+    let checkpoint = parsed.checkpoint.clone().expect("checked by caller");
+    println!(
+        "checkpointed sweep of `{}` (|E| = {}, {}), journal at {}{}",
+        model.name(),
+        parsed.events,
+        if parsed.suites { "suites" } else { "counts" },
+        checkpoint.join("sweep.journal").display(),
+        match parsed.shard {
+            Some((i, m)) => format!(", shard {i}/{m}"),
+            None => String::new(),
+        }
+    );
+    let opts = SweepOptions {
+        resume: parsed.resume,
+        shard: parsed.shard,
+        budget: parsed.budget,
+        unit_deadline: parsed.unit_deadline,
+        retries: parsed.retries,
+        backoff: parsed.backoff,
+        sync_batch: parsed.sync_batch,
+        fail_plan: parsed.fail_plan,
+        ..SweepOptions::new(checkpoint)
+    };
+    let start = std::time::Instant::now();
+    match run_sweep(&job, &opts) {
+        Ok(outcome) => ExitCode::from(report_outcome(
+            parsed,
+            &outcome,
+            start.elapsed().as_secs_f64(),
+        )),
+        Err(e) => {
+            eprintln!("tm-cat: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `--supervise M`: run M shard children of this very binary (each with its
+/// own checkpoint under the parent directory), restart crashed ones, then
+/// merge their journals into the final result.
+fn sweep_supervised(parsed: &SweepArgs) -> ExitCode {
+    let shards = parsed.supervise.expect("checked by caller");
+    let checkpoint = parsed.checkpoint.clone().expect("checked by caller");
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("tm-cat: cannot locate own executable: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "supervising {shards} shard(s) under {}",
+        checkpoint.display()
+    );
+
+    let shard_dir = |i: u32| checkpoint.join(format!("shard-{i}"));
+    let sup_opts = SupervisorOptions::new(shards);
+    let runs = supervise(&sup_opts, |i, launch| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("sweep").arg(&parsed.path);
+        cmd.arg("--events").arg(parsed.events.to_string());
+        cmd.arg("--config").arg(&parsed.config_name);
+        if parsed.suites {
+            cmd.arg("--suites");
+            if let Some(b) = &parsed.baseline_path {
+                cmd.arg("--baseline").arg(b);
+            }
+        }
+        if let Some(t) = parsed.expect {
+            cmd.arg("--expect").arg(t.name());
+        }
+        cmd.arg("--checkpoint").arg(shard_dir(i));
+        // --resume makes restarts continue the shard's journal; on the
+        // first launch the journal does not exist yet and --resume is a
+        // no-op.
+        cmd.arg("--resume");
+        cmd.arg("--shard").arg(format!("{i}/{shards}"));
+        if let Some(d) = parsed.unit_deadline {
+            cmd.arg("--unit-deadline").arg(d.as_secs_f64().to_string());
+        }
+        cmd.arg("--retries").arg(parsed.retries.to_string());
+        cmd.arg("--backoff-ms")
+            .arg(parsed.backoff.as_millis().to_string());
+        cmd.arg("--sync-batch").arg(parsed.sync_batch.to_string());
+        // Fault injection reaches the first launch only — a restarted
+        // shard must be allowed to finish, and the env var would otherwise
+        // leak into every generation.
+        cmd.env_remove("TM_SWEEP_FAIL_PLAN");
+        if launch == 0 {
+            if let Some(plan) = parsed.fail_plan {
+                let kind = match plan.kind {
+                    tm_sweep::FailKind::Panic => "panic",
+                    tm_sweep::FailKind::PanicOnce => "panic-once",
+                    tm_sweep::FailKind::Exit => "exit",
+                    tm_sweep::FailKind::Stall => "stall",
+                };
+                cmd.arg("--fail-plan")
+                    .arg(format!("{kind}:{}", plan.after_units));
+            }
+        }
+        cmd
+    });
+    let runs = match runs {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("tm-cat: supervisor failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut all_finished = true;
+    for run in &runs {
+        println!(
+            "shard {}: {} launch(es), final exit {:?}",
+            run.index, run.launches, run.exit_code
+        );
+        if !run.finished() {
+            all_finished = false;
+            eprintln!(
+                "tm-cat: shard {} never finished (last exit {:?})",
+                run.index, run.exit_code
+            );
+        }
+    }
+
+    // Merge whatever the shards journalled — even a shard that never
+    // finished contributes its completed units.
+    let model = match load_or_exit(&parsed.path) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+    let baseline = match &parsed.baseline_path {
+        Some(path) => match load_or_exit(path) {
+            Ok(m) => Some(m),
+            Err(code) => return code,
+        },
+        None => None,
+    };
+    let config = match parse_config(&parsed.config_name, parsed.events) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("tm-cat: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let reference = parsed.expect.map(|t| t.model());
+    let job = SweepJob {
+        model: &model,
+        baseline: baseline.as_ref().map(|b| b as &dyn MemoryModel),
+        reference: reference.as_deref(),
+        mode: if parsed.suites {
+            SweepMode::Suites
+        } else {
+            SweepMode::Counts
+        },
+        config: &config,
+        events: parsed.events,
+    };
+    let dirs: Vec<PathBuf> = (0..shards).map(shard_dir).collect();
+    match merge_sharded(&job, &dirs) {
+        Ok(outcome) => {
+            let code = report_outcome(parsed, &outcome, 0.0);
+            if !all_finished && code == 0 {
+                // A shard that crashed out entirely means unknown coverage
+                // even if every *journalled* unit completed.
+                return ExitCode::from(EXIT_PARTIAL);
+            }
+            ExitCode::from(code)
+        }
+        Err(e) => {
+            eprintln!("tm-cat: merge failed: {e}");
+            ExitCode::from(2)
+        }
+    }
 }

@@ -1,0 +1,39 @@
+//! FNV-1a 64-bit, duplicated from `tm-synth`'s private helper: a stable,
+//! seed-free hash for cross-process identifiers (std's hashers are
+//! process-seeded by design). The constants are pinned by tests there; here
+//! it only feeds the sweep-job fingerprint.
+
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Fnv1a {
+        Fnv1a(Self::OFFSET)
+    }
+
+    pub(crate) fn byte(&mut self, b: u8) -> &mut Fnv1a {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        self
+    }
+
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) -> &mut Fnv1a {
+        for &b in bytes {
+            self.byte(b);
+        }
+        self
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) -> &mut Fnv1a {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    pub(crate) fn usize(&mut self, v: usize) -> &mut Fnv1a {
+        self.u64(v as u64)
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}

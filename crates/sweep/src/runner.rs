@@ -1,0 +1,1006 @@
+//! The checkpointed sweep runner: claims work units, journals their
+//! results, survives worker panics and process crashes, and reassembles
+//! suites that are bit-identical to an uninterrupted run.
+//!
+//! The unit of fault tolerance is the [`WorkUnit`](tm_synth::WorkUnit): a
+//! (thread partition, shape prefix) subspace with a stable cross-process id.
+//! A unit either runs to completion — its counts and banked Forbid
+//! candidates are appended to the journal — or it leaves no trace and is
+//! re-run on resume. Because every unit is deterministic and the final
+//! assembly sorts by canonical signature, *when* and *by whom* a unit runs
+//! cannot change the suites.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use tm_exec::ir::Delta;
+use tm_exec::{ExecView, Execution};
+use tm_models::MemoryModel;
+use tm_synth::{
+    assemble_suites, canonical_signature, enumerate_unit_incremental, minimal_under_weakenings,
+    work_units, SuiteReport, SynthConfig, WorkUnit,
+};
+
+use crate::codec::{decode_execution, encode_execution};
+use crate::fnv::Fnv1a;
+use crate::journal::{self, JournalWriter, Record, JOURNAL_FILE};
+
+/// The exit code used by injected-crash fault plans, distinct from every
+/// legitimate `tm-cat` exit code so tests and supervisors can tell an
+/// injected crash from a real failure.
+pub const INJECTED_EXIT_CODE: i32 = 42;
+
+/// What a sweep computes per execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Count consistent executions (and drift against a reference model)
+    /// over every size `2..=events` — the plain `tm-cat sweep`.
+    Counts,
+    /// Synthesise the Forbid/Allow suites at exactly `events` events —
+    /// `tm-cat sweep --suites`.
+    Suites,
+}
+
+impl SweepMode {
+    fn byte(self) -> u8 {
+        match self {
+            SweepMode::Counts => 0,
+            SweepMode::Suites => 1,
+        }
+    }
+}
+
+/// The models and bounds of one sweep — everything that determines its
+/// result, fingerprinted into the journal so a checkpoint can refuse to
+/// resume under a different job.
+pub struct SweepJob<'a> {
+    /// The model under study (the TM model in suites mode).
+    pub model: &'a dyn MemoryModel,
+    /// The non-transactional baseline (required in suites mode).
+    pub baseline: Option<&'a dyn MemoryModel>,
+    /// A reference model to diff verdicts against (counts mode).
+    pub reference: Option<&'a dyn MemoryModel>,
+    /// What to compute.
+    pub mode: SweepMode,
+    /// Enumeration bounds.
+    pub config: &'a SynthConfig,
+    /// The event bound.
+    pub events: usize,
+}
+
+impl SweepJob<'_> {
+    /// A stable fingerprint of everything that determines the sweep's
+    /// result. Two jobs fingerprint equal iff their journals are
+    /// interchangeable.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.u64(self.config.fingerprint());
+        h.usize(self.events);
+        h.byte(self.mode.byte());
+        h.bytes(self.model.name().as_bytes());
+        h.byte(0xFF);
+        if let Some(b) = self.baseline {
+            h.bytes(b.name().as_bytes());
+        }
+        h.byte(0xFF);
+        if let Some(r) = self.reference {
+            h.bytes(r.name().as_bytes());
+        }
+        h.finish()
+    }
+
+    fn sizes(&self) -> Vec<usize> {
+        match self.mode {
+            SweepMode::Counts => (2..=self.events).collect(),
+            SweepMode::Suites => vec![self.events],
+        }
+    }
+}
+
+/// How an injected fault manifests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailKind {
+    /// The victim unit panics on **every** attempt — exercises the full
+    /// retry-then-quarantine path.
+    Panic,
+    /// The victim unit panics on its first attempt only — exercises
+    /// retry-then-success.
+    PanicOnce,
+    /// The whole process exits with [`INJECTED_EXIT_CODE`] (journal synced
+    /// first) — exercises crash/resume and supervisor restart.
+    Exit,
+    /// The victim unit stalls (sleeps) instead of finishing — exercises
+    /// per-unit deadlines.
+    Stall,
+}
+
+/// A fault-injection plan: trip [`FailKind`] when the `after_units`-th work
+/// unit is claimed (1-based; with several workers the exact set of units
+/// already banked at that point is racy, which is the point).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailPlan {
+    /// How the fault manifests.
+    pub kind: FailKind,
+    /// Trip on the K-th claimed unit.
+    pub after_units: u64,
+}
+
+impl FailPlan {
+    /// Parses `panic:K`, `panic-once:K`, `exit:K` or `stall:K`.
+    pub fn parse(s: &str) -> Result<FailPlan, String> {
+        let (kind, k) = s
+            .split_once(':')
+            .ok_or_else(|| format!("bad fail plan `{s}` (expected KIND:K)"))?;
+        let kind = match kind {
+            "panic" => FailKind::Panic,
+            "panic-once" => FailKind::PanicOnce,
+            "exit" => FailKind::Exit,
+            "stall" => FailKind::Stall,
+            other => {
+                return Err(format!(
+                    "bad fail kind `{other}` (expected panic, panic-once, exit or stall)"
+                ))
+            }
+        };
+        let after_units: u64 = k
+            .parse()
+            .map_err(|_| format!("bad fail plan count `{k}` (expected a number)"))?;
+        if after_units == 0 {
+            return Err("fail plan count must be >= 1".to_string());
+        }
+        Ok(FailPlan { kind, after_units })
+    }
+
+    /// Reads a plan from the `TM_SWEEP_FAIL_PLAN` environment variable, if
+    /// set — lets tests inject faults into child processes they spawn.
+    pub fn from_env() -> Result<Option<FailPlan>, String> {
+        match std::env::var("TM_SWEEP_FAIL_PLAN") {
+            Ok(s) if !s.is_empty() => FailPlan::parse(&s).map(Some),
+            _ => Ok(None),
+        }
+    }
+}
+
+/// Knobs of a checkpointed sweep run.
+pub struct SweepOptions {
+    /// Directory holding the journal (created if missing).
+    pub checkpoint: PathBuf,
+    /// Replay an existing journal and continue; without this flag an
+    /// existing journal is an error (never silently clobbered).
+    pub resume: bool,
+    /// Run only units with `id % m == i`, as `(i, m)`.
+    pub shard: Option<(u32, u32)>,
+    /// Wall-clock budget; when it expires, in-flight units are abandoned
+    /// (left pending in the journal) and the run reports
+    /// [`SweepStatus::BudgetExhausted`].
+    pub budget: Option<Duration>,
+    /// Per-unit deadline; a unit that exceeds it is retried, then
+    /// quarantined.
+    pub unit_deadline: Option<Duration>,
+    /// Retries after a failed attempt before quarantining (so a unit gets
+    /// `retries + 1` attempts).
+    pub retries: u32,
+    /// Base backoff between attempts, doubled each retry.
+    pub backoff: Duration,
+    /// Worker thread count; defaults to `TM_SYNTH_THREADS` or the
+    /// available parallelism.
+    pub threads: Option<usize>,
+    /// Journal records buffered per fsync batch (1 = sync every record).
+    pub sync_batch: usize,
+    /// Fault injection, for crash/resume tests.
+    pub fail_plan: Option<FailPlan>,
+}
+
+impl SweepOptions {
+    /// Defaults: fresh run, no shard, no budget, no deadline, 2 retries
+    /// with 25ms base backoff, per-record fsync, no fault injection.
+    pub fn new(checkpoint: impl Into<PathBuf>) -> SweepOptions {
+        SweepOptions {
+            checkpoint: checkpoint.into(),
+            resume: false,
+            shard: None,
+            budget: None,
+            unit_deadline: None,
+            retries: 2,
+            backoff: Duration::from_millis(25),
+            threads: None,
+            sync_batch: 1,
+            fail_plan: None,
+        }
+    }
+}
+
+/// How a sweep run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepStatus {
+    /// Every unit of this shard completed.
+    Complete,
+    /// Every unit was attempted but some were quarantined; results are
+    /// degraded (a quarantined unit's subspace is missing from the suites).
+    Partial,
+    /// The wall-clock budget expired with units still pending; resume with
+    /// the same checkpoint to continue.
+    BudgetExhausted,
+}
+
+/// A unit that exhausted its retries.
+#[derive(Clone, Debug)]
+pub struct QuarantinedUnit {
+    /// Stable id of the unit.
+    pub unit_id: u64,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// The last failure (panic payload or "deadline exceeded").
+    pub reason: String,
+    /// Human-readable unit label ("threads=2+1 prefix=R0,W0,F"), when the
+    /// unit was attempted this run (quarantines replayed from a journal
+    /// carry an empty label).
+    pub label: String,
+}
+
+/// The result of a checkpointed sweep.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// How the run ended.
+    pub status: SweepStatus,
+    /// Executions visited across all completed units.
+    pub visited: u64,
+    /// Consistent executions (counts mode).
+    pub consistent: u64,
+    /// Verdict disagreements against the reference model (counts mode).
+    pub drift: u64,
+    /// The assembled suites (suites mode, unsharded runs and merges only —
+    /// a single shard holds too little to assemble).
+    pub suites: Option<SuiteReport>,
+    /// Units in this shard's slice of the space.
+    pub total_units: usize,
+    /// Units completed, including ones replayed from the journal.
+    pub completed_units: usize,
+    /// Units whose results were replayed from the journal rather than run.
+    pub reused_units: usize,
+    /// Units neither completed nor quarantined (budget ran out first).
+    pub pending_units: usize,
+    /// Units that exhausted their retries.
+    pub quarantined: Vec<QuarantinedUnit>,
+    /// Retry attempts made across all units (0 in a fault-free run).
+    pub retried_attempts: u64,
+}
+
+/// Why a sweep could not run (as opposed to running degraded).
+#[derive(Debug)]
+pub enum SweepError {
+    /// Filesystem trouble with the checkpoint directory or journal.
+    Io(io::Error),
+    /// The request contradicts itself or the on-disk checkpoint (journal
+    /// exists without `--resume`, meta mismatch, bad shard spec, …).
+    Config(String),
+}
+
+impl From<io::Error> for SweepError {
+    fn from(e: io::Error) -> SweepError {
+        SweepError::Io(e)
+    }
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Io(e) => write!(f, "checkpoint IO error: {e}"),
+            SweepError::Config(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// A work unit paired with its size and stable id.
+struct UnitRef {
+    n: usize,
+    id: u64,
+    unit: WorkUnit,
+}
+
+/// What one completed unit contributed.
+#[derive(Clone, Default)]
+struct UnitResult {
+    visited: u64,
+    consistent: u64,
+    drift: u64,
+    candidates: Vec<Vec<u8>>,
+}
+
+/// How one attempt at a unit ended.
+enum Attempt {
+    Done(UnitResult),
+    /// The wall-clock budget expired mid-unit; nothing is banked.
+    Interrupted,
+    /// The per-unit deadline expired; retryable.
+    Deadline,
+}
+
+/// Shared fault-injection state: `claimed` counts unit claims, and the
+/// `after_units`-th claim marks its unit as the victim.
+struct FailState {
+    plan: FailPlan,
+    claimed: AtomicU64,
+    victim: AtomicU64,
+    once_fired: AtomicBool,
+}
+
+const NO_VICTIM: u64 = u64::MAX;
+
+impl FailState {
+    fn new(plan: FailPlan) -> FailState {
+        FailState {
+            plan,
+            claimed: AtomicU64::new(0),
+            victim: AtomicU64::new(NO_VICTIM),
+            once_fired: AtomicBool::new(false),
+        }
+    }
+
+    /// Called when a worker claims a unit; marks the K-th claim's unit as
+    /// the victim.
+    fn on_claim(&self, unit_id: u64) {
+        let k = self.claimed.fetch_add(1, Ordering::SeqCst) + 1;
+        if k == self.plan.after_units {
+            self.victim.store(unit_id, Ordering::SeqCst);
+        }
+    }
+
+    fn is_victim(&self, unit_id: u64) -> bool {
+        self.victim.load(Ordering::SeqCst) == unit_id
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+/// Builds every unit of the job (all sizes), with stable ids, in a
+/// deterministic order. Ids are asserted unique — a collision would make
+/// the journal ambiguous.
+fn all_units(job: &SweepJob<'_>) -> Result<Vec<UnitRef>, SweepError> {
+    let mut units = Vec::new();
+    let mut ids = HashSet::new();
+    for n in job.sizes() {
+        for unit in work_units(job.config, n) {
+            let id = unit.stable_id(job.config, n);
+            if !ids.insert(id) {
+                return Err(SweepError::Config(format!(
+                    "work-unit id collision on {id:#018x} — cannot journal this job"
+                )));
+            }
+            units.push(UnitRef { n, id, unit });
+        }
+    }
+    Ok(units)
+}
+
+fn meta_record(job: &SweepJob<'_>, shard: Option<(u32, u32)>) -> Record {
+    let (shard_index, shard_count) = shard.unwrap_or((0, 1));
+    Record::Meta {
+        fingerprint: job.fingerprint(),
+        events: job.events as u32,
+        mode: job.mode.byte(),
+        shard_index,
+        shard_count,
+    }
+}
+
+/// Folded journal state: completed units and still-standing quarantines.
+#[derive(Default)]
+struct Replayed {
+    completed: HashMap<u64, UnitResult>,
+    quarantined: HashMap<u64, (u32, String)>,
+}
+
+fn fold_records(records: Vec<Record>) -> Replayed {
+    let mut replayed = Replayed::default();
+    for record in records {
+        match record {
+            Record::Meta { .. } => {}
+            Record::UnitDone {
+                unit_id,
+                visited,
+                consistent,
+                drift,
+                candidates,
+            } => {
+                // A completion supersedes any earlier quarantine of the
+                // same unit (a resume retried it successfully).
+                replayed.quarantined.remove(&unit_id);
+                replayed.completed.insert(
+                    unit_id,
+                    UnitResult {
+                        visited,
+                        consistent,
+                        drift,
+                        candidates,
+                    },
+                );
+            }
+            Record::Quarantine {
+                unit_id,
+                attempts,
+                reason,
+            } => {
+                if !replayed.completed.contains_key(&unit_id) {
+                    replayed.quarantined.insert(unit_id, (attempts, reason));
+                }
+            }
+        }
+    }
+    replayed
+}
+
+/// Opens (or creates) the journal for this run, replaying any prior state.
+fn open_journal(
+    job: &SweepJob<'_>,
+    opts: &SweepOptions,
+) -> Result<(JournalWriter, Replayed), SweepError> {
+    std::fs::create_dir_all(&opts.checkpoint)?;
+    let path = opts.checkpoint.join(JOURNAL_FILE);
+    let meta = meta_record(job, opts.shard);
+    let existing = journal::load(&path)?;
+    match existing {
+        None => Ok((
+            JournalWriter::create(&path, &meta, opts.sync_batch)?,
+            Replayed::default(),
+        )),
+        Some(loaded) if !opts.resume => Err(SweepError::Config(format!(
+            "checkpoint journal {} already exists ({} record(s)); pass --resume to \
+             continue it or remove the directory to start over",
+            path.display(),
+            loaded.records.len()
+        ))),
+        Some(loaded) => {
+            match loaded.records.first() {
+                Some(found @ Record::Meta { .. }) => {
+                    if *found != meta {
+                        return Err(SweepError::Config(format!(
+                            "checkpoint journal {} was written by a different sweep \
+                             (its configuration, models, event bound or shard disagree); \
+                             refusing to resume",
+                            path.display()
+                        )));
+                    }
+                }
+                _ => {
+                    return Err(SweepError::Config(format!(
+                        "checkpoint journal {} has no meta record; refusing to resume",
+                        path.display()
+                    )))
+                }
+            }
+            let writer = JournalWriter::reopen(&path, loaded.valid_len, opts.sync_batch)?;
+            Ok((writer, fold_records(loaded.records)))
+        }
+    }
+}
+
+/// Runs one attempt at a unit, mirroring the sinks of
+/// `tm_synth::synthesise_suites` / the counts sweep exactly — one
+/// implementation per mode, shared between interrupted and uninterrupted
+/// runs, is what makes their results identical.
+fn run_attempt(
+    job: &SweepJob<'_>,
+    unit: &UnitRef,
+    run_start: Instant,
+    opts: &SweepOptions,
+    stall: bool,
+) -> Attempt {
+    let attempt_start = Instant::now();
+    let budget_hit = || opts.budget.is_some_and(|b| run_start.elapsed() >= b);
+    let deadline_hit = || {
+        opts.unit_deadline
+            .is_some_and(|d| attempt_start.elapsed() >= d)
+    };
+    let should_stop = || budget_hit() || deadline_hit();
+
+    if stall {
+        // An injected stall: the unit never finishes. Poll the stop hooks
+        // so a deadline or budget reclaims the worker; cap the sleep so a
+        // stall without either cannot hang a test forever.
+        let cap = Duration::from_secs(30);
+        while !should_stop() && attempt_start.elapsed() < cap {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        return if budget_hit() {
+            Attempt::Interrupted
+        } else {
+            Attempt::Deadline
+        };
+    }
+
+    let mut result = UnitResult::default();
+    let visited = match job.mode {
+        SweepMode::Counts => {
+            if let Some(mut checker) = job.model.incremental_checker() {
+                enumerate_unit_incremental(
+                    job.config,
+                    &unit.unit,
+                    unit.n,
+                    &mut |exec: &Execution, delta: &Delta| {
+                        checker.advance(exec, delta);
+                        let ok = checker.is_consistent(exec);
+                        if ok {
+                            result.consistent += 1;
+                        }
+                        if let Some(reference) = job.reference {
+                            if reference.is_consistent(exec) != ok {
+                                result.drift += 1;
+                            }
+                        }
+                    },
+                    should_stop,
+                )
+            } else {
+                enumerate_unit_incremental(
+                    job.config,
+                    &unit.unit,
+                    unit.n,
+                    &mut |exec: &Execution, _delta: &Delta| {
+                        let ok = job.model.is_consistent(exec);
+                        if ok {
+                            result.consistent += 1;
+                        }
+                        if let Some(reference) = job.reference {
+                            if reference.is_consistent(exec) != ok {
+                                result.drift += 1;
+                            }
+                        }
+                    },
+                    should_stop,
+                )
+            }
+        }
+        SweepMode::Suites => {
+            let baseline = job.baseline.expect("suites mode requires a baseline");
+            let incremental = job.model.incremental_checker().is_some()
+                && baseline.incremental_checker().is_some();
+            // Per-unit signature filter: cheap duplicate suppression inside
+            // the unit; the global deduplication happens at assembly.
+            let mut seen: HashSet<String> = HashSet::new();
+            if incremental {
+                let mut tm_checker = job.model.incremental_checker().expect("probed above");
+                let mut base_checker = baseline.incremental_checker().expect("probed above");
+                let mut probe_buf: Option<Execution> = None;
+                enumerate_unit_incremental(
+                    job.config,
+                    &unit.unit,
+                    unit.n,
+                    &mut |exec: &Execution, delta: &Delta| {
+                        // Thread the delta before any early-out, exactly as
+                        // the live pipeline does.
+                        tm_checker.advance(exec, delta);
+                        base_checker.advance(exec, delta);
+                        if exec.stxn.is_empty() {
+                            return;
+                        }
+                        if tm_checker.is_consistent(exec) || !base_checker.is_consistent(exec) {
+                            return;
+                        }
+                        let sig = canonical_signature(exec);
+                        if !seen.insert(sig) {
+                            return;
+                        }
+                        if !minimal_under_weakenings(tm_checker.as_mut(), exec, &mut probe_buf) {
+                            return;
+                        }
+                        result.candidates.push(encode_execution(exec));
+                    },
+                    should_stop,
+                )
+            } else {
+                enumerate_unit_incremental(
+                    job.config,
+                    &unit.unit,
+                    unit.n,
+                    &mut |exec: &Execution, _delta: &Delta| {
+                        if exec.txn_classes().is_empty() {
+                            return;
+                        }
+                        let view = ExecView::new(exec);
+                        if job.model.is_consistent_view(&view)
+                            || !baseline.is_consistent_view(&view)
+                        {
+                            return;
+                        }
+                        let sig = canonical_signature(exec);
+                        if !seen.insert(sig) {
+                            return;
+                        }
+                        if !tm_synth::weakenings(exec)
+                            .iter()
+                            .all(|w| job.model.is_consistent(w))
+                        {
+                            return;
+                        }
+                        result.candidates.push(encode_execution(exec));
+                    },
+                    should_stop,
+                )
+            }
+        }
+    };
+
+    // Did a stop hook truncate the enumeration? The budget check wins
+    // (conservative: a unit that finished exactly as the budget expired is
+    // left pending and re-run on resume).
+    if budget_hit() {
+        return Attempt::Interrupted;
+    }
+    if deadline_hit() {
+        return Attempt::Deadline;
+    }
+    result.visited = visited as u64;
+    Attempt::Done(result)
+}
+
+fn worker_threads(opts: &SweepOptions, todo: usize) -> usize {
+    let configured = opts.threads.or_else(|| {
+        std::env::var("TM_SYNTH_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+    });
+    let available = configured.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    available.clamp(1, todo.max(1))
+}
+
+/// Runs (or resumes) a checkpointed sweep. See the module docs for the
+/// fault model; see [`SweepOutcome`] for what comes back.
+pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome, SweepError> {
+    if job.mode == SweepMode::Suites && job.baseline.is_none() {
+        return Err(SweepError::Config(
+            "suites mode requires a baseline model".to_string(),
+        ));
+    }
+    if let Some((i, m)) = opts.shard {
+        if m == 0 || i >= m {
+            return Err(SweepError::Config(format!(
+                "bad shard {i}/{m} (expected 0 <= i < m)"
+            )));
+        }
+    }
+
+    let units = all_units(job)?;
+    let shard_units: Vec<UnitRef> = match opts.shard {
+        Some((i, m)) => units
+            .into_iter()
+            .filter(|u| u.id % u64::from(m) == u64::from(i))
+            .collect(),
+        None => units,
+    };
+
+    let (writer, replayed) = open_journal(job, opts)?;
+    let reused_units = shard_units
+        .iter()
+        .filter(|u| replayed.completed.contains_key(&u.id))
+        .count();
+
+    // Quarantined units are re-attempted on resume: the operator asking for
+    // another run is the signal to try again (a deterministic failure will
+    // simply re-quarantine).
+    let todo: Vec<&UnitRef> = shard_units
+        .iter()
+        .filter(|u| !replayed.completed.contains_key(&u.id))
+        .collect();
+
+    let journal = Mutex::new(writer);
+    let results: Mutex<HashMap<u64, UnitResult>> = Mutex::new(replayed.completed);
+    let quarantined: Mutex<Vec<QuarantinedUnit>> = Mutex::new(Vec::new());
+    let retried_attempts = AtomicU64::new(0);
+    let cursor = AtomicUsize::new(0);
+    let fail_state = opts.fail_plan.map(FailState::new);
+    let run_start = Instant::now();
+    let threads = worker_threads(opts, todo.len());
+    let io_error: Mutex<Option<io::Error>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                'units: loop {
+                    if opts.budget.is_some_and(|b| run_start.elapsed() >= b) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(unit) = todo.get(i) else { break };
+                    if let Some(fail) = &fail_state {
+                        fail.on_claim(unit.id);
+                        if fail.is_victim(unit.id) && fail.plan.kind == FailKind::Exit {
+                            // Simulate a hard crash: flush what is banked,
+                            // then die. (The sync means the test can reason
+                            // about exactly which units survived.)
+                            let _ = journal.lock().unwrap().sync();
+                            std::process::exit(INJECTED_EXIT_CODE);
+                        }
+                    }
+                    let mut attempt_no = 0u32;
+                    loop {
+                        attempt_no += 1;
+                        let (injected_panic, stall) = match &fail_state {
+                            Some(fail) if fail.is_victim(unit.id) => match fail.plan.kind {
+                                FailKind::Panic => (true, false),
+                                FailKind::PanicOnce => {
+                                    (!fail.once_fired.swap(true, Ordering::SeqCst), false)
+                                }
+                                FailKind::Stall => (false, true),
+                                FailKind::Exit => (false, false),
+                            },
+                            _ => (false, false),
+                        };
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            if injected_panic {
+                                panic!("injected panic (fail plan)");
+                            }
+                            run_attempt(job, unit, run_start, opts, stall)
+                        }));
+                        let failure_reason = match outcome {
+                            Ok(Attempt::Done(result)) => {
+                                let record = Record::UnitDone {
+                                    unit_id: unit.id,
+                                    visited: result.visited,
+                                    consistent: result.consistent,
+                                    drift: result.drift,
+                                    candidates: result.candidates.clone(),
+                                };
+                                if let Err(e) = journal.lock().unwrap().append(&record) {
+                                    *io_error.lock().unwrap() = Some(e);
+                                    break 'units;
+                                }
+                                results.lock().unwrap().insert(unit.id, result);
+                                break;
+                            }
+                            Ok(Attempt::Interrupted) => break 'units,
+                            Ok(Attempt::Deadline) => "deadline exceeded".to_string(),
+                            Err(payload) => format!("panicked: {}", panic_message(payload)),
+                        };
+                        if attempt_no > opts.retries {
+                            let record = Record::Quarantine {
+                                unit_id: unit.id,
+                                attempts: attempt_no,
+                                reason: failure_reason.clone(),
+                            };
+                            {
+                                let mut j = journal.lock().unwrap();
+                                // Quarantines are synced eagerly regardless
+                                // of batching: losing one would silently
+                                // re-run a poisoned unit forever.
+                                if let Err(e) = j.append(&record).and_then(|()| j.sync()) {
+                                    *io_error.lock().unwrap() = Some(e);
+                                    break 'units;
+                                }
+                            }
+                            quarantined.lock().unwrap().push(QuarantinedUnit {
+                                unit_id: unit.id,
+                                attempts: attempt_no,
+                                reason: failure_reason,
+                                label: unit.unit.label(),
+                            });
+                            break;
+                        }
+                        retried_attempts.fetch_add(1, Ordering::Relaxed);
+                        let exp = (attempt_no - 1).min(8);
+                        let pause = opts.backoff.saturating_mul(1 << exp);
+                        std::thread::sleep(pause.min(Duration::from_secs(2)));
+                    }
+                }
+            });
+        }
+    });
+
+    journal.lock().unwrap().sync()?;
+    if let Some(e) = io_error.into_inner().unwrap() {
+        return Err(SweepError::Io(e));
+    }
+
+    let results = results.into_inner().unwrap();
+    let mut quarantined = quarantined.into_inner().unwrap();
+    // Quarantines replayed from the journal still stand unless this run
+    // completed the unit (they were in `todo`, so a fresh quarantine or a
+    // completion replaced them; a budget stop can leave them untouched).
+    for (unit_id, (attempts, reason)) in replayed.quarantined {
+        if !results.contains_key(&unit_id) && !quarantined.iter().any(|q| q.unit_id == unit_id) {
+            quarantined.push(QuarantinedUnit {
+                unit_id,
+                attempts,
+                reason,
+                label: String::new(),
+            });
+        }
+    }
+    quarantined.sort_by_key(|q| q.unit_id);
+    // A single shard of a wider sweep holds too little to assemble suites;
+    // that happens in `merge_sharded` once every shard's journal is in.
+    let build_suites = opts.shard.is_none_or(|(_, m)| m == 1);
+    finalize(
+        job,
+        shard_units,
+        results,
+        quarantined,
+        reused_units,
+        build_suites,
+        retried_attempts.into_inner(),
+    )
+}
+
+/// Sums completed units into an outcome and (for unsharded suites runs)
+/// assembles the suites.
+fn finalize(
+    job: &SweepJob<'_>,
+    shard_units: Vec<UnitRef>,
+    results: HashMap<u64, UnitResult>,
+    quarantined: Vec<QuarantinedUnit>,
+    reused_units: usize,
+    build_suites: bool,
+    retried_attempts: u64,
+) -> Result<SweepOutcome, SweepError> {
+    let total_units = shard_units.len();
+    let completed_units = shard_units
+        .iter()
+        .filter(|u| results.contains_key(&u.id))
+        .count();
+    let quarantined_here = shard_units
+        .iter()
+        .filter(|u| quarantined.iter().any(|q| q.unit_id == u.id))
+        .count();
+    let pending_units = total_units - completed_units - quarantined_here;
+
+    let status = if pending_units > 0 {
+        SweepStatus::BudgetExhausted
+    } else if !quarantined.is_empty() {
+        SweepStatus::Partial
+    } else {
+        SweepStatus::Complete
+    };
+
+    let mut visited = 0u64;
+    let mut consistent = 0u64;
+    let mut drift = 0u64;
+    for unit in &shard_units {
+        if let Some(r) = results.get(&unit.id) {
+            visited += r.visited;
+            consistent += r.consistent;
+            drift += r.drift;
+        }
+    }
+
+    let suites = if job.mode == SweepMode::Suites && build_suites {
+        Some(assemble(
+            job,
+            shard_units.iter().map(|u| u.id),
+            &results,
+            visited,
+        )?)
+    } else {
+        None
+    };
+
+    Ok(SweepOutcome {
+        status,
+        visited,
+        consistent,
+        drift,
+        suites,
+        total_units,
+        completed_units,
+        reused_units,
+        pending_units,
+        quarantined,
+        retried_attempts,
+    })
+}
+
+/// Decodes banked candidates from completed units and hands them — in a
+/// deterministic order — to [`tm_synth::assemble_suites`]. Banked
+/// candidates carry no timing, so `found_after` is zero throughout; two
+/// structurally different witnesses of the same canonical test are ordered
+/// by structural signature, making the surviving representative independent
+/// of unit completion order.
+fn assemble(
+    job: &SweepJob<'_>,
+    unit_ids: impl Iterator<Item = u64>,
+    results: &HashMap<u64, UnitResult>,
+    visited: u64,
+) -> Result<SuiteReport, SweepError> {
+    let mut decoded: Vec<(String, String, Execution)> = Vec::new();
+    for id in unit_ids {
+        let Some(result) = results.get(&id) else {
+            continue;
+        };
+        for bytes in &result.candidates {
+            let exec = decode_execution(bytes).map_err(|e| {
+                SweepError::Config(format!(
+                    "journal holds an undecodable candidate for unit {id:#018x}: {e}"
+                ))
+            })?;
+            decoded.push((canonical_signature(&exec), exec.signature(), exec));
+        }
+    }
+    decoded.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    let candidates = decoded
+        .into_iter()
+        .map(|(sig, _, exec)| (sig, exec, Duration::ZERO))
+        .collect();
+    Ok(assemble_suites(
+        job.model,
+        job.events,
+        visited as usize,
+        candidates,
+        Instant::now(),
+    ))
+}
+
+/// Merges the journals of a sharded sweep (one checkpoint directory per
+/// shard) into a single outcome, assembling the suites when the union
+/// covers the whole space. Shard journals are validated against `job`
+/// (fingerprint, events, mode); which shard a unit came from is irrelevant
+/// because units are deterministic.
+pub fn merge_sharded(job: &SweepJob<'_>, dirs: &[PathBuf]) -> Result<SweepOutcome, SweepError> {
+    let units = all_units(job)?;
+    let mut results: HashMap<u64, UnitResult> = HashMap::new();
+    let mut quarantines: HashMap<u64, (u32, String)> = HashMap::new();
+
+    let expected_fingerprint = job.fingerprint();
+    for dir in dirs {
+        let path = dir.join(JOURNAL_FILE);
+        let loaded = journal::load(&path)?
+            .ok_or_else(|| SweepError::Config(format!("no journal at {}", path.display())))?;
+        match loaded.records.first() {
+            Some(Record::Meta {
+                fingerprint,
+                events,
+                mode,
+                ..
+            }) if *fingerprint == expected_fingerprint
+                && *events == job.events as u32
+                && *mode == job.mode.byte() => {}
+            _ => {
+                return Err(SweepError::Config(format!(
+                    "journal {} belongs to a different sweep; refusing to merge",
+                    path.display()
+                )))
+            }
+        }
+        let replayed = fold_records(loaded.records);
+        for (id, result) in replayed.completed {
+            results.entry(id).or_insert(result);
+        }
+        for (id, q) in replayed.quarantined {
+            quarantines.entry(id).or_insert(q);
+        }
+    }
+    quarantines.retain(|id, _| !results.contains_key(id));
+    let mut quarantined: Vec<QuarantinedUnit> = quarantines
+        .into_iter()
+        .map(|(unit_id, (attempts, reason))| QuarantinedUnit {
+            unit_id,
+            attempts,
+            reason,
+            label: units
+                .iter()
+                .find(|u| u.id == unit_id)
+                .map(|u| u.unit.label())
+                .unwrap_or_default(),
+        })
+        .collect();
+    quarantined.sort_by_key(|q| q.unit_id);
+
+    finalize(job, units, results, quarantined, 0, true, 0)
+}

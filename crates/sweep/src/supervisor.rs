@@ -1,0 +1,139 @@
+//! A tiny shard supervisor: spawns one child process per shard, watches
+//! them, and restarts crashed shards (with backoff) against their own
+//! checkpoints — the resume machinery does the rest.
+//!
+//! The supervisor is policy-free about *what* the children run: the caller
+//! provides a `Command` factory keyed by shard index and launch count, so
+//! tests can inject a fail plan into the first launch only and the CLI can
+//! rebuild its own invocation with `--shard i/m --resume`.
+
+use std::io;
+use std::process::{Child, Command};
+use std::time::Duration;
+
+/// Exit codes the supervisor treats as terminal (the child finished its
+/// shard, possibly degraded) rather than crashed.
+///
+/// 0 = complete; 3 = partial (quarantined units — deterministic failures
+/// that a restart would only replay).
+const TERMINAL_CODES: [i32; 2] = [0, 3];
+
+/// Knobs of a supervised sharded run.
+pub struct SupervisorOptions {
+    /// Number of shards (and children).
+    pub shards: u32,
+    /// Restarts allowed per shard before giving up on it.
+    pub max_restarts: u32,
+    /// Base pause before a restart, doubled per restart of the same shard.
+    pub backoff: Duration,
+}
+
+impl SupervisorOptions {
+    /// Defaults: `shards` children, 3 restarts each, 50ms base backoff.
+    pub fn new(shards: u32) -> SupervisorOptions {
+        SupervisorOptions {
+            shards,
+            max_restarts: 3,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What happened to one shard across its launches.
+#[derive(Clone, Debug)]
+pub struct ShardRun {
+    /// Shard index in `0..shards`.
+    pub index: u32,
+    /// Times the shard was launched (1 = no restart needed).
+    pub launches: u32,
+    /// The final exit code (`None` if the child died to a signal on its
+    /// last allowed launch).
+    pub exit_code: Option<i32>,
+}
+
+impl ShardRun {
+    /// True if the shard eventually finished (exit 0 or 3).
+    pub fn finished(&self) -> bool {
+        self.exit_code.is_some_and(|c| TERMINAL_CODES.contains(&c))
+    }
+}
+
+struct ShardState {
+    index: u32,
+    child: Option<Child>,
+    launches: u32,
+    last_code: Option<i32>,
+    restart_at: Option<std::time::Instant>,
+}
+
+/// Spawns `opts.shards` children and keeps them alive until each either
+/// finishes (exit 0 or 3) or exhausts its restarts. `command_for(i, launch)`
+/// builds the command for shard `i`'s `launch`-th start (0-based), which
+/// must point the child at a per-shard checkpoint and pass `--resume` so a
+/// restart continues rather than restarts from scratch.
+///
+/// Children run concurrently; the supervisor polls them every few
+/// milliseconds (no signal handling — portable and good enough for
+/// sweep-length processes).
+pub fn supervise(
+    opts: &SupervisorOptions,
+    mut command_for: impl FnMut(u32, u32) -> Command,
+) -> io::Result<Vec<ShardRun>> {
+    let mut shards: Vec<ShardState> = (0..opts.shards)
+        .map(|index| ShardState {
+            index,
+            child: None,
+            launches: 0,
+            last_code: None,
+            restart_at: None,
+        })
+        .collect();
+    for shard in &mut shards {
+        shard.child = Some(command_for(shard.index, 0).spawn()?);
+        shard.launches = 1;
+    }
+
+    loop {
+        let mut live = false;
+        for shard in &mut shards {
+            if let Some(child) = &mut shard.child {
+                match child.try_wait()? {
+                    None => live = true,
+                    Some(status) => {
+                        shard.child = None;
+                        shard.last_code = status.code();
+                        let done = status.code().is_some_and(|c| TERMINAL_CODES.contains(&c));
+                        let restarts_used = shard.launches - 1;
+                        if !done && restarts_used < opts.max_restarts {
+                            let exp = restarts_used.min(8);
+                            shard.restart_at = Some(
+                                std::time::Instant::now() + opts.backoff.saturating_mul(1 << exp),
+                            );
+                            live = true;
+                        }
+                    }
+                }
+            } else if let Some(at) = shard.restart_at {
+                live = true;
+                if std::time::Instant::now() >= at {
+                    shard.restart_at = None;
+                    shard.child = Some(command_for(shard.index, shard.launches).spawn()?);
+                    shard.launches += 1;
+                }
+            }
+        }
+        if !live {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    Ok(shards
+        .into_iter()
+        .map(|s| ShardRun {
+            index: s.index,
+            launches: s.launches,
+            exit_code: s.last_code,
+        })
+        .collect())
+}

@@ -2,6 +2,8 @@
 
 use tm_exec::{Annot, Fence};
 
+use crate::hash::Fnv1a;
+
 /// Bounds and feature switches for candidate-execution enumeration.
 ///
 /// The enumerator is the explicit-search replacement for the paper's
@@ -118,6 +120,39 @@ impl SynthConfig {
         self.transactions = false;
         self
     }
+
+    /// A stable 64-bit fingerprint of every bound and feature switch.
+    ///
+    /// Two configurations fingerprint equal iff they enumerate the same
+    /// space, across processes and machines — checkpointed sweeps bank
+    /// work-unit results under ids derived from this value, and refuse to
+    /// resume a journal written under a different configuration.
+    pub fn fingerprint(&self) -> u64 {
+        let annot_bits = |a: &Annot| {
+            u8::from(a.acq) | u8::from(a.rel) << 1 | u8::from(a.sc) << 2 | u8::from(a.atomic) << 3
+        };
+        let mut h = Fnv1a::new();
+        h.usize(self.max_events)
+            .usize(self.max_threads)
+            .usize(self.max_locs);
+        h.usize(self.fences.len());
+        for f in &self.fences {
+            h.usize(f.index());
+        }
+        h.usize(self.read_annots.len());
+        for a in &self.read_annots {
+            h.byte(annot_bits(a));
+        }
+        h.usize(self.write_annots.len());
+        for a in &self.write_annots {
+            h.byte(annot_bits(a));
+        }
+        h.byte(u8::from(self.dependencies))
+            .byte(u8::from(self.rmws))
+            .byte(u8::from(self.transactions))
+            .usize(self.max_txns);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -142,5 +177,20 @@ mod tests {
         assert!(SynthConfig::power(4).dependencies);
         assert!(!SynthConfig::x86(4).dependencies);
         assert!(!SynthConfig::x86(4).without_transactions().transactions);
+    }
+
+    #[test]
+    fn fingerprints_separate_configurations() {
+        let base = SynthConfig::x86(4);
+        assert_eq!(base.fingerprint(), SynthConfig::x86(4).fingerprint());
+        assert_ne!(base.fingerprint(), SynthConfig::x86(5).fingerprint());
+        assert_ne!(base.fingerprint(), SynthConfig::power(4).fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().without_transactions().fingerprint()
+        );
+        let mut trimmed = SynthConfig::x86(4);
+        trimmed.max_locs = 2;
+        assert_ne!(base.fingerprint(), trimmed.fingerprint());
     }
 }

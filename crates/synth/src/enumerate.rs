@@ -259,7 +259,7 @@ fn expand_unit_incremental<S: FnMut(&Execution, &Delta)>(
     unit: &WorkUnit,
     n: usize,
     sink: &mut S,
-    should_stop: &(impl Fn() -> bool + Sync),
+    should_stop: &impl Fn() -> bool,
 ) -> usize {
     let mut count = 0;
     let mut shapes = unit.prefix.clone();
@@ -454,9 +454,98 @@ fn worker_count() -> usize {
 
 /// One unit of parallel work: a thread-size partition plus a fixed prefix of
 /// event shapes.
-struct WorkUnit {
+///
+/// Units are the checkpointing granule of resumable sweeps (`tm-sweep`):
+/// [`WorkUnit::stable_id`] names a unit deterministically across processes
+/// and machines, so a journal can record "this unit is done" and a restart
+/// can skip it.
+pub struct WorkUnit {
     partition: Vec<usize>,
     prefix: Vec<EventShape>,
+}
+
+impl WorkUnit {
+    /// A deterministic 64-bit identifier for this unit within the space of
+    /// `config` at exactly `n` events: an FNV-1a hash of the configuration
+    /// fingerprint, the event count, the thread-size partition and the
+    /// shape prefix. Stable across processes, machines and re-orderings of
+    /// the unit list — the key under which checkpointed sweeps journal unit
+    /// completion.
+    pub fn stable_id(&self, config: &SynthConfig, n: usize) -> u64 {
+        let mut h = crate::hash::Fnv1a::new();
+        h.u64(config.fingerprint()).usize(n);
+        h.usize(self.partition.len());
+        for &p in &self.partition {
+            h.usize(p);
+        }
+        h.usize(self.prefix.len());
+        for shape in &self.prefix {
+            match *shape {
+                EventShape::Read(loc, a) => {
+                    h.byte(0).usize(loc as usize).byte(annot_bits(a));
+                }
+                EventShape::Write(loc, a) => {
+                    h.byte(1).usize(loc as usize).byte(annot_bits(a));
+                }
+                EventShape::Fence(f) => {
+                    h.byte(2).usize(f.index());
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// A short human-readable description (`threads=2+1 prefix=R0,W0,F`),
+    /// for sweep progress reporting and quarantine summaries.
+    pub fn label(&self) -> String {
+        let partition: Vec<String> = self.partition.iter().map(|p| p.to_string()).collect();
+        let prefix: Vec<String> = self
+            .prefix
+            .iter()
+            .map(|s| match s {
+                EventShape::Read(l, _) => format!("R{l}"),
+                EventShape::Write(l, _) => format!("W{l}"),
+                EventShape::Fence(_) => "F".to_string(),
+            })
+            .collect();
+        format!(
+            "threads={} prefix={}",
+            partition.join("+"),
+            prefix.join(",")
+        )
+    }
+}
+
+/// The annotation's stable bit pattern, shared by unit ids and the config
+/// fingerprint.
+fn annot_bits(a: Annot) -> u8 {
+    u8::from(a.acq) | u8::from(a.rel) << 1 | u8::from(a.sc) << 2 | u8::from(a.atomic) << 3
+}
+
+/// The partition × shape-prefix work units of the space of `config` at
+/// exactly `n` events, in deterministic order — the checkpointing granules
+/// a resumable sweep journals, shards and retries individually. Expanding a
+/// unit with [`enumerate_unit_incremental`] visits exactly the candidates
+/// the whole-space pipelines visit for it.
+pub fn work_units(config: &SynthConfig, n: usize) -> Vec<WorkUnit> {
+    produce_units(config, n)
+}
+
+/// Expands one work unit through the delta-threading enumeration on the
+/// calling thread: `sink` sees every `(execution, delta)` pair of the
+/// unit's subspace (a full delta opens each new shape vector, so a fresh
+/// stateful checker per unit is sound). `should_stop` is polled between
+/// shape vectors — a deadline or budget hook halts the unit cooperatively,
+/// in which case the partial visit count must not be banked as complete.
+/// Returns the number of candidates visited.
+pub fn enumerate_unit_incremental<S: FnMut(&Execution, &Delta)>(
+    config: &SynthConfig,
+    unit: &WorkUnit,
+    n: usize,
+    sink: &mut S,
+    should_stop: impl Fn() -> bool,
+) -> usize {
+    expand_unit_incremental(config, unit, n, sink, &should_stop)
 }
 
 /// Stage 1 of the pipeline: the partition × shape-prefix work units.
@@ -483,7 +572,7 @@ fn expand_unit(
     unit: &WorkUnit,
     n: usize,
     f: &(impl Fn(&Execution) + Sync),
-    should_stop: &(impl Fn() -> bool + Sync),
+    should_stop: &impl Fn() -> bool,
 ) -> usize {
     let mut count = 0;
     let mut shapes = unit.prefix.clone();

@@ -1,0 +1,66 @@
+//! A tiny FNV-1a 64-bit hasher, used for *stable* identifiers that must
+//! survive process restarts (checkpointed sweeps key their journal records
+//! by work-unit id). `std::hash` is deliberately avoided here: `RandomState`
+//! is seeded per process and `SipHasher`'s unkeyed variant is deprecated,
+//! while FNV-1a is trivially stable, endian-independent (we feed it bytes in
+//! little-endian order) and good enough for a few thousand ids.
+
+/// Incremental FNV-1a over a byte stream.
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Fnv1a {
+        Fnv1a(Self::OFFSET)
+    }
+
+    pub(crate) fn byte(&mut self, b: u8) -> &mut Self {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        self
+    }
+
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.byte(b);
+        }
+        self
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    pub(crate) fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(Fnv1a::new().finish(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv1a::new().bytes(b"a").finish(), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(
+            Fnv1a::new().bytes(b"foobar").finish(),
+            0x85944171f73967e8,
+            "multi-byte vector"
+        );
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        let ab = Fnv1a::new().byte(1).byte(2).finish();
+        let ba = Fnv1a::new().byte(2).byte(1).finish();
+        assert_ne!(ab, ba);
+    }
+}

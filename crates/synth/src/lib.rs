@@ -39,6 +39,7 @@
 mod canon;
 mod config;
 mod enumerate;
+mod hash;
 mod suite;
 mod weaken;
 
@@ -46,11 +47,12 @@ pub use canon::canonical_signature;
 pub use config::SynthConfig;
 pub use enumerate::{
     enumerate_all, enumerate_exact, enumerate_exact_incremental, enumerate_exact_incremental_until,
-    enumerate_exact_reference, enumerate_exact_until,
+    enumerate_exact_reference, enumerate_exact_until, enumerate_unit_incremental, work_units,
+    WorkUnit,
 };
 pub use suite::{
-    find_distinguishing, synthesise_suites, synthesise_suites_per_execution, SuiteReport,
-    SynthesisedTest,
+    assemble_suites, find_distinguishing, minimal_under_weakenings, synthesise_suites,
+    synthesise_suites_per_execution, SuiteReport, SynthesisedTest,
 };
 pub use weaken::{
     apply_weakening_edits, undo_weakening_edits, weakening_edits, weakenings,

@@ -150,7 +150,13 @@ impl DeltaChecker for CatalogProbe<'_> {
 /// weakenings are applied to a reusable probe buffer and undone; every
 /// probe is bracketed by checker savepoint/rollback, so the checker's live
 /// state (which describes `exec`) survives untouched.
-fn minimal_under_weakenings(
+///
+/// Public because the checkpointed sweep runner (`tm-sweep`) rebuilds the
+/// per-unit Forbid sink out of this probe plus [`enumerate_unit_incremental`]
+/// (see [`crate::enumerate_unit_incremental`]); keeping one implementation
+/// is what makes an interrupted-and-resumed sweep provably identical to
+/// this crate's [`synthesise_suites`].
+pub fn minimal_under_weakenings(
     checker: &mut dyn DeltaChecker,
     exec: &Execution,
     probe_buf: &mut Option<Execution>,
@@ -334,7 +340,7 @@ pub fn synthesise_suites(
         })
     };
 
-    finish_report(
+    assemble_suites(
         tm_model,
         events,
         enumerated,
@@ -382,7 +388,7 @@ pub fn synthesise_suites_per_execution(
             .push((sig, exec.clone(), start.elapsed()));
     });
 
-    finish_report(
+    assemble_suites(
         tm_model,
         events,
         enumerated,
@@ -391,9 +397,14 @@ pub fn synthesise_suites_per_execution(
     )
 }
 
-/// Sorts, deduplicates and packages the Forbid candidates, then derives the
-/// Allow suite — shared by every synthesis pipeline.
-fn finish_report(
+/// Sorts, deduplicates and packages the Forbid candidates (triples of
+/// canonical signature, execution and time-to-find), then derives the Allow
+/// suite — shared by every synthesis pipeline, including the checkpointed
+/// sweep runner, which feeds it candidates merged from journalled work
+/// units. Candidates are sorted by `(signature, found_after)` and
+/// deduplicated by signature, so the suites depend only on the candidate
+/// *set* handed in, not on worker interleaving.
+pub fn assemble_suites(
     tm_model: &dyn MemoryModel,
     events: usize,
     enumerated: usize,

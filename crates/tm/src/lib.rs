@@ -17,6 +17,9 @@
 //!   suites (the Memalloy replacement);
 //! * [`sim`] — operational weak-memory + HTM simulators (the hardware
 //!   replacement) and a litmus runner;
+//! * [`sweep`] — checkpointed, crash-resilient sharded sweep runs over the
+//!   enumeration space (journalled work-unit frontier with resume, retry
+//!   and fault injection);
 //! * [`metatheory`] — monotonicity, compilation and lock-elision checking,
 //!   plus the bounded checks of Theorems 7.2 and 7.3;
 //! * [`relation`] — the underlying finite relation algebra.
@@ -43,6 +46,7 @@ pub use tm_metatheory as metatheory;
 pub use tm_models as models;
 pub use tm_relation as relation;
 pub use tm_sim as sim;
+pub use tm_sweep as sweep;
 pub use tm_synth as synth;
 
 #[cfg(test)]
