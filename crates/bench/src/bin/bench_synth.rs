@@ -28,7 +28,7 @@
 //! of the sweep accumulates from PR to PR instead of being overwritten.
 
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use tm_exec::ir::Delta;
@@ -37,8 +37,10 @@ use tm_models::ir::IncrementalChecker;
 use tm_models::{MemoryModel, Target, X86Model};
 use tm_relation::Relation;
 use tm_synth::{
-    enumerate_exact, enumerate_exact_incremental, enumerate_exact_reference, synthesise_suites,
-    synthesise_suites_per_execution, SuiteReport, SynthConfig,
+    enumerate_exact, enumerate_exact_incremental, enumerate_exact_reference,
+    enumerate_reduced_incremental, labelled_orbit, synthesise_suites,
+    synthesise_suites_per_execution, synthesise_suites_with, CanonSig, SuiteReport, Symmetry,
+    SynthConfig,
 };
 
 // ---- the pre-refactor x86 check, kept verbatim as the measured baseline ---
@@ -118,6 +120,17 @@ fn sweep_config(max_events: usize) -> SynthConfig {
     cfg
 }
 
+/// The symmetry-study configuration: three threads instead of two. With a
+/// third thread the thread-renaming group is big enough for canonical-form
+/// pruning to pay (the 2-thread space is mostly asymmetric partitions), so
+/// this is where the `symmetry` mode measures its effective throughput —
+/// against a full delta-threading sweep of the *same* space.
+fn sweep_config_3t(max_events: usize) -> SynthConfig {
+    let mut cfg = sweep_config(max_events);
+    cfg.max_threads = 3;
+    cfg
+}
+
 struct Mode {
     name: &'static str,
     executions: usize,
@@ -126,11 +139,19 @@ struct Mode {
     /// guarantee they computed the same thing.
     consistent: usize,
     seconds: f64,
+    /// For symmetry-reduced modes: the orbit-weighted candidate count the
+    /// sweep covered (labelled orbits `k!·l!/|Stab|` for the counts study,
+    /// in-space orbits for suite synthesis). `None` for full sweeps.
+    effective: Option<u64>,
 }
 
 impl Mode {
     fn execs_per_sec(&self) -> f64 {
         self.executions as f64 / self.seconds.max(f64::EPSILON)
+    }
+
+    fn effective_per_sec(&self) -> f64 {
+        self.effective.unwrap_or(self.executions as u64) as f64 / self.seconds.max(f64::EPSILON)
     }
 }
 
@@ -154,6 +175,7 @@ fn run_baseline(cfg: &SynthConfig, max_events: usize) -> Mode {
         checks,
         consistent,
         seconds: start.elapsed().as_secs_f64(),
+        effective: None,
     }
 }
 
@@ -184,6 +206,7 @@ fn run_ir(cfg: &SynthConfig, max_events: usize) -> Mode {
         checks: checks.into_inner(),
         consistent: consistent.into_inner(),
         seconds: start.elapsed().as_secs_f64(),
+        effective: None,
     }
 }
 
@@ -216,6 +239,7 @@ fn run_incremental(cfg: &SynthConfig, max_events: usize) -> Mode {
         checks: checks.into_inner(),
         consistent: consistent.into_inner(),
         seconds: start.elapsed().as_secs_f64(),
+        effective: None,
     }
 }
 
@@ -256,6 +280,7 @@ fn run_cat_loaded(cfg: &SynthConfig, max_events: usize) -> Mode {
         checks: checks.into_inner(),
         consistent: consistent.into_inner(),
         seconds: start.elapsed().as_secs_f64(),
+        effective: None,
     }
 }
 
@@ -285,14 +310,15 @@ fn run_suite(cfg: &SynthConfig, max_events: usize, incremental: bool) -> (Mode, 
         // The Forbid count doubles as the cross-pipeline agreement check.
         consistent: report.forbid.len(),
         seconds: start.elapsed().as_secs_f64(),
+        effective: None,
     };
     (mode, report)
 }
 
-/// The signatures of a synthesised suite, for old-vs-new comparison.
-fn suite_signatures(report: &SuiteReport) -> (Vec<String>, Vec<String>) {
+/// The signatures of a synthesised suite, for cross-pipeline comparison.
+fn suite_signatures(report: &SuiteReport) -> (Vec<CanonSig>, Vec<CanonSig>) {
     let sigs = |tests: &[tm_synth::SynthesisedTest]| {
-        let mut sigs: Vec<String> = tests
+        let mut sigs: Vec<CanonSig> = tests
             .iter()
             .map(|t| tm_synth::canonical_signature(&t.execution))
             .collect();
@@ -300,6 +326,111 @@ fn suite_signatures(report: &SuiteReport) -> (Vec<String>, Vec<String>) {
         sigs
     };
     (sigs(&report.forbid), sigs(&report.allow))
+}
+
+/// The symmetry study: a full delta-threading counts sweep and a
+/// symmetry-reduced one over the *same* 3-thread space. The reduced sweep
+/// visits one canonical representative per thread/location-renaming class;
+/// its in-space orbit-weighted totals are asserted equal to the full
+/// sweep's (exactness), and its *effective* throughput counts each
+/// representative with its fully-labelled orbit size `k!·l!/|Stab|` — the
+/// number of labelled isomorphic copies the paper's SAT backend would have
+/// had to refute one by one.
+fn run_symmetry_pair(cfg: &SynthConfig, max_events: usize) -> (Mode, Mode) {
+    // Full sweep of the 3-thread space (the "before").
+    let mut executions = 0usize;
+    let checks = AtomicUsize::new(0);
+    let consistent = AtomicUsize::new(0);
+    let start = Instant::now();
+    for n in 2..=max_events {
+        executions += enumerate_exact_incremental(cfg, n, || {
+            let mut checker = IncrementalChecker::new();
+            let (checks, consistent) = (&checks, &consistent);
+            move |exec: &Execution, delta: &Delta| {
+                checker.advance(exec, delta);
+                for target in [Target::X86Tm, Target::X86] {
+                    if checker.is_consistent(exec, target) {
+                        consistent.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                checks.fetch_add(2, Ordering::Relaxed);
+            }
+        });
+    }
+    let full = Mode {
+        name: "ir-incremental-3t",
+        executions,
+        checks: checks.into_inner(),
+        consistent: consistent.into_inner(),
+        seconds: start.elapsed().as_secs_f64(),
+        effective: None,
+    };
+
+    // Symmetry-reduced sweep of the same space.
+    let mut representatives = 0usize;
+    let mut weighted = 0u64;
+    let checks = AtomicUsize::new(0);
+    let weighted_consistent = AtomicU64::new(0);
+    let effective = AtomicU64::new(0);
+    let start = Instant::now();
+    for n in 2..=max_events {
+        let tally = enumerate_reduced_incremental(cfg, n, || {
+            let mut checker = IncrementalChecker::new();
+            let (checks, weighted_consistent, effective) =
+                (&checks, &weighted_consistent, &effective);
+            move |exec: &Execution, delta: &Delta, orbit: u64| {
+                checker.advance(exec, delta);
+                for target in [Target::X86Tm, Target::X86] {
+                    if checker.is_consistent(exec, target) {
+                        weighted_consistent.fetch_add(orbit, Ordering::Relaxed);
+                    }
+                }
+                checks.fetch_add(2, Ordering::Relaxed);
+                effective.fetch_add(labelled_orbit(exec, orbit), Ordering::Relaxed);
+            }
+        });
+        representatives += tally.representatives;
+        weighted += tally.weighted;
+    }
+    let reduced = Mode {
+        name: "symmetry",
+        executions: representatives,
+        checks: checks.into_inner(),
+        // Orbit-weighted consistent count — must match the full sweep's.
+        consistent: weighted_consistent.into_inner() as usize,
+        seconds: start.elapsed().as_secs_f64(),
+        effective: Some(effective.into_inner()),
+    };
+
+    // Exactness: representatives weighted by in-space orbit size cover the
+    // full space, verdict for verdict.
+    assert_eq!(
+        weighted, full.executions as u64,
+        "symmetry reduction must cover the full space orbit for orbit"
+    );
+    assert_eq!(
+        reduced.consistent, full.consistent,
+        "symmetry reduction must reach the full sweep's verdicts orbit for orbit"
+    );
+    (full, reduced)
+}
+
+/// Suite synthesis under symmetry reduction — the suites must be identical
+/// to the full pipeline's (checked in `main`).
+fn run_suite_symmetry(cfg: &SynthConfig, max_events: usize) -> (Mode, SuiteReport) {
+    let tm = X86Model::tm();
+    let base = X86Model::baseline();
+    let start = Instant::now();
+    let report = synthesise_suites_with(&tm, &base, cfg, max_events, Symmetry::Reduced);
+    let mode = Mode {
+        name: "suite-symmetry",
+        executions: report.enumerated,
+        checks: report.enumerated * 2,
+        consistent: report.forbid.len(),
+        seconds: start.elapsed().as_secs_f64(),
+        effective: Some(report.effective),
+    };
+    (mode, report)
 }
 
 /// The shipped `.cat` models, whether the bench runs from the repository
@@ -379,19 +510,36 @@ fn main() {
         run_incremental(&cfg, max_events),
         run_cat_loaded(&cfg, max_events),
     ];
+    eprintln!("symmetry: x86-trimmed-3t, |E| = 2..={max_events}, full vs symmetry-reduced");
+    let cfg3 = sweep_config_3t(max_events);
+    let (full3, symmetry) = run_symmetry_pair(&cfg3, max_events);
     eprintln!("suites: x86-trimmed, |E| = {max_events}, x86+TM vs x86 (Forbid + Allow)");
     let (suite_old, old_report) = run_suite(&cfg, max_events, false);
     let (suite_new, new_report) = run_suite(&cfg, max_events, true);
-    let suite_modes = [suite_old, suite_new];
-    for mode in modes.iter().chain(&suite_modes) {
-        eprintln!(
-            "{:<17}: {} executions ({} checks) in {:.3}s = {:.0} execs/s",
-            mode.name,
-            mode.executions,
-            mode.checks,
-            mode.seconds,
-            mode.execs_per_sec()
-        );
+    let (suite_sym, sym_report) = run_suite_symmetry(&cfg, max_events);
+    let suite_modes = [suite_old, suite_new, suite_sym];
+    let symmetry_modes = [full3, symmetry];
+    for mode in modes.iter().chain(&symmetry_modes).chain(&suite_modes) {
+        match mode.effective {
+            Some(effective) => eprintln!(
+                "{:<17}: {} representatives covering {} ({} checks) in {:.3}s = {:.0} \
+                 effective execs/s",
+                mode.name,
+                mode.executions,
+                effective,
+                mode.checks,
+                mode.seconds,
+                mode.effective_per_sec()
+            ),
+            None => eprintln!(
+                "{:<17}: {} executions ({} checks) in {:.3}s = {:.0} execs/s",
+                mode.name,
+                mode.executions,
+                mode.checks,
+                mode.seconds,
+                mode.execs_per_sec()
+            ),
+        }
     }
     let [baseline, ir, incremental, cat_loaded] = &modes;
     for mode in [ir, incremental, cat_loaded] {
@@ -416,8 +564,25 @@ fn main() {
         new_report.forbid_txn_histogram(),
         "old and new suite pipelines disagree on the txn histogram"
     );
-    let [suite_old, suite_new] = &suite_modes;
+    // Symmetry-reduced synthesis must build the very same suites as the
+    // full sweep, and its in-space orbits must cover the full space exactly.
+    assert_eq!(
+        suite_signatures(&new_report),
+        suite_signatures(&sym_report),
+        "symmetry-reduced suites differ from the full sweep's"
+    );
+    assert_eq!(
+        new_report.forbid_txn_histogram(),
+        sym_report.forbid_txn_histogram(),
+        "symmetry-reduced suites disagree on the txn histogram"
+    );
+    assert_eq!(
+        sym_report.effective, new_report.enumerated as u64,
+        "orbit-weighted coverage must equal the full enumeration count"
+    );
+    let [suite_old, suite_new, _suite_sym] = &suite_modes;
     assert_eq!(suite_old.executions, suite_new.executions);
+    let [full3, symmetry] = &symmetry_modes;
 
     let ir_speedup = ir.execs_per_sec() / baseline.execs_per_sec();
     let incremental_speedup = incremental.execs_per_sec() / baseline.execs_per_sec();
@@ -425,11 +590,13 @@ fn main() {
     let cat_speedup = cat_loaded.execs_per_sec() / baseline.execs_per_sec();
     let cat_vs_incremental = cat_loaded.execs_per_sec() / incremental.execs_per_sec();
     let suite_speedup = suite_new.execs_per_sec() / suite_old.execs_per_sec();
+    let symmetry_effective_ratio = symmetry.effective_per_sec() / full3.execs_per_sec();
     eprintln!(
         "speedup over baseline: ir {ir_speedup:.2}x, ir-incremental {incremental_speedup:.2}x \
          (incremental/ir {incremental_vs_ir:.2}x), cat-loaded {cat_speedup:.2}x \
          (cat/incremental {cat_vs_incremental:.2}x), \
-         suite-incremental/suite-per-exec {suite_speedup:.2}x"
+         suite-incremental/suite-per-exec {suite_speedup:.2}x, \
+         symmetry effective/full-3t {symmetry_effective_ratio:.2}x"
     );
     // Hash-consing must keep the text-loaded pipeline within noise of the
     // compiled-in one; only gate when the run is long enough to mean it.
@@ -448,6 +615,17 @@ fn main() {
             "suite-incremental fell to {suite_speedup:.2}x of suite-per-exec"
         );
     }
+    // Symmetry reduction must clearly pay its canonicity overhead back: on
+    // the 3-thread space, labelled-orbit effective throughput has to beat
+    // the full incremental sweep by at least 3x (the |E| = 6 acceptance
+    // bar); only gated on runs long enough to measure.
+    if full3.seconds >= 0.5 {
+        assert!(
+            symmetry_effective_ratio >= 3.0,
+            "symmetry effective throughput fell to {symmetry_effective_ratio:.2}x of the \
+             full 3-thread sweep"
+        );
+    }
 
     let mut run = String::new();
     run.push_str("    {\n");
@@ -463,12 +641,24 @@ fn main() {
             .unwrap_or(1)
     );
     let _ = writeln!(run, "      \"modes\": {{");
-    let all_modes: Vec<&Mode> = modes.iter().chain(&suite_modes).collect();
+    let all_modes: Vec<&Mode> = modes
+        .iter()
+        .chain(&symmetry_modes)
+        .chain(&suite_modes)
+        .collect();
     for (i, mode) in all_modes.iter().enumerate() {
         let _ = writeln!(run, "        \"{}\": {{", mode.name);
         let _ = writeln!(run, "          \"executions\": {},", mode.executions);
         let _ = writeln!(run, "          \"checks\": {},", mode.checks);
         let _ = writeln!(run, "          \"seconds\": {:.6},", mode.seconds);
+        if let Some(effective) = mode.effective {
+            let _ = writeln!(run, "          \"effective_executions\": {effective},");
+            let _ = writeln!(
+                run,
+                "          \"effective_per_sec\": {:.1},",
+                mode.effective_per_sec()
+            );
+        }
         let _ = writeln!(
             run,
             "          \"executions_per_sec\": {:.1}",
@@ -498,7 +688,11 @@ fn main() {
     );
     let _ = writeln!(
         run,
-        "        \"suite_incremental_vs_per_exec\": {suite_speedup:.3}"
+        "        \"suite_incremental_vs_per_exec\": {suite_speedup:.3},"
+    );
+    let _ = writeln!(
+        run,
+        "        \"symmetry_effective_vs_incremental_3t\": {symmetry_effective_ratio:.3}"
     );
     let _ = writeln!(run, "      }}");
     run.push_str("    }");

@@ -15,11 +15,15 @@
 //!
 //! `sweep` options:
 //!   --events N      event bound (default 4)
-//!   --config C      enumeration preset: x86 | power | armv8 | cpp
+//!   --config C      enumeration preset: x86 | x86-trimmed | x86-trimmed-3t |
+//!                   power | armv8 | cpp
 //!   --expect TARGET compare per-execution consistency against a built-in
 //!                   model and exit non-zero on any drift
 //!   --incremental   drive the delta-threading enumeration instead of the
 //!                   per-execution pipeline (verdicts must agree)
+//!   --symmetry on|off  `on` visits one canonical representative per
+//!                   thread/location-renaming class, reporting both
+//!                   representative and orbit-weighted totals (default off)
 //!   --suites        synthesise the Forbid/Allow conformance suites (Table 1)
 //!                   for the loaded model against --baseline FILE, via the
 //!                   incremental pipeline (per-worker stateful checkers,
@@ -60,7 +64,10 @@ use tm_sweep::{
     merge_sharded, run_sweep, supervise, FailPlan, SupervisorOptions, SweepJob, SweepMode,
     SweepOptions, SweepOutcome, SweepStatus,
 };
-use tm_synth::{enumerate_exact, enumerate_exact_incremental, synthesise_suites, SynthConfig};
+use tm_synth::{
+    enumerate_exact, enumerate_exact_incremental, enumerate_reduced_incremental,
+    synthesise_suites_with, Symmetry, SynthConfig,
+};
 
 /// Exit code for a sweep that finished degraded (quarantined units) or ran
 /// out of budget with units still pending.
@@ -86,11 +93,25 @@ fn parse_target(name: &str) -> Result<Target, String> {
 fn parse_config(name: &str, events: usize) -> Result<SynthConfig, String> {
     match name {
         "x86" => Ok(SynthConfig::x86(events)),
+        // The trimmed Table-1 study space (the `bench_synth` configuration):
+        // no RMWs or fences, two locations, one transaction, and two or
+        // three threads. `-3t` is the symmetry-study variant — with a third
+        // thread the renaming group is large enough for `--symmetry on` to
+        // pay, which is what makes |E| = 7 sweeps of this space tractable.
+        "x86-trimmed" | "x86-trimmed-3t" => {
+            let mut cfg = SynthConfig::x86(events);
+            cfg.max_threads = if name.ends_with("-3t") { 3 } else { 2 };
+            cfg.max_locs = 2;
+            cfg.rmws = false;
+            cfg.max_txns = 1;
+            Ok(cfg)
+        }
         "power" => Ok(SynthConfig::power(events)),
         "armv8" => Ok(SynthConfig::armv8(events)),
         "cpp" => Ok(SynthConfig::cpp(events)),
         other => Err(format!(
-            "unknown config `{other}` (expected x86, power, armv8 or cpp)"
+            "unknown config `{other}` (expected x86, x86-trimmed, x86-trimmed-3t, \
+             power, armv8 or cpp)"
         )),
     }
 }
@@ -99,8 +120,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tm-cat list\n  tm-cat print <target>\n  tm-cat check <file.cat> \
          [--litmus NAME]... [--expect TARGET] [--program]\n  tm-cat sweep <file.cat> \
-         [--events N] [--config x86|power|armv8|cpp] [--expect TARGET] [--incremental] \
-         [--suites --baseline <file.cat>]\n                [--checkpoint DIR [--resume] \
+         [--events N] [--config x86|x86-trimmed[-3t]|power|armv8|cpp] [--expect TARGET] \
+         [--incremental] \
+         [--symmetry on|off]\n                [--suites --baseline <file.cat>] \
+         [--checkpoint DIR [--resume] \
          [--shard I/M | --supervise M] [--budget SECS]\n                 [--unit-deadline SECS] \
          [--retries N] [--backoff-ms MS] [--sync-batch N]\n                 [--fail-plan KIND:K]]"
     );
@@ -260,6 +283,7 @@ struct SweepArgs {
     config_name: String,
     expect: Option<Target>,
     incremental: bool,
+    symmetry: Symmetry,
     suites: bool,
     baseline_path: Option<String>,
     checkpoint: Option<PathBuf>,
@@ -306,6 +330,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, ExitCode> {
         config_name: "x86".to_string(),
         expect: None,
         incremental: false,
+        symmetry: Symmetry::Full,
         suites: false,
         baseline_path: None,
         checkpoint: None,
@@ -340,9 +365,9 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, ExitCode> {
                 parsed.resume = true;
                 i += 1;
             }
-            "--baseline" | "--events" | "--config" | "--expect" | "--checkpoint" | "--shard"
-            | "--supervise" | "--budget" | "--unit-deadline" | "--retries" | "--backoff-ms"
-            | "--sync-batch" | "--fail-plan" => {
+            "--baseline" | "--events" | "--config" | "--expect" | "--symmetry" | "--checkpoint"
+            | "--shard" | "--supervise" | "--budget" | "--unit-deadline" | "--retries"
+            | "--backoff-ms" | "--sync-batch" | "--fail-plan" => {
                 let Some(value) = value else {
                     return Err(fail(format!("{flag} expects a value")));
                 };
@@ -355,6 +380,7 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, ExitCode> {
                     }
                     "--config" => parsed.config_name = value.clone(),
                     "--expect" => parsed.expect = Some(parse_target(value).map_err(fail)?),
+                    "--symmetry" => parsed.symmetry = Symmetry::parse(value).map_err(fail)?,
                     "--checkpoint" => parsed.checkpoint = Some(PathBuf::from(value)),
                     "--shard" => parsed.shard = Some(parse_shard(value).map_err(fail)?),
                     "--supervise" => {
@@ -477,6 +503,7 @@ fn sweep(args: &[String]) -> ExitCode {
             baseline.as_ref().expect("validated above"),
             &config,
             parsed.events,
+            parsed.symmetry,
         );
     }
     sweep_legacy(&parsed, &model, &config)
@@ -486,22 +513,52 @@ fn sweep(args: &[String]) -> ExitCode {
 fn sweep_legacy(parsed: &SweepArgs, model: &IrModel, config: &SynthConfig) -> ExitCode {
     let events = parsed.events;
     let incremental = parsed.incremental;
+    let reduced = parsed.symmetry.is_reduced();
     println!(
-        "sweeping `{}` over the {} space, |E| <= {events}{}",
+        "sweeping `{}` over the {} space, |E| <= {events}{}{}",
         model.name(),
         parsed.config_name,
-        if incremental { " (incremental)" } else { "" }
+        if incremental { " (incremental)" } else { "" },
+        if reduced { " (symmetry-reduced)" } else { "" }
     );
 
     let reference = parsed.expect.map(|t| t.model());
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
     let total = AtomicUsize::new(0);
     let consistent = AtomicUsize::new(0);
+    let weighted_consistent = AtomicU64::new(0);
     let drift = AtomicUsize::new(0);
     let start = std::time::Instant::now();
     let mut executions = 0usize;
+    let mut weighted_executions = 0u64;
     for n in 2..=events {
-        if incremental {
+        if reduced {
+            // Symmetry-reduced: visit one canonical representative per
+            // isomorphism class, counting each with its orbit size so the
+            // totals still describe the full space.
+            let tally = enumerate_reduced_incremental(config, n, || {
+                let mut checker = model.incremental();
+                let (total, consistent, weighted_consistent, drift) =
+                    (&total, &consistent, &weighted_consistent, &drift);
+                let reference = &reference;
+                move |exec: &Execution, delta: &tm_exec::ir::Delta, orbit: u64| {
+                    checker.advance(exec, delta);
+                    let ok = checker.is_consistent(exec);
+                    total.fetch_add(1, Ordering::Relaxed);
+                    if ok {
+                        consistent.fetch_add(1, Ordering::Relaxed);
+                        weighted_consistent.fetch_add(orbit, Ordering::Relaxed);
+                    }
+                    if let Some(reference) = reference {
+                        if reference.is_consistent(exec) != ok {
+                            drift.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+            executions += tally.representatives;
+            weighted_executions += tally.weighted;
+        } else if incremental {
             executions += enumerate_exact_incremental(config, n, || {
                 let mut checker = model.incremental();
                 let (total, consistent, drift) = (&total, &consistent, &drift);
@@ -536,12 +593,28 @@ fn sweep_legacy(parsed: &SweepArgs, model: &IrModel, config: &SynthConfig) -> Ex
         }
     }
     let secs = start.elapsed().as_secs_f64();
-    println!(
-        "{executions} executions in {secs:.3}s ({:.0} execs/s): {} consistent, {} forbidden",
-        executions as f64 / secs.max(f64::EPSILON),
-        consistent.load(Ordering::Relaxed),
-        total.load(Ordering::Relaxed) - consistent.load(Ordering::Relaxed),
-    );
+    if reduced {
+        let consistent = consistent.load(Ordering::Relaxed);
+        let weighted_consistent = weighted_consistent.load(Ordering::Relaxed);
+        println!(
+            "{executions} representatives in {secs:.3}s ({:.0} effective execs/s): \
+             {consistent} consistent, {} forbidden",
+            weighted_executions as f64 / secs.max(f64::EPSILON),
+            executions - consistent,
+        );
+        println!(
+            "orbit-weighted: {weighted_executions} executions: {weighted_consistent} consistent, \
+             {} forbidden",
+            weighted_executions - weighted_consistent,
+        );
+    } else {
+        println!(
+            "{executions} executions in {secs:.3}s ({:.0} execs/s): {} consistent, {} forbidden",
+            executions as f64 / secs.max(f64::EPSILON),
+            consistent.load(Ordering::Relaxed),
+            total.load(Ordering::Relaxed) - consistent.load(Ordering::Relaxed),
+        );
+    }
     if let Some(target) = parsed.expect {
         let drift = drift.load(Ordering::Relaxed);
         if drift > 0 {
@@ -570,19 +643,35 @@ fn sweep_suites(
     baseline: &IrModel,
     config: &SynthConfig,
     events: usize,
+    symmetry: Symmetry,
 ) -> ExitCode {
     println!(
-        "synthesising Forbid/Allow suites: `{}` vs baseline `{}`, |E| = {events}",
+        "synthesising Forbid/Allow suites: `{}` vs baseline `{}`, |E| = {events}{}",
         model.name(),
-        baseline.name()
+        baseline.name(),
+        if symmetry.is_reduced() {
+            " (symmetry-reduced)"
+        } else {
+            ""
+        }
     );
-    let report = synthesise_suites(model, baseline, config, events);
-    println!(
-        "{} executions in {:.3}s ({:.0} execs/s)",
-        report.enumerated,
-        report.elapsed.as_secs_f64(),
-        report.enumerated as f64 / report.elapsed.as_secs_f64().max(f64::EPSILON),
-    );
+    let report = synthesise_suites_with(model, baseline, config, events, symmetry);
+    if symmetry.is_reduced() {
+        println!(
+            "{} representatives ({} executions covered) in {:.3}s ({:.0} effective execs/s)",
+            report.enumerated,
+            report.effective,
+            report.elapsed.as_secs_f64(),
+            report.effective as f64 / report.elapsed.as_secs_f64().max(f64::EPSILON),
+        );
+    } else {
+        println!(
+            "{} executions in {:.3}s ({:.0} execs/s)",
+            report.enumerated,
+            report.elapsed.as_secs_f64(),
+            report.enumerated as f64 / report.elapsed.as_secs_f64().max(f64::EPSILON),
+        );
+    }
     print_suite_lines(&report);
     ExitCode::SUCCESS
 }
@@ -628,8 +717,16 @@ fn report_outcome(parsed: &SweepArgs, outcome: &SweepOutcome, secs: f64) -> u8 {
             q.reason
         );
     }
+    let reduced = parsed.symmetry.is_reduced();
     if let Some(report) = &outcome.suites {
-        println!("{} executions enumerated", outcome.visited);
+        if reduced {
+            println!(
+                "{} representatives enumerated ({} executions covered)",
+                outcome.visited, outcome.weighted_visited
+            );
+        } else {
+            println!("{} executions enumerated", outcome.visited);
+        }
         print_suite_lines(report);
     } else if parsed.suites {
         println!(
@@ -643,6 +740,14 @@ fn report_outcome(parsed: &SweepArgs, outcome: &SweepOutcome, secs: f64) -> u8 {
             outcome.consistent,
             outcome.visited - outcome.consistent,
         );
+        if reduced {
+            println!(
+                "orbit-weighted: {} executions: {} consistent, {} forbidden",
+                outcome.weighted_visited,
+                outcome.weighted_consistent,
+                outcome.weighted_visited - outcome.weighted_consistent,
+            );
+        }
     }
     match outcome.status {
         SweepStatus::BudgetExhausted => {
@@ -699,6 +804,7 @@ fn sweep_checkpointed(
         },
         config,
         events: parsed.events,
+        symmetry: parsed.symmetry,
     };
     let checkpoint = parsed.checkpoint.clone().expect("checked by caller");
     println!(
@@ -771,6 +877,7 @@ fn sweep_supervised(parsed: &SweepArgs) -> ExitCode {
         if let Some(t) = parsed.expect {
             cmd.arg("--expect").arg(t.name());
         }
+        cmd.arg("--symmetry").arg(parsed.symmetry.to_string());
         cmd.arg("--checkpoint").arg(shard_dir(i));
         // --resume makes restarts continue the shard's journal; on the
         // first launch the journal does not exist yet and --resume is a
@@ -856,6 +963,7 @@ fn sweep_supervised(parsed: &SweepArgs) -> ExitCode {
         },
         config: &config,
         events: parsed.events,
+        symmetry: parsed.symmetry,
     };
     let dirs: Vec<PathBuf> = (0..shards).map(shard_dir).collect();
     match merge_sharded(&job, &dirs) {

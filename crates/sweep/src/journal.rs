@@ -10,7 +10,7 @@
 //! ## On-disk format
 //!
 //! ```text
-//! header  := magic "TMSWEEP\x01" (8 bytes) | version u32 LE (= 1)
+//! header  := magic "TMSWEEP\x01" (8 bytes) | version u32 LE (= 2)
 //! record  := kind u8 | len u32 LE | payload (len bytes) | crc u32 LE
 //! ```
 //!
@@ -27,7 +27,9 @@ use std::path::Path;
 pub const JOURNAL_FILE: &str = "sweep.journal";
 
 const MAGIC: &[u8; 8] = b"TMSWEEP\x01";
-const VERSION: u32 = 1;
+// Version 2 added the orbit-weighted counters to `UnitDone` (symmetry-reduced
+// sweeps); version-1 journals are rejected rather than reinterpreted.
+const VERSION: u32 = 2;
 const HEADER_LEN: u64 = 12;
 
 /// Cap on a single record's payload; anything larger is treated as a torn
@@ -73,12 +75,20 @@ pub enum Record {
     UnitDone {
         /// Stable id of the unit (see `WorkUnit::stable_id`).
         unit_id: u64,
-        /// Executions visited within the unit.
+        /// Executions visited within the unit (canonical representatives
+        /// only, under symmetry reduction).
         visited: u64,
-        /// Executions the model found consistent (counts mode).
+        /// Executions the model found consistent (counts mode; canonical
+        /// representatives only, under symmetry reduction).
         consistent: u64,
         /// Verdict disagreements against the reference checker.
         drift: u64,
+        /// Orbit-weighted visit count: each visited execution counted with
+        /// its isomorphism-orbit size. Equals `visited` in a full sweep.
+        weighted_visited: u64,
+        /// Orbit-weighted consistent count. Equals `consistent` in a full
+        /// sweep.
+        weighted_consistent: u64,
         /// Encoded Forbid candidates found in the unit (suites mode).
         candidates: Vec<Vec<u8>>,
     },
@@ -159,12 +169,16 @@ impl Record {
                 visited,
                 consistent,
                 drift,
+                weighted_visited,
+                weighted_consistent,
                 candidates,
             } => {
                 put_u64(&mut out, *unit_id);
                 put_u64(&mut out, *visited);
                 put_u64(&mut out, *consistent);
                 put_u64(&mut out, *drift);
+                put_u64(&mut out, *weighted_visited);
+                put_u64(&mut out, *weighted_consistent);
                 put_u32(&mut out, candidates.len() as u32);
                 for c in candidates {
                     put_u32(&mut out, c.len() as u32);
@@ -206,6 +220,8 @@ impl Record {
                 let visited = c.u64()?;
                 let consistent = c.u64()?;
                 let drift = c.u64()?;
+                let weighted_visited = c.u64()?;
+                let weighted_consistent = c.u64()?;
                 let count = c.u32()? as usize;
                 let mut candidates = Vec::with_capacity(count.min(1024));
                 for _ in 0..count {
@@ -217,6 +233,8 @@ impl Record {
                     visited,
                     consistent,
                     drift,
+                    weighted_visited,
+                    weighted_consistent,
                     candidates,
                 }
             }
@@ -437,6 +455,8 @@ mod tests {
                 visited: 1000,
                 consistent: 12,
                 drift: 0,
+                weighted_visited: 4000,
+                weighted_consistent: 48,
                 candidates: vec![vec![1, 2, 3], vec![]],
             },
             Record::Quarantine {
@@ -449,6 +469,8 @@ mod tests {
                 visited: 5,
                 consistent: 5,
                 drift: 1,
+                weighted_visited: 5,
+                weighted_consistent: 5,
                 candidates: vec![],
             },
         ]

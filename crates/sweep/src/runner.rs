@@ -22,8 +22,8 @@ use tm_exec::ir::Delta;
 use tm_exec::{ExecView, Execution};
 use tm_models::MemoryModel;
 use tm_synth::{
-    assemble_suites, canonical_signature, enumerate_unit_incremental, minimal_under_weakenings,
-    work_units, SuiteReport, SynthConfig, WorkUnit,
+    assemble_suites, canonical_signature, enumerate_unit_incremental, enumerate_unit_reduced,
+    minimal_under_weakenings, work_units, CanonSig, SuiteReport, Symmetry, SynthConfig, WorkUnit,
 };
 
 use crate::codec::{decode_execution, encode_execution};
@@ -71,6 +71,12 @@ pub struct SweepJob<'a> {
     pub config: &'a SynthConfig,
     /// The event bound.
     pub events: usize,
+    /// Whether the enumeration visits the full space or one canonical
+    /// representative per isomorphism class. Part of the journal
+    /// fingerprint: a reduced journal's unit results (representative
+    /// counts, orbit weights) are not interchangeable with a full
+    /// journal's, so the two must never merge or resume into each other.
+    pub symmetry: Symmetry,
 }
 
 impl SweepJob<'_> {
@@ -82,6 +88,7 @@ impl SweepJob<'_> {
         h.u64(self.config.fingerprint());
         h.usize(self.events);
         h.byte(self.mode.byte());
+        h.byte(self.symmetry.byte());
         h.bytes(self.model.name().as_bytes());
         h.byte(0xFF);
         if let Some(b) = self.baseline {
@@ -248,12 +255,19 @@ pub struct QuarantinedUnit {
 pub struct SweepOutcome {
     /// How the run ended.
     pub status: SweepStatus,
-    /// Executions visited across all completed units.
+    /// Executions visited across all completed units (canonical
+    /// representatives only, under symmetry reduction).
     pub visited: u64,
-    /// Consistent executions (counts mode).
+    /// Consistent executions (counts mode; representatives only, under
+    /// symmetry reduction).
     pub consistent: u64,
     /// Verdict disagreements against the reference model (counts mode).
     pub drift: u64,
+    /// Orbit-weighted visit count — the full-space total a symmetry-reduced
+    /// sweep covered. Equals `visited` in a full sweep.
+    pub weighted_visited: u64,
+    /// Orbit-weighted consistent count. Equals `consistent` in a full sweep.
+    pub weighted_consistent: u64,
     /// The assembled suites (suites mode, unsharded runs and merges only —
     /// a single shard holds too little to assemble).
     pub suites: Option<SuiteReport>,
@@ -305,12 +319,17 @@ struct UnitRef {
     unit: WorkUnit,
 }
 
-/// What one completed unit contributed.
+/// What one completed unit contributed. Under [`Symmetry::Reduced`] the
+/// plain counters count canonical representatives and the `weighted_*`
+/// counters carry the orbit-weighted (full-space) totals; under
+/// [`Symmetry::Full`] the two coincide.
 #[derive(Clone, Default)]
 struct UnitResult {
     visited: u64,
     consistent: u64,
     drift: u64,
+    weighted_visited: u64,
+    weighted_consistent: u64,
     candidates: Vec<Vec<u8>>,
 }
 
@@ -375,7 +394,7 @@ fn all_units(job: &SweepJob<'_>) -> Result<Vec<UnitRef>, SweepError> {
     let mut units = Vec::new();
     let mut ids = HashSet::new();
     for n in job.sizes() {
-        for unit in work_units(job.config, n) {
+        for unit in work_units(job.config, n, job.symmetry) {
             let id = unit.stable_id(job.config, n);
             if !ids.insert(id) {
                 return Err(SweepError::Config(format!(
@@ -416,6 +435,8 @@ fn fold_records(records: Vec<Record>) -> Replayed {
                 visited,
                 consistent,
                 drift,
+                weighted_visited,
+                weighted_consistent,
                 candidates,
             } => {
                 // A completion supersedes any earlier quarantine of the
@@ -427,6 +448,8 @@ fn fold_records(records: Vec<Record>) -> Replayed {
                         visited,
                         consistent,
                         drift,
+                        weighted_visited,
+                        weighted_consistent,
                         candidates,
                     },
                 );
@@ -525,18 +548,18 @@ fn run_attempt(
     }
 
     let mut result = UnitResult::default();
-    let visited = match job.mode {
+    let (visited, weighted_visited) = match job.mode {
         SweepMode::Counts => {
             if let Some(mut checker) = job.model.incremental_checker() {
-                enumerate_unit_incremental(
-                    job.config,
-                    &unit.unit,
-                    unit.n,
-                    &mut |exec: &Execution, delta: &Delta| {
+                expand_unit(
+                    job,
+                    unit,
+                    &mut |exec: &Execution, delta: &Delta, orbit: u64| {
                         checker.advance(exec, delta);
                         let ok = checker.is_consistent(exec);
                         if ok {
                             result.consistent += 1;
+                            result.weighted_consistent += orbit;
                         }
                         if let Some(reference) = job.reference {
                             if reference.is_consistent(exec) != ok {
@@ -547,14 +570,14 @@ fn run_attempt(
                     should_stop,
                 )
             } else {
-                enumerate_unit_incremental(
-                    job.config,
-                    &unit.unit,
-                    unit.n,
-                    &mut |exec: &Execution, _delta: &Delta| {
+                expand_unit(
+                    job,
+                    unit,
+                    &mut |exec: &Execution, _delta: &Delta, orbit: u64| {
                         let ok = job.model.is_consistent(exec);
                         if ok {
                             result.consistent += 1;
+                            result.weighted_consistent += orbit;
                         }
                         if let Some(reference) = job.reference {
                             if reference.is_consistent(exec) != ok {
@@ -572,16 +595,15 @@ fn run_attempt(
                 && baseline.incremental_checker().is_some();
             // Per-unit signature filter: cheap duplicate suppression inside
             // the unit; the global deduplication happens at assembly.
-            let mut seen: HashSet<String> = HashSet::new();
+            let mut seen: HashSet<CanonSig> = HashSet::new();
             if incremental {
                 let mut tm_checker = job.model.incremental_checker().expect("probed above");
                 let mut base_checker = baseline.incremental_checker().expect("probed above");
                 let mut probe_buf: Option<Execution> = None;
-                enumerate_unit_incremental(
-                    job.config,
-                    &unit.unit,
-                    unit.n,
-                    &mut |exec: &Execution, delta: &Delta| {
+                expand_unit(
+                    job,
+                    unit,
+                    &mut |exec: &Execution, delta: &Delta, _orbit: u64| {
                         // Thread the delta before any early-out, exactly as
                         // the live pipeline does.
                         tm_checker.advance(exec, delta);
@@ -604,11 +626,10 @@ fn run_attempt(
                     should_stop,
                 )
             } else {
-                enumerate_unit_incremental(
-                    job.config,
-                    &unit.unit,
-                    unit.n,
-                    &mut |exec: &Execution, _delta: &Delta| {
+                expand_unit(
+                    job,
+                    unit,
+                    &mut |exec: &Execution, _delta: &Delta, _orbit: u64| {
                         if exec.txn_classes().is_empty() {
                             return;
                         }
@@ -645,8 +666,36 @@ fn run_attempt(
     if deadline_hit() {
         return Attempt::Deadline;
     }
-    result.visited = visited as u64;
+    result.visited = visited;
+    result.weighted_visited = weighted_visited;
     Attempt::Done(result)
+}
+
+/// Expands one unit in the job's [`Symmetry`] mode, handing every visited
+/// execution (with its orbit size — always 1 under [`Symmetry::Full`]) to
+/// `sink`. Returns `(visited, orbit-weighted visited)`.
+fn expand_unit(
+    job: &SweepJob<'_>,
+    unit: &UnitRef,
+    sink: &mut impl FnMut(&Execution, &Delta, u64),
+    should_stop: impl Fn() -> bool,
+) -> (u64, u64) {
+    match job.symmetry {
+        Symmetry::Full => {
+            let visited = enumerate_unit_incremental(
+                job.config,
+                &unit.unit,
+                unit.n,
+                &mut |exec: &Execution, delta: &Delta| sink(exec, delta, 1),
+                should_stop,
+            ) as u64;
+            (visited, visited)
+        }
+        Symmetry::Reduced => {
+            let tally = enumerate_unit_reduced(job.config, &unit.unit, unit.n, sink, should_stop);
+            (tally.representatives as u64, tally.weighted)
+        }
+    }
 }
 
 fn worker_threads(opts: &SweepOptions, todo: usize) -> usize {
@@ -758,6 +807,8 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
                                     visited: result.visited,
                                     consistent: result.consistent,
                                     drift: result.drift,
+                                    weighted_visited: result.weighted_visited,
+                                    weighted_consistent: result.weighted_consistent,
                                     candidates: result.candidates.clone(),
                                 };
                                 if let Err(e) = journal.lock().unwrap().append(&record) {
@@ -873,11 +924,15 @@ fn finalize(
     let mut visited = 0u64;
     let mut consistent = 0u64;
     let mut drift = 0u64;
+    let mut weighted_visited = 0u64;
+    let mut weighted_consistent = 0u64;
     for unit in &shard_units {
         if let Some(r) = results.get(&unit.id) {
             visited += r.visited;
             consistent += r.consistent;
             drift += r.drift;
+            weighted_visited += r.weighted_visited;
+            weighted_consistent += r.weighted_consistent;
         }
     }
 
@@ -887,6 +942,7 @@ fn finalize(
             shard_units.iter().map(|u| u.id),
             &results,
             visited,
+            weighted_visited,
         )?)
     } else {
         None
@@ -897,6 +953,8 @@ fn finalize(
         visited,
         consistent,
         drift,
+        weighted_visited,
+        weighted_consistent,
         suites,
         total_units,
         completed_units,
@@ -918,8 +976,9 @@ fn assemble(
     unit_ids: impl Iterator<Item = u64>,
     results: &HashMap<u64, UnitResult>,
     visited: u64,
+    weighted_visited: u64,
 ) -> Result<SuiteReport, SweepError> {
-    let mut decoded: Vec<(String, String, Execution)> = Vec::new();
+    let mut decoded: Vec<(CanonSig, String, Execution)> = Vec::new();
     for id in unit_ids {
         let Some(result) = results.get(&id) else {
             continue;
@@ -942,6 +1001,7 @@ fn assemble(
         job.model,
         job.events,
         visited as usize,
+        weighted_visited,
         candidates,
         Instant::now(),
     ))

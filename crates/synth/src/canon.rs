@@ -1,61 +1,234 @@
 //! Canonicalisation of executions up to thread and location renaming.
 
-use tm_exec::{Event, EventKind, Execution, Loc};
+use std::fmt;
+
+use tm_exec::{Event, EventKind, Execution, Loc, LockCall};
 use tm_relation::Relation;
 
-/// A canonical textual signature of `exec` that is invariant under thread
-/// renaming and location renaming.
+/// A canonical byte signature of an execution, invariant under thread and
+/// location renaming.
 ///
-/// The enumerator's symmetry breaking is only partial (threads of equal size
-/// can still be swapped), so suites deduplicate found tests by this
+/// Two executions compare equal iff they are isomorphic under thread
+/// permutation (with the induced re-ordering of event identifiers) and
+/// location renaming. The byte form is `Ord + Hash`, so it serves directly
+/// as a set/map key; [`fmt::Display`] renders it as hex for logs.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonSig(Vec<u8>);
+
+impl fmt::Display for CanonSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for CanonSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CanonSig({self})")
+    }
+}
+
+/// Sentinel for "no location" in the byte encoding.
+const NO_LOC: u8 = 0xFF;
+
+/// The canonical signature of `exec`: the lexicographically least byte
+/// encoding over all thread permutations, with locations renumbered in
+/// first-use order after each permutation.
+///
+/// The enumerator's symmetry breaking is only partial (threads of equal
+/// size can still be swapped), so suites deduplicate found tests by this
 /// signature, mirroring the symmetry breaking Alloy performs for Memalloy.
-pub fn canonical_signature(exec: &Execution) -> String {
-    let thread_count = exec.thread_count();
-    let mut best: Option<String> = None;
-    for perm in thread_permutations(thread_count) {
-        let renamed = apply_thread_permutation(exec, &perm);
-        let relabelled = relabel_locations(&renamed);
-        let sig = relabelled.signature();
-        if best.as_ref().is_none_or(|b| sig < *b) {
-            best = Some(sig);
-        }
-    }
-    best.unwrap_or_default()
-}
-
-fn thread_permutations(k: usize) -> Vec<Vec<usize>> {
-    fn go(remaining: Vec<usize>, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
-        if remaining.is_empty() {
-            out.push(prefix.clone());
-            return;
-        }
-        for (i, &x) in remaining.iter().enumerate() {
-            let mut rest = remaining.clone();
-            rest.remove(i);
-            prefix.push(x);
-            go(rest, prefix, out);
-            prefix.pop();
-        }
-    }
-    let mut out = Vec::new();
-    go((0..k).collect(), &mut Vec::new(), &mut out);
-    out
-}
-
-/// Renames threads according to `perm` (old thread `t` becomes
-/// `perm.position(t)`), re-ordering events so identifiers again list thread
-/// 0 first, then thread 1, and so on, preserving program order within each
-/// thread.
-fn apply_thread_permutation(exec: &Execution, perm: &[usize]) -> Execution {
+/// Permutations are walked with Heap's algorithm and encoded into reused
+/// buffers — no `Execution` clones, relation reindexing or `String`
+/// formatting on this hot path.
+pub fn canonical_signature(exec: &Execution) -> CanonSig {
+    let k = exec.thread_count();
     let n = exec.len();
+    if n == 0 {
+        return CanonSig(Vec::new());
+    }
+
+    // Group events by thread once, in program order within each thread
+    // (event ids are not necessarily thread-contiguous for arbitrary
+    // executions, e.g. weakenings that removed events).
+    let by_thread = events_by_thread(exec);
+
+    let rels: [&Relation; 11] = [
+        &exec.po,
+        &exec.rf,
+        &exec.co,
+        &exec.addr,
+        &exec.data,
+        &exec.ctrl,
+        &exec.rmw,
+        &exec.stxn,
+        &exec.stxnat,
+        &exec.scr,
+        &exec.scrt,
+    ];
+    // Pair lists are permutation-independent except for the id mapping, so
+    // collect them once and remap per permutation.
+    let rel_pairs: Vec<Vec<(usize, usize)>> = rels.iter().map(|r| r.iter().collect()).collect();
+
+    let mut enc = Encoder {
+        map: vec![0u8; n],
+        loc_of: vec![NO_LOC; n],
+        buf: Vec::with_capacity(64),
+        pairs: Vec::new(),
+    };
+
+    let mut perm: Vec<usize> = (0..k).collect();
+    let mut best: Option<Vec<u8>> = None;
+    let mut consider = |perm: &[usize]| {
+        enc.encode(exec, &by_thread, &rel_pairs, perm);
+        if best.as_ref().is_none_or(|b| enc.buf < *b) {
+            best = Some(enc.buf.clone());
+        }
+    };
+    consider(&perm);
+    // Heap's algorithm, iterative form: generates all k! orders, mutating
+    // `perm` by a single swap per step.
+    let mut c = vec![0usize; k];
+    let mut i = 1;
+    while i < k {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            consider(&perm);
+            c[i] += 1;
+            i = 1;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    CanonSig(best.expect("at least the identity permutation was considered"))
+}
+
+/// Event ids grouped by thread, each group in program order.
+pub(crate) fn events_by_thread(exec: &Execution) -> Vec<Vec<usize>> {
+    let k = exec.thread_count();
+    let n = exec.len();
+    let mut by_thread: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for e in 0..n {
+        by_thread[exec.event(e).thread.0 as usize].push(e);
+    }
+    for ids in &mut by_thread {
+        ids.sort_by_key(|&e| exec.po.predecessors(e).count());
+    }
+    by_thread
+}
+
+/// Reused scratch space for one permutation's byte encoding.
+struct Encoder {
+    /// `map[old id] = new id` under the current permutation.
+    map: Vec<u8>,
+    /// `loc_of[old id]` = relabelled location, or [`NO_LOC`].
+    loc_of: Vec<u8>,
+    /// The encoding being built.
+    buf: Vec<u8>,
+    /// Scratch for sorting remapped relation pairs.
+    pairs: Vec<(u8, u8)>,
+}
+
+impl Encoder {
+    /// Encodes `exec` under thread permutation `perm` (`perm[i]` = old
+    /// thread placed at new position `i`) into `self.buf`.
+    fn encode(
+        &mut self,
+        exec: &Execution,
+        by_thread: &[Vec<usize>],
+        rel_pairs: &[Vec<(usize, usize)>],
+        perm: &[usize],
+    ) {
+        self.buf.clear();
+        // New id order: thread perm[0]'s events first, then perm[1]'s, …
+        let mut next = 0u8;
+        for &old_t in perm {
+            for &e in &by_thread[old_t] {
+                self.map[e] = next;
+                next += 1;
+            }
+        }
+        // Locations renumbered in first-use order of the *new* id order.
+        let mut next_loc = 0u8;
+        let mut loc_map: Vec<(Loc, u8)> = Vec::new();
+        for &old_t in perm {
+            for &e in &by_thread[old_t] {
+                self.loc_of[e] = match exec.event(e).loc() {
+                    Some(loc) => match loc_map.iter().find(|(old, _)| *old == loc) {
+                        Some(&(_, new)) => new,
+                        None => {
+                            let new = next_loc;
+                            loc_map.push((loc, new));
+                            next_loc += 1;
+                            new
+                        }
+                    },
+                    None => NO_LOC,
+                };
+            }
+        }
+        // Events, in new id order: thread, kind tag, location, extra, annot.
+        for (new_t, &old_t) in perm.iter().enumerate() {
+            for &e in &by_thread[old_t] {
+                let ev: &Event = exec.event(e);
+                let (tag, extra) = match ev.kind {
+                    EventKind::Read(_) => (1u8, 0u8),
+                    EventKind::Write(_) => (2, 0),
+                    EventKind::Fence(f) => (3, f.index() as u8),
+                    EventKind::LockCall(c) => (
+                        4,
+                        match c {
+                            LockCall::Lock => 0,
+                            LockCall::Unlock => 1,
+                            LockCall::TxLock => 2,
+                            LockCall::TxUnlock => 3,
+                        },
+                    ),
+                };
+                let annot = u8::from(ev.annot.acq)
+                    | u8::from(ev.annot.rel) << 1
+                    | u8::from(ev.annot.sc) << 2
+                    | u8::from(ev.annot.atomic) << 3;
+                self.buf
+                    .extend_from_slice(&[new_t as u8, tag, self.loc_of[e], extra, annot]);
+            }
+        }
+        // Relations: remapped pairs, sorted, each list length-prefixed.
+        for pairs in rel_pairs {
+            self.pairs.clear();
+            self.pairs
+                .extend(pairs.iter().map(|&(a, b)| (self.map[a], self.map[b])));
+            self.pairs.sort_unstable();
+            self.buf.push(self.pairs.len() as u8);
+            for &(a, b) in &self.pairs {
+                self.buf.extend_from_slice(&[a, b]);
+            }
+        }
+    }
+}
+
+/// Renames threads according to `perm` (old thread `perm[i]` becomes thread
+/// `i`), re-ordering events so identifiers again list thread 0 first, then
+/// thread 1, and so on, preserving program order within each thread.
+///
+/// Slow path: clones the execution and reindexes every relation. Used by
+/// tests to brute-force orbits; the signature itself goes through
+/// [`canonical_signature`]'s allocation-free encoder.
+#[cfg(test)]
+pub(crate) fn apply_thread_permutation(exec: &Execution, perm: &[usize]) -> Execution {
+    let n = exec.len();
+    let by_thread = events_by_thread(exec);
     // perm[i] = old thread id placed at new position i.
     let mut order: Vec<usize> = Vec::with_capacity(n);
     for &old_t in perm {
-        let mut ids: Vec<usize> = (0..n)
-            .filter(|&e| exec.event(e).thread.0 as usize == old_t)
-            .collect();
-        ids.sort_by_key(|&e| exec.po.predecessors(e).count());
-        order.extend(ids);
+        order.extend(&by_thread[old_t]);
     }
     // map[old id] = new id
     let mut map = vec![None; n];
@@ -91,35 +264,6 @@ fn apply_thread_permutation(exec: &Execution, perm: &[usize]) -> Execution {
     }
 }
 
-/// Renumbers locations in first-use order (by event identifier).
-fn relabel_locations(exec: &Execution) -> Execution {
-    let mut mapping: Vec<(Loc, Loc)> = Vec::new();
-    let mut out = exec.clone();
-    for e in 0..exec.len() {
-        if let Some(loc) = exec.event(e).loc() {
-            if !mapping.iter().any(|(old, _)| *old == loc) {
-                let new = Loc(mapping.len() as u32);
-                mapping.push((loc, new));
-            }
-        }
-    }
-    for e in 0..out.len() {
-        if let Some(loc) = out.events[e].loc() {
-            let new = mapping
-                .iter()
-                .find(|(old, _)| *old == loc)
-                .map(|(_, new)| *new)
-                .expect("every used location is in the mapping");
-            out.events[e].kind = match out.events[e].kind {
-                EventKind::Read(_) => EventKind::Read(new),
-                EventKind::Write(_) => EventKind::Write(new),
-                other => other,
-            };
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +297,27 @@ mod tests {
     }
 
     #[test]
+    fn signature_is_invariant_under_every_thread_permutation() {
+        // Brute force: the slow clone-and-reindex path must agree with the
+        // buffer-based encoder for every permutation of a 3-thread test.
+        let e = catalog::power_wrc_tprop1();
+        let k = e.thread_count();
+        let sig = canonical_signature(&e);
+        let mut perm: Vec<usize> = (0..k).collect();
+        loop {
+            let renamed = apply_thread_permutation(&e, &perm);
+            assert_eq!(canonical_signature(&renamed), sig, "perm {perm:?}");
+            // Next lexicographic permutation, or stop.
+            let Some(i) = (0..k - 1).rfind(|&i| perm[i] < perm[i + 1]) else {
+                break;
+            };
+            let j = (i + 1..k).rfind(|&j| perm[j] > perm[i]).unwrap();
+            perm.swap(i, j);
+            perm[i + 1..].reverse();
+        }
+    }
+
+    #[test]
     fn different_executions_get_different_signatures() {
         assert_ne!(
             canonical_signature(&catalog::sb()),
@@ -168,5 +333,13 @@ mod tests {
     fn signature_is_stable() {
         let e = catalog::power_wrc_tprop1();
         assert_eq!(canonical_signature(&e), canonical_signature(&e.clone()));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let sig = canonical_signature(&catalog::sb());
+        let text = sig.to_string();
+        assert!(!text.is_empty());
+        assert!(text.chars().all(|c| c.is_ascii_hexdigit()));
     }
 }

@@ -31,12 +31,16 @@
 //! Set `TM_SYNTH_THREADS` to pin the worker count (e.g. `1` to disable
 //! parallelism).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use tm_exec::ir::{Delta, RelBase};
 use tm_exec::{Annot, Event, Execution, ExecutionBuilder};
 use tm_relation::Relation;
 
+use crate::symmetry::{
+    build_stab_elems, partition_sym, prefix_prunable, shape_stabilizer, PartitionSym, ReducedCount,
+    StabElem, Symmetry,
+};
 use crate::SynthConfig;
 
 /// How many leading events a work unit's shape prefix fixes. Deep enough to
@@ -94,7 +98,7 @@ fn enumerate_exact_with_threads(
     if n == 0 {
         return 0;
     }
-    let units = produce_units(config, n);
+    let units = produce_units(config, n, Symmetry::Full);
     let threads = threads.min(units.len().max(1));
     if threads <= 1 {
         let mut count = 0;
@@ -218,7 +222,7 @@ where
     if n == 0 {
         return 0;
     }
-    let units = produce_units(config, n);
+    let units = produce_units(config, n, Symmetry::Full);
     let threads = threads.min(units.len().max(1));
     if threads <= 1 {
         let mut sink = make_sink();
@@ -275,19 +279,76 @@ fn expand_unit_incremental<S: FnMut(&Execution, &Delta)>(
 /// Walks every relation choice of one shape vector by mutating a single
 /// execution in place, odometer position *last-first* so the transaction
 /// dimensions (laid out last) are the fastest-changing.
+///
+/// Full-mode adapter over [`enumerate_relations_sym`]: the candidate set
+/// and the `apply_dim` edit sequence are exactly those of the historical
+/// flat odometer.
 fn enumerate_relations_incremental<S: FnMut(&Execution, &Delta)>(
     config: &SynthConfig,
     partition: &[usize],
     shapes: &[EventShape],
     sink: &mut S,
 ) -> usize {
+    enumerate_relations_sym(
+        config,
+        partition,
+        shapes,
+        None,
+        &mut |e: &Execution, d: &Delta, _orbit| sink(e, d),
+    )
+    .representatives
+}
+
+/// The unified in-place odometer walker behind both enumeration modes.
+///
+/// The flat odometer is structured as *outer* slow dimensions (rf, co,
+/// dependencies, RMWs — positions `0..txn_at`) nesting an *inner*
+/// transaction odometer (positions `txn_at..`), both last-position-fastest:
+/// an inner overflow carries into an outer advance, reproducing the flat
+/// walk's `apply_dim` sequence exactly.
+///
+/// With `sym: Some(_)` ([`Symmetry::Reduced`]) the walker visits only
+/// lex-leader representatives (see the `symmetry` module docs): shapes that
+/// are not canonical return immediately, and at each outer setting every
+/// shape-stabilizer element is compared on the slow prefix once — an
+/// element that already beats the candidate there rules out the *entire*
+/// transaction subtree, which is skipped without touching the inner dims
+/// (they are all zero at subtree entry, and stay so). Each emitted
+/// representative carries its exact in-space orbit size
+/// `|G| / |Stab(E)|`; budget-skipped and non-canonical candidates
+/// accumulate their edits into the pending delta like budget skips always
+/// have.
+///
+/// With `sym: None` ([`Symmetry::Full`]) the stabilizer machinery is empty
+/// and every candidate is emitted with orbit 1.
+fn enumerate_relations_sym<S: FnMut(&Execution, &Delta, u64)>(
+    config: &SynthConfig,
+    partition: &[usize],
+    shapes: &[EventShape],
+    sym: Option<&PartitionSym>,
+    sink: &mut S,
+) -> ReducedCount {
+    let mut tally = ReducedCount::default();
+    let (shape_perms, group_order) = match sym {
+        None => (Vec::new(), 1),
+        Some(sym) => match shape_stabilizer(sym, shapes) {
+            // Not the lex-least shape of its orbit: every candidate in here
+            // is represented under the canonical shape instead.
+            None => return tally,
+            Some(perms) => (perms, sym.order()),
+        },
+    };
+
     let choices = relation_choices(config, partition, shapes);
     let events = shape_events(shapes, &choices.thread_of);
     let layout = choices.odometer();
     if layout.dims.contains(&0) {
-        return 0;
+        return tally;
     }
-    let mut idx = vec![0usize; layout.dims.len()];
+    let stabs: Vec<StabElem> = build_stab_elems(&choices, &layout, &shape_perms);
+    let txn_at = layout.txn_at;
+    let total = layout.dims.len();
+    let mut idx = vec![0usize; total];
 
     // Assemble the candidate at the all-zero index tuple.
     let mut exec = Execution::with_events(events);
@@ -315,33 +376,95 @@ fn enumerate_relations_incremental<S: FnMut(&Execution, &Delta)>(
         }
     }
 
-    let mut count = 0usize;
     // The first candidate of a shape is announced with a full delta; edits
-    // accumulate across budget-skipped candidates until one is visited.
+    // accumulate across skipped candidates until one is visited.
     let mut delta = Delta::everything();
+    // Stabilizer elements still tied on the current slow prefix (their
+    // suffix decides per candidate). Indices into `stabs`.
+    let mut live: Vec<usize> = Vec::with_capacity(stabs.len());
     loop {
-        let txn_count: usize = choices
-            .txn_options
-            .iter()
-            .enumerate()
-            .map(|(t, opts)| opts[idx[layout.txn_at + t]].len())
-            .sum();
-        if txn_count <= config.max_txns {
-            debug_assert!(
-                tm_exec::check_well_formed(&exec).is_ok(),
-                "incremental assembly must produce well-formed executions"
-            );
-            count += 1;
-            sink(&exec, &delta);
-            delta.clear();
+        // Outer setting: the transaction dims are all zero here (initially,
+        // after an inner overflow wrapped them, or untouched by a skip).
+        // Classify each stabilizer element on the slow prefix, which the
+        // inner walk never changes.
+        live.clear();
+        let mut skip_subtree = false;
+        for (si, h) in stabs.iter().enumerate() {
+            match h.cmp_range(&idx, 0, txn_at) {
+                // h·idx < idx already on the slow dims: no transaction
+                // suffix can rescue this subtree — skip it whole.
+                std::cmp::Ordering::Greater => {
+                    skip_subtree = true;
+                    break;
+                }
+                std::cmp::Ordering::Equal => live.push(si),
+                // idx < h·idx on the slow dims: h is inert in this subtree.
+                std::cmp::Ordering::Less => {}
+            }
         }
 
-        // Advance the odometer, last position fastest, applying each
-        // dimension's edge edits as it moves.
-        let mut p = layout.dims.len();
+        if !skip_subtree {
+            // Inner odometer over the transaction dims, last fastest.
+            'inner: loop {
+                let txn_count: usize = choices
+                    .txn_options
+                    .iter()
+                    .enumerate()
+                    .map(|(t, opts)| opts[idx[txn_at + t]].len())
+                    .sum();
+                if txn_count <= config.max_txns {
+                    let mut stab_size = 1u64;
+                    let mut canonical = true;
+                    for &si in &live {
+                        match stabs[si].cmp_range(&idx, txn_at, total) {
+                            std::cmp::Ordering::Greater => {
+                                canonical = false;
+                                break;
+                            }
+                            std::cmp::Ordering::Equal => stab_size += 1,
+                            std::cmp::Ordering::Less => {}
+                        }
+                    }
+                    if canonical {
+                        debug_assert!(
+                            tm_exec::check_well_formed(&exec).is_ok(),
+                            "incremental assembly must produce well-formed executions"
+                        );
+                        let orbit = group_order / stab_size;
+                        tally.representatives += 1;
+                        tally.weighted += orbit;
+                        sink(&exec, &delta, orbit);
+                        delta.clear();
+                    }
+                }
+
+                // Advance the inner dims; overflow falls through to the
+                // outer advance with every inner dim back at zero.
+                let mut p = total;
+                loop {
+                    if p == txn_at {
+                        break 'inner;
+                    }
+                    p -= 1;
+                    let old = idx[p];
+                    idx[p] += 1;
+                    if idx[p] < layout.dims[p] {
+                        apply_dim(&choices, &layout, &mut exec, &mut delta, p, old, idx[p]);
+                        continue 'inner;
+                    }
+                    idx[p] = 0;
+                    apply_dim(&choices, &layout, &mut exec, &mut delta, p, old, 0);
+                    // Carry into the next-slower inner dimension.
+                }
+            }
+        }
+
+        // Advance the slow dims, last fastest — the flat walk's carry out
+        // of the transaction block.
+        let mut p = txn_at;
         loop {
             if p == 0 {
-                return count;
+                return tally;
             }
             p -= 1;
             let old = idx[p];
@@ -518,7 +641,7 @@ impl WorkUnit {
 
 /// The annotation's stable bit pattern, shared by unit ids and the config
 /// fingerprint.
-fn annot_bits(a: Annot) -> u8 {
+pub(crate) fn annot_bits(a: Annot) -> u8 {
     u8::from(a.acq) | u8::from(a.rel) << 1 | u8::from(a.sc) << 2 | u8::from(a.atomic) << 3
 }
 
@@ -527,8 +650,14 @@ fn annot_bits(a: Annot) -> u8 {
 /// a resumable sweep journals, shards and retries individually. Expanding a
 /// unit with [`enumerate_unit_incremental`] visits exactly the candidates
 /// the whole-space pipelines visit for it.
-pub fn work_units(config: &SynthConfig, n: usize) -> Vec<WorkUnit> {
-    produce_units(config, n)
+///
+/// In [`Symmetry::Reduced`] mode units whose shape prefix is already
+/// non-canonical are dropped up front (their every candidate is represented
+/// elsewhere); the surviving units keep the ids they have in the full list,
+/// but the two modes' unit *sets* differ — sweep journals fingerprint the
+/// mode so they never mix.
+pub fn work_units(config: &SynthConfig, n: usize, symmetry: Symmetry) -> Vec<WorkUnit> {
+    produce_units(config, n, symmetry)
 }
 
 /// Expands one work unit through the delta-threading enumeration on the
@@ -548,13 +677,176 @@ pub fn enumerate_unit_incremental<S: FnMut(&Execution, &Delta)>(
     expand_unit_incremental(config, unit, n, sink, &should_stop)
 }
 
+/// [`enumerate_unit_incremental`] in [`Symmetry::Reduced`] mode: the sink
+/// sees one canonical representative per isomorphism class of the unit's
+/// subspace, each with its exact in-space orbit size (units come from
+/// [`work_units`] with `Symmetry::Reduced`). The returned tally's
+/// `weighted` field equals the candidate count a full-mode expansion of
+/// the same subspace visits.
+pub fn enumerate_unit_reduced<S: FnMut(&Execution, &Delta, u64)>(
+    config: &SynthConfig,
+    unit: &WorkUnit,
+    n: usize,
+    sink: &mut S,
+    should_stop: impl Fn() -> bool,
+) -> ReducedCount {
+    expand_unit_reduced(config, unit, n, sink, &should_stop)
+}
+
+/// [`expand_unit_incremental`] in reduced mode: one [`PartitionSym`] per
+/// unit, one lex-leader check per shape, stabilizer-filtered odometers.
+fn expand_unit_reduced<S: FnMut(&Execution, &Delta, u64)>(
+    config: &SynthConfig,
+    unit: &WorkUnit,
+    n: usize,
+    sink: &mut S,
+    should_stop: &impl Fn() -> bool,
+) -> ReducedCount {
+    let sym = partition_sym(&unit.partition);
+    let mut tally = ReducedCount::default();
+    let mut shapes = unit.prefix.clone();
+    enumerate_shapes(config, n, &mut shapes, &mut |shapes| {
+        if should_stop() {
+            return;
+        }
+        tally.add(enumerate_relations_sym(
+            config,
+            &unit.partition,
+            shapes,
+            Some(&sym),
+            sink,
+        ));
+    });
+    tally
+}
+
+/// [`enumerate_exact`] under symmetry reduction: `f` sees one canonical
+/// representative per thread/location-renaming class with its exact orbit
+/// size; `Σ orbit` over the calls (the returned `weighted`) equals
+/// [`enumerate_exact`]'s visit count.
+pub fn enumerate_reduced(
+    config: &SynthConfig,
+    n: usize,
+    f: impl Fn(&Execution, u64) + Sync,
+) -> ReducedCount {
+    enumerate_reduced_incremental_with_threads(
+        config,
+        n,
+        worker_count(),
+        || |exec: &Execution, _delta: &Delta, orbit: u64| f(exec, orbit),
+        &|| false,
+    )
+}
+
+/// [`enumerate_reduced`] with a cooperative stop hook (see
+/// [`enumerate_exact_until`]).
+pub fn enumerate_reduced_until(
+    config: &SynthConfig,
+    n: usize,
+    f: impl Fn(&Execution, u64) + Sync,
+    should_stop: impl Fn() -> bool + Sync,
+) -> ReducedCount {
+    enumerate_reduced_incremental_with_threads(
+        config,
+        n,
+        worker_count(),
+        || |exec: &Execution, _delta: &Delta, orbit: u64| f(exec, orbit),
+        &should_stop,
+    )
+}
+
+/// [`enumerate_exact_incremental`] under symmetry reduction: each worker's
+/// sink sees `(execution, delta, orbit)` for canonical representatives
+/// only, with the same delta-threading contract as the full pipeline.
+pub fn enumerate_reduced_incremental<S>(
+    config: &SynthConfig,
+    n: usize,
+    make_sink: impl Fn() -> S + Sync,
+) -> ReducedCount
+where
+    S: FnMut(&Execution, &Delta, u64),
+{
+    enumerate_reduced_incremental_with_threads(config, n, worker_count(), make_sink, &|| false)
+}
+
+/// [`enumerate_reduced_incremental`] with a cooperative stop hook.
+pub fn enumerate_reduced_incremental_until<S>(
+    config: &SynthConfig,
+    n: usize,
+    make_sink: impl Fn() -> S + Sync,
+    should_stop: impl Fn() -> bool + Sync,
+) -> ReducedCount
+where
+    S: FnMut(&Execution, &Delta, u64),
+{
+    enumerate_reduced_incremental_with_threads(config, n, worker_count(), make_sink, &should_stop)
+}
+
+/// The reduced-mode worker pool (mirrors
+/// `enumerate_exact_incremental_with_threads`).
+fn enumerate_reduced_incremental_with_threads<S>(
+    config: &SynthConfig,
+    n: usize,
+    threads: usize,
+    make_sink: impl Fn() -> S + Sync,
+    should_stop: &(impl Fn() -> bool + Sync),
+) -> ReducedCount
+where
+    S: FnMut(&Execution, &Delta, u64),
+{
+    if n == 0 {
+        return ReducedCount::default();
+    }
+    let units = produce_units(config, n, Symmetry::Reduced);
+    let threads = threads.min(units.len().max(1));
+    if threads <= 1 {
+        let mut sink = make_sink();
+        let mut tally = ReducedCount::default();
+        for unit in &units {
+            if should_stop() {
+                break;
+            }
+            tally.add(expand_unit_reduced(config, unit, n, &mut sink, should_stop));
+        }
+        return tally;
+    }
+    let cursor = AtomicUsize::new(0);
+    let representatives = AtomicUsize::new(0);
+    let weighted = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut sink = make_sink();
+                let mut local = ReducedCount::default();
+                loop {
+                    if should_stop() {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(unit) = units.get(i) else { break };
+                    local.add(expand_unit_reduced(config, unit, n, &mut sink, should_stop));
+                }
+                representatives.fetch_add(local.representatives, Ordering::Relaxed);
+                weighted.fetch_add(local.weighted, Ordering::Relaxed);
+            });
+        }
+    });
+    ReducedCount {
+        representatives: representatives.load(Ordering::Relaxed),
+        weighted: weighted.load(Ordering::Relaxed),
+    }
+}
+
 /// Stage 1 of the pipeline: the partition × shape-prefix work units.
-fn produce_units(config: &SynthConfig, n: usize) -> Vec<WorkUnit> {
+fn produce_units(config: &SynthConfig, n: usize, symmetry: Symmetry) -> Vec<WorkUnit> {
     let depth = n.min(PREFIX_DEPTH);
     let mut units = Vec::new();
     for partition in compositions(n, config.max_threads) {
         let mut prefix: Vec<EventShape> = Vec::with_capacity(depth);
         enumerate_shapes(config, depth, &mut prefix, &mut |prefix| {
+            if symmetry.is_reduced() && prefix_prunable(&partition, prefix) {
+                return;
+            }
             units.push(WorkUnit {
                 partition: partition.clone(),
                 prefix: prefix.to_vec(),
@@ -615,7 +907,7 @@ fn compositions(n: usize, max_parts: usize) -> Vec<Vec<usize>> {
 /// The per-event choice: what the event is, where it accesses, and how it is
 /// annotated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum EventShape {
+pub(crate) enum EventShape {
     Read(u32, Annot),
     Write(u32, Annot),
     Fence(tm_exec::Fence),
@@ -687,7 +979,7 @@ fn for_each_product(dims: &[usize], mut f: impl FnMut(&[usize])) {
     }
 }
 
-fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+pub(crate) fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
     if items.is_empty() {
         return vec![vec![]];
     }
@@ -729,18 +1021,21 @@ fn interval_sets(ids: &[usize]) -> Vec<Vec<Vec<usize>>> {
 }
 
 /// The relation choices shared by every product of one shape vector.
-struct RelationChoices {
-    thread_of: Vec<u32>,
-    thread_blocks: Vec<Vec<usize>>,
+pub(crate) struct RelationChoices {
+    pub(crate) thread_of: Vec<u32>,
+    pub(crate) thread_blocks: Vec<Vec<usize>>,
     /// Program order: fixed by the partition alone.
-    po: Relation,
-    reads: Vec<usize>,
-    rf_options: Vec<Vec<Option<usize>>>,
-    co_options: Vec<Vec<Vec<usize>>>,
-    dep_pairs: Vec<(usize, usize)>,
-    rmw_pairs: Vec<(usize, usize)>,
-    txn_options: Vec<Vec<Vec<Vec<usize>>>>,
-    is_write: Vec<bool>,
+    pub(crate) po: Relation,
+    pub(crate) reads: Vec<usize>,
+    /// The used locations, sorted — `co_options[i]` orders the writes to
+    /// `locs[i]`.
+    pub(crate) locs: Vec<u32>,
+    pub(crate) rf_options: Vec<Vec<Option<usize>>>,
+    pub(crate) co_options: Vec<Vec<Vec<usize>>>,
+    pub(crate) dep_pairs: Vec<(usize, usize)>,
+    pub(crate) rmw_pairs: Vec<(usize, usize)>,
+    pub(crate) txn_options: Vec<Vec<Vec<Vec<usize>>>>,
+    pub(crate) is_write: Vec<bool>,
 }
 
 fn relation_choices(
@@ -856,6 +1151,7 @@ fn relation_choices(
         thread_blocks,
         po,
         reads,
+        locs,
         rf_options,
         co_options,
         dep_pairs,
@@ -868,13 +1164,13 @@ fn relation_choices(
 /// The odometer layout shared by the direct and reference enumerators: the
 /// dimension vector and the offset of each choice family within an index
 /// tuple.
-struct OdometerLayout {
-    dims: Vec<usize>,
-    rf_at: usize,
-    co_at: usize,
-    dep_at: usize,
-    rmw_at: usize,
-    txn_at: usize,
+pub(crate) struct OdometerLayout {
+    pub(crate) dims: Vec<usize>,
+    pub(crate) rf_at: usize,
+    pub(crate) co_at: usize,
+    pub(crate) dep_at: usize,
+    pub(crate) rmw_at: usize,
+    pub(crate) txn_at: usize,
 }
 
 impl RelationChoices {

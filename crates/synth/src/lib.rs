@@ -41,19 +41,22 @@ mod config;
 mod enumerate;
 mod hash;
 mod suite;
+mod symmetry;
 mod weaken;
 
-pub use canon::canonical_signature;
+pub use canon::{canonical_signature, CanonSig};
 pub use config::SynthConfig;
 pub use enumerate::{
     enumerate_all, enumerate_exact, enumerate_exact_incremental, enumerate_exact_incremental_until,
-    enumerate_exact_reference, enumerate_exact_until, enumerate_unit_incremental, work_units,
-    WorkUnit,
+    enumerate_exact_reference, enumerate_exact_until, enumerate_reduced,
+    enumerate_reduced_incremental, enumerate_reduced_incremental_until, enumerate_reduced_until,
+    enumerate_unit_incremental, enumerate_unit_reduced, work_units, WorkUnit,
 };
 pub use suite::{
     assemble_suites, find_distinguishing, minimal_under_weakenings, synthesise_suites,
-    synthesise_suites_per_execution, SuiteReport, SynthesisedTest,
+    synthesise_suites_per_execution, synthesise_suites_with, SuiteReport, SynthesisedTest,
 };
+pub use symmetry::{labelled_orbit, ReducedCount, Symmetry};
 pub use weaken::{
     apply_weakening_edits, undo_weakening_edits, weakening_edits, weakenings,
     weakenings_with_signatures, Weakening, WeakeningEdit,

@@ -34,8 +34,8 @@ use tm_models::{DeltaChecker, MemoryModel, Target};
 use crate::weaken::{apply_weakening_edits, undo_weakening_edits, weakening_edits, Weakening};
 use crate::{
     canonical_signature, enumerate_exact, enumerate_exact_incremental,
-    enumerate_exact_incremental_until, enumerate_exact_until, weakenings,
-    weakenings_with_signatures, SynthConfig,
+    enumerate_exact_incremental_until, enumerate_exact_until, enumerate_reduced_incremental,
+    weakenings, weakenings_with_signatures, CanonSig, Symmetry, SynthConfig,
 };
 
 /// One synthesised conformance test.
@@ -60,6 +60,12 @@ pub struct SuiteReport {
     pub event_count: usize,
     /// How many candidate executions were visited.
     pub enumerated: usize,
+    /// How many candidate executions the sweep *covered*, counting each
+    /// visited representative with its isomorphism-orbit size. Equal to
+    /// `enumerated` under [`Symmetry::Full`]; under [`Symmetry::Reduced`]
+    /// this matches the full-mode `enumerated` while the reduced
+    /// `enumerated` counts only canonical representatives.
+    pub effective: u64,
     /// Minimally-forbidden tests: inconsistent under the TM model, consistent
     /// under the baseline, and every ⊏-weakening consistent under the TM
     /// model.
@@ -91,13 +97,13 @@ impl SuiteReport {
 /// of the sweep — the shared mutex is touched once per worker, not once per
 /// candidate.
 struct WorkerFinds<'a> {
-    local: Vec<(String, Execution, Duration)>,
-    seen: HashSet<String>,
-    out: &'a Mutex<Vec<(String, Execution, Duration)>>,
+    local: Vec<(CanonSig, Execution, Duration)>,
+    seen: HashSet<CanonSig>,
+    out: &'a Mutex<Vec<(CanonSig, Execution, Duration)>>,
 }
 
 impl<'a> WorkerFinds<'a> {
-    fn new(out: &'a Mutex<Vec<(String, Execution, Duration)>>) -> WorkerFinds<'a> {
+    fn new(out: &'a Mutex<Vec<(CanonSig, Execution, Duration)>>) -> WorkerFinds<'a> {
         WorkerFinds {
             local: Vec::new(),
             seen: HashSet::new(),
@@ -230,120 +236,174 @@ pub fn synthesise_suites(
     config: &SynthConfig,
     events: usize,
 ) -> SuiteReport {
+    synthesise_suites_with(tm_model, baseline, config, events, Symmetry::Full)
+}
+
+/// Runs one of the suite sweep pipelines' sinks over either the full
+/// enumeration or the symmetry-reduced one. The suite logic never needs the
+/// orbit size per candidate — Forbid membership is invariant under
+/// thread/location renaming and tests are deduplicated by canonical
+/// signature anyway — so the reduced walker's orbit argument is dropped and
+/// only the aggregate tally is kept: `(visited, effective)` where
+/// `effective` is the orbit-weighted candidate count (equal to `visited`
+/// under [`Symmetry::Full`]).
+fn enumerate_for_suites<S>(
+    config: &SynthConfig,
+    events: usize,
+    symmetry: Symmetry,
+    make_sink: impl Fn() -> S + Sync,
+) -> (usize, u64)
+where
+    S: FnMut(&Execution, &Delta),
+{
+    match symmetry {
+        Symmetry::Full => {
+            let visited = enumerate_exact_incremental(config, events, make_sink);
+            (visited, visited as u64)
+        }
+        Symmetry::Reduced => {
+            let tally = enumerate_reduced_incremental(config, events, || {
+                let mut sink = make_sink();
+                move |exec: &Execution, delta: &Delta, _orbit: u64| sink(exec, delta)
+            });
+            (tally.representatives, tally.weighted)
+        }
+    }
+}
+
+/// [`synthesise_suites`] with an explicit [`Symmetry`] mode.
+///
+/// Under [`Symmetry::Reduced`] the sweep visits exactly one canonical
+/// representative per thread/location-renaming class. Because every test
+/// property involved — TM inconsistency, baseline consistency and
+/// ⊏-minimality — is invariant under renaming, and the suites are
+/// deduplicated by canonical signature regardless of mode, the resulting
+/// Forbid and Allow suites are **identical** to the full sweep's
+/// (`tests/symmetry_parity.rs` pins this); only `enumerated` shrinks to the
+/// representative count, with `effective` preserving the full-space total.
+pub fn synthesise_suites_with(
+    tm_model: &dyn MemoryModel,
+    baseline: &dyn MemoryModel,
+    config: &SynthConfig,
+    events: usize,
+    symmetry: Symmetry,
+) -> SuiteReport {
     let start = Instant::now();
     // Candidates found by the parallel workers; sorted and deduplicated
     // afterwards so the report is deterministic regardless of worker
     // interleaving.
-    let found: Mutex<Vec<(String, Execution, Duration)>> = Mutex::new(Vec::new());
+    let found: Mutex<Vec<(CanonSig, Execution, Duration)>> = Mutex::new(Vec::new());
 
     let catalog_pair = tm_model.catalog_target().zip(baseline.catalog_target());
     let incremental =
         tm_model.incremental_checker().is_some() && baseline.incremental_checker().is_some();
-    let enumerated = if let Some(((tm_target, tm_cr), (base_target, base_cr))) = catalog_pair {
-        // Both models are built-in: one shared-catalog checker absorbs each
-        // delta once and serves both targets (whose axiom bodies largely
-        // coincide as hash-consed nodes) from the same state.
-        enumerate_exact_incremental(config, events, || {
-            let mut checker = IncrementalChecker::new();
-            let mut finds = WorkerFinds::new(&found);
-            let mut probe_buf: Option<Execution> = None;
-            move |exec: &Execution, delta: &Delta| {
-                checker.advance(exec, delta);
-                if exec.stxn.is_empty() {
-                    return;
+    let (enumerated, effective) =
+        if let Some(((tm_target, tm_cr), (base_target, base_cr))) = catalog_pair {
+            // Both models are built-in: one shared-catalog checker absorbs each
+            // delta once and serves both targets (whose axiom bodies largely
+            // coincide as hash-consed nodes) from the same state.
+            enumerate_for_suites(config, events, symmetry, || {
+                let mut checker = IncrementalChecker::new();
+                let mut finds = WorkerFinds::new(&found);
+                let mut probe_buf: Option<Execution> = None;
+                move |exec: &Execution, delta: &Delta| {
+                    checker.advance(exec, delta);
+                    if exec.stxn.is_empty() {
+                        return;
+                    }
+                    let tm_ok = if tm_cr {
+                        checker.is_consistent_with_cr_order(exec, tm_target)
+                    } else {
+                        checker.is_consistent(exec, tm_target)
+                    };
+                    if tm_ok {
+                        return;
+                    }
+                    let base_ok = if base_cr {
+                        checker.is_consistent_with_cr_order(exec, base_target)
+                    } else {
+                        checker.is_consistent(exec, base_target)
+                    };
+                    if !base_ok {
+                        return;
+                    }
+                    let sig = canonical_signature(exec);
+                    if !finds.seen.insert(sig.clone()) {
+                        return;
+                    }
+                    let mut probe = CatalogProbe {
+                        checker: &mut checker,
+                        target: tm_target,
+                        cr_order: tm_cr,
+                    };
+                    if !minimal_under_weakenings(&mut probe, exec, &mut probe_buf) {
+                        return;
+                    }
+                    finds.local.push((sig, exec.clone(), start.elapsed()));
                 }
-                let tm_ok = if tm_cr {
-                    checker.is_consistent_with_cr_order(exec, tm_target)
-                } else {
-                    checker.is_consistent(exec, tm_target)
-                };
-                if tm_ok {
-                    return;
+            })
+        } else if incremental {
+            enumerate_for_suites(config, events, symmetry, || {
+                let mut tm_checker = tm_model.incremental_checker().expect("probed above");
+                let mut base_checker = baseline.incremental_checker().expect("probed above");
+                let mut finds = WorkerFinds::new(&found);
+                let mut probe_buf: Option<Execution> = None;
+                move |exec: &Execution, delta: &Delta| {
+                    // Thread the delta *before* any early-out: a skipped
+                    // candidate still moved the in-place execution, and the
+                    // checkers' cached state must follow it.
+                    tm_checker.advance(exec, delta);
+                    base_checker.advance(exec, delta);
+                    // Forbid tests distinguish the TM model from its baseline,
+                    // so an execution with no transaction can never qualify
+                    // (no stxn pair ⇔ no transaction class — allocation-free,
+                    // unlike materialising the classes).
+                    if exec.stxn.is_empty() {
+                        return;
+                    }
+                    if tm_checker.is_consistent(exec) || !base_checker.is_consistent(exec) {
+                        return;
+                    }
+                    let sig = canonical_signature(exec);
+                    if !finds.seen.insert(sig.clone()) {
+                        return;
+                    }
+                    if !minimal_under_weakenings(tm_checker.as_mut(), exec, &mut probe_buf) {
+                        return;
+                    }
+                    finds.local.push((sig, exec.clone(), start.elapsed()));
                 }
-                let base_ok = if base_cr {
-                    checker.is_consistent_with_cr_order(exec, base_target)
-                } else {
-                    checker.is_consistent(exec, base_target)
-                };
-                if !base_ok {
-                    return;
+            })
+        } else {
+            // View-based fallback for models without incremental checkers —
+            // still per-worker sinks, so the shared mutex stays cold.
+            enumerate_for_suites(config, events, symmetry, || {
+                let mut finds = WorkerFinds::new(&found);
+                move |exec: &Execution, _delta: &Delta| {
+                    if exec.txn_classes().is_empty() {
+                        return;
+                    }
+                    let view = ExecView::new(exec);
+                    if tm_model.is_consistent_view(&view) || !baseline.is_consistent_view(&view) {
+                        return;
+                    }
+                    let sig = canonical_signature(exec);
+                    if !finds.seen.insert(sig.clone()) {
+                        return;
+                    }
+                    if !weakenings(exec).iter().all(|w| tm_model.is_consistent(w)) {
+                        return;
+                    }
+                    finds.local.push((sig, exec.clone(), start.elapsed()));
                 }
-                let sig = canonical_signature(exec);
-                if !finds.seen.insert(sig.clone()) {
-                    return;
-                }
-                let mut probe = CatalogProbe {
-                    checker: &mut checker,
-                    target: tm_target,
-                    cr_order: tm_cr,
-                };
-                if !minimal_under_weakenings(&mut probe, exec, &mut probe_buf) {
-                    return;
-                }
-                finds.local.push((sig, exec.clone(), start.elapsed()));
-            }
-        })
-    } else if incremental {
-        enumerate_exact_incremental(config, events, || {
-            let mut tm_checker = tm_model.incremental_checker().expect("probed above");
-            let mut base_checker = baseline.incremental_checker().expect("probed above");
-            let mut finds = WorkerFinds::new(&found);
-            let mut probe_buf: Option<Execution> = None;
-            move |exec: &Execution, delta: &Delta| {
-                // Thread the delta *before* any early-out: a skipped
-                // candidate still moved the in-place execution, and the
-                // checkers' cached state must follow it.
-                tm_checker.advance(exec, delta);
-                base_checker.advance(exec, delta);
-                // Forbid tests distinguish the TM model from its baseline,
-                // so an execution with no transaction can never qualify
-                // (no stxn pair ⇔ no transaction class — allocation-free,
-                // unlike materialising the classes).
-                if exec.stxn.is_empty() {
-                    return;
-                }
-                if tm_checker.is_consistent(exec) || !base_checker.is_consistent(exec) {
-                    return;
-                }
-                let sig = canonical_signature(exec);
-                if !finds.seen.insert(sig.clone()) {
-                    return;
-                }
-                if !minimal_under_weakenings(tm_checker.as_mut(), exec, &mut probe_buf) {
-                    return;
-                }
-                finds.local.push((sig, exec.clone(), start.elapsed()));
-            }
-        })
-    } else {
-        // View-based fallback for models without incremental checkers —
-        // still per-worker sinks, so the shared mutex stays cold.
-        enumerate_exact_incremental(config, events, || {
-            let mut finds = WorkerFinds::new(&found);
-            move |exec: &Execution, _delta: &Delta| {
-                if exec.txn_classes().is_empty() {
-                    return;
-                }
-                let view = ExecView::new(exec);
-                if tm_model.is_consistent_view(&view) || !baseline.is_consistent_view(&view) {
-                    return;
-                }
-                let sig = canonical_signature(exec);
-                if !finds.seen.insert(sig.clone()) {
-                    return;
-                }
-                if !weakenings(exec).iter().all(|w| tm_model.is_consistent(w)) {
-                    return;
-                }
-                finds.local.push((sig, exec.clone(), start.elapsed()));
-            }
-        })
-    };
+            })
+        };
 
     assemble_suites(
         tm_model,
         events,
         enumerated,
+        effective,
         found.into_inner().unwrap(),
         start,
     )
@@ -361,8 +421,8 @@ pub fn synthesise_suites_per_execution(
     events: usize,
 ) -> SuiteReport {
     let start = Instant::now();
-    let found: Mutex<Vec<(String, Execution, Duration)>> = Mutex::new(Vec::new());
-    let seen: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+    let found: Mutex<Vec<(CanonSig, Execution, Duration)>> = Mutex::new(Vec::new());
+    let seen: Mutex<HashSet<CanonSig>> = Mutex::new(HashSet::new());
 
     let enumerated = enumerate_exact(config, events, |exec| {
         if exec.txn_classes().is_empty() {
@@ -392,6 +452,7 @@ pub fn synthesise_suites_per_execution(
         tm_model,
         events,
         enumerated,
+        enumerated as u64,
         found.into_inner().unwrap(),
         start,
     )
@@ -408,7 +469,8 @@ pub fn assemble_suites(
     tm_model: &dyn MemoryModel,
     events: usize,
     enumerated: usize,
-    mut candidates: Vec<(String, Execution, Duration)>,
+    effective: u64,
+    mut candidates: Vec<(CanonSig, Execution, Duration)>,
     start: Instant,
 ) -> SuiteReport {
     // Workers deduplicate locally; two workers can still find the same
@@ -438,7 +500,7 @@ pub fn assemble_suites(
     // canonical signature), so no per-test re-filtering happens here; two
     // *distinct* Forbid tests can still share a weakening, so the suites are
     // merged across tests by signature, which also fixes the report order.
-    let mut allow_by_sig: BTreeMap<String, (Execution, Duration)> = BTreeMap::new();
+    let mut allow_by_sig: BTreeMap<CanonSig, (Execution, Duration)> = BTreeMap::new();
     for test in &forbid {
         for (sig, weaker) in weakenings_with_signatures(&test.execution) {
             if tm_model.is_consistent(&weaker) {
@@ -469,6 +531,7 @@ pub fn assemble_suites(
         model: tm_model.name().to_string(),
         event_count: events,
         enumerated,
+        effective,
         forbid,
         allow,
         elapsed: start.elapsed(),

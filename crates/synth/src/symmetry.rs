@@ -1,0 +1,487 @@
+//! Generation-time symmetry reduction for the enumerator.
+//!
+//! The enumerated space is already partially canonical: threads are listed
+//! in non-increasing size order and locations are numbered in first-use
+//! order. The residual symmetry group `G` of a thread-size partition is the
+//! set of permutations of *equal-size* thread blocks, each acting on an
+//! execution by permuting the blocks (preserving program order within each)
+//! and renumbering locations in first-use order afterwards. `|G|` is the
+//! product of the factorials of the equal-size class multiplicities.
+//!
+//! Reduction picks one representative per `G`-orbit by a two-level
+//! lex-leader rule:
+//!
+//! 1. a **shape vector** `S` is canonical iff no `g ∈ G` produces a
+//!    lexicographically smaller permuted-and-relabelled shape vector `g·S`
+//!    — checked once per shape, before any relation odometer runs (and a
+//!    weaker prefix-only version prunes whole work units up front);
+//! 2. given a canonical shape with stabilizer `H = {g : g·S = S}`, a
+//!    relation index tuple `idx` is canonical iff `idx ≤ h·idx` for every
+//!    `h ∈ H`, where `h` acts on the odometer dimensions through the
+//!    [`StabElem`] tables built here. The comparison is incremental along
+//!    the odometer: the slow (rf/co/dep/rmw) prefix is compared once per
+//!    outer setting, skipping the entire transaction subtree when it
+//!    already loses.
+//!
+//! Each representative's in-space orbit size is `|G| / |Stab(E)|` by
+//! orbit–stabilizer, so orbit-weighted counts reproduce the full
+//! enumeration exactly. [`labelled_orbit`] additionally scales a
+//! representative to the fully-labelled space (`k!·l!/|Stab(E)|`) that a
+//! naive SAT/Alloy enumeration would visit.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use tm_exec::Execution;
+
+use crate::enumerate::{annot_bits, permutations, EventShape, OdometerLayout, RelationChoices};
+
+/// Whether enumeration visits the whole space or one canonical
+/// representative per thread/location-renaming class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Symmetry {
+    /// Visit every execution in the space (the historical behaviour).
+    Full,
+    /// Visit one lex-leader representative per isomorphism class, with an
+    /// exact orbit size attached to each.
+    Reduced,
+}
+
+impl Symmetry {
+    /// True in [`Symmetry::Reduced`] mode.
+    pub fn is_reduced(self) -> bool {
+        matches!(self, Symmetry::Reduced)
+    }
+
+    /// A stable byte for fingerprints and journal metadata.
+    pub fn byte(self) -> u8 {
+        match self {
+            Symmetry::Full => 0,
+            Symmetry::Reduced => 1,
+        }
+    }
+
+    /// Parses the `--symmetry on|off` flag value.
+    pub fn parse(s: &str) -> Result<Symmetry, String> {
+        match s {
+            "on" => Ok(Symmetry::Reduced),
+            "off" => Ok(Symmetry::Full),
+            other => Err(format!("bad symmetry `{other}` (expected on or off)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Symmetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Symmetry::Full => "off",
+            Symmetry::Reduced => "on",
+        })
+    }
+}
+
+/// The result of a symmetry-reduced enumeration: how many representatives
+/// were visited and how many executions of the full space they stand for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReducedCount {
+    /// Canonical representatives visited.
+    pub representatives: usize,
+    /// Sum of the representatives' orbit sizes — equals the full
+    /// enumeration's visit count over the same space.
+    pub weighted: u64,
+}
+
+impl ReducedCount {
+    pub(crate) fn add(&mut self, other: ReducedCount) {
+        self.representatives += other.representatives;
+        self.weighted += other.weighted;
+    }
+}
+
+/// The symmetry group of one thread-size partition: every permutation of
+/// equal-size blocks, identity first.
+pub(crate) struct PartitionSym {
+    /// First event id of each block.
+    starts: Vec<usize>,
+    /// Block permutations preserving sizes (`perm[i]` = old block placed at
+    /// new position `i`), the identity first.
+    perms: Vec<Vec<usize>>,
+}
+
+impl PartitionSym {
+    /// `|G|`.
+    pub(crate) fn order(&self) -> u64 {
+        self.perms.len() as u64
+    }
+}
+
+/// Builds the block-permutation group of `partition` (which is
+/// non-increasing, so equal-size classes are contiguous runs).
+pub(crate) fn partition_sym(partition: &[usize]) -> PartitionSym {
+    let mut starts = Vec::with_capacity(partition.len() + 1);
+    let mut next = 0usize;
+    for &size in partition {
+        starts.push(next);
+        next += size;
+    }
+    starts.push(next);
+
+    let mut perms: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut i = 0;
+    while i < partition.len() {
+        let mut j = i;
+        while j < partition.len() && partition[j] == partition[i] {
+            j += 1;
+        }
+        let class: Vec<usize> = (i..j).collect();
+        let class_perms = permutations(&class);
+        perms = perms
+            .iter()
+            .flat_map(|base| {
+                class_perms.iter().map(move |cp| {
+                    let mut p = base.clone();
+                    p.extend_from_slice(cp);
+                    p
+                })
+            })
+            .collect();
+        i = j;
+    }
+    PartitionSym { starts, perms }
+}
+
+/// One non-identity stabilizer element of a canonical shape vector.
+pub(crate) struct ShapePerm {
+    /// Event bijection: `sigma[old id] = new id`.
+    pub(crate) sigma: Vec<usize>,
+    /// Location bijection: `loc_map[old label] = new label`.
+    pub(crate) loc_map: Vec<u32>,
+}
+
+/// Compares `g·S` (blocks permuted by `perm`, locations relabelled
+/// first-use) against `S` over the first `window` positions, filling
+/// `sigma`/`loc_map` along the way. Returns the lexicographic order of
+/// `g·S` versus `S` restricted to the window.
+fn permuted_cmp(
+    sym: &PartitionSym,
+    perm: &[usize],
+    shapes: &[EventShape],
+    window: usize,
+    sigma: &mut Vec<usize>,
+    loc_map: &mut Vec<u32>,
+) -> Ordering {
+    const UNSET: u32 = u32::MAX;
+    sigma.clear();
+    sigma.resize(shapes.len(), usize::MAX);
+    loc_map.clear();
+    loc_map.resize(shapes.len(), UNSET);
+    let mut next_label = 0u32;
+    let mut block = 0usize;
+    for i in 0..window {
+        while i >= sym.starts[block + 1] {
+            block += 1;
+        }
+        let old_block = if block < perm.len() {
+            perm[block]
+        } else {
+            block
+        };
+        let old_e = sym.starts[old_block] + (i - sym.starts[block]);
+        sigma[old_e] = i;
+        let permuted = match shapes[old_e] {
+            EventShape::Read(l, a) => {
+                if loc_map[l as usize] == UNSET {
+                    loc_map[l as usize] = next_label;
+                    next_label += 1;
+                }
+                (0u8, loc_map[l as usize], annot_bits(a))
+            }
+            EventShape::Write(l, a) => {
+                if loc_map[l as usize] == UNSET {
+                    loc_map[l as usize] = next_label;
+                    next_label += 1;
+                }
+                (1, loc_map[l as usize], annot_bits(a))
+            }
+            EventShape::Fence(f) => (2, f.index() as u32, 0),
+        };
+        let original = match shapes[i] {
+            EventShape::Read(l, a) => (0u8, l, annot_bits(a)),
+            EventShape::Write(l, a) => (1, l, annot_bits(a)),
+            EventShape::Fence(f) => (2, f.index() as u32, 0),
+        };
+        match permuted.cmp(&original) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// The shape-level lex-leader check: `None` if some `g·S < S` (the shape is
+/// not canonical and its entire relation odometer is skipped), otherwise
+/// the non-identity stabilizer elements `{g : g·S = S}`.
+pub(crate) fn shape_stabilizer(
+    sym: &PartitionSym,
+    shapes: &[EventShape],
+) -> Option<Vec<ShapePerm>> {
+    let mut out = Vec::new();
+    let mut sigma = Vec::new();
+    let mut loc_map = Vec::new();
+    for perm in &sym.perms[1..] {
+        match permuted_cmp(sym, perm, shapes, shapes.len(), &mut sigma, &mut loc_map) {
+            Ordering::Less => return None,
+            Ordering::Equal => out.push(ShapePerm {
+                sigma: sigma.clone(),
+                loc_map: loc_map.clone(),
+            }),
+            Ordering::Greater => {}
+        }
+    }
+    Some(out)
+}
+
+/// True if a work unit's shape prefix is already non-canonical: permuting
+/// blocks *fully contained* in the prefix window strictly lowers the
+/// window's shape keys, so no completion of the prefix can be canonical
+/// and the whole unit is dropped before any odometer runs.
+pub(crate) fn prefix_prunable(partition: &[usize], prefix: &[EventShape]) -> bool {
+    let depth = prefix.len();
+    let sym = partition_sym(partition);
+    let contained = (0..partition.len())
+        .take_while(|&t| sym.starts[t + 1] <= depth)
+        .count();
+    if contained < 2 {
+        return false;
+    }
+    let window_sym = partition_sym(&partition[..contained]);
+    let mut sigma = Vec::new();
+    let mut loc_map = Vec::new();
+    for perm in &window_sym.perms[1..] {
+        if permuted_cmp(&sym, perm, prefix, depth, &mut sigma, &mut loc_map) == Ordering::Less {
+            return true;
+        }
+    }
+    false
+}
+
+/// One stabilizer element's action on the odometer's index tuples:
+/// `(h·idx)[p] = val[inv_dim[p]][idx[inv_dim[p]]]`.
+pub(crate) struct StabElem {
+    /// `inv_dim[p]` = the source dimension whose image lands at target
+    /// dimension `p`. Families are preserved (rf dims map to rf dims, …),
+    /// so the slow prefix of `h·idx` depends only on the slow prefix of
+    /// `idx`.
+    inv_dim: Vec<usize>,
+    /// `val[q][v]` = the option index the source choice `v` of dimension
+    /// `q` maps to at its target dimension.
+    val: Vec<Vec<usize>>,
+}
+
+impl StabElem {
+    /// `(h·idx)[p]`.
+    #[inline]
+    pub(crate) fn image_at(&self, idx: &[usize], p: usize) -> usize {
+        let q = self.inv_dim[p];
+        self.val[q][idx[q]]
+    }
+
+    /// Lexicographic order of `idx` versus `h·idx` over positions
+    /// `from..upto`.
+    pub(crate) fn cmp_range(&self, idx: &[usize], from: usize, upto: usize) -> Ordering {
+        for p in from..upto {
+            match idx[p].cmp(&self.image_at(idx, p)) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+/// Builds the per-dimension action tables of every shape stabilizer
+/// element, once per shape vector.
+pub(crate) fn build_stab_elems(
+    choices: &RelationChoices,
+    layout: &OdometerLayout,
+    shape_perms: &[ShapePerm],
+) -> Vec<StabElem> {
+    if shape_perms.is_empty() {
+        return Vec::new();
+    }
+    let read_pos: HashMap<usize, usize> = choices
+        .reads
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, i))
+        .collect();
+    let loc_pos: HashMap<u32, usize> = choices
+        .locs
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, i))
+        .collect();
+    // co options are permutations in a deterministic order; index them by
+    // content once so each h can look up the image of an order.
+    let co_index: Vec<HashMap<&[usize], usize>> = choices
+        .co_options
+        .iter()
+        .map(|opts| {
+            opts.iter()
+                .enumerate()
+                .map(|(v, o)| (o.as_slice(), v))
+                .collect()
+        })
+        .collect();
+    let dep_pos: HashMap<(usize, usize), usize> = choices
+        .dep_pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i))
+        .collect();
+    let rmw_pos: HashMap<(usize, usize), usize> = choices
+        .rmw_pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i))
+        .collect();
+
+    let total = layout.dims.len();
+    shape_perms
+        .iter()
+        .map(|h| {
+            let mut dim_map = vec![0usize; total];
+            let mut val: Vec<Vec<usize>> = vec![Vec::new(); total];
+            for (i, &r) in choices.reads.iter().enumerate() {
+                let q = layout.rf_at + i;
+                let i2 = read_pos[&h.sigma[r]];
+                dim_map[q] = layout.rf_at + i2;
+                let target = &choices.rf_options[i2];
+                val[q] = choices.rf_options[i]
+                    .iter()
+                    .map(|opt| match opt {
+                        None => 0,
+                        Some(w) => target
+                            .iter()
+                            .position(|&o| o == Some(h.sigma[*w]))
+                            .expect("a stabilizer maps rf options within the shape"),
+                    })
+                    .collect();
+            }
+            for (i, &l) in choices.locs.iter().enumerate() {
+                let q = layout.co_at + i;
+                let i2 = loc_pos[&h.loc_map[l as usize]];
+                dim_map[q] = layout.co_at + i2;
+                val[q] = choices.co_options[i]
+                    .iter()
+                    .map(|order| {
+                        let mapped: Vec<usize> = order.iter().map(|&w| h.sigma[w]).collect();
+                        co_index[i2][mapped.as_slice()]
+                    })
+                    .collect();
+            }
+            for (i, &(r, e)) in choices.dep_pairs.iter().enumerate() {
+                let q = layout.dep_at + i;
+                dim_map[q] = layout.dep_at + dep_pos[&(h.sigma[r], h.sigma[e])];
+                val[q] = vec![0, 1];
+            }
+            for (i, &(r, w)) in choices.rmw_pairs.iter().enumerate() {
+                let q = layout.rmw_at + i;
+                dim_map[q] = layout.rmw_at + rmw_pos[&(h.sigma[r], h.sigma[w])];
+                val[q] = vec![0, 1];
+            }
+            for (t, block) in choices.thread_blocks.iter().enumerate() {
+                let q = layout.txn_at + t;
+                let t2 = choices.thread_of[h.sigma[block[0]]] as usize;
+                dim_map[q] = layout.txn_at + t2;
+                // Interval sets depend only on block length, which the
+                // (size-preserving) block permutation keeps, so option
+                // indices carry over unchanged.
+                val[q] = (0..choices.txn_options[t].len()).collect();
+            }
+            let mut inv_dim = vec![0usize; total];
+            for (q, &p) in dim_map.iter().enumerate() {
+                inv_dim[p] = q;
+            }
+            StabElem { inv_dim, val }
+        })
+        .collect()
+}
+
+/// Scales a representative's in-space orbit to the fully-labelled space a
+/// naive SAT/Alloy enumeration visits: `k!·l!/|Stab(E)|` for `k` threads
+/// and `l` locations — the orbit under *arbitrary* thread and location
+/// renaming, before the enumerator's own canonicalisation (sorted thread
+/// sizes, first-use locations) collapses most of it. This is the honest
+/// "effective executions per second" multiplier for throughput
+/// comparisons; exact Table 1/2 counts use the in-space orbit instead.
+pub fn labelled_orbit(exec: &Execution, orbit: u64) -> u64 {
+    let k = exec.thread_count();
+    let l = exec.locations().len();
+    let mut sizes = vec![0usize; k];
+    for e in &exec.events {
+        sizes[e.thread.0 as usize] += 1;
+    }
+    sizes.sort_unstable();
+    // |G| = product of factorials of equal-size multiplicities.
+    let mut g = 1u64;
+    let mut run = 1u64;
+    for i in 1..sizes.len() {
+        if sizes[i] == sizes[i - 1] {
+            run += 1;
+            g *= run;
+        } else {
+            run = 1;
+        }
+    }
+    let factorial = |m: usize| (1..=m as u64).product::<u64>();
+    // |Stab(E)| = |G| / orbit; labelled orbit = k!·l!/|Stab(E)|.
+    factorial(k) * factorial(l) * orbit / g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_exec::{catalog, Event, ExecutionBuilder};
+
+    #[test]
+    fn partition_group_order_is_product_of_class_factorials() {
+        assert_eq!(partition_sym(&[3]).order(), 1);
+        assert_eq!(partition_sym(&[2, 1]).order(), 1);
+        assert_eq!(partition_sym(&[2, 2]).order(), 2);
+        assert_eq!(partition_sym(&[1, 1, 1]).order(), 6);
+        assert_eq!(partition_sym(&[2, 2, 1, 1]).order(), 4);
+        assert!(partition_sym(&[2, 2]).perms[0]
+            .windows(2)
+            .all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn symmetry_parses_and_prints_as_the_flag_value() {
+        assert_eq!(Symmetry::parse("on"), Ok(Symmetry::Reduced));
+        assert_eq!(Symmetry::parse("off"), Ok(Symmetry::Full));
+        assert!(Symmetry::parse("sideways").is_err());
+        assert_eq!(Symmetry::Reduced.to_string(), "on");
+        assert_ne!(Symmetry::Full.byte(), Symmetry::Reduced.byte());
+    }
+
+    #[test]
+    fn labelled_orbit_matches_brute_force_on_sb() {
+        // SB: two symmetric threads (W x; R y || W y; R x). In-space orbit
+        // is 1 (the swap is an automorphism up to relabelling): |G| = 2,
+        // |Stab| = 2. Labelled: 2!·2!/2 = 2 — brute force over all 2!
+        // thread × 2! location labellings yields 4 labelled graphs with a
+        // 2-element automorphism group.
+        let sb = catalog::sb();
+        assert_eq!(labelled_orbit(&sb, 1), 2);
+
+        // An asymmetric 2-thread execution: W x; W y || R x. |G| = 1
+        // (different sizes), orbit 1, |Stab| = 1, labelled = 2!·2!.
+        let mut b = ExecutionBuilder::new();
+        b.push(Event::write(0, 0));
+        b.push(Event::write(0, 1));
+        b.push(Event::read(1, 0));
+        let e = b.build().unwrap();
+        assert_eq!(labelled_orbit(&e, 1), 4);
+    }
+}

@@ -5,7 +5,7 @@ use std::collections::HashSet;
 use tm_exec::ir::{Delta, RelBase};
 use tm_exec::{check_well_formed, Annot, Execution};
 
-use crate::canonical_signature;
+use crate::{canonical_signature, CanonSig};
 
 /// One ⊏-weakening expressed *against the candidate it weakens*, so an
 /// incremental pipeline can probe it without cloning the execution:
@@ -188,9 +188,9 @@ pub fn weakenings(exec: &Execution) -> Vec<Execution> {
 /// (the Allow-suite merge) need not recompute it. Materialises every
 /// [`weakening_edits`] result on a clone, filters the ill-formed ones, and
 /// deduplicates.
-pub fn weakenings_with_signatures(exec: &Execution) -> Vec<(String, Execution)> {
+pub fn weakenings_with_signatures(exec: &Execution) -> Vec<(CanonSig, Execution)> {
     let mut out = Vec::new();
-    let mut seen: HashSet<String> = HashSet::new();
+    let mut seen: HashSet<CanonSig> = HashSet::new();
     for weakening in weakening_edits(exec) {
         let weaker = match weakening {
             Weakening::Rebuild(weaker) => *weaker,
@@ -276,7 +276,7 @@ mod tests {
             catalog::monotonicity_cex_coalesced(),
         ] {
             let ws = weakenings(&exec);
-            let sigs: std::collections::HashSet<String> =
+            let sigs: std::collections::HashSet<CanonSig> =
                 ws.iter().map(crate::canonical_signature).collect();
             assert_eq!(sigs.len(), ws.len(), "duplicate weakenings returned");
         }
@@ -357,7 +357,7 @@ mod tests {
             catalog::monotonicity_cex_coalesced(),
         ] {
             let mut probe = exec.clone();
-            let mut probed: std::collections::HashSet<String> = std::collections::HashSet::new();
+            let mut probed: std::collections::HashSet<CanonSig> = std::collections::HashSet::new();
             for weakening in weakening_edits(&exec) {
                 if let Weakening::Edits(edits) = weakening {
                     let mut delta = Delta::new();

@@ -20,12 +20,12 @@ use tm_weak_memory::models::ir::IncrementalChecker;
 use tm_weak_memory::models::{Target, X86Model};
 use tm_weak_memory::synth::{
     canonical_signature, enumerate_exact_incremental, synthesise_suites,
-    synthesise_suites_per_execution, SuiteReport, SynthConfig,
+    synthesise_suites_per_execution, CanonSig, SuiteReport, SynthConfig,
 };
 
-fn signatures(report: &SuiteReport) -> (Vec<String>, Vec<String>) {
+fn signatures(report: &SuiteReport) -> (Vec<CanonSig>, Vec<CanonSig>) {
     let sigs = |tests: &[tm_weak_memory::synth::SynthesisedTest]| {
-        let mut sigs: Vec<String> = tests
+        let mut sigs: Vec<CanonSig> = tests
             .iter()
             .map(|t| canonical_signature(&t.execution))
             .collect();

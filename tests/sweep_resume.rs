@@ -15,7 +15,9 @@ use tm_weak_memory::models::{MemoryModel, ScModel, X86Model};
 use tm_weak_memory::sweep::{
     merge_sharded, run_sweep, FailKind, FailPlan, SweepJob, SweepMode, SweepOptions, SweepStatus,
 };
-use tm_weak_memory::synth::{canonical_signature, work_units, SuiteReport, SynthConfig};
+use tm_weak_memory::synth::{
+    canonical_signature, work_units, CanonSig, SuiteReport, Symmetry, SynthConfig,
+};
 
 /// A fresh scratch directory under the system temp dir; removed on drop.
 struct Scratch(PathBuf);
@@ -65,13 +67,14 @@ fn suites_job<'a>(
         mode: SweepMode::Suites,
         config,
         events: config.max_events,
+        symmetry: Symmetry::Full,
     }
 }
 
 /// Everything about a suite report that the resume contract promises to
 /// preserve: canonical and structural signatures of both suites, the
 /// transaction histogram, and the enumeration total.
-type SuiteProfile = (Vec<(String, String)>, Vec<String>, Vec<usize>, usize);
+type SuiteProfile = (Vec<(CanonSig, String)>, Vec<String>, Vec<usize>, usize);
 
 fn profile(report: &SuiteReport) -> SuiteProfile {
     let forbid = report
@@ -95,10 +98,10 @@ fn profile(report: &SuiteReport) -> SuiteProfile {
 #[test]
 fn unit_ids_are_stable_and_unique() {
     let config = trimmed_config();
-    let units = work_units(&config, 3);
+    let units = work_units(&config, 3, Symmetry::Full);
     assert!(units.len() > 10, "expected a real unit frontier");
     let ids: Vec<u64> = units.iter().map(|u| u.stable_id(&config, 3)).collect();
-    let again: Vec<u64> = work_units(&config, 3)
+    let again: Vec<u64> = work_units(&config, 3, Symmetry::Full)
         .iter()
         .map(|u| u.stable_id(&config, 3))
         .collect();
@@ -113,7 +116,7 @@ fn unit_ids_are_stable_and_unique() {
         max_locs: 3,
         ..trimmed_config()
     };
-    let moved: Vec<u64> = work_units(&other, 3)
+    let moved: Vec<u64> = work_units(&other, 3, Symmetry::Full)
         .iter()
         .map(|u| u.stable_id(&other, 3))
         .collect();
@@ -306,6 +309,60 @@ fn resume_refuses_a_foreign_journal_and_unflagged_overwrites() {
     opts.resume = true;
     let err = run_sweep(&other_job, &opts).expect_err("must refuse foreign journal");
     assert!(err.to_string().contains("different sweep"), "got: {err}");
+
+    // Same job but symmetry-reduced: its unit counters mean something
+    // different, so the full-mode journal must be foreign to it.
+    let reduced_job = SweepJob {
+        symmetry: Symmetry::Reduced,
+        ..suites_job(&tm, &base, &config)
+    };
+    let mut opts = SweepOptions::new(dir.path());
+    opts.resume = true;
+    let err = run_sweep(&reduced_job, &opts).expect_err("must refuse cross-symmetry resume");
+    assert!(err.to_string().contains("different sweep"), "got: {err}");
+}
+
+/// A symmetry-reduced sweep visits fewer executions but must bank the same
+/// suites, survive an interruption, and account for the full space through
+/// its orbit weights.
+#[test]
+fn symmetry_reduced_sweep_resumes_and_matches_the_full_suites() {
+    // Three threads: the 2-thread space's partitions ([3], [2, 1]) are all
+    // asymmetric, so only here does reduction actually skip executions.
+    let config = SynthConfig {
+        max_threads: 3,
+        ..trimmed_config()
+    };
+    let (tm, base) = (ScModel::tsc(), ScModel::sc());
+    let full_job = suites_job(&tm, &base, &config);
+    let reduced_job = SweepJob {
+        symmetry: Symmetry::Reduced,
+        ..suites_job(&tm, &base, &config)
+    };
+
+    let full_dir = Scratch::new("sym-full");
+    let full = run_sweep(&full_job, &SweepOptions::new(full_dir.path())).expect("full run");
+    let full_report = full.suites.expect("suites mode");
+
+    let dir = Scratch::new("sym-reduced");
+    let mut opts = SweepOptions::new(dir.path());
+    opts.budget = Some(Duration::ZERO);
+    let stopped = run_sweep(&reduced_job, &opts).expect("budget run");
+    assert_eq!(stopped.status, SweepStatus::BudgetExhausted);
+    let mut opts = SweepOptions::new(dir.path());
+    opts.resume = true;
+    let reduced = run_sweep(&reduced_job, &opts).expect("resumed reduced run");
+    assert_eq!(reduced.status, SweepStatus::Complete);
+    let reduced_report = reduced.suites.expect("suites mode");
+
+    // Fewer representatives, same orbit-weighted total, identical suites.
+    assert!(reduced.visited < full.visited);
+    assert_eq!(reduced.weighted_visited, full.visited);
+    let (forbid, allow, histogram, _) = profile(&full_report);
+    let (r_forbid, r_allow, r_histogram, _) = profile(&reduced_report);
+    assert_eq!(forbid, r_forbid);
+    assert_eq!(allow, r_allow);
+    assert_eq!(histogram, r_histogram);
 }
 
 #[test]
@@ -319,6 +376,7 @@ fn counts_mode_checkpoints_and_resumes_too() {
         mode: SweepMode::Counts,
         config: &config,
         events: 3,
+        symmetry: Symmetry::Full,
     };
 
     let clean_dir = Scratch::new("counts-clean");
