@@ -5,7 +5,11 @@
 //! tm-cat print <target>             # render a built-in model as .cat
 //! tm-cat check <file> [options]     # verdicts on named litmus executions
 //! tm-cat sweep <file> [options]     # bounded-exhaustive synthesis sweep
+//! tm-cat lint <file> [options]      # semantic static analysis (see README)
 //! ```
+//!
+//! `lint` options:
+//!   --deny warnings  exit 1 when any finding is reported (for CI gates)
 //!
 //! `check` options:
 //!   --litmus NAME   check one named execution (repeatable; default: all)
@@ -47,15 +51,16 @@
 //!   --fail-plan KIND:K  fault injection: panic|panic-once|exit|stall after
 //!                       K claimed units (also: TM_SWEEP_FAIL_PLAN env var)
 //!
-//! Exit codes: 0 success; 1 verdict drift from --expect; 2 usage, parse or
-//! IO error; 3 sweep finished degraded (quarantined units) or ran out of
-//! budget with units still pending.
+//! Exit codes: 0 success; 1 verdict drift from --expect or lint findings
+//! under --deny warnings; 2 usage, parse or IO error; 3 sweep finished
+//! degraded (quarantined units) or ran out of budget with units still
+//! pending.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use tm_cat::{load_file, print_target};
+use tm_cat::{lint_file, load_file_with_warnings, print_target};
 use tm_exec::{catalog, Execution};
 use tm_litmus::from_execution;
 use tm_models::ir::IrModel;
@@ -125,7 +130,8 @@ fn usage() -> ExitCode {
          [--symmetry on|off]\n                [--suites --baseline <file.cat>] \
          [--checkpoint DIR [--resume] \
          [--shard I/M | --supervise M] [--budget SECS]\n                 [--unit-deadline SECS] \
-         [--retries N] [--backoff-ms MS] [--sync-batch N]\n                 [--fail-plan KIND:K]]"
+         [--retries N] [--backoff-ms MS] [--sync-batch N]\n                 [--fail-plan KIND:K]]\n  \
+         tm-cat lint <file.cat> [--deny warnings]"
     );
     ExitCode::from(2)
 }
@@ -150,6 +156,7 @@ fn main() -> ExitCode {
         },
         "check" => check(&args[1..]),
         "sweep" => sweep(&args[1..]),
+        "lint" => lint(&args[1..]),
         _ => usage(),
     }
 }
@@ -168,13 +175,71 @@ fn list() -> ExitCode {
 
 /// Loads a `.cat` model or reports the failure as a usage/IO error (exit
 /// code 2) — a missing or unparsable file is an operator problem, not a
-/// verdict.
+/// verdict. Lint findings go to stderr (stdout stays machine-greppable)
+/// without affecting the exit code; `tm-cat lint --deny warnings` is the
+/// gate.
 fn load_or_exit(path: &str) -> Result<IrModel, ExitCode> {
-    match load_file(path) {
-        Ok(model) => Ok(model),
+    match load_file_with_warnings(path) {
+        Ok((model, warnings)) => {
+            for w in &warnings {
+                eprintln!("{w}\n");
+            }
+            Ok(model)
+        }
         Err(e) => {
             eprintln!("{e}");
             Err(ExitCode::from(2))
+        }
+    }
+}
+
+/// `tm-cat lint <file> [--deny warnings]`: run the semantic linter alone.
+/// Exit 0 when clean, 1 when findings exist under `--deny warnings`, 2 on
+/// usage/parse/IO errors. Axiom-less fragments (files meant for `include`)
+/// lint fine.
+fn lint(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut deny = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny" if args.get(i + 1).map(String::as_str) == Some("warnings") => {
+                deny = true;
+                i += 2;
+            }
+            other => {
+                eprintln!("tm-cat: unknown option `{other}` (expected --deny warnings)");
+                return usage();
+            }
+        }
+    }
+    let warnings = match lint_file(path) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    for w in &warnings {
+        eprintln!("{w}\n");
+    }
+    match warnings.len() {
+        0 => {
+            println!("{path}: clean");
+            ExitCode::SUCCESS
+        }
+        n => {
+            println!(
+                "{path}: {n} finding(s){}",
+                if deny { " (denied)" } else { "" }
+            );
+            if deny {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
     }
 }

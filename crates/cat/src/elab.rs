@@ -7,14 +7,30 @@
 //! lowered node (hash-consed, so repeated subexpressions — across `let`
 //! bindings, axioms, or `include`d files — are one node, exactly like the
 //! built-in catalog) plus the axiom table in declaration order.
+//!
+//! `let rec … and …` groups are solved here: the group's internal
+//! reference graph is split into strongly connected components, components
+//! without genuine recursion elaborate sequentially (forward references
+//! across components are legal), and genuinely recursive components become
+//! [`Fix`](tm_exec::ir::RelExpr::Fix) nodes — after a polarity check that
+//! every recursive occurrence is positive, so the least fixpoint exists.
+//! Non-stratified recursion (a variable under the right of `\` or inside a
+//! lift) is rejected with a spanned diagnostic naming the cycle.
+//!
+//! Elaboration also drives the linter: it records where every interned node
+//! first appears, which bindings each definition and axiom uses, and hands
+//! the finished pool to [`tm_exec::ir::analysis`] to derive the semantic
+//! warnings (statically-empty subexpressions, vacuous and redundant
+//! axioms) next to the syntactic ones (dead and shadowed bindings).
 
 use std::collections::HashMap;
 
-use tm_exec::ir::{AxiomHead, IrPool, RelBase, RelExpr, RelId, SetId};
+use tm_exec::ir::analysis::Analysis;
+use tm_exec::ir::{var_polarity, AxiomHead, IrPool, Polarity, RelBase, RelExpr, RelId, SetId};
 use tm_models::ir::IrModel;
 
 use crate::ast::{Binding, CatFile, Expr, Head, Stmt};
-use crate::error::{CatError, Sources, Span};
+use crate::error::{CatError, CatWarning, Sources, Span};
 use crate::prim::{lookup, Prim};
 
 /// The kind-tagged result of elaborating one expression.
@@ -33,18 +49,57 @@ impl Value {
     }
 }
 
+/// Lint bookkeeping for one `let` binding.
+struct BindingInfo {
+    name: String,
+    name_span: Span,
+}
+
+/// Lint bookkeeping for one axiom.
+struct AxiomInfo {
+    name: String,
+    head: AxiomHead,
+    body: RelId,
+    span: Span,
+}
+
 struct Elab<'a> {
     sources: &'a Sources,
     pool: IrPool,
     env: HashMap<String, Value>,
+    /// Latest binding index for each name (usage attribution).
+    binding_of: HashMap<String, usize>,
+    bindings: Vec<BindingInfo>,
+    /// `(user, used)` edges: `user` is the binding whose definition made the
+    /// reference, or `None` for an axiom body. Liveness of bindings is
+    /// reachability from the `None` seeds.
+    uses: Vec<(Option<usize>, usize)>,
+    /// The binding currently elaborating (suppresses self-use edges).
+    current: Option<usize>,
+    /// First source occurrence of each interned relation node.
+    rel_spans: HashMap<RelId, Span>,
+    axioms_info: Vec<AxiomInfo>,
+    warnings: Vec<CatWarning>,
 }
 
-/// Elaborates a parsed (and include-spliced) file into a model named `name`.
-pub fn elaborate(sources: &Sources, name: String, file: &CatFile) -> Result<IrModel, CatError> {
+/// Elaborates and lints: the model plus every warning the static analysis
+/// and the binding bookkeeping produce, in source order.
+pub fn elaborate_with_lints(
+    sources: &Sources,
+    name: String,
+    file: &CatFile,
+) -> Result<(IrModel, Vec<CatWarning>), CatError> {
     let mut elab = Elab {
         sources,
         pool: IrPool::new(),
         env: HashMap::new(),
+        binding_of: HashMap::new(),
+        bindings: Vec::new(),
+        uses: Vec::new(),
+        current: None,
+        rel_spans: HashMap::new(),
+        axioms_info: Vec::new(),
+        warnings: Vec::new(),
     };
     let mut axioms = Vec::new();
     for stmt in &file.stmts {
@@ -71,11 +126,90 @@ pub fn elaborate(sources: &Sources, name: String, file: &CatFile) -> Result<IrMo
                     Head::Irreflexive => AxiomHead::Irreflexive,
                     Head::Empty => AxiomHead::Empty,
                 };
+                elab.axioms_info.push(AxiomInfo {
+                    name: axiom_name.clone(),
+                    head,
+                    body: body_id,
+                    span: body.span(),
+                });
                 axioms.push(elab.pool.axiom(axiom_name, head, body_id));
             }
         }
     }
-    Ok(IrModel::from_parts(name, elab.pool, axioms))
+    let warnings = elab.finish_lints();
+    Ok((IrModel::from_parts(name, elab.pool, axioms), warnings))
+}
+
+/// The relation children of a node, for root-cause filtering of emptiness.
+fn rel_children(pool: &IrPool, id: RelId) -> Vec<RelId> {
+    match pool.rel_expr(id) {
+        RelExpr::Base(_) | RelExpr::IdOn(_) | RelExpr::Cross(_, _) | RelExpr::Var(_) => vec![],
+        RelExpr::Seq(a, b)
+        | RelExpr::Union(a, b)
+        | RelExpr::Inter(a, b)
+        | RelExpr::Diff(a, b)
+        | RelExpr::WeakLift(a, b)
+        | RelExpr::StrongLift(a, b) => vec![a, b],
+        RelExpr::Inverse(a) | RelExpr::Opt(a) | RelExpr::Plus(a) | RelExpr::Star(a) => vec![a],
+        RelExpr::Fix(g, _) => pool.fix_bodies(g).to_vec(),
+    }
+}
+
+/// Tarjan's strongly-connected components over a tiny dependency graph,
+/// emitted callees-first (every component only depends on earlier ones).
+fn sccs(n: usize, deps: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    struct St<'d> {
+        deps: &'d [Vec<usize>],
+        index: Vec<Option<u32>>,
+        low: Vec<u32>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: u32,
+        out: Vec<Vec<usize>>,
+    }
+    fn visit(st: &mut St<'_>, v: usize) {
+        st.index[v] = Some(st.next);
+        st.low[v] = st.next;
+        st.next += 1;
+        st.stack.push(v);
+        st.on_stack[v] = true;
+        for w in st.deps[v].clone() {
+            if st.index[w].is_none() {
+                visit(st, w);
+                st.low[v] = st.low[v].min(st.low[w]);
+            } else if st.on_stack[w] {
+                st.low[v] = st.low[v].min(st.index[w].unwrap());
+            }
+        }
+        if st.low[v] == st.index[v].unwrap() {
+            let mut comp = Vec::new();
+            loop {
+                let w = st.stack.pop().unwrap();
+                st.on_stack[w] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            comp.sort_unstable();
+            st.out.push(comp);
+        }
+    }
+    let mut st = St {
+        deps,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if st.index[v].is_none() {
+            visit(&mut st, v);
+        }
+    }
+    st.out
 }
 
 impl<'a> Elab<'a> {
@@ -83,34 +217,287 @@ impl<'a> Elab<'a> {
         CatError::new(self.sources, span, message)
     }
 
+    fn warn(&mut self, span: Span, lint: &'static str, message: impl Into<String>) {
+        self.warnings
+            .push(CatWarning::new(self.sources, span, lint, message));
+    }
+
     fn let_group(&mut self, rec: bool, bindings: &[Binding]) -> Result<(), CatError> {
-        for (i, binding) in bindings.iter().enumerate() {
-            if rec {
-                // Bindings elaborate in order, so references to *earlier*
-                // members of the group are ordinary sequential uses; a
-                // reference to the binding itself or a *later* member is a
-                // genuine fixpoint, which the IR (a finite DAG with explicit
-                // closure operators) has no lowering for. Catch those by
-                // name before resolution fails with a misleading "unknown
-                // name".
-                for other in &bindings[i..] {
-                    if binding.expr.mentions(&other.name) {
+        if !rec {
+            for binding in bindings {
+                self.bind_simple(binding)?;
+            }
+            return Ok(());
+        }
+        // In a `let rec` group every member is in scope in every body, so
+        // split the internal reference graph into SCCs: non-recursive
+        // components elaborate sequentially in dependency order (forward
+        // references across components are legal), recursive ones become
+        // fixpoint nodes.
+        let n = bindings.len();
+        let deps: Vec<Vec<usize>> = bindings
+            .iter()
+            .map(|b| {
+                (0..n)
+                    .filter(|&j| b.expr.mentions(&bindings[j].name))
+                    .collect()
+            })
+            .collect();
+        for comp in sccs(n, &deps) {
+            let genuine = comp.len() > 1 || deps[comp[0]].contains(&comp[0]);
+            if genuine {
+                self.bind_rec_component(bindings, &comp)?;
+            } else {
+                self.bind_simple(&bindings[comp[0]])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Shadowing lints plus the shared binding registration.
+    fn declare(&mut self, binding: &Binding) -> usize {
+        if self.env.contains_key(&binding.name) {
+            self.warn(
+                binding.name_span,
+                "shadowed-let",
+                format!(
+                    "binding `{}` shadows an earlier `let` of the same name",
+                    binding.name
+                ),
+            );
+        } else if let Some(prim) = lookup(&binding.name) {
+            self.warn(
+                binding.name_span,
+                "shadowed-let",
+                format!(
+                    "binding `{}` shadows the primitive {} of the same name",
+                    binding.name,
+                    match prim {
+                        Prim::Rel(_) => "relation",
+                        Prim::Set(_) => "set",
+                    }
+                ),
+            );
+        }
+        let ix = self.bindings.len();
+        self.bindings.push(BindingInfo {
+            name: binding.name.clone(),
+            name_span: binding.name_span,
+        });
+        ix
+    }
+
+    fn bind_simple(&mut self, binding: &Binding) -> Result<(), CatError> {
+        let ix = self.declare(binding);
+        let prev = self.current.replace(ix);
+        let value = self.eval(&binding.expr);
+        self.current = prev;
+        let value = value?;
+        self.env.insert(binding.name.clone(), value);
+        self.binding_of.insert(binding.name.clone(), ix);
+        Ok(())
+    }
+
+    /// Elaborates one genuinely recursive SCC of a `let rec` group into a
+    /// mutual fixpoint: fresh recursion variables stand in for the members
+    /// while the bodies elaborate, every body must use every variable
+    /// positively, and the solved components replace the variables in the
+    /// environment.
+    fn bind_rec_component(&mut self, bindings: &[Binding], comp: &[usize]) -> Result<(), CatError> {
+        let mut vars = Vec::with_capacity(comp.len());
+        let mut indices = Vec::with_capacity(comp.len());
+        for &m in comp {
+            let ix = self.declare(&bindings[m]);
+            let var = self.pool.fresh_var();
+            self.env.insert(bindings[m].name.clone(), Value::Rel(var));
+            self.binding_of.insert(bindings[m].name.clone(), ix);
+            vars.push(var);
+            indices.push(ix);
+        }
+        let mut body_ids = Vec::with_capacity(comp.len());
+        for (&m, &ix) in comp.iter().zip(&indices) {
+            let prev = self.current.replace(ix);
+            let value = self.eval(&bindings[m].expr);
+            self.current = prev;
+            match value? {
+                Value::Rel(id) => body_ids.push(id),
+                Value::Set(_) => {
+                    return Err(self.err(
+                        bindings[m].expr.span(),
+                        format!(
+                            "recursive definition of `{}` must be a relation, but this \
+                             expression is a set",
+                            bindings[m].name
+                        ),
+                    ));
+                }
+            }
+        }
+        let cycle = comp
+            .iter()
+            .map(|&m| format!("`{}`", bindings[m].name))
+            .collect::<Vec<_>>()
+            .join(", ");
+        for (&m, &body) in comp.iter().zip(&body_ids) {
+            for (&v_m, &var) in comp.iter().zip(&vars) {
+                let RelExpr::Var(v) = self.pool.rel_expr(var) else {
+                    unreachable!("fresh_var interns a Var node");
+                };
+                match var_polarity(&self.pool, body, v) {
+                    Polarity::Positive | Polarity::Constant => {}
+                    Polarity::Negative | Polarity::Mixed => {
                         return Err(self.err(
-                            binding.name_span,
+                            bindings[m].name_span,
                             format!(
-                                "recursive definition of `{}` (via `{}`) is not supported: the \
-                                 IR has no fixpoint operator; express the recursion with the \
-                                 closure operators `+` or `*`",
-                                binding.name, other.name
+                                "recursive cycle through {cycle} is not positively \
+                                 stratified: `{}` occurs negatively in the definition of \
+                                 `{}` (under the right of `\\`, or inside a lift); only \
+                                 positive recursion has a least fixpoint",
+                                bindings[v_m].name, bindings[m].name
                             ),
                         ));
                     }
                 }
             }
-            let value = self.eval(&binding.expr)?;
-            self.env.insert(binding.name.clone(), value);
+        }
+        let solved = self.pool.fix(&vars, &body_ids);
+        for ((&m, &fixed), var) in comp.iter().zip(&solved).zip(vars) {
+            self.env.insert(bindings[m].name.clone(), Value::Rel(fixed));
+            let span = bindings[m].expr.span();
+            self.rel_spans.entry(fixed).or_insert(span);
+            // The bare variable should never be queried once solved, but
+            // give it the same span in case a diagnostic lands on it.
+            self.rel_spans.entry(var).or_insert(span);
         }
         Ok(())
+    }
+
+    /// The semantic lints, computed once the pool is complete.
+    fn finish_lints(&mut self) -> Vec<CatWarning> {
+        // Dead bindings: not reachable from any axiom body's uses.
+        let mut live = vec![false; self.bindings.len()];
+        let mut queue: Vec<usize> = self
+            .uses
+            .iter()
+            .filter(|(from, _)| from.is_none())
+            .map(|&(_, to)| to)
+            .collect();
+        while let Some(ix) = queue.pop() {
+            if std::mem::replace(&mut live[ix], true) {
+                continue;
+            }
+            queue.extend(
+                self.uses
+                    .iter()
+                    .filter(|&&(from, _)| from == Some(ix))
+                    .map(|&(_, to)| to),
+            );
+        }
+        // An axiom-less file is a library fragment meant for `include`; with
+        // no axioms to seed liveness, "unused" would indict every binding.
+        if !self.axioms_info.is_empty() {
+            for (ix, info) in self.bindings.iter().enumerate() {
+                if !live[ix] {
+                    self.warnings.push(CatWarning::new(
+                        self.sources,
+                        info.name_span,
+                        "unused-let",
+                        format!("binding `{}` is never used by any axiom", info.name),
+                    ));
+                }
+            }
+        }
+
+        let analysis = Analysis::new(&self.pool);
+        // Statically-empty subexpressions, filtered to root causes: a node
+        // whose own children are all non-empty is where the emptiness is
+        // introduced; its ancestors would only echo it.
+        let mut empties: Vec<(RelId, Span)> = self
+            .rel_spans
+            .iter()
+            .filter(|(&id, _)| {
+                analysis.is_empty(id)
+                    && !matches!(self.pool.rel_expr(id), RelExpr::Var(_))
+                    && rel_children(&self.pool, id)
+                        .into_iter()
+                        .all(|c| !analysis.is_empty(c))
+            })
+            .map(|(&id, &span)| (id, span))
+            .collect();
+        empties.sort_by_key(|&(id, _)| id);
+        for (_, span) in empties {
+            self.warnings.push(CatWarning::new(
+                self.sources,
+                span,
+                "statically-empty",
+                "this expression is provably empty on every well-formed execution \
+                 (its operands' event kinds can never meet)",
+            ));
+        }
+
+        // Vacuous axioms: the head predicate already holds by construction.
+        let vacuous: Vec<bool> = self
+            .axioms_info
+            .iter()
+            .map(|ax| analysis.vacuous(ax.head, ax.body))
+            .collect();
+        for (ax, &vac) in self.axioms_info.iter().zip(&vacuous) {
+            if vac {
+                let claim = match ax.head {
+                    AxiomHead::Acyclic => "acyclic",
+                    AxiomHead::Irreflexive => "irreflexive",
+                    AxiomHead::Empty => "empty",
+                };
+                self.warnings.push(CatWarning::new(
+                    self.sources,
+                    ax.span,
+                    "vacuous-axiom",
+                    format!(
+                        "axiom `{}` is vacuous: its body is provably {claim} on every \
+                         well-formed execution, so the axiom constrains nothing",
+                        ax.name
+                    ),
+                ));
+            }
+        }
+
+        // Redundant axioms: implied by another (stronger) axiom. Vacuous
+        // axioms are skipped on both sides — they already warned, and an
+        // empty body is "included" in everything.
+        for (i, ax) in self.axioms_info.iter().enumerate() {
+            if vacuous[i] {
+                continue;
+            }
+            let witness = self.axioms_info.iter().enumerate().find(|&(j, other)| {
+                j != i
+                    && !vacuous[j]
+                    && analysis.implied_by(ax.head, ax.body, other.head, other.body)
+                    && (j < i || !analysis.implied_by(other.head, other.body, ax.head, ax.body))
+            });
+            if let Some((_, other)) = witness {
+                self.warnings.push(CatWarning::new(
+                    self.sources,
+                    ax.span,
+                    "redundant-axiom",
+                    format!(
+                        "axiom `{}` is redundant: every execution satisfying axiom `{}` \
+                         already satisfies it",
+                        ax.name, other.name
+                    ),
+                ));
+            }
+        }
+
+        let mut out = std::mem::take(&mut self.warnings);
+        out.sort_by(|a, b| {
+            (&a.snippet.path, a.snippet.line, a.snippet.col, a.lint).cmp(&(
+                &b.snippet.path,
+                b.snippet.line,
+                b.snippet.col,
+                b.lint,
+            ))
+        });
+        out
     }
 
     /// Elaborates an expression that must be a relation.
@@ -136,10 +523,25 @@ impl<'a> Elab<'a> {
         }
     }
 
+    /// [`eval_inner`](Self::eval_inner) plus the lint bookkeeping: the first
+    /// span each relation node elaborates from.
     fn eval(&mut self, e: &Expr) -> Result<Value, CatError> {
+        let value = self.eval_inner(e)?;
+        if let Value::Rel(id) = value {
+            self.rel_spans.entry(id).or_insert_with(|| e.span());
+        }
+        Ok(value)
+    }
+
+    fn eval_inner(&mut self, e: &Expr) -> Result<Value, CatError> {
         match e {
             Expr::Name(name, span) => {
                 if let Some(&v) = self.env.get(name) {
+                    if let Some(&ix) = self.binding_of.get(name) {
+                        if self.current != Some(ix) {
+                            self.uses.push((self.current, ix));
+                        }
+                    }
                     return Ok(v);
                 }
                 match lookup(name) {

@@ -83,12 +83,11 @@ impl Sources {
     }
 }
 
-/// A diagnostic from any `.cat` phase, fully rendered (the source line is
-/// captured at construction so the error outlives the loader).
+/// The located, quotable part of a diagnostic — everything but the message
+/// and severity. Shared by [`CatError`] and [`CatWarning`] so the two render
+/// through one code path.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CatError {
-    /// The one-line message (`unknown name \`foo\``).
-    pub message: String,
+pub struct Snippet {
     /// Display path of the offending file.
     pub path: String,
     /// 1-based line of the span start.
@@ -101,9 +100,9 @@ pub struct CatError {
     pub caret_len: u32,
 }
 
-impl CatError {
-    /// Builds a diagnostic for `span`, quoting its line from `sources`.
-    pub fn new(sources: &Sources, span: Span, message: impl Into<String>) -> CatError {
+impl Snippet {
+    /// Locates `span` in `sources` and captures its line.
+    pub fn locate(sources: &Sources, span: Span) -> Snippet {
         let file = sources.file(span.src);
         let start = (span.start as usize).min(file.text.len());
         let end = (span.end as usize).clamp(start, file.text.len());
@@ -115,8 +114,7 @@ impl CatError {
         let col = file.text[line_start..start].chars().count() as u32 + 1;
         let caret_end = end.min(line_end).max(start);
         let caret_len = (file.text[start..caret_end].chars().count() as u32).max(1);
-        CatError {
-            message: message.into(),
+        Snippet {
             path: file.path.clone(),
             line,
             col,
@@ -125,22 +123,9 @@ impl CatError {
         }
     }
 
-    /// A diagnostic with a location but no quotable source (I/O errors).
-    pub fn io(path: impl Into<String>, message: impl Into<String>) -> CatError {
-        CatError {
-            message: message.into(),
-            path: path.into(),
-            line: 0,
-            col: 0,
-            line_text: String::new(),
-            caret_len: 0,
-        }
-    }
-}
-
-impl fmt::Display for CatError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "error: {}", self.message)?;
+    /// Renders `severity: message` plus the location, line and caret.
+    fn render(&self, f: &mut fmt::Formatter<'_>, severity: &str, message: &str) -> fmt::Result {
+        writeln!(f, "{severity}: {message}")?;
         if self.line == 0 {
             return write!(f, "  --> {}", self.path);
         }
@@ -159,7 +144,83 @@ impl fmt::Display for CatError {
     }
 }
 
+/// A diagnostic from any `.cat` phase, fully rendered (the source line is
+/// captured at construction so the error outlives the loader).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatError {
+    /// The one-line message (`unknown name \`foo\``).
+    pub message: String,
+    /// The captured location and source line.
+    pub snippet: Snippet,
+}
+
+impl CatError {
+    /// Builds a diagnostic for `span`, quoting its line from `sources`.
+    pub fn new(sources: &Sources, span: Span, message: impl Into<String>) -> CatError {
+        CatError {
+            message: message.into(),
+            snippet: Snippet::locate(sources, span),
+        }
+    }
+
+    /// A diagnostic with a location but no quotable source (I/O errors).
+    pub fn io(path: impl Into<String>, message: impl Into<String>) -> CatError {
+        CatError {
+            message: message.into(),
+            snippet: Snippet {
+                path: path.into(),
+                line: 0,
+                col: 0,
+                line_text: String::new(),
+                caret_len: 0,
+            },
+        }
+    }
+}
+
+impl fmt::Display for CatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snippet.render(f, "error", &self.message)
+    }
+}
+
 impl std::error::Error for CatError {}
+
+/// One lint finding: a warning class (a stable kebab-case slug, e.g.
+/// `unused-let`), a message, and the offending span — rendered exactly like
+/// a [`CatError`] but with `warning[class]:` severity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CatWarning {
+    /// The lint class slug (`unused-let`, `vacuous-axiom`, …).
+    pub lint: &'static str,
+    /// The one-line message.
+    pub message: String,
+    /// The captured location and source line.
+    pub snippet: Snippet,
+}
+
+impl CatWarning {
+    /// Builds a warning of class `lint` for `span`.
+    pub fn new(
+        sources: &Sources,
+        span: Span,
+        lint: &'static str,
+        message: impl Into<String>,
+    ) -> CatWarning {
+        CatWarning {
+            lint,
+            message: message.into(),
+            snippet: Snippet::locate(sources, span),
+        }
+    }
+}
+
+impl fmt::Display for CatWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snippet
+            .render(f, &format!("warning[{}]", self.lint), &self.message)
+    }
+}
 
 #[cfg(test)]
 mod tests {

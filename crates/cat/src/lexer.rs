@@ -297,6 +297,6 @@ mod tests {
         let src = sources.add("<test>", "po @ rf");
         let err = lex(&sources, src).unwrap_err();
         assert!(err.message.contains("unexpected character `@`"));
-        assert_eq!((err.line, err.col), (1, 4));
+        assert_eq!((err.snippet.line, err.snippet.col), (1, 4));
     }
 }

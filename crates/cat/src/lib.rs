@@ -65,7 +65,7 @@ use std::path::{Path, PathBuf};
 
 use tm_models::ir::IrModel;
 
-pub use error::{CatError, SourceFile, Sources, Span};
+pub use error::{CatError, CatWarning, Snippet, SourceFile, Sources, Span};
 pub use print::{print_model, print_target};
 
 use ast::{CatFile, Stmt};
@@ -78,9 +78,18 @@ const MAX_INCLUDE_DEPTH: usize = 16;
 /// `name_hint` names the model when the source has no leading string
 /// literal. `include` paths resolve relative to the current directory.
 pub fn load_str(name_hint: &str, text: &str) -> Result<IrModel, CatError> {
+    load_str_with_warnings(name_hint, text).map(|(model, _)| model)
+}
+
+/// [`load_str`], also returning the linter's findings (see the README's
+/// lint catalog) in source order.
+pub fn load_str_with_warnings(
+    name_hint: &str,
+    text: &str,
+) -> Result<(IrModel, Vec<CatWarning>), CatError> {
     let mut loader = Loader::new();
     let file = loader.parse_source("<input>".to_string(), text.to_string(), None, 0)?;
-    loader.finish(name_hint, file)
+    loader.finish(name_hint, file, true)
 }
 
 /// Loads, parses and elaborates a `.cat` file from disk, following its
@@ -89,6 +98,13 @@ pub fn load_str(name_hint: &str, text: &str) -> Result<IrModel, CatError> {
 /// The model is named by the file's leading string literal, or its file
 /// stem when absent.
 pub fn load_file(path: impl AsRef<Path>) -> Result<IrModel, CatError> {
+    load_file_with_warnings(path).map(|(model, _)| model)
+}
+
+/// [`load_file`], also returning the linter's findings in source order.
+pub fn load_file_with_warnings(
+    path: impl AsRef<Path>,
+) -> Result<(IrModel, Vec<CatWarning>), CatError> {
     let path = path.as_ref();
     let mut loader = Loader::new();
     let file = loader.parse_path(path, 0)?;
@@ -96,7 +112,28 @@ pub fn load_file(path: impl AsRef<Path>) -> Result<IrModel, CatError> {
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "model".to_string());
-    loader.finish(&hint, file)
+    loader.finish(&hint, file, true)
+}
+
+/// Lints `.cat` source held in memory without requiring a complete model:
+/// axiom-less files (fragments meant for `include`) are accepted.
+pub fn lint_str(name_hint: &str, text: &str) -> Result<Vec<CatWarning>, CatError> {
+    let mut loader = Loader::new();
+    let file = loader.parse_source("<input>".to_string(), text.to_string(), None, 0)?;
+    loader.finish(name_hint, file, false).map(|(_, w)| w)
+}
+
+/// Lints a `.cat` file from disk (includes followed); axiom-less files are
+/// accepted.
+pub fn lint_file(path: impl AsRef<Path>) -> Result<Vec<CatWarning>, CatError> {
+    let path = path.as_ref();
+    let mut loader = Loader::new();
+    let file = loader.parse_path(path, 0)?;
+    let hint = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "model".to_string());
+    loader.finish(&hint, file, false).map(|(_, w)| w)
 }
 
 struct Loader {
@@ -170,10 +207,15 @@ impl Loader {
         })
     }
 
-    fn finish(self, name_hint: &str, file: CatFile) -> Result<IrModel, CatError> {
+    fn finish(
+        self,
+        name_hint: &str,
+        file: CatFile,
+        require_axioms: bool,
+    ) -> Result<(IrModel, Vec<CatWarning>), CatError> {
         let name = file.name.clone().unwrap_or_else(|| name_hint.to_string());
-        let model = elab::elaborate(&self.sources, name, &file)?;
-        if model.table().axioms().is_empty() {
+        let (model, warnings) = elab::elaborate_with_lints(&self.sources, name, &file)?;
+        if require_axioms && model.table().axioms().is_empty() {
             return Err(CatError::io(
                 "<model>",
                 format!(
@@ -183,7 +225,7 @@ impl Loader {
                 ),
             ));
         }
-        Ok(model)
+        Ok((model, warnings))
     }
 }
 
@@ -241,14 +283,46 @@ mod tests {
         )
         .unwrap();
         assert_eq!(model.axioms(), vec!["Order"]);
-        // A reference to a *later* member of the group is genuine recursion.
-        let err = load_str("demo", "let rec a = b and b = po\nacyclic a as A\n").unwrap_err();
+        // A *forward* reference within the group is equally legal: the
+        // elaborator orders components by dependency, not source position.
+        let model = load_str("demo", "let rec a = b and b = po\nacyclic a as A\n").unwrap();
+        assert_eq!(model.axioms(), vec!["A"]);
+    }
+
+    #[test]
+    fn let_rec_solves_genuine_fixpoints() {
+        // hb = po | com | hb;hb is the transitive closure of po | com, so
+        // the model must agree with SC everywhere the catalog can check.
+        let rec_model = load_str(
+            "demo",
+            "let rec hb = po | com | (hb ; hb)\nacyclic hb as Order\n",
+        )
+        .unwrap();
+        let closed = load_str("demo", "acyclic (po | com)+ as Order\n").unwrap();
+        for exec in [
+            catalog::sb(),
+            catalog::fig1(),
+            catalog::fig2(),
+            catalog::lb_txn(),
+            catalog::mp_txn(),
+        ] {
+            assert_eq!(
+                rec_model.is_consistent(&exec),
+                closed.is_consistent(&exec),
+                "let rec and +-closure disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn non_stratified_recursion_is_rejected_with_the_cycle() {
+        let err = load_str("demo", "let rec a = po \\ a\nacyclic a as A\n").unwrap_err();
         assert!(
-            err.message
-                .contains("recursive definition of `a` (via `b`)"),
+            err.message.contains("not positively stratified"),
             "{}",
             err.message
         );
+        assert!(err.message.contains("`a`"), "{}", err.message);
     }
 
     #[test]

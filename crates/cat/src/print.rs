@@ -30,8 +30,10 @@ const ATOM: u8 = 7;
 
 struct Printer<'p> {
     pool: &'p IrPool,
-    /// Names of let-bound shared nodes.
+    /// Names of let-bound shared nodes and `let rec` fixpoint components.
     bound: HashMap<RelId, String>,
+    /// Names of recursion variables, per the component they stand for.
+    var_names: HashMap<u32, String>,
 }
 
 /// Renders a model's axiom table as `.cat` source.
@@ -57,31 +59,91 @@ pub fn print_model(name: &str, table: &ModelAxioms, pool: &IrPool) -> String {
     }
     let mut shared: Vec<RelId> = uses
         .iter()
-        .filter(|&(&id, &n)| n >= 2 && !matches!(pool.rel_expr(id), RelExpr::Base(_)))
+        .filter(|&(&id, &n)| {
+            n >= 2
+                // Open subterms of a fixpoint body can only print inside
+                // their `let rec` (the recursion variables are scoped to
+                // it), and fixpoint components print as a whole group.
+                && pool.rel_free_vars(id).is_empty()
+                && !matches!(pool.rel_expr(id), RelExpr::Base(_) | RelExpr::Fix(_, _))
+        })
         .map(|(&id, _)| id)
         .collect();
     // Children are interned before parents, so ascending id order is a
     // topological order: every binding only mentions earlier bindings.
     shared.sort();
 
-    let bound: HashMap<RelId, String> = shared
+    // Reachable fixpoint groups print as `let rec … and …` statements,
+    // placed by their first component's id: after every binding their
+    // bodies use, before every binding that uses a component.
+    let mut reachable: Vec<RelId> = uses.keys().copied().collect();
+    reachable.sort();
+    let mut groups: Vec<(RelId, u32)> = Vec::new();
+    for &id in &reachable {
+        if let RelExpr::Fix(g, _) = pool.rel_expr(id) {
+            if !groups.iter().any(|&(_, seen)| seen == g) {
+                groups.push((id, g));
+            }
+        }
+    }
+
+    let mut bound: HashMap<RelId, String> = shared
         .iter()
         .enumerate()
         .map(|(i, &id)| (id, format!("x{i}")))
         .collect();
-    let printer = Printer { pool, bound };
+    let mut var_names: HashMap<u32, String> = HashMap::new();
+    for &(_, g) in &groups {
+        for (i, &var) in pool.fix_vars(g).iter().enumerate() {
+            let name = format!("rec{g}_{i}");
+            bound.insert(pool.fix_component(g, i as u32), name.clone());
+            var_names.insert(var, name);
+        }
+    }
+    let printer = Printer {
+        pool,
+        bound,
+        var_names,
+    };
+
+    // Interleave plain bindings and `let rec` groups in id order.
+    enum Item {
+        Let(RelId),
+        Rec(u32),
+    }
+    let mut items: Vec<(RelId, Item)> = shared.iter().map(|&id| (id, Item::Let(id))).collect();
+    items.extend(groups.iter().map(|&(first, g)| (first, Item::Rec(g))));
+    items.sort_by_key(|&(key, _)| key);
 
     let mut out = String::new();
     out.push_str(&format!("\"{name}\"\n"));
-    if !shared.is_empty() {
+    if !items.is_empty() {
         out.push('\n');
     }
-    for &id in &shared {
-        out.push_str(&format!(
-            "let {} = {}\n",
-            printer.bound[&id],
-            printer.rel_def(id)
-        ));
+    for (_, item) in &items {
+        match *item {
+            Item::Let(id) => {
+                out.push_str(&format!(
+                    "let {} = {}\n",
+                    printer.bound[&id],
+                    printer.rel_def(id)
+                ));
+            }
+            Item::Rec(g) => {
+                let stmt = (0..pool.fix_bodies(g).len())
+                    .map(|i| {
+                        let component = pool.fix_component(g, i as u32);
+                        format!(
+                            "{} = {}",
+                            printer.bound[&component],
+                            printer.rel_def(pool.fix_bodies(g)[i])
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(" and ");
+                out.push_str(&format!("let rec {stmt}\n"));
+            }
+        }
     }
     out.push('\n');
     for axiom in table.axioms() {
@@ -108,7 +170,7 @@ pub fn print_target(target: Target) -> String {
 
 fn rel_children(pool: &IrPool, id: RelId) -> Vec<RelId> {
     match pool.rel_expr(id) {
-        RelExpr::Base(_) | RelExpr::IdOn(_) | RelExpr::Cross(_, _) => vec![],
+        RelExpr::Base(_) | RelExpr::IdOn(_) | RelExpr::Cross(_, _) | RelExpr::Var(_) => vec![],
         RelExpr::Seq(a, b)
         | RelExpr::Union(a, b)
         | RelExpr::Inter(a, b)
@@ -116,6 +178,7 @@ fn rel_children(pool: &IrPool, id: RelId) -> Vec<RelId> {
         | RelExpr::WeakLift(a, b)
         | RelExpr::StrongLift(a, b) => vec![a, b],
         RelExpr::Inverse(a) | RelExpr::Opt(a) | RelExpr::Plus(a) | RelExpr::Star(a) => vec![a],
+        RelExpr::Fix(g, _) => pool.fix_bodies(g).to_vec(),
     }
 }
 
@@ -163,6 +226,16 @@ impl<'p> Printer<'p> {
                 format!("stronglift({}, {})", self.rel(a, UNION), self.rel(t, UNION)),
                 ATOM,
             ),
+            RelExpr::Var(v) => (
+                self.var_names
+                    .get(&v)
+                    .expect("recursion variable of an unprinted group")
+                    .clone(),
+                ATOM,
+            ),
+            // Components are always bound (named in their `let rec`), so
+            // `rel` shortcuts before reaching here.
+            RelExpr::Fix(_, _) => unreachable!("fixpoint components print by name"),
         };
         if level < min {
             format!("({text})")

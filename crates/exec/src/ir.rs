@@ -59,6 +59,8 @@ use tm_relation::{ElemSet, Relation};
 
 use crate::{ExecView, Execution, Fence};
 
+pub mod analysis;
+
 /// Base event sets an [`ExecView`] can provide.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SetBase {
@@ -180,6 +182,18 @@ pub enum RelExpr {
     WeakLift(RelId, RelId),
     /// `stronglift(a, t) = t? ; (a \ t) ; t?` (§3.3).
     StrongLift(RelId, RelId),
+    /// A recursion variable bound by a [`RelExpr::Fix`] group. The index is
+    /// pool-unique (see [`IrPool::fresh_var`]), so a `Var` node is never
+    /// shared across groups. Evaluating a free `Var` outside its group
+    /// panics: the elaborator only ever nests one under its `Fix`.
+    Var(u32),
+    /// Component `i` of mutual fixpoint group `g`: the least solution of
+    /// `x₁ = body₁, …, xₙ = bodyₙ` where each `bodyᵢ` may mention the
+    /// group's [`Var`](RelExpr::Var) nodes. Groups live in a side table on
+    /// the pool ([`IrPool::fix_vars`]/[`IrPool::fix_bodies`]) so this node
+    /// stays `Copy`. Built by [`IrPool::fix`] from positively-stratified
+    /// `let rec` groups; evaluated by naive Kleene iteration.
+    Fix(u32, u32),
 }
 
 /// Identity of an interned [`SetExpr`] within one [`IrPool`].
@@ -234,6 +248,14 @@ pub struct Axiom {
     pub cost: u32,
 }
 
+/// One mutual fixpoint group: the bound recursion variables and the bodies
+/// they solve, in component order.
+#[derive(Debug)]
+struct FixGroup {
+    vars: Box<[u32]>,
+    bodies: Box<[RelId]>,
+}
+
 static POOL_STAMPS: AtomicU64 = AtomicU64::new(1);
 
 /// A hash-consing arena of [`RelExpr`]/[`SetExpr`] nodes.
@@ -247,9 +269,13 @@ pub struct IrPool {
     stamp: u64,
     rels: Vec<RelExpr>,
     rel_costs: Vec<u32>,
+    /// Sorted free recursion variables of each node (empty for almost all).
+    rel_vars: Vec<Box<[u32]>>,
     rel_index: HashMap<RelExpr, RelId>,
     sets: Vec<SetExpr>,
     set_index: HashMap<SetExpr, SetId>,
+    fix_groups: Vec<FixGroup>,
+    next_var: u32,
 }
 
 impl IrPool {
@@ -277,6 +303,11 @@ impl IrPool {
         self.sets.len()
     }
 
+    /// Every interned relation id, in ascending (topological) order.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.rels.len() as u32).map(RelId)
+    }
+
     /// The node behind a relation id.
     pub fn rel_expr(&self, id: RelId) -> RelExpr {
         self.rels[id.index()]
@@ -290,6 +321,33 @@ impl IrPool {
     /// The syntactic cost estimate of a relation expression.
     pub fn rel_cost(&self, id: RelId) -> u32 {
         self.rel_costs[id.index()]
+    }
+
+    /// The sorted free recursion variables of a node (empty for every node
+    /// outside an open `let rec` body).
+    pub fn rel_free_vars(&self, id: RelId) -> &[u32] {
+        &self.rel_vars[id.index()]
+    }
+
+    /// The number of mutual fixpoint groups registered by [`fix`](Self::fix).
+    pub fn fix_group_count(&self) -> usize {
+        self.fix_groups.len()
+    }
+
+    /// The interned [`RelExpr::Fix`] node of component `i` of group `g`
+    /// (interned by [`fix`](Self::fix), so the lookup always succeeds).
+    pub fn fix_component(&self, g: u32, i: u32) -> RelId {
+        self.rel_index[&RelExpr::Fix(g, i)]
+    }
+
+    /// The bound variable indices of fixpoint group `g`.
+    pub fn fix_vars(&self, g: u32) -> &[u32] {
+        &self.fix_groups[g as usize].vars
+    }
+
+    /// The component bodies of fixpoint group `g`.
+    pub fn fix_bodies(&self, g: u32) -> &[RelId] {
+        &self.fix_groups[g as usize].bodies
     }
 
     fn intern_set(&mut self, node: SetExpr) -> SetId {
@@ -307,11 +365,45 @@ impl IrPool {
             return id;
         }
         let cost = self.cost_of(node);
+        let vars = self.vars_of(node);
         let id = RelId(self.rels.len() as u32);
         self.rels.push(node);
         self.rel_costs.push(cost);
+        self.rel_vars.push(vars);
         self.rel_index.insert(node, id);
         id
+    }
+
+    /// The sorted free recursion variables of a node about to be interned
+    /// (children are already interned, so their lists are available).
+    fn vars_of(&self, node: RelExpr) -> Box<[u32]> {
+        let of = |id: RelId| self.rel_vars[id.index()].iter().copied();
+        let mut out: Vec<u32> = match node {
+            RelExpr::Base(_) | RelExpr::IdOn(_) | RelExpr::Cross(_, _) => return Box::new([]),
+            RelExpr::Var(v) => vec![v],
+            RelExpr::Seq(a, b)
+            | RelExpr::Union(a, b)
+            | RelExpr::Inter(a, b)
+            | RelExpr::Diff(a, b)
+            | RelExpr::WeakLift(a, b)
+            | RelExpr::StrongLift(a, b) => of(a).chain(of(b)).collect(),
+            RelExpr::Inverse(a) | RelExpr::Opt(a) | RelExpr::Plus(a) | RelExpr::Star(a) => {
+                of(a).collect()
+            }
+            // A Fix node closes over its group's variables.
+            RelExpr::Fix(g, _) => {
+                let group = &self.fix_groups[g as usize];
+                group
+                    .bodies
+                    .iter()
+                    .flat_map(|&b| of(b))
+                    .filter(|v| !group.vars.contains(v))
+                    .collect()
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        out.into_boxed_slice()
     }
 
     /// Cost heuristic: base lookups are nearly free (memoized on the view),
@@ -328,6 +420,13 @@ impl IrPool {
             RelExpr::Opt(a) => c(a) + 1,
             RelExpr::Plus(a) | RelExpr::Star(a) => c(a) + 12,
             RelExpr::WeakLift(a, t) | RelExpr::StrongLift(a, t) => c(a) + c(t) + 10,
+            RelExpr::Var(_) => 1,
+            // Kleene iteration re-evaluates every body of the group until
+            // stable: comfortably the priciest operator.
+            RelExpr::Fix(g, _) => {
+                let group = &self.fix_groups[g as usize];
+                group.bodies.iter().map(|&b| c(b)).sum::<u32>() + 16
+            }
         }
     }
 
@@ -455,6 +554,47 @@ impl IrPool {
     /// Interns `stronglift(a, t)`.
     pub fn stronglift(&mut self, a: RelId, t: RelId) -> RelId {
         self.intern_rel(RelExpr::StrongLift(a, t))
+    }
+
+    /// Interns a fresh recursion variable. The index is unique within the
+    /// pool, so two `let rec` groups never alias each other's variables.
+    pub fn fresh_var(&mut self) -> RelId {
+        let v = self.next_var;
+        self.next_var += 1;
+        self.intern_rel(RelExpr::Var(v))
+    }
+
+    /// Closes a mutual fixpoint group: `vars[i]` (each a
+    /// [`fresh_var`](IrPool::fresh_var) node) is bound to the least solution
+    /// of `bodies[i]`, and the returned ids — one per component — denote
+    /// those solutions. Callers must ensure every body is *positive* in
+    /// every bound variable (see [`var_polarity`]); Kleene iteration from
+    /// the empty relations then converges to the least fixpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` and `bodies` differ in length, are empty, or if a
+    /// `vars` element is not a [`RelExpr::Var`] node.
+    pub fn fix(&mut self, vars: &[RelId], bodies: &[RelId]) -> Vec<RelId> {
+        assert_eq!(vars.len(), bodies.len(), "one body per bound variable");
+        assert!(!vars.is_empty(), "fix of an empty group");
+        let indices: Box<[u32]> = vars
+            .iter()
+            .map(|&v| match self.rel_expr(v) {
+                RelExpr::Var(i) => i,
+                other => panic!("fix binder must be a Var node, got {other:?}"),
+            })
+            .collect();
+        // Register the group first so cost/free-var computation for the new
+        // Fix nodes can see the bodies.
+        let g = self.fix_groups.len() as u32;
+        self.fix_groups.push(FixGroup {
+            vars: indices,
+            bodies: bodies.into(),
+        });
+        (0..vars.len() as u32)
+            .map(|i| self.intern_rel(RelExpr::Fix(g, i)))
+            .collect()
     }
 
     /// Builds an [`Axiom`] over an interned body, computing its cost. The
@@ -669,6 +809,89 @@ impl<'a> IrEval<'a> {
             }
             RelExpr::WeakLift(a, t) => Execution::weaklift(&self.rel(a), &self.rel(t)),
             RelExpr::StrongLift(a, t) => Execution::stronglift(&self.rel(a), &self.rel(t)),
+            RelExpr::Var(_) => {
+                panic!("free recursion variable evaluated outside its fixpoint group")
+            }
+            RelExpr::Fix(g, i) => self.fix_rel(g, i, &HashMap::new()),
+        }
+    }
+
+    /// Component `i` of fixpoint group `g` by naive Kleene iteration: every
+    /// component starts at the empty relation and the bodies are re-evaluated
+    /// under the growing environment until nothing changes. The universe is
+    /// finite and the elaborator guarantees positivity, so the iterates
+    /// ascend and converge.
+    fn fix_rel(&self, g: u32, i: u32, outer: &HashMap<u32, Relation>) -> Relation {
+        let vars = self.pool.fix_vars(g);
+        let bodies = self.pool.fix_bodies(g);
+        let n = self.view.exec().len();
+        let mut env = outer.clone();
+        for &v in vars {
+            env.insert(v, Relation::new(n));
+        }
+        loop {
+            let next: Vec<Relation> = bodies.iter().map(|&b| self.rel_with_env(b, &env)).collect();
+            let stable = vars.iter().zip(&next).all(|(v, value)| env[v] == *value);
+            for (v, value) in vars.iter().zip(next) {
+                env.insert(*v, value);
+            }
+            if stable {
+                return env.remove(&vars[i as usize]).unwrap();
+            }
+        }
+    }
+
+    /// Evaluates a node under an environment for its free recursion
+    /// variables. Var-free subtrees fall back to the memoized [`rel`] path,
+    /// so only the spine actually touching the variables is re-evaluated
+    /// per Kleene round.
+    fn rel_with_env(&self, id: RelId, env: &HashMap<u32, Relation>) -> Relation {
+        if self.pool.rel_free_vars(id).is_empty() {
+            return self.rel(id).into_owned();
+        }
+        let r = |x: RelId| self.rel_with_env(x, env);
+        match self.pool.rel_expr(id) {
+            RelExpr::Var(v) => env
+                .get(&v)
+                .expect("free recursion variable outside its fixpoint group")
+                .clone(),
+            RelExpr::Fix(g, i) => self.fix_rel(g, i, env),
+            RelExpr::Base(_) | RelExpr::IdOn(_) | RelExpr::Cross(_, _) => {
+                unreachable!("leaf nodes have no free variables")
+            }
+            RelExpr::Seq(a, b) => r(a).compose(&r(b)),
+            RelExpr::Union(a, b) => {
+                let mut out = r(a);
+                out.union_in_place(&r(b));
+                out
+            }
+            RelExpr::Inter(a, b) => {
+                let mut out = r(a);
+                out.intersect_in_place(&r(b));
+                out
+            }
+            RelExpr::Diff(a, b) => {
+                let mut out = r(a);
+                out.difference_in_place(&r(b));
+                out
+            }
+            RelExpr::Inverse(a) => r(a).inverse(),
+            RelExpr::Opt(a) => r(a).reflexive_closure(),
+            RelExpr::Plus(a) => {
+                let mut out = r(a);
+                out.transitive_closure_in_place();
+                out
+            }
+            RelExpr::Star(a) => {
+                let mut out = r(a);
+                out.transitive_closure_in_place();
+                for e in 0..out.universe() {
+                    out.insert(e, e);
+                }
+                out
+            }
+            RelExpr::WeakLift(a, t) => Execution::weaklift(&r(a), &r(t)),
+            RelExpr::StrongLift(a, t) => Execution::stronglift(&r(a), &r(t)),
         }
     }
 
@@ -781,6 +1004,51 @@ pub fn rel_polarity(pool: &IrPool, id: RelId, of: &impl Fn(RelBase) -> Polarity)
             let pt = rel_polarity(pool, t, of);
             rel_polarity(pool, a, of).join(pt).join(pt.negate())
         }
+        // A recursion variable carries no base relation.
+        RelExpr::Var(_) => Polarity::Constant,
+        // The fixpoint joins its bodies' polarities (the bound variables
+        // themselves are positive by stratification, so they add nothing).
+        RelExpr::Fix(g, _) => pool.fix_bodies(g).iter().fold(Polarity::Constant, |p, &b| {
+            p.join(rel_polarity(pool, b, of))
+        }),
+    }
+}
+
+/// The syntactic polarity of recursion variable `v` in `id` — the
+/// stratification check behind `let rec`: a body must be `Constant` or
+/// `Positive` in every variable of its group for Kleene iteration to be
+/// monotone (and the least fixpoint to exist).
+pub fn var_polarity(pool: &IrPool, id: RelId, v: u32) -> Polarity {
+    // A node whose free variables exclude `v` is constant in it — this also
+    // covers Fix nodes that rebind `v` (impossible today: variables are
+    // pool-unique, but cheap to keep correct).
+    if !pool.rel_free_vars(id).contains(&v) {
+        return Polarity::Constant;
+    }
+    match pool.rel_expr(id) {
+        RelExpr::Var(w) => {
+            if w == v {
+                Polarity::Positive
+            } else {
+                Polarity::Constant
+            }
+        }
+        RelExpr::Base(_) | RelExpr::IdOn(_) | RelExpr::Cross(_, _) => Polarity::Constant,
+        RelExpr::Seq(a, b) | RelExpr::Union(a, b) | RelExpr::Inter(a, b) => {
+            var_polarity(pool, a, v).join(var_polarity(pool, b, v))
+        }
+        RelExpr::Diff(a, b) => var_polarity(pool, a, v).join(var_polarity(pool, b, v).negate()),
+        RelExpr::Inverse(a) | RelExpr::Opt(a) | RelExpr::Plus(a) | RelExpr::Star(a) => {
+            var_polarity(pool, a, v)
+        }
+        RelExpr::WeakLift(a, t) | RelExpr::StrongLift(a, t) => {
+            let pt = var_polarity(pool, t, v);
+            var_polarity(pool, a, v).join(pt).join(pt.negate())
+        }
+        RelExpr::Fix(g, _) => pool
+            .fix_bodies(g)
+            .iter()
+            .fold(Polarity::Constant, |p, &b| p.join(var_polarity(pool, b, v))),
     }
 }
 
@@ -1150,6 +1418,11 @@ pub struct MaintenanceStats {
     pub invalidated: u64,
     /// Full resets (a brand-new execution or a universe change).
     pub resets: u64,
+    /// `Fix` nodes dropped for lazy re-iteration because a delta touched
+    /// their footprint. Fixpoints have no exact maintenance rule — they ride
+    /// the footprint-invalidation fallback path by design, and this counter
+    /// (not `dropped`) records it.
+    pub fix_reevals: u64,
 }
 
 /// How one node fared during a propagation pass: untouched, edited with the
@@ -1301,6 +1574,19 @@ impl<'p> IncrementalEval<'p> {
                 RelExpr::WeakLift(a, t) | RelExpr::StrongLift(a, t) => {
                     let mixed = rel_pos[t.index()] | rel_neg[t.index()];
                     (rel_pos[a.index()] | mixed, rel_neg[a.index()] | mixed)
+                }
+                // A variable reads nothing itself; its group's Fix nodes
+                // carry the bodies' footprints.
+                RelExpr::Var(_) => (DeltaMask::NONE, DeltaMask::NONE),
+                // A fixpoint has no exact maintenance rule: treat its whole
+                // footprint as mixed so any relevant delta drops it to the
+                // lazy re-iteration path (counted as `fix_reevals`).
+                RelExpr::Fix(g, _) => {
+                    let mut m = DeltaMask::NONE;
+                    for &b in pool.fix_bodies(g) {
+                        m |= rel_pos[b.index()] | rel_neg[b.index()];
+                    }
+                    (m, m)
                 }
             };
             rel_pos.push(p);
@@ -1566,12 +1852,19 @@ impl<'p> IncrementalEval<'p> {
                 // Non-monotone in a changed input (fr and its dependents
                 // under rf/co edits, tfence under stxn flips, …): drop for
                 // lazy recomputation — an early-exit sweep only ever pays
-                // for the bodies it actually queries.
+                // for the bodies it actually queries. Fixpoints always land
+                // here (their footprint is declared mixed) and keep their
+                // own counter: re-iteration is their designed fallback, not
+                // a maintenance failure.
                 self.journal_rel(i);
                 self.rel_vals[i] = None;
                 self.heads[i] = HeadCache::default();
                 self.seq_counts[i] = None;
-                self.stats.dropped += 1;
+                if matches!(self.pool.rel_expr(RelId(i as u32)), RelExpr::Fix(_, _)) {
+                    self.stats.fix_reevals += 1;
+                } else {
+                    self.stats.dropped += 1;
+                }
                 self.rel_shift[i] = Shift::Missing;
                 self.rel_shift_epoch[i] = self.epoch;
                 continue;
@@ -1848,6 +2141,11 @@ impl<'p> IncrementalEval<'p> {
                     diffed(lift(val(a)?, val(t)?))
                 }
             }
+            // Vars have empty footprints and Fix nodes declare their whole
+            // footprint mixed, so neither ever reaches the maintained path.
+            RelExpr::Var(_) | RelExpr::Fix(_, _) => {
+                unreachable!("recursion nodes are never delta-maintained")
+            }
         };
         Some(update)
     }
@@ -2075,9 +2373,108 @@ impl<'p> IncrementalEval<'p> {
                     self.rel_vals[t.index()].as_ref().unwrap(),
                 )
             }
+            RelExpr::Var(_) => {
+                panic!("free recursion variable evaluated outside its fixpoint group")
+            }
+            RelExpr::Fix(g, i) => self.fix_rel(exec, g, i, &HashMap::new()),
         };
         self.journal_rel(id.index());
         self.rel_vals[id.index()] = Some(value);
+    }
+
+    /// Naive Kleene iteration for a fixpoint component, the lazy analogue of
+    /// [`IrEval`]'s: var-free subtrees go through [`ensure_rel`] and stay
+    /// cached across re-iterations, only the variable-touching spine is
+    /// recomputed per round.
+    fn fix_rel(
+        &mut self,
+        exec: &Execution,
+        g: u32,
+        i: u32,
+        outer: &HashMap<u32, Relation>,
+    ) -> Relation {
+        let vars: Vec<u32> = self.pool.fix_vars(g).to_vec();
+        let bodies: Vec<RelId> = self.pool.fix_bodies(g).to_vec();
+        let mut env = outer.clone();
+        for &v in &vars {
+            env.insert(v, Relation::new(self.universe));
+        }
+        loop {
+            let next: Vec<Relation> = bodies
+                .iter()
+                .map(|&b| self.rel_with_env(exec, b, &env))
+                .collect();
+            let stable = vars.iter().zip(&next).all(|(v, value)| env[v] == *value);
+            for (v, value) in vars.iter().zip(next) {
+                env.insert(*v, value);
+            }
+            if stable {
+                return env.remove(&vars[i as usize]).unwrap();
+            }
+        }
+    }
+
+    fn rel_with_env(
+        &mut self,
+        exec: &Execution,
+        id: RelId,
+        env: &HashMap<u32, Relation>,
+    ) -> Relation {
+        if self.pool.rel_free_vars(id).is_empty() {
+            self.ensure_rel(exec, id);
+            return self.rel_vals[id.index()].as_ref().unwrap().clone();
+        }
+        match self.pool.rel_expr(id) {
+            RelExpr::Var(v) => env
+                .get(&v)
+                .expect("free recursion variable outside its fixpoint group")
+                .clone(),
+            RelExpr::Fix(g, i) => self.fix_rel(exec, g, i, env),
+            RelExpr::Base(_) | RelExpr::IdOn(_) | RelExpr::Cross(_, _) => {
+                unreachable!("leaf nodes have no free variables")
+            }
+            RelExpr::Seq(a, b) => self
+                .rel_with_env(exec, a, env)
+                .compose(&self.rel_with_env(exec, b, env)),
+            RelExpr::Union(a, b) => {
+                let mut out = self.rel_with_env(exec, a, env);
+                out.union_in_place(&self.rel_with_env(exec, b, env));
+                out
+            }
+            RelExpr::Inter(a, b) => {
+                let mut out = self.rel_with_env(exec, a, env);
+                out.intersect_in_place(&self.rel_with_env(exec, b, env));
+                out
+            }
+            RelExpr::Diff(a, b) => {
+                let mut out = self.rel_with_env(exec, a, env);
+                out.difference_in_place(&self.rel_with_env(exec, b, env));
+                out
+            }
+            RelExpr::Inverse(a) => self.rel_with_env(exec, a, env).inverse(),
+            RelExpr::Opt(a) => self.rel_with_env(exec, a, env).reflexive_closure(),
+            RelExpr::Plus(a) => {
+                let mut out = self.rel_with_env(exec, a, env);
+                out.transitive_closure_in_place();
+                out
+            }
+            RelExpr::Star(a) => {
+                let mut out = self.rel_with_env(exec, a, env);
+                out.transitive_closure_in_place();
+                for e in 0..out.universe() {
+                    out.insert(e, e);
+                }
+                out
+            }
+            RelExpr::WeakLift(a, t) => Execution::weaklift(
+                &self.rel_with_env(exec, a, env),
+                &self.rel_with_env(exec, t, env),
+            ),
+            RelExpr::StrongLift(a, t) => Execution::stronglift(
+                &self.rel_with_env(exec, a, env),
+                &self.rel_with_env(exec, t, env),
+            ),
+        }
     }
 
     /// The value of a base relation, recomputed from the execution (the
@@ -2788,6 +3185,106 @@ mod tests {
             inc.apply(&exec, &Delta::everything());
             assert_matches_scratch(&pool, &axioms, &mut inc, &exec, "reset");
         }
+    }
+
+    #[test]
+    fn fix_computes_the_plus_closure() {
+        // let rec hb = po | com | (hb ; hb)  ≡  (po ∪ com)⁺.
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let com = p.base(RelBase::Com);
+        let v = p.fresh_var();
+        let vv = p.seq(v, v);
+        let body = p.union_all(&[po, com, vv]);
+        let hb = p.fix(&[v], &[body])[0];
+        let u = p.union(po, com);
+        let plus = p.plus(u);
+        for exec in [catalog::sb(), catalog::mp_txn()] {
+            let view = ExecView::new(&exec);
+            let e = eval_pair(&p, &view);
+            assert_eq!(*e.rel(hb), *e.rel(plus));
+        }
+    }
+
+    #[test]
+    fn mutual_fix_groups_solve_jointly() {
+        // let rec a = rf | b and b = co | a: both components converge on
+        // rf ∪ co.
+        let mut p = IrPool::new();
+        let rf = p.base(RelBase::Rf);
+        let co = p.base(RelBase::Co);
+        let va = p.fresh_var();
+        let vb = p.fresh_var();
+        let body_a = p.union(rf, vb);
+        let body_b = p.union(co, va);
+        let fixed = p.fix(&[va, vb], &[body_a, body_b]);
+        let rf_co = p.union(rf, co);
+        let exec = catalog::sb();
+        let view = ExecView::new(&exec);
+        let e = eval_pair(&p, &view);
+        assert_eq!(*e.rel(fixed[0]), *e.rel(rf_co));
+        assert_eq!(*e.rel(fixed[1]), *e.rel(rf_co));
+    }
+
+    #[test]
+    fn var_polarity_tracks_recursion_signs() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let com = p.base(RelBase::Com);
+        let v = p.fresh_var();
+        let RelExpr::Var(idx) = p.rel_expr(v) else {
+            unreachable!()
+        };
+        assert_eq!(var_polarity(&p, v, idx), Polarity::Positive);
+        assert_eq!(var_polarity(&p, po, idx), Polarity::Constant);
+        let grow = p.seq(v, po);
+        assert_eq!(var_polarity(&p, grow, idx), Polarity::Positive);
+        let closed = p.plus(grow);
+        assert_eq!(var_polarity(&p, closed, idx), Polarity::Positive);
+        let negated = p.diff(com, v);
+        assert_eq!(var_polarity(&p, negated, idx), Polarity::Negative);
+        let mixed = p.union(grow, negated);
+        assert_eq!(var_polarity(&p, mixed, idx), Polarity::Mixed);
+        let lifted = p.stronglift(com, v);
+        assert_eq!(var_polarity(&p, lifted, idx), Polarity::Mixed);
+    }
+
+    #[test]
+    fn incremental_fix_reiterates_under_deltas() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let rfe = p.base(RelBase::Rfe);
+        let v = p.fresh_var();
+        let vv = p.seq(v, v);
+        let body = p.union_all(&[po, rfe, vv]);
+        let hb = p.fix(&[v], &[body])[0];
+        let axioms = vec![p.axiom("Order", AxiomHead::Acyclic, hb)];
+
+        let mut inc = IncrementalEval::new(&p);
+        // The fixpoint's footprint is its bodies', on both signs.
+        assert!(inc.footprint(hb).intersects(DeltaMask::PO));
+        assert!(inc.footprint(hb).intersects(DeltaMask::RF));
+        assert!(inc.nonmonotone_inputs(hb).intersects(DeltaMask::RF));
+
+        let mut exec = catalog::mp();
+        inc.apply(&exec, &Delta::everything());
+        assert_matches_scratch(&p, &axioms, &mut inc, &exec, "initial");
+
+        exec.rf.insert(0, 3);
+        let mut delta = Delta::new();
+        delta.add_edge(RelBase::Rf, 0, 3);
+        inc.apply(&exec, &delta);
+        assert_matches_scratch(&p, &axioms, &mut inc, &exec, "rf added");
+
+        exec.rf.remove(0, 3);
+        let mut delta = Delta::new();
+        delta.remove_edge(RelBase::Rf, 0, 3);
+        inc.apply(&exec, &delta);
+        assert_matches_scratch(&p, &axioms, &mut inc, &exec, "rf removed");
+
+        let stats = inc.stats();
+        assert!(stats.fix_reevals > 0, "fix nodes re-iterate, not maintain");
+        assert_eq!(stats.invalidated, 0);
     }
 
     #[test]

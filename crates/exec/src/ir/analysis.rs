@@ -1,0 +1,857 @@
+//! Event-type abstract interpretation over the axiom IR.
+//!
+//! Every interned [`RelId`]/[`SetId`] gets a static approximation computed
+//! bottom-up over the hash-consed pool: which event kinds its domain and
+//! range can contain, plus structural flags (provably empty, irreflexive,
+//! acyclic, a subset of `po`, within one thread, within one location). The
+//! approximation is **sound over well-formed executions** (the `wf` module's
+//! invariants are exactly what grounds the base facts: `rf ⊆ W × R` on one
+//! location, `po` a per-thread strict total order, and so on) and is the
+//! substrate for the `.cat` linter:
+//!
+//! * a composition like `rf ; rf` is *statically empty* — `range(rf) ⊆ R`
+//!   and `domain(rf) ⊆ W` are disjoint;
+//! * `acyclic po` is *vacuous* — `po` is acyclic by construction on every
+//!   well-formed execution;
+//! * `acyclic (po | com)` makes a later `irreflexive po` *redundant* —
+//!   syntactic inclusion under the approximation
+//!   ([`Analysis::subsumes`]) plus head implication
+//!   ([`Analysis::implied_by`]).
+//!
+//! Fixpoint nodes ([`RelExpr::Fix`]) are handled by abstract Kleene
+//! iteration on the same lattice: the lattice is finite, every step joins
+//! with the previous approximation, so the ascending chain stabilises and
+//! over-approximates the concrete least fixpoint.
+//!
+//! The enumeration cross-check in `tests/analysis_parity.rs` pins the
+//! soundness claim operationally: every node this module declares empty is
+//! enumerated-empty over exhaustive candidate spaces.
+
+use super::{AxiomHead, IrPool, RelBase, RelExpr, RelId, SetBase, SetExpr, SetId};
+use std::collections::HashMap;
+
+/// A set of event kinds, abstracting which events a relation's domain or
+/// range (or a set expression) can contain. The four kinds partition every
+/// event: reads, writes, fences, lock calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Kinds(u8);
+
+impl Kinds {
+    /// No event at all.
+    pub const NONE: Kinds = Kinds(0);
+    /// Read events.
+    pub const READ: Kinds = Kinds(1 << 0);
+    /// Write events.
+    pub const WRITE: Kinds = Kinds(1 << 1);
+    /// Fence events (any fence kind).
+    pub const FENCE: Kinds = Kinds(1 << 2);
+    /// Lock-call events.
+    pub const LOCK: Kinds = Kinds(1 << 3);
+    /// Memory accesses: reads and writes (the only events with a location).
+    pub const ACCESS: Kinds = Kinds(Kinds::READ.0 | Kinds::WRITE.0);
+    /// Every event kind.
+    pub const ALL: Kinds = Kinds(0b1111);
+
+    /// Set union.
+    pub fn union(self, other: Kinds) -> Kinds {
+        Kinds(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn inter(self, other: Kinds) -> Kinds {
+        Kinds(self.0 & other.0)
+    }
+
+    /// True if no kind is possible.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if every kind of `other` is included.
+    pub fn contains(self, other: Kinds) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl std::fmt::Display for Kinds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        for (bit, name) in [
+            (Kinds::READ, "R"),
+            (Kinds::WRITE, "W"),
+            (Kinds::FENCE, "F"),
+            (Kinds::LOCK, "L"),
+        ] {
+            if self.contains(bit) {
+                write!(f, "{name}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The static approximation of one relation expression. Every field is a
+/// *claim about all well-formed executions*: `empty` means the value is
+/// always the empty relation, `irreflexive` that it never contains `(e, e)`,
+/// and so on. Absence of a flag claims nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RelAbs {
+    /// Kinds the domain (edge sources) can contain.
+    pub dom: Kinds,
+    /// Kinds the range (edge targets) can contain.
+    pub rng: Kinds,
+    /// Provably the empty relation on every well-formed execution.
+    pub empty: bool,
+    /// Provably irreflexive.
+    pub irreflexive: bool,
+    /// Provably acyclic (which implies irreflexive; self-loops are cycles).
+    pub acyclic: bool,
+    /// Provably a subset of `po` (a per-thread strict total order, hence
+    /// also within-thread and acyclic).
+    pub sub_po: bool,
+    /// Every edge stays within one thread.
+    pub within_thread: bool,
+    /// Every edge crosses threads.
+    pub cross_thread: bool,
+    /// Every edge links two accesses of the same location.
+    pub within_loc: bool,
+}
+
+impl RelAbs {
+    /// The approximation of the empty relation — the lattice bottom: every
+    /// flag holds vacuously and no event kind is reachable.
+    pub const EMPTY: RelAbs = RelAbs {
+        dom: Kinds::NONE,
+        rng: Kinds::NONE,
+        empty: true,
+        irreflexive: true,
+        acyclic: true,
+        sub_po: true,
+        within_thread: true,
+        cross_thread: true,
+        within_loc: true,
+    };
+
+    /// The approximation claiming nothing — the lattice top.
+    pub const TOP: RelAbs = RelAbs {
+        dom: Kinds::ALL,
+        rng: Kinds::ALL,
+        empty: false,
+        irreflexive: false,
+        acyclic: false,
+        sub_po: false,
+        within_thread: false,
+        cross_thread: false,
+        within_loc: false,
+    };
+
+    /// A non-empty base shape: domain/range kinds plus a flag closure.
+    fn base(dom: Kinds, rng: Kinds) -> RelAbs {
+        RelAbs {
+            dom,
+            rng,
+            ..RelAbs::TOP
+        }
+    }
+
+    /// Closes the derived implications: an empty domain or range forces
+    /// emptiness, emptiness forces every flag, disjoint domain and range
+    /// force acyclicity (every node on a cycle is both a source and a
+    /// target), `sub_po` forces within-thread and acyclic, and acyclic
+    /// forces irreflexive.
+    fn norm(mut self) -> RelAbs {
+        if self.dom.is_empty() || self.rng.is_empty() {
+            self.empty = true;
+        }
+        if self.empty {
+            return RelAbs::EMPTY;
+        }
+        if self.dom.inter(self.rng).is_empty() {
+            self.acyclic = true;
+        }
+        if self.sub_po {
+            self.within_thread = true;
+            self.acyclic = true;
+        }
+        if self.acyclic {
+            self.irreflexive = true;
+        }
+        if self.cross_thread {
+            // A cross-thread edge cannot be a self-loop.
+            self.irreflexive = true;
+        }
+        self
+    }
+
+    /// Lattice join (least upper bound): the approximation of "either of
+    /// the two". Kinds union; every universally-quantified flag survives
+    /// only if both sides claim it.
+    pub fn join(self, other: RelAbs) -> RelAbs {
+        RelAbs {
+            dom: self.dom.union(other.dom),
+            rng: self.rng.union(other.rng),
+            empty: self.empty && other.empty,
+            irreflexive: self.irreflexive && other.irreflexive,
+            acyclic: self.acyclic && other.acyclic,
+            sub_po: self.sub_po && other.sub_po,
+            within_thread: self.within_thread && other.within_thread,
+            cross_thread: self.cross_thread && other.cross_thread,
+            within_loc: self.within_loc && other.within_loc,
+        }
+    }
+}
+
+/// The abstraction of a base relation, grounded in the `wf` invariants and
+/// the view's derivation rules (see `execution.rs`).
+fn base_abs(base: RelBase) -> RelAbs {
+    use Kinds as K;
+    let b = RelAbs::base;
+    match base {
+        // po: strict total order per thread over every event of the thread.
+        RelBase::Po => RelAbs {
+            sub_po: true,
+            ..b(K::ALL, K::ALL)
+        },
+        // poloc = po ∩ sloc: sloc only relates located events (accesses).
+        RelBase::Poloc => RelAbs {
+            sub_po: true,
+            within_loc: true,
+            ..b(K::ACCESS, K::ACCESS)
+        },
+        // po \ sloc keeps every pair with a fence or differing locations.
+        RelBase::PoDiffLoc => RelAbs {
+            sub_po: true,
+            ..b(K::ALL, K::ALL)
+        },
+        // po ; [F] ; po ⊆ po by transitivity within one thread.
+        RelBase::FenceRel(_) => RelAbs {
+            sub_po: true,
+            ..b(K::ALL, K::ALL)
+        },
+        // tfence = po ∩ ((¬stxn ; stxn) ∪ (stxn ; ¬stxn)) ⊆ po.
+        RelBase::Tfence => RelAbs {
+            sub_po: true,
+            ..b(K::ALL, K::ALL)
+        },
+        // rf: writes to reads on one location (acyclic via disjointness).
+        RelBase::Rf => RelAbs {
+            within_loc: true,
+            ..b(K::WRITE, K::READ)
+        },
+        RelBase::Rfe => RelAbs {
+            within_loc: true,
+            cross_thread: true,
+            ..b(K::WRITE, K::READ)
+        },
+        RelBase::Rfi => RelAbs {
+            within_loc: true,
+            within_thread: true,
+            ..b(K::WRITE, K::READ)
+        },
+        // co: strict total order over the writes of each location.
+        RelBase::Co => RelAbs {
+            within_loc: true,
+            acyclic: true,
+            ..b(K::WRITE, K::WRITE)
+        },
+        RelBase::Coe => RelAbs {
+            within_loc: true,
+            acyclic: true,
+            cross_thread: true,
+            ..b(K::WRITE, K::WRITE)
+        },
+        // fr: reads to writes on one location (acyclic via disjointness).
+        RelBase::Fr => RelAbs {
+            within_loc: true,
+            ..b(K::READ, K::WRITE)
+        },
+        RelBase::Fre => RelAbs {
+            within_loc: true,
+            cross_thread: true,
+            ..b(K::READ, K::WRITE)
+        },
+        // com = rf ∪ co ∪ fr: accesses on one location; irreflexive because
+        // each component is, but cycles (sb!) are the whole point.
+        RelBase::Com | RelBase::Ecom => RelAbs {
+            within_loc: true,
+            irreflexive: true,
+            ..b(K::ACCESS, K::ACCESS)
+        },
+        RelBase::Come => RelAbs {
+            within_loc: true,
+            irreflexive: true,
+            cross_thread: true,
+            ..b(K::ACCESS, K::ACCESS)
+        },
+        // Dependencies: from reads (ctrl also from RMW writes) into po.
+        RelBase::Addr | RelBase::Data => RelAbs {
+            sub_po: true,
+            ..b(K::READ, K::ALL)
+        },
+        RelBase::Ctrl => RelAbs {
+            sub_po: true,
+            ..b(K::ACCESS, K::ALL)
+        },
+        // rmw: a read to a po-later write on the same location.
+        RelBase::Rmw => RelAbs {
+            sub_po: true,
+            within_loc: true,
+            ..b(K::READ, K::WRITE)
+        },
+        // Transaction/region memberships are PERs: reflexive on their
+        // members (so *not* irreflexive), single-threaded classes.
+        RelBase::Stxn | RelBase::Stxnat | RelBase::Scr => RelAbs {
+            within_thread: true,
+            ..b(K::ALL, K::ALL)
+        },
+        // sloc: symmetric and irreflexive over accesses of one location.
+        RelBase::Sloc => RelAbs {
+            within_loc: true,
+            irreflexive: true,
+            ..b(K::ACCESS, K::ACCESS)
+        },
+        // cnf: conflicting access pairs minus the identity.
+        RelBase::Cnf => RelAbs {
+            within_loc: true,
+            irreflexive: true,
+            ..b(K::ACCESS, K::ACCESS)
+        },
+    }
+}
+
+/// The kinds a base set can contain.
+fn base_kinds(base: SetBase) -> Kinds {
+    match base {
+        SetBase::Reads | SetBase::RmwDomain => Kinds::READ,
+        SetBase::Writes | SetBase::RmwRange => Kinds::WRITE,
+        SetBase::Fences | SetBase::FencesOf(_) => Kinds::FENCE,
+        // Annotation sets can decorate any access; stay conservative.
+        SetBase::Acquires | SetBase::Releases | SetBase::ScEvents | SetBase::Atomics => Kinds::ALL,
+    }
+}
+
+/// The bottom-up static analysis of one pool: an approximation per node.
+///
+/// Construction is linear in the pool (plus Kleene rounds per fixpoint
+/// group); queries are table lookups. [`subsumes`](Analysis::subsumes) and
+/// [`implied_by`](Analysis::implied_by) add the syntactic-inclusion layer
+/// used for redundant-axiom detection.
+pub struct Analysis<'p> {
+    pool: &'p IrPool,
+    rels: Vec<RelAbs>,
+    sets: Vec<Kinds>,
+}
+
+impl<'p> Analysis<'p> {
+    /// Analyses every node of `pool` (ascending ids: children first).
+    pub fn new(pool: &'p IrPool) -> Analysis<'p> {
+        let mut sets: Vec<Kinds> = Vec::with_capacity(pool.set_count());
+        for i in 0..pool.set_count() {
+            let k = match pool.set_expr(SetId(i as u32)) {
+                SetExpr::Base(b) => base_kinds(b),
+                SetExpr::Union(a, b) => sets[a.index()].union(sets[b.index()]),
+                SetExpr::Inter(a, b) => sets[a.index()].inter(sets[b.index()]),
+            };
+            sets.push(k);
+        }
+        let mut analysis = Analysis {
+            pool,
+            rels: Vec::with_capacity(pool.rel_count()),
+            sets,
+        };
+        for i in 0..pool.rel_count() {
+            let id = RelId(i as u32);
+            let abs = if !pool.rel_free_vars(id).is_empty() {
+                // An open subterm of a fixpoint body (or a bare recursion
+                // variable): its table entry starts at top — claiming
+                // nothing is always sound — and is backfilled below with
+                // its value under the group's solved environment.
+                RelAbs::TOP
+            } else {
+                match pool.rel_expr(id) {
+                    RelExpr::Fix(g, i) => analysis.fix_abs(g, &HashMap::new())[i as usize],
+                    node => analysis.transfer(node, &HashMap::new()),
+                }
+            };
+            analysis.rels.push(abs);
+        }
+        // Give the open subterms their meaning in the solved fixpoint, so
+        // queries on a body's proper subexpressions (the linter walks every
+        // node) see the stabilised approximation rather than the top
+        // placeholder. Nodes mixing variables of several nested groups stay
+        // at top — the flat `.cat` surface never produces them.
+        for g in 0..pool.fix_group_count() as u32 {
+            let solved = analysis.solve_fix(g, &HashMap::new());
+            for i in 0..pool.rel_count() {
+                let id = RelId(i as u32);
+                let fv = pool.rel_free_vars(id);
+                if !fv.is_empty() && fv.iter().all(|v| solved.contains_key(v)) {
+                    analysis.rels[id.index()] = analysis.abs_with_env(id, &solved);
+                }
+            }
+        }
+        analysis
+    }
+
+    /// The approximation of a relation node.
+    pub fn rel(&self, id: RelId) -> RelAbs {
+        self.rels[id.index()]
+    }
+
+    /// The possible kinds of a set node.
+    pub fn set(&self, id: SetId) -> Kinds {
+        self.sets[id.index()]
+    }
+
+    /// True if the node is provably empty on every well-formed execution.
+    pub fn is_empty(&self, id: RelId) -> bool {
+        self.rels[id.index()].empty
+    }
+
+    /// True if an axiom with this head over this body holds on *every*
+    /// well-formed execution — the axiom constrains nothing.
+    pub fn vacuous(&self, head: AxiomHead, body: RelId) -> bool {
+        let abs = self.rel(body);
+        match head {
+            AxiomHead::Acyclic => abs.acyclic,
+            AxiomHead::Irreflexive => abs.irreflexive,
+            AxiomHead::Empty => abs.empty,
+        }
+    }
+
+    /// Abstract Kleene iteration for fixpoint group `g` under an outer
+    /// environment (non-empty only for nested groups): start every
+    /// component at bottom, re-abstract the bodies, widen by join with the
+    /// previous round. The lattice is finite and the sequence ascends, so
+    /// this terminates; joining keeps it an over-approximation of every
+    /// concrete iterate, hence of the concrete least fixpoint.
+    fn fix_abs(&self, g: u32, outer: &HashMap<u32, RelAbs>) -> Vec<RelAbs> {
+        let env = self.solve_fix(g, outer);
+        self.pool.fix_vars(g).iter().map(|v| env[v]).collect()
+    }
+
+    /// Runs the Kleene iteration of [`fix_abs`](Self::fix_abs) and returns
+    /// the full stabilised environment (outer bindings included).
+    fn solve_fix(&self, g: u32, outer: &HashMap<u32, RelAbs>) -> HashMap<u32, RelAbs> {
+        let vars = self.pool.fix_vars(g);
+        let bodies = self.pool.fix_bodies(g);
+        let mut env = outer.clone();
+        for &v in vars {
+            env.insert(v, RelAbs::EMPTY);
+        }
+        loop {
+            let next: Vec<RelAbs> = bodies
+                .iter()
+                .zip(vars)
+                .map(|(&b, v)| self.abs_with_env(b, &env).join(env[v]))
+                .collect();
+            if vars.iter().zip(&next).all(|(v, abs)| env[v] == *abs) {
+                return env;
+            }
+            for (v, abs) in vars.iter().zip(next) {
+                env.insert(*v, abs);
+            }
+        }
+    }
+
+    /// The abstraction of a node under an environment for its free
+    /// recursion variables; var-free nodes read the finished table.
+    fn abs_with_env(&self, id: RelId, env: &HashMap<u32, RelAbs>) -> RelAbs {
+        if self.pool.rel_free_vars(id).is_empty() {
+            // Already-analysed prefix (children precede parents).
+            return self.rels[id.index()];
+        }
+        match self.pool.rel_expr(id) {
+            RelExpr::Var(v) => env[&v],
+            RelExpr::Fix(g, i) => self.fix_abs(g, env)[i as usize],
+            node => self.transfer(node, env),
+        }
+    }
+
+    /// The abstract transfer function of one operator.
+    fn transfer(&self, node: RelExpr, env: &HashMap<u32, RelAbs>) -> RelAbs {
+        let r = |id: RelId| self.abs_with_env(id, env);
+        let abs = match node {
+            RelExpr::Base(b) => base_abs(b),
+            RelExpr::Var(_) | RelExpr::Fix(_, _) => {
+                unreachable!("handled by the caller / abs_with_env")
+            }
+            // [S]: self-loops on the members of S. Within one thread and —
+            // when S holds only accesses — one location trivially; never
+            // irreflexive unless S is empty (norm handles that via kinds).
+            RelExpr::IdOn(s) => {
+                let k = self.sets[s.index()];
+                RelAbs {
+                    within_thread: true,
+                    within_loc: Kinds::ACCESS.contains(k),
+                    ..RelAbs::base(k, k)
+                }
+            }
+            RelExpr::Cross(a, b) => RelAbs::base(self.sets[a.index()], self.sets[b.index()]),
+            RelExpr::Seq(a, b) => Self::seq_abs(r(a), r(b)),
+            // The join under-claims for a *union*: a self-loop of either
+            // side is one of the union too, so irreflexivity genuinely
+            // needs both — but a union of two acyclic relations is NOT
+            // acyclic (`po | rf` closes the classic load-buffering cycle
+            // from two acyclic operands). The claim only survives where
+            // norm re-derives it, from joint `sub_po` or disjoint kinds.
+            RelExpr::Union(a, b) => RelAbs {
+                acyclic: false,
+                ..r(a).join(r(b))
+            },
+            RelExpr::Inter(a, b) => {
+                let (a, b) = (r(a), r(b));
+                RelAbs {
+                    dom: a.dom.inter(b.dom),
+                    rng: a.rng.inter(b.rng),
+                    // The intersection is a subset of both operands, so any
+                    // universal claim of either side carries over — and a
+                    // within-thread operand meets a cross-thread one in ∅.
+                    empty: a.empty
+                        || b.empty
+                        || (a.within_thread && b.cross_thread)
+                        || (a.cross_thread && b.within_thread),
+                    irreflexive: a.irreflexive || b.irreflexive,
+                    acyclic: a.acyclic || b.acyclic,
+                    sub_po: a.sub_po || b.sub_po,
+                    within_thread: a.within_thread || b.within_thread,
+                    cross_thread: a.cross_thread || b.cross_thread,
+                    within_loc: a.within_loc || b.within_loc,
+                }
+            }
+            // a \ b ⊆ a: inherit every claim of a (b only removes pairs).
+            RelExpr::Diff(a, _) => r(a),
+            RelExpr::Inverse(a) => {
+                let a = r(a);
+                RelAbs {
+                    dom: a.rng,
+                    rng: a.dom,
+                    // Reversing every edge preserves these…
+                    empty: a.empty,
+                    irreflexive: a.irreflexive,
+                    acyclic: a.acyclic,
+                    within_thread: a.within_thread,
+                    cross_thread: a.cross_thread,
+                    within_loc: a.within_loc,
+                    // …but po⁻¹ is not a subset of po.
+                    sub_po: false,
+                }
+            }
+            // a? adds the full diagonal of the universe (see IrEval), so
+            // the result reaches every kind and is reflexive by fiat.
+            RelExpr::Opt(a) | RelExpr::Star(a) => {
+                let a = r(a);
+                RelAbs {
+                    within_thread: a.within_thread,
+                    ..RelAbs::base(Kinds::ALL, Kinds::ALL)
+                }
+            }
+            RelExpr::Plus(a) => {
+                let a = r(a);
+                RelAbs {
+                    dom: a.dom,
+                    rng: a.rng,
+                    empty: a.empty,
+                    // Paths preserve per-edge locality; an acyclic relation
+                    // has an irreflexive, acyclic closure. Mere
+                    // irreflexivity does *not* survive (2-cycles close to
+                    // self-loops), and cross-thread edges can chain back.
+                    irreflexive: a.acyclic,
+                    acyclic: a.acyclic,
+                    sub_po: a.sub_po,
+                    within_thread: a.within_thread,
+                    cross_thread: false,
+                    within_loc: a.within_loc,
+                }
+            }
+            // weaklift(a, t) = t ; (a \ t) ; t.
+            RelExpr::WeakLift(a, t) => {
+                let (a, t) = (r(a), r(t));
+                Self::seq_abs(Self::seq_abs(t, a), t)
+            }
+            // stronglift(a, t) = t? ; (a \ t) ; t? — the optional hops make
+            // the ends unconstrained, but a \ t still bounds the middle.
+            RelExpr::StrongLift(a, t) => {
+                let (a, t) = (r(a), r(t));
+                let opt_t = RelAbs {
+                    within_thread: t.within_thread,
+                    ..RelAbs::base(Kinds::ALL, Kinds::ALL)
+                };
+                // t? ⊇ id has range/domain ALL, so the only emptiness seq_abs
+                // can derive here is a's own — exactly right, since the lift
+                // contains a \ t itself.
+                Self::seq_abs(Self::seq_abs(opt_t, a), opt_t)
+            }
+        };
+        abs.norm()
+    }
+
+    /// The abstraction of `a ; b`.
+    fn seq_abs(a: RelAbs, b: RelAbs) -> RelAbs {
+        RelAbs {
+            dom: a.dom,
+            rng: b.rng,
+            // The key emptiness rule: a middle event must be in both
+            // range(a) and domain(b).
+            empty: a.empty || b.empty || a.rng.inter(b.dom).is_empty(),
+            irreflexive: false,
+            acyclic: false,
+            sub_po: a.sub_po && b.sub_po,
+            within_thread: a.within_thread && b.within_thread,
+            cross_thread: (a.cross_thread && b.within_thread)
+                || (a.within_thread && b.cross_thread),
+            within_loc: a.within_loc && b.within_loc,
+        }
+        .norm()
+    }
+
+    /// True if `small ⊆ big` is provable — syntactically (shared nodes,
+    /// union/intersection/difference structure, closure monotonicity, the
+    /// base-relation containment lattice) or semantically (`small` is
+    /// statically empty). Sound, not complete.
+    pub fn subsumes(&self, big: RelId, small: RelId) -> bool {
+        if big == small || self.rels[small.index()].empty {
+            return true;
+        }
+        let sx = self.pool.rel_expr(small);
+        let bx = self.pool.rel_expr(big);
+        // Decompose the small side first: every part must fit. A failed
+        // guard falls through to the big-side rules below.
+        match sx {
+            RelExpr::Union(x, y) => return self.subsumes(big, x) && self.subsumes(big, y),
+            RelExpr::Inter(x, y) if self.subsumes(big, x) || self.subsumes(big, y) => {
+                return true;
+            }
+            RelExpr::Diff(x, _) if self.subsumes(big, x) => return true,
+            _ => {}
+        }
+        // Then grow the big side.
+        match bx {
+            RelExpr::Union(x, y) if self.subsumes(x, small) || self.subsumes(y, small) => {
+                return true;
+            }
+            // x⁺ ⊇ x ⊇ …, and s ⊆ x⁺ ⇒ s⁺ ⊆ (x⁺)⁺ = x⁺.
+            RelExpr::Plus(x)
+                if self.subsumes(x, small)
+                    || matches!(sx, RelExpr::Plus(s) if self.subsumes(big, s)) =>
+            {
+                return true;
+            }
+            RelExpr::Star(x) | RelExpr::Opt(x) if self.subsumes(x, small) => return true,
+            _ => {}
+        }
+        // Base containment: rfe ⊆ rf ⊆ com ⊆ ecom, poloc ⊆ po, ….
+        if let (RelExpr::Base(b), RelExpr::Base(s)) = (bx, sx) {
+            return base_le(s, b);
+        }
+        false
+    }
+
+    /// True if axiom `(head_a, body_a)` holds whenever `(head_b, body_b)`
+    /// does — so `a` is redundant beside `b`. The implications:
+    /// `empty` is the strongest head (an empty body is acyclic and
+    /// irreflexive), `acyclic` implies `irreflexive`, and every head is
+    /// anti-monotone in the body (`body_a ⊆ body_b` required throughout).
+    pub fn implied_by(
+        &self,
+        head_a: AxiomHead,
+        body_a: RelId,
+        head_b: AxiomHead,
+        body_b: RelId,
+    ) -> bool {
+        if !self.subsumes(body_b, body_a) {
+            return false;
+        }
+        matches!(
+            (head_b, head_a),
+            (AxiomHead::Empty, _)
+                | (AxiomHead::Acyclic, AxiomHead::Acyclic)
+                | (AxiomHead::Acyclic, AxiomHead::Irreflexive)
+                | (AxiomHead::Irreflexive, AxiomHead::Irreflexive)
+        )
+    }
+}
+
+/// The base-relation containment lattice, transitively closed by hand:
+/// `small ⊆ big` facts that hold on every well-formed execution.
+fn base_le(small: RelBase, big: RelBase) -> bool {
+    use RelBase::*;
+    if small == big {
+        return true;
+    }
+    let supers: &[RelBase] = match small {
+        Rfi => &[Rf, Com, Ecom],
+        Rfe => &[Rf, Com, Ecom, Come],
+        Rf | Fr => &[Com, Ecom],
+        Co => &[Com, Ecom],
+        Coe => &[Co, Com, Ecom, Come],
+        Fre => &[Fr, Com, Ecom, Come],
+        Com => &[Ecom],
+        Come => &[Com, Ecom],
+        Poloc | PoDiffLoc | Tfence | Addr | Data | Ctrl | FenceRel(_) => &[Po],
+        Rmw => &[Po, Poloc],
+        Stxnat => &[Stxn],
+        _ => &[],
+    };
+    supers.contains(&big)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statically_empty_compositions_are_caught() {
+        let mut p = IrPool::new();
+        let rf = p.base(RelBase::Rf);
+        let rf_rf = p.seq(rf, rf);
+        let co = p.base(RelBase::Co);
+        let co_rf = p.seq(co, rf);
+        let fr = p.base(RelBase::Fr);
+        let rf_fr = p.seq(rf, fr);
+        let a = Analysis::new(&p);
+        // range(rf) ⊆ R but domain(rf) ⊆ W: rf ; rf is empty.
+        assert!(a.is_empty(rf_rf));
+        // co ; rf (W→W→R) and rf ; fr (W→R→W) are fine.
+        assert!(!a.is_empty(co_rf));
+        assert!(!a.is_empty(rf_fr));
+    }
+
+    #[test]
+    fn disjoint_kind_identities_are_empty() {
+        let mut p = IrPool::new();
+        let reads = p.set_base(SetBase::Reads);
+        let writes = p.set_base(SetBase::Writes);
+        let rw = p.set_inter(reads, writes);
+        let id_rw = p.id_on(rw);
+        let a = Analysis::new(&p);
+        assert!(a.set(rw).is_empty());
+        assert!(a.is_empty(id_rw));
+    }
+
+    #[test]
+    fn thread_locality_contradictions_are_empty() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let rfe = p.base(RelBase::Rfe);
+        let inside_outside = p.inter(po, rfe);
+        let a = Analysis::new(&p);
+        assert!(a.is_empty(inside_outside));
+    }
+
+    #[test]
+    fn vacuous_heads_over_ordered_bases() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let rf = p.base(RelBase::Rf);
+        let co = p.base(RelBase::Co);
+        let com = p.base(RelBase::Com);
+        let rmw = p.base(RelBase::Rmw);
+        let po_plus = p.plus(po);
+        let a = Analysis::new(&p);
+        assert!(a.vacuous(AxiomHead::Acyclic, po));
+        assert!(a.vacuous(AxiomHead::Acyclic, po_plus));
+        assert!(a.vacuous(AxiomHead::Acyclic, rf));
+        assert!(a.vacuous(AxiomHead::Acyclic, co));
+        assert!(a.vacuous(AxiomHead::Irreflexive, com));
+        assert!(a.vacuous(AxiomHead::Acyclic, rmw));
+        // …but acyclicity of com is a real constraint, and rmw can be
+        // non-empty.
+        assert!(!a.vacuous(AxiomHead::Acyclic, com));
+        assert!(!a.vacuous(AxiomHead::Empty, rmw));
+    }
+
+    #[test]
+    fn unions_of_acyclic_operands_are_not_claimed_acyclic() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let poloc = p.base(RelBase::Poloc);
+        let rf = p.base(RelBase::Rf);
+        // po and rf are each acyclic, yet `po | rf` carries the classic
+        // load-buffering cycle — the union transfer must drop the claim.
+        let po_rf = p.union(po, rf);
+        // Two sub-po operands do keep it: their union is still within po.
+        let po_poloc = p.union(po, poloc);
+        let a = Analysis::new(&p);
+        assert!(!a.vacuous(AxiomHead::Acyclic, po_rf));
+        // Irreflexivity is different: a self-loop of the union would be a
+        // self-loop of one operand, so the AND-ed claim stands.
+        assert!(a.vacuous(AxiomHead::Irreflexive, po_rf));
+        assert!(a.vacuous(AxiomHead::Acyclic, po_poloc));
+    }
+
+    #[test]
+    fn per_bases_are_not_claimed_irreflexive() {
+        let mut p = IrPool::new();
+        let stxn = p.base(RelBase::Stxn);
+        let sloc = p.base(RelBase::Sloc);
+        let a = Analysis::new(&p);
+        // stxn is reflexive on its members; sloc is irreflexive but
+        // symmetric, so acyclicity must not be claimed.
+        assert!(!a.vacuous(AxiomHead::Irreflexive, stxn));
+        assert!(a.vacuous(AxiomHead::Irreflexive, sloc));
+        assert!(!a.vacuous(AxiomHead::Acyclic, sloc));
+    }
+
+    #[test]
+    fn subsumption_follows_structure_and_base_containment() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let com = p.base(RelBase::Com);
+        let rfe = p.base(RelBase::Rfe);
+        let poloc = p.base(RelBase::Poloc);
+        let u = p.union(po, com);
+        let plus = p.plus(u);
+        let a = Analysis::new(&p);
+        assert!(a.subsumes(u, po));
+        assert!(a.subsumes(u, com));
+        assert!(a.subsumes(u, rfe)); // rfe ⊆ com ⊆ po ∪ com
+        assert!(a.subsumes(u, poloc)); // poloc ⊆ po
+        assert!(a.subsumes(plus, u));
+        assert!(a.subsumes(plus, po));
+        assert!(!a.subsumes(po, u));
+        assert!(!a.subsumes(com, po));
+    }
+
+    #[test]
+    fn redundancy_uses_head_strength() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let com = p.base(RelBase::Com);
+        let u = p.union(po, com);
+        let a = Analysis::new(&p);
+        use AxiomHead::*;
+        // acyclic (po | com) makes acyclic com and irreflexive com redundant.
+        assert!(a.implied_by(Acyclic, com, Acyclic, u));
+        assert!(a.implied_by(Irreflexive, com, Acyclic, u));
+        // …but not the other way round, and not via a weaker head.
+        assert!(!a.implied_by(Acyclic, u, Acyclic, com));
+        assert!(!a.implied_by(Acyclic, com, Irreflexive, u));
+        // empty is the strongest head.
+        assert!(a.implied_by(Acyclic, com, Empty, u));
+    }
+
+    #[test]
+    fn fixpoints_are_abstracted_by_kleene_iteration() {
+        let mut p = IrPool::new();
+        let po = p.base(RelBase::Po);
+        let v = p.fresh_var();
+        let vv = p.seq(v, v);
+        let body = p.union(po, vv);
+        let hb = p.fix(&[v], &[body])[0];
+        let rf = p.base(RelBase::Rf);
+        let dead = p.seq(rf, rf);
+        let v2 = p.fresh_var();
+        let body2 = p.union(dead, v2);
+        let still_dead = p.fix(&[v2], &[body2])[0];
+        let a = Analysis::new(&p);
+        // The po fixpoint stays inside po: acyclic by construction.
+        let abs = a.rel(hb);
+        assert!(abs.sub_po && abs.acyclic && !abs.empty);
+        assert!(a.vacuous(AxiomHead::Acyclic, hb));
+        // A fixpoint fed only empty contributions stays empty.
+        assert!(a.is_empty(still_dead));
+    }
+}

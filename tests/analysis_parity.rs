@@ -1,0 +1,196 @@
+//! Parity between the abstract interpreter (`tm_exec::ir::analysis`) and
+//! the ground truth of exhaustive enumeration: every universally-quantified
+//! claim the analysis makes about a node — provably empty, acyclic or
+//! irreflexive on *every* well-formed execution — is checked against every
+//! execution of the enumeration spaces the IR parity suite pins. A single
+//! counterexample is a soundness bug in a transfer rule, which is exactly
+//! the class of bug a lint must never have (a "statically empty" warning on
+//! an expression that can hold edges would teach users to ignore the lint).
+//!
+//! The same spaces also re-verdict a `let rec` rewrite of a shipped model:
+//! `models/power_tm_rec.cat` replaces `power_tm.cat`'s `tfence+` closure
+//! with its least-fixpoint definition, and the two must agree
+//! execution-for-execution, pinning the Kleene evaluation of `Fix` nodes
+//! against the closure operator it generalises.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tm_cat::{load_file, load_str};
+use tm_weak_memory::exec::ir::analysis::Analysis;
+use tm_weak_memory::exec::ir::{AxiomHead, IrEval, RelId};
+use tm_weak_memory::exec::{ExecView, Execution};
+use tm_weak_memory::models::ir::IrModel;
+use tm_weak_memory::models::MemoryModel;
+use tm_weak_memory::synth::{enumerate_exact, SynthConfig};
+
+fn models_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../models")
+}
+
+/// What the analysis claims universally about one node.
+#[derive(Clone, Copy, Debug)]
+struct Claim {
+    id: RelId,
+    empty: bool,
+    acyclic: bool,
+    irreflexive: bool,
+}
+
+/// Every closed node's universal claims (open `let rec` bodies only have
+/// meaning under an environment; their fixpoints are closed and claimed).
+fn claims_of(model: &IrModel) -> Vec<Claim> {
+    let analysis = Analysis::new(model.pool());
+    model
+        .pool()
+        .rel_ids()
+        .filter(|&id| model.pool().rel_free_vars(id).is_empty())
+        .map(|id| Claim {
+            id,
+            empty: analysis.is_empty(id),
+            acyclic: analysis.vacuous(AxiomHead::Acyclic, id),
+            irreflexive: analysis.vacuous(AxiomHead::Irreflexive, id),
+        })
+        .filter(|c| c.empty || c.acyclic || c.irreflexive)
+        .collect()
+}
+
+/// Checks every claim of every model against every execution of the space.
+fn exhaustive_claims(cfg: &SynthConfig, bound: usize, models: &[(&str, IrModel)]) -> usize {
+    let claims: Vec<(&str, &IrModel, Vec<Claim>)> = models
+        .iter()
+        .map(|(name, m)| (*name, m, claims_of(m)))
+        .collect();
+    for (name, _, claims) in &claims {
+        assert!(!claims.is_empty(), "{name}: no claims to check");
+    }
+    let checked = AtomicUsize::new(0);
+    for n in 2..=bound {
+        enumerate_exact(cfg, n, |exec: &Execution| {
+            let view = ExecView::new(exec);
+            for (name, model, claims) in &claims {
+                let eval = IrEval::new(model.pool(), &view);
+                for claim in claims {
+                    let rel = eval.rel(claim.id);
+                    if claim.empty {
+                        assert!(
+                            rel.is_empty(),
+                            "{name}: node {:?} claimed empty holds {} edge(s) on:\n{exec:?}",
+                            claim.id,
+                            rel.len()
+                        );
+                    }
+                    if claim.acyclic {
+                        assert!(
+                            rel.is_acyclic(),
+                            "{name}: node {:?} claimed acyclic has a cycle on:\n{exec:?}",
+                            claim.id
+                        );
+                    }
+                    if claim.irreflexive {
+                        assert!(
+                            (0..rel.universe()).all(|e| !rel.contains(e, e)),
+                            "{name}: node {:?} claimed irreflexive has a self-loop on:\n{exec:?}",
+                            claim.id
+                        );
+                    }
+                }
+            }
+            checked.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    checked.into_inner()
+}
+
+/// A fixture packed with statically-empty shapes, so the emptiness claims
+/// are exercised even though the shipped models lint clean of them: kind
+/// clashes through composition, thread-locality contradictions, impossible
+/// identities, and an empty operand threaded through a `let rec` fixpoint.
+fn empty_heavy_fixture() -> IrModel {
+    load_str(
+        "fixture",
+        "let a = rf ; rf\n\
+         let b = fr ; fr\n\
+         let c = po & rfe\n\
+         let d = [R & W]\n\
+         let rec e = a | (e ; po)\n\
+         acyclic (a | b | c | d | e) | po | com as Order\n",
+    )
+    .expect("fixture elaborates")
+}
+
+fn shipped(file: &str) -> IrModel {
+    let path = models_dir().join(file);
+    load_file(&path).unwrap_or_else(|e| panic!("{}: load failed\n{e}", path.display()))
+}
+
+#[test]
+fn claims_hold_on_the_x86_trimmed_space_up_to_four_events() {
+    // The bench sweep's configuration, mirroring tests/ir_parity.rs.
+    let mut cfg = SynthConfig::x86(4);
+    cfg.max_threads = 2;
+    cfg.max_locs = 2;
+    cfg.rmws = false;
+    cfg.max_txns = 1;
+    let models = [
+        ("sc.cat", shipped("sc.cat")),
+        ("tsc.cat", shipped("tsc.cat")),
+        ("x86.cat", shipped("x86.cat")),
+        ("x86_tm.cat", shipped("x86_tm.cat")),
+        ("tcoh.cat", shipped("tcoh.cat")),
+        ("fixture", empty_heavy_fixture()),
+    ];
+    let checked = exhaustive_claims(&cfg, 4, &models);
+    assert!(checked > 1_000, "only {checked} executions enumerated");
+}
+
+#[test]
+fn claims_hold_on_the_power_space_up_to_three_events() {
+    let cfg = SynthConfig::power(3);
+    let models = [
+        ("power.cat", shipped("power.cat")),
+        ("power_tm.cat", shipped("power_tm.cat")),
+        ("power_tm_rec.cat", shipped("power_tm_rec.cat")),
+    ];
+    let checked = exhaustive_claims(&cfg, 3, &models);
+    assert!(checked > 1_000, "only {checked} executions enumerated");
+}
+
+#[test]
+fn claims_hold_on_the_cpp_space_up_to_three_events() {
+    let mut cfg = SynthConfig::cpp(3);
+    cfg.max_threads = 2;
+    let models = [
+        ("cpp.cat", shipped("cpp.cat")),
+        ("cpp_tm.cat", shipped("cpp_tm.cat")),
+    ];
+    let checked = exhaustive_claims(&cfg, 3, &models);
+    assert!(checked > 500, "only {checked} executions enumerated");
+}
+
+/// The `let rec` rewrite of `power_tm.cat`'s `tfence+` closure is
+/// verdict-identical to the generated file over the whole power space: the
+/// Kleene-solved fixpoint *is* the transitive closure.
+#[test]
+fn let_rec_rewrite_of_the_tfence_closure_sweeps_identically() {
+    let closed = shipped("power_tm.cat");
+    let recursive = shipped("power_tm_rec.cat");
+    assert_eq!(closed.axioms(), recursive.axioms());
+    let cfg = SynthConfig::power(3);
+    let checked = AtomicUsize::new(0);
+    for n in 2..=3 {
+        enumerate_exact(&cfg, n, |exec: &Execution| {
+            let view = ExecView::new(exec);
+            assert_eq!(
+                recursive.is_consistent_view(&view),
+                closed.is_consistent_view(&view),
+                "let rec rewrite drifts from the +-closure on:\n{exec:?}"
+            );
+            checked.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert!(
+        checked.into_inner() > 1_000,
+        "too few executions enumerated"
+    );
+}

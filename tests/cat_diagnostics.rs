@@ -1,14 +1,24 @@
-//! Golden tests for `.cat` diagnostics: each class of error is pinned down
-//! to its exact rendering — message, span arrow, quoted line and caret —
-//! so reporting regressions show up as test diffs.
+//! Golden tests for `.cat` diagnostics: each class of error *and lint
+//! warning* is pinned down to its exact rendering — message, span arrow,
+//! quoted line and caret — so reporting regressions show up as test diffs.
 
-use tm_cat::load_str;
+use tm_cat::{lint_str, load_str};
 
 fn diag(source: &str) -> String {
     load_str("golden", source)
         .err()
         .unwrap_or_else(|| panic!("source unexpectedly elaborates:\n{source}"))
         .to_string()
+}
+
+/// Lints `source` and renders every finding, double-newline separated.
+fn lints(source: &str) -> String {
+    lint_str("golden", source)
+        .unwrap_or_else(|e| panic!("source fails to elaborate:\n{e}"))
+        .iter()
+        .map(|w| w.to_string())
+        .collect::<Vec<_>>()
+        .join("\n\n")
 }
 
 #[test]
@@ -77,15 +87,80 @@ error: unterminated `let rec`: expected a binding, found end of input
 }
 
 #[test]
-fn genuine_recursion_is_rejected_with_guidance() {
+fn non_stratified_recursion_names_the_cycle() {
     assert_eq!(
-        diag("let rec hb = po | hb\nacyclic hb as Order\n"),
+        diag("let rec a = po \\ a\nacyclic a as A\n"),
         "\
-error: recursive definition of `hb` (via `hb`) is not supported: the IR has no fixpoint operator; express the recursion with the closure operators `+` or `*`
+error: recursive cycle through `a` is not positively stratified: `a` occurs negatively in the definition of `a` (under the right of `\\`, or inside a lift); only positive recursion has a least fixpoint
   --> <input>:1:9
    |
- 1 | let rec hb = po | hb
+ 1 | let rec a = po \\ a
+   |         ^"
+    );
+}
+
+#[test]
+fn unused_let_warns_at_the_binding_name() {
+    assert_eq!(
+        lints("let dead = rf\nacyclic po | com as Order\n"),
+        "\
+warning[unused-let]: binding `dead` is never used by any axiom
+  --> <input>:1:5
+   |
+ 1 | let dead = rf
+   |     ^^^^"
+    );
+}
+
+#[test]
+fn shadowing_a_primitive_warns() {
+    assert_eq!(
+        lints("let com = po | rf\nacyclic com as Order\n"),
+        "\
+warning[shadowed-let]: binding `com` shadows the primitive relation of the same name
+  --> <input>:1:5
+   |
+ 1 | let com = po | rf
+   |     ^^^"
+    );
+}
+
+#[test]
+fn vacuous_axiom_warns_with_the_proved_claim() {
+    assert_eq!(
+        lints("acyclic po as Order\n"),
+        "\
+warning[vacuous-axiom]: axiom `Order` is vacuous: its body is provably acyclic on every well-formed execution, so the axiom constrains nothing
+  --> <input>:1:9
+   |
+ 1 | acyclic po as Order
    |         ^^"
+    );
+}
+
+#[test]
+fn statically_empty_composition_warns_at_the_expression() {
+    assert_eq!(
+        lints("acyclic (rf ; rf) | po | com as Order\n"),
+        "\
+warning[statically-empty]: this expression is provably empty on every well-formed execution (its operands' event kinds can never meet)
+  --> <input>:1:10
+   |
+ 1 | acyclic (rf ; rf) | po | com as Order
+   |          ^^^^^^^"
+    );
+}
+
+#[test]
+fn redundant_axiom_names_its_witness() {
+    assert_eq!(
+        lints("acyclic po | com as A\nacyclic po-loc | com as B\n"),
+        "\
+warning[redundant-axiom]: axiom `B` is redundant: every execution satisfying axiom `A` already satisfies it
+  --> <input>:2:9
+   |
+ 2 | acyclic po-loc | com as B
+   |         ^^^^^^^^^^^^"
     );
 }
 

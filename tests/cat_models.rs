@@ -24,6 +24,11 @@ fn every_shipped_target_model_matches_its_builtin() {
         (Target::X86Tm, "x86_tm.cat"),
         (Target::Power, "power.cat"),
         (Target::PowerTm, "power_tm.cat"),
+        // The hand-written `let rec` rewrite of power_tm's tfence+ closure:
+        // the fixpoint is concretely the same relation, so it must stay
+        // witness-identical to the built-in target (see analysis_parity.rs
+        // for the exhaustive sweep).
+        (Target::PowerTm, "power_tm_rec.cat"),
         (Target::Armv8, "armv8.cat"),
         (Target::Armv8Tm, "armv8_tm.cat"),
         (Target::Cpp, "cpp.cat"),
@@ -46,6 +51,34 @@ fn every_shipped_target_model_matches_its_builtin() {
             );
         }
     }
+}
+
+#[test]
+fn every_shipped_model_lints_clean() {
+    // The CI `cat-lint` job gates on this with `--deny warnings`; keeping
+    // the same guarantee in-tree means `cargo test` catches a freshly
+    // introduced finding (or a lint false positive) without the workflow.
+    let mut checked = 0;
+    for entry in std::fs::read_dir(models_dir()).expect("models/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_none_or(|e| e != "cat") {
+            continue;
+        }
+        let warnings = tm_cat::lint_file(&path)
+            .unwrap_or_else(|e| panic!("{}: lint failed\n{e}", path.display()));
+        assert!(
+            warnings.is_empty(),
+            "{} has lint findings:\n{}",
+            path.display(),
+            warnings
+                .iter()
+                .map(|w| w.to_string())
+                .collect::<Vec<_>>()
+                .join("\n\n")
+        );
+        checked += 1;
+    }
+    assert!(checked >= 12, "only {checked} models linted");
 }
 
 #[test]
