@@ -443,6 +443,31 @@ fn cat_models_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../models")
 }
 
+/// The machine fingerprint stamped into every run: logical core count and
+/// the `uname -srm` triple (kernel, release, architecture), falling back to
+/// the compile-time OS/arch when `uname` is unavailable.
+fn machine_fingerprint() -> (usize, String) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let uname = std::process::Command::new("uname")
+        .arg("-srm")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| format!("{} {}", std::env::consts::OS, std::env::consts::ARCH));
+    // The string goes into hand-written JSON; strip anything that would
+    // need escaping rather than grow an escaper for one field.
+    let uname = uname
+        .chars()
+        .filter(|c| *c != '"' && *c != '\\' && !c.is_control())
+        .collect();
+    (cores, uname)
+}
+
 /// Today's UTC date as `YYYY-MM-DD`, via the days-to-civil algorithm (no
 /// date-time dependency in this workspace).
 fn today_utc() -> String {
@@ -502,6 +527,7 @@ fn main() {
     };
     let cfg = sweep_config(max_events);
 
+    let bench_started = Instant::now();
     eprintln!("sweep: x86-trimmed, |E| = 2..={max_events}, 2 models per execution");
     let baseline = run_baseline(&cfg, max_events);
     let modes = [
@@ -510,13 +536,18 @@ fn main() {
         run_incremental(&cfg, max_events),
         run_cat_loaded(&cfg, max_events),
     ];
+    let sweep_wall = bench_started.elapsed().as_secs_f64();
     eprintln!("symmetry: x86-trimmed-3t, |E| = 2..={max_events}, full vs symmetry-reduced");
     let cfg3 = sweep_config_3t(max_events);
+    let symmetry_started = Instant::now();
     let (full3, symmetry) = run_symmetry_pair(&cfg3, max_events);
+    let symmetry_wall = symmetry_started.elapsed().as_secs_f64();
     eprintln!("suites: x86-trimmed, |E| = {max_events}, x86+TM vs x86 (Forbid + Allow)");
+    let suites_started = Instant::now();
     let (suite_old, old_report) = run_suite(&cfg, max_events, false);
     let (suite_new, new_report) = run_suite(&cfg, max_events, true);
     let (suite_sym, sym_report) = run_suite_symmetry(&cfg, max_events);
+    let suites_wall = suites_started.elapsed().as_secs_f64();
     let suite_modes = [suite_old, suite_new, suite_sym];
     let symmetry_modes = [full3, symmetry];
     for mode in modes.iter().chain(&symmetry_modes).chain(&suite_modes) {
@@ -639,6 +670,17 @@ fn main() {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    );
+    let (cores, uname) = machine_fingerprint();
+    let _ = writeln!(
+        run,
+        "      \"machine\": {{ \"cores\": {cores}, \"uname\": \"{uname}\" }},"
+    );
+    let _ = writeln!(
+        run,
+        "      \"wall_seconds\": {{ \"sweep\": {sweep_wall:.6}, \"symmetry\": \
+         {symmetry_wall:.6}, \"suites\": {suites_wall:.6}, \"total\": {:.6} }},",
+        bench_started.elapsed().as_secs_f64()
     );
     let _ = writeln!(run, "      \"modes\": {{");
     let all_modes: Vec<&Mode> = modes

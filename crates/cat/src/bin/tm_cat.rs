@@ -51,6 +51,18 @@
 //!   --fail-plan KIND:K  fault injection: panic|panic-once|exit|stall after
 //!                       K claimed units (also: TM_SWEEP_FAIL_PLAN env var)
 //!
+//! `sweep` observability (see README "Observability"):
+//!   --progress          live stderr progress line (`units done/total,
+//!                       execs/s, ETA`); under --supervise the parent
+//!                       aggregates per-shard heartbeat files
+//!   --report PATH       write the machine-readable end-of-run report
+//!                       (`tm-sweep-report/v1`) to PATH
+//!   --obs SINK          event sink: null (default) | stderr | json:PATH
+//!
+//! Every `sweep` run ends with a one-line `summary:` on stdout — units,
+//! representatives, executions covered, elapsed, quarantined — on every
+//! exit path, including the degraded exit 3.
+//!
 //! Exit codes: 0 success; 1 verdict drift from --expect or lint findings
 //! under --deny warnings; 2 usage, parse or IO error; 3 sweep finished
 //! degraded (quarantined units) or ran out of budget with units still
@@ -65,9 +77,10 @@ use tm_exec::{catalog, Execution};
 use tm_litmus::from_execution;
 use tm_models::ir::IrModel;
 use tm_models::{MemoryModel, Target};
+use tm_obs::{Obs, SinkKind};
 use tm_sweep::{
-    merge_sharded, run_sweep, supervise, FailPlan, SupervisorOptions, SweepJob, SweepMode,
-    SweepOptions, SweepOutcome, SweepStatus,
+    merge_sharded, run_sweep, supervise_with, write_report, FailPlan, Heartbeat, SupervisorOptions,
+    SweepJob, SweepMode, SweepOptions, SweepOutcome, SweepStatus,
 };
 use tm_synth::{
     enumerate_exact, enumerate_exact_incremental, enumerate_reduced_incremental,
@@ -130,7 +143,8 @@ fn usage() -> ExitCode {
          [--symmetry on|off]\n                [--suites --baseline <file.cat>] \
          [--checkpoint DIR [--resume] \
          [--shard I/M | --supervise M] [--budget SECS]\n                 [--unit-deadline SECS] \
-         [--retries N] [--backoff-ms MS] [--sync-batch N]\n                 [--fail-plan KIND:K]]\n  \
+         [--retries N] [--backoff-ms MS] [--sync-batch N]\n                 [--fail-plan KIND:K] \
+         [--progress] [--report PATH] [--obs null|stderr|json:PATH]]\n  \
          tm-cat lint <file.cat> [--deny warnings]"
     );
     ExitCode::from(2)
@@ -361,6 +375,9 @@ struct SweepArgs {
     backoff: Duration,
     sync_batch: usize,
     fail_plan: Option<FailPlan>,
+    progress: bool,
+    report: Option<PathBuf>,
+    obs_sink: SinkKind,
 }
 
 fn parse_shard(s: &str) -> Result<(u32, u32), String> {
@@ -408,6 +425,9 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, ExitCode> {
         backoff: Duration::from_millis(25),
         sync_batch: 1,
         fail_plan: None,
+        progress: false,
+        report: None,
+        obs_sink: SinkKind::Null,
     };
     let fail = |msg: String| {
         eprintln!("tm-cat: {msg}");
@@ -430,9 +450,13 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, ExitCode> {
                 parsed.resume = true;
                 i += 1;
             }
+            "--progress" => {
+                parsed.progress = true;
+                i += 1;
+            }
             "--baseline" | "--events" | "--config" | "--expect" | "--symmetry" | "--checkpoint"
             | "--shard" | "--supervise" | "--budget" | "--unit-deadline" | "--retries"
-            | "--backoff-ms" | "--sync-batch" | "--fail-plan" => {
+            | "--backoff-ms" | "--sync-batch" | "--fail-plan" | "--report" | "--obs" => {
                 let Some(value) = value else {
                     return Err(fail(format!("{flag} expects a value")));
                 };
@@ -482,6 +506,8 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, ExitCode> {
                         parsed.sync_batch = n;
                     }
                     "--fail-plan" => parsed.fail_plan = Some(FailPlan::parse(value).map_err(fail)?),
+                    "--report" => parsed.report = Some(PathBuf::from(value)),
+                    "--obs" => parsed.obs_sink = SinkKind::parse(value).map_err(fail)?,
                     _ => unreachable!("matched above"),
                 }
                 i += 2;
@@ -510,6 +536,15 @@ fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, ExitCode> {
             "--resume/--shard/--supervise/--budget/--unit-deadline/--fail-plan need \
              --checkpoint DIR"
                 .into(),
+        ));
+    }
+    // Progress, reports and event sinks hang off the checkpointed runner
+    // (heartbeats and per-unit telemetry live next to the journal).
+    if parsed.checkpoint.is_none()
+        && (parsed.progress || parsed.report.is_some() || parsed.obs_sink != SinkKind::Null)
+    {
+        return Err(fail(
+            "--progress/--report/--obs need --checkpoint DIR".into(),
         ));
     }
     if parsed.shard.is_some() && parsed.supervise.is_some() {
@@ -680,6 +715,7 @@ fn sweep_legacy(parsed: &SweepArgs, model: &IrModel, config: &SynthConfig) -> Ex
             total.load(Ordering::Relaxed) - consistent.load(Ordering::Relaxed),
         );
     }
+    let mut code = ExitCode::SUCCESS;
     if let Some(target) = parsed.expect {
         let drift = drift.load(Ordering::Relaxed);
         if drift > 0 {
@@ -687,14 +723,22 @@ fn sweep_legacy(parsed: &SweepArgs, model: &IrModel, config: &SynthConfig) -> Ex
                 "tm-cat: {drift} execution(s) drift from built-in `{}`",
                 target.name()
             );
-            return ExitCode::FAILURE;
+            code = ExitCode::FAILURE;
+        } else {
+            println!(
+                "verdicts match built-in `{}` on the whole space",
+                target.name()
+            );
         }
-        println!(
-            "verdicts match built-in `{}` on the whole space",
-            target.name()
-        );
     }
-    ExitCode::SUCCESS
+    // The in-memory sweep has no work-unit decomposition.
+    let covered = if reduced {
+        weighted_executions
+    } else {
+        executions as u64
+    };
+    print_summary(0, executions as u64, covered, secs, 0);
+    code
 }
 
 /// `sweep --suites`: synthesise the Forbid/Allow conformance suites for a
@@ -738,6 +782,18 @@ fn sweep_suites(
         );
     }
     print_suite_lines(&report);
+    let covered = if symmetry.is_reduced() {
+        report.effective
+    } else {
+        report.enumerated as u64
+    };
+    print_summary(
+        0,
+        report.enumerated as u64,
+        covered,
+        report.elapsed.as_secs_f64(),
+        0,
+    );
     ExitCode::SUCCESS
 }
 
@@ -754,6 +810,16 @@ fn print_suite_lines(report: &tm_synth::SuiteReport) {
     for test in &report.forbid {
         println!("\n{}", test.litmus);
     }
+}
+
+/// The final one-line `summary:` every sweep prints on stdout, whatever
+/// its exit path — scripts can rely on its presence even when the run
+/// ends degraded (exit 3).
+fn print_summary(units: usize, representatives: u64, covered: u64, secs: f64, quarantined: usize) {
+    println!(
+        "summary: {units} units, {representatives} representatives, {covered} executions \
+         covered, {secs:.3}s elapsed, {quarantined} quarantined"
+    );
 }
 
 /// Prints what a checkpointed run did and turns its status into an exit
@@ -814,7 +880,7 @@ fn report_outcome(parsed: &SweepArgs, outcome: &SweepOutcome, secs: f64) -> u8 {
             );
         }
     }
-    match outcome.status {
+    let code = match outcome.status {
         SweepStatus::BudgetExhausted => {
             eprintln!(
                 "tm-cat: budget exhausted with {} unit(s) pending; resume with \
@@ -839,16 +905,27 @@ fn report_outcome(parsed: &SweepArgs, outcome: &SweepOutcome, secs: f64) -> u8 {
                         outcome.drift,
                         target.name()
                     );
-                    return 1;
+                    1
+                } else {
+                    println!(
+                        "verdicts match built-in `{}` on the whole space",
+                        target.name()
+                    );
+                    0
                 }
-                println!(
-                    "verdicts match built-in `{}` on the whole space",
-                    target.name()
-                );
+            } else {
+                0
             }
-            0
         }
-    }
+    };
+    print_summary(
+        outcome.total_units,
+        outcome.visited,
+        outcome.weighted_visited,
+        secs,
+        outcome.quarantined.len(),
+    );
+    code
 }
 
 fn sweep_checkpointed(
@@ -883,6 +960,19 @@ fn sweep_checkpointed(
             None => String::new(),
         }
     );
+    // `--obs null` is the fully disabled handle: counters still count (the
+    // report reads them back) but events and spans cost nothing.
+    let obs = if parsed.obs_sink == SinkKind::Null {
+        Obs::disabled()
+    } else {
+        match Obs::with_sink(parsed.obs_sink.clone()) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("tm-cat: cannot open observability sink: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
     let opts = SweepOptions {
         resume: parsed.resume,
         shard: parsed.shard,
@@ -892,15 +982,26 @@ fn sweep_checkpointed(
         backoff: parsed.backoff,
         sync_batch: parsed.sync_batch,
         fail_plan: parsed.fail_plan,
+        obs: obs.clone(),
+        progress: parsed.progress,
         ..SweepOptions::new(checkpoint)
     };
     let start = std::time::Instant::now();
     match run_sweep(&job, &opts) {
-        Ok(outcome) => ExitCode::from(report_outcome(
-            parsed,
-            &outcome,
-            start.elapsed().as_secs_f64(),
-        )),
+        Ok(outcome) => {
+            if let Some(path) = &parsed.report {
+                if let Err(e) = write_report(path, &job, &outcome, &obs) {
+                    eprintln!("tm-cat: cannot write report {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                println!("report written to {}", path.display());
+            }
+            ExitCode::from(report_outcome(
+                parsed,
+                &outcome,
+                start.elapsed().as_secs_f64(),
+            ))
+        }
         Err(e) => {
             eprintln!("tm-cat: {e}");
             ExitCode::from(2)
@@ -927,53 +1028,82 @@ fn sweep_supervised(parsed: &SweepArgs) -> ExitCode {
     );
 
     let shard_dir = |i: u32| checkpoint.join(format!("shard-{i}"));
+    let dirs: Vec<PathBuf> = (0..shards).map(shard_dir).collect();
+    let start = std::time::Instant::now();
+
+    // Live progress: the children write heartbeat files next to their
+    // journals unconditionally; the supervisor sums them into one stderr
+    // line, rate-limited so the poll loop stays cheap.
+    let mut last_print = std::time::Instant::now() - Duration::from_secs(1);
+    let progress_dirs = dirs.clone();
+    let on_poll = move || {
+        if !parsed.progress || last_print.elapsed() < Duration::from_millis(200) {
+            return;
+        }
+        last_print = std::time::Instant::now();
+        if let Some(hb) = Heartbeat::aggregate(&progress_dirs) {
+            eprint!("\r{}", hb.progress_line());
+            use std::io::Write as _;
+            let _ = std::io::stderr().flush();
+        }
+    };
+
     let sup_opts = SupervisorOptions::new(shards);
-    let runs = supervise(&sup_opts, |i, launch| {
-        let mut cmd = std::process::Command::new(&exe);
-        cmd.arg("sweep").arg(&parsed.path);
-        cmd.arg("--events").arg(parsed.events.to_string());
-        cmd.arg("--config").arg(&parsed.config_name);
-        if parsed.suites {
-            cmd.arg("--suites");
-            if let Some(b) = &parsed.baseline_path {
-                cmd.arg("--baseline").arg(b);
+    let runs = supervise_with(
+        &sup_opts,
+        |i, launch| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("sweep").arg(&parsed.path);
+            cmd.arg("--events").arg(parsed.events.to_string());
+            cmd.arg("--config").arg(&parsed.config_name);
+            if parsed.suites {
+                cmd.arg("--suites");
+                if let Some(b) = &parsed.baseline_path {
+                    cmd.arg("--baseline").arg(b);
+                }
             }
-        }
-        if let Some(t) = parsed.expect {
-            cmd.arg("--expect").arg(t.name());
-        }
-        cmd.arg("--symmetry").arg(parsed.symmetry.to_string());
-        cmd.arg("--checkpoint").arg(shard_dir(i));
-        // --resume makes restarts continue the shard's journal; on the
-        // first launch the journal does not exist yet and --resume is a
-        // no-op.
-        cmd.arg("--resume");
-        cmd.arg("--shard").arg(format!("{i}/{shards}"));
-        if let Some(d) = parsed.unit_deadline {
-            cmd.arg("--unit-deadline").arg(d.as_secs_f64().to_string());
-        }
-        cmd.arg("--retries").arg(parsed.retries.to_string());
-        cmd.arg("--backoff-ms")
-            .arg(parsed.backoff.as_millis().to_string());
-        cmd.arg("--sync-batch").arg(parsed.sync_batch.to_string());
-        // Fault injection reaches the first launch only — a restarted
-        // shard must be allowed to finish, and the env var would otherwise
-        // leak into every generation.
-        cmd.env_remove("TM_SWEEP_FAIL_PLAN");
-        if launch == 0 {
-            if let Some(plan) = parsed.fail_plan {
-                let kind = match plan.kind {
-                    tm_sweep::FailKind::Panic => "panic",
-                    tm_sweep::FailKind::PanicOnce => "panic-once",
-                    tm_sweep::FailKind::Exit => "exit",
-                    tm_sweep::FailKind::Stall => "stall",
-                };
-                cmd.arg("--fail-plan")
-                    .arg(format!("{kind}:{}", plan.after_units));
+            if let Some(t) = parsed.expect {
+                cmd.arg("--expect").arg(t.name());
             }
+            cmd.arg("--symmetry").arg(parsed.symmetry.to_string());
+            cmd.arg("--checkpoint").arg(shard_dir(i));
+            // --resume makes restarts continue the shard's journal; on the
+            // first launch the journal does not exist yet and --resume is a
+            // no-op.
+            cmd.arg("--resume");
+            cmd.arg("--shard").arg(format!("{i}/{shards}"));
+            if let Some(d) = parsed.unit_deadline {
+                cmd.arg("--unit-deadline").arg(d.as_secs_f64().to_string());
+            }
+            cmd.arg("--retries").arg(parsed.retries.to_string());
+            cmd.arg("--backoff-ms")
+                .arg(parsed.backoff.as_millis().to_string());
+            cmd.arg("--sync-batch").arg(parsed.sync_batch.to_string());
+            // Fault injection reaches the first launch only — a restarted
+            // shard must be allowed to finish, and the env var would otherwise
+            // leak into every generation.
+            cmd.env_remove("TM_SWEEP_FAIL_PLAN");
+            if launch == 0 {
+                if let Some(plan) = parsed.fail_plan {
+                    let kind = match plan.kind {
+                        tm_sweep::FailKind::Panic => "panic",
+                        tm_sweep::FailKind::PanicOnce => "panic-once",
+                        tm_sweep::FailKind::Exit => "exit",
+                        tm_sweep::FailKind::Stall => "stall",
+                    };
+                    cmd.arg("--fail-plan")
+                        .arg(format!("{kind}:{}", plan.after_units));
+                }
+            }
+            cmd
+        },
+        on_poll,
+    );
+    if parsed.progress {
+        if let Some(hb) = Heartbeat::aggregate(&dirs) {
+            eprintln!("\r{}", hb.progress_line());
         }
-        cmd
-    });
+    }
     let runs = match runs {
         Ok(runs) => runs,
         Err(e) => {
@@ -1030,10 +1160,16 @@ fn sweep_supervised(parsed: &SweepArgs) -> ExitCode {
         events: parsed.events,
         symmetry: parsed.symmetry,
     };
-    let dirs: Vec<PathBuf> = (0..shards).map(shard_dir).collect();
     match merge_sharded(&job, &dirs) {
         Ok(outcome) => {
-            let code = report_outcome(parsed, &outcome, 0.0);
+            if let Some(path) = &parsed.report {
+                if let Err(e) = write_report(path, &job, &outcome, &Obs::disabled()) {
+                    eprintln!("tm-cat: cannot write report {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                println!("report written to {}", path.display());
+            }
+            let code = report_outcome(parsed, &outcome, start.elapsed().as_secs_f64());
             if !all_finished && code == 0 {
                 // A shard that crashed out entirely means unknown coverage
                 // even if every *journalled* unit completed.

@@ -1423,6 +1423,27 @@ pub struct MaintenanceStats {
     /// the footprint-invalidation fallback path by design, and this counter
     /// (not `dropped`) records it.
     pub fix_reevals: u64,
+    /// Axiom verdict queries answered by [`IncrementalEval::holds`] —
+    /// cache hits and full evaluations together.
+    pub axiom_queries: u64,
+    /// The subset of `axiom_queries` answered from the per-`(body, head)`
+    /// verdict cache without touching the body relation.
+    pub axiom_cache_hits: u64,
+}
+
+impl MaintenanceStats {
+    /// Folds `other` into `self`, field by field — the rollup the sweep
+    /// report aggregates across work units.
+    pub fn merge(&mut self, other: MaintenanceStats) {
+        self.maintained += other.maintained;
+        self.rebased += other.rebased;
+        self.dropped += other.dropped;
+        self.invalidated += other.invalidated;
+        self.resets += other.resets;
+        self.fix_reevals += other.fix_reevals;
+        self.axiom_queries += other.axiom_queries;
+        self.axiom_cache_hits += other.axiom_cache_hits;
+    }
 }
 
 /// How one node fared during a propagation pass: untouched, edited with the
@@ -2512,6 +2533,7 @@ impl<'p> IncrementalEval<'p> {
     /// cached per `(body, head)` and survives deltas that leave the body's
     /// footprint untouched — the fast path of the incremental sweep.
     pub fn holds(&mut self, exec: &Execution, axiom: &Axiom) -> bool {
+        self.stats.axiom_queries += 1;
         let i = axiom.body.index();
         let cached = match axiom.head {
             AxiomHead::Acyclic => self.heads[i].acyclic,
@@ -2519,6 +2541,7 @@ impl<'p> IncrementalEval<'p> {
             AxiomHead::Empty => self.heads[i].empty,
         };
         if let Some(v) = cached {
+            self.stats.axiom_cache_hits += 1;
             return v;
         }
         self.ensure_rel(exec, axiom.body);

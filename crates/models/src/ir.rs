@@ -598,6 +598,7 @@ pub(crate) fn axiom_holds(axiom: &Axiom, view: &ExecView<'_>) -> bool {
 /// ```
 pub struct IncrementalChecker {
     eval: tm_exec::ir::IncrementalEval<'static>,
+    early_exits: u64,
 }
 
 impl Default for IncrementalChecker {
@@ -612,6 +613,7 @@ impl IncrementalChecker {
     pub fn new() -> IncrementalChecker {
         IncrementalChecker {
             eval: tm_exec::ir::IncrementalEval::new(catalog().pool()),
+            early_exits: 0,
         }
     }
 
@@ -638,12 +640,28 @@ impl IncrementalChecker {
         self.eval.stats()
     }
 
+    /// Consistency queries that returned `false` before reaching the last
+    /// axiom of the cost order — how often cheapest-axiom-first paid off.
+    pub fn early_exits(&self) -> u64 {
+        self.early_exits
+    }
+
     /// True if `exec` satisfies every axiom of `target` — the early-exit
     /// sweep path (cheapest axioms first, cached verdicts reused).
     pub fn is_consistent(&mut self, exec: &tm_exec::Execution, target: Target) -> bool {
         let table = catalog().model(target);
         let eval = &mut self.eval;
-        table.in_cost_order().all(|axiom| eval.holds(exec, axiom))
+        let mut remaining = table.axioms().len();
+        for axiom in table.in_cost_order() {
+            remaining -= 1;
+            if !eval.holds(exec, axiom) {
+                if remaining > 0 {
+                    self.early_exits += 1;
+                }
+                return false;
+            }
+        }
+        true
     }
 
     /// Like [`is_consistent`](IncrementalChecker::is_consistent) with the
@@ -728,6 +746,13 @@ impl crate::DeltaChecker for TargetChecker {
     fn rollback(&mut self) {
         self.checker.rollback();
     }
+
+    fn telemetry(&self) -> Option<crate::CheckerTelemetry> {
+        Some(crate::CheckerTelemetry {
+            stats: self.checker.stats(),
+            early_exits: self.checker.early_exits(),
+        })
+    }
 }
 
 // ---- user-defined models ---------------------------------------------------
@@ -791,6 +816,7 @@ impl IrModel {
         IncrementalModelChecker {
             eval: IncrementalEval::new(&self.pool),
             table: &self.table,
+            early_exits: 0,
         }
     }
 }
@@ -839,6 +865,7 @@ impl crate::MemoryModel for IrModel {
 pub struct IncrementalModelChecker<'m> {
     eval: IncrementalEval<'m>,
     table: &'m ModelAxioms,
+    early_exits: u64,
 }
 
 impl<'m> IncrementalModelChecker<'m> {
@@ -862,12 +889,26 @@ impl<'m> IncrementalModelChecker<'m> {
         self.eval.stats()
     }
 
+    /// Consistency queries that returned `false` before the last axiom of
+    /// the cost order.
+    pub fn early_exits(&self) -> u64 {
+        self.early_exits
+    }
+
     /// True if `exec` satisfies every axiom — early-exit, cached verdicts.
     pub fn is_consistent(&mut self, exec: &tm_exec::Execution) -> bool {
         let eval = &mut self.eval;
-        self.table
-            .in_cost_order()
-            .all(|axiom| eval.holds(exec, axiom))
+        let mut remaining = self.table.axioms().len();
+        for axiom in self.table.in_cost_order() {
+            remaining -= 1;
+            if !eval.holds(exec, axiom) {
+                if remaining > 0 {
+                    self.early_exits += 1;
+                }
+                return false;
+            }
+        }
+        true
     }
 
     /// The full verdict with witnesses, matching
@@ -898,6 +939,13 @@ impl crate::DeltaChecker for IncrementalModelChecker<'_> {
 
     fn rollback(&mut self) {
         IncrementalModelChecker::rollback(self);
+    }
+
+    fn telemetry(&self) -> Option<crate::CheckerTelemetry> {
+        Some(crate::CheckerTelemetry {
+            stats: self.stats(),
+            early_exits: self.early_exits,
+        })
     }
 }
 

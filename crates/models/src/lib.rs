@@ -76,6 +76,35 @@ pub trait DeltaChecker {
 
     /// Restores the state captured by the active savepoint.
     fn rollback(&mut self);
+
+    /// The checker's evaluation telemetry, when it keeps any — maintenance
+    /// counters of the underlying incremental evaluator plus how often
+    /// consistency queries early-exited. `None` (the default) means the
+    /// checker does not track telemetry; callers must treat that as
+    /// "unknown", not zero.
+    fn telemetry(&self) -> Option<CheckerTelemetry> {
+        None
+    }
+}
+
+/// What a [`DeltaChecker`] can report about its own work: the incremental
+/// evaluator's [`MaintenanceStats`](tm_exec::ir::MaintenanceStats) and the
+/// number of consistency queries that early-exited before the last axiom.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckerTelemetry {
+    /// Maintenance counters of the underlying evaluator.
+    pub stats: tm_exec::ir::MaintenanceStats,
+    /// Consistency queries answered `false` before the cost order's last
+    /// axiom was evaluated.
+    pub early_exits: u64,
+}
+
+impl CheckerTelemetry {
+    /// Folds `other` into `self` — the cross-checker rollup.
+    pub fn merge(&mut self, other: CheckerTelemetry) {
+        self.stats.merge(other.stats);
+        self.early_exits += other.early_exits;
+    }
 }
 
 /// A memory model: a named consistency predicate over candidate executions.

@@ -1,0 +1,139 @@
+//! Std-only observability for the sweep/synthesis stack: timed spans,
+//! typed counters and histograms, pluggable event sinks, and the JSON
+//! codec the machine-readable artifacts share.
+//!
+//! The design constraint is the hot path: the incremental sweep visits
+//! ~10⁶ executions per second per core, so instrumentation must cost one
+//! relaxed atomic increment when nobody is watching. The pieces:
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s and log2-bucketed
+//!   [`Histogram`]s; handles are pre-looked-up `Arc` cells, increments are
+//!   relaxed atomics, snapshots render to JSON.
+//! * [`Obs`] — the injectable handle (the `firm`-style null-sink logger
+//!   idiom): a sink, a registry and an enabled flag behind one cheap
+//!   `Clone`. `Obs::disabled()` is the default everywhere; code holding a
+//!   disabled handle emits nothing and times nothing.
+//! * [`Event`]/[`Sink`] — typed records ([`NullSink`], [`StderrSink`],
+//!   [`JsonLinesSink`]), selected at runtime via [`SinkKind::parse`]
+//!   (`null` / `stderr` / `json:<path>`).
+//! * [`SpanGuard`] — hierarchical RAII timings on the monotonic clock.
+//! * [`Json`] — the std-only JSON value/parser/renderer used by
+//!   `sweep.report.json`, heartbeats and the bench trajectory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod metrics;
+mod sink;
+mod span;
+
+use std::io;
+use std::sync::Arc;
+
+pub use json::{Json, JsonError};
+pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use sink::{Event, Field, JsonLinesSink, NullSink, Sink, SinkKind, StderrSink};
+pub use span::SpanGuard;
+
+struct ObsInner {
+    enabled: bool,
+    sink: Box<dyn Sink>,
+    registry: MetricsRegistry,
+}
+
+/// The injectable observability handle: a sink, a metrics registry and an
+/// enabled flag. Cloning shares all three.
+///
+/// Counters registered through a disabled handle still count (they are the
+/// cheap part and the sweep reads them back for its report); events and
+/// spans are suppressed entirely.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Arc<ObsInner>,
+}
+
+impl Obs {
+    /// The default handle: null sink, events and spans off, registry live.
+    pub fn disabled() -> Obs {
+        Obs {
+            inner: Arc::new(ObsInner {
+                enabled: false,
+                sink: Box::new(NullSink),
+                registry: MetricsRegistry::new(),
+            }),
+        }
+    }
+
+    /// An enabled handle delivering events to `kind`.
+    ///
+    /// [`SinkKind::Null`] still enables spans and events (they are simply
+    /// dropped at the sink) — use [`Obs::disabled`] for zero cost.
+    pub fn with_sink(kind: SinkKind) -> io::Result<Obs> {
+        let sink: Box<dyn Sink> = match kind {
+            SinkKind::Null => Box::new(NullSink),
+            SinkKind::Stderr => Box::new(StderrSink),
+            SinkKind::JsonLines(path) => Box::new(JsonLinesSink::create(&path)?),
+        };
+        Ok(Obs {
+            inner: Arc::new(ObsInner {
+                enabled: true,
+                sink,
+                registry: MetricsRegistry::new(),
+            }),
+        })
+    }
+
+    /// Whether events and spans are delivered.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Delivers `event` to the sink (dropped when disabled).
+    pub fn emit(&self, event: Event) {
+        if self.inner.enabled {
+            self.inner.sink.emit(&event);
+        }
+    }
+
+    /// The shared metrics registry (live even when disabled).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    /// Shorthand for `registry().counter(name)`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner.registry.counter(name)
+    }
+
+    /// Opens a timed span; it closes (and reports) when the guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        SpanGuard::start(self, name)
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        self.inner.sink.flush();
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_counts_but_does_not_emit() {
+        let obs = Obs::disabled();
+        let c = obs.counter("sweep.units.completed");
+        c.incr();
+        obs.emit(Event::new("unit.complete").field("unit_id", 1u64));
+        assert!(!obs.is_enabled());
+        assert_eq!(obs.counter("sweep.units.completed").get(), 1);
+    }
+}

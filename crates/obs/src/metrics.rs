@@ -1,0 +1,250 @@
+//! Typed counters and histograms behind a [`MetricsRegistry`].
+//!
+//! Handles are cheap clones of `Arc<Atomic…>` cells: instrumented code
+//! looks a counter up **once** (outside its hot loop) and then pays one
+//! relaxed `fetch_add` per increment — the same cost whether a sink is
+//! attached or not, which is what keeps the null-sink overhead of an
+//! instrumented sweep below the noise floor.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (still counts).
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two bucket count: values up to 2^63 land in a bucket.
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramCells {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    /// `buckets[i]` counts values whose bit length is `i` — i.e. bucket 0
+    /// holds 0, bucket 1 holds 1, bucket 2 holds 2..=3, bucket i holds
+    /// 2^(i-1)..=2^i - 1.
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A log2-bucketed histogram of `u64` samples (typically microseconds).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramCells {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry (still records).
+    pub fn detached() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let cells = &*self.0;
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(value, Ordering::Relaxed);
+        cells.max.fetch_max(value, Ordering::Relaxed);
+        let bucket = (64 - value.leading_zeros()) as usize;
+        cells.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole microseconds.
+    pub fn record_micros(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// The non-empty log2 buckets as `(lower_bound, count)` pairs.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let count = c.load(Ordering::Relaxed);
+                let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                (count > 0).then_some((lower, count))
+            })
+            .collect()
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Histogram(Histogram),
+}
+
+/// A named set of counters and histograms.
+///
+/// Registration takes a lock; incrementing does not. Names are dotted
+/// paths (`sweep.units.completed`); snapshots list metrics in registration
+/// order.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<Vec<(String, Metric)>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Gets or registers the counter called `name`.
+    ///
+    /// Panics if `name` is already a histogram — a name means one type.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().unwrap();
+        if let Some((_, m)) = metrics.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Counter(c) => return c.clone(),
+                Metric::Histogram(_) => panic!("metric `{name}` is a histogram, not a counter"),
+            }
+        }
+        let counter = Counter::default();
+        metrics.push((name.to_string(), Metric::Counter(counter.clone())));
+        counter
+    }
+
+    /// Gets or registers the histogram called `name`.
+    ///
+    /// Panics if `name` is already a counter.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut metrics = self.metrics.lock().unwrap();
+        if let Some((_, m)) = metrics.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Histogram(h) => return h.clone(),
+                Metric::Counter(_) => panic!("metric `{name}` is a counter, not a histogram"),
+            }
+        }
+        let histogram = Histogram::default();
+        metrics.push((name.to_string(), Metric::Histogram(histogram.clone())));
+        histogram
+    }
+
+    /// Snapshots every metric as JSON, in registration order:
+    /// counters as bare numbers, histograms as
+    /// `{count, sum, max, buckets: [[lower, n], …]}`.
+    pub fn to_json(&self) -> Json {
+        let metrics = self.metrics.lock().unwrap();
+        Json::Obj(
+            metrics
+                .iter()
+                .map(|(name, m)| {
+                    let value = match m {
+                        Metric::Counter(c) => Json::u64(c.get()),
+                        Metric::Histogram(h) => Json::obj(vec![
+                            ("count", Json::u64(h.count())),
+                            ("sum", Json::u64(h.sum())),
+                            ("max", Json::u64(h.max())),
+                            (
+                                "buckets",
+                                Json::Arr(
+                                    h.buckets()
+                                        .into_iter()
+                                        .map(|(lo, n)| Json::Arr(vec![Json::u64(lo), Json::u64(n)]))
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("sweep.units.completed");
+        let b = registry.counter("sweep.units.completed");
+        a.add(3);
+        b.incr();
+        assert_eq!(a.get(), 4);
+        assert_eq!(
+            registry
+                .to_json()
+                .get("sweep.units.completed")
+                .unwrap()
+                .as_u64(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = Histogram::detached();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.max(), 1000);
+        // 0 → bucket 0; 1 → [1]; 2,3 → [2,4); 4 → [4,8); 1000 → [512,1024).
+        assert_eq!(h.buckets(), vec![(0, 1), (1, 1), (2, 2), (4, 1), (512, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter")]
+    fn one_name_means_one_type() {
+        let registry = MetricsRegistry::new();
+        registry.counter("x");
+        registry.histogram("x");
+    }
+}

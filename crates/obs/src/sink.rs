@@ -1,0 +1,231 @@
+//! Typed event records and pluggable sinks.
+//!
+//! An [`Event`] is a name plus typed key/value fields — the locus-style
+//! "typed record" shape: producers never format strings, sinks decide the
+//! wire format. Three sinks ship: [`NullSink`] (drop everything — the
+//! default, and the reason instrumentation is safe to leave in),
+//! [`StderrSink`] (human-readable lines), and [`JsonLinesSink`] (one JSON
+//! object per line, machine-tailable).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// A typed field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Field {
+    /// An unsigned count.
+    U64(u64),
+    /// A float (seconds, rates).
+    F64(f64),
+    /// A string (labels, reasons).
+    Str(String),
+    /// A flag.
+    Bool(bool),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Field {
+        Field::U64(v)
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Field {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<f64> for Field {
+    fn from(v: f64) -> Field {
+        Field::F64(v)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Field {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Field {
+        Field::Str(v)
+    }
+}
+
+impl From<bool> for Field {
+    fn from(v: bool) -> Field {
+        Field::Bool(v)
+    }
+}
+
+impl Field {
+    fn to_json(&self) -> Json {
+        match self {
+            Field::U64(v) => Json::u64(*v),
+            Field::F64(v) => Json::Num(*v),
+            Field::Str(v) => Json::Str(v.clone()),
+            Field::Bool(v) => Json::Bool(*v),
+        }
+    }
+}
+
+/// One observability event: a dotted name (`unit.complete`) and typed
+/// fields in emission order.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Dotted event name.
+    pub name: &'static str,
+    /// Typed fields, in emission order.
+    pub fields: Vec<(&'static str, Field)>,
+}
+
+impl Event {
+    /// Starts an event with no fields.
+    pub fn new(name: &'static str) -> Event {
+        Event {
+            name,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds a field (builder-style).
+    pub fn field(mut self, key: &'static str, value: impl Into<Field>) -> Event {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// The event as a single-line JSON object (`{"event": name, …fields}`).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("event".to_string(), Json::Str(self.name.to_string()))];
+        pairs.extend(
+            self.fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_json())),
+        );
+        Json::Obj(pairs)
+    }
+}
+
+/// Where events go. Implementations must tolerate concurrent `emit` calls.
+pub trait Sink: Send + Sync {
+    /// Delivers one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Drops every event.
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Human-readable `[obs] name key=value …` lines on stderr.
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event) {
+        let mut line = format!("[obs] {}", event.name);
+        for (key, value) in &event.fields {
+            match value {
+                Field::U64(v) => line.push_str(&format!(" {key}={v}")),
+                Field::F64(v) => line.push_str(&format!(" {key}={v:.3}")),
+                Field::Bool(v) => line.push_str(&format!(" {key}={v}")),
+                Field::Str(v) => line.push_str(&format!(" {key}={v:?}")),
+            }
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// One compact JSON object per event, appended to a file.
+pub struct JsonLinesSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonLinesSink {
+    /// Creates (truncating) the target file.
+    pub fn create(path: &Path) -> io::Result<JsonLinesSink> {
+        Ok(JsonLinesSink {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn emit(&self, event: &Event) {
+        let line = event.to_json().render_compact();
+        let mut writer = self.writer.lock().unwrap();
+        let _ = writeln!(writer, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+/// A runtime sink selection, parsed from `--obs null|stderr|json:<path>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SinkKind {
+    /// Drop events (the default).
+    Null,
+    /// Human-readable stderr lines.
+    Stderr,
+    /// JSON-lines into the given file.
+    JsonLines(PathBuf),
+}
+
+impl SinkKind {
+    /// Parses `null`, `stderr` or `json:<path>`.
+    pub fn parse(s: &str) -> Result<SinkKind, String> {
+        match s {
+            "null" => Ok(SinkKind::Null),
+            "stderr" => Ok(SinkKind::Stderr),
+            _ => match s.split_once(':') {
+                Some(("json", path)) if !path.is_empty() => {
+                    Ok(SinkKind::JsonLines(PathBuf::from(path)))
+                }
+                _ => Err(format!(
+                    "bad sink `{s}` (expected null, stderr or json:<path>)"
+                )),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialise_to_json_lines() {
+        let event = Event::new("unit.complete")
+            .field("unit_id", 7u64)
+            .field("seconds", 0.25)
+            .field("label", "threads=2+1 prefix=R0")
+            .field("reused", false);
+        assert_eq!(
+            event.to_json().render_compact(),
+            r#"{"event":"unit.complete","unit_id":7,"seconds":0.25,"label":"threads=2+1 prefix=R0","reused":false}"#
+        );
+    }
+
+    #[test]
+    fn sink_kinds_parse() {
+        assert_eq!(SinkKind::parse("null"), Ok(SinkKind::Null));
+        assert_eq!(SinkKind::parse("stderr"), Ok(SinkKind::Stderr));
+        assert_eq!(
+            SinkKind::parse("json:/tmp/x.jsonl"),
+            Ok(SinkKind::JsonLines(PathBuf::from("/tmp/x.jsonl")))
+        );
+        assert!(SinkKind::parse("json:").is_err());
+        assert!(SinkKind::parse("syslog").is_err());
+    }
+}

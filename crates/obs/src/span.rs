@@ -1,0 +1,131 @@
+//! Hierarchical timed spans.
+//!
+//! A [`SpanGuard`] measures the wall time between its creation and drop on
+//! the monotonic clock, nests per thread (`sweep/assemble` means an
+//! `assemble` span opened inside a `sweep` span), and on drop emits a
+//! `span` event and records the duration into the `span.<name>` histogram.
+//! Spans obtained from a disabled [`Obs`](crate::Obs) handle do nothing —
+//! not even read the clock.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::sink::Event;
+use crate::Obs;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII guard timing one span. Obtained from [`Obs::span`].
+#[must_use = "a span measures until it is dropped; binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    obs: Obs,
+    name: &'static str,
+    start: Instant,
+}
+
+impl SpanGuard {
+    pub(crate) fn start(obs: &Obs, name: &'static str) -> SpanGuard {
+        if !obs.is_enabled() {
+            return SpanGuard { active: None };
+        }
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+        SpanGuard {
+            active: Some(ActiveSpan {
+                obs: obs.clone(),
+                name,
+                start: Instant::now(),
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let elapsed = active.start.elapsed();
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards are usually dropped in LIFO order; a guard kept alive
+            // across its parent's drop just truncates to its own frame.
+            if let Some(at) = stack.iter().rposition(|n| *n == active.name) {
+                let path = stack[..=at].join("/");
+                stack.truncate(at);
+                path
+            } else {
+                active.name.to_string()
+            }
+        });
+        active
+            .obs
+            .registry()
+            .histogram(&format!("span.{}", active.name))
+            .record_micros(elapsed);
+        active
+            .obs
+            .emit(Event::new("span").field("path", path).field(
+                "micros",
+                elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+            ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Obs, SinkKind};
+
+    #[test]
+    fn disabled_spans_are_free_and_silent() {
+        let obs = Obs::disabled();
+        let guard = obs.span("outer");
+        drop(guard);
+        assert_eq!(obs.registry().to_json(), crate::Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn spans_nest_and_record_histograms() {
+        let dir = std::env::temp_dir().join("tm-obs-span-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let obs = Obs::with_sink(SinkKind::JsonLines(path.clone())).unwrap();
+        {
+            let _outer = obs.span("sweep");
+            let _inner = obs.span("assemble");
+        }
+        obs.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one event per span: {text}");
+        let first = crate::Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("path").unwrap().as_str(), Some("sweep/assemble"));
+        let second = crate::Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("path").unwrap().as_str(), Some("sweep"));
+        let metrics = obs.registry().to_json();
+        assert_eq!(
+            metrics
+                .get("span.sweep")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            metrics
+                .get("span.assemble")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

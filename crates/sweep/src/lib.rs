@@ -32,12 +32,14 @@
 mod codec;
 mod fnv;
 pub mod journal;
+pub mod report;
 mod runner;
 pub mod supervisor;
 
 pub use codec::{decode_execution, encode_execution, CodecError};
+pub use report::{report_json, write_report, Heartbeat, HEARTBEAT_FILE, REPORT_SCHEMA};
 pub use runner::{
     merge_sharded, run_sweep, FailKind, FailPlan, QuarantinedUnit, SweepError, SweepJob, SweepMode,
-    SweepOptions, SweepOutcome, SweepStatus, INJECTED_EXIT_CODE,
+    SweepOptions, SweepOutcome, SweepStatus, SweepTimings, UnitReport, INJECTED_EXIT_CODE,
 };
-pub use supervisor::{supervise, ShardRun, SupervisorOptions};
+pub use supervisor::{supervise, supervise_with, ShardRun, SupervisorOptions};

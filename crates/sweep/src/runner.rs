@@ -20,15 +20,18 @@ use std::time::{Duration, Instant};
 
 use tm_exec::ir::Delta;
 use tm_exec::{ExecView, Execution};
-use tm_models::MemoryModel;
+use tm_models::{CheckerTelemetry, MemoryModel};
+use tm_obs::{Event, Obs};
 use tm_synth::{
     assemble_suites, canonical_signature, enumerate_unit_incremental, enumerate_unit_reduced,
-    minimal_under_weakenings, work_units, CanonSig, SuiteReport, Symmetry, SynthConfig, WorkUnit,
+    minimal_under_weakenings, work_units, CanonSig, ReducedCount, SuiteReport, Symmetry,
+    SynthConfig, WorkUnit,
 };
 
 use crate::codec::{decode_execution, encode_execution};
 use crate::fnv::Fnv1a;
 use crate::journal::{self, JournalWriter, Record, JOURNAL_FILE};
+use crate::report::Heartbeat;
 
 /// The exit code used by injected-crash fault plans, distinct from every
 /// legitimate `tm-cat` exit code so tests and supervisors can tell an
@@ -201,6 +204,12 @@ pub struct SweepOptions {
     pub sync_batch: usize,
     /// Fault injection, for crash/resume tests.
     pub fail_plan: Option<FailPlan>,
+    /// Observability handle: per-unit events go to its sink, rollup
+    /// counters to its registry. The default [`Obs::disabled`] handle
+    /// costs one relaxed atomic increment per counted thing.
+    pub obs: Obs,
+    /// Print a live `units done/total, execs/s, ETA` line to stderr.
+    pub progress: bool,
 }
 
 impl SweepOptions {
@@ -218,6 +227,8 @@ impl SweepOptions {
             threads: None,
             sync_batch: 1,
             fail_plan: None,
+            obs: Obs::disabled(),
+            progress: false,
         }
     }
 }
@@ -248,6 +259,43 @@ pub struct QuarantinedUnit {
     /// unit was attempted this run (quarantines replayed from a journal
     /// carry an empty label).
     pub label: String,
+}
+
+/// Wall-clock phase timings of one sweep run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepTimings {
+    /// Unit construction, shard filtering and journal replay.
+    pub setup_seconds: f64,
+    /// The worker scope — where the enumeration happens.
+    pub run_seconds: f64,
+    /// Summing results and (suites mode) assembling the suites.
+    pub assemble_seconds: f64,
+    /// End to end, as seen by [`run_sweep`].
+    pub total_seconds: f64,
+}
+
+/// Per-unit telemetry of one *completed* unit, as reported in
+/// `sweep.report.json`. Units replayed from the journal carry their
+/// journalled counts but no timing (`reused` is true, `seconds` and
+/// `attempts` are zero).
+#[derive(Clone, Debug)]
+pub struct UnitReport {
+    /// Stable id of the unit.
+    pub unit_id: u64,
+    /// Human-readable label ("threads=2+1 prefix=R0,W0,F").
+    pub label: String,
+    /// Event count of the unit's subspace.
+    pub events: usize,
+    /// Whether the result was replayed from the journal rather than run.
+    pub reused: bool,
+    /// Wall seconds of the successful attempt (0 when reused).
+    pub seconds: f64,
+    /// Attempts the unit took this run (0 when reused).
+    pub attempts: u32,
+    /// Executions visited (canonical representatives under reduction).
+    pub visited: u64,
+    /// Orbit-weighted visit count.
+    pub weighted_visited: u64,
 }
 
 /// The result of a checkpointed sweep.
@@ -283,6 +331,19 @@ pub struct SweepOutcome {
     pub quarantined: Vec<QuarantinedUnit>,
     /// Retry attempts made across all units (0 in a fault-free run).
     pub retried_attempts: u64,
+    /// Units completed by this run (`completed_units - reused_units`).
+    pub fresh_units: usize,
+    /// One entry per completed unit (reused included), in deterministic
+    /// unit order — reconciles 1:1 with the journal's completed set.
+    pub per_unit: Vec<UnitReport>,
+    /// Enumeration tally of the *fresh* units only, including the
+    /// symmetry kill counters (all zero under [`Symmetry::Full`]).
+    pub prune: ReducedCount,
+    /// Rollup of the fresh units' checker telemetry (maintenance stats,
+    /// early exits); `None` when no fresh unit ran an instrumented checker.
+    pub checker: Option<CheckerTelemetry>,
+    /// Phase timings of this run.
+    pub timings: SweepTimings,
 }
 
 /// Why a sweep could not run (as opposed to running degraded).
@@ -333,9 +394,18 @@ struct UnitResult {
     candidates: Vec<Vec<u8>>,
 }
 
+/// What a successful attempt hands back beyond the journalled result:
+/// the enumeration tally (with symmetry kill counters) and the checker's
+/// own telemetry, neither of which is journalled.
+struct FreshDone {
+    result: UnitResult,
+    tally: ReducedCount,
+    checker: Option<CheckerTelemetry>,
+}
+
 /// How one attempt at a unit ended.
 enum Attempt {
-    Done(UnitResult),
+    Done(Box<FreshDone>),
     /// The wall-clock budget expired mid-unit; nothing is banked.
     Interrupted,
     /// The per-unit deadline expired; retryable.
@@ -548,10 +618,11 @@ fn run_attempt(
     }
 
     let mut result = UnitResult::default();
-    let (visited, weighted_visited) = match job.mode {
+    let mut checker_telemetry: Option<CheckerTelemetry> = None;
+    let tally = match job.mode {
         SweepMode::Counts => {
             if let Some(mut checker) = job.model.incremental_checker() {
-                expand_unit(
+                let tally = expand_unit(
                     job,
                     unit,
                     &mut |exec: &Execution, delta: &Delta, orbit: u64| {
@@ -568,7 +639,9 @@ fn run_attempt(
                         }
                     },
                     should_stop,
-                )
+                );
+                checker_telemetry = checker.telemetry();
+                tally
             } else {
                 expand_unit(
                     job,
@@ -600,7 +673,7 @@ fn run_attempt(
                 let mut tm_checker = job.model.incremental_checker().expect("probed above");
                 let mut base_checker = baseline.incremental_checker().expect("probed above");
                 let mut probe_buf: Option<Execution> = None;
-                expand_unit(
+                let tally = expand_unit(
                     job,
                     unit,
                     &mut |exec: &Execution, delta: &Delta, _orbit: u64| {
@@ -624,7 +697,15 @@ fn run_attempt(
                         result.candidates.push(encode_execution(exec));
                     },
                     should_stop,
-                )
+                );
+                checker_telemetry = match (tm_checker.telemetry(), base_checker.telemetry()) {
+                    (Some(mut a), Some(b)) => {
+                        a.merge(b);
+                        Some(a)
+                    }
+                    (one, other) => one.or(other),
+                };
+                tally
             } else {
                 expand_unit(
                     job,
@@ -666,20 +747,25 @@ fn run_attempt(
     if deadline_hit() {
         return Attempt::Deadline;
     }
-    result.visited = visited;
-    result.weighted_visited = weighted_visited;
-    Attempt::Done(result)
+    result.visited = tally.representatives as u64;
+    result.weighted_visited = tally.weighted;
+    Attempt::Done(Box::new(FreshDone {
+        result,
+        tally,
+        checker: checker_telemetry,
+    }))
 }
 
 /// Expands one unit in the job's [`Symmetry`] mode, handing every visited
 /// execution (with its orbit size — always 1 under [`Symmetry::Full`]) to
-/// `sink`. Returns `(visited, orbit-weighted visited)`.
+/// `sink`. Returns the enumeration tally (kill counters are zero in full
+/// mode, and `weighted == representatives`).
 fn expand_unit(
     job: &SweepJob<'_>,
     unit: &UnitRef,
     sink: &mut impl FnMut(&Execution, &Delta, u64),
     should_stop: impl Fn() -> bool,
-) -> (u64, u64) {
+) -> ReducedCount {
     match job.symmetry {
         Symmetry::Full => {
             let visited = enumerate_unit_incremental(
@@ -688,12 +774,15 @@ fn expand_unit(
                 unit.n,
                 &mut |exec: &Execution, delta: &Delta| sink(exec, delta, 1),
                 should_stop,
-            ) as u64;
-            (visited, visited)
+            );
+            ReducedCount {
+                representatives: visited,
+                weighted: visited as u64,
+                ..ReducedCount::default()
+            }
         }
         Symmetry::Reduced => {
-            let tally = enumerate_unit_reduced(job.config, &unit.unit, unit.n, sink, should_stop);
-            (tally.representatives as u64, tally.weighted)
+            enumerate_unit_reduced(job.config, &unit.unit, unit.n, sink, should_stop)
         }
     }
 }
@@ -728,6 +817,7 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
         }
     }
 
+    let sweep_start = Instant::now();
     let units = all_units(job)?;
     let shard_units: Vec<UnitRef> = match opts.shard {
         Some((i, m)) => units
@@ -757,105 +847,210 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
     let retried_attempts = AtomicU64::new(0);
     let cursor = AtomicUsize::new(0);
     let fail_state = opts.fail_plan.map(FailState::new);
+    let obs = &opts.obs;
+    let fresh_reports: Mutex<Vec<UnitReport>> = Mutex::new(Vec::new());
+    let prune_total: Mutex<ReducedCount> = Mutex::new(ReducedCount::default());
+    let checker_total: Mutex<Option<CheckerTelemetry>> = Mutex::new(None);
+    let progress = ProgressState {
+        total: shard_units.len(),
+        done: AtomicUsize::new(reused_units),
+        fresh: AtomicUsize::new(0),
+        visited: AtomicU64::new(0),
+        weighted: AtomicU64::new(0),
+    };
+    let setup_seconds = sweep_start.elapsed().as_secs_f64();
     let run_start = Instant::now();
     let threads = worker_threads(opts, todo.len());
     let io_error: Mutex<Option<io::Error>> = Mutex::new(None);
+    let monitor_stop = AtomicBool::new(false);
+
+    if obs.is_enabled() {
+        obs.emit(
+            Event::new("sweep.start")
+                .field("units", shard_units.len())
+                .field("reused", reused_units)
+                .field("threads", threads),
+        );
+    }
+    obs.counter("sweep.units.reused").add(reused_units as u64);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                'units: loop {
-                    if opts.budget.is_some_and(|b| run_start.elapsed() >= b) {
-                        break;
-                    }
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(unit) = todo.get(i) else { break };
-                    if let Some(fail) = &fail_state {
-                        fail.on_claim(unit.id);
-                        if fail.is_victim(unit.id) && fail.plan.kind == FailKind::Exit {
-                            // Simulate a hard crash: flush what is banked,
-                            // then die. (The sync means the test can reason
-                            // about exactly which units survived.)
-                            let _ = journal.lock().unwrap().sync();
-                            std::process::exit(INJECTED_EXIT_CODE);
-                        }
-                    }
-                    let mut attempt_no = 0u32;
-                    loop {
-                        attempt_no += 1;
-                        let (injected_panic, stall) = match &fail_state {
-                            Some(fail) if fail.is_victim(unit.id) => match fail.plan.kind {
-                                FailKind::Panic => (true, false),
-                                FailKind::PanicOnce => {
-                                    (!fail.once_fired.swap(true, Ordering::SeqCst), false)
-                                }
-                                FailKind::Stall => (false, true),
-                                FailKind::Exit => (false, false),
-                            },
-                            _ => (false, false),
-                        };
-                        let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            if injected_panic {
-                                panic!("injected panic (fail plan)");
-                            }
-                            run_attempt(job, unit, run_start, opts, stall)
-                        }));
-                        let failure_reason = match outcome {
-                            Ok(Attempt::Done(result)) => {
-                                let record = Record::UnitDone {
-                                    unit_id: unit.id,
-                                    visited: result.visited,
-                                    consistent: result.consistent,
-                                    drift: result.drift,
-                                    weighted_visited: result.weighted_visited,
-                                    weighted_consistent: result.weighted_consistent,
-                                    candidates: result.candidates.clone(),
-                                };
-                                if let Err(e) = journal.lock().unwrap().append(&record) {
-                                    *io_error.lock().unwrap() = Some(e);
-                                    break 'units;
-                                }
-                                results.lock().unwrap().insert(unit.id, result);
-                                break;
-                            }
-                            Ok(Attempt::Interrupted) => break 'units,
-                            Ok(Attempt::Deadline) => "deadline exceeded".to_string(),
-                            Err(payload) => format!("panicked: {}", panic_message(payload)),
-                        };
-                        if attempt_no > opts.retries {
-                            let record = Record::Quarantine {
-                                unit_id: unit.id,
-                                attempts: attempt_no,
-                                reason: failure_reason.clone(),
-                            };
-                            {
-                                let mut j = journal.lock().unwrap();
-                                // Quarantines are synced eagerly regardless
-                                // of batching: losing one would silently
-                                // re-run a poisoned unit forever.
-                                if let Err(e) = j.append(&record).and_then(|()| j.sync()) {
-                                    *io_error.lock().unwrap() = Some(e);
-                                    break 'units;
-                                }
-                            }
-                            quarantined.lock().unwrap().push(QuarantinedUnit {
-                                unit_id: unit.id,
-                                attempts: attempt_no,
-                                reason: failure_reason,
-                                label: unit.unit.label(),
-                            });
+        let monitor = scope.spawn(|| {
+            monitor_loop(&progress, run_start, opts, &monitor_stop);
+        });
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    'units: loop {
+                        if opts.budget.is_some_and(|b| run_start.elapsed() >= b) {
                             break;
                         }
-                        retried_attempts.fetch_add(1, Ordering::Relaxed);
-                        let exp = (attempt_no - 1).min(8);
-                        let pause = opts.backoff.saturating_mul(1 << exp);
-                        std::thread::sleep(pause.min(Duration::from_secs(2)));
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(unit) = todo.get(i) else { break };
+                        if let Some(fail) = &fail_state {
+                            fail.on_claim(unit.id);
+                            if fail.is_victim(unit.id) && fail.plan.kind == FailKind::Exit {
+                                // Simulate a hard crash: flush what is banked,
+                                // then die. (The sync means the test can reason
+                                // about exactly which units survived.)
+                                let _ = journal.lock().unwrap().sync();
+                                std::process::exit(INJECTED_EXIT_CODE);
+                            }
+                        }
+                        let mut attempt_no = 0u32;
+                        loop {
+                            attempt_no += 1;
+                            let (injected_panic, stall) = match &fail_state {
+                                Some(fail) if fail.is_victim(unit.id) => match fail.plan.kind {
+                                    FailKind::Panic => (true, false),
+                                    FailKind::PanicOnce => {
+                                        (!fail.once_fired.swap(true, Ordering::SeqCst), false)
+                                    }
+                                    FailKind::Stall => (false, true),
+                                    FailKind::Exit => (false, false),
+                                },
+                                _ => (false, false),
+                            };
+                            if obs.is_enabled() {
+                                obs.emit(
+                                    Event::new("unit.start")
+                                        .field("unit", format!("{:#018x}", unit.id))
+                                        .field("label", unit.unit.label())
+                                        .field("events", unit.n)
+                                        .field("attempt", u64::from(attempt_no)),
+                                );
+                            }
+                            let attempt_started = Instant::now();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                if injected_panic {
+                                    panic!("injected panic (fail plan)");
+                                }
+                                run_attempt(job, unit, run_start, opts, stall)
+                            }));
+                            let failure_reason = match outcome {
+                                Ok(Attempt::Done(fresh)) => {
+                                    let seconds = attempt_started.elapsed().as_secs_f64();
+                                    let FreshDone {
+                                        result,
+                                        tally,
+                                        checker,
+                                    } = *fresh;
+                                    let record = Record::UnitDone {
+                                        unit_id: unit.id,
+                                        visited: result.visited,
+                                        consistent: result.consistent,
+                                        drift: result.drift,
+                                        weighted_visited: result.weighted_visited,
+                                        weighted_consistent: result.weighted_consistent,
+                                        candidates: result.candidates.clone(),
+                                    };
+                                    if let Err(e) = journal.lock().unwrap().append(&record) {
+                                        *io_error.lock().unwrap() = Some(e);
+                                        break 'units;
+                                    }
+                                    record_unit_metrics(obs, &result, &tally, checker.as_ref());
+                                    if obs.is_enabled() {
+                                        obs.emit(
+                                            Event::new("unit.complete")
+                                                .field("unit", format!("{:#018x}", unit.id))
+                                                .field("seconds", seconds)
+                                                .field("visited", result.visited)
+                                                .field("weighted", result.weighted_visited)
+                                                .field("candidates", result.candidates.len()),
+                                        );
+                                    }
+                                    fresh_reports.lock().unwrap().push(UnitReport {
+                                        unit_id: unit.id,
+                                        label: unit.unit.label(),
+                                        events: unit.n,
+                                        reused: false,
+                                        seconds,
+                                        attempts: attempt_no,
+                                        visited: result.visited,
+                                        weighted_visited: result.weighted_visited,
+                                    });
+                                    prune_total.lock().unwrap().add(tally);
+                                    if let Some(t) = checker {
+                                        let mut total = checker_total.lock().unwrap();
+                                        match total.as_mut() {
+                                            Some(sum) => sum.merge(t),
+                                            None => *total = Some(t),
+                                        }
+                                    }
+                                    progress.done.fetch_add(1, Ordering::Relaxed);
+                                    progress.fresh.fetch_add(1, Ordering::Relaxed);
+                                    progress
+                                        .visited
+                                        .fetch_add(result.visited, Ordering::Relaxed);
+                                    progress
+                                        .weighted
+                                        .fetch_add(result.weighted_visited, Ordering::Relaxed);
+                                    results.lock().unwrap().insert(unit.id, result);
+                                    break;
+                                }
+                                Ok(Attempt::Interrupted) => break 'units,
+                                Ok(Attempt::Deadline) => "deadline exceeded".to_string(),
+                                Err(payload) => format!("panicked: {}", panic_message(payload)),
+                            };
+                            if attempt_no > opts.retries {
+                                let record = Record::Quarantine {
+                                    unit_id: unit.id,
+                                    attempts: attempt_no,
+                                    reason: failure_reason.clone(),
+                                };
+                                {
+                                    let mut j = journal.lock().unwrap();
+                                    // Quarantines are synced eagerly regardless
+                                    // of batching: losing one would silently
+                                    // re-run a poisoned unit forever.
+                                    if let Err(e) = j.append(&record).and_then(|()| j.sync()) {
+                                        *io_error.lock().unwrap() = Some(e);
+                                        break 'units;
+                                    }
+                                }
+                                obs.counter("sweep.units.quarantined").incr();
+                                if obs.is_enabled() {
+                                    obs.emit(
+                                        Event::new("unit.quarantine")
+                                            .field("unit", format!("{:#018x}", unit.id))
+                                            .field("attempts", u64::from(attempt_no))
+                                            .field("reason", failure_reason.clone()),
+                                    );
+                                }
+                                quarantined.lock().unwrap().push(QuarantinedUnit {
+                                    unit_id: unit.id,
+                                    attempts: attempt_no,
+                                    reason: failure_reason,
+                                    label: unit.unit.label(),
+                                });
+                                break;
+                            }
+                            retried_attempts.fetch_add(1, Ordering::Relaxed);
+                            obs.counter("sweep.units.retried_attempts").incr();
+                            if obs.is_enabled() {
+                                obs.emit(
+                                    Event::new("unit.retry")
+                                        .field("unit", format!("{:#018x}", unit.id))
+                                        .field("attempt", u64::from(attempt_no))
+                                        .field("reason", failure_reason.clone()),
+                                );
+                            }
+                            let exp = (attempt_no - 1).min(8);
+                            let pause = opts.backoff.saturating_mul(1 << exp);
+                            std::thread::sleep(pause.min(Duration::from_secs(2)));
+                        }
                     }
-                }
-            });
+                })
+            })
+            .collect();
+        for worker in workers {
+            let _ = worker.join();
         }
+        monitor_stop.store(true, Ordering::SeqCst);
+        let _ = monitor.join();
     });
 
+    let run_seconds = run_start.elapsed().as_secs_f64();
     journal.lock().unwrap().sync()?;
     if let Some(e) = io_error.into_inner().unwrap() {
         return Err(SweepError::Io(e));
@@ -880,7 +1075,14 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
     // A single shard of a wider sweep holds too little to assemble suites;
     // that happens in `merge_sharded` once every shard's journal is in.
     let build_suites = opts.shard.is_none_or(|(_, m)| m == 1);
-    finalize(
+    let telemetry = RunTelemetry {
+        fresh: fresh_reports.into_inner().unwrap(),
+        prune: prune_total.into_inner().unwrap(),
+        checker: checker_total.into_inner().unwrap(),
+        setup_seconds,
+        run_seconds,
+    };
+    let outcome = finalize(
         job,
         shard_units,
         results,
@@ -888,11 +1090,137 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
         reused_units,
         build_suites,
         retried_attempts.into_inner(),
-    )
+        telemetry,
+    );
+    if let Ok(outcome) = &outcome {
+        if obs.is_enabled() {
+            obs.emit(
+                Event::new("sweep.done")
+                    .field(
+                        "status",
+                        match outcome.status {
+                            SweepStatus::Complete => "complete",
+                            SweepStatus::Partial => "partial",
+                            SweepStatus::BudgetExhausted => "budget-exhausted",
+                        },
+                    )
+                    .field("completed", outcome.completed_units)
+                    .field("quarantined", outcome.quarantined.len())
+                    .field("seconds", outcome.timings.total_seconds),
+            );
+        }
+        obs.flush();
+    }
+    outcome
+}
+
+/// Live progress shared between the workers and the monitor thread.
+struct ProgressState {
+    total: usize,
+    done: AtomicUsize,
+    fresh: AtomicUsize,
+    visited: AtomicU64,
+    weighted: AtomicU64,
+}
+
+impl ProgressState {
+    fn heartbeat(&self, elapsed: Duration) -> Heartbeat {
+        Heartbeat {
+            done: self.done.load(Ordering::Relaxed) as u64,
+            total: self.total as u64,
+            fresh: self.fresh.load(Ordering::Relaxed) as u64,
+            visited: self.visited.load(Ordering::Relaxed),
+            weighted: self.weighted.load(Ordering::Relaxed),
+            elapsed_seconds: elapsed.as_secs_f64(),
+        }
+    }
+}
+
+/// The monitor thread: rewrites the heartbeat file every ~500ms (always —
+/// the shard supervisor aggregates them without any flag on the children)
+/// and, with `opts.progress`, repaints a `\r`-terminated progress line on
+/// stderr every ~200ms, finishing with a newline-terminated final line.
+fn monitor_loop(
+    progress: &ProgressState,
+    run_start: Instant,
+    opts: &SweepOptions,
+    stop: &AtomicBool,
+) {
+    const TICK: Duration = Duration::from_millis(25);
+    const PRINT_EVERY: u32 = 8; // ~200ms
+    const HEARTBEAT_EVERY: u32 = 20; // ~500ms
+    let mut tick = 0u32;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if tick.is_multiple_of(HEARTBEAT_EVERY) {
+            progress
+                .heartbeat(run_start.elapsed())
+                .write(&opts.checkpoint);
+        }
+        if opts.progress && tick.is_multiple_of(PRINT_EVERY) {
+            let line = progress.heartbeat(run_start.elapsed()).progress_line();
+            eprint!("\r{line}");
+            let _ = io::Write::flush(&mut io::stderr());
+        }
+        tick += 1;
+        std::thread::sleep(TICK);
+    }
+    // Final state: a fresh heartbeat and, when printing, a line the
+    // terminal keeps (and CI can grep).
+    let heartbeat = progress.heartbeat(run_start.elapsed());
+    heartbeat.write(&opts.checkpoint);
+    if opts.progress {
+        eprintln!("\r{}", heartbeat.progress_line());
+    }
+}
+
+/// Per-run telemetry finalize folds into the outcome.
+#[derive(Default)]
+struct RunTelemetry {
+    fresh: Vec<UnitReport>,
+    prune: ReducedCount,
+    checker: Option<CheckerTelemetry>,
+    setup_seconds: f64,
+    run_seconds: f64,
+}
+
+/// Folds one completed unit's counters into the registry. All-unit rollups
+/// only — nothing here runs per candidate.
+fn record_unit_metrics(
+    obs: &Obs,
+    result: &UnitResult,
+    tally: &ReducedCount,
+    checker: Option<&CheckerTelemetry>,
+) {
+    obs.counter("sweep.units.completed").incr();
+    obs.counter("sweep.execs.visited").add(result.visited);
+    obs.counter("sweep.execs.weighted")
+        .add(result.weighted_visited);
+    obs.counter("sweep.execs.consistent").add(result.consistent);
+    obs.counter("synth.prune.shape_kills")
+        .add(tally.shape_kills);
+    obs.counter("synth.prune.subtree_kills")
+        .add(tally.subtree_kills);
+    obs.counter("synth.prune.edge_kills").add(tally.edge_kills);
+    if let Some(t) = checker {
+        obs.counter("ir.maintained").add(t.stats.maintained);
+        obs.counter("ir.rebased").add(t.stats.rebased);
+        obs.counter("ir.dropped").add(t.stats.dropped);
+        obs.counter("ir.invalidated").add(t.stats.invalidated);
+        obs.counter("ir.resets").add(t.stats.resets);
+        obs.counter("ir.fix_reevals").add(t.stats.fix_reevals);
+        obs.counter("ir.axiom_queries").add(t.stats.axiom_queries);
+        obs.counter("ir.axiom_cache_hits")
+            .add(t.stats.axiom_cache_hits);
+        obs.counter("ir.early_exits").add(t.early_exits);
+    }
 }
 
 /// Sums completed units into an outcome and (for unsharded suites runs)
 /// assembles the suites.
+#[allow(clippy::too_many_arguments)]
 fn finalize(
     job: &SweepJob<'_>,
     shard_units: Vec<UnitRef>,
@@ -901,7 +1229,9 @@ fn finalize(
     reused_units: usize,
     build_suites: bool,
     retried_attempts: u64,
+    telemetry: RunTelemetry,
 ) -> Result<SweepOutcome, SweepError> {
+    let assemble_start = Instant::now();
     let total_units = shard_units.len();
     let completed_units = shard_units
         .iter()
@@ -948,6 +1278,39 @@ fn finalize(
         None
     };
 
+    // One report entry per completed unit, in deterministic unit order —
+    // fresh entries carry this run's timing, replayed ones their
+    // journalled counts only.
+    let fresh_by_id: HashMap<u64, &UnitReport> =
+        telemetry.fresh.iter().map(|u| (u.unit_id, u)).collect();
+    let per_unit: Vec<UnitReport> = shard_units
+        .iter()
+        .filter_map(|unit| {
+            let result = results.get(&unit.id)?;
+            Some(match fresh_by_id.get(&unit.id) {
+                Some(fresh) => (*fresh).clone(),
+                None => UnitReport {
+                    unit_id: unit.id,
+                    label: unit.unit.label(),
+                    events: unit.n,
+                    reused: true,
+                    seconds: 0.0,
+                    attempts: 0,
+                    visited: result.visited,
+                    weighted_visited: result.weighted_visited,
+                },
+            })
+        })
+        .collect();
+
+    let assemble_seconds = assemble_start.elapsed().as_secs_f64();
+    let timings = SweepTimings {
+        setup_seconds: telemetry.setup_seconds,
+        run_seconds: telemetry.run_seconds,
+        assemble_seconds,
+        total_seconds: telemetry.setup_seconds + telemetry.run_seconds + assemble_seconds,
+    };
+
     Ok(SweepOutcome {
         status,
         visited,
@@ -962,6 +1325,11 @@ fn finalize(
         pending_units,
         quarantined,
         retried_attempts,
+        fresh_units: telemetry.fresh.len(),
+        per_unit,
+        prune: telemetry.prune,
+        checker: telemetry.checker,
+        timings,
     })
 }
 
@@ -1062,5 +1430,14 @@ pub fn merge_sharded(job: &SweepJob<'_>, dirs: &[PathBuf]) -> Result<SweepOutcom
         .collect();
     quarantined.sort_by_key(|q| q.unit_id);
 
-    finalize(job, units, results, quarantined, 0, true, 0)
+    finalize(
+        job,
+        units,
+        results,
+        quarantined,
+        0,
+        true,
+        0,
+        RunTelemetry::default(),
+    )
 }

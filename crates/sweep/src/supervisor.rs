@@ -77,7 +77,24 @@ struct ShardState {
 /// sweep-length processes).
 pub fn supervise(
     opts: &SupervisorOptions,
+    command_for: impl FnMut(u32, u32) -> Command,
+) -> io::Result<Vec<ShardRun>> {
+    supervise_with(opts, command_for, || {})
+}
+
+/// [`supervise`] with a callback invoked once per poll cycle (every ~10ms)
+/// while children are live, and once more after the last child exits.
+///
+/// This is the hook the CLI hangs live progress on: the children write
+/// heartbeat files into their checkpoint directories as they sweep, and
+/// the callback aggregates them (see
+/// [`Heartbeat::aggregate`](crate::report::Heartbeat::aggregate)) into one
+/// stderr line. The callback runs on the supervising thread; keep it
+/// cheap and rate-limit any output it produces.
+pub fn supervise_with(
+    opts: &SupervisorOptions,
     mut command_for: impl FnMut(u32, u32) -> Command,
+    mut on_poll: impl FnMut(),
 ) -> io::Result<Vec<ShardRun>> {
     let mut shards: Vec<ShardState> = (0..opts.shards)
         .map(|index| ShardState {
@@ -122,6 +139,7 @@ pub fn supervise(
                 }
             }
         }
+        on_poll();
         if !live {
             break;
         }

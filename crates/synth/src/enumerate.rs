@@ -334,7 +334,10 @@ fn enumerate_relations_sym<S: FnMut(&Execution, &Delta, u64)>(
         Some(sym) => match shape_stabilizer(sym, shapes) {
             // Not the lex-least shape of its orbit: every candidate in here
             // is represented under the canonical shape instead.
-            None => return tally,
+            None => {
+                tally.shape_kills = 1;
+                return tally;
+            }
             Some(perms) => (perms, sym.order()),
         },
     };
@@ -403,7 +406,9 @@ fn enumerate_relations_sym<S: FnMut(&Execution, &Delta, u64)>(
             }
         }
 
-        if !skip_subtree {
+        if skip_subtree {
+            tally.subtree_kills += 1;
+        } else {
             // Inner odometer over the transaction dims, last fastest.
             'inner: loop {
                 let txn_count: usize = choices
@@ -435,6 +440,8 @@ fn enumerate_relations_sym<S: FnMut(&Execution, &Delta, u64)>(
                         tally.weighted += orbit;
                         sink(&exec, &delta, orbit);
                         delta.clear();
+                    } else {
+                        tally.edge_kills += 1;
                     }
                 }
 
@@ -813,6 +820,9 @@ where
     let cursor = AtomicUsize::new(0);
     let representatives = AtomicUsize::new(0);
     let weighted = AtomicU64::new(0);
+    let shape_kills = AtomicU64::new(0);
+    let subtree_kills = AtomicU64::new(0);
+    let edge_kills = AtomicU64::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
@@ -828,12 +838,18 @@ where
                 }
                 representatives.fetch_add(local.representatives, Ordering::Relaxed);
                 weighted.fetch_add(local.weighted, Ordering::Relaxed);
+                shape_kills.fetch_add(local.shape_kills, Ordering::Relaxed);
+                subtree_kills.fetch_add(local.subtree_kills, Ordering::Relaxed);
+                edge_kills.fetch_add(local.edge_kills, Ordering::Relaxed);
             });
         }
     });
     ReducedCount {
         representatives: representatives.load(Ordering::Relaxed),
         weighted: weighted.load(Ordering::Relaxed),
+        shape_kills: shape_kills.load(Ordering::Relaxed),
+        subtree_kills: subtree_kills.load(Ordering::Relaxed),
+        edge_kills: edge_kills.load(Ordering::Relaxed),
     }
 }
 

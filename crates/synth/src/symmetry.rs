@@ -81,7 +81,9 @@ impl std::fmt::Display for Symmetry {
 }
 
 /// The result of a symmetry-reduced enumeration: how many representatives
-/// were visited and how many executions of the full space they stand for.
+/// were visited, how many executions of the full space they stand for, and
+/// where the reduction's pruning power came from (the three kill counters,
+/// all zero in a full enumeration).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ReducedCount {
     /// Canonical representatives visited.
@@ -89,12 +91,26 @@ pub struct ReducedCount {
     /// Sum of the representatives' orbit sizes — equals the full
     /// enumeration's visit count over the same space.
     pub weighted: u64,
+    /// Shape-layer kills: whole event shapes rejected because they are not
+    /// the lex-least of their orbit — every odometer under them skipped.
+    pub shape_kills: u64,
+    /// Subtree kills: outer (slow-prefix) odometer settings where some
+    /// stabilizer element already beats the candidate, skipping the whole
+    /// inner transaction subtree.
+    pub subtree_kills: u64,
+    /// Edge-layer kills: individual candidates rejected at an inner
+    /// (transaction-dim) stabilizer comparison.
+    pub edge_kills: u64,
 }
 
 impl ReducedCount {
-    pub(crate) fn add(&mut self, other: ReducedCount) {
+    /// Folds `other` into `self`, field by field.
+    pub fn add(&mut self, other: ReducedCount) {
         self.representatives += other.representatives;
         self.weighted += other.weighted;
+        self.shape_kills += other.shape_kills;
+        self.subtree_kills += other.subtree_kills;
+        self.edge_kills += other.edge_kills;
     }
 }
 

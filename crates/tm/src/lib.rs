@@ -20,6 +20,8 @@
 //! * [`sweep`] — checkpointed, crash-resilient sharded sweep runs over the
 //!   enumeration space (journalled work-unit frontier with resume, retry
 //!   and fault injection);
+//! * [`obs`] — std-only observability: timed spans, counters/histograms,
+//!   pluggable event sinks, and the shared JSON codec;
 //! * [`metatheory`] — monotonicity, compilation and lock-elision checking,
 //!   plus the bounded checks of Theorems 7.2 and 7.3;
 //! * [`relation`] — the underlying finite relation algebra.
@@ -44,6 +46,7 @@ pub use tm_exec as exec;
 pub use tm_litmus as litmus;
 pub use tm_metatheory as metatheory;
 pub use tm_models as models;
+pub use tm_obs as obs;
 pub use tm_relation as relation;
 pub use tm_sim as sim;
 pub use tm_sweep as sweep;

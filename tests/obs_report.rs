@@ -1,0 +1,280 @@
+//! Observability guarantees of the instrumented sweep (`tm-obs` +
+//! `tm-sweep`).
+//!
+//! The contract under test: the end-of-run report survives a round trip
+//! through the std-only JSON codec; counters only ever grow across a
+//! crash→resume pair sharing one `Obs` handle; an enabled null-sink run
+//! produces byte-identical suites to an uninstrumented run; and the
+//! report's `per_unit` array reconciles exactly with the journal's
+//! completed-unit set.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use tm_weak_memory::models::{MemoryModel, X86Model};
+use tm_weak_memory::obs::{Json, Obs, SinkKind};
+use tm_weak_memory::sweep::{
+    journal, report_json, run_sweep, SweepJob, SweepMode, SweepOptions, SweepStatus,
+};
+use tm_weak_memory::synth::{Symmetry, SynthConfig};
+
+/// A fresh scratch directory under the system temp dir; removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tm-obs-report-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        Scratch(p)
+    }
+
+    fn path(&self) -> PathBuf {
+        self.0.clone()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The trimmed 3-event space the resume tests use: fast in debug builds,
+/// non-trivial unit frontier.
+fn trimmed_config() -> SynthConfig {
+    SynthConfig {
+        dependencies: false,
+        rmws: false,
+        fences: vec![],
+        max_threads: 2,
+        max_locs: 2,
+        ..SynthConfig::x86(3)
+    }
+}
+
+fn counts_job<'a>(model: &'a dyn MemoryModel, config: &'a SynthConfig) -> SweepJob<'a> {
+    SweepJob {
+        model,
+        baseline: None,
+        reference: None,
+        mode: SweepMode::Counts,
+        config,
+        events: config.max_events,
+        symmetry: Symmetry::Full,
+    }
+}
+
+/// Every counter in a registry snapshot, by name. Histograms are skipped
+/// (their `count`/`sum` are monotone too, but counters are the contract).
+fn counters(snapshot: &Json) -> Vec<(String, u64)> {
+    match snapshot {
+        Json::Obj(pairs) => pairs
+            .iter()
+            .filter_map(|(name, v)| v.as_u64().map(|n| (name.clone(), n)))
+            .collect(),
+        _ => panic!("registry snapshot must be an object"),
+    }
+}
+
+fn unhex(s: &str) -> u64 {
+    u64::from_str_radix(s.strip_prefix("0x").expect("0x-prefixed id"), 16)
+        .expect("hex unit id parses")
+}
+
+#[test]
+fn report_round_trips_through_the_json_codec() {
+    let scratch = Scratch::new("roundtrip");
+    let tm = X86Model::tm();
+    let config = trimmed_config();
+    let job = counts_job(&tm, &config);
+    let obs = Obs::disabled();
+    let opts = SweepOptions {
+        obs: obs.clone(),
+        ..SweepOptions::new(scratch.path())
+    };
+    let outcome = run_sweep(&job, &opts).expect("sweep runs");
+    assert_eq!(outcome.status, SweepStatus::Complete);
+
+    let report = report_json(&job, &outcome, &obs);
+    let parsed = Json::parse(&report.render_pretty()).expect("pretty form parses");
+    assert_eq!(parsed, report, "pretty round trip must be lossless");
+    let parsed = Json::parse(&report.render_compact()).expect("compact form parses");
+    assert_eq!(parsed, report, "compact round trip must be lossless");
+
+    // Spot-check the schema while the document is open.
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some("tm-sweep-report/v1")
+    );
+    assert_eq!(
+        parsed
+            .get("units")
+            .and_then(|u| u.get("total"))
+            .and_then(Json::as_u64),
+        Some(outcome.total_units as u64)
+    );
+    assert_eq!(
+        parsed
+            .get("per_unit")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(outcome.total_units)
+    );
+}
+
+#[test]
+fn counters_stay_monotonic_across_crash_and_resume() {
+    let scratch = Scratch::new("monotonic");
+    let tm = X86Model::tm();
+    let config = trimmed_config();
+    let job = counts_job(&tm, &config);
+
+    // One Obs handle shared by both runs — the registry must only grow.
+    let obs = Obs::disabled();
+    let interrupted = SweepOptions {
+        obs: obs.clone(),
+        budget: Some(Duration::ZERO),
+        ..SweepOptions::new(scratch.path())
+    };
+    let first = run_sweep(&job, &interrupted).expect("interrupted run");
+    assert_eq!(first.status, SweepStatus::BudgetExhausted);
+    let before = counters(&obs.registry().to_json());
+
+    let resumed = SweepOptions {
+        obs: obs.clone(),
+        resume: true,
+        ..SweepOptions::new(scratch.path())
+    };
+    let second = run_sweep(&job, &resumed).expect("resumed run");
+    assert_eq!(second.status, SweepStatus::Complete);
+    let after = counters(&obs.registry().to_json());
+
+    for (name, was) in &before {
+        let now = after
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("counter `{name}` vanished on resume"));
+        assert!(
+            now >= *was,
+            "counter `{name}` went backwards: {was} -> {now}"
+        );
+    }
+    // Fresh completions across both runs cover the frontier exactly once.
+    let completed = after
+        .iter()
+        .find(|(n, _)| n == "sweep.units.completed")
+        .map(|(_, v)| *v)
+        .expect("completed counter registered");
+    assert_eq!(
+        completed,
+        (first.fresh_units + second.fresh_units) as u64,
+        "completed counter must equal the fresh completions of both runs"
+    );
+    assert_eq!(first.fresh_units + second.fresh_units, second.total_units);
+}
+
+#[test]
+fn null_sink_suites_are_byte_identical_to_an_uninstrumented_run() {
+    let tm = X86Model::tm();
+    let base = X86Model::baseline();
+    let config = trimmed_config();
+    let job = SweepJob {
+        model: &tm,
+        baseline: Some(&base),
+        reference: None,
+        mode: SweepMode::Suites,
+        config: &config,
+        events: config.max_events,
+        symmetry: Symmetry::Reduced,
+    };
+
+    let render = |outcome: &tm_weak_memory::sweep::SweepOutcome| {
+        let report = outcome.suites.as_ref().expect("suites mode");
+        let mut text = String::new();
+        for t in report.forbid.iter().chain(&report.allow) {
+            text.push_str(&t.litmus.to_string());
+            text.push('\n');
+        }
+        format!(
+            "enumerated={} effective={} forbid={} allow={}\n{text}",
+            report.enumerated,
+            report.effective,
+            report.forbid.len(),
+            report.allow.len()
+        )
+    };
+
+    let plain_dir = Scratch::new("plain");
+    let plain = run_sweep(&job, &SweepOptions::new(plain_dir.path())).expect("uninstrumented run");
+
+    let nulled_dir = Scratch::new("nulled");
+    let obs = Obs::with_sink(SinkKind::Null).expect("null sink opens");
+    let opts = SweepOptions {
+        obs: obs.clone(),
+        ..SweepOptions::new(nulled_dir.path())
+    };
+    let nulled = run_sweep(&job, &opts).expect("instrumented run");
+
+    assert_eq!(plain.status, SweepStatus::Complete);
+    assert_eq!(nulled.status, SweepStatus::Complete);
+    assert_eq!(
+        render(&plain),
+        render(&nulled),
+        "a null-sink run must synthesise byte-identical suites"
+    );
+}
+
+#[test]
+fn per_unit_reconciles_exactly_with_the_journal() {
+    let scratch = Scratch::new("reconcile");
+    let tm = X86Model::tm();
+    let config = trimmed_config();
+    let job = counts_job(&tm, &config);
+    let obs = Obs::disabled();
+
+    // Interrupt, then resume to completion — the report must describe the
+    // whole frontier, reused units included.
+    let interrupted = SweepOptions {
+        obs: obs.clone(),
+        budget: Some(Duration::ZERO),
+        ..SweepOptions::new(scratch.path())
+    };
+    run_sweep(&job, &interrupted).expect("interrupted run");
+    let resumed = SweepOptions {
+        obs: obs.clone(),
+        resume: true,
+        ..SweepOptions::new(scratch.path())
+    };
+    let outcome = run_sweep(&job, &resumed).expect("resumed run");
+    assert_eq!(outcome.status, SweepStatus::Complete);
+
+    let loaded = journal::load(&scratch.path().join("sweep.journal"))
+        .expect("journal reads")
+        .expect("journal exists");
+    let journalled: BTreeSet<u64> = loaded
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            journal::Record::UnitDone { unit_id, .. } => Some(*unit_id),
+            _ => None,
+        })
+        .collect();
+
+    let report = report_json(&job, &outcome, &obs);
+    let reported: BTreeSet<u64> = report
+        .get("per_unit")
+        .and_then(Json::as_arr)
+        .expect("per_unit array")
+        .iter()
+        .map(|u| unhex(u.get("unit").and_then(Json::as_str).expect("unit id")))
+        .collect();
+
+    assert_eq!(
+        reported, journalled,
+        "per_unit must list exactly the journal's completed units"
+    );
+    assert_eq!(reported.len(), outcome.total_units);
+}
