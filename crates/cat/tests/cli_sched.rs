@@ -1,0 +1,237 @@
+//! End-to-end tests of the adaptive scheduler through the real `tm-cat`
+//! binary: a SIGKILLed lease-holding shard must lose its leases to the
+//! supervisor's reaper, survivors must steal and finish the work, and the
+//! final suites must be byte-identical to an unsharded run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_tm-cat");
+
+/// Repo-root model files, relative to this crate's directory (the test
+/// CWD).
+const TM_MODEL: &str = "../../models/x86_tm.cat";
+const BASE_MODEL: &str = "../../models/x86.cat";
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tm-cat-cli-sched-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        Scratch(p)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn sweep(extra: &[&str]) -> Output {
+    Command::new(BIN)
+        .args([
+            "sweep",
+            TM_MODEL,
+            "--suites",
+            "--baseline",
+            BASE_MODEL,
+            "--events",
+            "3",
+            "--config",
+            "x86",
+        ])
+        .args(extra)
+        .env_remove("TM_SWEEP_FAIL_PLAN")
+        .output()
+        .expect("spawn tm-cat")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// The suite summary plus every litmus program after it — the part of the
+/// output that must be identical between scheduled and unscheduled runs.
+/// The trailing `summary:` line is dropped: it carries run-specific timings
+/// and unit counts by design.
+fn suites_section(out: &Output) -> String {
+    let text = stdout(out);
+    let section = match text.find("\nforbid ") {
+        Some(at) => &text[at..],
+        None => panic!("no forbid line in output:\n{text}"),
+    };
+    let mut kept = String::new();
+    for line in section.lines() {
+        if line.starts_with("summary: ") {
+            continue;
+        }
+        kept.push_str(line);
+        kept.push('\n');
+    }
+    kept
+}
+
+fn lease_files(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("lease"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// The headline crash-tolerance story, end to end: a shard is SIGKILLed
+/// while *holding a lease mid-unit* (a stall fail-plan pins it inside a
+/// unit so the kill cannot land between units). Its lease file survives the
+/// kill, goes stale, and a supervised run over the same checkpoint reaps it
+/// — the reassignment is printed — and finishes with full coverage.
+#[test]
+fn sigkilled_shard_leases_are_reaped_and_survivors_finish() {
+    let clean = sweep(&[]);
+    assert_eq!(clean.status.code(), Some(0));
+    let clean_suites = suites_section(&clean);
+
+    let dir = Scratch::new("sigkill");
+    let ckpt = dir.path();
+    let leases = ckpt.join("leases");
+    std::fs::create_dir_all(&leases).expect("lease dir");
+    let shard0 = ckpt.join("shard-0");
+
+    // Launch shard 0 the way the supervisor would, but with a stall plan:
+    // after one completed unit it claims the next and stops making
+    // progress, holding the lease.
+    let mut child = Command::new(BIN)
+        .args([
+            "sweep",
+            TM_MODEL,
+            "--suites",
+            "--baseline",
+            BASE_MODEL,
+            "--events",
+            "3",
+            "--config",
+            "x86",
+        ])
+        .arg("--checkpoint")
+        .arg(&shard0)
+        .args(["--resume", "--shard", "0/2", "--sched", "on"])
+        .arg("--lease-dir")
+        .arg(&leases)
+        .args(["--fail-plan", "stall:1"])
+        .env_remove("TM_SWEEP_FAIL_PLAN")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn shard 0");
+
+    // Wait until it demonstrably holds a lease, then SIGKILL it.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while lease_files(&leases) == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "shard 0 never claimed a lease; did it crash on startup?"
+        );
+        assert!(
+            child.try_wait().expect("try_wait").is_none(),
+            "shard 0 exited before it could be killed"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    child.kill().expect("SIGKILL shard 0");
+    let _ = child.wait();
+    assert!(
+        lease_files(&leases) > 0,
+        "the killed shard's lease must survive the kill"
+    );
+
+    // Let the orphaned lease age past the staleness bound, then supervise
+    // over the same checkpoint. The supervisor reaps the lease, a live
+    // shard steals the unit, and the sweep completes.
+    std::thread::sleep(Duration::from_millis(700));
+    let out = sweep(&[
+        "--checkpoint",
+        ckpt.to_str().expect("utf8 temp path"),
+        "--supervise",
+        "2",
+        "--lease-stale-ms",
+        "500",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("sweep: reassigned"),
+        "the supervisor must report the reaped lease, stderr:\n{err}"
+    );
+    assert_eq!(
+        suites_section(&out),
+        clean_suites,
+        "suites after a kill-and-steal must be byte-identical to a clean run"
+    );
+}
+
+/// `--sched off` under supervision restores the static `id % M` sharding:
+/// no lease directory appears, and the result still matches a clean run.
+#[test]
+fn sched_off_supervision_stays_static_and_correct() {
+    let clean = sweep(&[]);
+    let clean_suites = suites_section(&clean);
+
+    let dir = Scratch::new("static");
+    let ckpt = dir.path();
+    let out = sweep(&[
+        "--checkpoint",
+        ckpt.to_str().expect("utf8 temp path"),
+        "--supervise",
+        "2",
+        "--sched",
+        "off",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        !ckpt.join("leases").exists(),
+        "sched off must not create a lease directory"
+    );
+    assert_eq!(suites_section(&out), clean_suites);
+}
+
+#[test]
+fn scheduling_flag_misuse_exits_two() {
+    // Lease claiming needs a shard identity.
+    let dir = Scratch::new("usage");
+    let ckpt = dir.path().to_str().expect("utf8 temp path");
+    let leases = format!("{ckpt}/leases");
+    let out = sweep(&["--checkpoint", ckpt, "--lease-dir", &leases]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Scheduling knobs hang off the checkpointed runner.
+    let out = sweep(&["--max-unit-weight", "100"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // --sched parses strictly.
+    let out = sweep(&["--checkpoint", ckpt, "--sched", "sometimes"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // A zero weight bound would split forever.
+    let out = sweep(&["--checkpoint", ckpt, "--max-unit-weight", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+}

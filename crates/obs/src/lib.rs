@@ -8,7 +8,8 @@
 //!
 //! * [`MetricsRegistry`] — named [`Counter`]s and log2-bucketed
 //!   [`Histogram`]s; handles are pre-looked-up `Arc` cells, increments are
-//!   relaxed atomics, snapshots render to JSON.
+//!   relaxed atomics, snapshots render to JSON. [`RateWindow`] turns a
+//!   sampled counter into a sliding-window rate (the sweep ETA's input).
 //! * [`Obs`] — the injectable handle (the `firm`-style null-sink logger
 //!   idiom): a sink, a registry and an enabled flag behind one cheap
 //!   `Clone`. `Obs::disabled()` is the default everywhere; code holding a
@@ -32,7 +33,7 @@ use std::io;
 use std::sync::Arc;
 
 pub use json::{Json, JsonError};
-pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use metrics::{Counter, Histogram, MetricsRegistry, RateWindow};
 pub use sink::{Event, Field, JsonLinesSink, NullSink, Sink, SinkKind, StderrSink};
 pub use span::SpanGuard;
 

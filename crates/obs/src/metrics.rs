@@ -119,6 +119,63 @@ impl Histogram {
     }
 }
 
+/// A sliding-window rate estimator over a monotonically increasing counter.
+///
+/// Callers push `(elapsed_seconds, cumulative_count)` samples at whatever
+/// cadence they observe the counter (the sweep monitor ticks ~every 500ms);
+/// [`rate`](RateWindow::rate) reports the growth rate over roughly the last
+/// `window` seconds. Unlike a whole-run average this tracks the *current*
+/// throughput, which is what an ETA should extrapolate — near the tail of a
+/// skewed sweep the run average badly overestimates the remaining rate.
+///
+/// The estimator refuses to extrapolate from thin evidence:
+/// [`rate`](RateWindow::rate) is `None` until at least two windows' worth of
+/// run time has elapsed (and at least two samples span a positive interval).
+#[derive(Debug)]
+pub struct RateWindow {
+    window: f64,
+    samples: std::collections::VecDeque<(f64, f64)>,
+}
+
+impl RateWindow {
+    /// A window of `window_secs` seconds (clamped to a sane minimum).
+    pub fn new(window_secs: f64) -> RateWindow {
+        RateWindow {
+            window: window_secs.max(0.001),
+            samples: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Records the counter at `cumulative` as of `at_secs` run time.
+    /// Out-of-order samples are ignored; samples older than one window
+    /// behind `at_secs` are dropped (keeping one just outside so the span
+    /// always covers the window once enough time has passed).
+    pub fn push(&mut self, at_secs: f64, cumulative: f64) {
+        if let Some(&(last_at, _)) = self.samples.back() {
+            if at_secs < last_at {
+                return;
+            }
+        }
+        self.samples.push_back((at_secs, cumulative));
+        let horizon = at_secs - self.window;
+        while self.samples.len() > 2 && self.samples[1].0 <= horizon {
+            self.samples.pop_front();
+        }
+    }
+
+    /// The windowed rate in counts per second, or `None` while the run is
+    /// too young to extrapolate: fewer than two windows of total run time
+    /// (measured by the latest sample), fewer than two samples, or a
+    /// zero-length span.
+    pub fn rate(&self) -> Option<f64> {
+        let (&(t0, c0), &(t1, c1)) = (self.samples.front()?, self.samples.back()?);
+        if t1 < 2.0 * self.window || t1 <= t0 {
+            return None;
+        }
+        Some((c1 - c0) / (t1 - t0))
+    }
+}
+
 enum Metric {
     Counter(Counter),
     Histogram(Histogram),
@@ -246,5 +303,31 @@ mod tests {
         let registry = MetricsRegistry::new();
         registry.counter("x");
         registry.histogram("x");
+    }
+
+    #[test]
+    fn rate_window_tracks_the_recent_rate_only() {
+        let mut w = RateWindow::new(10.0);
+        // Too young: no estimate before two windows have elapsed.
+        w.push(0.0, 0.0);
+        w.push(5.0, 500.0);
+        assert_eq!(w.rate(), None);
+        w.push(19.0, 1900.0);
+        assert_eq!(w.rate(), None, "19s < two 10s windows");
+        // 100/s for 20s, then the rate collapses to 10/s.
+        w.push(20.0, 2000.0);
+        assert!(w.rate().is_some());
+        for i in 1..=30 {
+            let t = 20.0 + f64::from(i);
+            w.push(t, 2000.0 + 10.0 * f64::from(i));
+        }
+        let rate = w.rate().expect("mature window");
+        assert!(
+            (rate - 10.0).abs() < 1.0,
+            "windowed rate {rate} should track the recent 10/s, not the 100/s start"
+        );
+        // Out-of-order pushes are ignored rather than corrupting the span.
+        w.push(1.0, 0.0);
+        assert!(w.rate().is_some());
     }
 }

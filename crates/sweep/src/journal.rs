@@ -10,14 +10,19 @@
 //! ## On-disk format
 //!
 //! ```text
-//! header  := magic "TMSWEEP\x01" (8 bytes) | version u32 LE (= 2)
+//! header  := magic "TMSWEEP\x01" (8 bytes) | version u32 LE (= 3)
 //! record  := kind u8 | len u32 LE | payload (len bytes) | crc u32 LE
 //! ```
 //!
 //! The CRC is CRC-32 (IEEE, reflected, poly `0xEDB88320`) over
 //! `kind | len | payload`. Everything is little-endian. The format is
 //! versioned via the header; readers reject unknown versions outright
-//! rather than guessing.
+//! rather than guessing. Version 3 added the scheduler records ([`Split`]
+//! and [`Claim`](Record::Claim)); version-2 journals are a strict record
+//! subset and still load (and may legitimately grow v3 records when an old
+//! checkpoint is resumed by a newer binary).
+//!
+//! [`Split`]: Record::Split
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -29,7 +34,11 @@ pub const JOURNAL_FILE: &str = "sweep.journal";
 const MAGIC: &[u8; 8] = b"TMSWEEP\x01";
 // Version 2 added the orbit-weighted counters to `UnitDone` (symmetry-reduced
 // sweeps); version-1 journals are rejected rather than reinterpreted.
-const VERSION: u32 = 2;
+// Version 3 added `Split` (work-unit refinement) and `Claim` (cross-shard
+// lease provenance). Version-2 journals carry a strict subset of the record
+// kinds, so they replay unchanged.
+const VERSION: u32 = 3;
+const OLDEST_READABLE_VERSION: u32 = 2;
 const HEADER_LEN: u64 = 12;
 
 /// Cap on a single record's payload; anything larger is treated as a torn
@@ -39,6 +48,8 @@ const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
 const KIND_META: u8 = 1;
 const KIND_UNIT_DONE: u8 = 2;
 const KIND_QUARANTINE: u8 = 3;
+const KIND_SPLIT: u8 = 4;
+const KIND_CLAIM: u8 = 5;
 
 /// Bitwise CRC-32 (IEEE 802.3, reflected). Table-free: journal records are
 /// small and rare, so simplicity beats throughput here.
@@ -101,6 +112,29 @@ pub enum Record {
         /// Human-readable reason (panic payload or "deadline exceeded").
         reason: String,
     },
+    /// A work unit was refined into child subtrees (`WorkUnit::split`).
+    /// On replay the parent is replaced by its children in the frontier —
+    /// unless a `UnitDone` for the parent also exists, in which case the
+    /// whole-unit completion wins and the split is ignored. The child ids
+    /// are recorded so replay can verify its deterministic re-derivation of
+    /// the children against what the splitting run actually scheduled.
+    Split {
+        /// Stable id of the unit that was split.
+        parent_id: u64,
+        /// Stable ids of the children, in the deterministic split order.
+        child_ids: Vec<u64>,
+    },
+    /// Provenance of a cross-shard lease claim: this journal's shard took
+    /// the unit from the shared frontier (rather than owning it statically).
+    /// Purely informational on replay — completion is still `UnitDone`.
+    Claim {
+        /// Stable id of the claimed unit.
+        unit_id: u64,
+        /// The claiming shard.
+        shard_index: u32,
+        /// The shard process launch (0 on first launch; restarts increment).
+        launch: u32,
+    },
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -145,6 +179,8 @@ impl Record {
             Record::Meta { .. } => KIND_META,
             Record::UnitDone { .. } => KIND_UNIT_DONE,
             Record::Quarantine { .. } => KIND_QUARANTINE,
+            Record::Split { .. } => KIND_SPLIT,
+            Record::Claim { .. } => KIND_CLAIM,
         }
     }
 
@@ -195,6 +231,25 @@ impl Record {
                 let bytes = reason.as_bytes();
                 put_u32(&mut out, bytes.len() as u32);
                 out.extend_from_slice(bytes);
+            }
+            Record::Split {
+                parent_id,
+                child_ids,
+            } => {
+                put_u64(&mut out, *parent_id);
+                put_u32(&mut out, child_ids.len() as u32);
+                for &c in child_ids {
+                    put_u64(&mut out, c);
+                }
+            }
+            Record::Claim {
+                unit_id,
+                shard_index,
+                launch,
+            } => {
+                put_u64(&mut out, *unit_id);
+                put_u32(&mut out, *shard_index);
+                put_u32(&mut out, *launch);
             }
         }
         out
@@ -249,6 +304,23 @@ impl Record {
                     reason,
                 }
             }
+            KIND_SPLIT => {
+                let parent_id = c.u64()?;
+                let count = c.u32()? as usize;
+                let mut child_ids = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    child_ids.push(c.u64()?);
+                }
+                Record::Split {
+                    parent_id,
+                    child_ids,
+                }
+            }
+            KIND_CLAIM => Record::Claim {
+                unit_id: c.u64()?,
+                shard_index: c.u32()?,
+                launch: c.u32()?,
+            },
             _ => return None,
         };
         if c.at != payload.len() {
@@ -306,7 +378,7 @@ pub fn load(path: &Path) -> io::Result<Option<LoadedJournal>> {
         ));
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    if version != VERSION {
+    if !(OLDEST_READABLE_VERSION..=VERSION).contains(&version) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("unsupported journal version {version}"),
@@ -473,6 +545,15 @@ mod tests {
                 weighted_consistent: 5,
                 candidates: vec![],
             },
+            Record::Split {
+                parent_id: 99,
+                child_ids: vec![100, 101, 102],
+            },
+            Record::Claim {
+                unit_id: 100,
+                shard_index: 1,
+                launch: 2,
+            },
         ]
     }
 
@@ -591,6 +672,33 @@ mod tests {
         let reloaded = load(&path).expect("load").expect("exists");
         assert_eq!(reloaded.records, records[..3]);
         assert!(!reloaded.truncated_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A journal written by the previous (v2) format — header version 2,
+    /// records limited to the v2 kinds — must still load and replay.
+    #[test]
+    fn version_two_journals_still_load() {
+        let path = temp_path("v2-compat");
+        let records: Vec<Record> = sample_records()
+            .into_iter()
+            .filter(|r| !matches!(r, Record::Split { .. } | Record::Claim { .. }))
+            .collect();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        for r in &records {
+            bytes.extend_from_slice(&r.framed());
+        }
+        std::fs::write(&path, &bytes).expect("write");
+        let loaded = load(&path).expect("load").expect("exists");
+        assert_eq!(loaded.records, records);
+        assert!(!loaded.truncated_tail);
+
+        // Version 1 stays rejected.
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+        assert!(load(&path).is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,222 @@
+//! Claim-based cross-shard scheduling: a shared lease directory.
+//!
+//! Supervised shards no longer own a static `id % M` slice of the space.
+//! Instead every shard sees the whole frontier and *leases* units from a
+//! directory all shards share:
+//!
+//! ```text
+//! <checkpoint>/leases/<unit_id:016x>.lease   — held: claimed, in flight
+//! <checkpoint>/leases/<unit_id:016x>.done    — completed (or quarantined)
+//! ```
+//!
+//! * **Claiming** is an atomic `O_EXCL` create of the `.lease` file — on a
+//!   local filesystem exactly one shard wins; the loser moves on to the
+//!   next unclaimed unit. The file body records the claimant (shard index,
+//!   launch) for provenance and post-mortems.
+//! * **Heartbeating**: while the owning worker makes progress (its
+//!   enumeration stop-hook keeps ticking), the shard's monitor rewrites the
+//!   lease (temp file + rename, the atomic-publish idiom) so its mtime
+//!   stays fresh. A worker that stops polling — SIGKILLed process, hung
+//!   unit — stops stamping, and the lease goes stale.
+//! * **Reassignment**: the supervisor (or any caller of [`reap_stale`])
+//!   deletes leases whose stamp is older than the staleness bound. The
+//!   unit becomes claimable again and another shard steals it. If the
+//!   original owner was merely slow and finishes anyway, both completions
+//!   land in (different) journals; `merge_sharded` credits the unit once
+//!   and validates the duplicates agree.
+//! * **Completion** renames `.lease` → `.done` (atomic), which both
+//!   publishes "don't bother" to the other shards and exempts the unit
+//!   from reaping forever.
+//!
+//! Everything here is advisory for *efficiency*; correctness never depends
+//! on the lease directory. The journals are the ground truth, units are
+//! deterministic, and double execution is resolved at merge time.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+/// Name of the shared lease directory under a supervised checkpoint root.
+pub const LEASE_DIR: &str = "leases";
+
+/// One shard's handle on the shared lease directory.
+#[derive(Debug)]
+pub struct LeaseManager {
+    dir: PathBuf,
+    shard_index: u32,
+    launch: u32,
+}
+
+impl LeaseManager {
+    /// Opens (creating if necessary) the lease directory at `dir` on behalf
+    /// of shard `shard_index`, process launch `launch`.
+    pub fn new(dir: impl Into<PathBuf>, shard_index: u32, launch: u32) -> io::Result<LeaseManager> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(LeaseManager {
+            dir,
+            shard_index,
+            launch,
+        })
+    }
+
+    fn lease_path(&self, unit_id: u64) -> PathBuf {
+        self.dir.join(format!("{unit_id:016x}.lease"))
+    }
+
+    fn done_path(&self, unit_id: u64) -> PathBuf {
+        self.dir.join(format!("{unit_id:016x}.done"))
+    }
+
+    /// Tries to claim `unit_id`. Returns `Ok(true)` when this shard now
+    /// holds the lease; `Ok(false)` when the unit is already done or leased
+    /// by someone else.
+    pub fn try_claim(&self, unit_id: u64) -> io::Result<bool> {
+        if self.done_path(unit_id).exists() {
+            return Ok(false);
+        }
+        match OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(self.lease_path(unit_id))
+        {
+            Ok(mut f) => {
+                let _ = writeln!(f, "shard {} launch {}", self.shard_index, self.launch);
+                Ok(true)
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether `unit_id` is marked done (by any shard).
+    pub fn is_done(&self, unit_id: u64) -> bool {
+        self.done_path(unit_id).exists()
+    }
+
+    /// Re-stamps a held lease so its mtime stays fresh: writes a sibling
+    /// temp file and renames it over the lease. Errors are swallowed — a
+    /// missed stamp at worst invites a redundant steal, which the merge
+    /// resolves.
+    pub fn refresh(&self, unit_id: u64) {
+        let lease = self.lease_path(unit_id);
+        let tmp = self
+            .dir
+            .join(format!(".{unit_id:016x}.{}.tmp", std::process::id()));
+        let body = format!("shard {} launch {}\n", self.shard_index, self.launch);
+        if fs::write(&tmp, body).is_ok() && fs::rename(&tmp, &lease).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    /// Marks `unit_id` done and drops the lease: renames `.lease` → `.done`
+    /// (atomic). If the lease was reaped from under us, publishes a fresh
+    /// done marker instead (racing completions both succeed; the marker is
+    /// idempotent). Errors are swallowed — the journal already holds the
+    /// durable completion.
+    pub fn complete(&self, unit_id: u64) {
+        let lease = self.lease_path(unit_id);
+        let done = self.done_path(unit_id);
+        if fs::rename(&lease, &done).is_err() {
+            let _ = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&done);
+        }
+    }
+
+    /// Releases a held lease without completing it (budget expiry abandons
+    /// the unit): deletes the `.lease` file so another shard — or this
+    /// one's next launch — can claim it.
+    pub fn release(&self, unit_id: u64) {
+        let _ = fs::remove_file(self.lease_path(unit_id));
+    }
+}
+
+/// Deletes every `.lease` file in `dir` whose mtime is older than
+/// `stale_after`, returning how many were reaped. The supervisor calls this
+/// from its poll loop; a missing or empty directory reaps nothing.
+pub fn reap_stale(dir: &Path, stale_after: Duration) -> io::Result<usize> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let now = SystemTime::now();
+    let mut reaped = 0;
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("lease") {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        let Ok(modified) = meta.modified() else {
+            continue;
+        };
+        let stale = now
+            .duration_since(modified)
+            .map(|age| age >= stale_after)
+            .unwrap_or(false);
+        if stale && fs::remove_file(&path).is_ok() {
+            reaped += 1;
+        }
+    }
+    Ok(reaped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tm-sweep-lease-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn claims_are_exclusive_until_completed() {
+        let dir = scratch("exclusive");
+        let a = LeaseManager::new(&dir, 0, 0).expect("a");
+        let b = LeaseManager::new(&dir, 1, 0).expect("b");
+        assert!(a.try_claim(7).expect("claim"));
+        assert!(!b.try_claim(7).expect("conflict"), "double claim");
+        a.complete(7);
+        assert!(a.is_done(7) && b.is_done(7));
+        assert!(!b.try_claim(7).expect("done"), "done units stay done");
+        // Releasing (not completing) reopens the unit.
+        assert!(b.try_claim(8).expect("claim"));
+        b.release(8);
+        assert!(a.try_claim(8).expect("reclaim"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_leases_are_reaped_and_reclaimable_but_done_survives() {
+        let dir = scratch("reap");
+        let a = LeaseManager::new(&dir, 0, 0).expect("a");
+        assert!(a.try_claim(1).expect("claim"));
+        assert!(a.try_claim(2).expect("claim"));
+        a.complete(2);
+        // Everything is fresh: nothing to reap.
+        assert_eq!(reap_stale(&dir, Duration::from_secs(60)).expect("reap"), 0);
+        // With a zero staleness bound the held lease is reaped; the done
+        // marker is not.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(reap_stale(&dir, Duration::from_millis(1)).expect("reap"), 1);
+        let b = LeaseManager::new(&dir, 1, 3).expect("b");
+        assert!(b.try_claim(1).expect("steal"), "reaped lease is claimable");
+        assert!(
+            !b.try_claim(2).expect("done"),
+            "done marker survives reaping"
+        );
+        // A refresh keeps a lease alive across the bound.
+        b.refresh(1);
+        assert_eq!(reap_stale(&dir, Duration::from_secs(60)).expect("reap"), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

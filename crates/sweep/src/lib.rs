@@ -19,7 +19,11 @@
 //!   dying;
 //! * units shard deterministically by id (`id % m == i`), and a
 //!   [`supervisor`](crate::supervisor) can keep a fleet of shard processes
-//!   alive, restarting crashed ones against their own checkpoints.
+//!   alive, restarting crashed ones against their own checkpoints;
+//! * with a shared [`lease`](crate::lease) directory, shards instead
+//!   *claim* units from the whole frontier through atomic lease files —
+//!   cross-shard work stealing: a dead shard's stale leases are reaped and
+//!   its units finished by the survivors.
 //!
 //! Fault injection ([`FailPlan`]) is a first-class citizen: the crash/resume
 //! guarantees above are only worth having if they are exercised, so the
@@ -32,11 +36,13 @@
 mod codec;
 mod fnv;
 pub mod journal;
+pub mod lease;
 pub mod report;
 mod runner;
 pub mod supervisor;
 
 pub use codec::{decode_execution, encode_execution, CodecError};
+pub use lease::{reap_stale, LeaseManager, LEASE_DIR};
 pub use report::{report_json, write_report, Heartbeat, HEARTBEAT_FILE, REPORT_SCHEMA};
 pub use runner::{
     merge_sharded, run_sweep, FailKind, FailPlan, QuarantinedUnit, SweepError, SweepJob, SweepMode,

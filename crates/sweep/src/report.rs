@@ -21,6 +21,12 @@ pub const REPORT_SCHEMA: &str = "tm-sweep-report/v1";
 /// Name of the heartbeat file inside a checkpoint directory.
 pub const HEARTBEAT_FILE: &str = "sweep.heartbeat.json";
 
+/// Width of the sliding window (seconds) the progress ETA extrapolates
+/// from. A run younger than two windows shows `--` instead of a number:
+/// LPT dispatch front-loads the heaviest units, so early whole-run
+/// averages are systematically wrong in both directions.
+pub const ETA_WINDOW_SECS: f64 = 30.0;
+
 /// How many units the report's `slowest_units` array keeps.
 pub const SLOWEST_UNITS: usize = 10;
 
@@ -234,6 +240,12 @@ pub struct Heartbeat {
     pub visited: u64,
     /// Orbit-weighted visit count of fresh units.
     pub weighted: u64,
+    /// Work-unit splits this run performed (pre-splits and cooperative
+    /// splits of in-flight units).
+    pub splits: u64,
+    /// Child units handed back to the frontier by cooperative splits —
+    /// in-process steals answered.
+    pub steals: u64,
     /// Seconds since the run started.
     pub elapsed_seconds: f64,
 }
@@ -248,6 +260,8 @@ impl Heartbeat {
             ("fresh", Json::u64(self.fresh)),
             ("visited", Json::u64(self.visited)),
             ("weighted", Json::u64(self.weighted)),
+            ("splits", Json::u64(self.splits)),
+            ("steals", Json::u64(self.steals)),
             ("elapsed_seconds", Json::Num(self.elapsed_seconds)),
         ])
     }
@@ -272,6 +286,9 @@ impl Heartbeat {
             fresh: json.get("fresh")?.as_u64()?,
             visited: json.get("visited")?.as_u64()?,
             weighted: json.get("weighted")?.as_u64()?,
+            // Absent in heartbeats written before the scheduler existed.
+            splits: json.get("splits").and_then(Json::as_u64).unwrap_or(0),
+            steals: json.get("steals").and_then(Json::as_u64).unwrap_or(0),
             elapsed_seconds: json.get("elapsed_seconds")?.as_f64()?,
         })
     }
@@ -279,17 +296,40 @@ impl Heartbeat {
     /// Sums the heartbeats of several shard checkpoints (missing or
     /// unparsable ones contribute nothing; elapsed is the max). `None`
     /// when no directory has a heartbeat yet.
+    ///
+    /// For statically sharded sweeps, where each shard reports its own
+    /// slice, so the totals sum. Claim-based (lease) shards all report the
+    /// shared frontier — aggregate those with
+    /// [`aggregate_shared`](Heartbeat::aggregate_shared) instead.
     pub fn aggregate(dirs: &[PathBuf]) -> Option<Heartbeat> {
+        Self::aggregate_with(dirs, false)
+    }
+
+    /// Like [`aggregate`](Heartbeat::aggregate), but for claim-based
+    /// shards: every shard's `total` is the whole shared frontier, so the
+    /// aggregate takes the max rather than the sum (everything else still
+    /// sums — shards only count their own completions).
+    pub fn aggregate_shared(dirs: &[PathBuf]) -> Option<Heartbeat> {
+        Self::aggregate_with(dirs, true)
+    }
+
+    fn aggregate_with(dirs: &[PathBuf], shared_total: bool) -> Option<Heartbeat> {
         let mut sum = Heartbeat::default();
         let mut seen = false;
         for dir in dirs {
             if let Some(hb) = Heartbeat::read(dir) {
                 seen = true;
                 sum.done += hb.done;
-                sum.total += hb.total;
+                sum.total = if shared_total {
+                    sum.total.max(hb.total)
+                } else {
+                    sum.total + hb.total
+                };
                 sum.fresh += hb.fresh;
                 sum.visited += hb.visited;
                 sum.weighted += hb.weighted;
+                sum.splits += hb.splits;
+                sum.steals += hb.steals;
                 sum.elapsed_seconds = sum.elapsed_seconds.max(hb.elapsed_seconds);
             }
         }
@@ -298,7 +338,12 @@ impl Heartbeat {
 
     /// The live stderr progress line:
     /// `sweep: D/T units (P%) | R execs/s | ETA E`.
-    pub fn progress_line(&self) -> String {
+    ///
+    /// `unit_rate` is a sliding-window completion rate in units/second
+    /// (see [`tm_obs::RateWindow`] and [`ETA_WINDOW_SECS`]); `None` — the
+    /// run is younger than two windows — renders the ETA as `--` rather
+    /// than extrapolating from thin evidence.
+    pub fn progress_line(&self, unit_rate: Option<f64>) -> String {
         let pct = if self.total > 0 {
             100.0 * self.done as f64 / self.total as f64
         } else {
@@ -309,13 +354,13 @@ impl Heartbeat {
         } else {
             0.0
         };
-        let eta = if self.fresh > 0 && self.done < self.total {
-            let remaining = (self.total - self.done) as f64;
-            format_eta(self.elapsed_seconds / self.fresh as f64 * remaining)
-        } else if self.done >= self.total {
+        let eta = if self.done >= self.total {
             "0s".to_string()
         } else {
-            "?".to_string()
+            match unit_rate {
+                Some(r) if r > 0.0 => format_eta((self.total - self.done) as f64 / r),
+                _ => "--".to_string(),
+            }
         };
         format!(
             "sweep: {}/{} units ({:.0}%) | {} execs/s | ETA {}",
@@ -366,6 +411,8 @@ mod tests {
             fresh: 2,
             visited: 100,
             weighted: 400,
+            splits: 1,
+            steals: 2,
             elapsed_seconds: 1.5,
         }
         .write(&dirs[0]);
@@ -375,6 +422,8 @@ mod tests {
             fresh: 5,
             visited: 250,
             weighted: 900,
+            splits: 0,
+            steals: 0,
             elapsed_seconds: 2.0,
         }
         .write(&dirs[1]);
@@ -382,10 +431,16 @@ mod tests {
         assert_eq!(sum.done, 8);
         assert_eq!(sum.total, 20);
         assert_eq!(sum.visited, 350);
+        assert_eq!(sum.splits, 1);
+        assert_eq!(sum.steals, 2);
         assert_eq!(sum.elapsed_seconds, 2.0);
-        let line = sum.progress_line();
+        // Claim-based shards share one frontier: total is a max, not a sum.
+        let shared = Heartbeat::aggregate_shared(dirs.as_ref()).expect("two heartbeats");
+        assert_eq!(shared.done, 8);
+        assert_eq!(shared.total, 10);
+        let line = sum.progress_line(Some(4.0));
         assert!(
-            line.starts_with("sweep: 8/20 units (40%) | 175 execs/s | ETA "),
+            line.starts_with("sweep: 8/20 units (40%) | 175 execs/s | ETA 3s"),
             "unexpected line: {line}"
         );
         std::fs::remove_dir_all(&base).ok();
@@ -398,8 +453,25 @@ mod tests {
             ..Heartbeat::default()
         };
         assert_eq!(
-            hb.progress_line(),
-            "sweep: 0/504 units (0%) | 0 execs/s | ETA ?"
+            hb.progress_line(None),
+            "sweep: 0/504 units (0%) | 0 execs/s | ETA --"
         );
+    }
+
+    /// A heartbeat file from before the scheduler (no splits/steals keys)
+    /// still parses.
+    #[test]
+    fn pre_scheduler_heartbeats_still_read() {
+        let dir = std::env::temp_dir().join("tm-sweep-heartbeat-old");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(HEARTBEAT_FILE),
+            r#"{"schema":"tm-sweep-heartbeat/v1","done":2,"total":9,"fresh":2,
+               "visited":50,"weighted":50,"elapsed_seconds":0.5}"#,
+        )
+        .unwrap();
+        let hb = Heartbeat::read(&dir).expect("parses");
+        assert_eq!((hb.done, hb.total, hb.splits, hb.steals), (2, 9, 0, 0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

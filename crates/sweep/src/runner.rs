@@ -9,29 +9,60 @@
 //! re-run on resume. Because every unit is deterministic and the final
 //! assembly sorts by canonical signature, *when* and *by whom* a unit runs
 //! cannot change the suites.
+//!
+//! ## Adaptive scheduling
+//!
+//! Units are wildly skewed: one odometer subtree can hold orders of
+//! magnitude more executions than another, and at |E|=8 the tail unit *is*
+//! the makespan. Three mechanisms (on by default, `sched: false` restores
+//! static dispatch) attack that:
+//!
+//! * **Weight-ordered (LPT) dispatch** — every unit gets an upper-bound
+//!   weight ([`tm_synth::unit_weight`]); workers always take the heaviest
+//!   pending unit, so the big rocks land first and the tail is small.
+//! * **Splittable units** — a unit heavier than `max_unit_weight` is
+//!   pre-split ([`tm_synth::split_unit`]) into child subtrees with their
+//!   own stable ids, journalled as [`Record::Split`]. Mid-run, an idle
+//!   worker is a steal request: a worker running a splittable unit
+//!   between-children hands the unfinished children back to the frontier.
+//!   The same mechanism preserves work at budget expiry — finished
+//!   children are journalled instead of discarding the whole unit.
+//! * **Cross-shard work stealing** — with a shared `lease_dir`, shards
+//!   stop owning static `id % M` slices: every shard sees the whole
+//!   frontier and claims units through atomic lease files (see
+//!   [`crate::lease`]). A shard that dies holding a lease goes stale and
+//!   its units are reclaimed by the survivors; duplicated completions are
+//!   reconciled (and validated identical) at merge time.
+//!
+//! Replay folds [`Record::Split`] by replacing the parent with its
+//! children in the frontier — unless a whole-parent `UnitDone` exists, in
+//! which case the completion wins. Either way the leaf results sum to
+//! exactly what the unsplit unit would have produced, so suites stay
+//! bit-identical however the work was diced.
 
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tm_exec::ir::Delta;
 use tm_exec::{ExecView, Execution};
 use tm_models::{CheckerTelemetry, MemoryModel};
-use tm_obs::{Event, Obs};
+use tm_obs::{Event, Obs, RateWindow};
 use tm_synth::{
     assemble_suites, canonical_signature, enumerate_unit_incremental, enumerate_unit_reduced,
-    minimal_under_weakenings, work_units, CanonSig, ReducedCount, SuiteReport, Symmetry,
-    SynthConfig, WorkUnit,
+    minimal_under_weakenings, split_unit, unit_weight, work_units, CanonSig, ReducedCount,
+    SuiteReport, Symmetry, SynthConfig, WorkUnit,
 };
 
 use crate::codec::{decode_execution, encode_execution};
 use crate::fnv::Fnv1a;
 use crate::journal::{self, JournalWriter, Record, JOURNAL_FILE};
-use crate::report::Heartbeat;
+use crate::lease::LeaseManager;
+use crate::report::{Heartbeat, ETA_WINDOW_SECS};
 
 /// The exit code used by injected-crash fault plans, distinct from every
 /// legitimate `tm-cat` exit code so tests and supervisors can tell an
@@ -210,6 +241,24 @@ pub struct SweepOptions {
     pub obs: Obs,
     /// Print a live `units done/total, execs/s, ETA` line to stderr.
     pub progress: bool,
+    /// Adaptive scheduling (on by default): weight-ordered (LPT) dispatch,
+    /// pre-splitting of oversized units, cooperative mid-run splits when
+    /// workers go idle, and work preservation at budget expiry. With
+    /// `sched: false` units run whole in their deterministic order and no
+    /// weights are computed — the static dispatch of earlier releases.
+    pub sched: bool,
+    /// Pre-split any unit whose weight upper bound exceeds this; `None`
+    /// derives `total_weight / (4 × threads)`. Ignored with `sched: false`.
+    pub max_unit_weight: Option<u64>,
+    /// Shared lease directory for cross-shard work stealing. When set,
+    /// this shard ignores its static `id % M` slice and instead claims
+    /// units from the whole frontier through atomic lease files (see
+    /// [`crate::lease`]). `shard` is still required (it names the
+    /// checkpoint and stamps the claims).
+    pub lease_dir: Option<PathBuf>,
+    /// Monotone launch counter stamped into lease claims (the supervisor
+    /// increments it per restart) — provenance only.
+    pub launch: u32,
 }
 
 impl SweepOptions {
@@ -229,6 +278,10 @@ impl SweepOptions {
             fail_plan: None,
             obs: Obs::disabled(),
             progress: false,
+            sched: true,
+            max_unit_weight: None,
+            lease_dir: None,
+            launch: 0,
         }
     }
 }
@@ -374,6 +427,7 @@ impl std::fmt::Display for SweepError {
 impl std::error::Error for SweepError {}
 
 /// A work unit paired with its size and stable id.
+#[derive(Clone)]
 struct UnitRef {
     n: usize,
     id: u64,
@@ -457,6 +511,238 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// This shard's live claim on one leased unit. The `beat` counter is
+/// ticked by the enumeration's stop hook (see [`run_attempt`]); the
+/// monitor refreshes the lease file only when the beat has advanced, so a
+/// wedged worker lets its lease go stale. `left` counts the unfinished
+/// jobs still running under the claim — the unit itself, plus one per
+/// child handed back to the frontier by a split; when it reaches zero the
+/// lease completes (renames to a done marker).
+struct LeaseHold {
+    unit_id: u64,
+    beat: AtomicU64,
+    left: AtomicUsize,
+}
+
+/// One dispatchable piece of work: a unit (root or split-off child), its
+/// weight, and — in lease mode, once claimed — the lease hold it runs
+/// under.
+struct Task {
+    weight: u64,
+    unit: UnitRef,
+    hold: Option<Arc<LeaseHold>>,
+}
+
+/// What [`Scheduler::next`] hands a worker.
+enum Dispatch {
+    /// Run this task (the scheduler counted it in flight; the worker must
+    /// [`Scheduler::finish`] it on every exit path).
+    Run(Task),
+    /// The queue is empty but work is in flight — it may split and refill
+    /// the queue. Nap briefly and ask again.
+    Wait,
+    /// The queue is empty, nothing is in flight, but lease-blocked tasks
+    /// are parked. The caller holds a virtual in-flight token (so sibling
+    /// workers [`Dispatch::Wait`] instead of exiting) and must re-examine
+    /// the tasks, push back the still-blocked ones, and
+    /// [`Scheduler::finish`] the token.
+    Rescan(Vec<Task>),
+    /// Nothing left anywhere: exit.
+    Drained,
+}
+
+/// The shared work frontier. With `sched` on, the queue is kept sorted by
+/// ascending weight and popped from the end — longest-processing-time
+/// first; with `sched` off it pops in the original deterministic order and
+/// all weights are zero.
+struct Scheduler {
+    queue: Mutex<Vec<Task>>,
+    /// Lease-blocked tasks (another shard holds the lease): parked here so
+    /// the hot dispatch loop does not spin on them.
+    deferred: Mutex<Vec<Task>>,
+    in_flight: AtomicUsize,
+    /// Workers currently napping in [`Dispatch::Wait`] — a nonzero value
+    /// is a standing steal request to whoever runs a splittable unit.
+    idle: AtomicUsize,
+    sched: bool,
+}
+
+impl Scheduler {
+    fn new(mut tasks: Vec<Task>, sched: bool) -> Scheduler {
+        if sched {
+            tasks.sort_by_key(|t| t.weight);
+        } else {
+            tasks.reverse();
+        }
+        Scheduler {
+            queue: Mutex::new(tasks),
+            deferred: Mutex::new(Vec::new()),
+            in_flight: AtomicUsize::new(0),
+            idle: AtomicUsize::new(0),
+            sched,
+        }
+    }
+
+    fn next(&self) -> Dispatch {
+        let mut queue = self.queue.lock().unwrap();
+        if let Some(task) = queue.pop() {
+            // Counted in flight under the queue lock, so "empty queue and
+            // nothing in flight" (checked under the same lock) really
+            // means drained — an in-flight task can still push splits.
+            self.in_flight.fetch_add(1, Ordering::SeqCst);
+            return Dispatch::Run(task);
+        }
+        if self.in_flight.load(Ordering::SeqCst) > 0 {
+            return Dispatch::Wait;
+        }
+        let mut deferred = self.deferred.lock().unwrap();
+        if deferred.is_empty() {
+            return Dispatch::Drained;
+        }
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        Dispatch::Rescan(std::mem::take(&mut *deferred))
+    }
+
+    /// Settles one [`Dispatch::Run`] task or [`Dispatch::Rescan`] token.
+    fn finish(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Returns tasks to the frontier (split-off children, or rescanned
+    /// lease-blocked tasks), keeping the weight order.
+    fn push(&self, tasks: Vec<Task>) {
+        let mut queue = self.queue.lock().unwrap();
+        for task in tasks {
+            if self.sched {
+                let pos = queue.partition_point(|t| t.weight <= task.weight);
+                queue.insert(pos, task);
+            } else {
+                queue.insert(0, task);
+            }
+        }
+    }
+
+    fn defer(&self, task: Task) {
+        self.deferred.lock().unwrap().push(task);
+    }
+
+    fn idle_waiters(&self) -> usize {
+        self.idle.load(Ordering::SeqCst)
+    }
+}
+
+/// How a (possibly child-wise) run of one scheduled unit ended.
+enum SchedRun {
+    /// The whole unit's result is in hand — either it ran whole, or every
+    /// child ran here and the results were summed in derivation order
+    /// (bit-identical to an unsplit run, except that per-child signature
+    /// dedup can bank extra duplicate candidates, which global assembly
+    /// removes again).
+    Whole(Box<FreshDone>),
+    /// The unit was split mid-run: `done` children completed here (a
+    /// prefix, in derivation order, with their attempt seconds), `rest`
+    /// remain. `budget: true` means the split preserved work at budget
+    /// expiry (rest is abandoned to the journal); otherwise the rest goes
+    /// back to the frontier for idle workers to steal.
+    Split {
+        done: Vec<(UnitRef, Box<FreshDone>, f64)>,
+        rest: Vec<UnitRef>,
+        budget: bool,
+    },
+    /// The wall-clock budget expired before anything finished; nothing is
+    /// banked.
+    Interrupted,
+    /// The attempt failed (panic or per-unit deadline); retry the unit
+    /// whole.
+    Failed(String),
+}
+
+/// Runs a splittable unit child by child. Between children it checks the
+/// budget (split-and-abandon preserves the finished prefix) and, after the
+/// first child, whether any worker is idle (split-and-share). A panic or
+/// deadline in any child fails the whole unit — the retry runs it whole,
+/// so nothing is double-banked.
+fn run_children(
+    job: &SweepJob<'_>,
+    children: &[UnitRef],
+    run_start: Instant,
+    opts: &SweepOptions,
+    sched: &Scheduler,
+    beat: &AtomicU64,
+) -> SchedRun {
+    let mut done: Vec<(UnitRef, Box<FreshDone>, f64)> = Vec::new();
+    for (i, child) in children.iter().enumerate() {
+        if opts.budget.is_some_and(|b| run_start.elapsed() >= b) {
+            if done.is_empty() {
+                return SchedRun::Interrupted;
+            }
+            return SchedRun::Split {
+                done,
+                rest: children[i..].to_vec(),
+                budget: true,
+            };
+        }
+        if i > 0 && sched.idle_waiters() > 0 {
+            return SchedRun::Split {
+                done,
+                rest: children[i..].to_vec(),
+                budget: false,
+            };
+        }
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_attempt(job, child, run_start, opts, false, beat)
+        }));
+        match outcome {
+            Ok(Attempt::Done(fresh)) => {
+                done.push((child.clone(), fresh, started.elapsed().as_secs_f64()));
+            }
+            Ok(Attempt::Interrupted) => {
+                if done.is_empty() {
+                    return SchedRun::Interrupted;
+                }
+                return SchedRun::Split {
+                    done,
+                    rest: children[i..].to_vec(),
+                    budget: true,
+                };
+            }
+            Ok(Attempt::Deadline) => return SchedRun::Failed("deadline exceeded".to_string()),
+            Err(payload) => {
+                return SchedRun::Failed(format!("panicked: {}", panic_message(payload)))
+            }
+        }
+    }
+    // Every child ran here: sum in derivation order, exactly the totals an
+    // unsplit run would have journalled.
+    let mut sum = FreshDone {
+        result: UnitResult::default(),
+        tally: ReducedCount::default(),
+        checker: None,
+    };
+    for (_, fresh, _) in done {
+        let FreshDone {
+            result,
+            tally,
+            checker,
+        } = *fresh;
+        sum.result.visited += result.visited;
+        sum.result.consistent += result.consistent;
+        sum.result.drift += result.drift;
+        sum.result.weighted_visited += result.weighted_visited;
+        sum.result.weighted_consistent += result.weighted_consistent;
+        sum.result.candidates.extend(result.candidates);
+        sum.tally.add(tally);
+        if let Some(t) = checker {
+            match sum.checker.as_mut() {
+                Some(total) => total.merge(t),
+                None => sum.checker = Some(t),
+            }
+        }
+    }
+    SchedRun::Whole(Box::new(sum))
+}
+
 /// Builds every unit of the job (all sizes), with stable ids, in a
 /// deterministic order. Ids are asserted unique — a collision would make
 /// the journal ambiguous.
@@ -488,11 +774,13 @@ fn meta_record(job: &SweepJob<'_>, shard: Option<(u32, u32)>) -> Record {
     }
 }
 
-/// Folded journal state: completed units and still-standing quarantines.
+/// Folded journal state: completed units, still-standing quarantines and
+/// recorded splits (parent id → child ids, in derivation order).
 #[derive(Default)]
 struct Replayed {
     completed: HashMap<u64, UnitResult>,
     quarantined: HashMap<u64, (u32, String)>,
+    splits: HashMap<u64, Vec<u64>>,
 }
 
 fn fold_records(records: Vec<Record>) -> Replayed {
@@ -500,6 +788,15 @@ fn fold_records(records: Vec<Record>) -> Replayed {
     for record in records {
         match record {
             Record::Meta { .. } => {}
+            Record::Split {
+                parent_id,
+                child_ids,
+            } => {
+                replayed.splits.insert(parent_id, child_ids);
+            }
+            // Claims are provenance (which shard leased what, when); the
+            // completions themselves carry the results.
+            Record::Claim { .. } => {}
             Record::UnitDone {
                 unit_id,
                 visited,
@@ -536,6 +833,141 @@ fn fold_records(records: Vec<Record>) -> Replayed {
         }
     }
     replayed
+}
+
+/// Expands `roots` against the journalled `splits` into the frontier of
+/// *leaves*: the units whose completions the final accounting expects.
+/// A whole-unit completion always wins over a recorded split of the same
+/// unit (the journal can hold both when a slow shard finished a unit that
+/// was split and stolen elsewhere — the whole result already covers every
+/// child). Order is deterministic: roots in their given order, children in
+/// derivation order, depth first.
+///
+/// Splits are re-derived from the unit definition and validated against the
+/// recorded child ids — a mismatch means the journal was written by a
+/// different unit derivation and is unusable.
+fn expand_leaves(
+    job: &SweepJob<'_>,
+    roots: &[UnitRef],
+    splits: &HashMap<u64, Vec<u64>>,
+    completed: &HashMap<u64, UnitResult>,
+) -> Result<Vec<UnitRef>, SweepError> {
+    fn walk(
+        job: &SweepJob<'_>,
+        unit: UnitRef,
+        splits: &HashMap<u64, Vec<u64>>,
+        completed: &HashMap<u64, UnitResult>,
+        out: &mut Vec<UnitRef>,
+    ) -> Result<(), SweepError> {
+        let recorded = match splits.get(&unit.id) {
+            Some(children) if !completed.contains_key(&unit.id) => children,
+            _ => {
+                out.push(unit);
+                return Ok(());
+            }
+        };
+        let children = split_unit(job.config, &unit.unit, unit.n, job.symmetry);
+        let derived: Vec<u64> = children
+            .iter()
+            .map(|c| c.stable_id(job.config, unit.n))
+            .collect();
+        if derived != *recorded {
+            return Err(SweepError::Config(format!(
+                "journalled split of unit {:#018x} disagrees with its derivation \
+                 ({} recorded vs {} derived children); refusing to continue",
+                unit.id,
+                recorded.len(),
+                derived.len()
+            )));
+        }
+        for (child, id) in children.into_iter().zip(derived) {
+            walk(
+                job,
+                UnitRef {
+                    n: unit.n,
+                    id,
+                    unit: child,
+                },
+                splits,
+                completed,
+                out,
+            )?;
+        }
+        Ok(())
+    }
+
+    let mut out = Vec::with_capacity(roots.len());
+    for root in roots {
+        walk(job, root.clone(), splits, completed, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Resolves the result covering `id`'s whole subspace: its own completion,
+/// or — when the journal records a split — the sum of its children's
+/// resolved results, in derivation order. `None` while any descendant leaf
+/// is missing.
+fn resolve_result(
+    id: u64,
+    splits: &HashMap<u64, Vec<u64>>,
+    raw: &HashMap<u64, UnitResult>,
+) -> Option<UnitResult> {
+    if let Some(r) = raw.get(&id) {
+        return Some(r.clone());
+    }
+    let children = splits.get(&id)?;
+    let mut sum = UnitResult::default();
+    for child in children {
+        let r = resolve_result(*child, splits, raw)?;
+        sum.visited += r.visited;
+        sum.consistent += r.consistent;
+        sum.drift += r.drift;
+        sum.weighted_visited += r.weighted_visited;
+        sum.weighted_consistent += r.weighted_consistent;
+        sum.candidates.extend(r.candidates);
+    }
+    Some(sum)
+}
+
+/// The deterministic accounting frontier: `roots` refined by the pre-split
+/// rule alone (still splittable and weight bound above `threshold`),
+/// stopping early at journalled completions. Mid-run steal and budget
+/// splits — which are timing-dependent — happen strictly *below* this
+/// frontier and are rolled back up to it by [`resolve_result`], so
+/// `total_units` and friends never depend on how a particular run happened
+/// to dice the work: a clean run, the sum over static shards and every
+/// resume all count the same frontier.
+fn accounting_frontier(
+    job: &SweepJob<'_>,
+    roots: &[UnitRef],
+    sched: bool,
+    threshold: u64,
+    completed: &HashMap<u64, UnitResult>,
+) -> Vec<UnitRef> {
+    let mut out = Vec::new();
+    let mut stack: Vec<UnitRef> = roots.iter().rev().cloned().collect();
+    while let Some(unit) = stack.pop() {
+        if sched
+            && !completed.contains_key(&unit.id)
+            && unit.unit.splittable(unit.n)
+            && unit_weight(job.config, &unit.unit, unit.n) > threshold
+        {
+            for child in split_unit(job.config, &unit.unit, unit.n, job.symmetry)
+                .into_iter()
+                .rev()
+            {
+                let id = child.stable_id(job.config, unit.n);
+                stack.push(UnitRef {
+                    n: unit.n,
+                    id,
+                    unit: child,
+                });
+            }
+        } else {
+            out.push(unit);
+        }
+    }
+    out
 }
 
 /// Opens (or creates) the journal for this run, replaying any prior state.
@@ -593,6 +1025,7 @@ fn run_attempt(
     run_start: Instant,
     opts: &SweepOptions,
     stall: bool,
+    beat: &AtomicU64,
 ) -> Attempt {
     let attempt_start = Instant::now();
     let budget_hit = || opts.budget.is_some_and(|b| run_start.elapsed() >= b);
@@ -600,14 +1033,22 @@ fn run_attempt(
         opts.unit_deadline
             .is_some_and(|d| attempt_start.elapsed() >= d)
     };
-    let should_stop = || budget_hit() || deadline_hit();
+    // The beat ticks prove forward progress to the lease monitor: only the
+    // enumeration's stop hook advances it, so a genuinely wedged unit lets
+    // its lease go stale and be stolen.
+    let should_stop = || {
+        beat.fetch_add(1, Ordering::Relaxed);
+        budget_hit() || deadline_hit()
+    };
 
     if stall {
-        // An injected stall: the unit never finishes. Poll the stop hooks
-        // so a deadline or budget reclaims the worker; cap the sleep so a
-        // stall without either cannot hang a test forever.
+        // An injected stall: the unit never finishes. Poll the stop
+        // conditions directly — deliberately NOT ticking the beat, so a
+        // stalled unit's lease goes stale and another shard can steal it —
+        // and cap the sleep so a stall without a deadline or budget cannot
+        // hang a test forever.
         let cap = Duration::from_secs(30);
-        while !should_stop() && attempt_start.elapsed() < cap {
+        while !(budget_hit() || deadline_hit()) && attempt_start.elapsed() < cap {
             std::thread::sleep(Duration::from_millis(2));
         }
         return if budget_hit() {
@@ -787,18 +1228,28 @@ fn expand_unit(
     }
 }
 
+/// The configured worker thread count — explicit option, `TM_SYNTH_THREADS`
+/// or the machine's parallelism — before clamping to the pending unit
+/// count. The pre-split threshold derives from this (not from
+/// [`worker_threads`]) so it cannot depend on how much work happens to be
+/// pending.
+fn configured_threads(opts: &SweepOptions) -> usize {
+    opts.threads
+        .or_else(|| {
+            std::env::var("TM_SYNTH_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
 fn worker_threads(opts: &SweepOptions, todo: usize) -> usize {
-    let configured = opts.threads.or_else(|| {
-        std::env::var("TM_SYNTH_THREADS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-    });
-    let available = configured.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    });
-    available.clamp(1, todo.max(1))
+    configured_threads(opts).clamp(1, todo.max(1))
 }
 
 /// Runs (or resumes) a checkpointed sweep. See the module docs for the
@@ -817,79 +1268,347 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
         }
     }
 
+    let lease_mode = opts.lease_dir.is_some();
+    if lease_mode && opts.shard.is_none() {
+        return Err(SweepError::Config(
+            "a shared lease directory requires a shard spec (claims are stamped with the \
+             shard index)"
+                .to_string(),
+        ));
+    }
+
     let sweep_start = Instant::now();
     let units = all_units(job)?;
-    let shard_units: Vec<UnitRef> = match opts.shard {
-        Some((i, m)) => units
+    // The pre-split threshold derives from the WHOLE job's weight and the
+    // configured thread count — never from the shard slice or the pending
+    // count — so a clean run, every static shard and every lease shard
+    // split the same units the same way and their journals and totals stay
+    // interchangeable.
+    let full_weight: u64 = if opts.sched {
+        units
+            .iter()
+            .map(|u| unit_weight(job.config, &u.unit, u.n))
+            .fold(0u64, u64::saturating_add)
+    } else {
+        0
+    };
+    // Static sharding slices the space by id; a lease shard sees the whole
+    // frontier and lets the claims decide who runs what.
+    let roots: Vec<UnitRef> = match opts.shard {
+        Some((i, m)) if !lease_mode => units
             .into_iter()
             .filter(|u| u.id % u64::from(m) == u64::from(i))
             .collect(),
-        None => units,
+        _ => units,
     };
 
-    let (writer, replayed) = open_journal(job, opts)?;
-    let reused_units = shard_units
+    let (mut writer, replayed) = open_journal(job, opts)?;
+    let mut splits = replayed.splits;
+    let leaves = expand_leaves(job, &roots, &splits, &replayed.completed)?;
+    // Dynamic leaves already completed per the journal — the progress
+    // display's notion of "done so far".
+    let dynamic_done = leaves
         .iter()
         .filter(|u| replayed.completed.contains_key(&u.id))
         .count();
 
-    // Quarantined units are re-attempted on resume: the operator asking for
-    // another run is the signal to try again (a deterministic failure will
-    // simply re-quarantine).
-    let todo: Vec<&UnitRef> = shard_units
+    // Pre-split: refine any pending leaf whose weight bound exceeds the
+    // threshold, journalling each split so a resume replays the same
+    // frontier. Quarantined units stay in the frontier — resume is the
+    // operator's signal to try them again.
+    let threshold = opts
+        .max_unit_weight
+        .unwrap_or_else(|| full_weight / (4 * configured_threads(opts) as u64).max(1))
+        .max(1);
+    // The accounting frontier (see `accounting_frontier`): what
+    // `total_units`, `completed_units` and `per_unit` count, immune to
+    // timing-dependent mid-run splits.
+    let scope_frontier =
+        accounting_frontier(job, &roots, opts.sched, threshold, &replayed.completed);
+    let reused_units = scope_frontier
         .iter()
-        .filter(|u| !replayed.completed.contains_key(&u.id))
+        .filter(|u| resolve_result(u.id, &splits, &replayed.completed).is_some())
+        .count();
+    let mut todo: Vec<UnitRef> = Vec::new();
+    let mut presplits = 0u64;
+    {
+        let mut worklist: Vec<UnitRef> = leaves
+            .iter()
+            .filter(|u| !replayed.completed.contains_key(&u.id))
+            .cloned()
+            .collect();
+        worklist.reverse();
+        while let Some(unit) = worklist.pop() {
+            if opts.sched
+                && unit.unit.splittable(unit.n)
+                && unit_weight(job.config, &unit.unit, unit.n) > threshold
+            {
+                let children = split_unit(job.config, &unit.unit, unit.n, job.symmetry);
+                let child_ids: Vec<u64> = children
+                    .iter()
+                    .map(|c| c.stable_id(job.config, unit.n))
+                    .collect();
+                writer.append(&Record::Split {
+                    parent_id: unit.id,
+                    child_ids: child_ids.clone(),
+                })?;
+                splits.insert(unit.id, child_ids.clone());
+                presplits += 1;
+                for (child, id) in children.into_iter().zip(child_ids).rev() {
+                    worklist.push(UnitRef {
+                        n: unit.n,
+                        id,
+                        unit: child,
+                    });
+                }
+            } else {
+                todo.push(unit);
+            }
+        }
+    }
+    let todo_len = todo.len();
+    // The dynamic frontier after pre-splitting: completed leaves plus
+    // pending ones. Display-only — accounting uses `scope_frontier`.
+    let total_leaves = dynamic_done + todo_len;
+
+    let tasks: Vec<Task> = todo
+        .into_iter()
+        .map(|u| {
+            let weight = if opts.sched {
+                unit_weight(job.config, &u.unit, u.n)
+            } else {
+                0
+            };
+            Task {
+                weight,
+                unit: u,
+                hold: None,
+            }
+        })
         .collect();
 
     let journal = Mutex::new(writer);
     let results: Mutex<HashMap<u64, UnitResult>> = Mutex::new(replayed.completed);
     let quarantined: Mutex<Vec<QuarantinedUnit>> = Mutex::new(Vec::new());
     let retried_attempts = AtomicU64::new(0);
-    let cursor = AtomicUsize::new(0);
     let fail_state = opts.fail_plan.map(FailState::new);
     let obs = &opts.obs;
     let fresh_reports: Mutex<Vec<UnitReport>> = Mutex::new(Vec::new());
     let prune_total: Mutex<ReducedCount> = Mutex::new(ReducedCount::default());
     let checker_total: Mutex<Option<CheckerTelemetry>> = Mutex::new(None);
+    let splits_final: Mutex<HashMap<u64, Vec<u64>>> = Mutex::new(splits);
+    // Accounting-frontier leaves another shard completed first (discovered
+    // through their done markers): out of this shard's scope.
+    let foreign: Mutex<HashSet<u64>> = Mutex::new(HashSet::new());
+    let lease = match &opts.lease_dir {
+        Some(dir) => Some(LeaseManager::new(
+            dir,
+            opts.shard.map(|(i, _)| i).unwrap_or(0),
+            opts.launch,
+        )?),
+        None => None,
+    };
+    let lease = lease.as_ref();
+    let held: Mutex<HashMap<u64, Arc<LeaseHold>>> = Mutex::new(HashMap::new());
+    let sched = Scheduler::new(tasks, opts.sched);
     let progress = ProgressState {
-        total: shard_units.len(),
-        done: AtomicUsize::new(reused_units),
+        total: AtomicUsize::new(total_leaves),
+        done: AtomicUsize::new(dynamic_done),
         fresh: AtomicUsize::new(0),
         visited: AtomicU64::new(0),
         weighted: AtomicU64::new(0),
+        splits: AtomicU64::new(presplits),
+        steals: AtomicU64::new(0),
     };
     let setup_seconds = sweep_start.elapsed().as_secs_f64();
     let run_start = Instant::now();
-    let threads = worker_threads(opts, todo.len());
+    let threads = worker_threads(opts, todo_len);
     let io_error: Mutex<Option<io::Error>> = Mutex::new(None);
     let monitor_stop = AtomicBool::new(false);
 
     if obs.is_enabled() {
         obs.emit(
             Event::new("sweep.start")
-                .field("units", shard_units.len())
+                .field("units", total_leaves)
                 .field("reused", reused_units)
+                .field("presplit", presplits)
                 .field("threads", threads),
         );
     }
     obs.counter("sweep.units.reused").add(reused_units as u64);
+    obs.counter("sweep.sched.presplit").add(presplits);
+
+    // Shared per-completion banking: journal, metrics, telemetry,
+    // progress. Declared before the worker scope so the spawned closures
+    // can borrow it for the scope's whole lifetime.
+    let bank = |unit: &UnitRef, fresh: FreshDone, seconds: f64, attempts: u32| -> io::Result<()> {
+        let FreshDone {
+            result,
+            tally,
+            checker,
+        } = fresh;
+        let record = Record::UnitDone {
+            unit_id: unit.id,
+            visited: result.visited,
+            consistent: result.consistent,
+            drift: result.drift,
+            weighted_visited: result.weighted_visited,
+            weighted_consistent: result.weighted_consistent,
+            candidates: result.candidates.clone(),
+        };
+        journal.lock().unwrap().append(&record)?;
+        record_unit_metrics(obs, &result, &tally, checker.as_ref());
+        if obs.is_enabled() {
+            obs.emit(
+                Event::new("unit.complete")
+                    .field("unit", format!("{:#018x}", unit.id))
+                    .field("seconds", seconds)
+                    .field("visited", result.visited)
+                    .field("weighted", result.weighted_visited)
+                    .field("candidates", result.candidates.len()),
+            );
+        }
+        fresh_reports.lock().unwrap().push(UnitReport {
+            unit_id: unit.id,
+            label: unit.unit.label(),
+            events: unit.n,
+            reused: false,
+            seconds,
+            attempts,
+            visited: result.visited,
+            weighted_visited: result.weighted_visited,
+        });
+        prune_total.lock().unwrap().add(tally);
+        if let Some(t) = checker {
+            let mut total = checker_total.lock().unwrap();
+            match total.as_mut() {
+                Some(sum) => sum.merge(t),
+                None => *total = Some(t),
+            }
+        }
+        progress.done.fetch_add(1, Ordering::Relaxed);
+        progress.fresh.fetch_add(1, Ordering::Relaxed);
+        progress
+            .visited
+            .fetch_add(result.visited, Ordering::Relaxed);
+        progress
+            .weighted
+            .fetch_add(result.weighted_visited, Ordering::Relaxed);
+        results.lock().unwrap().insert(unit.id, result);
+        Ok(())
+    };
+    // Settles one finished (completed or quarantined) job slot under a
+    // lease hold; the last slot completes the lease (done marker).
+    let settle_hold = |hold: &Option<Arc<LeaseHold>>| {
+        if let (Some(l), Some(h)) = (lease, hold.as_ref()) {
+            if h.left.fetch_sub(1, Ordering::SeqCst) == 1 {
+                l.complete(h.unit_id);
+                held.lock().unwrap().remove(&h.unit_id);
+            }
+        }
+    };
 
     std::thread::scope(|scope| {
         let monitor = scope.spawn(|| {
-            monitor_loop(&progress, run_start, opts, &monitor_stop);
+            monitor_loop(&progress, run_start, opts, &monitor_stop, lease, &held);
         });
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let dummy_beat = AtomicU64::new(0);
                     'units: loop {
                         if opts.budget.is_some_and(|b| run_start.elapsed() >= b) {
                             break;
                         }
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(unit) = todo.get(i) else { break };
+                        let mut task = match sched.next() {
+                            Dispatch::Run(task) => task,
+                            Dispatch::Wait => {
+                                // A standing steal request: whoever runs a
+                                // splittable unit sees the idle count and
+                                // hands back its unfinished children.
+                                sched.idle.fetch_add(1, Ordering::SeqCst);
+                                std::thread::sleep(Duration::from_millis(2));
+                                sched.idle.fetch_sub(1, Ordering::SeqCst);
+                                continue;
+                            }
+                            Dispatch::Rescan(parked) => {
+                                let mut blocked = Vec::new();
+                                for t in parked {
+                                    match lease {
+                                        Some(l) if l.is_done(t.unit.id) => {
+                                            // Another shard finished it:
+                                            // out of our scope.
+                                            if foreign.lock().unwrap().insert(t.unit.id) {
+                                                progress.total.fetch_sub(1, Ordering::Relaxed);
+                                            }
+                                        }
+                                        _ => blocked.push(t),
+                                    }
+                                }
+                                if !blocked.is_empty() {
+                                    // The holders are alive (or not yet
+                                    // reaped): back off before reclaiming.
+                                    std::thread::sleep(Duration::from_millis(50));
+                                    sched.push(blocked);
+                                }
+                                sched.finish();
+                                continue;
+                            }
+                            Dispatch::Drained => break,
+                        };
+                        if let Some(l) = lease {
+                            // Claim before running; split-off children
+                            // already run under their parent's claim.
+                            if task.hold.is_none() {
+                                match l.try_claim(task.unit.id) {
+                                    Ok(true) => {
+                                        let record = Record::Claim {
+                                            unit_id: task.unit.id,
+                                            shard_index: opts.shard.map(|(i, _)| i).unwrap_or(0),
+                                            launch: opts.launch,
+                                        };
+                                        if let Err(e) = journal.lock().unwrap().append(&record) {
+                                            *io_error.lock().unwrap() = Some(e);
+                                            sched.finish();
+                                            break 'units;
+                                        }
+                                        obs.counter("sweep.lease.claims").incr();
+                                        let hold = Arc::new(LeaseHold {
+                                            unit_id: task.unit.id,
+                                            beat: AtomicU64::new(0),
+                                            left: AtomicUsize::new(1),
+                                        });
+                                        held.lock()
+                                            .unwrap()
+                                            .insert(task.unit.id, Arc::clone(&hold));
+                                        task.hold = Some(hold);
+                                    }
+                                    Ok(false) => {
+                                        if l.is_done(task.unit.id) {
+                                            if foreign.lock().unwrap().insert(task.unit.id) {
+                                                progress.total.fetch_sub(1, Ordering::Relaxed);
+                                            }
+                                        } else {
+                                            obs.counter("sweep.lease.conflicts").incr();
+                                            sched.defer(task);
+                                        }
+                                        sched.finish();
+                                        continue;
+                                    }
+                                    Err(e) => {
+                                        *io_error.lock().unwrap() = Some(e);
+                                        sched.finish();
+                                        break 'units;
+                                    }
+                                }
+                            }
+                        }
+                        let task = task;
+                        let beat: &AtomicU64 =
+                            task.hold.as_ref().map(|h| &h.beat).unwrap_or(&dummy_beat);
                         if let Some(fail) = &fail_state {
-                            fail.on_claim(unit.id);
-                            if fail.is_victim(unit.id) && fail.plan.kind == FailKind::Exit {
+                            fail.on_claim(task.unit.id);
+                            if fail.is_victim(task.unit.id) && fail.plan.kind == FailKind::Exit {
                                 // Simulate a hard crash: flush what is banked,
                                 // then die. (The sync means the test can reason
                                 // about exactly which units survived.)
@@ -901,100 +1620,163 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
                         loop {
                             attempt_no += 1;
                             let (injected_panic, stall) = match &fail_state {
-                                Some(fail) if fail.is_victim(unit.id) => match fail.plan.kind {
-                                    FailKind::Panic => (true, false),
-                                    FailKind::PanicOnce => {
-                                        (!fail.once_fired.swap(true, Ordering::SeqCst), false)
+                                Some(fail) if fail.is_victim(task.unit.id) => {
+                                    match fail.plan.kind {
+                                        FailKind::Panic => (true, false),
+                                        FailKind::PanicOnce => {
+                                            (!fail.once_fired.swap(true, Ordering::SeqCst), false)
+                                        }
+                                        FailKind::Stall => (false, true),
+                                        FailKind::Exit => (false, false),
                                     }
-                                    FailKind::Stall => (false, true),
-                                    FailKind::Exit => (false, false),
-                                },
+                                }
                                 _ => (false, false),
                             };
                             if obs.is_enabled() {
                                 obs.emit(
                                     Event::new("unit.start")
-                                        .field("unit", format!("{:#018x}", unit.id))
-                                        .field("label", unit.unit.label())
-                                        .field("events", unit.n)
+                                        .field("unit", format!("{:#018x}", task.unit.id))
+                                        .field("label", task.unit.unit.label())
+                                        .field("events", task.unit.n)
                                         .field("attempt", u64::from(attempt_no)),
                                 );
                             }
                             let attempt_started = Instant::now();
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                if injected_panic {
-                                    panic!("injected panic (fail plan)");
+                            // Child-wise execution (first attempt only, never
+                            // on an injected victim): enables mid-run steals
+                            // and budget-stop work preservation. Retries run
+                            // whole, so a failed child-wise pass — which banks
+                            // nothing — can never double-bank a child.
+                            let childwise = opts.sched
+                                && !injected_panic
+                                && !stall
+                                && attempt_no == 1
+                                && task.unit.unit.splittable(task.unit.n);
+                            let run = if childwise {
+                                let children: Vec<UnitRef> = split_unit(
+                                    job.config,
+                                    &task.unit.unit,
+                                    task.unit.n,
+                                    job.symmetry,
+                                )
+                                .into_iter()
+                                .map(|c| UnitRef {
+                                    n: task.unit.n,
+                                    id: c.stable_id(job.config, task.unit.n),
+                                    unit: c,
+                                })
+                                .collect();
+                                run_children(job, &children, run_start, opts, &sched, beat)
+                            } else {
+                                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                    if injected_panic {
+                                        panic!("injected panic (fail plan)");
+                                    }
+                                    run_attempt(job, &task.unit, run_start, opts, stall, beat)
+                                }));
+                                match outcome {
+                                    Ok(Attempt::Done(fresh)) => SchedRun::Whole(fresh),
+                                    Ok(Attempt::Interrupted) => SchedRun::Interrupted,
+                                    Ok(Attempt::Deadline) => {
+                                        SchedRun::Failed("deadline exceeded".to_string())
+                                    }
+                                    Err(payload) => SchedRun::Failed(format!(
+                                        "panicked: {}",
+                                        panic_message(payload)
+                                    )),
                                 }
-                                run_attempt(job, unit, run_start, opts, stall)
-                            }));
-                            let failure_reason = match outcome {
-                                Ok(Attempt::Done(fresh)) => {
+                            };
+                            let failure_reason = match run {
+                                SchedRun::Whole(fresh) => {
                                     let seconds = attempt_started.elapsed().as_secs_f64();
-                                    let FreshDone {
-                                        result,
-                                        tally,
-                                        checker,
-                                    } = *fresh;
-                                    let record = Record::UnitDone {
-                                        unit_id: unit.id,
-                                        visited: result.visited,
-                                        consistent: result.consistent,
-                                        drift: result.drift,
-                                        weighted_visited: result.weighted_visited,
-                                        weighted_consistent: result.weighted_consistent,
-                                        candidates: result.candidates.clone(),
+                                    if let Err(e) = bank(&task.unit, *fresh, seconds, attempt_no) {
+                                        *io_error.lock().unwrap() = Some(e);
+                                        sched.finish();
+                                        break 'units;
+                                    }
+                                    settle_hold(&task.hold);
+                                    sched.finish();
+                                    break;
+                                }
+                                SchedRun::Interrupted => {
+                                    // Budget expiry with nothing banked: the
+                                    // unit stays pending (its lease, if any,
+                                    // is released after the scope).
+                                    sched.finish();
+                                    break 'units;
+                                }
+                                SchedRun::Split { done, rest, budget } => {
+                                    let child_ids: Vec<u64> = done
+                                        .iter()
+                                        .map(|(u, _, _)| u.id)
+                                        .chain(rest.iter().map(|u| u.id))
+                                        .collect();
+                                    let record = Record::Split {
+                                        parent_id: task.unit.id,
+                                        child_ids: child_ids.clone(),
                                     };
                                     if let Err(e) = journal.lock().unwrap().append(&record) {
                                         *io_error.lock().unwrap() = Some(e);
+                                        sched.finish();
                                         break 'units;
                                     }
-                                    record_unit_metrics(obs, &result, &tally, checker.as_ref());
-                                    if obs.is_enabled() {
-                                        obs.emit(
-                                            Event::new("unit.complete")
-                                                .field("unit", format!("{:#018x}", unit.id))
-                                                .field("seconds", seconds)
-                                                .field("visited", result.visited)
-                                                .field("weighted", result.weighted_visited)
-                                                .field("candidates", result.candidates.len()),
-                                        );
+                                    splits_final.lock().unwrap().insert(task.unit.id, child_ids);
+                                    obs.counter("sweep.sched.splits").incr();
+                                    progress.splits.fetch_add(1, Ordering::Relaxed);
+                                    progress
+                                        .total
+                                        .fetch_add(done.len() + rest.len() - 1, Ordering::Relaxed);
+                                    if let Some(h) = &task.hold {
+                                        // The rest children each take a slot
+                                        // under the claim, added before the
+                                        // parent slot settles so the count
+                                        // cannot dip to zero early.
+                                        h.left.fetch_add(rest.len(), Ordering::SeqCst);
                                     }
-                                    fresh_reports.lock().unwrap().push(UnitReport {
-                                        unit_id: unit.id,
-                                        label: unit.unit.label(),
-                                        events: unit.n,
-                                        reused: false,
-                                        seconds,
-                                        attempts: attempt_no,
-                                        visited: result.visited,
-                                        weighted_visited: result.weighted_visited,
-                                    });
-                                    prune_total.lock().unwrap().add(tally);
-                                    if let Some(t) = checker {
-                                        let mut total = checker_total.lock().unwrap();
-                                        match total.as_mut() {
-                                            Some(sum) => sum.merge(t),
-                                            None => *total = Some(t),
+                                    let mut io_failed = false;
+                                    for (child, fresh, seconds) in done {
+                                        if let Err(e) = bank(&child, *fresh, seconds, attempt_no) {
+                                            *io_error.lock().unwrap() = Some(e);
+                                            io_failed = true;
+                                            break;
                                         }
                                     }
-                                    progress.done.fetch_add(1, Ordering::Relaxed);
-                                    progress.fresh.fetch_add(1, Ordering::Relaxed);
-                                    progress
-                                        .visited
-                                        .fetch_add(result.visited, Ordering::Relaxed);
-                                    progress
-                                        .weighted
-                                        .fetch_add(result.weighted_visited, Ordering::Relaxed);
-                                    results.lock().unwrap().insert(unit.id, result);
+                                    if io_failed {
+                                        sched.finish();
+                                        break 'units;
+                                    }
+                                    if budget {
+                                        // Work preserved: the finished prefix
+                                        // is journalled; the rest resumes from
+                                        // the Split record.
+                                        settle_hold(&task.hold);
+                                        sched.finish();
+                                        break 'units;
+                                    }
+                                    let stolen = rest.len() as u64;
+                                    obs.counter("sweep.sched.steals").add(stolen);
+                                    progress.steals.fetch_add(stolen, Ordering::Relaxed);
+                                    let shared: Vec<Task> = rest
+                                        .into_iter()
+                                        .map(|u| {
+                                            let weight = unit_weight(job.config, &u.unit, u.n);
+                                            Task {
+                                                weight,
+                                                unit: u,
+                                                hold: task.hold.clone(),
+                                            }
+                                        })
+                                        .collect();
+                                    sched.push(shared);
+                                    settle_hold(&task.hold);
+                                    sched.finish();
                                     break;
                                 }
-                                Ok(Attempt::Interrupted) => break 'units,
-                                Ok(Attempt::Deadline) => "deadline exceeded".to_string(),
-                                Err(payload) => format!("panicked: {}", panic_message(payload)),
+                                SchedRun::Failed(reason) => reason,
                             };
                             if attempt_no > opts.retries {
                                 let record = Record::Quarantine {
-                                    unit_id: unit.id,
+                                    unit_id: task.unit.id,
                                     attempts: attempt_no,
                                     reason: failure_reason.clone(),
                                 };
@@ -1005,6 +1787,7 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
                                     // re-run a poisoned unit forever.
                                     if let Err(e) = j.append(&record).and_then(|()| j.sync()) {
                                         *io_error.lock().unwrap() = Some(e);
+                                        sched.finish();
                                         break 'units;
                                     }
                                 }
@@ -1012,17 +1795,22 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
                                 if obs.is_enabled() {
                                     obs.emit(
                                         Event::new("unit.quarantine")
-                                            .field("unit", format!("{:#018x}", unit.id))
+                                            .field("unit", format!("{:#018x}", task.unit.id))
                                             .field("attempts", u64::from(attempt_no))
                                             .field("reason", failure_reason.clone()),
                                     );
                                 }
                                 quarantined.lock().unwrap().push(QuarantinedUnit {
-                                    unit_id: unit.id,
+                                    unit_id: task.unit.id,
                                     attempts: attempt_no,
                                     reason: failure_reason,
-                                    label: unit.unit.label(),
+                                    label: task.unit.unit.label(),
                                 });
+                                // A quarantine is a handled unit: the lease
+                                // completes (done marker) so other shards do
+                                // not re-run a poisoned unit.
+                                settle_hold(&task.hold);
+                                sched.finish();
                                 break;
                             }
                             retried_attempts.fetch_add(1, Ordering::Relaxed);
@@ -1030,7 +1818,7 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
                             if obs.is_enabled() {
                                 obs.emit(
                                     Event::new("unit.retry")
-                                        .field("unit", format!("{:#018x}", unit.id))
+                                        .field("unit", format!("{:#018x}", task.unit.id))
                                         .field("attempt", u64::from(attempt_no))
                                         .field("reason", failure_reason.clone()),
                                 );
@@ -1050,19 +1838,32 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
         let _ = monitor.join();
     });
 
+    // Whatever is still held was not completed (budget expiry, IO error):
+    // release the leases so other shards — or the next launch — can claim
+    // the units.
+    if let Some(l) = lease {
+        for hold in held.lock().unwrap().values() {
+            l.release(hold.unit_id);
+        }
+    }
+
     let run_seconds = run_start.elapsed().as_secs_f64();
     journal.lock().unwrap().sync()?;
     if let Some(e) = io_error.into_inner().unwrap() {
         return Err(SweepError::Io(e));
     }
 
-    let results = results.into_inner().unwrap();
+    let raw_results = results.into_inner().unwrap();
+    let splits = splits_final.into_inner().unwrap();
+    let foreign = foreign.into_inner().unwrap();
     let mut quarantined = quarantined.into_inner().unwrap();
     // Quarantines replayed from the journal still stand unless this run
-    // completed the unit (they were in `todo`, so a fresh quarantine or a
-    // completion replaced them; a budget stop can leave them untouched).
+    // completed the unit (they were in the frontier, so a fresh quarantine
+    // or a completion replaced them; a budget stop can leave them
+    // untouched).
     for (unit_id, (attempts, reason)) in replayed.quarantined {
-        if !results.contains_key(&unit_id) && !quarantined.iter().any(|q| q.unit_id == unit_id) {
+        if !raw_results.contains_key(&unit_id) && !quarantined.iter().any(|q| q.unit_id == unit_id)
+        {
             quarantined.push(QuarantinedUnit {
                 unit_id,
                 attempts,
@@ -1071,12 +1872,109 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
             });
         }
     }
+
+    // The accounting scope is the deterministic frontier computed at
+    // setup; a lease shard additionally drops the leaves other shards
+    // completed first (a drained lease run therefore accounts for exactly
+    // the units it ran or quarantined itself — everything else was either
+    // foreign or left pending by a budget stop).
+    let mut scope_units = scope_frontier;
+    if lease_mode {
+        scope_units.retain(|u| !foreign.contains(&u.id));
+    }
+    // Roll mid-run split results up to that frontier: a leaf counts as
+    // completed exactly when its whole subspace is covered, however the
+    // work was diced.
+    let results: HashMap<u64, UnitResult> = scope_units
+        .iter()
+        .filter_map(|u| resolve_result(u.id, &splits, &raw_results).map(|r| (u.id, r)))
+        .collect();
+
+    let scope_info: HashMap<u64, (String, usize)> = scope_units
+        .iter()
+        .map(|u| (u.id, (u.unit.label(), u.n)))
+        .collect();
+    let mut parent_of: HashMap<u64, u64> = HashMap::new();
+    for (parent, children) in &splits {
+        for child in children {
+            parent_of.insert(*child, *parent);
+        }
+    }
+    let to_scope = |mut id: u64| -> Option<u64> {
+        loop {
+            if scope_info.contains_key(&id) {
+                return Some(id);
+            }
+            id = *parent_of.get(&id)?;
+        }
+    };
+
+    // Lift quarantines of split-off children to their accounting leaf; a
+    // resolved leaf extinguishes them (a retry or another worker covered
+    // the subspace) and out-of-scope ones are another shard's story.
+    let mut lifted: Vec<QuarantinedUnit> = Vec::new();
+    let mut lifted_ids: HashSet<u64> = HashSet::new();
+    for q in quarantined {
+        let Some(anchor) = to_scope(q.unit_id) else {
+            continue;
+        };
+        if results.contains_key(&anchor) || !lifted_ids.insert(anchor) {
+            continue;
+        }
+        let label = if anchor == q.unit_id {
+            q.label
+        } else {
+            scope_info[&anchor].0.clone()
+        };
+        lifted.push(QuarantinedUnit {
+            unit_id: anchor,
+            attempts: q.attempts,
+            reason: q.reason,
+            label,
+        });
+    }
+    let mut quarantined = lifted;
     quarantined.sort_by_key(|q| q.unit_id);
+
+    // Aggregate fresh per-task reports to the accounting frontier: a leaf
+    // that ran child-wise gets one entry carrying the children's summed
+    // wall time and its rolled-up counts. Only resolved leaves are kept —
+    // a budget stop can leave a leaf with banked children but no
+    // completion, and `per_unit` lists completed units only.
+    let mut fresh_agg: HashMap<u64, UnitReport> = HashMap::new();
+    for r in fresh_reports.into_inner().unwrap() {
+        let Some(anchor) = to_scope(r.unit_id) else {
+            continue;
+        };
+        let (label, events) = &scope_info[&anchor];
+        let entry = fresh_agg.entry(anchor).or_insert_with(|| UnitReport {
+            unit_id: anchor,
+            label: label.clone(),
+            events: *events,
+            reused: false,
+            seconds: 0.0,
+            attempts: 0,
+            visited: 0,
+            weighted_visited: 0,
+        });
+        entry.seconds += r.seconds;
+        entry.attempts = entry.attempts.max(r.attempts);
+    }
+    let fresh: Vec<UnitReport> = fresh_agg
+        .into_values()
+        .filter_map(|mut r| {
+            let resolved = results.get(&r.unit_id)?;
+            r.visited = resolved.visited;
+            r.weighted_visited = resolved.weighted_visited;
+            Some(r)
+        })
+        .collect();
+
     // A single shard of a wider sweep holds too little to assemble suites;
     // that happens in `merge_sharded` once every shard's journal is in.
     let build_suites = opts.shard.is_none_or(|(_, m)| m == 1);
     let telemetry = RunTelemetry {
-        fresh: fresh_reports.into_inner().unwrap(),
+        fresh,
         prune: prune_total.into_inner().unwrap(),
         checker: checker_total.into_inner().unwrap(),
         setup_seconds,
@@ -1084,7 +1982,7 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
     };
     let outcome = finalize(
         job,
-        shard_units,
+        scope_units,
         results,
         quarantined,
         reused_units,
@@ -1115,52 +2013,89 @@ pub fn run_sweep(job: &SweepJob<'_>, opts: &SweepOptions) -> Result<SweepOutcome
 }
 
 /// Live progress shared between the workers and the monitor thread.
+/// `total` moves: splits grow it, foreign completions shrink it — it
+/// tracks the *dynamic* frontier, which is what a progress display should
+/// show (accounting uses the static frontier instead).
 struct ProgressState {
-    total: usize,
+    total: AtomicUsize,
     done: AtomicUsize,
     fresh: AtomicUsize,
     visited: AtomicU64,
     weighted: AtomicU64,
+    splits: AtomicU64,
+    steals: AtomicU64,
 }
 
 impl ProgressState {
     fn heartbeat(&self, elapsed: Duration) -> Heartbeat {
         Heartbeat {
             done: self.done.load(Ordering::Relaxed) as u64,
-            total: self.total as u64,
+            total: self.total.load(Ordering::Relaxed) as u64,
             fresh: self.fresh.load(Ordering::Relaxed) as u64,
             visited: self.visited.load(Ordering::Relaxed),
             weighted: self.weighted.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
             elapsed_seconds: elapsed.as_secs_f64(),
         }
     }
 }
 
 /// The monitor thread: rewrites the heartbeat file every ~500ms (always —
-/// the shard supervisor aggregates them without any flag on the children)
-/// and, with `opts.progress`, repaints a `\r`-terminated progress line on
+/// the shard supervisor aggregates them without any flag on the children),
+/// feeds a sliding [`RateWindow`] that turns unit completions into the
+/// progress line's ETA, refreshes this shard's held leases (only while
+/// their beats advance — a wedged worker lets its lease go stale), and,
+/// with `opts.progress`, repaints a `\r`-terminated progress line on
 /// stderr every ~200ms, finishing with a newline-terminated final line.
 fn monitor_loop(
     progress: &ProgressState,
     run_start: Instant,
     opts: &SweepOptions,
     stop: &AtomicBool,
+    lease: Option<&LeaseManager>,
+    held: &Mutex<HashMap<u64, Arc<LeaseHold>>>,
 ) {
     const TICK: Duration = Duration::from_millis(25);
     const PRINT_EVERY: u32 = 8; // ~200ms
     const HEARTBEAT_EVERY: u32 = 20; // ~500ms
     let mut tick = 0u32;
+    let mut window = RateWindow::new(ETA_WINDOW_SECS);
+    let mut last_beats: HashMap<u64, u64> = HashMap::new();
     loop {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         if tick.is_multiple_of(HEARTBEAT_EVERY) {
-            progress
-                .heartbeat(run_start.elapsed())
-                .write(&opts.checkpoint);
+            let hb = progress.heartbeat(run_start.elapsed());
+            window.push(hb.elapsed_seconds, hb.done as f64);
+            hb.write(&opts.checkpoint);
+            if let Some(l) = lease {
+                // Refresh held leases whose beat advanced since last time;
+                // first sight counts as progress (the claim is fresh).
+                let holds: Vec<(u64, u64)> = held
+                    .lock()
+                    .unwrap()
+                    .values()
+                    .map(|h| (h.unit_id, h.beat.load(Ordering::Relaxed)))
+                    .collect();
+                last_beats.retain(|id, _| holds.iter().any(|(hid, _)| hid == id));
+                for (unit_id, beat) in holds {
+                    let advanced = match last_beats.get(&unit_id) {
+                        Some(prev) => beat > *prev,
+                        None => true,
+                    };
+                    if advanced {
+                        last_beats.insert(unit_id, beat);
+                        l.refresh(unit_id);
+                    }
+                }
+            }
         }
         if opts.progress && tick.is_multiple_of(PRINT_EVERY) {
-            let line = progress.heartbeat(run_start.elapsed()).progress_line();
+            let line = progress
+                .heartbeat(run_start.elapsed())
+                .progress_line(window.rate());
             eprint!("\r{line}");
             let _ = io::Write::flush(&mut io::stderr());
         }
@@ -1170,9 +2105,10 @@ fn monitor_loop(
     // Final state: a fresh heartbeat and, when printing, a line the
     // terminal keeps (and CI can grep).
     let heartbeat = progress.heartbeat(run_start.elapsed());
+    window.push(heartbeat.elapsed_seconds, heartbeat.done as f64);
     heartbeat.write(&opts.checkpoint);
     if opts.progress {
-        eprintln!("\r{}", heartbeat.progress_line());
+        eprintln!("\r{}", heartbeat.progress_line(window.rate()));
     }
 }
 
@@ -1380,10 +2316,20 @@ fn assemble(
 /// covers the whole space. Shard journals are validated against `job`
 /// (fingerprint, events, mode); which shard a unit came from is irrelevant
 /// because units are deterministic.
+///
+/// With work stealing in play, the same unit can legitimately appear in
+/// several journals: recorded splits must agree child-for-child, and
+/// duplicated completions must agree on every count (a stolen-and-also-
+/// finished unit ran twice — the runs being deterministic, any
+/// disagreement means a corrupted or foreign journal). Candidate *lists*
+/// may differ between a whole run and a child-wise run of the same unit
+/// (per-child signature dedup can bank extra duplicates); global assembly
+/// removes those again, so the first-seen list is kept.
 pub fn merge_sharded(job: &SweepJob<'_>, dirs: &[PathBuf]) -> Result<SweepOutcome, SweepError> {
     let units = all_units(job)?;
     let mut results: HashMap<u64, UnitResult> = HashMap::new();
     let mut quarantines: HashMap<u64, (u32, String)> = HashMap::new();
+    let mut splits: HashMap<u64, Vec<u64>> = HashMap::new();
 
     let expected_fingerprint = job.fingerprint();
     for dir in dirs {
@@ -1407,21 +2353,70 @@ pub fn merge_sharded(job: &SweepJob<'_>, dirs: &[PathBuf]) -> Result<SweepOutcom
             }
         }
         let replayed = fold_records(loaded.records);
+        for (id, children) in replayed.splits {
+            match splits.get(&id) {
+                Some(prev) if *prev != children => {
+                    return Err(SweepError::Config(format!(
+                        "journal {} records a different split of unit {id:#018x} than an \
+                         earlier shard; refusing to merge",
+                        path.display()
+                    )));
+                }
+                Some(_) => {}
+                None => {
+                    splits.insert(id, children);
+                }
+            }
+        }
         for (id, result) in replayed.completed {
-            results.entry(id).or_insert(result);
+            match results.get(&id) {
+                Some(prev) => {
+                    if (
+                        prev.visited,
+                        prev.consistent,
+                        prev.drift,
+                        prev.weighted_visited,
+                        prev.weighted_consistent,
+                    ) != (
+                        result.visited,
+                        result.consistent,
+                        result.drift,
+                        result.weighted_visited,
+                        result.weighted_consistent,
+                    ) {
+                        return Err(SweepError::Config(format!(
+                            "journal {} disagrees with an earlier shard on unit \
+                             {id:#018x}'s counts; refusing to merge",
+                            path.display()
+                        )));
+                    }
+                }
+                None => {
+                    results.insert(id, result);
+                }
+            }
         }
         for (id, q) in replayed.quarantined {
             quarantines.entry(id).or_insert(q);
         }
     }
     quarantines.retain(|id, _| !results.contains_key(id));
+
+    // The merged scope is the dynamic frontier under every recorded split
+    // (completions win over splits, as always); results and quarantines on
+    // non-leaves — a parent that was both completed whole somewhere and
+    // split elsewhere — are dropped in favour of the leaves.
+    let leaves = expand_leaves(job, &units, &splits, &results)?;
+    let leaf_ids: HashSet<u64> = leaves.iter().map(|u| u.id).collect();
+    results.retain(|id, _| leaf_ids.contains(id));
     let mut quarantined: Vec<QuarantinedUnit> = quarantines
         .into_iter()
+        .filter(|(id, _)| leaf_ids.contains(id))
         .map(|(unit_id, (attempts, reason))| QuarantinedUnit {
             unit_id,
             attempts,
             reason,
-            label: units
+            label: leaves
                 .iter()
                 .find(|u| u.id == unit_id)
                 .map(|u| u.unit.label())
@@ -1432,7 +2427,7 @@ pub fn merge_sharded(job: &SweepJob<'_>, dirs: &[PathBuf]) -> Result<SweepOutcom
 
     finalize(
         job,
-        units,
+        leaves,
         results,
         quarantined,
         0,

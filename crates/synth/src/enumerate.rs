@@ -589,6 +589,7 @@ fn worker_count() -> usize {
 /// [`WorkUnit::stable_id`] names a unit deterministically across processes
 /// and machines, so a journal can record "this unit is done" and a restart
 /// can skip it.
+#[derive(Clone)]
 pub struct WorkUnit {
     partition: Vec<usize>,
     prefix: Vec<EventShape>,
@@ -644,6 +645,183 @@ impl WorkUnit {
             prefix.join(",")
         )
     }
+
+    /// Whether the unit can be refined further: a prefix shorter than the
+    /// event bound `n` leaves at least one shape digit to extend.
+    pub fn splittable(&self, n: usize) -> bool {
+        self.prefix.len() < n
+    }
+
+    /// Refines this unit into its child subtrees by extending the shape
+    /// prefix one digit, in exactly the order [`enumerate_shapes`] explores
+    /// extensions — so the union of the children's candidate sets is the
+    /// parent's, and a sweep that runs children instead of the parent visits
+    /// the same executions in the same per-subtree order.
+    ///
+    /// Children carry their own [`WorkUnit::stable_id`]s (the id hashes the
+    /// partition and the full prefix, so every child's id is derived from —
+    /// and distinct from — the parent's input). Under [`Symmetry::Reduced`],
+    /// children whose extended prefix is already non-canonical are dropped,
+    /// mirroring [`work_units`]; every candidate they would cover is
+    /// represented under a canonical sibling (the parent expansion would
+    /// have shape-killed them too).
+    ///
+    /// Returns an empty vector when the unit is not [`splittable`]
+    /// (its prefix already fixes all `n` events).
+    ///
+    /// [`splittable`]: WorkUnit::splittable
+    pub fn split(&self, config: &SynthConfig, n: usize, symmetry: Symmetry) -> Vec<WorkUnit> {
+        if !self.splittable(n) {
+            return Vec::new();
+        }
+        let mut children = Vec::new();
+        let mut prefix = self.prefix.clone();
+        let target = prefix.len() + 1;
+        enumerate_shapes(config, target, &mut prefix, &mut |child| {
+            if symmetry.is_reduced() && prefix_prunable(&self.partition, child) {
+                return;
+            }
+            children.push(WorkUnit {
+                partition: self.partition.clone(),
+                prefix: child.to_vec(),
+            });
+        });
+        children
+    }
+
+    /// A deterministic cost estimate for expanding this unit at `n` events:
+    /// the sum over the unit's complete shape vectors of the odometer
+    /// subtree size (the product of every relation dimension — rf sources
+    /// per read, coherence permutations per location, 2 per dependency/RMW
+    /// pair, transaction interval sets per thread).
+    ///
+    /// This is an upper bound on the candidates a full-mode expansion
+    /// visits (transaction-budget and symmetry kills only shrink it), and
+    /// it is exact in full mode when `max_txns` never bites. It never
+    /// materialises the choices themselves, so it is cheap relative to the
+    /// expansion it estimates; saturating arithmetic keeps wide configs from
+    /// overflowing. Always at least 1, so weight-proportional schedulers
+    /// need no zero guard.
+    pub fn weight(&self, config: &SynthConfig, n: usize) -> u64 {
+        let mut total: u64 = 0;
+        let mut shapes = self.prefix.clone();
+        enumerate_shapes(config, n, &mut shapes, &mut |shapes| {
+            total = total.saturating_add(shape_weight(config, &self.partition, shapes));
+        });
+        total.max(1)
+    }
+}
+
+/// The odometer-subtree size of one complete shape vector: the product of
+/// every relation dimension, computed from counts alone (no permutations or
+/// interval sets are materialised). Mirrors [`RelationChoices::odometer`]
+/// dimension by dimension.
+fn shape_weight(config: &SynthConfig, partition: &[usize], shapes: &[EventShape]) -> u64 {
+    let n = shapes.len();
+    let mut thread_of = vec![0u32; n];
+    {
+        let mut next = 0usize;
+        for (t, &size) in partition.iter().enumerate() {
+            for slot in thread_of.iter_mut().skip(next).take(size) {
+                *slot = t as u32;
+            }
+            next += size;
+        }
+    }
+    let loc_of = |e: usize| match shapes[e] {
+        EventShape::Read(l, _) | EventShape::Write(l, _) => Some(l),
+        EventShape::Fence(_) => None,
+    };
+    let is_read = |e: usize| matches!(shapes[e], EventShape::Read(..));
+    let is_write = |e: usize| matches!(shapes[e], EventShape::Write(..));
+
+    let mut weight: u64 = 1;
+    let mul = |w: &mut u64, f: u64| *w = w.saturating_mul(f.max(1));
+
+    // rf: each read observes the initial state or one same-location write.
+    for r in (0..n).filter(|&e| is_read(e)) {
+        let sources = (0..n)
+            .filter(|&w| is_write(w) && loc_of(w) == loc_of(r))
+            .count() as u64;
+        mul(&mut weight, 1 + sources);
+    }
+    // co: a permutation of the writes per used location.
+    let mut locs: Vec<u32> = (0..n).filter_map(loc_of).collect();
+    locs.sort_unstable();
+    locs.dedup();
+    for l in locs {
+        let writes = (0..n)
+            .filter(|&w| is_write(w) && loc_of(w) == Some(l))
+            .count();
+        mul(&mut weight, factorial(writes));
+    }
+    // dependencies: 2 per (read, po-later same-thread access) pair.
+    if config.dependencies {
+        for r in (0..n).filter(|&e| is_read(e)) {
+            for e in r + 1..n {
+                if thread_of[e] == thread_of[r] && loc_of(e).is_some() {
+                    mul(&mut weight, 2);
+                }
+            }
+        }
+    }
+    // rmw: 2 per adjacent same-location read/write pair on one thread.
+    if config.rmws {
+        for e in 0..n.saturating_sub(1) {
+            if is_read(e)
+                && is_write(e + 1)
+                && thread_of[e] == thread_of[e + 1]
+                && loc_of(e) == loc_of(e + 1)
+            {
+                mul(&mut weight, 2);
+            }
+        }
+    }
+    // transactions: disjoint contiguous interval sets per thread.
+    if config.transactions {
+        for &size in partition {
+            mul(&mut weight, interval_set_count(size));
+        }
+    }
+    weight
+}
+
+fn factorial(k: usize) -> u64 {
+    (2..=k as u64).fold(1u64, |acc, f| acc.saturating_mul(f))
+}
+
+/// How many sets of disjoint contiguous non-empty intervals a path of `len`
+/// events admits — the count [`interval_sets`] materialises.
+fn interval_set_count(len: usize) -> u64 {
+    // d[m] counts choices over the last m positions: skip one event, or
+    // start an interval of any length (the recursion of `interval_sets`).
+    let mut d = vec![0u64; len + 1];
+    d[0] = 1;
+    for m in 1..=len {
+        let mut total = d[m - 1]; // position unclaimed
+        for k in 1..=m {
+            total = total.saturating_add(d[m - k]); // interval of length k
+        }
+        d[m] = total;
+    }
+    d[len]
+}
+
+/// Free-function form of [`WorkUnit::split`], the scheduler-facing entry
+/// point: the child subtrees of `unit` one prefix digit deeper.
+pub fn split_unit(
+    config: &SynthConfig,
+    unit: &WorkUnit,
+    n: usize,
+    symmetry: Symmetry,
+) -> Vec<WorkUnit> {
+    unit.split(config, n, symmetry)
+}
+
+/// Free-function form of [`WorkUnit::weight`]: the odometer-subtree upper
+/// bound a weight-ordered scheduler dispatches by.
+pub fn unit_weight(config: &SynthConfig, unit: &WorkUnit, n: usize) -> u64 {
+    unit.weight(config, n)
 }
 
 /// The annotation's stable bit pattern, shared by unit ids and the config
@@ -1381,7 +1559,7 @@ fn enumerate_relations_reference(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeMap;
+    use std::collections::{BTreeMap, HashSet};
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Mutex;
     use tm_exec::Fence;
@@ -1704,5 +1882,138 @@ mod tests {
 
         // A never-firing hook visits everything.
         assert_eq!(enumerate_exact_until(&cfg, 3, |_| {}, || false), full);
+    }
+
+    /// Splitting a unit must partition its candidate multiset exactly: the
+    /// union of the children's expansions equals the parent's, ids stay
+    /// unique, and re-splitting to full depth bottoms out.
+    #[test]
+    fn split_children_cover_the_parent_exactly() {
+        let mut cfg = tiny_config();
+        cfg.max_events = 3;
+        cfg.transactions = true;
+        cfg.max_txns = 2;
+        cfg.fences = vec![Fence::Sync];
+        let n = 3;
+        for symmetry in [Symmetry::Full, Symmetry::Reduced] {
+            for unit in produce_units(&cfg, n, symmetry) {
+                assert!(unit.splittable(n), "test depth leaves one digit");
+                let children = unit.split(&cfg, n, symmetry);
+                assert!(!children.is_empty());
+                let mut ids: HashSet<u64> = children.iter().map(|c| c.stable_id(&cfg, n)).collect();
+                assert_eq!(ids.len(), children.len(), "child id collision");
+                assert!(
+                    ids.insert(unit.stable_id(&cfg, n)),
+                    "child id equals the parent's"
+                );
+                // Grandchildren of a full-depth child: none.
+                assert!(children[0].split(&cfg, n, symmetry).is_empty());
+
+                let mut parent: BTreeMap<String, usize> = BTreeMap::new();
+                let mut parent_tally = ReducedCount::default();
+                let mut child_tally = ReducedCount::default();
+                match symmetry {
+                    Symmetry::Full => {
+                        enumerate_unit_incremental(
+                            &cfg,
+                            &unit,
+                            n,
+                            &mut |e: &Execution, _: &Delta| {
+                                *parent.entry(e.signature()).or_default() += 1;
+                            },
+                            || false,
+                        );
+                    }
+                    Symmetry::Reduced => {
+                        parent_tally = enumerate_unit_reduced(
+                            &cfg,
+                            &unit,
+                            n,
+                            &mut |e: &Execution, _: &Delta, _| {
+                                *parent.entry(e.signature()).or_default() += 1;
+                            },
+                            || false,
+                        );
+                    }
+                }
+                let mut union: BTreeMap<String, usize> = BTreeMap::new();
+                for child in &children {
+                    match symmetry {
+                        Symmetry::Full => {
+                            enumerate_unit_incremental(
+                                &cfg,
+                                child,
+                                n,
+                                &mut |e: &Execution, _: &Delta| {
+                                    *union.entry(e.signature()).or_default() += 1;
+                                },
+                                || false,
+                            );
+                        }
+                        Symmetry::Reduced => {
+                            child_tally.add(enumerate_unit_reduced(
+                                &cfg,
+                                child,
+                                n,
+                                &mut |e: &Execution, _: &Delta, _| {
+                                    *union.entry(e.signature()).or_default() += 1;
+                                },
+                                || false,
+                            ));
+                        }
+                    }
+                }
+                assert_eq!(parent, union, "children must cover the parent exactly");
+                if symmetry.is_reduced() {
+                    assert_eq!(parent_tally.representatives, child_tally.representatives);
+                    assert_eq!(
+                        parent_tally.weighted, child_tally.weighted,
+                        "orbit-weighted counts must survive splitting"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The weight estimate bounds the full-mode visit count from above and
+    /// is conserved by splitting (children sum to the parent).
+    #[test]
+    fn weight_bounds_visits_and_splits_conserve_it() {
+        let mut cfg = tiny_config();
+        cfg.max_events = 3;
+        cfg.transactions = true;
+        cfg.max_txns = 2;
+        cfg.rmws = true;
+        cfg.dependencies = true;
+        let n = 3;
+        let mut total_weight = 0u64;
+        let mut total_visited = 0usize;
+        for unit in produce_units(&cfg, n, Symmetry::Full) {
+            let weight = unit.weight(&cfg, n);
+            let visited = enumerate_unit_incremental(
+                &cfg,
+                &unit,
+                n,
+                &mut |_: &Execution, _: &Delta| {},
+                || false,
+            );
+            assert!(
+                weight >= visited as u64,
+                "weight {weight} under-estimates {visited} for {}",
+                unit.label()
+            );
+            let child_sum: u64 = unit
+                .split(&cfg, n, Symmetry::Full)
+                .iter()
+                .map(|c| c.weight(&cfg, n))
+                .sum();
+            assert_eq!(child_sum, weight, "splitting must conserve weight");
+            total_weight += weight;
+            total_visited += visited;
+        }
+        // The bound is not vacuous: with max_txns=2 it stays within the
+        // unconstrained odometer product.
+        assert!(total_weight >= total_visited as u64);
+        assert!(total_visited > 0);
     }
 }

@@ -50,7 +50,8 @@ pub use enumerate::{
     enumerate_all, enumerate_exact, enumerate_exact_incremental, enumerate_exact_incremental_until,
     enumerate_exact_reference, enumerate_exact_until, enumerate_reduced,
     enumerate_reduced_incremental, enumerate_reduced_incremental_until, enumerate_reduced_until,
-    enumerate_unit_incremental, enumerate_unit_reduced, work_units, WorkUnit,
+    enumerate_unit_incremental, enumerate_unit_reduced, split_unit, unit_weight, work_units,
+    WorkUnit,
 };
 pub use suite::{
     assemble_suites, find_distinguishing, minimal_under_weakenings, synthesise_suites,
